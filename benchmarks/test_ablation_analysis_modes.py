@@ -1,0 +1,94 @@
+"""Ablation A4 — cost of the analysis modes built on the detector.
+
+Beyond plain detection the library offers repair (§III.C), schedule
+exploration, and Theorem-1 certification (§IV.E).  Their costs relate
+mechanically:
+
+* repair ≈ detection (same event work plus rare transfers),
+* certification ≈ 2× detection (it runs the program twice: observing pass
+  with races + synchronous pass),
+* exploration ≈ (3 + seeds)× detection (one run per schedule) + the
+  certificate.
+
+This benchmark measures all four on the same mid-size workload and asserts
+the orderings, so the cost model stated in the docs stays true.
+"""
+
+import pytest
+
+from repro.core import Arbalest, RepairingArbalest, certify
+from repro.core.explore import explore_schedules
+from repro.openmp import TargetRuntime, to, tofrom
+
+N = 512
+KERNELS = 6
+
+
+def workload(rt: TargetRuntime) -> None:
+    a = rt.array("a", N)
+    a.fill(1.0)
+    rt.target_enter_data([to(a)])
+    for _ in range(KERNELS):
+        rt.target(
+            lambda ctx: ctx["a"].write(
+                slice(0, N), ctx["a"].read(slice(0, N)) * 1.01
+            )
+        )
+    rt.target_update(from_=[a])
+    _ = a[0:N]
+    from repro.openmp import release
+
+    rt.target_exit_data([release(a)])
+
+
+def run_with_tool(tool_cls):
+    rt = TargetRuntime(n_devices=1)
+    tool = tool_cls().attach(rt.machine) if tool_cls else None
+    workload(rt)
+    rt.finalize()
+    return tool
+
+
+@pytest.mark.parametrize(
+    "mode",
+    ["native", "detect", "repairing-detect", "certify", "explore"],
+)
+def test_mode_cost(benchmark, mode):
+    benchmark.group = "ablation-analysis-modes"
+    if mode == "native":
+        benchmark(lambda: run_with_tool(None))
+    elif mode == "detect":
+        tool = benchmark(lambda: run_with_tool(Arbalest))
+        assert not tool.mapping_issue_findings()
+    elif mode == "repairing-detect":
+        tool = benchmark(lambda: run_with_tool(RepairingArbalest))
+        assert not tool.mapping_issue_findings()
+    elif mode == "certify":
+        cert = benchmark(lambda: certify(workload))
+        assert cert.certified
+    else:
+        result = benchmark(
+            lambda: explore_schedules(workload, random_seeds=1, with_certificate=False)
+        )
+        assert not result.any_detection
+
+
+def test_cost_model_orderings():
+    """One timed comparison outside pytest-benchmark: the documented
+    relations hold (with generous slack for timer noise)."""
+    import time
+
+    def timed(fn, reps=3):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_detect = timed(lambda: run_with_tool(Arbalest))
+    t_repair = timed(lambda: run_with_tool(RepairingArbalest))
+    t_certify = timed(lambda: certify(workload))
+    assert t_repair < 3.0 * t_detect  # repair ~ detection
+    assert t_certify < 5.0 * t_detect  # certification ~ 2 runs
+    assert t_certify > 0.8 * t_detect  # and certainly not free

@@ -1,0 +1,55 @@
+"""Figure 9: memory usage on the SPEC ACCEL workloads.
+
+Space is a property of a run, not of wall-clock repetitions; each benchmark
+entry times one instrumented run and records the measured application and
+shadow bytes in ``extra_info`` (visible with ``--benchmark-verbose`` or in
+saved JSON).  The summary test prints the Fig-9 table and asserts its
+qualitative shape.
+"""
+
+import pytest
+
+from repro.harness import CONFIGS, measure_one, run_overhead_comparison
+from repro.specaccel import WORKLOADS
+
+PRESET = "train"
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_memory_usage(benchmark, workload, config):
+    benchmark.group = f"fig9-{workload.name}"
+
+    def run_and_measure():
+        return measure_one(workload, config, PRESET, repetitions=1)
+
+    m = benchmark.pedantic(run_and_measure, rounds=1, iterations=1)
+    benchmark.extra_info["app_bytes"] = m.app_bytes
+    benchmark.extra_info["shadow_bytes"] = m.shadow_bytes
+    benchmark.extra_info["total_bytes"] = m.total_bytes
+    if config == "native":
+        assert m.shadow_bytes == 0
+    else:
+        assert m.shadow_bytes > 0
+
+
+def test_fig9_summary_table(benchmark, capsys):
+    benchmark.group = "fig9-summary"
+    result = benchmark.pedantic(
+        run_overhead_comparison,
+        kwargs=dict(preset=PRESET, repetitions=1),
+        rounds=1,
+        iterations=1,
+    )
+    for w in WORKLOADS:
+        native = result.get(w.name, "native").total_bytes
+        arb = result.get(w.name, "arbalest").total_bytes
+        arc = result.get(w.name, "archer").total_bytes
+        asan = result.get(w.name, "asan").total_bytes
+        # Fig 9's shape: every tool above native; ARBALEST close to Archer
+        # (same shadow family); ASan lightest.
+        assert native < asan < arc <= arb
+        assert arb <= 2.0 * arc
+    with capsys.disabled():
+        print()
+        print(result.render_space_table())

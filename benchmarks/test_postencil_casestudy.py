@@ -1,0 +1,36 @@
+"""§VI.D / Figures 6-7: the 503.postencil case study, timed and verified."""
+
+import pytest
+
+from repro.core import Arbalest
+from repro.harness import run_case_study
+from repro.openmp import TargetRuntime
+from repro.specaccel import output_checksum, run_postencil
+
+
+def test_case_study(benchmark, capsys):
+    benchmark.group = "postencil-casestudy"
+    result = benchmark.pedantic(
+        run_case_study, kwargs=dict(preset="train"), rounds=1, iterations=1
+    )
+    assert result.reproduced
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+
+@pytest.mark.parametrize("buggy", [False, True], ids=["fixed", "v1.2-buggy"])
+def test_postencil_under_arbalest(benchmark, buggy):
+    """Detection cost on the buggy vs fixed stencil is indistinguishable."""
+    benchmark.group = "postencil-detection-cost"
+
+    def run_once():
+        rt = TargetRuntime(n_devices=1)
+        det = Arbalest().attach(rt.machine)
+        result = run_postencil(rt, "train", buggy=buggy)
+        checksum = output_checksum(rt, result)
+        rt.finalize()
+        return det, checksum
+
+    det, _ = benchmark(run_once)
+    assert bool(det.mapping_issue_findings()) == buggy

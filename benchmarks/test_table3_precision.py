@@ -1,0 +1,48 @@
+"""Table III regeneration benchmark.
+
+``pytest benchmarks/test_table3_precision.py --benchmark-only`` times the
+full 56-benchmark precision sweep per tool and, as a side effect, asserts
+that the regenerated table equals the published one.  The rendered table is
+printed at the end of the run.
+"""
+
+import pytest
+
+from repro.dracc import all_benchmarks
+from repro.harness import (
+    TOOL_FACTORIES,
+    TOOL_ORDER,
+    run_precision_comparison,
+)
+from repro.openmp import TargetRuntime
+
+
+@pytest.mark.parametrize("tool_name", TOOL_ORDER)
+def test_suite_under_single_tool(benchmark, tool_name):
+    """Time one tool across the whole DRACC suite (its Table III column)."""
+    benchmark.group = "table3-per-tool"
+    suite = all_benchmarks()
+
+    def run_column():
+        detections = 0
+        for bench in suite:
+            rt = TargetRuntime(n_devices=2)
+            tool = TOOL_FACTORIES[tool_name]().attach(rt.machine)
+            bench.run(rt)
+            if tool.mapping_issue_findings():
+                detections += 1
+        return detections
+
+    detections = benchmark(run_column)
+    expected = {"arbalest": 16, "valgrind": 6, "archer": 0, "asan": 6, "msan": 5}
+    assert detections == expected[tool_name]
+
+
+def test_full_table3(benchmark, capsys):
+    """Time the complete five-tool experiment and verify the whole table."""
+    benchmark.group = "table3-full"
+    result = benchmark.pedantic(run_precision_comparison, rounds=1, iterations=1)
+    assert result.matches_paper()
+    with capsys.disabled():
+        print()
+        print(result.render())

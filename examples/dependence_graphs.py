@@ -1,0 +1,58 @@
+"""Figure 3: dynamic data dependence graphs of the Fig-2 program.
+
+The paper explains the nondeterministic outcome of Figure 2 by drawing the
+dataflow graph of each probable interleaving (Figure 3).  This example
+records the event trace of the Fig-2 program under two schedules, builds
+both dependence graphs, and prints them side by side — the provenance of
+the final read shows which write "won" in each interleaving.
+
+Run:  python examples/dependence_graphs.py
+"""
+
+import io
+
+from repro import Schedule, TargetRuntime, tofrom
+from repro.analysis import build_ddg
+from repro.events import TraceWriter, read_trace
+
+
+def fig2(rt):
+    a = rt.array("a", 1)
+    with rt.at("fig2.c", 1):
+        a[0] = 1.0
+    with rt.target_data([tofrom(a)]):
+        with rt.at("fig2.c", 11):
+            rt.target(lambda ctx: ctx["a"].write(0, 3.0), nowait=True, name="set3")
+        with rt.at("fig2.c", 13):
+            a.write(0, a.read(0) + 1)
+    with rt.at("fig2.c", 16):
+        return a[0]
+
+
+def record(schedule):
+    rt = TargetRuntime(n_devices=1, schedule=schedule)
+    sink = io.StringIO()
+    TraceWriter(sink).attach(rt.machine)
+    value = fig2(rt)
+    rt.finalize()
+    sink.seek(0)
+    return build_ddg(read_trace(sink)), value
+
+
+for schedule in (Schedule.EAGER, Schedule.DEFER_HOST_FIRST):
+    ddg, value = record(schedule)
+    print(f"=== schedule: {schedule.value}  ->  final a == {value} ===")
+    print(ddg.render_ascii(variable="a"))
+    final_read = ddg.reads()[-1]
+    winners = [
+        n.label for n in ddg.value_provenance(final_read) if n.kind == "write"
+    ]
+    print(f"writes reaching the final read: {winners}")
+    print()
+
+eager, v1 = record(Schedule.EAGER)
+host_first, v2 = record(Schedule.DEFER_HOST_FIRST)
+assert v1 != v2, "the Fig-2 nondeterminism must be observable"
+assert eager.signature() != host_first.signature()
+print("OK: the two interleavings produce different dependence graphs "
+      "and different results, as Figure 3 illustrates.")

@@ -1,0 +1,59 @@
+"""ARBALEST on other programming models (paper §VIII future work).
+
+"We also plan to extend ARBALEST further to support other accelerator
+programming models, such as OpenACC and Kokkos."  Because the detector
+consumes the runtime's event stream rather than directive syntax, the
+extension is a front-end per model:
+
+* OpenACC: ``copyin`` where ``copy`` was needed is the same stale-host bug
+  as OpenMP's ``map(to:)`` — detected identically;
+* Kokkos: a ``DualView`` whose ``modify()`` call was forgotten silently
+  skips its ``sync()`` transfer — the flags say "consistent", the actual
+  memory disagrees, and the detector catches the kernel's stale read.
+
+Run:  python examples/other_models.py
+"""
+
+from repro import Arbalest
+from repro.kokkos import KokkosRuntime
+from repro.openacc import AccRuntime
+
+# -- OpenACC -----------------------------------------------------------------
+
+print("OpenACC: copyin(a) where copy(a) was intended")
+acc = AccRuntime(n_devices=1)
+detector = Arbalest().attach(acc.machine)
+a = acc.array("a", 8)
+a.fill(1.0)
+acc.parallel(lambda ctx: ctx["a"].fill(2.0), copyin=[a])  # result dropped
+value = a[0]
+acc.finalize()
+print(f"  host sees a[0] = {value} (kernel wrote 2.0)")
+for finding in detector.mapping_issue_findings():
+    print("  *", finding.render())
+assert value == 1.0 and detector.mapping_issue_findings()
+
+# -- Kokkos --------------------------------------------------------------------
+
+print("\nKokkos: DualView with a forgotten modify('host')")
+kokkos = KokkosRuntime(n_devices=1)
+detector2 = Arbalest().attach(kokkos.machine)
+field = kokkos.dual_view("field", 8)
+field.host.fill(1.0)
+field.modify("host")
+field.sync("device")  # first sync transfers correctly
+
+field.host.fill(9.0)  # host refresh ... but modify('host') is forgotten
+transferred = field.sync("device")  # flags see nothing to do
+print(f"  sync('device') transferred: {transferred}")
+
+seen = []
+kokkos.parallel_for("consume", 1, lambda ctx, i: seen.append(ctx["field"][0]))
+kokkos.finalize()
+print(f"  kernel observed field[0] = {seen[0]} (host holds 9.0)")
+for finding in detector2.mapping_issue_findings():
+    print("  *", finding.render())
+assert not transferred and seen == [1.0]
+assert detector2.mapping_issue_findings()
+
+print("\nOK: both front-ends feed the same detector; both bugs caught.")

@@ -1,0 +1,57 @@
+"""Online repair of data mapping issues (paper §III.C).
+
+§III.C sketches how an OpenMP implementation with an integrated analysis
+module could *repair* a detected issue: for stale data, perform the missing
+transfer at runtime; for races, suggest depend clauses; uninitialized reads
+only get diagnostics (no valid value exists to transfer).
+
+`RepairingArbalest` does exactly that.  This example runs the same buggy
+program twice — plain detection vs detection-plus-repair — and shows that
+the repaired run computes the intended result while still reporting the bug
+and naming the directive the programmer should add.
+
+Run:  python examples/self_healing.py
+"""
+
+from repro import Arbalest, RepairingArbalest, TargetRuntime, to
+
+N = 8
+
+
+def buggy_program(rt):
+    """map(to:) where tofrom was intended: the kernel's result never
+    reaches the host."""
+    a = rt.array("a", N)
+    a.fill(1.0)
+    with rt.at("app.c", 31, function="main"):
+        rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[to(a)], name="double")
+    with rt.at("app.c", 35, function="main"):
+        value = a[0]
+    return value
+
+
+print("plain ARBALEST (detection only)")
+rt = TargetRuntime(n_devices=1)
+detector = Arbalest().attach(rt.machine)
+value = buggy_program(rt)
+rt.finalize()
+print(f"  host observed a[0] = {value}   <- stale (the kernel wrote 2.0)")
+print(f"  findings: {[f.kind.name for f in detector.mapping_issue_findings()]}")
+assert value == 1.0
+
+print("\nRepairingArbalest (detection + §III.C repair)")
+rt2 = TargetRuntime(n_devices=1)
+repairer = RepairingArbalest().attach(rt2.machine)
+value2 = buggy_program(rt2)
+rt2.finalize()
+print(f"  host observed a[0] = {value2}   <- the intended result")
+print(f"  findings: {[f.kind.name for f in repairer.mapping_issue_findings()]}")
+print("  interventions:")
+for action in repairer.repairs:
+    print("   ", action.render())
+assert value2 == 2.0
+assert repairer.mapping_issue_findings(), "repair must not hide the bug"
+assert repairer.transfers_performed()
+
+print("\nOK: the repaired run computed the intended value and still "
+      "reported the bug with a fix suggestion.")

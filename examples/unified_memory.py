@@ -1,0 +1,60 @@
+"""Unified memory does not make data mapping issues impossible (§III.B).
+
+Two experiments on a unified-memory machine (CV and OV share storage):
+
+1. A classic map-type bug (``to`` instead of ``tofrom``) is *not* an issue
+   under unified memory: there is only one storage location, so the host
+   sees the kernel's update with no copy-back.  ARBALEST stays silent —
+   and also shows the same program IS buggy on a separate-memory machine.
+
+2. Concurrency still bites: a host write racing an asynchronous kernel on
+   the same (shared) location has no defined visibility order without a
+   flush/synchronization.  ARBALEST's embedded race detection reports it.
+
+Run:  python examples/unified_memory.py
+"""
+
+from repro import Arbalest, TargetRuntime, to, tofrom
+
+
+def map_type_bug(rt):
+    a = rt.array("a", 8)
+    a.fill(1.0)
+    rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[to(a)], name="scale")
+    return a
+
+
+# -- experiment 1: the same program on both memory models -------------------
+
+print("map(to:) bug where tofrom was intended")
+for unified in (False, True):
+    rt = TargetRuntime(n_devices=1, unified=unified)
+    detector = Arbalest().attach(rt.machine)
+    a = map_type_bug(rt)
+    value = a[0]
+    rt.finalize()
+    issues = detector.mapping_issue_findings()
+    model = "unified " if unified else "separate"
+    print(f"  {model} memory: host reads a[0] = {value}, issues = {len(issues)}")
+    if unified:
+        assert value == 2.0 and not issues  # single storage: update visible
+    else:
+        assert value == 1.0 and issues  # stale read, reported
+
+# -- experiment 2: races survive unification --------------------------------
+
+print("\nunsynchronized host write racing a nowait kernel (unified memory)")
+rt = TargetRuntime(n_devices=1, unified=True)
+detector = Arbalest().attach(rt.machine)
+x = rt.array("x", 1)
+x.fill(0.0)
+rt.target(lambda ctx: ctx["x"].write(0, 1.0), maps=[tofrom(x)], nowait=True)
+x.write(0, 2.0)  # no taskwait, no flush: unordered with the kernel write
+rt.taskwait()
+rt.finalize()
+races = detector.race_findings()
+print(f"  race reports: {len(races)}")
+for f in races:
+    print("   *", f.render())
+assert races, "the unified-memory race must be reported"
+print("\nOK: unified memory removed the staleness but not the race.")

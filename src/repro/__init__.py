@@ -1,0 +1,82 @@
+"""repro — a reproduction of ARBALEST (IPDPS 2021).
+
+ARBALEST is an on-the-fly detector of *data mapping issues* in
+heterogeneous OpenMP applications: reads that fail to observe the latest
+write because ``map``/``target update``/``nowait`` clauses are wrong.  This
+package rebuilds the whole stack in Python:
+
+* :mod:`repro.openmp` — a simulated target-offloading runtime (devices,
+  Table-I data mapping with reference counting, async tasks, unified memory);
+* :mod:`repro.core` — ARBALEST itself: the variable state machine, packed
+  shadow memory, interval tree, buffer-overflow extension, Theorem-1
+  certification, and Fig-7-style reports;
+* :mod:`repro.tools` — the four baseline detectors of the paper's
+  comparison (Valgrind, Archer, AddressSanitizer, MemorySanitizer) as
+  faithful behavioural models over the same event stream;
+* :mod:`repro.dracc` / :mod:`repro.specaccel` — the benchmark suites the
+  evaluation uses;
+* :mod:`repro.harness` — runners regenerating Table III and Figures 7-9.
+
+Quickstart::
+
+    from repro import Arbalest, TargetRuntime, tofrom
+
+    rt = TargetRuntime(n_devices=1)
+    arbalest = Arbalest().attach(rt.machine)
+    a = rt.array("a", 100, "f8")
+    a.fill(0.0)
+    rt.target(lambda ctx: ctx["a"].fill(1.0), maps=[tofrom(a)])
+    rt.finalize()
+    print(arbalest.findings)   # -> [] (program is correct)
+"""
+
+from .core import (
+    Arbalest,
+    Certificate,
+    MultiDeviceArbalest,
+    RepairingArbalest,
+    certify,
+)
+from .openmp import (
+    HostArray,
+    KernelContext,
+    Machine,
+    MapSpec,
+    MapType,
+    Schedule,
+    TargetRuntime,
+    alloc,
+    delete,
+    from_,
+    release,
+    to,
+    tofrom,
+)
+from .tools import Finding, FindingKind, Tool
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Arbalest",
+    "MultiDeviceArbalest",
+    "RepairingArbalest",
+    "Certificate",
+    "certify",
+    "TargetRuntime",
+    "Machine",
+    "Schedule",
+    "HostArray",
+    "KernelContext",
+    "MapSpec",
+    "MapType",
+    "to",
+    "from_",
+    "tofrom",
+    "alloc",
+    "release",
+    "delete",
+    "Tool",
+    "Finding",
+    "FindingKind",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Trace analyses: the Fig-3 dynamic data dependence graph."""
+
+from .ddg import DdgNode, DependenceGraph, build_ddg
+
+__all__ = ["DependenceGraph", "DdgNode", "build_ddg"]

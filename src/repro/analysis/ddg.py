@@ -1,0 +1,201 @@
+"""Dynamic data dependence graphs (Figure 3 of the paper).
+
+Figure 3 explains the Fig-2 nondeterminism by drawing, for each probable
+interleaving, the dataflow between host writes, kernel writes, transfers,
+and the final read.  This module builds that graph from a recorded event
+trace:
+
+* every program write, kernel write, and transfer becomes a node;
+* every read gets *reads-from* edges to the writes whose values it
+  observes (per 8-byte granule, deduplicated);
+* transfers are both a read of their source and a write of their
+  destination, so dataflow chains through them — exactly how a value
+  produced on the accelerator reaches a host read via the D2H copy.
+
+Because the simulation is deterministic per schedule, running the same
+program under two schedules and diffing the two graphs reproduces the
+paper's side-by-side figure; ``render_ascii``/``to_dot`` produce the
+human-readable forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import networkx as nx
+
+from ..events.records import Access, AllocationEvent, MemcpyEvent
+from ..memory.layout import GRANULE
+
+
+@dataclass(frozen=True)
+class DdgNode:
+    """One dataflow event: a write, a transfer, or a read."""
+
+    index: int
+    kind: str  # "write" | "read" | "transfer"
+    device_id: int
+    thread_id: int
+    variable: str
+    location: str
+
+    @property
+    def label(self) -> str:
+        where = "host" if self.device_id == 0 else f"dev{self.device_id}"
+        var = f"({self.variable})" if self.variable else ""
+        if self.kind == "transfer":
+            return f"memcpy#{self.index}{var}"
+        op = "W" if self.kind == "write" else "R"
+        return f"{op}_{where}#{self.index}{var}"
+
+
+class DependenceGraph:
+    """The reads-from graph of one execution trace."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self._nodes: list[DdgNode] = []
+        # (device, granule) -> writer node index
+        self._last_writer: dict[tuple[int, int], int] = {}
+        # address -> variable label, learned from allocation events
+        self._labels: dict[int, tuple[int, str]] = {}
+        self._label_bases: list[int] = []
+
+    # -- construction -----------------------------------------------------
+
+    def _variable_at(self, address: int) -> str:
+        from bisect import bisect_right
+
+        i = bisect_right(self._label_bases, address)
+        if not i:
+            return ""
+        base = self._label_bases[i - 1]
+        nbytes, label = self._labels[base]
+        return label if address < base + nbytes else ""
+
+    def _add_node(
+        self, kind: str, device_id: int, thread_id: int, address: int, location: str
+    ) -> DdgNode:
+        node = DdgNode(
+            index=len(self._nodes),
+            kind=kind,
+            device_id=device_id,
+            thread_id=thread_id,
+            variable=self._variable_at(address),
+            location=location,
+        )
+        self._nodes.append(node)
+        self.graph.add_node(node)
+        return node
+
+    def _granules(self, device: int, address: int, span: int):
+        first = address // GRANULE
+        last = (address + max(span, 1) - 1) // GRANULE
+        return [(device, g) for g in range(first, last + 1)]
+
+    def _reads_from(self, node: DdgNode, cells) -> None:
+        for cell in cells:
+            writer = self._last_writer.get(cell)
+            if writer is not None:
+                self.graph.add_edge(self._nodes[writer], node)
+
+    def _writes(self, node: DdgNode, cells) -> None:
+        for cell in cells:
+            self._last_writer[cell] = node.index
+
+    def feed(self, event: object) -> None:
+        """Consume one trace event."""
+        if isinstance(event, AllocationEvent):
+            if not event.is_free and event.label:
+                from bisect import insort
+
+                self._labels[event.address] = (event.nbytes, event.label)
+                insort(self._label_bases, event.address)
+            return
+        if isinstance(event, Access):
+            cells = self._granules(event.device_id, event.address, event.span)
+            loc = str(event.location)
+            if event.is_write:
+                node = self._add_node(
+                    "write", event.device_id, event.thread_id, event.address, loc
+                )
+                self._writes(node, cells)
+            else:
+                node = self._add_node(
+                    "read", event.device_id, event.thread_id, event.address, loc
+                )
+                self._reads_from(node, cells)
+            return
+        if isinstance(event, MemcpyEvent):
+            node = self._add_node(
+                "transfer",
+                event.dst_device,
+                event.thread_id,
+                event.dst_address,
+                str(event.stack[0]),
+            )
+            self._reads_from(
+                node, self._granules(event.src_device, event.src_address, event.nbytes)
+            )
+            self._writes(
+                node, self._granules(event.dst_device, event.dst_address, event.nbytes)
+            )
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[DdgNode, ...]:
+        return tuple(self._nodes)
+
+    def reads(self) -> list[DdgNode]:
+        return [n for n in self._nodes if n.kind == "read"]
+
+    def sources_of(self, node: DdgNode) -> list[DdgNode]:
+        """The writes/transfers whose values ``node`` directly observes."""
+        return sorted(self.graph.predecessors(node), key=lambda n: n.index)
+
+    def value_provenance(self, node: DdgNode) -> list[DdgNode]:
+        """All writes reaching ``node`` transitively (the dataflow cone)."""
+        return sorted(nx.ancestors(self.graph, node), key=lambda n: n.index)
+
+    def signature(self) -> frozenset[tuple[str, str]]:
+        """Edge set by label — comparable across runs of the same program."""
+        return frozenset(
+            (a.label.split("#")[0] + a.variable, b.label.split("#")[0] + b.variable)
+            for a, b in self.graph.edges
+        )
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render_ascii(self, *, variable: str | None = None) -> str:
+        lines = []
+        for node in self._nodes:
+            if variable is not None and node.variable != variable:
+                continue
+            srcs = self.sources_of(node)
+            arrow = (
+                " <- " + ", ".join(s.label for s in srcs) if srcs else ""
+            )
+            lines.append(f"{node.label}{arrow}    [{node.location}]")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        lines = ["digraph ddg {"]
+        for node in self._nodes:
+            shape = {"write": "box", "read": "ellipse", "transfer": "diamond"}[
+                node.kind
+            ]
+            lines.append(f'  n{node.index} [label="{node.label}" shape={shape}];')
+        for a, b in self.graph.edges:
+            lines.append(f"  n{a.index} -> n{b.index};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_ddg(events: Iterable[object]) -> DependenceGraph:
+    """Build the dependence graph of a recorded trace."""
+    ddg = DependenceGraph()
+    for event in events:
+        ddg.feed(event)
+    return ddg

@@ -1,0 +1,164 @@
+"""Command-line entry point: regenerate any evaluation artifact.
+
+::
+
+    python -m repro table3                 # Table III (precision on DRACC)
+    python -m repro fig8  [--preset ref]   # time overhead table + charts
+    python -m repro fig9  [--preset ref]   # memory usage table
+    python -m repro casestudy              # 503.postencil (Fig 6/7)
+    python -m repro ompsan                 # §VI.G static-vs-dynamic
+    python -m repro dracc 22               # one benchmark under all tools
+    python -m repro list                   # inventory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from .harness import run_precision_comparison
+
+    result = run_precision_comparison()
+    print(result.render())
+    ok = result.matches_paper()
+    print(f"\nmatches the published Table III: {'yes' if ok else 'NO'}")
+    return 0 if ok else 1
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from .harness import run_overhead_comparison
+    from .specaccel import WORKLOADS
+
+    result = run_overhead_comparison(preset=args.preset, repetitions=args.reps)
+    print(result.render_time_table())
+    print()
+    for w in WORKLOADS:
+        print(f"-- {w.name} ({w.spec_id}: {w.description}) --")
+        print(result.render_chart(w.name))
+        print()
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    from .harness import run_overhead_comparison
+
+    result = run_overhead_comparison(preset=args.preset, repetitions=1)
+    print(result.render_space_table())
+    return 0
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    from .harness import run_case_study
+
+    result = run_case_study(preset=args.preset)
+    print(result.render())
+    return 0 if result.reproduced else 1
+
+
+def _cmd_ompsan(args: argparse.Namespace) -> int:
+    from .ompsan import BUGGY_PROGRAMS, CLEAN_PROGRAMS, analyze, postencil
+
+    found = 0
+    for number in sorted(BUGGY_PROGRAMS):
+        result = analyze(BUGGY_PROGRAMS[number]())
+        found += not result.clean
+        print(result.render())
+    print(f"\nDRACC: {found}/{len(BUGGY_PROGRAMS)} issues found statically")
+    for number in sorted(CLEAN_PROGRAMS):
+        result = analyze(CLEAN_PROGRAMS[number]())
+        if not result.clean:
+            print("FALSE POSITIVE:", result.render())
+    buggy_stencil = analyze(postencil(buggy=True))
+    print(
+        "503.postencil: "
+        + ("MISSED (the paper's documented gap)" if buggy_stencil.clean else "found")
+    )
+    return 0
+
+
+def _cmd_dracc(args: argparse.Namespace) -> int:
+    from .core import Arbalest
+    from .dracc import get
+    from .harness import run_benchmark_under_tools
+    from .openmp import TargetRuntime
+
+    bench = get(args.number)
+    print(f"{bench.name}: {bench.description}")
+    effect = bench.expected_effect.name if bench.expected_effect else "none (clean)"
+    print(f"expected effect: {effect}\n")
+    result = run_benchmark_under_tools(bench)
+    for tool, hit in result.detected.items():
+        print(f"  {tool:>9}: {'DETECTED' if hit else '-'}")
+    # Full ARBALEST reports for the curious.
+    rt = TargetRuntime(n_devices=2)
+    detector = Arbalest().attach(rt.machine)
+    bench.run(rt)
+    if detector.bug_reports:
+        print()
+        print(detector.render_reports())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .dracc import all_benchmarks
+    from .specaccel import WORKLOADS
+
+    print("DRACC benchmarks:")
+    for b in all_benchmarks():
+        effect = b.expected_effect.name if b.expected_effect else "     "
+        print(f"  {b.name}  {effect}  {b.description[:70]}")
+    print("\nSPEC ACCEL workloads:")
+    for w in WORKLOADS:
+        print(f"  {w.spec_id}.{w.name:<10} {w.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (one subcommand per artifact)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ARBALEST reproduction: regenerate the paper's evaluation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table3", help="Table III: precision on DRACC").set_defaults(
+        fn=_cmd_table3
+    )
+
+    p8 = sub.add_parser("fig8", help="Fig 8: time overhead on SPEC ACCEL")
+    p8.add_argument("--preset", default="ref", choices=("test", "train", "ref"))
+    p8.add_argument("--reps", type=int, default=3)
+    p8.set_defaults(fn=_cmd_fig8)
+
+    p9 = sub.add_parser("fig9", help="Fig 9: memory usage on SPEC ACCEL")
+    p9.add_argument("--preset", default="ref", choices=("test", "train", "ref"))
+    p9.set_defaults(fn=_cmd_fig9)
+
+    pc = sub.add_parser("casestudy", help="Fig 6/7: 503.postencil")
+    pc.add_argument("--preset", default="ref", choices=("test", "train", "ref"))
+    pc.set_defaults(fn=_cmd_casestudy)
+
+    sub.add_parser("ompsan", help="§VI.G: static vs dynamic").set_defaults(
+        fn=_cmd_ompsan
+    )
+
+    pd = sub.add_parser("dracc", help="run one DRACC benchmark under all tools")
+    pd.add_argument("number", type=int)
+    pd.set_defaults(fn=_cmd_dracc)
+
+    sub.add_parser("list", help="inventory of benchmarks and workloads").set_defaults(
+        fn=_cmd_list
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Happens-before machinery: vector clocks and FastTrack epochs."""
+
+from .epoch import (
+    CLOCK_BITS,
+    EMPTY_EPOCH,
+    MAX_CLOCK,
+    MAX_TID,
+    TID_BITS,
+    epoch_clock,
+    epoch_leq,
+    epoch_tid,
+    pack_epoch,
+    unpack_epoch,
+)
+from .vector_clock import VectorClock
+
+__all__ = [
+    "VectorClock",
+    "pack_epoch",
+    "unpack_epoch",
+    "epoch_tid",
+    "epoch_clock",
+    "epoch_leq",
+    "EMPTY_EPOCH",
+    "TID_BITS",
+    "CLOCK_BITS",
+    "MAX_TID",
+    "MAX_CLOCK",
+]

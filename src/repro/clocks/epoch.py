@@ -1,0 +1,58 @@
+"""FastTrack epochs packed exactly as the paper's shadow word does.
+
+Table II of the paper reserves 12 bits for the thread id and 42 bits for a
+scalar clock inside each shadow state.  An *epoch* ``tid@clock`` summarises
+"the access by thread ``tid`` at its local time ``clock``"; FastTrack's key
+insight is that a last-write (and usually last-read) is one epoch, not a
+whole vector clock, giving O(1) shadow updates in the common case.
+"""
+
+from __future__ import annotations
+
+from .vector_clock import VectorClock
+
+#: Bit widths from Table II.
+TID_BITS = 12
+CLOCK_BITS = 42
+
+MAX_TID = (1 << TID_BITS) - 1
+MAX_CLOCK = (1 << CLOCK_BITS) - 1
+
+#: The zero epoch: "never accessed".
+EMPTY_EPOCH = 0
+
+
+def pack_epoch(tid: int, clock: int) -> int:
+    """Pack ``tid@clock`` into one integer (tid in the high bits)."""
+    if not 0 <= tid <= MAX_TID:
+        raise ValueError(f"thread id {tid} exceeds {TID_BITS} bits")
+    if not 0 <= clock <= MAX_CLOCK:
+        raise ValueError(f"clock {clock} exceeds {CLOCK_BITS} bits")
+    return (tid << CLOCK_BITS) | clock
+
+
+def unpack_epoch(epoch: int) -> tuple[int, int]:
+    """Inverse of :func:`pack_epoch`; returns ``(tid, clock)``."""
+    return epoch >> CLOCK_BITS, epoch & MAX_CLOCK
+
+
+def epoch_tid(epoch: int) -> int:
+    """The thread-id field of a packed epoch."""
+    return epoch >> CLOCK_BITS
+
+
+def epoch_clock(epoch: int) -> int:
+    """The scalar-clock field of a packed epoch."""
+    return epoch & MAX_CLOCK
+
+
+def epoch_leq(epoch: int, clock: VectorClock) -> bool:
+    """Whether the access summarised by ``epoch`` happens-before ``clock``.
+
+    The FastTrack ``e <= C`` test: the epoch's scalar clock must not exceed
+    the observer's knowledge of that thread.  The empty epoch trivially
+    happens-before everything.
+    """
+    if epoch == EMPTY_EPOCH:
+        return True
+    return epoch_clock(epoch) <= clock.get(epoch_tid(epoch))

@@ -1,0 +1,91 @@
+"""Vector clocks over logical threads.
+
+The simulated runtime numbers logical threads (the initial host thread and
+every target-region task) with small consecutive integers, so a dense
+list-backed clock is both simpler and faster than a sparse map.  Clocks grow
+on demand; absent components are zero.
+
+These are the clocks behind the Archer model's FastTrack algorithm and
+behind Theorem-1 certification, so the comparison operators implement the
+standard happens-before partial order:
+
+* ``a.leq(b)``  — every component of ``a`` is <= the matching one in ``b``;
+* two clocks are *concurrent* when neither ``leq`` holds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class VectorClock:
+    """A mutable dense vector clock."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, components: Iterable[int] = ()):
+        self._c: list[int] = list(components)
+
+    # -- component access ---------------------------------------------------
+
+    def get(self, tid: int) -> int:
+        return self._c[tid] if tid < len(self._c) else 0
+
+    def set(self, tid: int, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"clock component must be non-negative, got {value}")
+        self._grow(tid)
+        self._c[tid] = value
+
+    def increment(self, tid: int) -> int:
+        """Tick ``tid``'s component; returns the new value."""
+        self._grow(tid)
+        self._c[tid] += 1
+        return self._c[tid]
+
+    def _grow(self, tid: int) -> None:
+        if tid >= len(self._c):
+            self._c.extend([0] * (tid + 1 - len(self._c)))
+
+    # -- lattice operations ------------------------------------------------
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place component-wise maximum (release/acquire merge)."""
+        oc = other._c
+        self._grow(len(oc) - 1) if oc else None
+        for i, v in enumerate(oc):
+            if v > self._c[i]:
+                self._c[i] = v
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Whether ``self`` happens-before-or-equals ``other``."""
+        for i, v in enumerate(self._c):
+            if v > other.get(i):
+                return False
+        return True
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self.leq(other) and not other.leq(self)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        n = max(len(self._c), len(other._c))
+        return all(self.get(i) == other.get(i) for i in range(n))
+
+    def __hash__(self) -> int:  # pragma: no cover - clocks are not dict keys
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._c)
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    def __repr__(self) -> str:
+        return f"VectorClock({self._c!r})"

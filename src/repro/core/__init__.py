@@ -1,0 +1,43 @@
+"""ARBALEST core: VSM, shadow memory, interval tree, detector, certifier."""
+
+from .certify import Certificate, certify
+from .detector import Arbalest
+from .explore import ExplorationResult, ScheduleRun, explore_schedules
+from .interval_tree import IntervalTree
+from .multidevice import MultiDeviceArbalest, MultiShadowBlock
+from .registry import MappingRecord, MappingRegistry, ShadowRegistry
+from .repair import RepairAction, RepairingArbalest
+from .reports import Anomaly, BlockInfo, BugReport, render_report
+from .shadow import ShadowBlock, pack_word, unpack_word
+from .states import ILLEGAL, TRANSITIONS, VsmOp, VsmState
+from .vsm import VariableStateMachine, VsmVerdict
+
+__all__ = [
+    "Arbalest",
+    "MultiDeviceArbalest",
+    "MultiShadowBlock",
+    "Certificate",
+    "certify",
+    "explore_schedules",
+    "ExplorationResult",
+    "ScheduleRun",
+    "IntervalTree",
+    "MappingRecord",
+    "MappingRegistry",
+    "ShadowRegistry",
+    "RepairAction",
+    "RepairingArbalest",
+    "Anomaly",
+    "BlockInfo",
+    "BugReport",
+    "render_report",
+    "ShadowBlock",
+    "pack_word",
+    "unpack_word",
+    "VsmOp",
+    "VsmState",
+    "TRANSITIONS",
+    "ILLEGAL",
+    "VariableStateMachine",
+    "VsmVerdict",
+]

@@ -1,0 +1,462 @@
+"""ARBALEST: the on-the-fly data mapping issue detector.
+
+The detector composes the pieces exactly as Figure 5 lays them out:
+
+* **runtime data collection** — it subscribes to the full event set: OMPT
+  data ops and kernel events, the instrumentation pass's memory accesses,
+  allocation interceptors, and task synchronization;
+* **dynamic analysis** — per 8-byte granule of every host allocation it
+  drives the variable state machine (vectorized, in
+  :class:`~repro.core.shadow.ShadowBlock`); device addresses are resolved
+  to their mapping through the interval tree (amortized O(1)); the embedded
+  FastTrack engine (shared with the Archer model) supplies race detection,
+  which Theorem 1 needs;
+* **bug report generation** — illegal transitions and overflow checks
+  produce :class:`~repro.tools.findings.Finding`s wrapped into Fig-7-style
+  :class:`~repro.core.reports.BugReport`s.
+
+Event-to-VSM mapping (§IV.A):
+
+==============================  ==========================================
+runtime event                    VSM operation on the affected OV granules
+==============================  ==========================================
+host program read/write          read_host / write_host
+device program read/write        read_target / write_target (via CV→OV)
+DataOp ALLOC                     allocate  (unified: update_target)
+DataOp DELETE                    release
+DataOp H2D (entry/update to)     update_target
+DataOp D2H (exit/update from)    update_host
+==============================  ==========================================
+
+Buffer-overflow extension (§IV.D): a device access whose address does not
+fall inside the mapping of the kernel's own variable — a different interval
+or no interval at all — is reported as a data-mapping-related buffer
+overflow, and only the in-bounds part drives the VSM.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..memory.layout import GRANULE
+from ..tools.archer import RaceEngine
+from ..tools.base import Tool
+from ..tools.findings import Finding, FindingKind
+from .registry import MappingRecord, MappingRegistry, ShadowRegistry
+from .reports import Anomaly, BlockInfo, BugReport
+from .states import VsmOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..events.records import (
+        Access,
+        AllocationEvent,
+        DataOp,
+        KernelEvent,
+        MemcpyEvent,
+        SyncEvent,
+    )
+
+
+class Arbalest(Tool):
+    """The data mapping issue detector (single-accelerator VSM).
+
+    Parameters
+    ----------
+    granule:
+        Tracking granularity in bytes; 8 is the paper's sound choice.  The
+        coarse whole-array ablation uses a huge granule via
+        :class:`CoarseArbalest` instead of this knob.
+    race_detection:
+        Run the embedded FastTrack engine (needed for Theorem-1
+        certification and responsible for most of the overhead, §VI.E).
+    record_access_metadata:
+        Also stamp Table II's tid/clock/size/offset fields into the shadow
+        word on every access (rich reports at extra cost).
+    """
+
+    name = "arbalest"
+
+    def __init__(
+        self,
+        *,
+        granule: int = GRANULE,
+        race_detection: bool = True,
+        record_access_metadata: bool = False,
+    ) -> None:
+        super().__init__()
+        self.granule = granule
+        self.shadows = ShadowRegistry(granule=granule)
+        self.mappings = MappingRegistry()
+        self.race_engine = RaceEngine() if race_detection else None
+        self.record_access_metadata = record_access_metadata
+        self.bug_reports: list[BugReport] = []
+        self._alloc_info: dict[int, "AllocationEvent"] = {}
+
+    # ------------------------------------------------------------------
+    # runtime data collection
+    # ------------------------------------------------------------------
+
+    def on_allocation(self, event: "AllocationEvent") -> None:
+        if event.device_id == 0:
+            if event.is_free:
+                self.shadows.drop(event.address)
+                self._alloc_info.pop(event.address, None)
+            else:
+                self.shadows.create(event.address, event.nbytes, label=event.label)
+                self._alloc_info[event.address] = event
+        if self.race_engine is not None:
+            if event.is_free:
+                self.race_engine.untrack(event.device_id, event.address)
+            else:
+                self.race_engine.track(event.device_id, event.address, event.nbytes)
+
+    def on_sync(self, event: "SyncEvent") -> None:
+        if self.race_engine is not None:
+            self.race_engine.handle_sync(
+                event.kind, event.source_task, event.target_task
+            )
+
+    def on_kernel(self, event: "KernelEvent") -> None:
+        # Kernel begin/end carry no VSM transitions of their own; the
+        # mapping entry/exit DataOps around them do the work.
+        return
+
+    def on_memcpy(self, event: "MemcpyEvent") -> None:
+        # Transfers drive the VSM through their semantic DataOp; here they
+        # only feed the race engine (a transfer racing a kernel is a bug
+        # Theorem 1 must see).
+        if self.race_engine is None:
+            return
+        racy_r = self.race_engine.check_range(
+            event.src_device, event.thread_id, event.src_address, event.nbytes, False
+        )
+        racy_w = self.race_engine.check_range(
+            event.dst_device, event.thread_id, event.dst_address, event.nbytes, True
+        )
+        if racy_r or racy_w:
+            self.report(
+                Finding(
+                    tool=self.name,
+                    kind=FindingKind.RACE,
+                    message="data-mapping transfer races with an unsynchronized access",
+                    device_id=event.dst_device,
+                    thread_id=event.thread_id,
+                    address=event.dst_address,
+                    size=event.nbytes,
+                    stack=event.stack,
+                )
+            )
+
+    # -- OMPT data operations ------------------------------------------------
+
+    def on_data_op(self, op: "DataOp") -> None:
+        unified = op.cv_address == op.ov_address
+        if op.kind.value == "alloc":
+            ov_block = self.shadows.find(op.ov_address)
+            self.mappings.add(
+                MappingRecord(
+                    name=ov_block.label if ov_block is not None else "",
+                    ov_base=op.ov_address,
+                    cv_base=op.cv_address,
+                    nbytes=op.nbytes,
+                    device_id=op.device_id,
+                    unified=unified,
+                )
+            )
+            # Unified: mapping makes a host-valid value visible on the
+            # device (host → consistent); separate: fresh CV, garbage.
+            vsm_op = VsmOp.UPDATE_TARGET if unified else VsmOp.ALLOCATE
+            self._apply_host_range(op.ov_address, op.nbytes, vsm_op, op)
+        elif op.kind.value == "delete":
+            self.mappings.drop(op.cv_address)
+            self._apply_host_range(op.ov_address, op.nbytes, VsmOp.RELEASE, op)
+        elif op.kind.value == "h2d":
+            self._apply_host_range(op.ov_address, op.nbytes, VsmOp.UPDATE_TARGET, op)
+        elif op.kind.value == "d2h":
+            self._apply_host_range(op.ov_address, op.nbytes, VsmOp.UPDATE_HOST, op)
+
+    def _apply_host_range(
+        self, ov_address: int, nbytes: int, vsm_op: VsmOp, op: "DataOp"
+    ) -> None:
+        block = self.shadows.find(ov_address)
+        if block is None:
+            return
+        block.apply(block.index_range(ov_address, nbytes), vsm_op, op.device_id)
+
+    # ------------------------------------------------------------------
+    # dynamic analysis: memory accesses
+    # ------------------------------------------------------------------
+
+    def on_access(self, access: "Access") -> None:
+        if access.device_id == 0:
+            self._host_access(access)
+        else:
+            self._device_access(access)
+        if self.race_engine is not None:
+            self._race_check(access)
+
+    def _race_check(self, access: "Access") -> None:
+        engine = self.race_engine
+        assert engine is not None
+        stride = access.element_stride
+        if access.count == 1 or stride == access.size:
+            racy = engine.check_range(
+                access.device_id,
+                access.thread_id,
+                access.address,
+                access.span,
+                access.is_write,
+            )
+        else:
+            racy = []
+            for addr in access.element_addresses().tolist():
+                racy += engine.check_range(
+                    access.device_id, access.thread_id, addr, access.size, access.is_write
+                )
+        if racy:
+            self.report(
+                Finding(
+                    tool=self.name,
+                    kind=FindingKind.RACE,
+                    message=(
+                        f"conflicting {'write' if access.is_write else 'read'} "
+                        "not ordered with a previous access"
+                    ),
+                    device_id=access.device_id,
+                    thread_id=access.thread_id,
+                    address=access.address,
+                    size=access.size,
+                    stack=access.stack,
+                )
+            )
+
+    # -- host side ----------------------------------------------------------
+
+    def _host_access(self, access: "Access") -> None:
+        block = self.shadows.find(access.address)
+        if block is None:
+            return  # freed or foreign memory: not a mapping question
+        # Is this host range unified-mapped?  (Unified CVs share the host
+        # address, so the mapping registry is keyed by this same address.)
+        rec = self.mappings.find(access.address)
+        if rec is not None and rec.unified:
+            ops = (
+                (VsmOp.WRITE_HOST, VsmOp.UPDATE_TARGET)
+                if access.is_write
+                else (VsmOp.READ_HOST,)
+            )
+        else:
+            ops = (VsmOp.WRITE_HOST,) if access.is_write else (VsmOp.READ_HOST,)
+        self._apply_access(block, access, access.address, ops, side="host")
+
+    # -- device side ------------------------------------------------------------
+
+    def _device_access(self, access: "Access") -> None:
+        rec = self.mappings.find(access.address)
+        if rec is None:
+            # No mapping contains even the first byte: the kernel touched
+            # device memory outside every corresponding variable.
+            self._report_overflow(access, None)
+            return
+        span = access.span
+        in_bounds_span = min(span, rec.cv_end - access.address)
+        if in_bounds_span < span:
+            # Part of the access leaves the mapping: §IV.D overflow.  The
+            # in-bounds prefix still drives the VSM below.
+            self._report_overflow(access, rec)
+        if rec.unified:
+            block = self.shadows.find(rec.ov_base)
+            if block is None:
+                return
+            ops = (
+                (VsmOp.WRITE_HOST, VsmOp.UPDATE_TARGET)
+                if access.is_write
+                else (VsmOp.READ_HOST,)
+            )
+            self._apply_access(
+                block, access, access.address, ops, side="device", rec=rec,
+                clip_span=in_bounds_span,
+            )
+            return
+        ov_address = rec.to_ov(access.address)
+        block = self.shadows.find(ov_address)
+        if block is None:
+            return
+        ops = (VsmOp.WRITE_TARGET,) if access.is_write else (VsmOp.READ_TARGET,)
+        self._apply_access(
+            block, access, ov_address, ops, side="device", rec=rec,
+            clip_span=in_bounds_span,
+        )
+
+    # -- shared transition/report path ---------------------------------------
+
+    def _apply_access(
+        self,
+        block,
+        access: "Access",
+        start_address: int,
+        ops: tuple[VsmOp, ...],
+        *,
+        side: str,
+        rec: MappingRecord | None = None,
+        clip_span: int | None = None,
+    ) -> None:
+        stride = access.element_stride
+        span = access.span if clip_span is None else clip_span
+        if span <= 0:
+            return
+        if access.count == 1 or stride == access.size:
+            idx = block.index_range(start_address, span)
+        else:
+            # Strided: translate per-element granule indices.
+            delta = start_address - access.address
+            abs_granules = access.granule_indices() + 0  # copy
+            if delta % GRANULE == 0 and block.granule == GRANULE:
+                local = abs_granules + delta // GRANULE - block.base // GRANULE
+            else:
+                starts = access.element_addresses() + delta
+                first = (starts - block.base) // block.granule
+                last = (starts + access.size - 1 - block.base) // block.granule
+                local = np.unique(np.concatenate([first, last]))
+            local = local[(local >= 0) & (local < block.n_granules)]
+            idx = local
+        illegal = None
+        uninit = None
+        device_id = rec.device_id if rec is not None else max(access.device_id, 1)
+        for op in ops:
+            ill, uni = block.apply(idx, op, device_id)
+            if illegal is None:
+                illegal, uninit = ill, uni
+        assert illegal is not None and uninit is not None
+        if self.record_access_metadata:
+            block.record_access(
+                idx,
+                tid=min(access.thread_id, 0xFFF),
+                clock=0,
+                is_write=access.is_write,
+                access_size=access.size if access.size in (1, 2, 4, 8) else 8,
+                offset=access.address % 8,
+            )
+        if not access.is_write and illegal.any():
+            self._report_issue(access, block, rec, bool(uninit[illegal].all()))
+
+    # ------------------------------------------------------------------
+    # bug report generation
+    # ------------------------------------------------------------------
+
+    def _report_issue(
+        self,
+        access: "Access",
+        block,
+        rec: MappingRecord | None,
+        uninitialized: bool,
+    ) -> None:
+        kind = FindingKind.UUM if uninitialized else FindingKind.USD
+        variable = block.label or (rec.name if rec is not None else "")
+        side = "accelerator" if access.device_id else "host"
+        other = "host" if access.device_id else "accelerator"
+        if uninitialized:
+            message = (
+                f"read on the {side} observes memory that was never "
+                "initialized on either side of the mapping"
+            )
+        else:
+            message = (
+                f"read on the {side} observes a stale value; the last write "
+                f"is only visible on the {other}"
+            )
+        finding = Finding(
+            tool=self.name,
+            kind=kind,
+            message=message,
+            device_id=access.device_id,
+            thread_id=access.thread_id,
+            address=access.address,
+            size=access.size,
+            stack=access.stack,
+            variable=variable,
+        )
+        if self.report(finding):
+            self.bug_reports.append(
+                BugReport(
+                    finding=finding,
+                    anomaly=Anomaly.for_kind(kind),
+                    block=self._block_info(block),
+                    notes=self._mapping_notes(rec),
+                )
+            )
+
+    def _report_overflow(self, access: "Access", rec: MappingRecord | None) -> None:
+        if rec is not None:
+            message = (
+                f"access runs past the corresponding variable of '{rec.name or '?'}' "
+                f"(mapped section is {rec.nbytes} bytes)"
+            )
+            variable = rec.name
+        else:
+            message = (
+                "access to accelerator memory that belongs to no mapped "
+                "variable (wrong or too-small array section in the map clause)"
+            )
+            variable = ""
+        finding = Finding(
+            tool=self.name,
+            kind=FindingKind.BO,
+            message=message,
+            device_id=access.device_id,
+            thread_id=access.thread_id,
+            address=access.address,
+            size=access.size,
+            stack=access.stack,
+            variable=variable,
+        )
+        if self.report(finding):
+            block = self.shadows.find(rec.ov_base) if rec is not None else None
+            self.bug_reports.append(
+                BugReport(
+                    finding=finding,
+                    anomaly=Anomaly.OVERFLOW,
+                    block=self._block_info(block) if block is not None else None,
+                    notes=self._mapping_notes(rec),
+                )
+            )
+
+    def _block_info(self, block) -> BlockInfo:
+        event = self._alloc_info.get(block.base)
+        return BlockInfo(
+            base=block.base,
+            nbytes=block.nbytes,
+            label=block.label,
+            stack=event.stack if event is not None else (),
+        )
+
+    def _mapping_notes(self, rec: MappingRecord | None) -> tuple[str, ...]:
+        if rec is None:
+            return ()
+        memory = "unified" if rec.unified else "separate"
+        return (
+            f"mapped section: OV {rec.ov_base:#x}..{rec.ov_base + rec.nbytes:#x} "
+            f"-> CV {rec.cv_base:#x} on device {rec.device_id} ({memory} memory)",
+        )
+
+    # ------------------------------------------------------------------
+    # accounting / results
+    # ------------------------------------------------------------------
+
+    def shadow_bytes(self) -> int:
+        total = self.shadows.shadow_bytes
+        if self.race_engine is not None:
+            total += self.race_engine.shadow_bytes
+        return total
+
+    def mapping_lookup_stats(self) -> tuple[int, int]:
+        return self.mappings.lookup_stats
+
+    def render_reports(self, pid: int = 0) -> str:
+        return "\n\n".join(r.render(pid=pid) for r in self.bug_reports)
+
+    def reset(self) -> None:  # keep shadow state, drop findings
+        super().reset()
+        self.bug_reports.clear()

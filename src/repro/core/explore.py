@@ -1,0 +1,142 @@
+"""Schedule exploration: fuzz the interleavings of asynchronous kernels.
+
+§IV.E's motivation in executable form: the VSM examines *one* schedule, so
+a program with ``nowait`` kernels may hide its issue in the schedules the
+observed run didn't take.  :func:`explore_schedules` runs a program under
+the three deterministic schedules plus seeded random ones, collecting
+
+* the union of mapping issues across schedules (what a schedule-fuzzing
+  campaign would find),
+* per-schedule observable outcomes (a caller-supplied probe, e.g. the
+  final value of an output array), exposing value nondeterminism, and
+* whether detection was schedule-dependent — the false-negative window
+  that Theorem-1 certification closes.
+
+This is a *testing* utility, weaker than certification (it can only sample
+schedules); the pair demonstrates the paper's sampling-vs-certifying
+distinction, and `tests/core/test_explore.py` shows a program whose issue
+one schedule hides and another manifests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..openmp.runtime import Machine, TargetRuntime
+from ..openmp.scheduler import Schedule
+from ..tools.findings import Finding
+from .certify import Certificate, certify
+from .detector import Arbalest
+
+Program = Callable[[TargetRuntime], None]
+Probe = Callable[[TargetRuntime], object]
+
+
+@dataclass(frozen=True)
+class ScheduleRun:
+    """One program execution under one schedule."""
+
+    label: str
+    schedule: Schedule
+    seed: int
+    findings: tuple[Finding, ...]
+    races: tuple[Finding, ...]
+    outcome: object
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.findings)
+
+
+@dataclass
+class ExplorationResult:
+    runs: list[ScheduleRun] = field(default_factory=list)
+    certificate: Certificate | None = None
+
+    @property
+    def any_detection(self) -> bool:
+        return any(r.detected for r in self.runs)
+
+    @property
+    def detection_is_schedule_dependent(self) -> bool:
+        """Some schedule manifests the issue, some hides it (§IV.E)."""
+        hits = {r.detected for r in self.runs}
+        return hits == {True, False}
+
+    @property
+    def outcomes(self) -> set:
+        return {repr(r.outcome) for r in self.runs}
+
+    @property
+    def nondeterministic(self) -> bool:
+        return len(self.outcomes) > 1
+
+    def union_findings(self) -> list[Finding]:
+        seen: dict = {}
+        for run in self.runs:
+            for f in run.findings:
+                seen.setdefault(f.dedup_key(), f)
+        return list(seen.values())
+
+    def render(self) -> str:
+        lines = ["schedule exploration:"]
+        for r in self.runs:
+            status = f"{len(r.findings)} issue(s)" if r.detected else "clean"
+            lines.append(
+                f"  {r.label:<24} outcome={r.outcome!r:<12} {status}"
+                + (f", {len(r.races)} race(s)" if r.races else "")
+            )
+        if self.nondeterministic:
+            lines.append("  -> observable outcome is SCHEDULE-DEPENDENT")
+        if self.detection_is_schedule_dependent:
+            lines.append(
+                "  -> single-schedule VSM has false negatives here; "
+                "use Theorem-1 certification"
+            )
+        if self.certificate is not None:
+            lines.append(f"  certification: {self.certificate.explain()}")
+        return "\n".join(lines)
+
+
+def explore_schedules(
+    program: Program,
+    *,
+    probe: Probe | None = None,
+    random_seeds: int = 4,
+    n_devices: int = 1,
+    unified: bool = False,
+    with_certificate: bool = True,
+) -> ExplorationResult:
+    """Run ``program`` under every deterministic schedule plus random ones."""
+    plans: list[tuple[str, Schedule, int]] = [
+        ("eager", Schedule.EAGER, 0),
+        ("defer-kernel-first", Schedule.DEFER_KERNEL_FIRST, 0),
+        ("defer-host-first", Schedule.DEFER_HOST_FIRST, 0),
+    ]
+    plans += [
+        (f"random(seed={seed})", Schedule.RANDOM, seed) for seed in range(random_seeds)
+    ]
+    result = ExplorationResult()
+    for label, schedule, seed in plans:
+        machine = Machine(n_devices, unified=unified, schedule=schedule, seed=seed)
+        detector = Arbalest().attach(machine)
+        rt = TargetRuntime(machine)
+        program(rt)
+        rt.finalize()
+        outcome = probe(rt) if probe is not None else None
+        result.runs.append(
+            ScheduleRun(
+                label=label,
+                schedule=schedule,
+                seed=seed,
+                findings=tuple(detector.mapping_issue_findings()),
+                races=tuple(detector.race_findings()),
+                outcome=outcome,
+            )
+        )
+    if with_certificate:
+        result.certificate = certify(
+            program, n_devices=n_devices, unified=unified
+        )
+    return result

@@ -1,0 +1,148 @@
+"""Multi-accelerator extension of the VSM (§IV.C of the paper).
+
+For an application using *n* accelerators the variable state becomes an
+``(n+1)``-tuple marking the validity of every storage location: the OV plus
+one CV per device.  We pack the tuple into two 32-bit masks per granule:
+
+* ``valid``  — bit 0: OV holds the last write; bit *d*: device *d*'s CV does;
+* ``init``   — bit per location: was it ever written at all (UUM vs USD).
+
+The single-accelerator VSM is the special case n = 1 (states map as
+``invalid=00 / host=01 / target=10 / consistent=11`` over bits {0, d});
+property-based tests assert this equivalence against the scalar reference.
+
+Space is O(n+1) bits per granule and each operation is O(1) bit arithmetic
+— vectorized over ranges with numpy, like the single-device shadow.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..memory.layout import GRANULE
+from .detector import Arbalest
+from .registry import ShadowRegistry
+from .states import VsmOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+#: Up to 31 accelerators + the host fit the uint32 masks.
+MAX_DEVICES = 31
+
+_HOST_BIT = np.uint32(1)
+
+
+class MultiShadowBlock:
+    """(n+1)-tuple validity shadow for one host allocation.
+
+    Implements the same ``index_range``/``apply`` interface as
+    :class:`~repro.core.shadow.ShadowBlock`, with ``device_id`` selecting
+    which CV bit an operation touches.
+    """
+
+    __slots__ = ("base", "nbytes", "granule", "valid", "init", "label")
+
+    def __init__(self, base: int, nbytes: int, *, granule: int = GRANULE, label: str = ""):
+        self.base = base
+        self.nbytes = nbytes
+        self.granule = granule
+        self.label = label
+        n = -(-nbytes // granule)
+        self.valid = np.zeros(n, dtype=np.uint32)
+        self.init = np.zeros(n, dtype=np.uint32)
+
+    @property
+    def n_granules(self) -> int:
+        return len(self.valid)
+
+    @property
+    def shadow_nbytes(self) -> int:
+        return self.valid.nbytes + self.init.nbytes
+
+    def contains(self, address: int, span: int = 1) -> bool:
+        return self.base <= address and address + span <= self.base + self.nbytes
+
+    def index_range(self, address: int, span: int) -> slice:
+        lo = max(0, (address - self.base) // self.granule)
+        hi = min(self.n_granules, -(-(address + span - self.base) // self.granule))
+        return slice(lo, max(lo, hi))
+
+    def apply(self, idx, op: VsmOp, device_id: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Apply ``op`` for device ``device_id``; see ShadowBlock.apply."""
+        if not 1 <= device_id <= MAX_DEVICES:
+            raise ValueError(f"device id {device_id} out of range 1..{MAX_DEVICES}")
+        dbit = np.uint32(1 << device_id)
+        v = self.valid[idx]
+        ini = self.init[idx]
+        illegal = np.zeros(v.shape, dtype=bool)
+        uninit = np.zeros(v.shape, dtype=bool)
+        if op is VsmOp.READ_HOST:
+            illegal = (v & _HOST_BIT) == 0
+            uninit = illegal & ((ini & _HOST_BIT) == 0)
+        elif op is VsmOp.READ_TARGET:
+            illegal = (v & dbit) == 0
+            uninit = illegal & ((ini & dbit) == 0)
+        elif op is VsmOp.WRITE_HOST:
+            v = np.zeros_like(v) | _HOST_BIT
+            ini = ini | _HOST_BIT
+        elif op is VsmOp.WRITE_TARGET:
+            v = np.zeros_like(v) | dbit
+            ini = ini | dbit
+        elif op is VsmOp.UPDATE_HOST:
+            # memcpy(OV, CV_d): OV's validity/history becomes the device's.
+            dev_valid = (v & dbit) != 0
+            v = np.where(dev_valid, v | _HOST_BIT, v & ~_HOST_BIT)
+            dev_init = (ini & dbit) != 0
+            ini = np.where(dev_init, ini | _HOST_BIT, ini & ~_HOST_BIT)
+        elif op is VsmOp.UPDATE_TARGET:
+            # memcpy(CV_d, OV)
+            host_valid = (v & _HOST_BIT) != 0
+            v = np.where(host_valid, v | dbit, v & ~dbit)
+            host_init = (ini & _HOST_BIT) != 0
+            ini = np.where(host_init, ini | dbit, ini & ~dbit)
+        elif op is VsmOp.ALLOCATE:
+            # A fresh CV holds garbage (init cleared) but, per Fig 4, the
+            # validity state is unchanged: allocation is not a transfer.
+            ini = ini & ~dbit
+        elif op is VsmOp.RELEASE:
+            v = v & ~dbit
+            ini = ini & ~dbit
+        self.valid[idx] = v
+        self.init[idx] = ini
+        return illegal, uninit
+
+    def record_access(self, idx, **_: object) -> None:
+        """Access metadata is a Table-II (single-device) feature; no-op."""
+
+    def validity_at(self, address: int) -> int:
+        """The raw validity mask of one granule (bit 0 = host)."""
+        return int(self.valid[(address - self.base) // self.granule])
+
+
+class MultiShadowRegistry(ShadowRegistry):
+    """ShadowRegistry producing multi-device blocks."""
+
+    def create(self, base: int, nbytes: int, label: str = "") -> MultiShadowBlock:
+        block = MultiShadowBlock(base, nbytes, granule=self.granule, label=label)
+        self._tree.insert(base, base + nbytes, block)
+        self._total_shadow += block.shadow_nbytes
+        return block
+
+
+class MultiDeviceArbalest(Arbalest):
+    """ARBALEST generalized to n accelerators.
+
+    Identical event handling to :class:`~repro.core.detector.Arbalest`; only
+    the per-granule state representation changes, exactly as §IV.C
+    describes ("by extending states in VSM, the algorithm can support
+    multiple accelerators ... the space overhead increases to O(n+1)").
+    """
+
+    name = "arbalest-multi"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.shadows = MultiShadowRegistry(granule=self.granule)

@@ -1,0 +1,137 @@
+"""Mapping registry: live OV↔CV associations, backed by the interval tree.
+
+The detector must answer two address questions on its hot path:
+
+* *host access*: which shadow block covers this host address? (every host
+  allocation gets a block);
+* *device access*: which mapping does this CV address belong to — and hence
+  which OV granules carry its state — or is it a buffer overflow?
+
+Both are interval stabbing queries; both use one
+:class:`~repro.core.interval_tree.IntervalTree` with its last-lookup cache,
+which is what turns the O(log m) lookup into the amortized O(1) the paper
+claims (§IV.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .interval_tree import IntervalTree
+from .shadow import ShadowBlock
+
+
+@dataclass
+class MappingRecord:
+    """One live data mapping (CV) known to the detector."""
+
+    name: str
+    ov_base: int
+    cv_base: int
+    nbytes: int
+    device_id: int
+    #: Unified-memory mapping: CV and OV are the same storage.
+    unified: bool
+
+    @property
+    def cv_end(self) -> int:
+        return self.cv_base + self.nbytes
+
+    def cv_contains(self, address: int, span: int = 1) -> bool:
+        return self.cv_base <= address and address + span <= self.cv_end
+
+    def to_ov(self, cv_address: int) -> int:
+        """Translate a device (CV) address to its host (OV) address."""
+        return self.ov_base + (cv_address - self.cv_base)
+
+
+class MappingRegistry:
+    """Live mappings keyed by CV address range (all devices in one tree)."""
+
+    def __init__(self) -> None:
+        self._tree: IntervalTree[MappingRecord] = IntervalTree()
+        # Reverse lookup (host address -> mapping) is a plain scan: unlike
+        # CV ranges, OV ranges are NOT unique — one host section can be
+        # present on several devices at once — and m is small (§IV.C), so
+        # a list beats maintaining a multimap tree.
+        self._records: list[MappingRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def add(self, record: MappingRecord) -> None:
+        self._tree.insert(record.cv_base, record.cv_end, record)
+        self._records.append(record)
+
+    def drop(self, cv_base: int) -> MappingRecord:
+        record = self._tree.remove(cv_base)
+        self._records.remove(record)
+        return record
+
+    def find(self, cv_address: int) -> MappingRecord | None:
+        """The mapping containing ``cv_address`` (amortized O(1))."""
+        return self._tree.stab(cv_address)
+
+    def find_by_ov(self, ov_address: int) -> MappingRecord | None:
+        """A live mapping whose host section contains ``ov_address``.
+
+        When several devices map the section, the most recently created
+        mapping wins — the best guess for 'who holds the fresh value'.
+        """
+        for record in reversed(self._records):
+            if record.ov_base <= ov_address < record.ov_base + record.nbytes:
+                return record
+        return None
+
+    def records(self) -> list[MappingRecord]:
+        return list(self._records)
+
+    @property
+    def lookup_stats(self) -> tuple[int, int]:
+        """(cache hits, cache misses) of the underlying tree."""
+        return self._tree.cache_hits, self._tree.cache_misses
+
+    def disable_cache_for_ablation(self) -> None:
+        """Monkey-path hook used by ablation A2: clear the cache every stab."""
+        tree = self._tree
+        original = tree.stab
+
+        def stab_without_cache(point: int):
+            tree.clear_cache()
+            return original(point)
+
+        tree.stab = stab_without_cache  # type: ignore[method-assign]
+
+
+class ShadowRegistry:
+    """Shadow blocks for host allocations, keyed by host address range."""
+
+    def __init__(self, *, granule: int = 8) -> None:
+        self._tree: IntervalTree[ShadowBlock] = IntervalTree()
+        self.granule = granule
+        self._total_shadow = 0
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def create(self, base: int, nbytes: int, label: str = "") -> ShadowBlock:
+        block = ShadowBlock(base, nbytes, granule=self.granule, label=label)
+        self._tree.insert(base, base + nbytes, block)
+        self._total_shadow += block.shadow_nbytes
+        return block
+
+    def drop(self, base: int) -> ShadowBlock:
+        block = self._tree.remove(base)
+        self._total_shadow -= block.shadow_nbytes
+        return block
+
+    def find(self, address: int) -> ShadowBlock | None:
+        return self._tree.stab(address)
+
+    def blocks(self) -> list[ShadowBlock]:
+        return [b for _, _, b in self._tree.items()]
+
+    @property
+    def shadow_bytes(self) -> int:
+        """Total live shadow storage, for the Fig 9 space accounting."""
+        return self._total_shadow

@@ -1,0 +1,99 @@
+"""Fig-7-style bug reports.
+
+ARBALEST reuses Archer's (ThreadSanitizer's) report template; Figure 7 of
+the paper shows the shape: a WARNING banner naming the anomaly, the access
+with its stack trace, and the heap block the address belongs to with *its*
+allocation stack.  :class:`BugReport` carries the structured pieces;
+:func:`render_report` produces the text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..events.source import SourceLocation, UNKNOWN_LOCATION
+from ..tools.findings import Finding, FindingKind
+
+
+class Anomaly(enum.Enum):
+    """Observed anomaly wording, as printed in the report banner."""
+
+    STALE = "data mapping issue (stale access)"
+    UNINIT = "data mapping issue (use of uninitialized memory)"
+    OVERFLOW = "data mapping issue (buffer overflow on corresponding variable)"
+    RACE = "data race"
+
+    @classmethod
+    def for_kind(cls, kind: FindingKind) -> "Anomaly":
+        return {
+            FindingKind.USD: cls.STALE,
+            FindingKind.UUM: cls.UNINIT,
+            FindingKind.BO: cls.OVERFLOW,
+            FindingKind.WILD: cls.OVERFLOW,
+            FindingKind.RACE: cls.RACE,
+        }[kind]
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """The allocation the offending address belongs to."""
+
+    base: int
+    nbytes: int
+    label: str = ""
+    stack: tuple[SourceLocation, ...] = (UNKNOWN_LOCATION,)
+
+
+@dataclass(frozen=True)
+class BugReport:
+    """One full ARBALEST report (a Finding plus its context)."""
+
+    finding: Finding
+    anomaly: Anomaly
+    block: BlockInfo | None = None
+    #: Extra free-form context lines ("mapped section", "VSM state", ...).
+    notes: tuple[str, ...] = ()
+
+    def render(self, pid: int = 0) -> str:
+        return render_report(self, pid=pid)
+
+
+def _render_stack(stack: tuple[SourceLocation, ...]) -> list[str]:
+    lines = []
+    for depth, frame in enumerate(stack):
+        col = f":{frame.column}" if frame.column else ""
+        lines.append(f"    #{depth} {frame.function} {frame.file}:{frame.line}{col}")
+    return lines
+
+
+def render_report(report: BugReport, *, pid: int = 0) -> str:
+    """Render in the ThreadSanitizer-derived template of Figure 7."""
+    f = report.finding
+    action = "Read" if f.kind in (FindingKind.USD, FindingKind.UUM) else "Access"
+    lines = [
+        "==================",
+        f"WARNING: ThreadSanitizer: {report.anomaly.value} (pid={pid})",
+        f"  {action} of size {f.size or 8} at {f.address:#x} by thread T{f.thread_id}"
+        + (f" on device {f.device_id}" if f.device_id else " (main thread)")
+        + ":",
+    ]
+    lines += _render_stack(f.stack)
+    if report.block is not None:
+        b = report.block
+        label = f" ('{b.label}')" if b.label else ""
+        lines.append("")
+        lines.append(
+            f"  Location is heap block of size {b.nbytes} at {b.base:#x}{label} "
+            "allocated by main thread:"
+        )
+        lines += _render_stack(b.stack)
+    for note in report.notes:
+        lines.append(f"  note: {note}")
+    loc = f.location
+    lines.append(
+        f"SUMMARY: ThreadSanitizer: {report.anomaly.value} "
+        f"{loc.file}:{loc.line} in {loc.function}"
+    )
+    lines.append("==================")
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Packed shadow memory: the production, vectorized VSM implementation.
+
+For every aligned granule (8 bytes, §IV.C) of every host allocation the
+detector keeps one 64-bit *shadow word* whose layout transcribes Table II:
+
+======================  ======  ========
+field                    bits    position
+======================  ======  ========
+IsOVValid                 1       0
+IsCVValid                 1       1
+IsOVInitialized           1       2
+IsCVInitialized           1       3
+TID (thread id)           12      4..15
+Scalar clock              42      16..57
+IsWrite                   1       58
+Access size code          2       59..60
+Address offset            3       61..63
+======================  ======  ========
+
+Bits 0..1 *are* the VSM state (see :class:`repro.core.states.VsmState`), so
+a whole-range transition is four numpy ops: mask out the state, push it
+through a (op × state) lookup table with fancy indexing, detect the illegal
+combinations with a boolean table, and write back.  This is the vectorized
+twin of :class:`repro.core.vsm.VariableStateMachine`; hypothesis-based tests
+assert they never disagree.
+
+A :class:`ShadowBlock` covers one allocation.  ``granule`` is parametric
+only to support the paper's §IV.C soundness argument as an ablation: coarse
+(whole-array) tracking is what X10CUDA/OpenARC do and produces false alarms
+on partial updates; 8 bytes is ARBALEST's choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memory.errors import ShadowEncodingError
+from ..memory.layout import GRANULE
+from .states import ILLEGAL, TRANSITIONS, VsmOp, VsmState
+
+# -- Table II bit positions --------------------------------------------------
+
+BIT_OV_VALID = 0
+BIT_CV_VALID = 1
+BIT_OV_INIT = 2
+BIT_CV_INIT = 3
+SHIFT_TID = 4
+SHIFT_CLOCK = 16
+BIT_IS_WRITE = 58
+SHIFT_SIZE = 59
+SHIFT_OFFSET = 61
+
+MASK_STATE = np.uint64(0b11)
+MASK_OV_INIT = np.uint64(1 << BIT_OV_INIT)
+MASK_CV_INIT = np.uint64(1 << BIT_CV_INIT)
+MASK_TID = np.uint64(0xFFF) << np.uint64(SHIFT_TID)
+MASK_CLOCK = np.uint64((1 << 42) - 1) << np.uint64(SHIFT_CLOCK)
+
+#: Access sizes are encoded in 2 bits: 1, 2, 4 or 8 bytes (Table II).
+SIZE_CODES = {1: 0, 2: 1, 4: 2, 8: 3}
+SIZE_FROM_CODE = {v: k for k, v in SIZE_CODES.items()}
+
+
+def pack_word(
+    state: VsmState,
+    *,
+    ov_initialized: bool = False,
+    cv_initialized: bool = False,
+    tid: int = 0,
+    clock: int = 0,
+    is_write: bool = False,
+    access_size: int = 8,
+    offset: int = 0,
+) -> int:
+    """Pack one full Table II shadow word (scalar; tests and reports)."""
+    if access_size not in SIZE_CODES:
+        raise ShadowEncodingError(f"access size must be 1/2/4/8, got {access_size}")
+    if not 0 <= tid < (1 << 12):
+        raise ShadowEncodingError(f"tid {tid} exceeds 12 bits")
+    if not 0 <= clock < (1 << 42):
+        raise ShadowEncodingError(f"clock {clock} exceeds 42 bits")
+    if not 0 <= offset < 8:
+        raise ShadowEncodingError(f"address offset {offset} exceeds 3 bits")
+    return (
+        int(state)
+        | (int(ov_initialized) << BIT_OV_INIT)
+        | (int(cv_initialized) << BIT_CV_INIT)
+        | (tid << SHIFT_TID)
+        | (clock << SHIFT_CLOCK)
+        | (int(is_write) << BIT_IS_WRITE)
+        | (SIZE_CODES[access_size] << SHIFT_SIZE)
+        | (offset << SHIFT_OFFSET)
+    )
+
+
+def unpack_word(word: int) -> dict:
+    """Inverse of :func:`pack_word`."""
+    return {
+        "state": VsmState(word & 0b11),
+        "ov_initialized": bool(word >> BIT_OV_INIT & 1),
+        "cv_initialized": bool(word >> BIT_CV_INIT & 1),
+        "tid": (word >> SHIFT_TID) & 0xFFF,
+        "clock": (word >> SHIFT_CLOCK) & ((1 << 42) - 1),
+        "is_write": bool(word >> BIT_IS_WRITE & 1),
+        "access_size": SIZE_FROM_CODE[(word >> SHIFT_SIZE) & 0b11],
+        "offset": (word >> SHIFT_OFFSET) & 0b111,
+    }
+
+
+# -- vectorized transition tables -------------------------------------------
+
+_N_OPS = len(VsmOp)
+TRANS_LUT = np.zeros((_N_OPS, 4), dtype=np.uint64)
+ILLEGAL_LUT = np.zeros((_N_OPS, 4), dtype=bool)
+for _op in VsmOp:
+    for _st in VsmState:
+        TRANS_LUT[_op, _st] = int(TRANSITIONS[_op][_st])
+        ILLEGAL_LUT[_op, _st] = ILLEGAL[_op][_st]
+
+_U64_3 = np.uint64(3)
+_U64_1 = np.uint64(1)
+
+
+class ShadowBlock:
+    """Shadow words for one host allocation (one word per granule)."""
+
+    __slots__ = ("base", "nbytes", "granule", "words", "label")
+
+    def __init__(self, base: int, nbytes: int, *, granule: int = GRANULE, label: str = ""):
+        if granule <= 0:
+            raise ValueError(f"granule must be positive, got {granule}")
+        self.base = base
+        self.nbytes = nbytes
+        self.granule = granule
+        self.label = label
+        n = -(-nbytes // granule)
+        # All-invalid, nothing initialized: exactly "[Host: 0, Accel: 0]".
+        self.words = np.zeros(n, dtype=np.uint64)
+
+    # -- indexing -----------------------------------------------------------
+
+    @property
+    def n_granules(self) -> int:
+        return len(self.words)
+
+    @property
+    def shadow_nbytes(self) -> int:
+        return self.words.nbytes
+
+    def contains(self, address: int, span: int = 1) -> bool:
+        return self.base <= address and address + span <= self.base + self.nbytes
+
+    def index_range(self, address: int, span: int) -> slice:
+        """Local granule slice covering ``[address, address+span)``, clipped."""
+        lo = max(0, (address - self.base) // self.granule)
+        hi = min(self.n_granules, -(-(address + span - self.base) // self.granule))
+        return slice(lo, max(lo, hi))
+
+    def local_indices(self, absolute_granules: np.ndarray) -> np.ndarray:
+        """Translate absolute 8-byte-granule indices to local word indices.
+
+        Only meaningful for the default granule of 8; indices outside the
+        block are clipped away by the caller.
+        """
+        return absolute_granules - self.base // self.granule
+
+    # -- transitions ------------------------------------------------------------
+
+    def apply(self, idx, op: VsmOp, device_id: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Apply ``op`` to the granules selected by ``idx`` (slice or array).
+
+        Returns ``(illegal, uninitialized)`` boolean arrays aligned with the
+        selection: which granules had no legal transition, and which of
+        those were never initialized on the reading side (UUM vs USD).
+
+        ``device_id`` is accepted for interface parity with the
+        multi-device shadow (§IV.C) and ignored here: the four-state VSM
+        models exactly one accelerator.
+        """
+        w = self.words[idx]
+        st = (w & MASK_STATE).astype(np.intp)
+        illegal = ILLEGAL_LUT[op][st]
+        if op is VsmOp.READ_HOST:
+            uninit = illegal & ((w >> np.uint64(BIT_OV_INIT)) & _U64_1 == 0)
+        elif op is VsmOp.READ_TARGET:
+            uninit = illegal & ((w >> np.uint64(BIT_CV_INIT)) & _U64_1 == 0)
+        else:
+            uninit = np.zeros_like(illegal)
+        # Initialization-bit bookkeeping (matches VariableStateMachine).
+        if op is VsmOp.WRITE_HOST:
+            w = w | MASK_OV_INIT
+        elif op is VsmOp.WRITE_TARGET:
+            w = w | MASK_CV_INIT
+        elif op is VsmOp.UPDATE_HOST:
+            cv_init = (w >> np.uint64(1)) & MASK_OV_INIT  # bit3 -> bit2 position
+            w = (w & ~MASK_OV_INIT) | cv_init
+        elif op is VsmOp.UPDATE_TARGET:
+            ov_init = (w & MASK_OV_INIT) << np.uint64(1)  # bit2 -> bit3 position
+            w = (w & ~MASK_CV_INIT) | ov_init
+        elif op in (VsmOp.ALLOCATE, VsmOp.RELEASE):
+            w = w & ~MASK_CV_INIT
+        w = (w & ~MASK_STATE) | TRANS_LUT[op][st]
+        self.words[idx] = w
+        return illegal, uninit
+
+    def record_access(
+        self, idx, *, tid: int, clock: int, is_write: bool, access_size: int, offset: int
+    ) -> None:
+        """Stamp the Table II access-metadata fields (optional rich mode)."""
+        meta = np.uint64(
+            (tid << SHIFT_TID)
+            | (clock << SHIFT_CLOCK)
+            | (int(is_write) << BIT_IS_WRITE)
+            | (SIZE_CODES[access_size] << SHIFT_SIZE)
+            | (offset << SHIFT_OFFSET)
+        )
+        keep = np.uint64(0b1111)  # validity + init bits survive
+        self.words[idx] = (self.words[idx] & keep) | meta
+
+    # -- inspection ----------------------------------------------------------
+
+    def states(self, idx=slice(None)) -> np.ndarray:
+        """Current VSM state codes of the selected granules."""
+        return (self.words[idx] & MASK_STATE).astype(np.uint8)
+
+    def state_at(self, address: int) -> VsmState:
+        return VsmState(int(self.words[(address - self.base) // self.granule] & MASK_STATE))
+
+    def word_at(self, address: int) -> dict:
+        return unpack_word(int(self.words[(address - self.base) // self.granule]))

@@ -1,0 +1,92 @@
+"""VSM vocabulary: states, operations, and the Fig-4 transition relation.
+
+The variable state machine (§IV.A-B) tracks, per tracked granule, which of
+the two storage locations — original variable (OV, host) and corresponding
+variable (CV, accelerator) — currently holds the last write:
+
+* ``INVALID``     neither location has a valid value;
+* ``HOST``        only the OV is valid;
+* ``TARGET``      only the CV is valid;
+* ``CONSISTENT``  both are valid and equal.
+
+The state encodes exactly the pair ``(IsOVValid, IsCVValid)`` of Table II,
+which is why the numeric values below are chosen so bit 0 = OV validity and
+bit 1 = CV validity.
+
+Transitions are driven by eight operations; the table in
+:data:`TRANSITIONS` is a verbatim transcription of Figure 4 with the three
+issue-triggering situations (reads with no outgoing edge) marked as
+:data:`ILLEGAL`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class VsmState(enum.IntEnum):
+    """VSM states; value bits are (IsCVValid << 1) | IsOVValid."""
+
+    INVALID = 0b00
+    HOST = 0b01
+    TARGET = 0b10
+    CONSISTENT = 0b11
+
+    @property
+    def ov_valid(self) -> bool:
+        return bool(self.value & 0b01)
+
+    @property
+    def cv_valid(self) -> bool:
+        return bool(self.value & 0b10)
+
+
+class VsmOp(enum.IntEnum):
+    """Operations that drive VSM transitions (§IV.A)."""
+
+    READ_HOST = 0
+    READ_TARGET = 1
+    WRITE_HOST = 2
+    WRITE_TARGET = 3
+    #: Memory transfer CV -> OV (synchronize using the value in CV).
+    UPDATE_HOST = 4
+    #: Memory transfer OV -> CV (synchronize using the value in OV).
+    UPDATE_TARGET = 5
+    ALLOCATE = 6
+    RELEASE = 7
+
+
+_I, _H, _T, _C = (
+    VsmState.INVALID,
+    VsmState.HOST,
+    VsmState.TARGET,
+    VsmState.CONSISTENT,
+)
+
+#: ``TRANSITIONS[op][state] -> next state``.  For the illegal read
+#: situations the state is left unchanged (the detector reports and keeps
+#: going, matching the tool's keep-running behaviour).
+TRANSITIONS: dict[VsmOp, dict[VsmState, VsmState]] = {
+    VsmOp.READ_HOST: {_I: _I, _H: _H, _T: _T, _C: _C},
+    VsmOp.READ_TARGET: {_I: _I, _H: _H, _T: _T, _C: _C},
+    VsmOp.WRITE_HOST: {_I: _H, _H: _H, _T: _H, _C: _H},
+    VsmOp.WRITE_TARGET: {_I: _T, _H: _T, _T: _T, _C: _T},
+    # update_host overwrites OV with CV's content: from HOST that *destroys*
+    # the only valid value; from TARGET it synchronizes.
+    VsmOp.UPDATE_HOST: {_I: _I, _H: _I, _T: _C, _C: _C},
+    # update_target overwrites CV with OV's content, symmetrically.
+    VsmOp.UPDATE_TARGET: {_I: _I, _H: _C, _T: _I, _C: _C},
+    VsmOp.ALLOCATE: {_I: _I, _H: _H, _T: _T, _C: _C},
+    # release destroys the CV: a valid-only-in-CV value is lost.
+    VsmOp.RELEASE: {_I: _I, _H: _H, _T: _I, _C: _H},
+}
+
+#: ``ILLEGAL[op][state]`` — the three data-mapping-issue situations
+#: (§IV.B): a read in INVALID, a device read in HOST, a host read in TARGET.
+ILLEGAL: dict[VsmOp, dict[VsmState, bool]] = {
+    op: {s: False for s in VsmState} for op in VsmOp
+}
+ILLEGAL[VsmOp.READ_HOST][_I] = True
+ILLEGAL[VsmOp.READ_HOST][_T] = True
+ILLEGAL[VsmOp.READ_TARGET][_I] = True
+ILLEGAL[VsmOp.READ_TARGET][_H] = True

@@ -1,0 +1,70 @@
+"""Shared kernels and array setups for the DRACC benchmarks.
+
+The upstream suite builds every benchmark from the same few numerical
+skeletons — vector addition, matrix-vector multiplication, reductions —
+varying only the data-mapping constructs around them.  These helpers keep
+our benchmark bodies at the same altitude as the C originals: the program
+text shows the *mapping* decisions, not the arithmetic.
+
+Sizes are deliberately small (``N = 64``): DRACC is a precision suite, not
+a performance suite (§VI.E: "DRACC benchmarks are not designed for
+performance evaluation"), and every one of the 56 programs runs under five
+tools in the Table III harness.
+"""
+
+from __future__ import annotations
+
+from ..openmp.arrays import HostArray, KernelContext
+from ..openmp.runtime import TargetRuntime
+
+#: Vector length used throughout the suite.
+N = 64
+#: Matrix side for the mat-vec benchmarks (the Fig-1 shape, scaled down).
+M = 16
+
+
+def init_vectors(rt: TargetRuntime, *names: str, length: int = N) -> list[HostArray]:
+    """Allocate and initialize one vector per name (host-side writes)."""
+    arrays = []
+    for i, name in enumerate(names):
+        arr = rt.array(name, length)
+        arr.fill(float(i + 1))
+        arrays.append(arr)
+    return arrays
+
+
+def vec_add_kernel(ctx: KernelContext) -> None:
+    """c[i] = a[i] + b[i] over the full declared length."""
+    a, b, c = ctx["a"], ctx["b"], ctx["c"]
+    for i in range(len(c)):
+        c[i] = a[i] + b[i]
+
+
+def vec_scale_kernel(ctx: KernelContext) -> None:
+    """a[i] *= 2."""
+    a = ctx["a"]
+    for i in range(len(a)):
+        a[i] = a[i] * 2.0
+
+
+def matvec_kernel(ctx: KernelContext) -> None:
+    """c[i] += b[i*M + j] * a[j] — the Fig-1 kernel, over M x M."""
+    a, b, c = ctx["a"], ctx["b"], ctx["c"]
+    for i in range(M):
+        acc = c[i]
+        for j in range(M):
+            acc = acc + b[j + i * M] * a[j]
+        c[i] = acc
+
+
+def checksum(rt: TargetRuntime, arr: HostArray, *, line: int = 90) -> float:
+    """The host-side 'use' of results every DRACC benchmark ends with.
+
+    Reading the output is what turns a latent stale/uninitialized value
+    into an observable anomaly; annotated as the benchmark's check loop.
+    """
+    total = 0.0
+    with rt.at(f"{arr.name}_check.c", line, function="check"):
+        for i in range(arr.length):
+            total += arr[i]
+    return total

@@ -1,0 +1,330 @@
+"""The 16 buggy DRACC benchmarks of Table III.
+
+Each program plants exactly one data mapping issue whose manifested memory
+error matches its Table III row (UUM / BO / USD), through the root causes
+§I enumerates: a) missing data movement, b) incorrect array section,
+c) incorrect map-type, plus the reference-counting and declare-target
+pitfalls the paper discusses.  Source positions are annotated so tool
+reports point at the "C line" that contains the mistake or the read that
+observes it.
+"""
+
+from __future__ import annotations
+
+from ..openmp import alloc, delete, from_, release, to, tofrom
+from ..openmp.runtime import TargetRuntime
+from .common import M, N, checksum, init_vectors, matvec_kernel, vec_add_kernel
+from .registry import dracc_benchmark
+
+# ---------------------------------------------------------------------------
+# UUM group: 22, 24, 49, 50, 51
+# ---------------------------------------------------------------------------
+
+
+@dracc_benchmark(
+    22,
+    "Fig. 1 of the paper: matrix b mapped with alloc instead of to; the "
+    "kernel reads b's corresponding variable before anything wrote it.",
+    tags=("target", "map-alloc", "wrong-map-type"),
+)
+def dracc_022(rt: TargetRuntime) -> None:
+    a = rt.array("a", M)
+    b = rt.array("b", M * M)
+    c = rt.array("c", M)
+    a.fill(1.0)
+    b.fill(2.0)
+    c.fill(0.0)
+    with rt.at("DRACC_OMP_022.c", 16, function="main"):
+        rt.target(
+            matvec_kernel,
+            maps=[to(a), alloc(b), tofrom(c)],  # alloc should be to
+            name="matvec",
+        )
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    24,
+    "Input vector mapped with from instead of to: the kernel consumes an "
+    "uninitialized corresponding variable.",
+    tags=("target", "map-from", "wrong-map-type"),
+)
+def dracc_024(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    with rt.at("DRACC_OMP_024.c", 21, function="main"):
+        rt.target(
+            vec_add_kernel,
+            maps=[from_(a), to(b), tofrom(c)],  # from should be to
+            name="vec_add",
+        )
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    49,
+    "Unstructured mapping created with target enter data map(alloc:) where "
+    "map(to:) was needed; the kernel reads garbage.",
+    tags=("enter-data", "map-alloc", "wrong-map-type"),
+)
+def dracc_049(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    with rt.at("DRACC_OMP_049.c", 12, function="main"):
+        rt.target_enter_data([alloc(a), to(b)])  # alloc should be to
+    rt.target(vec_add_kernel, maps=[tofrom(c)], name="vec_add")
+    rt.target_exit_data([release(a), release(b)])
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    50,
+    "Reference-counting pitfall: the array is already present from an "
+    "earlier map(alloc:), so the later map(to:) transfers nothing — the "
+    "kernel still reads uninitialized device memory.",
+    tags=("enter-data", "refcount", "present-table"),
+)
+def dracc_050(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    with rt.at("DRACC_OMP_050.c", 10, function="main"):
+        rt.target_enter_data([alloc(a)])  # creates the CV without data
+    with rt.at("DRACC_OMP_050.c", 14, function="main"):
+        # Looks correct, but ref_count(a) == 1: no memcpy happens.
+        rt.target(vec_add_kernel, maps=[to(a), to(b), tofrom(c)], name="vec_add")
+    rt.target_exit_data([release(a)])
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    51,
+    "Delete-then-remap: target exit data map(delete:) destroys the device "
+    "copy; the re-mapping with alloc produces a fresh, uninitialized CV.",
+    tags=("exit-data", "map-delete", "remap"),
+)
+def dracc_051(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    rt.target_enter_data([to(a)])
+    with rt.at("DRACC_OMP_051.c", 13, function="main"):
+        rt.target_exit_data([delete(a)])  # should have been kept present
+    with rt.at("DRACC_OMP_051.c", 17, function="main"):
+        rt.target(
+            vec_add_kernel, maps=[alloc(a), to(b), tofrom(c)], name="vec_add"
+        )
+    rt.target_exit_data([release(a)])
+    checksum(rt, c)
+
+
+# ---------------------------------------------------------------------------
+# BO group: 23, 25, 28, 29, 30, 31
+# ---------------------------------------------------------------------------
+
+
+@dracc_benchmark(
+    23,
+    "Array section maps only the first half of the input; the kernel loops "
+    "over the whole array and reads past the corresponding variable.",
+    tags=("target", "array-section", "overflow"),
+)
+def dracc_023(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    with rt.at("DRACC_OMP_023.c", 18, function="main"):
+        rt.target(
+            vec_add_kernel,
+            maps=[to(a, 0, N // 2), to(b), tofrom(c)],  # half of a only
+            name="vec_add",
+        )
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    25,
+    "Wrong section start: the upper half is mapped but the kernel indexes "
+    "the lower half, under-running the corresponding variable.",
+    tags=("target", "array-section", "underflow"),
+)
+def dracc_025(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+
+    def lower_half(ctx):
+        A, B, C = ctx["a"], ctx["b"], ctx["c"]
+        for i in range(N // 2):
+            C[i] = A[i] + B[i]  # a mapped as [N/2:N): these underflow
+
+    with rt.at("DRACC_OMP_025.c", 19, function="main"):
+        rt.target(
+            lower_half,
+            maps=[to(a, N // 2, N // 2), to(b), tofrom(c)],
+            name="vec_add_lower",
+        )
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    28,
+    "Output section too small: the kernel writes the full vector but only "
+    "half of it was mapped with from, overflowing on the write side.",
+    tags=("target", "array-section", "write-overflow"),
+)
+def dracc_028(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    with rt.at("DRACC_OMP_028.c", 18, function="main"):
+        rt.target(
+            vec_add_kernel,
+            maps=[to(a), to(b), tofrom(c, 0, N // 2)],  # half of c only
+            name="vec_add",
+        )
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    29,
+    "2-D mapping misses the last matrix row; the mat-vec kernel's "
+    "b[j + i*M] runs into the unmapped tail.",
+    tags=("target", "2d", "array-section"),
+)
+def dracc_029(rt: TargetRuntime) -> None:
+    a = rt.array("a", M)
+    b = rt.array("b", M * M)
+    c = rt.array("c", M)
+    a.fill(1.0)
+    b.fill(2.0)
+    c.fill(0.0)
+    with rt.at("DRACC_OMP_029.c", 15, function="main"):
+        rt.target(
+            matvec_kernel,
+            maps=[to(a), to(b, 0, M * M - M), tofrom(c)],  # last row missing
+            name="matvec",
+        )
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    30,
+    "Classic off-by-one: the kernel loop runs i <= N, reading one element "
+    "past the end of the mapped array.",
+    tags=("target", "off-by-one"),
+)
+def dracc_030(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+
+    def off_by_one(ctx):
+        A, C = ctx["a"], ctx["c"]
+        for i in range(N + 1):  # i <= N in the C original
+            C[min(i, N - 1)] = A[i]
+
+    with rt.at("DRACC_OMP_030.c", 17, function="main"):
+        rt.target(off_by_one, maps=[to(a), tofrom(c)], name="copy_off_by_one")
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    31,
+    "Size confusion between two arrays: the kernel assumes the input has N "
+    "elements but it was declared (and mapped) with N/2.",
+    tags=("target", "declared-length"),
+)
+def dracc_031(rt: TargetRuntime) -> None:
+    a = rt.array("a", N // 2)
+    a.fill(1.0)
+    c = rt.array("c", N)
+    c.fill(0.0)
+
+    def copy_n(ctx):
+        A, C = ctx["a"], ctx["c"]
+        for i in range(N):  # a only has N/2 elements
+            C[i] = A[i]
+
+    with rt.at("DRACC_OMP_031.c", 16, function="main"):
+        rt.target(copy_n, maps=[to(a), tofrom(c)], name="copy_n")
+    checksum(rt, c)
+
+
+# ---------------------------------------------------------------------------
+# USD group: 26, 27, 32, 33, 34
+# ---------------------------------------------------------------------------
+
+
+@dracc_benchmark(
+    26,
+    "Fig. 2 lines 1-5: map(to:) where tofrom was needed; the host read "
+    "after the region observes the pre-kernel value.",
+    tags=("target", "map-to", "wrong-map-type"),
+)
+def dracc_026(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    with rt.at("DRACC_OMP_026.c", 14, function="main"):
+        rt.target(
+            vec_add_kernel,
+            maps=[to(a), to(b), to(c)],  # c should be tofrom
+            name="vec_add",
+        )
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    27,
+    "Unstructured exit with map(release:) where map(from:) was needed: the "
+    "kernel's result is dropped with the corresponding variable.",
+    tags=("exit-data", "map-release", "wrong-map-type"),
+)
+def dracc_027(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    rt.target_enter_data([to(a), to(b), to(c)])
+    rt.target(vec_add_kernel, name="vec_add")
+    with rt.at("DRACC_OMP_027.c", 24, function="main"):
+        rt.target_exit_data([release(a), release(b), release(c)])  # c: from!
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    32,
+    "Missing target update to(): the host refreshes the input between two "
+    "kernels, but the device keeps computing on the entry-time snapshot.",
+    tags=("target-data", "missing-update", "device-stale-read"),
+)
+def dracc_032(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    with rt.target_data([to(a), to(b), tofrom(c)]):
+        rt.target(vec_add_kernel, name="vec_add")
+        with rt.at("DRACC_OMP_032.c", 19, function="main"):
+            a.fill(10.0)  # host-side refresh; update to(a) is missing
+        with rt.at("DRACC_OMP_032.c", 22, function="main"):
+            rt.target(vec_add_kernel, name="vec_add_again")
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    33,
+    "target update with the wrong direction: update to() re-pushes the "
+    "stale host copy over the kernel's result, destroying the last write.",
+    tags=("target-data", "update-direction"),
+)
+def dracc_033(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    with rt.target_data([to(a), to(b), tofrom(c)]):
+        rt.target(vec_add_kernel, name="vec_add")
+        with rt.at("DRACC_OMP_033.c", 20, function="main"):
+            rt.target_update(to=[c])  # should be from_=[c]
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    34,
+    "declare target global: the device image's copy of the coefficient "
+    "table is never refreshed with target update to(); the kernel reads "
+    "memory no one initialized on the device (a UUM inside the compute "
+    "kernel, as §VI.C describes — only a mapping-aware tool can see it).",
+    tags=("declare-target", "global", "missing-update"),
+)
+def dracc_034(rt: TargetRuntime) -> None:
+    coeff = rt.array("coeff", N, storage="global", declare_target=True)
+    a, c = init_vectors(rt, "a", "c")
+    with rt.at("DRACC_OMP_034.c", 8, function="init"):
+        coeff.fill(0.5)  # host copy only; update to(coeff) is missing
+
+    def apply_coeff(ctx):
+        A, C, K = ctx["a"], ctx["c"], ctx["coeff"]
+        for i in range(N):
+            C[i] = A[i] * K[i]
+
+    with rt.at("DRACC_OMP_034.c", 19, function="main"):
+        rt.target(apply_coeff, maps=[to(a), tofrom(c)], name="apply_coeff")
+    checksum(rt, c)

@@ -1,0 +1,290 @@
+"""Clean DRACC benchmarks 35-48 and 52-56.
+
+The second half of the clean set: data-access shapes (stencils, strides,
+triangles), multi-kernel pipelines, multi-device pipelines, and degenerate
+corners (empty kernels, length-1 arrays, deep region nesting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..openmp import alloc, from_, release, to, tofrom
+from ..openmp.runtime import TargetRuntime
+from .common import N, checksum, init_vectors, vec_add_kernel
+from .registry import dracc_benchmark
+
+
+@dracc_benchmark(35, "Three-point stencil reading neighbors within the mapping.")
+def dracc_035(rt: TargetRuntime) -> None:
+    a, c = init_vectors(rt, "a", "c")
+
+    def stencil(ctx):
+        A, C = ctx["a"], ctx["c"]
+        for i in range(1, N - 1):
+            C[i] = (A[i - 1] + A[i] + A[i + 1]) / 3.0
+
+    rt.target(stencil, maps=[to(a), tofrom(c)], name="stencil3")
+    checksum(rt, c)
+
+
+@dracc_benchmark(36, "Device-side copy between two mapped arrays.")
+def dracc_036(rt: TargetRuntime) -> None:
+    a, b = init_vectors(rt, "a", "b")
+    rt.target(
+        lambda ctx: [ctx["b"].write(i, ctx["a"][i]) for i in range(N)],
+        maps=[to(a), tofrom(b)],
+        name="copy",
+    )
+    checksum(rt, b)
+
+
+@dracc_benchmark(37, "Kernel reads back its own writes within one region.")
+def dracc_037(rt: TargetRuntime) -> None:
+    (c,) = init_vectors(rt, "c")
+
+    def read_own_writes(ctx):
+        C = ctx["c"]
+        for i in range(N):
+            C[i] = float(i)
+        acc = 0.0
+        for i in range(N):
+            acc += C[i]
+        C[0] = acc
+
+    rt.target(read_own_writes, maps=[tofrom(c)], name="self_consistent")
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    38, "Input assumed externally initialized (init=), mapped read-only."
+)
+def dracc_038(rt: TargetRuntime) -> None:
+    a = rt.array("a", N, init=np.linspace(0.0, 1.0, N))
+    c = rt.array("c", N)
+    c.fill(0.0)
+    rt.target(
+        lambda ctx: [ctx["c"].write(i, ctx["a"][i] ** 2) for i in range(N)],
+        maps=[to(a), tofrom(c)],
+        name="square",
+    )
+    checksum(rt, c)
+
+
+@dracc_benchmark(39, "Triangular iteration space (prefix sums).")
+def dracc_039(rt: TargetRuntime) -> None:
+    a, c = init_vectors(rt, "a", "c")
+
+    def prefix(ctx):
+        A, C = ctx["a"], ctx["c"]
+        for i in range(N):
+            acc = 0.0
+            for j in range(i + 1):
+                acc += A[j]
+            C[i] = acc
+
+    rt.target(prefix, maps=[to(a), tofrom(c)], name="prefix")
+    checksum(rt, c)
+
+
+@dracc_benchmark(
+    40, "Independent nowait kernels on disjoint arrays (no depend needed)."
+)
+def dracc_040(rt: TargetRuntime) -> None:
+    a, b = init_vectors(rt, "a", "b")
+    rt.target(
+        lambda ctx: [ctx["a"].write(i, ctx["a"][i] * 2) for i in range(N)],
+        maps=[tofrom(a)],
+        nowait=True,
+        name="scale_a",
+    )
+    rt.target(
+        lambda ctx: [ctx["b"].write(i, ctx["b"][i] * 3) for i in range(N)],
+        maps=[tofrom(b)],
+        nowait=True,
+        name="scale_b",
+    )
+    rt.taskwait()
+    checksum(rt, a)
+    checksum(rt, b)
+
+
+@dracc_benchmark(41, "target update on a partial section only.")
+def dracc_041(rt: TargetRuntime) -> None:
+    (a,) = init_vectors(rt, "a")
+    with rt.target_data([tofrom(a)]):
+        a[0:8] = 42.0  # host refresh of the head
+        rt.target_update(to=[(a, 0, 8)])
+        rt.target(
+            lambda ctx: [ctx["a"].write(i, ctx["a"][i] + 1) for i in range(N)],
+            name="bump",
+        )
+    checksum(rt, a)
+
+
+@dracc_benchmark(42, "Plain (non-declare-target) global array, mapped explicitly.")
+def dracc_042(rt: TargetRuntime) -> None:
+    g = rt.array("g", N, storage="global")
+    c = rt.array("c", N)
+    g.fill(1.5)  # globals still need explicit initialization before use
+    c.fill(0.0)
+    rt.target(
+        lambda ctx: [ctx["c"].write(i, ctx["g"][i]) for i in range(N)],
+        maps=[to(g), tofrom(c)],
+        name="copy_global",
+    )
+    checksum(rt, c)
+
+
+@dracc_benchmark(43, "Length-1 array ping-pong between host and device.")
+def dracc_043(rt: TargetRuntime) -> None:
+    x = rt.array("x", 1)
+    x[0] = 1.0
+    for _ in range(5):
+        rt.target(lambda ctx: ctx["x"].write(0, ctx["x"][0] * 2), maps=[tofrom(x)])
+        x.write(0, x.read(0) + 1)
+    assert x[0] == 63.0  # ((1*2+1)*2+1)... five doubling+increment rounds
+
+
+@dracc_benchmark(44, "Output of one region feeds the next through the host.")
+def dracc_044(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    rt.target(vec_add_kernel, maps=[to(a), to(b), tofrom(c)], name="produce")
+    mid = checksum(rt, c)
+    d = rt.array("d", N)
+    d.fill(mid / N)
+    rt.target(
+        lambda ctx: [ctx["d"].write(i, ctx["d"][i] + ctx["c"][i]) for i in range(N)],
+        maps=[to(c), tofrom(d)],
+        name="consume",
+    )
+    checksum(rt, d)
+
+
+@dracc_benchmark(
+    45, "map(alloc:) for an output fully written on the device, then from()."
+)
+def dracc_045(rt: TargetRuntime) -> None:
+    (a,) = init_vectors(rt, "a")
+    out = rt.array("out", N)
+    rt.target_enter_data([to(a), alloc(out)])
+    rt.target(
+        lambda ctx: [ctx["out"].write(i, ctx["a"][i] * 7) for i in range(N)],
+        name="produce_out",
+    )
+    rt.target_exit_data([release(a), from_(out)])
+    checksum(rt, out)
+
+
+@dracc_benchmark(46, "Strided device writes; untouched granules stay consistent.")
+def dracc_046(rt: TargetRuntime) -> None:
+    (a,) = init_vectors(rt, "a")
+
+    def stride2(ctx):
+        A = ctx["a"]
+        for i in range(0, N, 2):
+            A[i] = A[i] * 10.0
+
+    rt.target(stride2, maps=[tofrom(a)], name="stride2")
+    checksum(rt, a)
+
+
+@dracc_benchmark(47, "Double buffering with depend chains across 4 iterations.")
+def dracc_047(rt: TargetRuntime) -> None:
+    cur, nxt = init_vectors(rt, "cur", "nxt")
+    rt.target_enter_data([to(cur), to(nxt)])
+    for it in range(4):
+        src, dst = (cur, nxt) if it % 2 == 0 else (nxt, cur)
+
+        def step(ctx, s=src.name, d=dst.name):
+            S, D = ctx[s], ctx[d]
+            for i in range(N):
+                D[i] = S[i] + 1.0
+
+        rt.target(step, nowait=True, depend_in=[src], depend_out=[dst], name=f"step{it}")
+    rt.taskwait()
+    rt.target_exit_data([from_(cur), release(nxt)])
+    checksum(rt, cur)
+
+
+@dracc_benchmark(48, "Three levels of nested target data regions (refcount 3).")
+def dracc_048(rt: TargetRuntime) -> None:
+    a, b, c = init_vectors(rt, "a", "b", "c")
+    with rt.target_data([to(a), to(b), tofrom(c)]):
+        with rt.target_data([to(a), to(c)]):
+            with rt.target_data([to(c)]):
+                rt.target(vec_add_kernel, name="vec_add")
+    checksum(rt, c)
+
+
+@dracc_benchmark(52, "Two-device pipeline: full remap moves data host->1->host->2.")
+def dracc_052(rt: TargetRuntime) -> None:
+    a, c = init_vectors(rt, "a", "c")
+    rt.target(
+        lambda ctx: [ctx["a"].write(i, ctx["a"][i] * 2) for i in range(N)],
+        maps=[tofrom(a)],
+        device=1,
+        name="stage1",
+    )
+    rt.target(
+        lambda ctx: [ctx["c"].write(i, ctx["a"][i] + 1) for i in range(N)],
+        maps=[to(a), tofrom(c)],
+        device=2,
+        name="stage2",
+    )
+    checksum(rt, c)
+
+
+@dracc_benchmark(53, "Alternating devices, each launch with complete mappings.")
+def dracc_053(rt: TargetRuntime) -> None:
+    (x,) = init_vectors(rt, "x")
+    for it in range(4):
+        rt.target(
+            lambda ctx: [ctx["x"].write(i, ctx["x"][i] + 1) for i in range(N)],
+            maps=[tofrom(x)],
+            device=1 + (it % 2),
+            name=f"hop{it}",
+        )
+    checksum(rt, x)
+
+
+@dracc_benchmark(54, "Redundant but harmless target update calls.")
+def dracc_054(rt: TargetRuntime) -> None:
+    a, c = init_vectors(rt, "a", "c")
+    with rt.target_data([to(a), tofrom(c)]):
+        rt.target_update(to=[a])  # redundant: entry already copied
+        rt.target(
+            lambda ctx: [ctx["c"].write(i, ctx["a"][i]) for i in range(N)],
+            name="copy",
+        )
+        rt.target_update(from_=[c])
+        rt.target_update(from_=[c])  # twice: still fine
+    checksum(rt, c)
+
+
+@dracc_benchmark(55, "Degenerate: mapping without any kernel access.")
+def dracc_055(rt: TargetRuntime) -> None:
+    a, c = init_vectors(rt, "a", "c")
+    with rt.target_data([tofrom(a), tofrom(c)]):
+        rt.target(lambda ctx: None, name="empty")
+    checksum(rt, a)
+    checksum(rt, c)
+
+
+@dracc_benchmark(56, "Stress: everything combined, correctly (the Fig-1 app done right).")
+def dracc_056(rt: TargetRuntime) -> None:
+    from .common import M, matvec_kernel
+
+    a = rt.array("a", M, init=np.ones(M))
+    b = rt.array("b", M * M)
+    c = rt.array("c", M)
+    b.fill(2.0)
+    c.fill(0.0)
+    rt.target_enter_data([to(b)])
+    with rt.target_data([to(a), tofrom(c)]):
+        rt.target(matvec_kernel, name="matvec")
+        rt.target_update(from_=[c])
+        expected = 2.0 * M
+        assert c[0] == expected
+    rt.target_exit_data([release(b)])
+    checksum(rt, c)

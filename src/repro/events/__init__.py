@@ -1,0 +1,39 @@
+"""Event layer: instrumentation records, the tool bus, and source stacks."""
+
+from .bus import ToolBus
+from .records import (
+    Access,
+    AccessOrigin,
+    AllocationEvent,
+    DataOp,
+    DataOpKind,
+    FlushEvent,
+    KernelEvent,
+    KernelPhase,
+    MemcpyEvent,
+    SyncEvent,
+)
+from .source import UNKNOWN_LOCATION, SourceLocation, SourceStack
+from .trace_io import TraceWriter, event_from_json, event_to_json, read_trace, replay
+
+__all__ = [
+    "ToolBus",
+    "Access",
+    "AccessOrigin",
+    "AllocationEvent",
+    "DataOp",
+    "DataOpKind",
+    "FlushEvent",
+    "KernelEvent",
+    "KernelPhase",
+    "MemcpyEvent",
+    "SyncEvent",
+    "SourceLocation",
+    "SourceStack",
+    "UNKNOWN_LOCATION",
+    "TraceWriter",
+    "event_to_json",
+    "event_from_json",
+    "read_trace",
+    "replay",
+]

@@ -1,0 +1,113 @@
+"""The tool bus: dispatches runtime events to attached analysis tools.
+
+The bus is the simulation's analogue of the sanitizer callback table.  It
+pre-computes, per event kind, the tuple of tools that actually override the
+corresponding handler, so that
+
+* a *native* run (no tools) pays one attribute check per bulk access and
+  nothing else — this is the baseline the Fig-8 overhead benchmark divides
+  by; and
+* an instrumented run pays only for the handlers a tool really implements
+  (the paper's OMPT-less tools never see semantic data ops).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from .records import (
+    Access,
+    AllocationEvent,
+    DataOp,
+    FlushEvent,
+    KernelEvent,
+    MemcpyEvent,
+    SyncEvent,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..tools.base import Tool
+
+
+class ToolBus:
+    """Fan-out of runtime events to attached tools."""
+
+    def __init__(self) -> None:
+        self._tools: list["Tool"] = []
+        self._access: tuple["Tool", ...] = ()
+        self._data_op: tuple["Tool", ...] = ()
+        self._kernel: tuple["Tool", ...] = ()
+        self._allocation: tuple["Tool", ...] = ()
+        self._sync: tuple["Tool", ...] = ()
+        self._flush: tuple["Tool", ...] = ()
+        self._memcpy: tuple["Tool", ...] = ()
+
+    # -- subscription ----------------------------------------------------
+
+    def attach(self, tool: "Tool") -> None:
+        self._tools.append(tool)
+        self._rebuild()
+
+    def detach(self, tool: "Tool") -> None:
+        self._tools.remove(tool)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        from ..tools.base import Tool  # local import to avoid a cycle
+
+        def overriding(name: str) -> tuple["Tool", ...]:
+            base = getattr(Tool, name)
+            return tuple(
+                t for t in self._tools if getattr(type(t), name, base) is not base
+            )
+
+        self._access = overriding("on_access")
+        self._data_op = overriding("on_data_op")
+        self._kernel = overriding("on_kernel")
+        self._allocation = overriding("on_allocation")
+        self._sync = overriding("on_sync")
+        self._flush = overriding("on_flush")
+        self._memcpy = overriding("on_memcpy")
+
+    @property
+    def tools(self) -> tuple["Tool", ...]:
+        return tuple(self._tools)
+
+    @property
+    def wants_accesses(self) -> bool:
+        """Whether any attached tool observes memory accesses.
+
+        Instrumented array views consult this before even *constructing* an
+        :class:`Access` record, so native runs skip the event layer entirely.
+        """
+        return bool(self._access)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def publish_access(self, access: Access) -> None:
+        for tool in self._access:
+            tool.on_access(access)
+
+    def publish_data_op(self, op: DataOp) -> None:
+        for tool in self._data_op:
+            tool.on_data_op(op)
+
+    def publish_kernel(self, event: KernelEvent) -> None:
+        for tool in self._kernel:
+            tool.on_kernel(event)
+
+    def publish_allocation(self, event: AllocationEvent) -> None:
+        for tool in self._allocation:
+            tool.on_allocation(event)
+
+    def publish_sync(self, event: SyncEvent) -> None:
+        for tool in self._sync:
+            tool.on_sync(event)
+
+    def publish_flush(self, event: FlushEvent) -> None:
+        for tool in self._flush:
+            tool.on_flush(event)
+
+    def publish_memcpy(self, event: MemcpyEvent) -> None:
+        for tool in self._memcpy:
+            tool.on_memcpy(event)

@@ -1,0 +1,67 @@
+"""Simulated source locations and call stacks.
+
+Real ARBALEST reports carry the C source stack captured by the sanitizer
+runtime (Fig. 7 of the paper shows ``main.c:145:5`` frames).  Our benchmarks
+are Python functions standing in for C programs, so they annotate themselves
+with the *simulated* source position via :class:`SourceStack` — a context
+manager stack owned by the machine.  Tools snapshot the stack when they file
+a report, which is what makes the Fig-7-style output reproducible.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """One frame: ``function file:line:column``."""
+
+    file: str
+    line: int
+    column: int = 0
+    function: str = "main"
+
+    def __str__(self) -> str:
+        col = f":{self.column}" if self.column else ""
+        return f"{self.function} {self.file}:{self.line}{col}"
+
+
+#: Frame used when a benchmark did not annotate the current operation.
+UNKNOWN_LOCATION = SourceLocation(file="<unknown>", line=0, function="<unknown>")
+
+
+class SourceStack:
+    """A stack of simulated source frames.
+
+    Pushed frames nest, so a report taken inside nested ``at()`` blocks shows
+    the full simulated call chain, innermost first (sanitizer convention).
+    """
+
+    def __init__(self) -> None:
+        self._frames: list[SourceLocation] = []
+
+    @contextmanager
+    def at(
+        self, file: str, line: int, column: int = 0, function: str = "main"
+    ) -> Iterator[SourceLocation]:
+        """Enter a simulated source position for the duration of the block."""
+        frame = SourceLocation(file=file, line=line, column=column, function=function)
+        self._frames.append(frame)
+        try:
+            yield frame
+        finally:
+            self._frames.pop()
+
+    @property
+    def current(self) -> SourceLocation:
+        """The innermost frame, or :data:`UNKNOWN_LOCATION` when empty."""
+        return self._frames[-1] if self._frames else UNKNOWN_LOCATION
+
+    def snapshot(self) -> tuple[SourceLocation, ...]:
+        """The full stack, innermost first, for embedding into a bug report."""
+        if not self._frames:
+            return (UNKNOWN_LOCATION,)
+        return tuple(reversed(self._frames))

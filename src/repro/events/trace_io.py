@@ -1,0 +1,275 @@
+"""Event trace serialization: record a run, re-analyze it offline.
+
+ARBALEST is an *on-the-fly* detector (§IV) — but the same event stream that
+drives it online can be captured and replayed, which is how one debugs the
+tools themselves, compares detectors on byte-identical traces, or ships a
+failing run to another machine.  This module gives the event layer a stable
+JSON-lines format:
+
+* :class:`TraceWriter` — a :class:`~repro.tools.base.Tool` that appends one
+  JSON object per event to a file-like sink;
+* :func:`read_trace` / :func:`replay` — parse a trace and push it through
+  any set of tools via a fresh :class:`~repro.events.bus.ToolBus`.
+
+Determinism of the simulation makes replayed analysis bit-identical to the
+online run: the round-trip property is tested, not assumed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator
+
+from ..tools.base import Tool
+from .bus import ToolBus
+from .records import (
+    Access,
+    AccessOrigin,
+    AllocationEvent,
+    DataOp,
+    DataOpKind,
+    FlushEvent,
+    KernelEvent,
+    KernelPhase,
+    MemcpyEvent,
+    SyncEvent,
+)
+from .source import SourceLocation, UNKNOWN_LOCATION
+
+#: Format version, embedded in every record for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def _stack_to_json(stack: tuple[SourceLocation, ...]) -> list[list]:
+    return [[f.file, f.line, f.column, f.function] for f in stack]
+
+
+def _stack_from_json(data: list[list]) -> tuple[SourceLocation, ...]:
+    if not data:
+        return (UNKNOWN_LOCATION,)
+    return tuple(SourceLocation(f, l, c, fn) for f, l, c, fn in data)
+
+
+def event_to_json(event: object) -> dict:
+    """One event -> one JSON-serializable dict (with a ``t`` type tag)."""
+    if isinstance(event, Access):
+        return {
+            "t": "access",
+            "v": FORMAT_VERSION,
+            "dev": event.device_id,
+            "tid": event.thread_id,
+            "addr": event.address,
+            "size": event.size,
+            "w": event.is_write,
+            "count": event.count,
+            "stride": event.stride,
+            "origin": event.origin.value,
+            "stack": _stack_to_json(event.stack),
+        }
+    if isinstance(event, DataOp):
+        return {
+            "t": "data_op",
+            "v": FORMAT_VERSION,
+            "kind": event.kind.value,
+            "dev": event.device_id,
+            "tid": event.thread_id,
+            "ov": event.ov_address,
+            "cv": event.cv_address,
+            "n": event.nbytes,
+            "stack": _stack_to_json(event.stack),
+        }
+    if isinstance(event, MemcpyEvent):
+        return {
+            "t": "memcpy",
+            "v": FORMAT_VERSION,
+            "dev": event.device_id,
+            "tid": event.thread_id,
+            "dst_dev": event.dst_device,
+            "dst": event.dst_address,
+            "src_dev": event.src_device,
+            "src": event.src_address,
+            "n": event.nbytes,
+            "stack": _stack_to_json(event.stack),
+        }
+    if isinstance(event, KernelEvent):
+        return {
+            "t": "kernel",
+            "v": FORMAT_VERSION,
+            "phase": event.phase.value,
+            "task": event.task_id,
+            "dev": event.device_id,
+            "tid": event.thread_id,
+            "nowait": event.nowait,
+            "name": event.name,
+            "stack": _stack_to_json(event.stack),
+        }
+    if isinstance(event, AllocationEvent):
+        return {
+            "t": "alloc",
+            "v": FORMAT_VERSION,
+            "dev": event.device_id,
+            "tid": event.thread_id,
+            "addr": event.address,
+            "n": event.nbytes,
+            "free": event.is_free,
+            "storage": event.storage,
+            "label": event.label,
+            "stack": _stack_to_json(event.stack),
+        }
+    if isinstance(event, SyncEvent):
+        return {
+            "t": "sync",
+            "v": FORMAT_VERSION,
+            "kind": event.kind,
+            "src": event.source_task,
+            "dst": event.target_task,
+            "tid": event.thread_id,
+        }
+    if isinstance(event, FlushEvent):
+        return {
+            "t": "flush",
+            "v": FORMAT_VERSION,
+            "dev": event.device_id,
+            "tid": event.thread_id,
+            "addr": event.address,
+            "n": event.nbytes,
+        }
+    raise TypeError(f"not a traceable event: {event!r}")
+
+
+def event_from_json(data: dict) -> object:
+    """Inverse of :func:`event_to_json`."""
+    tag = data["t"]
+    if tag == "access":
+        return Access(
+            device_id=data["dev"],
+            thread_id=data["tid"],
+            address=data["addr"],
+            size=data["size"],
+            is_write=data["w"],
+            count=data["count"],
+            stride=data["stride"],
+            origin=AccessOrigin(data["origin"]),
+            stack=_stack_from_json(data["stack"]),
+        )
+    if tag == "data_op":
+        return DataOp(
+            kind=DataOpKind(data["kind"]),
+            device_id=data["dev"],
+            thread_id=data["tid"],
+            ov_address=data["ov"],
+            cv_address=data["cv"],
+            nbytes=data["n"],
+            stack=_stack_from_json(data["stack"]),
+        )
+    if tag == "memcpy":
+        return MemcpyEvent(
+            device_id=data["dev"],
+            thread_id=data["tid"],
+            dst_device=data["dst_dev"],
+            dst_address=data["dst"],
+            src_device=data["src_dev"],
+            src_address=data["src"],
+            nbytes=data["n"],
+            stack=_stack_from_json(data["stack"]),
+        )
+    if tag == "kernel":
+        return KernelEvent(
+            phase=KernelPhase(data["phase"]),
+            task_id=data["task"],
+            device_id=data["dev"],
+            thread_id=data["tid"],
+            nowait=data["nowait"],
+            name=data["name"],
+            stack=_stack_from_json(data["stack"]),
+        )
+    if tag == "alloc":
+        return AllocationEvent(
+            device_id=data["dev"],
+            thread_id=data["tid"],
+            address=data["addr"],
+            nbytes=data["n"],
+            is_free=data["free"],
+            storage=data["storage"],
+            label=data["label"],
+            stack=_stack_from_json(data["stack"]),
+        )
+    if tag == "sync":
+        return SyncEvent(
+            kind=data["kind"],
+            source_task=data["src"],
+            target_task=data["dst"],
+            thread_id=data["tid"],
+        )
+    if tag == "flush":
+        return FlushEvent(
+            device_id=data["dev"],
+            thread_id=data["tid"],
+            address=data["addr"],
+            nbytes=data["n"],
+        )
+    raise ValueError(f"unknown event tag {tag!r}")
+
+
+class TraceWriter(Tool):
+    """A tool that streams every event to a JSON-lines sink."""
+
+    name = "trace-writer"
+
+    def __init__(self, sink: IO[str]):
+        super().__init__()
+        self.sink = sink
+        self.count = 0
+
+    def _emit(self, event: object) -> None:
+        self.sink.write(json.dumps(event_to_json(event)) + "\n")
+        self.count += 1
+
+    # Every handler funnels into _emit.
+    def on_access(self, access):
+        self._emit(access)
+
+    def on_data_op(self, op):
+        self._emit(op)
+
+    def on_memcpy(self, event):
+        self._emit(event)
+
+    def on_kernel(self, event):
+        self._emit(event)
+
+    def on_allocation(self, event):
+        self._emit(event)
+
+    def on_sync(self, event):
+        self._emit(event)
+
+    def on_flush(self, event):
+        self._emit(event)
+
+
+def read_trace(source: IO[str]) -> Iterator[object]:
+    """Parse a JSON-lines trace back into event records."""
+    for line in source:
+        line = line.strip()
+        if line:
+            yield event_from_json(json.loads(line))
+
+
+def replay(events: Iterable[object], tools: Iterable[Tool]) -> ToolBus:
+    """Push recorded events through tools on a fresh bus; returns the bus."""
+    bus = ToolBus()
+    for tool in tools:
+        bus.attach(tool)
+    dispatch = {
+        Access: bus.publish_access,
+        DataOp: bus.publish_data_op,
+        MemcpyEvent: bus.publish_memcpy,
+        KernelEvent: bus.publish_kernel,
+        AllocationEvent: bus.publish_allocation,
+        SyncEvent: bus.publish_sync,
+        FlushEvent: bus.publish_flush,
+    }
+    for event in events:
+        dispatch[type(event)](event)
+    return bus

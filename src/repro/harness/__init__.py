@@ -1,0 +1,39 @@
+"""Experiment harnesses regenerating the paper's evaluation artifacts."""
+
+from .casestudy import CaseStudyResult, run_case_study
+from .overhead import (
+    CONFIGS,
+    Measurement,
+    OverheadResult,
+    measure_one,
+    run_overhead_comparison,
+)
+from .precision import (
+    EXPECTED_DETECTIONS,
+    TOOL_FACTORIES,
+    TOOL_ORDER,
+    BenchmarkResult,
+    PrecisionResult,
+    run_benchmark_under_tools,
+    run_precision_comparison,
+)
+from .tables import render_ratio_chart, render_table
+
+__all__ = [
+    "run_precision_comparison",
+    "run_benchmark_under_tools",
+    "PrecisionResult",
+    "BenchmarkResult",
+    "TOOL_ORDER",
+    "TOOL_FACTORIES",
+    "EXPECTED_DETECTIONS",
+    "run_overhead_comparison",
+    "measure_one",
+    "OverheadResult",
+    "Measurement",
+    "CONFIGS",
+    "run_case_study",
+    "CaseStudyResult",
+    "render_table",
+    "render_ratio_chart",
+]

@@ -1,0 +1,161 @@
+"""Figures 8 and 9: time and space overhead on the SPEC ACCEL workloads.
+
+For every workload × tool configuration we build a fresh machine, attach
+the tool, run the workload, and record
+
+* wall-clock execution time (Fig 8 — reported as a slowdown factor over
+  the tool-free *native* run of the same simulation), and
+* the tool's live shadow/analysis bytes plus the machine's application
+  bytes (Fig 9 — reported as total memory footprint).
+
+What transfers from the paper is the *relative shape* across tools sharing
+one event stream, not absolute numbers: our "native" is a simulator, not a
+Xeon+Volta node, and our Valgrind model is event-driven rather than a
+dynamic binary translator (the paper's largest single overhead source).
+EXPERIMENTS.md discusses where the shapes agree and where the substitution
+makes them diverge.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..openmp.runtime import TargetRuntime
+from ..specaccel.workloads import WORKLOADS, Workload
+from .precision import TOOL_FACTORIES, TOOL_ORDER
+from .tables import render_ratio_chart, render_table
+
+#: Fig 8/9 column order: native baseline first, then the tools.
+CONFIGS = ("native", *TOOL_ORDER)
+
+
+@dataclass
+class Measurement:
+    workload: str
+    config: str
+    seconds: float
+    app_bytes: int
+    shadow_bytes: int
+    checksum: object
+
+    @property
+    def total_bytes(self) -> int:
+        return self.app_bytes + self.shadow_bytes
+
+
+@dataclass
+class OverheadResult:
+    preset: str
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def get(self, workload: str, config: str) -> Measurement:
+        for m in self.measurements:
+            if m.workload == workload and m.config == config:
+                return m
+        raise KeyError((workload, config))
+
+    def slowdown(self, workload: str, config: str) -> float:
+        native = self.get(workload, "native").seconds
+        return self.get(workload, config).seconds / max(native, 1e-9)
+
+    def space_ratio(self, workload: str, config: str) -> float:
+        native = self.get(workload, "native").total_bytes
+        return self.get(workload, config).total_bytes / max(native, 1)
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_time_table(self) -> str:
+        rows = []
+        for w in sorted({m.workload for m in self.measurements}):
+            rows.append(
+                [w]
+                + [f"{self.slowdown(w, c):.2f}x" for c in CONFIGS]
+            )
+        return render_table(
+            ["Workload", *CONFIGS],
+            rows,
+            title=f"Fig 8: time overhead (slowdown vs native, preset={self.preset})",
+        )
+
+    def render_space_table(self) -> str:
+        rows = []
+        for w in sorted({m.workload for m in self.measurements}):
+            rows.append(
+                [w]
+                + [
+                    f"{self.get(w, c).total_bytes / 1024:.0f}K"
+                    for c in CONFIGS
+                ]
+            )
+        return render_table(
+            ["Workload", *CONFIGS],
+            rows,
+            title=f"Fig 9: memory usage (app + shadow, preset={self.preset})",
+        )
+
+    def render_chart(self, workload: str) -> str:
+        values = [self.slowdown(workload, c) for c in CONFIGS]
+        return render_ratio_chart(list(CONFIGS), values)
+
+    def checksums_consistent(self) -> bool:
+        """Every configuration must compute the same answer."""
+        for w in {m.workload for m in self.measurements}:
+            values = {repr(m.checksum) for m in self.measurements if m.workload == w}
+            if len(values) != 1:
+                return False
+        return True
+
+
+def measure_one(
+    workload: Workload, config: str, preset: str, *, repetitions: int = 1
+) -> Measurement:
+    """One (workload, tool) cell: fresh machine, attach, run, account."""
+    best = None
+    for _ in range(max(1, repetitions)):
+        rt = TargetRuntime(n_devices=1)
+        tool = None
+        if config != "native":
+            tool = TOOL_FACTORIES[config]().attach(rt.machine)
+        start = time.perf_counter()
+        checksum = workload.run(rt, preset)
+        rt.finalize()
+        elapsed = time.perf_counter() - start
+        app_bytes = sum(d.allocator.peak_bytes for d in rt.machine.devices.values())
+        shadow = tool.shadow_bytes() if tool is not None else 0
+        m = Measurement(
+            workload=workload.name,
+            config=config,
+            seconds=elapsed,
+            app_bytes=app_bytes,
+            shadow_bytes=shadow,
+            checksum=checksum,
+        )
+        if best is None or m.seconds < best.seconds:
+            best = m
+    assert best is not None
+    return best
+
+
+def run_overhead_comparison(
+    preset: str = "test",
+    *,
+    workloads: Iterable[Workload] = WORKLOADS,
+    configs: Iterable[str] = CONFIGS,
+    repetitions: int = 3,
+) -> OverheadResult:
+    """The whole Fig 8 + Fig 9 experiment."""
+    result = OverheadResult(preset=preset)
+    workloads = tuple(workloads)
+    # Warm up numpy/runtime code paths so 'native' isn't charged for imports.
+    for w in workloads:
+        rt = TargetRuntime(n_devices=1)
+        w.run(rt, "test")
+        rt.finalize()
+    for w in workloads:
+        for config in configs:
+            result.measurements.append(
+                measure_one(w, config, preset, repetitions=repetitions)
+            )
+    return result

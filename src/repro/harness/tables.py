@@ -1,0 +1,38 @@
+"""Minimal ascii table rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Fixed-width ascii table, markdown-ish, right-padded."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    sep = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(cells[0]))
+    out.append(sep)
+    out += [line(r) for r in cells[1:]]
+    return "\n".join(out)
+
+
+def render_ratio_chart(
+    labels: Sequence[str], values: Sequence[float], *, width: int = 50, unit: str = "x"
+) -> str:
+    """Horizontal bar chart for slowdown/overhead figures."""
+    peak = max(values) if values else 1.0
+    lines = []
+    label_w = max(len(l) for l in labels) if labels else 0
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Kokkos front-end over the simulated runtime (§VIII future work)."""
+
+from .facade import DualView, KokkosRuntime, View
+
+__all__ = ["KokkosRuntime", "View", "DualView"]

@@ -1,0 +1,147 @@
+"""Kokkos front-end: views, mirrors, deep_copy, DualView (§VIII future work).
+
+Kokkos expresses host↔device data movement with *views* and explicit
+``deep_copy`` between a device view and its host mirror; forgetting a
+``deep_copy`` after modifying one side is precisely a data mapping issue.
+This facade maps the Kokkos idioms onto the simulated runtime so ARBALEST
+(and every other tool) checks Kokkos-style programs unchanged:
+
+* ``View``              — device-resident array, permanently mapped
+  (``target enter data map(alloc:)``; Kokkos device allocations are not
+  host-initialized);
+* ``create_mirror_view``— the host-side storage (our original variable);
+* ``deep_copy(dst,src)``— ``target update`` in the matching direction;
+* ``parallel_for``      — a target region over the view's extent;
+* ``DualView``          — Kokkos's *manual* answer to the consistency
+  problem: the programmer calls ``modify()``/``sync()`` and Kokkos keeps a
+  dirty flag per side.  That protocol is a hand-maintained two-state
+  version of the paper's VSM, which makes the contrast concrete: with
+  ARBALEST attached, a *forgotten* ``modify()`` (so ``sync()`` skips the
+  transfer) is still caught, because the detector tracks what actually
+  happened rather than what the programmer declared.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..openmp.arrays import HostArray, KernelContext
+from ..openmp.maptypes import MapSpec, MapType
+from ..openmp.runtime import Machine, TargetRuntime
+
+
+class View:
+    """A device-resident Kokkos view backed by a mapped host array.
+
+    The host array is the mirror's storage; the device copy is created at
+    construction (``alloc``: device memory starts uninitialized, exactly
+    like ``Kokkos::View`` without an initializing execution policy).
+    """
+
+    def __init__(self, kokkos: "KokkosRuntime", label: str, extent: int, device: int):
+        self.kokkos = kokkos
+        self.label = label
+        self.extent = extent
+        self.device = device
+        self.host_array: HostArray = kokkos.omp.array(label, extent)
+        kokkos.omp.target_enter_data(
+            [MapSpec(self.host_array, MapType.ALLOC)], device=device
+        )
+
+    def mirror(self) -> HostArray:
+        """``create_mirror_view``: the host-side accessor."""
+        return self.host_array
+
+
+class DualView:
+    """``Kokkos::DualView``: a view plus programmer-maintained dirty flags.
+
+    ``modify('host'|'device')`` marks a side dirty; ``sync(side)`` performs
+    the transfer *only if the other side was marked modified* — faithfully
+    reproducing the footgun that the flags describe intent, not reality.
+    """
+
+    def __init__(self, kokkos: "KokkosRuntime", label: str, extent: int, device: int):
+        self.view = View(kokkos, label, extent, device)
+        self._modified: str | None = None
+
+    @property
+    def host(self) -> HostArray:
+        return self.view.host_array
+
+    def modify(self, side: str) -> None:
+        if side not in ("host", "device"):
+            raise ValueError(f"side must be 'host' or 'device', got {side!r}")
+        self._modified = side
+
+    def sync(self, side: str) -> bool:
+        """Make ``side`` current; returns whether a transfer happened."""
+        if side not in ("host", "device"):
+            raise ValueError(f"side must be 'host' or 'device', got {side!r}")
+        omp = self.view.kokkos.omp
+        if side == "device" and self._modified == "host":
+            omp.target_update(to=[self.host], device=self.view.device)
+            self._modified = None
+            return True
+        if side == "host" and self._modified == "device":
+            omp.target_update(from_=[self.host], device=self.view.device)
+            self._modified = None
+            return True
+        return False  # flags say nothing to do — even if reality disagrees
+
+
+class KokkosRuntime:
+    """Kokkos-style programming over the simulated machine."""
+
+    def __init__(self, machine: Machine | None = None, **machine_kwargs):
+        self.omp = TargetRuntime(machine, **machine_kwargs)
+
+    @property
+    def machine(self) -> Machine:
+        return self.omp.machine
+
+    def view(self, label: str, extent: int, *, device: int = 1) -> View:
+        return View(self, label, extent, device)
+
+    def dual_view(self, label: str, extent: int, *, device: int = 1) -> DualView:
+        return DualView(self, label, extent, device)
+
+    def deep_copy(self, dst, src) -> None:
+        """``Kokkos::deep_copy`` between a view and its mirror (either way)."""
+        if isinstance(dst, View) and isinstance(src, HostArray):
+            if src is not dst.host_array:
+                raise ValueError("deep_copy partner must be the view's mirror")
+            self.omp.target_update(to=[src], device=dst.device)
+        elif isinstance(dst, HostArray) and isinstance(src, View):
+            if dst is not src.host_array:
+                raise ValueError("deep_copy partner must be the view's mirror")
+            self.omp.target_update(from_=[dst], device=src.device)
+        else:
+            raise TypeError("deep_copy expects (View, mirror) or (mirror, View)")
+
+    def parallel_for(
+        self,
+        label: str,
+        extent: int,
+        functor: Callable[[KernelContext, int], None],
+        *,
+        views: tuple[View, ...] = (),
+        device: int = 1,
+    ) -> None:
+        """``Kokkos::parallel_for``: run ``functor(ctx, i)`` on the device."""
+
+        def kernel(ctx: KernelContext) -> None:
+            for i in range(extent):
+                functor(ctx, i)
+
+        kernel.__name__ = label
+        self.omp.target(kernel, device=device, name=label)
+
+    def fence(self) -> None:
+        """``Kokkos::fence``."""
+        self.omp.taskwait()
+
+    def finalize(self) -> None:
+        self.omp.finalize()

@@ -1,0 +1,163 @@
+"""First-fit free-list allocator over a device's address window.
+
+Each simulated device owns one :class:`Allocator`.  The allocator hands out
+*address ranges only* — the bytes themselves live in per-allocation numpy
+buffers managed by :mod:`repro.memory.buffer`.  Splitting addressing from
+storage keeps allocation O(free-list length) without ever committing a 4 GiB
+backing array, and makes freed-address reuse (which ASan's quarantine model
+needs to reason about) explicit and testable.
+
+The free list is kept sorted by base address and adjacent free blocks are
+coalesced on ``free``, so repeated alloc/free cycles do not fragment the
+window.  ``alignment`` defaults to the 8-byte granule so every allocation
+starts granule-aligned, matching the paper's assumption that shadow granules
+never straddle two variables.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+
+from .errors import InvalidFreeError, OutOfMemoryError
+from .layout import GRANULE, Window, align_up
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A live allocation: ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        return self.base <= address and address + size <= self.end
+
+
+class Allocator:
+    """First-fit allocator with address-ordered free list and coalescing."""
+
+    def __init__(self, window: Window, *, alignment: int = GRANULE, gap: int = 64):
+        if alignment <= 0 or (alignment & (alignment - 1)):
+            raise ValueError(f"alignment must be a power of two, got {alignment}")
+        if gap < 0 or gap % alignment:
+            raise ValueError(f"gap must be a non-negative multiple of alignment, got {gap}")
+        self._window = window
+        self._alignment = alignment
+        # Unaddressable padding reserved after every block, standing in for
+        # allocator metadata/redzones: real heaps never place two objects
+        # back to back, and tools rely on overflows landing in such holes.
+        self._gap = gap
+        self._reserved: dict[int, int] = {}
+        # Parallel sorted lists of (base) and (size) for free blocks.
+        self._free_bases: list[int] = [window.base]
+        self._free_sizes: dict[int, int] = {window.base: window.size}
+        self._live: dict[int, Extent] = {}
+        self._peak_bytes = 0
+        self._live_bytes = 0
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def window(self) -> Window:
+        return self._window
+
+    @property
+    def live_bytes(self) -> int:
+        """Total bytes currently allocated."""
+        return self._live_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of :attr:`live_bytes`."""
+        return self._peak_bytes
+
+    @property
+    def live_extents(self) -> tuple[Extent, ...]:
+        return tuple(sorted(self._live.values(), key=lambda e: e.base))
+
+    def extent_at(self, address: int) -> Extent | None:
+        """The live extent containing ``address``, or ``None``.
+
+        Used by tools to classify wild accesses; O(log n) over live extents.
+        """
+        bases = sorted(self._live)
+        i = bisect_left(bases, address)
+        if i < len(bases) and bases[i] == address:
+            return self._live[bases[i]]
+        if i == 0:
+            return None
+        candidate = self._live[bases[i - 1]]
+        return candidate if candidate.contains(address) else None
+
+    # -- allocation ----------------------------------------------------
+
+    def alloc(self, size: int) -> Extent:
+        """Allocate ``size`` bytes; the returned extent is alignment-rounded.
+
+        Raises :class:`OutOfMemoryError` when no free block fits.
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        rounded = align_up(size, self._alignment)
+        reserved = rounded + self._gap
+        for base in self._free_bases:
+            block = self._free_sizes[base]
+            if block >= reserved:
+                self._take(base, reserved)
+                self._reserved[base] = reserved
+                extent = Extent(base, rounded)
+                self._live[base] = extent
+                self._live_bytes += rounded
+                self._peak_bytes = max(self._peak_bytes, self._live_bytes)
+                return extent
+        raise OutOfMemoryError(
+            f"cannot allocate {rounded} bytes in window of device "
+            f"{self._window.device_id}"
+        )
+
+    def free(self, base: int) -> Extent:
+        """Release the allocation whose *base* address is ``base``.
+
+        Freeing an interior or unknown address raises
+        :class:`InvalidFreeError` — the same class of bug a real allocator
+        aborts on.
+        """
+        extent = self._live.pop(base, None)
+        if extent is None:
+            raise InvalidFreeError(f"{base:#x} is not a live allocation base")
+        self._live_bytes -= extent.size
+        self._release(extent.base, self._reserved.pop(base))
+        return extent
+
+    # -- free-list plumbing ---------------------------------------------
+
+    def _take(self, base: int, size: int) -> None:
+        block = self._free_sizes.pop(base)
+        self._free_bases.remove(base)
+        if block > size:
+            insort(self._free_bases, base + size)
+            self._free_sizes[base + size] = block - size
+
+    def _release(self, base: int, size: int) -> None:
+        insort(self._free_bases, base)
+        self._free_sizes[base] = size
+        self._coalesce_around(base)
+
+    def _coalesce_around(self, base: int) -> None:
+        i = self._free_bases.index(base)
+        # Merge with successor first so the predecessor merge sees the result.
+        if i + 1 < len(self._free_bases):
+            nxt = self._free_bases[i + 1]
+            if base + self._free_sizes[base] == nxt:
+                self._free_sizes[base] += self._free_sizes.pop(nxt)
+                del self._free_bases[i + 1]
+        if i > 0:
+            prev = self._free_bases[i - 1]
+            if prev + self._free_sizes[prev] == base:
+                self._free_sizes[prev] += self._free_sizes.pop(base)
+                del self._free_bases[i]

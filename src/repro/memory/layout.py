@@ -1,0 +1,89 @@
+"""Address-space layout of the simulated machine.
+
+The simulated machine exposes one flat 64-bit address space carved into
+fixed-size windows, one per device.  Window 0 belongs to the host; windows
+1..n belong to accelerators.  Keeping every device's addresses disjoint means
+a bare integer address identifies both the owning device and the offset
+inside its window — exactly the property ARBALEST's interval tree relies on
+to tell an original variable (OV, host window) from a corresponding variable
+(CV, accelerator window).
+
+The constants are deliberately generous: a 4 GiB window per device is far
+more than any simulated workload allocates, so allocators never collide with
+window boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Size of each device's address window, in bytes (4 GiB).
+WINDOW_SIZE = 1 << 32
+
+#: Base of the first (host) window.  Nonzero so that address 0 is never
+#: valid, which catches uninitialised-pointer style mistakes in tests.
+BASE_ADDRESS = 1 << 32
+
+#: ARBALEST tracks state at 8-byte granularity (§IV.C of the paper).
+GRANULE = 8
+
+
+@dataclass(frozen=True)
+class Window:
+    """Address window ``[base, base + size)`` owned by one device."""
+
+    device_id: int
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        """Whether ``[address, address + size)`` lies fully inside the window."""
+        return self.base <= address and address + size <= self.end
+
+
+def window_for_device(device_id: int) -> Window:
+    """Return the address window assigned to ``device_id``.
+
+    Device ids are small non-negative integers; the host is device 0.
+    """
+    if device_id < 0:
+        raise ValueError(f"device id must be non-negative, got {device_id}")
+    return Window(device_id, BASE_ADDRESS + device_id * WINDOW_SIZE, WINDOW_SIZE)
+
+
+def device_of_address(address: int) -> int:
+    """Recover the owning device id of an absolute address.
+
+    Raises :class:`ValueError` for addresses below :data:`BASE_ADDRESS`,
+    which can never be produced by any window.
+    """
+    if address < BASE_ADDRESS:
+        raise ValueError(f"address {address:#x} precedes every device window")
+    return (address - BASE_ADDRESS) // WINDOW_SIZE
+
+
+def granules_in(address: int, size: int) -> range:
+    """Indices of the 8-byte granules overlapped by ``[address, address+size)``.
+
+    Granule indices are absolute (address // GRANULE) so that two views of
+    the same storage always agree on granule identity.
+    """
+    if size <= 0:
+        return range(0)
+    first = address // GRANULE
+    last = (address + size - 1) // GRANULE
+    return range(first, last + 1)
+
+
+def align_down(address: int, alignment: int = GRANULE) -> int:
+    """Round ``address`` down to a multiple of ``alignment``."""
+    return address - (address % alignment)
+
+
+def align_up(address: int, alignment: int = GRANULE) -> int:
+    """Round ``address`` up to a multiple of ``alignment``."""
+    return -(-address // alignment) * alignment

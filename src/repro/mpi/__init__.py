@@ -1,0 +1,12 @@
+"""MPI-3 one-sided consistency checking via the VSM (§VII.B)."""
+
+from .checker import ConsistencyIssue, MpiConsistencyChecker
+from .window import MpiWorld, RmaEvent, Window
+
+__all__ = [
+    "MpiWorld",
+    "Window",
+    "RmaEvent",
+    "MpiConsistencyChecker",
+    "ConsistencyIssue",
+]

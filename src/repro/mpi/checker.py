@@ -1,0 +1,166 @@
+"""VSM-based consistency checking for MPI one-sided communication.
+
+The §VII.B transfer: per (window, rank, element) run exactly the Fig-4
+variable state machine with
+
+=====================  =======================
+MPI operation           VSM operation
+=====================  =======================
+local store             write_host   (private copy = OV)
+local load              read_host
+remote PUT              write_target (public copy = CV)
+remote GET              read_target
+win_sync / fence        state-directed update (whichever copy holds the
+                        last write refreshes the other — the reconciliation
+                        MPI implementations perform)
+=====================  =======================
+
+A load in TARGET state is the classic one-sided bug: the rank reads its
+private copy after a remote PUT updated the public copy, before any
+synchronization — "the read does not observe the write", Definition 1
+verbatim.  A GET in HOST state is the symmetric direction.  Concurrent
+store+PUT in one epoch (both copies dirty at reconciliation) is MPI's
+"erroneous program" case, reported as a conflict.
+
+The checker reuses :class:`~repro.core.vsm.VariableStateMachine` — one
+scalar machine per touched element, since RMA traffic is sparse — so the
+semantics are literally the paper's state machine, not a re-derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.states import VsmOp, VsmState
+from ..core.vsm import VariableStateMachine
+from .window import MpiWorld, RmaEvent
+
+
+@dataclass(frozen=True)
+class ConsistencyIssue:
+    """One detected data consistency issue."""
+
+    kind: str  # "stale-load" | "stale-get" | "uninitialized" | "epoch-conflict"
+    rank: int
+    window_id: int
+    index: int
+    detail: str
+
+    def render(self) -> str:
+        return (
+            f"mpi-consistency: {self.kind} on window {self.window_id} "
+            f"element {self.index} (rank {self.rank}): {self.detail}"
+        )
+
+
+class MpiConsistencyChecker:
+    """Attachable checker: feed it a world, read issues afterwards."""
+
+    def __init__(self, world: MpiWorld):
+        self.world = world
+        world.attach(self._on_event)
+        # (window, rank, element) -> its state machine, created lazily.
+        self._machines: dict[tuple[int, int, int], VariableStateMachine] = {}
+        self.issues: list[ConsistencyIssue] = []
+        self._seen: set[tuple] = set()
+
+    def _vsm(self, wid: int, rank: int, index: int) -> VariableStateMachine:
+        key = (wid, rank, index)
+        machine = self._machines.get(key)
+        if machine is None:
+            # Window memory starts zero-initialized by MPI_Win_allocate:
+            # both copies valid and equal.
+            machine = VariableStateMachine()
+            machine.apply(VsmOp.WRITE_HOST)
+            machine.apply(VsmOp.ALLOCATE)
+            machine.apply(VsmOp.UPDATE_TARGET)
+            self._machines[key] = machine
+        return machine
+
+    def _report(self, kind: str, event: RmaEvent, index: int, detail: str) -> None:
+        key = (kind, event.window_id, event.target_rank, index)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.issues.append(
+            ConsistencyIssue(
+                kind=kind,
+                rank=event.rank,
+                window_id=event.window_id,
+                index=index,
+                detail=detail,
+            )
+        )
+
+    # -- event handling ------------------------------------------------------
+
+    def _on_event(self, event: RmaEvent) -> None:
+        if event.kind == "store":
+            self._vsm(event.window_id, event.target_rank, event.index).apply(
+                VsmOp.WRITE_HOST
+            )
+        elif event.kind == "put":
+            for i in range(event.index, event.index + event.count):
+                machine = self._vsm(event.window_id, event.target_rank, i)
+                if machine.state is VsmState.HOST:
+                    # Store-then-PUT in one epoch: both copies diverge; MPI
+                    # calls this erroneous regardless of later reads.
+                    self._report(
+                        "epoch-conflict",
+                        event,
+                        i,
+                        "remote put overlaps an unsynchronized local store "
+                        "in the same epoch",
+                    )
+                machine.apply(VsmOp.WRITE_TARGET)
+        elif event.kind == "load":
+            machine = self._vsm(event.window_id, event.target_rank, event.index)
+            verdict = machine.apply(VsmOp.READ_HOST)
+            if verdict.illegal:
+                self._report(
+                    "stale-load",
+                    event,
+                    event.index,
+                    "local load after a remote put, with no win_sync/fence "
+                    "in between (the private copy is stale)",
+                )
+        elif event.kind == "get":
+            for i in range(event.index, event.index + event.count):
+                machine = self._vsm(event.window_id, event.target_rank, i)
+                verdict = machine.apply(VsmOp.READ_TARGET)
+                if verdict.illegal:
+                    self._report(
+                        "stale-get",
+                        event,
+                        i,
+                        "remote get after the owner's local store, with no "
+                        "synchronization (the public copy is stale)",
+                    )
+        elif event.kind in ("sync", "fence"):
+            ranks = (
+                range(self.world.n_ranks)
+                if event.kind == "fence"
+                else (event.target_rank,)
+            )
+            for (wid, rank, index), machine in self._machines.items():
+                if wid != event.window_id or rank not in ranks:
+                    continue
+                # Reconciliation: the side holding the last write refreshes
+                # the other; a consistent or invalid pair is unchanged.
+                if machine.state is VsmState.TARGET:
+                    machine.apply(VsmOp.UPDATE_HOST)
+                elif machine.state is VsmState.HOST:
+                    machine.apply(VsmOp.UPDATE_TARGET)
+
+    # -- results --------------------------------------------------------------
+
+    def stale_issues(self) -> list[ConsistencyIssue]:
+        return [i for i in self.issues if i.kind.startswith("stale")]
+
+    def conflicts(self) -> list[ConsistencyIssue]:
+        return [i for i in self.issues if i.kind == "epoch-conflict"]
+
+    def render(self) -> str:
+        if not self.issues:
+            return "mpi-consistency: no issues detected"
+        return "\n".join(i.render() for i in self.issues)

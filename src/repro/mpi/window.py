@@ -1,0 +1,165 @@
+"""Simulated MPI-3 one-sided communication, separate memory model.
+
+§VII.B of the ARBALEST paper points at Hoefler et al.'s formalization of
+MPI-3 RMA: under the *separate* memory model every window exposes a
+**public copy** (the target of PUT/GET from other ranks) and a **private
+copy** (what the owning rank's loads and stores touch), and the two are
+reconciled only at synchronization (``MPI_Win_fence``, ``MPI_Win_sync``,
+unlock).  Reading the private copy after a remote PUT without an
+intervening synchronization observes stale data — the exact shape of an
+OpenMP data mapping issue, with the private copy playing the original
+variable and the public copy the corresponding variable.
+
+This module simulates just enough of that model to host the VSM-based
+consistency checker in :mod:`repro.mpi.checker`: ranks are logical (one
+process, deterministic), windows carry physically distinct public/private
+numpy buffers, and synchronization reconciles them using
+last-writer-wins per 8-byte granule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..memory.layout import GRANULE
+
+
+@dataclass(frozen=True)
+class RmaEvent:
+    """One observable RMA operation, fed to attached checkers."""
+
+    kind: str  # "store" | "load" | "put" | "get" | "sync" | "fence"
+    rank: int  # acting rank
+    window_id: int
+    target_rank: int  # owner of the touched window copy
+    index: int  # element index (elements are float64)
+    count: int
+
+
+class Window:
+    """One rank's window: public and private copies of `length` float64s."""
+
+    def __init__(self, window_id: int, owner: int, length: int):
+        self.window_id = window_id
+        self.owner = owner
+        self.length = length
+        self.private = np.zeros(length, dtype=np.float64)
+        self.public = np.zeros(length, dtype=np.float64)
+        # Per-granule dirtiness since the last synchronization, for the
+        # last-writer-wins reconciliation (8-byte elements: 1 granule each).
+        self.private_dirty = np.zeros(length, dtype=bool)
+        self.public_dirty = np.zeros(length, dtype=bool)
+
+    def reconcile(self) -> int:
+        """Synchronize the two copies; returns #elements that conflicted.
+
+        MPI calls concurrent updates to both copies of the same location in
+        one epoch *erroneous*; we resolve them deterministically (private
+        wins) but report the count so checkers can flag them.
+        """
+        conflicts = int(np.sum(self.private_dirty & self.public_dirty))
+        pub_only = self.public_dirty & ~self.private_dirty
+        self.private[pub_only] = self.public[pub_only]
+        self.public[self.private_dirty] = self.private[self.private_dirty]
+        self.private_dirty[:] = False
+        self.public_dirty[:] = False
+        return conflicts
+
+
+class MpiWorld:
+    """A deterministic n-rank world with one-sided windows."""
+
+    def __init__(self, n_ranks: int):
+        if n_ranks < 2:
+            raise ValueError("one-sided communication needs at least 2 ranks")
+        self.n_ranks = n_ranks
+        self.windows: dict[int, list[Window]] = {}
+        self._next_window = 0
+        self._listeners: list[Callable[[RmaEvent], None]] = []
+
+    # -- checker plumbing --------------------------------------------------
+
+    def attach(self, listener: Callable[[RmaEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def _emit(self, **kw) -> None:
+        event = RmaEvent(**kw)
+        for listener in self._listeners:
+            listener(event)
+
+    # -- window lifecycle ------------------------------------------------------
+
+    def win_allocate(self, length: int) -> int:
+        """Collectively create a window on every rank; returns window id."""
+        wid = self._next_window
+        self._next_window += 1
+        self.windows[wid] = [Window(wid, r, length) for r in range(self.n_ranks)]
+        return wid
+
+    def _win(self, wid: int, rank: int) -> Window:
+        return self.windows[wid][rank]
+
+    # -- local accesses (private copy) ------------------------------------------
+
+    def store(self, rank: int, wid: int, index: int, value: float) -> None:
+        win = self._win(wid, rank)
+        win.private[index] = value
+        win.private_dirty[index] = True
+        self._emit(
+            kind="store", rank=rank, window_id=wid, target_rank=rank,
+            index=index, count=1,
+        )
+
+    def load(self, rank: int, wid: int, index: int) -> float:
+        win = self._win(wid, rank)
+        self._emit(
+            kind="load", rank=rank, window_id=wid, target_rank=rank,
+            index=index, count=1,
+        )
+        return float(win.private[index])
+
+    # -- RMA (public copy of the target) --------------------------------------------
+
+    def put(self, origin: int, wid: int, target: int, index: int, value) -> None:
+        values = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        win = self._win(wid, target)
+        win.public[index : index + len(values)] = values
+        win.public_dirty[index : index + len(values)] = True
+        self._emit(
+            kind="put", rank=origin, window_id=wid, target_rank=target,
+            index=index, count=len(values),
+        )
+
+    def get(self, origin: int, wid: int, target: int, index: int, count: int = 1):
+        win = self._win(wid, target)
+        self._emit(
+            kind="get", rank=origin, window_id=wid, target_rank=target,
+            index=index, count=count,
+        )
+        data = win.public[index : index + count].copy()
+        return float(data[0]) if count == 1 else data
+
+    # -- synchronization -------------------------------------------------------------
+
+    def win_sync(self, rank: int, wid: int) -> int:
+        """``MPI_Win_sync``: reconcile one rank's copies."""
+        conflicts = self._win(wid, rank).reconcile()
+        self._emit(
+            kind="sync", rank=rank, window_id=wid, target_rank=rank,
+            index=0, count=self._win(wid, rank).length,
+        )
+        return conflicts
+
+    def fence(self, wid: int) -> int:
+        """``MPI_Win_fence``: collective reconciliation of every copy."""
+        conflicts = 0
+        for rank in range(self.n_ranks):
+            conflicts += self._win(wid, rank).reconcile()
+        self._emit(
+            kind="fence", rank=-1, window_id=wid, target_rank=-1,
+            index=0, count=self.windows[wid][0].length,
+        )
+        return conflicts

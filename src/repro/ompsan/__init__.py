@@ -1,0 +1,37 @@
+"""OMPSan model: static data mapping verification (§VI.G comparison)."""
+
+from .analyzer import AnalysisResult, OmpSan, StaticIssue, StaticIssueKind, analyze
+from .ir import (
+    Decl,
+    EnterData,
+    ExitData,
+    HostRead,
+    HostWrite,
+    MapItem,
+    PointerSwap,
+    StaticProgram,
+    TargetKernel,
+    Update,
+)
+from .programs import BUGGY_PROGRAMS, CLEAN_PROGRAMS, postencil
+
+__all__ = [
+    "analyze",
+    "OmpSan",
+    "AnalysisResult",
+    "StaticIssue",
+    "StaticIssueKind",
+    "StaticProgram",
+    "MapItem",
+    "Decl",
+    "HostWrite",
+    "HostRead",
+    "TargetKernel",
+    "EnterData",
+    "ExitData",
+    "Update",
+    "PointerSwap",
+    "BUGGY_PROGRAMS",
+    "CLEAN_PROGRAMS",
+    "postencil",
+]

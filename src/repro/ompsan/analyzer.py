@@ -1,0 +1,261 @@
+"""The OMPSan model: static verification of data mapping constructs.
+
+OMPSan's algorithm (§VI.G of the ARBALEST paper, and Barua et al. 2019):
+interpret the program twice —
+
+1. under **serial elision** semantics: mapping constructs are no-ops,
+   kernels read and write host variables directly; record, for every read,
+   which definition reaches it;
+2. under **OpenMP data-mapping** semantics: an abstract state per variable
+   tracks which definition is visible in the original variable and (if
+   present) in the corresponding variable, applying Table-I entry/exit
+   effects, reference counting, and ``target update`` motion;
+
+then report every read whose reaching definition differs between the two
+interpretations — an *inconsistent def-use relation*, i.e. a data mapping
+issue.  Reads reaching ⊥ (no definition) in the OpenMP interpretation are
+the uninitialized flavor; reads reaching an older definition are stale.
+Section extents add the buffer-overflow flavor: a kernel touching more
+elements than the mapped section covers uses memory outside the CV.
+
+Two modeled imprecisions, both straight from the paper's comparison:
+
+* **pointer swaps defeat the alias analysis**: the abstract state is keyed
+  by *name*; a :class:`~repro.ompsan.ir.PointerSwap` swaps the names' whole
+  abstract records, so the analysis believes the data environment follows
+  the pointers — which is exactly wrong on real hardware, and exactly why
+  OMPSan misses 503.postencil;
+* **no dynamic information**: everything is whole-variable granularity and
+  straight-line; partially-initialized arrays or input-dependent trip
+  counts are invisible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..openmp.maptypes import MapType, entry_effect, exit_effect
+from .ir import (
+    Decl,
+    EnterData,
+    ExitData,
+    HostRead,
+    HostWrite,
+    MapItem,
+    PointerSwap,
+    StaticProgram,
+    TargetKernel,
+    Update,
+)
+
+#: The "no definition reaches here" lattice bottom.
+BOTTOM = None
+
+
+class StaticIssueKind(enum.Enum):
+    """Classification of a statically detected inconsistent def-use."""
+
+    UNINITIALIZED = "read of uninitialized data"
+    STALE = "read of stale data (def-use differs from serial elision)"
+    OVERFLOW = "access beyond the mapped section"
+    NOT_MAPPED = "kernel touches a variable with no corresponding variable"
+
+
+@dataclass(frozen=True)
+class StaticIssue:
+    kind: StaticIssueKind
+    var: str
+    line: int
+    detail: str = ""
+
+    def render(self) -> str:
+        where = f" at line {self.line}" if self.line else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"ompsan: {self.kind.value} [{self.var}]{where}{detail}"
+
+
+@dataclass
+class _VarState:
+    """Abstract mapping state of one variable under OpenMP semantics."""
+
+    host_def: object = BOTTOM
+    dev_def: object = BOTTOM
+    present: bool = False
+    ref_count: int = 0
+    mapped_elements: int | None = None  # None = whole object
+    length: int = 1
+
+
+@dataclass
+class AnalysisResult:
+    program: str
+    issues: list[StaticIssue] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    def kinds(self) -> set[StaticIssueKind]:
+        return {i.kind for i in self.issues}
+
+    def render(self) -> str:
+        if self.clean:
+            return f"{self.program}: no data mapping issue found (static)"
+        lines = [f"{self.program}: {len(self.issues)} issue(s)"]
+        lines += ["  " + i.render() for i in self.issues]
+        return "\n".join(lines)
+
+
+def _serial_defs(program: StaticProgram) -> dict[int, object]:
+    """Serial elision pass: reaching definition for every read site.
+
+    Read sites are identified by their statement index (and var for kernel
+    reads, encoded as (index, var)).
+    """
+    last: dict[str, object] = {}
+    reaching: dict = {}
+    for i, stmt in enumerate(program.body):
+        if isinstance(stmt, Decl):
+            last[stmt.var] = ("decl", stmt.var) if stmt.initialized else BOTTOM
+        elif isinstance(stmt, HostWrite):
+            last[stmt.var] = ("def", i)
+        elif isinstance(stmt, HostRead):
+            reaching[(i, stmt.var)] = last.get(stmt.var, BOTTOM)
+        elif isinstance(stmt, TargetKernel):
+            for var in stmt.reads:
+                reaching[(i, var)] = last.get(var, BOTTOM)
+            for var in stmt.writes:
+                last[var] = ("def", i)
+        elif isinstance(stmt, PointerSwap):
+            last[stmt.a], last[stmt.b] = (
+                last.get(stmt.b, BOTTOM),
+                last.get(stmt.a, BOTTOM),
+            )
+        # EnterData/ExitData/Update: no-ops under serial elision.
+    return reaching
+
+
+class OmpSan:
+    """The static data mapping issue detector."""
+
+    def analyze(self, program: StaticProgram) -> AnalysisResult:
+        result = AnalysisResult(program.name)
+        serial = _serial_defs(program)
+        state: dict[str, _VarState] = {}
+
+        def issue(kind: StaticIssueKind, var: str, line: int, detail: str = ""):
+            result.issues.append(StaticIssue(kind, var, line, detail))
+
+        def map_entry(item: MapItem, line: int) -> None:
+            vs = state[item.var]
+            eff = entry_effect(item.map_type)
+            if eff is None:
+                return
+            if vs.present:
+                vs.ref_count += 1
+                return  # already present: no transfer, count bump only
+            vs.present = True
+            vs.ref_count = 1
+            vs.mapped_elements = item.elements
+            vs.dev_def = vs.host_def if eff.copies_to_device else BOTTOM
+
+        def map_exit(item: MapItem, line: int) -> None:
+            vs = state[item.var]
+            eff = exit_effect(item.map_type)
+            if not vs.present:
+                return
+            if eff.forces_zero:
+                vs.ref_count = 0
+            elif eff.decrements and vs.ref_count > 0:
+                vs.ref_count -= 1
+            if vs.ref_count > 0:
+                return
+            if eff.copies_to_host:
+                vs.host_def = vs.dev_def
+            vs.present = False
+            vs.dev_def = BOTTOM
+            vs.mapped_elements = None
+
+        for i, stmt in enumerate(program.body):
+            if isinstance(stmt, Decl):
+                state[stmt.var] = _VarState(
+                    host_def=("decl", stmt.var) if stmt.initialized else BOTTOM,
+                    length=stmt.length,
+                )
+            elif isinstance(stmt, HostWrite):
+                state[stmt.var].host_def = ("def", i)
+            elif isinstance(stmt, HostRead):
+                vs = state[stmt.var]
+                expected = serial[(i, stmt.var)]
+                if vs.host_def != expected:
+                    kind = (
+                        StaticIssueKind.UNINITIALIZED
+                        if vs.host_def is BOTTOM
+                        else StaticIssueKind.STALE
+                    )
+                    issue(kind, stmt.var, stmt.line)
+            elif isinstance(stmt, (EnterData, ExitData)):
+                for item in stmt.maps:
+                    if isinstance(stmt, EnterData):
+                        map_entry(item, stmt.line)
+                    else:
+                        map_exit(item, stmt.line)
+            elif isinstance(stmt, Update):
+                for var in stmt.to:
+                    vs = state[var]
+                    if vs.present:
+                        vs.dev_def = vs.host_def
+                for var in stmt.from_:
+                    vs = state[var]
+                    if vs.present:
+                        vs.host_def = vs.dev_def
+            elif isinstance(stmt, TargetKernel):
+                for item in stmt.maps:
+                    map_entry(item, stmt.line)
+                extents = dict(stmt.extents)
+                for var in stmt.reads:
+                    vs = state[var]
+                    if not vs.present:
+                        issue(StaticIssueKind.NOT_MAPPED, var, stmt.line)
+                        continue
+                    self._check_extent(vs, var, extents, stmt.line, issue)
+                    expected = serial[(i, var)]
+                    if vs.dev_def != expected:
+                        kind = (
+                            StaticIssueKind.UNINITIALIZED
+                            if vs.dev_def is BOTTOM
+                            else StaticIssueKind.STALE
+                        )
+                        issue(kind, var, stmt.line)
+                for var in stmt.writes:
+                    vs = state[var]
+                    if not vs.present:
+                        issue(StaticIssueKind.NOT_MAPPED, var, stmt.line)
+                        continue
+                    self._check_extent(vs, var, extents, stmt.line, issue)
+                    vs.dev_def = ("def", i)
+                for item in stmt.maps:
+                    map_exit(item, stmt.line)
+            elif isinstance(stmt, PointerSwap):
+                # Alias-analysis degradation: swap the names' whole abstract
+                # records, mapping state included (see module docstring).
+                state[stmt.a], state[stmt.b] = state[stmt.b], state[stmt.a]
+        return result
+
+    @staticmethod
+    def _check_extent(vs: _VarState, var: str, extents, line: int, issue) -> None:
+        touched = extents.get(var, vs.length)
+        mapped = vs.mapped_elements if vs.mapped_elements is not None else vs.length
+        if touched > mapped:
+            issue(
+                StaticIssueKind.OVERFLOW,
+                var,
+                line,
+                f"kernel touches {touched} elements, section maps {mapped}",
+            )
+
+
+def analyze(program: StaticProgram) -> AnalysisResult:
+    """Convenience wrapper: run OMPSan on one program."""
+    return OmpSan().analyze(program)

@@ -1,0 +1,180 @@
+"""Directive-level program IR for static analysis (the OMPSan model).
+
+OMPSan [Barua et al., IWOMP'19] works on LLVM IR: it interprets the data
+mapping constructs against the *serial elision* of the program and reports
+def-use relations that differ.  Our dynamic benchmarks are Python closures
+— opaque to static analysis by construction — so the static model gets its
+own honest input format: a list of :class:`Stmt` records at the same
+altitude as what OMPSan recovers from IR + alias analysis (whole variables,
+host/kernel reads and writes, mapping directives).
+
+One statement deserves explanation: :class:`PointerSwap`.  OMPSan's
+published weakness (§VI.G: "missed the data mapping issue in 503.postencil
+because of the complex dataflow ... alias analysis may generate inaccurate
+results") is that once pointers are shuffled, the static name↔storage
+correspondence breaks.  `PointerSwap` exists in the IR precisely so the
+analyzer can handle it the way a sound-ish alias analysis degrades: it
+keeps analyzing *names* (the optimistic assumption real alias analysis
+makes when it cannot prove aliasing) and therefore misses bugs that live in
+the physical-buffer shuffle — reproducing the paper's comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from ..openmp.maptypes import MapType
+
+
+@dataclass(frozen=True)
+class MapItem:
+    """One map clause: ``map(type: var[0:elements])``.
+
+    ``elements=None`` maps the whole declared object.  Sections always
+    start at 0 in this IR — enough to express the DRACC too-small-section
+    bugs while keeping the static domain one interval per variable.
+    """
+
+    var: str
+    map_type: MapType
+    elements: int | None = None
+
+
+@dataclass(frozen=True)
+class Decl:
+    """Variable declaration; ``initialized`` models init-at-decl (.data)."""
+
+    var: str
+    length: int = 1
+    initialized: bool = False
+
+
+@dataclass(frozen=True)
+class HostWrite:
+    var: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class HostRead:
+    var: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TargetKernel:
+    """A target region: its maps plus which variables the body touches."""
+
+    maps: tuple[MapItem, ...]
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    #: Highest element index + 1 the body touches, per variable, when it
+    #: differs from the declared length (the buffer-overflow bug class).
+    extents: tuple[tuple[str, int], ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class EnterData:
+    maps: tuple[MapItem, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExitData:
+    maps: tuple[MapItem, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Update:
+    to: tuple[str, ...] = ()
+    from_: tuple[str, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PointerSwap:
+    """``tmp = a; a = b; b = tmp;`` on host pointers (see module docstring)."""
+
+    a: str
+    b: str
+    line: int = 0
+
+
+Stmt = Union[
+    Decl, HostWrite, HostRead, TargetKernel, EnterData, ExitData, Update, PointerSwap
+]
+
+
+@dataclass
+class StaticProgram:
+    """A whole program: name + straight-line statement list.
+
+    DRACC-class benchmarks are loop-free at directive granularity (loops
+    live *inside* kernels), so straight-line statements suffice; iteration
+    constructs are unrolled by the encoder, matching how OMPSan's analysis
+    effectively sees small trip-count-known loops.
+    """
+
+    name: str
+    body: list[Stmt] = field(default_factory=list)
+
+    def declared(self) -> list[str]:
+        return [s.var for s in self.body if isinstance(s, Decl)]
+
+    # -- tiny builder helpers keep the encodings readable -------------------
+
+    def decl(
+        self, var: str, length: int = 1, *, initialized: bool = False
+    ) -> "StaticProgram":
+        self.body.append(Decl(var, length, initialized))
+        return self
+
+    def host_write(self, var: str, line: int = 0) -> "StaticProgram":
+        self.body.append(HostWrite(var, line))
+        return self
+
+    def host_read(self, var: str, line: int = 0) -> "StaticProgram":
+        self.body.append(HostRead(var, line))
+        return self
+
+    def kernel(
+        self,
+        maps: Sequence[tuple],
+        *,
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
+        extents: dict[str, int] | None = None,
+        line: int = 0,
+    ) -> "StaticProgram":
+        self.body.append(
+            TargetKernel(
+                tuple(MapItem(*m) for m in maps),
+                tuple(reads),
+                tuple(writes),
+                tuple((extents or {}).items()),
+                line,
+            )
+        )
+        return self
+
+    def enter_data(self, maps: Sequence[tuple], line: int = 0) -> "StaticProgram":
+        self.body.append(EnterData(tuple(MapItem(*m) for m in maps), line))
+        return self
+
+    def exit_data(self, maps: Sequence[tuple], line: int = 0) -> "StaticProgram":
+        self.body.append(ExitData(tuple(MapItem(*m) for m in maps), line))
+        return self
+
+    def update(
+        self, *, to: Sequence[str] = (), from_: Sequence[str] = (), line: int = 0
+    ) -> "StaticProgram":
+        self.body.append(Update(tuple(to), tuple(from_), line))
+        return self
+
+    def swap(self, a: str, b: str, line: int = 0) -> "StaticProgram":
+        self.body.append(PointerSwap(a, b, line))
+        return self

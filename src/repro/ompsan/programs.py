@@ -1,0 +1,358 @@
+"""Static-IR encodings of the evaluation programs (§VI.G).
+
+The paper's OMPSan comparison states two facts to reproduce:
+
+* OMPSan pinpointed **all 16** known data mapping issues in DRACC, and
+* OMPSan **missed** 503.postencil "because of the complex dataflow"
+  (pointer swaps defeating the alias analysis).
+
+Each encoding below mirrors the directive structure of the corresponding
+dynamic benchmark in :mod:`repro.dracc` / :mod:`repro.specaccel`; loops of
+directives are unrolled (trip counts are compile-time constants in the C
+originals).  Encoding note for DRACC_OMP_025: the IR's sections start at 0,
+so the wrong-*start* section is encoded as a wrong-*length* section — the
+def-use consequence (the kernel touches unmapped elements) is identical.
+"""
+
+from __future__ import annotations
+
+from ..openmp.maptypes import MapType
+from .ir import StaticProgram
+
+N = 64
+M = 16
+
+TO, FROM, TOFROM, ALLOC, RELEASE, DELETE = (
+    MapType.TO,
+    MapType.FROM,
+    MapType.TOFROM,
+    MapType.ALLOC,
+    MapType.RELEASE,
+    MapType.DELETE,
+)
+
+
+def _abc(p: StaticProgram, length: int = N) -> StaticProgram:
+    for var in ("a", "b", "c"):
+        p.decl(var, length)
+        p.host_write(var, line=5)
+    return p
+
+
+# ---------------------------------------------------------------------------
+# the 16 buggy benchmarks
+# ---------------------------------------------------------------------------
+
+
+def dracc_022() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_022")
+    p.decl("a", M).host_write("a", 5)
+    p.decl("b", M * M).host_write("b", 5)
+    p.decl("c", M).host_write("c", 5)
+    p.kernel(
+        [("a", TO), ("b", ALLOC), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+        line=16,
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_023() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_023"))
+    p.kernel(
+        [("a", TO, N // 2), ("b", TO), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+        extents={"a": N},
+        line=18,
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_024() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_024"))
+    p.kernel(
+        [("a", FROM), ("b", TO), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+        line=21,
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_025() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_025"))
+    p.kernel(
+        [("a", TO, N // 2), ("b", TO), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+        extents={"a": N},  # wrong-start section encoded as wrong length
+        line=19,
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_026() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_026"))
+    p.kernel(
+        [("a", TO), ("b", TO), ("c", TO)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+        line=14,
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_027() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_027"))
+    p.enter_data([("a", TO), ("b", TO), ("c", TO)], line=10)
+    p.kernel([], reads=("a", "b", "c"), writes=("c",), line=15)
+    p.exit_data([("a", RELEASE), ("b", RELEASE), ("c", RELEASE)], line=24)
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_028() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_028"))
+    p.kernel(
+        [("a", TO), ("b", TO), ("c", TOFROM, N // 2)],
+        reads=("a", "b"),
+        writes=("c",),
+        extents={"c": N},
+        line=18,
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_029() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_029")
+    p.decl("a", M).host_write("a", 5)
+    p.decl("b", M * M).host_write("b", 5)
+    p.decl("c", M).host_write("c", 5)
+    p.kernel(
+        [("a", TO), ("b", TO, M * M - M), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+        extents={"b": M * M},
+        line=15,
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_030() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_030"))
+    p.kernel(
+        [("a", TO), ("c", TOFROM)],
+        reads=("a",),
+        writes=("c",),
+        extents={"a": N + 1},  # i <= N
+        line=17,
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_031() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_031")
+    p.decl("a", N // 2).host_write("a", 5)
+    p.decl("c", N).host_write("c", 5)
+    p.kernel(
+        [("a", TO), ("c", TOFROM)],
+        reads=("a",),
+        writes=("c",),
+        extents={"a": N},
+        line=16,
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_032() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_032"))
+    p.enter_data([("a", TO), ("b", TO), ("c", TO)], line=12)
+    p.kernel([], reads=("a", "b", "c"), writes=("c",), line=15)
+    p.host_write("a", 19)  # refresh never pushed: update to(a) missing
+    p.kernel([], reads=("a", "b", "c"), writes=("c",), line=22)
+    p.exit_data([("a", RELEASE), ("b", RELEASE), ("c", FROM)], line=28)
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_033() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_033"))
+    p.enter_data([("a", TO), ("b", TO), ("c", TO)], line=12)
+    p.kernel([], reads=("a", "b", "c"), writes=("c",), line=16)
+    p.update(to=("c",), line=20)  # wrong direction: destroys the result
+    p.exit_data([("a", RELEASE), ("b", RELEASE), ("c", FROM)], line=26)
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_034() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_034")
+    p.decl("coeff", N)
+    p.decl("a", N).host_write("a", 5)
+    p.decl("c", N).host_write("c", 5)
+    # declare target: the image copy exists from device init, data-less.
+    p.enter_data([("coeff", ALLOC)], line=1)
+    p.host_write("coeff", 8)  # host copy only; update to(coeff) missing
+    p.kernel(
+        [("a", TO), ("c", TOFROM)],
+        reads=("a", "coeff"),
+        writes=("c",),
+        line=19,
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_049() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_049"))
+    p.enter_data([("a", ALLOC), ("b", TO)], line=12)
+    p.kernel([("c", TOFROM)], reads=("a", "b", "c"), writes=("c",), line=15)
+    p.exit_data([("a", RELEASE), ("b", RELEASE)], line=20)
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_050() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_050"))
+    p.enter_data([("a", ALLOC)], line=10)
+    # The to-map looks right but the present check suppresses the transfer.
+    p.kernel(
+        [("a", TO), ("b", TO), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+        line=14,
+    )
+    p.exit_data([("a", RELEASE)], line=18)
+    p.host_read("c", 90)
+    return p
+
+
+def dracc_051() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_051"))
+    p.enter_data([("a", TO)], line=10)
+    p.exit_data([("a", DELETE)], line=13)
+    p.kernel(
+        [("a", ALLOC), ("b", TO), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+        line=17,
+    )
+    p.host_read("c", 90)
+    return p
+
+
+BUGGY_PROGRAMS = {
+    22: dracc_022,
+    23: dracc_023,
+    24: dracc_024,
+    25: dracc_025,
+    26: dracc_026,
+    27: dracc_027,
+    28: dracc_028,
+    29: dracc_029,
+    30: dracc_030,
+    31: dracc_031,
+    32: dracc_032,
+    33: dracc_033,
+    34: dracc_034,
+    49: dracc_049,
+    50: dracc_050,
+    51: dracc_051,
+}
+
+
+# ---------------------------------------------------------------------------
+# representative clean benchmarks (the static tool must stay silent)
+# ---------------------------------------------------------------------------
+
+
+def clean_004() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_004"))
+    p.kernel(
+        [("a", TO), ("b", TO), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def clean_009() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_009"))
+    p.enter_data([("a", TO), ("b", TO), ("c", TO)])
+    p.kernel([], reads=("a", "b", "c"), writes=("c",))
+    p.host_write("a")
+    p.update(to=("a",))
+    p.kernel([], reads=("a", "b", "c"), writes=("c",))
+    p.exit_data([("a", RELEASE), ("b", RELEASE), ("c", FROM)])
+    p.host_read("c", 90)
+    return p
+
+
+def clean_013() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_013"))
+    p.enter_data([("a", TO)])
+    p.enter_data([("a", TO), ("b", TO), ("c", TO)])  # rc(a) = 2
+    p.kernel([("a", TO)], reads=("a", "b", "c"), writes=("c",))  # rc(a) = 3
+    p.exit_data([("a", RELEASE), ("b", RELEASE), ("c", FROM)])
+    p.exit_data([("a", RELEASE)])
+    p.host_read("c", 90)
+    return p
+
+
+def clean_016() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_016")
+    p.decl("coeff", N)
+    p.decl("a", N).host_write("a")
+    p.decl("c", N).host_write("c")
+    p.enter_data([("coeff", ALLOC)])
+    p.host_write("coeff")
+    p.update(to=("coeff",))  # the update benchmark 034 forgot
+    p.kernel([("a", TO), ("c", TOFROM)], reads=("a", "coeff"), writes=("c",))
+    p.host_read("c", 90)
+    return p
+
+
+CLEAN_PROGRAMS = {
+    4: clean_004,
+    9: clean_009,
+    13: clean_013,
+    16: clean_016,
+}
+
+
+# ---------------------------------------------------------------------------
+# 503.postencil: where static analysis loses to the dynamic tool
+# ---------------------------------------------------------------------------
+
+
+def postencil(iters: int = 3, *, buggy: bool = True) -> StaticProgram:
+    """The v1.2 stencil, pointer swaps and all.
+
+    The name-keyed abstract interpretation follows the swaps, believes the
+    final ``from(A0)`` retrieves the result, and finds nothing — OMPSan's
+    documented miss.  The fixed variant adds the explicit update.
+    """
+    p = StaticProgram("503.postencil" + ("" if buggy else " (fixed)"))
+    p.decl("A0", 4096).host_write("A0", 127)
+    p.decl("Anext", 4096).host_write("Anext", 127)
+    p.enter_data([("A0", TO), ("Anext", TO)], line=130)
+    for _t in range(iters):
+        p.kernel([], reads=("A0",), writes=("Anext",), line=137)
+        p.swap("A0", "Anext", line=139)
+    if not buggy:
+        p.update(from_=("A0",), line=141)
+    p.exit_data([("A0", FROM), ("Anext", RELEASE)], line=143)
+    p.host_read("A0", 145)
+    return p

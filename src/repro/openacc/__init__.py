@@ -1,0 +1,5 @@
+"""OpenACC front-end over the simulated runtime (§VIII future work)."""
+
+from .facade import AccRuntime
+
+__all__ = ["AccRuntime"]

@@ -1,0 +1,176 @@
+"""OpenACC front-end: the paper's §VIII future work, implemented.
+
+"We also plan to extend ARBALEST further to support other accelerator
+programming models, such as OpenACC and Kokkos."  OpenACC's data clauses
+map directly onto OpenMP's data-mapping semantics, so the extension is a
+*front-end*: translate OpenACC directives to the simulated OpenMP runtime
+and every detector — ARBALEST, the baselines, certification — works
+unchanged, because they consume the runtime's event stream, not its
+surface syntax.
+
+Clause translation (OpenACC 3.x → OpenMP 5.x):
+
+==================  ==========================
+OpenACC              OpenMP map-type
+==================  ==========================
+``copy(x)``          ``map(tofrom: x)``
+``copyin(x)``        ``map(to: x)``
+``copyout(x)``       ``map(from: x)``
+``create(x)``        ``map(alloc: x)``
+``delete(x)``        ``map(delete: x)`` (exit data)
+``update self``      ``target update from``
+``update device``    ``target update to``
+``async``            ``nowait``
+``wait``             ``taskwait``
+==================  ==========================
+
+The one semantic wrinkle worth modeling: OpenACC's *data region* and
+*unstructured enter/exit data* use the same present-or-create counting as
+OpenMP, so the same reference-counting bug class (DRACC 50's shadowed
+transfer) exists verbatim in OpenACC programs — and the detector flags it
+through this facade identically.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
+
+from ..openmp.arrays import HostArray, KernelContext
+from ..openmp.maptypes import MapSpec, MapType
+from ..openmp.runtime import Machine, TargetRuntime
+
+Kernel = Callable[[KernelContext], None]
+
+
+class AccRuntime:
+    """OpenACC directives over the simulated offloading machine.
+
+    Wraps (or creates) a :class:`~repro.openmp.runtime.TargetRuntime`; the
+    two front-ends can be mixed freely on one machine, mirroring real
+    interoperability through libomptarget.
+    """
+
+    def __init__(self, machine: Machine | None = None, **machine_kwargs):
+        self.omp = TargetRuntime(machine, **machine_kwargs)
+
+    @property
+    def machine(self) -> Machine:
+        return self.omp.machine
+
+    # -- declarations -------------------------------------------------------
+
+    def array(self, name: str, length: int, dtype="f8", **kwargs) -> HostArray:
+        """Declare a host array (same storage model as the OpenMP side)."""
+        return self.omp.array(name, length, dtype, **kwargs)
+
+    # -- clause translation ---------------------------------------------------
+
+    @staticmethod
+    def _specs(
+        copy: Sequence[HostArray] = (),
+        copyin: Sequence[HostArray] = (),
+        copyout: Sequence[HostArray] = (),
+        create: Sequence[HostArray] = (),
+    ) -> list[MapSpec]:
+        specs: list[MapSpec] = []
+        specs += [MapSpec(a, MapType.TOFROM) for a in copy]
+        specs += [MapSpec(a, MapType.TO) for a in copyin]
+        specs += [MapSpec(a, MapType.FROM) for a in copyout]
+        specs += [MapSpec(a, MapType.ALLOC) for a in create]
+        return specs
+
+    # -- compute constructs ------------------------------------------------------
+
+    def parallel(
+        self,
+        kernel: Kernel,
+        *,
+        copy: Sequence[HostArray] = (),
+        copyin: Sequence[HostArray] = (),
+        copyout: Sequence[HostArray] = (),
+        create: Sequence[HostArray] = (),
+        async_: bool = False,
+        device: int = 1,
+        name: str | None = None,
+    ):
+        """``#pragma acc parallel [data clauses] [async]``."""
+        return self.omp.target(
+            kernel,
+            maps=self._specs(copy, copyin, copyout, create),
+            device=device,
+            nowait=async_,
+            name=name or getattr(kernel, "__name__", "acc_parallel"),
+        )
+
+    kernels = parallel  # ``acc kernels`` has the same data semantics here
+
+    # -- data constructs -----------------------------------------------------------
+
+    @contextmanager
+    def data(
+        self,
+        *,
+        copy: Sequence[HostArray] = (),
+        copyin: Sequence[HostArray] = (),
+        copyout: Sequence[HostArray] = (),
+        create: Sequence[HostArray] = (),
+        device: int = 1,
+    ) -> Iterator[None]:
+        """``#pragma acc data [clauses] { ... }``."""
+        with self.omp.target_data(
+            self._specs(copy, copyin, copyout, create), device=device
+        ):
+            yield
+
+    def enter_data(
+        self,
+        *,
+        copyin: Sequence[HostArray] = (),
+        create: Sequence[HostArray] = (),
+        device: int = 1,
+    ) -> None:
+        """``#pragma acc enter data``."""
+        self.omp.target_enter_data(
+            self._specs(copyin=copyin, create=create), device=device
+        )
+
+    def exit_data(
+        self,
+        *,
+        copyout: Sequence[HostArray] = (),
+        delete: Sequence[HostArray] = (),
+        device: int = 1,
+    ) -> None:
+        """``#pragma acc exit data``."""
+        specs = [MapSpec(a, MapType.FROM) for a in copyout]
+        specs += [MapSpec(a, MapType.DELETE) for a in delete]
+        self.omp.target_exit_data(specs, device=device)
+
+    # -- update / synchronization ---------------------------------------------------
+
+    def update(
+        self,
+        *,
+        self_: Sequence[HostArray] = (),
+        device_: Sequence[HostArray] = (),
+        device: int = 1,
+    ) -> None:
+        """``#pragma acc update self(...) device(...)``.
+
+        OpenACC's ``self``/``host`` clause pulls device data to the host
+        (OpenMP ``from``); ``device`` pushes host data out (OpenMP ``to``).
+        """
+        self.omp.target_update(to=list(device_), from_=list(self_), device=device)
+
+    def wait(self) -> None:
+        """``#pragma acc wait``."""
+        self.omp.taskwait()
+
+    def finalize(self) -> None:
+        self.omp.finalize()
+
+    # -- source annotation -------------------------------------------------------
+
+    def at(self, file: str, line: int, column: int = 0, function: str = "main"):
+        return self.omp.at(file, line, column, function)

@@ -1,0 +1,46 @@
+"""Simulated OpenMP target offloading: devices, data mapping, kernels, tasks."""
+
+from .arrays import HostArray, KernelArray, KernelContext
+from .device import Device, HostDevice, UnifiedDevice
+from .maptypes import (
+    MapSpec,
+    MapType,
+    alloc,
+    delete,
+    from_,
+    release,
+    to,
+    tofrom,
+)
+from .ompt import TraceRecorder
+from .present import PresentEntry, PresentTable
+from .runtime import Machine, TargetRuntime
+from .scheduler import Schedule, Scheduler
+from .tasks import Task, TaskGraph, TaskState
+
+__all__ = [
+    "HostArray",
+    "KernelArray",
+    "KernelContext",
+    "Device",
+    "HostDevice",
+    "UnifiedDevice",
+    "MapSpec",
+    "MapType",
+    "to",
+    "from_",
+    "tofrom",
+    "alloc",
+    "release",
+    "delete",
+    "TraceRecorder",
+    "PresentEntry",
+    "PresentTable",
+    "Machine",
+    "TargetRuntime",
+    "Schedule",
+    "Scheduler",
+    "Task",
+    "TaskGraph",
+    "TaskState",
+]

@@ -1,0 +1,192 @@
+"""Map clauses and map-type semantics (Table I of the paper).
+
+A :class:`MapSpec` is the runtime representation of one ``map(type: var[lo:n])``
+clause: which host array section is mapped and with which map-type.  The
+entry/exit effects of each map-type — when a corresponding variable (CV) is
+created, when bytes move, how the reference count changes — are encoded in
+:class:`EntryEffect`/:class:`ExitEffect` tables that transcribe Table I, and
+the runtime interprets them via :func:`entry_effect`/:func:`exit_effect`.
+
+OpenMP 5.1 restricts which map-types may appear on which construct
+(``delete``/``release`` only make sense when a region is exited); the
+``allowed_on_*`` helpers encode those restrictions so misuse fails loudly at
+the API boundary instead of corrupting the present table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..memory.errors import MappingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .arrays import HostArray
+
+
+class MapType(enum.Enum):
+    """The predefined map-types of Table I (OpenMP 5.1 §2.21.7.1)."""
+
+    TO = "to"
+    FROM = "from"
+    TOFROM = "tofrom"
+    ALLOC = "alloc"
+    RELEASE = "release"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True, slots=True)
+class EntryEffect:
+    """What happens on entry to the associated region (Table I, top half)."""
+
+    #: Create the CV (and set ref count to 1) when it does not exist yet.
+    allocates: bool
+    #: memcpy(CV, OV) right after creating the CV.
+    copies_to_device: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ExitEffect:
+    """What happens on exit from the associated region (Table I, bottom half)."""
+
+    #: Decrement the reference count (``delete`` instead forces it to zero).
+    decrements: bool
+    forces_zero: bool
+    #: memcpy(OV, CV) when the count reaches zero.
+    copies_to_host: bool
+    #: delete the CV when the count reaches zero.
+    deletes: bool
+
+
+_ENTRY: dict[MapType, EntryEffect] = {
+    MapType.TO: EntryEffect(allocates=True, copies_to_device=True),
+    MapType.TOFROM: EntryEffect(allocates=True, copies_to_device=True),
+    MapType.FROM: EntryEffect(allocates=True, copies_to_device=False),
+    MapType.ALLOC: EntryEffect(allocates=True, copies_to_device=False),
+}
+
+_EXIT: dict[MapType, ExitEffect] = {
+    MapType.FROM: ExitEffect(
+        decrements=True, forces_zero=False, copies_to_host=True, deletes=True
+    ),
+    MapType.TOFROM: ExitEffect(
+        decrements=True, forces_zero=False, copies_to_host=True, deletes=True
+    ),
+    MapType.TO: ExitEffect(
+        decrements=True, forces_zero=False, copies_to_host=False, deletes=True
+    ),
+    MapType.ALLOC: ExitEffect(
+        decrements=True, forces_zero=False, copies_to_host=False, deletes=True
+    ),
+    MapType.RELEASE: ExitEffect(
+        decrements=True, forces_zero=False, copies_to_host=False, deletes=True
+    ),
+    MapType.DELETE: ExitEffect(
+        decrements=False, forces_zero=True, copies_to_host=False, deletes=True
+    ),
+}
+
+
+def entry_effect(map_type: MapType) -> EntryEffect | None:
+    """Entry semantics; ``None`` for exit-only map-types (release/delete)."""
+    return _ENTRY.get(map_type)
+
+
+def exit_effect(map_type: MapType) -> ExitEffect:
+    """Exit semantics of ``map_type`` (defined for every map-type)."""
+    return _EXIT[map_type]
+
+
+def allowed_on_enter_data(map_type: MapType) -> bool:
+    """``target enter data`` accepts to/alloc (OpenMP 5.1 §2.14.6)."""
+    return map_type in (MapType.TO, MapType.ALLOC)
+
+
+def allowed_on_exit_data(map_type: MapType) -> bool:
+    """``target exit data`` accepts from/release/delete."""
+    return map_type in (MapType.FROM, MapType.RELEASE, MapType.DELETE)
+
+
+def allowed_on_target(map_type: MapType) -> bool:
+    """``target`` / ``target data`` accept to/from/tofrom/alloc."""
+    return map_type in (MapType.TO, MapType.FROM, MapType.TOFROM, MapType.ALLOC)
+
+
+@dataclass(frozen=True)
+class MapSpec:
+    """One map clause: a host array section plus its map-type.
+
+    ``start``/``count`` are in *elements* of the array's dtype; ``count=None``
+    maps through the end of the array.  The byte extent of the mapped
+    section — what the present table is keyed on — comes from
+    :attr:`ov_address` / :attr:`nbytes`.
+    """
+
+    array: "HostArray"
+    map_type: MapType
+    start: int = 0
+    count: int | None = None
+
+    def __post_init__(self) -> None:
+        n = self.length
+        if self.start < 0 or n < 0 or self.start + n > self.array.length:
+            raise MappingError(
+                f"section [{self.start}:{self.start + n}] exceeds "
+                f"array '{self.array.name}' of length {self.array.length}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of elements in the mapped section."""
+        if self.count is None:
+            return self.array.length - self.start
+        return self.count
+
+    @property
+    def ov_address(self) -> int:
+        """Host (original variable) base address of the mapped section."""
+        return self.array.address_of(self.start)
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * self.array.itemsize
+
+    def __repr__(self) -> str:
+        return (
+            f"map({self.map_type.value}: {self.array.name}"
+            f"[{self.start}:{self.start + self.length}])"
+        )
+
+
+# -- clause constructors, mirroring the directive syntax --------------------
+
+
+def to(array: "HostArray", start: int = 0, count: int | None = None) -> MapSpec:
+    """``map(to: array[start:start+count])``"""
+    return MapSpec(array, MapType.TO, start, count)
+
+
+def from_(array: "HostArray", start: int = 0, count: int | None = None) -> MapSpec:
+    """``map(from: array[start:start+count])``"""
+    return MapSpec(array, MapType.FROM, start, count)
+
+
+def tofrom(array: "HostArray", start: int = 0, count: int | None = None) -> MapSpec:
+    """``map(tofrom: array[start:start+count])``"""
+    return MapSpec(array, MapType.TOFROM, start, count)
+
+
+def alloc(array: "HostArray", start: int = 0, count: int | None = None) -> MapSpec:
+    """``map(alloc: array[start:start+count])``"""
+    return MapSpec(array, MapType.ALLOC, start, count)
+
+
+def release(array: "HostArray", start: int = 0, count: int | None = None) -> MapSpec:
+    """``map(release: array[start:start+count])``"""
+    return MapSpec(array, MapType.RELEASE, start, count)
+
+
+def delete(array: "HostArray", start: int = 0, count: int | None = None) -> MapSpec:
+    """``map(delete: array[start:start+count])``"""
+    return MapSpec(array, MapType.DELETE, start, count)

@@ -1,0 +1,124 @@
+"""The present table: per-device reference-counted OV↔CV associations.
+
+OpenMP runtimes keep, per device, a table of which host address ranges are
+currently *present* (have a corresponding variable) and with what reference
+count; Table I's pseudocode (``exist``, ``ref_count``) reads straight off
+this structure.  Our table stores non-overlapping host byte ranges.  A map
+clause whose section is already fully contained in a present entry reuses it
+(count bump, no transfer) — the exact behaviour that makes data-mapping bugs
+subtle, and that tools without OMPT cannot see.
+
+Partially-overlapping sections (mapping ``a[0:10]`` while ``a[5:15]`` is
+present) are a nonconforming program; the table raises ``MappingError``,
+matching libomptarget's runtime abort.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from ..memory.errors import MappingError
+
+
+@dataclass
+class PresentEntry:
+    """One live mapping of a host section onto a device."""
+
+    ov_address: int
+    nbytes: int
+    cv_address: int
+    device_id: int
+    ref_count: int = 1
+    #: Name of the source array, carried along for reports.
+    name: str = ""
+    #: The HostArray this entry maps a section of (typed loosely to avoid an
+    #: import cycle); kernels use it to learn dtype and declared length.
+    array: object = None
+
+    @property
+    def ov_end(self) -> int:
+        return self.ov_address + self.nbytes
+
+    def contains(self, ov_address: int, nbytes: int) -> bool:
+        return self.ov_address <= ov_address and ov_address + nbytes <= self.ov_end
+
+    def overlaps(self, ov_address: int, nbytes: int) -> bool:
+        return ov_address < self.ov_end and self.ov_address < ov_address + nbytes
+
+    def translate(self, ov_address: int) -> int:
+        """Map a host address inside this entry to its device address."""
+        return self.cv_address + (ov_address - self.ov_address)
+
+
+class PresentTable:
+    """Sorted, non-overlapping host ranges present on one device."""
+
+    def __init__(self, device_id: int):
+        self.device_id = device_id
+        self._bases: list[int] = []
+        self._entries: dict[int, PresentEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._bases)
+
+    def entries(self) -> tuple[PresentEntry, ...]:
+        return tuple(self._entries[b] for b in self._bases)
+
+    def lookup(self, ov_address: int, nbytes: int = 1) -> PresentEntry | None:
+        """The entry fully containing ``[ov_address, ov_address+nbytes)``.
+
+        Returns ``None`` when the range is absent; raises
+        :class:`MappingError` when it straddles an entry boundary (a
+        nonconforming program).
+        """
+        i = bisect_right(self._bases, ov_address)
+        if i:
+            entry = self._entries[self._bases[i - 1]]
+            if entry.contains(ov_address, nbytes):
+                return entry
+            if entry.overlaps(ov_address, nbytes):
+                raise MappingError(
+                    f"section [{ov_address:#x}+{nbytes}] partially overlaps "
+                    f"present entry for '{entry.name}'"
+                )
+        # The range may also overlap the *next* entry's head.
+        if i < len(self._bases):
+            nxt = self._entries[self._bases[i]]
+            if nxt.overlaps(ov_address, nbytes):
+                raise MappingError(
+                    f"section [{ov_address:#x}+{nbytes}] partially overlaps "
+                    f"present entry for '{nxt.name}'"
+                )
+        return None
+
+    def find_by_name(self, name: str) -> PresentEntry | None:
+        """The (first) present entry for the array called ``name``.
+
+        Kernels resolve their mapped variables by name; when two disjoint
+        sections of one array are simultaneously present the earliest-based
+        one wins, which matches how a compiler would have rewritten the
+        variable reference against a single lookup.
+        """
+        for base in self._bases:
+            if self._entries[base].name == name:
+                return self._entries[base]
+        return None
+
+    def insert(self, entry: PresentEntry) -> None:
+        if self.lookup(entry.ov_address, entry.nbytes) is not None:
+            raise MappingError(
+                f"range [{entry.ov_address:#x}+{entry.nbytes}] is already present"
+            )
+        i = bisect_right(self._bases, entry.ov_address)
+        self._bases.insert(i, entry.ov_address)
+        self._entries[entry.ov_address] = entry
+
+    def remove(self, entry: PresentEntry) -> None:
+        try:
+            self._bases.remove(entry.ov_address)
+            del self._entries[entry.ov_address]
+        except (ValueError, KeyError):
+            raise MappingError(
+                f"range [{entry.ov_address:#x}+{entry.nbytes}] is not present"
+            ) from None

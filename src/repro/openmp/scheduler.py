@@ -1,0 +1,61 @@
+"""Schedules for asynchronous (``nowait``) target regions.
+
+A serial simulation of concurrency must *choose* an interleaving.  The
+choice never affects which happens-before edges exist (see
+:mod:`repro.openmp.tasks`), but it does affect observed values — which is
+precisely the paper's point about VSM examining "a single schedule of
+compute kernels" (§IV.E): a data mapping issue hidden in the unobserved
+schedule needs Theorem-1 certification, not more VSM runs.
+
+Four schedules are provided:
+
+* :attr:`Schedule.EAGER` — nowait bodies run at launch.  The kernel's
+  effects land *before* subsequent host code, so host reads racing a kernel
+  write observe the "kernel won" outcome.  Default, and the schedule under
+  which the DRACC bugs manifest.
+* :attr:`Schedule.DEFER_KERNEL_FIRST` — nowait bodies run at the next
+  synchronization point, before any exit transfers of a closing data
+  region.  Host code racing the kernel sees pre-kernel values.
+* :attr:`Schedule.DEFER_HOST_FIRST` — like the above, but a closing data
+  region performs its exit transfers *before* draining pending kernels:
+  the transfer loses the kernel's update (the nastiest real-GPU outcome).
+* :attr:`Schedule.RANDOM` — a seeded per-task coin flip between eager and
+  deferred, for schedule-exploration tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+
+class Schedule(enum.Enum):
+    """Interleaving policy for nowait tasks; see the module docstring."""
+
+    EAGER = "eager"
+    DEFER_KERNEL_FIRST = "defer-kernel-first"
+    DEFER_HOST_FIRST = "defer-host-first"
+    RANDOM = "random"
+
+
+class Scheduler:
+    """Per-machine scheduling decisions for nowait tasks."""
+
+    def __init__(self, schedule: Schedule = Schedule.EAGER, seed: int = 0):
+        self.schedule = schedule
+        self._rng = random.Random(seed)
+
+    def run_at_launch(self, nowait: bool) -> bool:
+        """Whether a just-created task body executes immediately."""
+        if not nowait:
+            return True
+        if self.schedule is Schedule.EAGER:
+            return True
+        if self.schedule is Schedule.RANDOM:
+            return self._rng.random() < 0.5
+        return False
+
+    @property
+    def exit_transfers_before_drain(self) -> bool:
+        """Whether a closing data region copies back before draining tasks."""
+        return self.schedule is Schedule.DEFER_HOST_FIRST

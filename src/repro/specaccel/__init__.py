@@ -1,0 +1,22 @@
+"""SPEC ACCEL-profile workloads for the overhead evaluation (§VI.E-F)."""
+
+from .pcg import run_pcg
+from .pep import run_pep
+from .polbm import run_polbm
+from .pomriq import run_pomriq
+from .postencil import SHAPES as POSTENCIL_SHAPES
+from .postencil import output_checksum, run_postencil
+from .workloads import WORKLOADS, Workload, workload
+
+__all__ = [
+    "run_pcg",
+    "run_pep",
+    "run_polbm",
+    "run_pomriq",
+    "run_postencil",
+    "output_checksum",
+    "POSTENCIL_SHAPES",
+    "WORKLOADS",
+    "Workload",
+    "workload",
+]

@@ -1,0 +1,110 @@
+"""554.pcg: preconditioned conjugate gradient on a banded SPD system.
+
+CG has the most host↔device chatter of the five workloads: the matrix and
+vectors live on the device, but every iteration moves scalars and vectors
+through ``target update`` for the host-side dot products and convergence
+test.  This makes it the data-op-heaviest entry in the overhead figures —
+the profile where ARBALEST's mapping bookkeeping gets exercised hardest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..openmp import release, to, tofrom
+from ..openmp.arrays import KernelContext
+from ..openmp.runtime import TargetRuntime
+
+
+@dataclass(frozen=True)
+class PcgShape:
+    n: int
+    bandwidth: int
+    iters: int
+
+
+SHAPES = {
+    "test": PcgShape(64, 2, 8),
+    "train": PcgShape(128, 3, 12),
+    "ref": PcgShape(256, 4, 16),
+}
+
+
+def _banded_matrix(shape: PcgShape) -> np.ndarray:
+    """A dense representation of a banded SPD matrix (diagonally dominant)."""
+    n, bw = shape.n, shape.bandwidth
+    m = np.zeros((n, n))
+    for off in range(1, bw + 1):
+        band = -1.0 / off
+        m += np.diag(np.full(n - off, band), off)
+        m += np.diag(np.full(n - off, band), -off)
+    m += np.diag(np.full(n, 2.0 * bw + 1.0))
+    return m
+
+
+def make_matvec(n: int):
+    """The device mat-vec kernel: Ap = A @ p."""
+
+    def matvec(ctx: KernelContext) -> None:
+        a = np.asarray(ctx["A"][0 : n * n]).reshape(n, n)
+        p = np.asarray(ctx["p"][0:n])
+        ctx["Ap"][0:n] = a @ p
+
+    return matvec
+
+
+def make_axpy(dst: str, xname: str, yname: str, alpha: float, n: int):
+    """A device axpy kernel: dst = x + alpha * y."""
+
+    def axpy(ctx: KernelContext) -> None:
+        x = np.asarray(ctx[xname][0:n])
+        y = np.asarray(ctx[yname][0:n])
+        ctx[dst][0:n] = x + alpha * y
+
+    axpy.__name__ = f"axpy_{dst}"
+    return axpy
+
+
+def run_pcg(rt: TargetRuntime, preset: str = "test") -> float:
+    """Run CG for a fixed iteration budget; returns the final residual norm."""
+    shape = SHAPES[preset]
+    n = shape.n
+    matrix = _banded_matrix(shape)
+    rng = np.random.default_rng(554)
+    b_host = rng.uniform(-1, 1, n)
+
+    A = rt.array("A", n * n, init=matrix.ravel())
+    x = rt.array("x", n, init=np.zeros(n))
+    r = rt.array("r", n, init=b_host)  # r0 = b - A*0 = b
+    p = rt.array("p", n, init=b_host)
+    ap = rt.array("Ap", n, init=np.zeros(n))
+
+    rt.target_enter_data([to(A), to(x), to(r), to(p), to(ap)])
+    with rt.at("cg.c", 88, function="conj_grad"):
+        rsold = float(np.dot(b_host, b_host))
+    residual = np.sqrt(rsold)
+    for _it in range(shape.iters):
+        rt.target(make_matvec(n), name="matvec")
+        # Host-side dot products: pull the freshly computed vectors.
+        rt.target_update(from_=[ap, p])
+        with rt.at("cg.c", 97, function="conj_grad"):
+            p_host = np.asarray(p[0:n])
+            ap_host = np.asarray(ap[0:n])
+        alpha = rsold / float(np.dot(p_host, ap_host))
+        rt.target(make_axpy("x", "x", "p", alpha, n), name="update_x")
+        rt.target(make_axpy("r", "r", "Ap", -alpha, n), name="update_r")
+        rt.target_update(from_=[r])
+        with rt.at("cg.c", 104, function="conj_grad"):
+            r_host = np.asarray(r[0:n])
+        rsnew = float(np.dot(r_host, r_host))
+        beta = rsnew / rsold
+        rt.target(make_axpy("p", "r", "p", beta, n), name="update_p")
+        rsold = rsnew
+        residual = np.sqrt(rsnew)
+    rt.target_update(from_=[x])
+    rt.target_exit_data([release(A), release(x), release(r), release(p), release(ap)])
+    with rt.at("cg.c", 120, function="main"):
+        _ = x[0:n]
+    return residual

@@ -1,0 +1,112 @@
+"""552.pep: the NAS "embarrassingly parallel" (EP) benchmark.
+
+Batches of pseudo-random pairs are generated and tested for acceptance into
+Gaussian deviates; per-annulus counts are accumulated.  Parallelism is
+trivial (independent batches, intra-kernel parallel for), transfers are
+tiny relative to compute.  The paper singles 552.pep out in Fig. 9 as the
+one benchmark where ARBALEST's memory behaviour diverged from Archer's; our
+reproduction records both tools' shadow usage for that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..openmp import from_, release, to, tofrom
+from ..openmp.arrays import KernelContext
+from ..openmp.runtime import TargetRuntime
+
+
+@dataclass(frozen=True)
+class EpShape:
+    batches: int
+    batch_size: int
+
+
+SHAPES = {
+    "test": EpShape(4, 512),
+    "train": EpShape(8, 1024),
+    "ref": EpShape(16, 2048),
+}
+
+#: Linear congruential generator constants (the NAS EP flavor, 32-bit-ish).
+_A = 1664525
+_C = 1013904223
+_M = 2**32
+
+
+def _lcg_batch(seed: int, n: int) -> np.ndarray:
+    """n uniform doubles in (0,1), deterministically from seed (vectorized
+    via the closed form of the LCG would lose the modulus; a short Python
+    loop over numpy blocks keeps it cheap)."""
+    out = np.empty(n, dtype=np.float64)
+    state = seed & (_M - 1)
+    # Generate in chunks: numpy can't chain the recurrence, but 1 multiply
+    # per element in a tight loop on ints is fast enough at these sizes.
+    vals = np.empty(n, dtype=np.uint64)
+    s = state
+    for i in range(n):
+        s = (_A * s + _C) % _M
+        vals[i] = s
+    out[:] = (vals + 0.5) / _M
+    return out
+
+
+def make_ep_kernel(batch: int, shape: EpShape):
+    """One EP batch: accept pairs into Gaussian deviates, tally annuli."""
+
+    def ep_batch(ctx: KernelContext) -> None:
+        pairs = ctx["pairs"]
+        counts = ctx["counts"]
+        sums = ctx["sums"]
+        n = shape.batch_size
+        u = np.asarray(pairs[0 : 2 * n])
+        x = 2.0 * u[:n] - 1.0
+        y = 2.0 * u[n:] - 1.0
+        t = x * x + y * y
+        accept = (t <= 1.0) & (t > 0.0)
+        factor = np.zeros_like(t)
+        factor[accept] = np.sqrt(-2.0 * np.log(t[accept]) / t[accept])
+        gx = x * factor
+        gy = y * factor
+        big = np.maximum(np.abs(gx), np.abs(gy))
+        annulus = np.minimum(big.astype(np.int64), 9)
+        hist = np.bincount(annulus[accept], minlength=10).astype(np.float64)
+        counts[0:10] = np.asarray(counts[0:10]) + hist
+        sums[0] = sums[0] + float(gx[accept].sum())
+        sums[1] = sums[1] + float(gy[accept].sum())
+
+    ep_batch.__name__ = f"ep_batch_{batch}"
+    return ep_batch
+
+
+def run_pep(rt: TargetRuntime, preset: str = "test") -> tuple[float, float]:
+    """Run EP; returns (sum of X deviates, sum of Y deviates)."""
+    shape = SHAPES[preset]
+    counts = rt.array("counts", 10)
+    sums = rt.array("sums", 2)
+    counts.fill(0.0)
+    sums.fill(0.0)
+    pairs = rt.array("pairs", 2 * shape.batch_size)
+
+    rt.target_enter_data([to(counts), to(sums)])
+    for b in range(shape.batches):
+        with rt.at("ep.c", 150, function="main"):
+            pairs[0 : 2 * shape.batch_size] = _lcg_batch(
+                seed=2**16 + b, n=2 * shape.batch_size
+            )
+        with rt.at("ep.c", 172, function="main"):
+            rt.target(
+                make_ep_kernel(b, shape),
+                maps=[to(pairs)],
+                name="ep_batch",
+            )
+    rt.target_exit_data([from_(counts), from_(sums)])
+    with rt.at("ep.c", 210, function="main"):
+        sx = sums[0]
+        sy = sums[1]
+        total = float(np.sum(counts[0:10]))
+    assert total > 0
+    return float(sx), float(sy)

@@ -1,0 +1,95 @@
+"""514.pomriq: MRI Q-matrix computation.
+
+The kernel computes, for every voxel ``x``, a sum over k-space samples of
+``phi(k) * {cos, sin}(2π k·x)`` — a compute-dense, transfer-light workload:
+inputs go to the device once, one big kernel runs, two result vectors come
+back.  That profile (little data-op traffic, heavy access traffic) is why
+the sanitizer-style tools do comparatively well on it in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..openmp import from_, to
+from ..openmp.arrays import KernelContext
+from ..openmp.runtime import TargetRuntime
+
+
+@dataclass(frozen=True)
+class MriqShape:
+    num_k: int
+    num_x: int
+    #: voxels processed per kernel launch (the original tiles too).
+    tile: int
+
+
+SHAPES = {
+    "test": MriqShape(64, 64, 32),
+    "train": MriqShape(128, 128, 64),
+    "ref": MriqShape(256, 256, 64),
+}
+
+
+def _sample_inputs(shape: MriqShape) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(514)
+    return {
+        "kx": rng.uniform(-1, 1, shape.num_k),
+        "ky": rng.uniform(-1, 1, shape.num_k),
+        "kz": rng.uniform(-1, 1, shape.num_k),
+        "x": rng.uniform(-0.5, 0.5, shape.num_x),
+        "y": rng.uniform(-0.5, 0.5, shape.num_x),
+        "z": rng.uniform(-0.5, 0.5, shape.num_x),
+        "phi_r": rng.uniform(0, 1, shape.num_k),
+        "phi_i": rng.uniform(0, 1, shape.num_k),
+    }
+
+
+def make_q_kernel(shape: MriqShape, lo: int, hi: int):
+    """Compute Q for voxels [lo, hi)."""
+
+    def compute_q(ctx: KernelContext) -> None:
+        kx = np.asarray(ctx["kx"][0 : shape.num_k])
+        ky = np.asarray(ctx["ky"][0 : shape.num_k])
+        kz = np.asarray(ctx["kz"][0 : shape.num_k])
+        phi = np.asarray(ctx["phi_r"][0 : shape.num_k]) ** 2 + np.asarray(
+            ctx["phi_i"][0 : shape.num_k]
+        ) ** 2
+        x = np.asarray(ctx["x"][lo:hi])
+        y = np.asarray(ctx["y"][lo:hi])
+        z = np.asarray(ctx["z"][lo:hi])
+        angles = 2 * np.pi * (
+            np.outer(x, kx) + np.outer(y, ky) + np.outer(z, kz)
+        )
+        ctx["q_r"][lo:hi] = (phi * np.cos(angles)).sum(axis=1)
+        ctx["q_i"][lo:hi] = (phi * np.sin(angles)).sum(axis=1)
+
+    compute_q.__name__ = f"ComputeQ_{lo}_{hi}"
+    return compute_q
+
+
+def run_pomriq(rt: TargetRuntime, preset: str = "test") -> tuple[float, float]:
+    """Run the workload; returns checksums of the real/imag Q vectors."""
+    shape = SHAPES[preset]
+    inputs = _sample_inputs(shape)
+    arrays = {}
+    with rt.at("file.c", 80, function="setupMemoryConstants"):
+        for name, data in inputs.items():
+            arrays[name] = rt.array(name, len(data), init=data)
+    q_r = rt.array("q_r", shape.num_x)
+    q_i = rt.array("q_i", shape.num_x)
+    q_r.fill(0.0)
+    q_i.fill(0.0)
+
+    maps = [to(a) for a in arrays.values()]
+    with rt.target_data([*maps, *(from_(q) for q in (q_r, q_i))]):
+        for lo in range(0, shape.num_x, shape.tile):
+            hi = min(lo + shape.tile, shape.num_x)
+            with rt.at("computeQ.c", 262, function="main"):
+                rt.target(make_q_kernel(shape, lo, hi), name="ComputeQ_GPU")
+    with rt.at("main.c", 310, function="main"):
+        sum_r = float(np.sum(q_r[0 : shape.num_x]))
+        sum_i = float(np.sum(q_i[0 : shape.num_x]))
+    return sum_r, sum_i

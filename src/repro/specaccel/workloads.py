@@ -1,0 +1,50 @@
+"""The SPEC ACCEL workload registry used by the overhead harness (§VI.E/F)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..openmp.runtime import TargetRuntime
+from .pcg import run_pcg
+from .pep import run_pep
+from .polbm import run_polbm
+from .pomriq import run_pomriq
+from .postencil import output_checksum, run_postencil
+
+
+def _postencil_entry(rt: TargetRuntime, preset: str) -> float:
+    # Overhead runs use the *fixed* program: the paper measures performance
+    # on working benchmarks; the buggy variant is the §VI.D case study.
+    result = run_postencil(rt, preset, buggy=False)
+    return output_checksum(rt, result)
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    spec_id: str
+    run: Callable[[TargetRuntime, str], object]
+    description: str
+
+
+WORKLOADS: tuple[Workload, ...] = (
+    Workload(
+        "postencil",
+        "503",
+        _postencil_entry,
+        "7-point 3-D Jacobi stencil, double-buffered",
+    ),
+    Workload("polbm", "504", run_polbm, "D2Q9 lattice-Boltzmann flow"),
+    Workload("pomriq", "514", run_pomriq, "MRI Q-matrix (compute dense)"),
+    Workload("pep", "552", run_pep, "NAS EP random-deviate tallies"),
+    Workload("pcg", "554", run_pcg, "banded conjugate gradient (chatty)"),
+)
+
+
+def workload(name: str) -> Workload:
+    """Look a workload up by short name ("pcg") or SPEC id ("554")."""
+    for w in WORKLOADS:
+        if w.name == name or w.spec_id == name:
+            return w
+    raise KeyError(f"unknown workload {name!r}")

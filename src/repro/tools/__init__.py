@@ -1,0 +1,20 @@
+"""Dynamic analysis tools: the common interface plus four baseline models."""
+
+from .archer import ArcherTool, RaceEngine
+from .asan import AsanTool
+from .base import Tool
+from .findings import MAPPING_ISSUE_KINDS, Finding, FindingKind
+from .msan import MsanTool
+from .valgrind import ValgrindTool
+
+__all__ = [
+    "Tool",
+    "Finding",
+    "FindingKind",
+    "MAPPING_ISSUE_KINDS",
+    "ArcherTool",
+    "RaceEngine",
+    "AsanTool",
+    "MsanTool",
+    "ValgrindTool",
+]

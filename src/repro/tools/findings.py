@@ -1,0 +1,73 @@
+"""Findings: what analysis tools report.
+
+A :class:`Finding` is one defect report.  ``kind`` classifies the observed
+anomaly using the paper's vocabulary (Table III column 2 plus the race and
+allocator classes the baseline tools can emit).  Findings deduplicate on
+``dedup_key`` so a bug inside a loop produces one report, like sanitizers'
+once-per-site suppression.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..events.source import SourceLocation, UNKNOWN_LOCATION
+
+
+class FindingKind(enum.Enum):
+    """Observed anomaly classes (Table III column 2 + tool-specific ones)."""
+
+    #: Use of uninitialized memory — a read observed a value nobody wrote.
+    UUM = "use-of-uninitialized-memory"
+    #: Use of stale data — a read observed an out-of-date copy.
+    USD = "use-of-stale-data"
+    #: Data-mapping-related buffer overflow (access outside the CV, §IV.D).
+    BO = "buffer-overflow"
+    #: Unsynchronized conflicting accesses (Archer's domain).
+    RACE = "data-race"
+    #: Access to freed memory (ASan's domain).
+    UAF = "use-after-free"
+    #: Invalid/double free.
+    BAD_FREE = "invalid-free"
+    #: Wild access outside any allocation (Valgrind's "invalid read/write").
+    WILD = "invalid-access"
+
+
+#: Kinds that count as *data mapping issues* for the Table III precision
+#: comparison.  Races and allocator errors are real bugs but a tool gets
+#: credit in Table III only when its report corresponds to the mapping
+#: issue's manifested memory error.
+MAPPING_ISSUE_KINDS = frozenset(
+    {FindingKind.UUM, FindingKind.USD, FindingKind.BO, FindingKind.WILD}
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect report from one tool."""
+
+    tool: str
+    kind: FindingKind
+    message: str
+    device_id: int = 0
+    thread_id: int = 0
+    address: int = 0
+    size: int = 0
+    stack: tuple[SourceLocation, ...] = (UNKNOWN_LOCATION,)
+    #: Name of the program variable involved, when the tool knows it.
+    variable: str = ""
+
+    @property
+    def location(self) -> SourceLocation:
+        return self.stack[0]
+
+    def dedup_key(self) -> tuple:
+        """Reports with equal keys are the same bug site."""
+        return (self.kind, self.location.file, self.location.line, self.variable)
+
+    def render(self) -> str:
+        """One-line human-readable form (full reports: repro.core.reports)."""
+        where = f" at {self.location}" if self.location is not UNKNOWN_LOCATION else ""
+        var = f" [{self.variable}]" if self.variable else ""
+        return f"{self.tool}: {self.kind.value}{var}{where}: {self.message}"

@@ -1,0 +1,135 @@
+"""Dynamic data dependence graphs (Figure 3)."""
+
+import io
+
+import pytest
+
+from repro.analysis import build_ddg
+from repro.events import TraceWriter, read_trace
+from repro.openmp import Schedule, TargetRuntime, to, tofrom
+
+
+def record(program, schedule=Schedule.EAGER):
+    rt = TargetRuntime(n_devices=1, schedule=schedule)
+    sink = io.StringIO()
+    TraceWriter(sink).attach(rt.machine)
+    program(rt)
+    rt.finalize()
+    sink.seek(0)
+    return build_ddg(read_trace(sink))
+
+
+class TestBasicDataflow:
+    def test_read_observes_host_write(self):
+        def program(rt):
+            a = rt.array("a", 2)
+            a.fill(1.0)
+            _ = a[0]
+
+        ddg = record(program)
+        read = ddg.reads()[-1]
+        sources = ddg.sources_of(read)
+        assert len(sources) == 1
+        assert sources[0].kind == "write"
+        assert sources[0].variable == "a"
+
+    def test_value_flows_through_transfers(self):
+        # host write -> H2D -> kernel read: the provenance cone of the
+        # kernel read must contain the original host write.
+        def program(rt):
+            a = rt.array("a", 2)
+            a.fill(1.0)
+            rt.target(lambda ctx: ctx["a"].read(0), maps=[to(a)])
+
+        ddg = record(program)
+        kernel_read = [n for n in ddg.reads() if n.device_id == 1][0]
+        cone = ddg.value_provenance(kernel_read)
+        kinds = [n.kind for n in cone]
+        assert "transfer" in kinds  # the H2D copy
+        assert any(n.kind == "write" and n.device_id == 0 for n in cone)
+
+    def test_roundtrip_provenance(self):
+        # tofrom roundtrip: the final host read's cone contains the kernel
+        # write AND both transfers.
+        def program(rt):
+            a = rt.array("a", 2)
+            a.fill(1.0)
+            rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[tofrom(a)])
+            _ = a[0]
+
+        ddg = record(program)
+        final = ddg.reads()[-1]
+        cone = ddg.value_provenance(final)
+        assert sum(1 for n in cone if n.kind == "transfer") >= 1
+        assert any(n.kind == "write" and n.device_id == 1 for n in cone)
+
+    def test_uninitialized_read_has_no_sources(self):
+        def program(rt):
+            a = rt.array("a", 2)
+            _ = a[0]
+
+        ddg = record(program)
+        assert ddg.sources_of(ddg.reads()[-1]) == []
+
+
+class TestFig3:
+    """The Fig-2 program's dependence graph differs per interleaving."""
+
+    @staticmethod
+    def fig2(rt):
+        a = rt.array("a", 1)
+        a[0] = 1.0
+        with rt.target_data([tofrom(a)]):
+            rt.target(lambda ctx: ctx["a"].write(0, 3.0), nowait=True)
+            a.write(0, a.read(0) + 1)
+        _ = a[0]
+
+    def test_graphs_differ_across_schedules(self):
+        eager = record(self.fig2, Schedule.EAGER)
+        host_first = record(self.fig2, Schedule.DEFER_HOST_FIRST)
+        assert eager.signature() != host_first.signature()
+
+    def test_final_read_provenance_shows_who_won(self):
+        # Under EAGER the kernel's write reaches the final read (via the
+        # exit D2H); under DEFER_HOST_FIRST it does not (the transfer ran
+        # before the kernel).
+        eager = record(self.fig2, Schedule.EAGER)
+        final = eager.reads()[-1]
+        assert any(
+            n.kind == "write" and n.device_id == 1
+            for n in eager.value_provenance(final)
+        )
+        host_first = record(self.fig2, Schedule.DEFER_HOST_FIRST)
+        final2 = host_first.reads()[-1]
+        assert not any(
+            n.kind == "write" and n.device_id == 1
+            for n in host_first.value_provenance(final2)
+        )
+
+    def test_same_schedule_same_graph(self):
+        a = record(self.fig2, Schedule.EAGER)
+        b = record(self.fig2, Schedule.EAGER)
+        assert a.signature() == b.signature()
+
+
+class TestRendering:
+    def test_ascii_render(self):
+        def program(rt):
+            a = rt.array("a", 2)
+            a.fill(1.0)
+            _ = a[0]
+
+        ddg = record(program)
+        text = ddg.render_ascii(variable="a")
+        assert "W_host" in text and "R_host" in text and "<-" in text
+
+    def test_dot_render(self):
+        def program(rt):
+            a = rt.array("a", 2)
+            a.fill(1.0)
+            rt.target(lambda ctx: ctx["a"].read(0), maps=[to(a)])
+
+        dot = record(program).to_dot()
+        assert dot.startswith("digraph")
+        assert "diamond" in dot  # the transfer node
+        assert "->" in dot

@@ -1,0 +1,56 @@
+"""FastTrack epochs: packing and the e <= C comparison."""
+
+import pytest
+
+from repro.clocks import (
+    EMPTY_EPOCH,
+    MAX_CLOCK,
+    MAX_TID,
+    VectorClock,
+    epoch_clock,
+    epoch_leq,
+    epoch_tid,
+    pack_epoch,
+    unpack_epoch,
+)
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        e = pack_epoch(7, 12345)
+        assert unpack_epoch(e) == (7, 12345)
+        assert epoch_tid(e) == 7
+        assert epoch_clock(e) == 12345
+
+    def test_extremes(self):
+        e = pack_epoch(MAX_TID, MAX_CLOCK)
+        assert unpack_epoch(e) == (MAX_TID, MAX_CLOCK)
+
+    def test_tid_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_epoch(MAX_TID + 1, 0)
+
+    def test_clock_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_epoch(0, MAX_CLOCK + 1)
+
+    def test_distinct_epochs_distinct_codes(self):
+        codes = {pack_epoch(t, c) for t in range(4) for c in range(4)}
+        assert len(codes) == 16
+
+
+class TestLeq:
+    def test_empty_epoch_precedes_everything(self):
+        assert epoch_leq(EMPTY_EPOCH, VectorClock())
+
+    def test_ordered(self):
+        clock = VectorClock()
+        clock.set(3, 10)
+        assert epoch_leq(pack_epoch(3, 10), clock)
+        assert epoch_leq(pack_epoch(3, 9), clock)
+
+    def test_concurrent(self):
+        clock = VectorClock()
+        clock.set(3, 10)
+        assert not epoch_leq(pack_epoch(3, 11), clock)
+        assert not epoch_leq(pack_epoch(5, 1), clock)  # unknown thread

@@ -1,0 +1,77 @@
+"""Vector clocks: lattice laws and happens-before semantics."""
+
+import pytest
+
+from repro.clocks import VectorClock
+
+
+class TestBasics:
+    def test_absent_components_are_zero(self):
+        assert VectorClock().get(17) == 0
+
+    def test_increment_and_get(self):
+        c = VectorClock()
+        assert c.increment(2) == 1
+        assert c.increment(2) == 2
+        assert c.get(2) == 2
+        assert c.get(0) == 0
+
+    def test_set_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VectorClock().set(0, -1)
+
+    def test_copy_is_independent(self):
+        a = VectorClock([1, 2])
+        b = a.copy()
+        b.increment(0)
+        assert a.get(0) == 1
+
+
+class TestOrder:
+    def test_leq_reflexive(self):
+        a = VectorClock([1, 2, 3])
+        assert a.leq(a)
+
+    def test_leq_with_different_lengths(self):
+        assert VectorClock([1]).leq(VectorClock([1, 5]))
+        assert not VectorClock([1, 1]).leq(VectorClock([1]))
+
+    def test_concurrent(self):
+        a = VectorClock([2, 0])
+        b = VectorClock([0, 2])
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+
+    def test_ordered_not_concurrent(self):
+        a = VectorClock([1, 1])
+        b = VectorClock([2, 1])
+        assert a.leq(b)
+        assert not a.concurrent_with(b)
+
+
+class TestJoin:
+    def test_join_is_componentwise_max(self):
+        a = VectorClock([3, 0, 5])
+        a.join(VectorClock([1, 4]))
+        assert list(a) == [3, 4, 5]
+
+    def test_join_grows(self):
+        a = VectorClock([1])
+        a.join(VectorClock([0, 0, 7]))
+        assert a.get(2) == 7
+
+    def test_join_upper_bound(self):
+        a = VectorClock([2, 1])
+        b = VectorClock([1, 3])
+        j = a.copy()
+        j.join(b)
+        assert a.leq(j) and b.leq(j)
+
+
+class TestEquality:
+    def test_trailing_zeros_ignored(self):
+        assert VectorClock([1, 2]) == VectorClock([1, 2, 0, 0])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(VectorClock())

@@ -1,0 +1,124 @@
+"""Theorem-1 certification (§IV.E)."""
+
+import pytest
+
+from repro.core import certify
+from repro.openmp import Schedule, from_, to, tofrom
+
+
+class TestCertifiedPrograms:
+    def test_synchronous_pipeline(self):
+        def program(rt):
+            a = rt.array("a", 16)
+            a.fill(1.0)
+            rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[tofrom(a)])
+            _ = a[0]
+
+        cert = certify(program)
+        assert cert.certified
+        assert "certified" in cert.explain()
+
+    def test_nowait_with_taskwait(self):
+        def program(rt):
+            a = rt.array("a", 8)
+            a.fill(0.0)
+            with rt.target_data([tofrom(a)]):
+                rt.target(lambda ctx: ctx["a"].fill(1.0), nowait=True)
+                rt.taskwait()
+                rt.target_update(from_=[a])  # make the kernel result visible
+                a.write(0, a.read(0) + 1)
+                rt.target_update(to=[a])  # push the host increment back
+
+        assert certify(program).certified
+
+    def test_nowait_chain_with_depends(self):
+        def program(rt):
+            a = rt.array("a", 8)
+            a.fill(0.0)
+            rt.target_enter_data([to(a)])
+            rt.target(lambda ctx: ctx["a"].fill(1.0), nowait=True, depend_out=[a])
+            rt.target(
+                lambda ctx: ctx["a"].fill(ctx["a"][0] * 2),
+                nowait=True,
+                depend_in=[a],
+                depend_out=[a],
+            )
+            rt.taskwait()
+            rt.target_exit_data([from_(a)])
+            _ = a[0]
+
+        assert certify(program).certified
+
+
+class TestRejectedPrograms:
+    def fig2b(self, rt):
+        a = rt.array("a", 1)
+        a[0] = 1.0
+        with rt.target_data([tofrom(a)]):
+            rt.target(lambda ctx: ctx["a"].write(0, 3.0), nowait=True)
+            a.write(0, a.read(0) + 1)
+        _ = a[0]
+
+    def test_fig2_fails_both_hypotheses(self):
+        cert = certify(self.fig2b)
+        assert not cert.certified
+        assert not cert.race_free
+        assert not cert.vsm_clean
+        assert "hypothesis 1" in cert.explain()
+        assert "hypothesis 2" in cert.explain()
+
+    def test_detection_under_every_schedule(self):
+        # Theorem 1's whole point: even a schedule where the VSM sees
+        # nothing still fails certification via the race hypothesis.
+        for schedule in (
+            Schedule.EAGER,
+            Schedule.DEFER_KERNEL_FIRST,
+            Schedule.DEFER_HOST_FIRST,
+        ):
+            assert not certify(self.fig2b, schedule=schedule).certified
+
+    def test_pure_mapping_bug_fails_hypothesis_2_only(self):
+        def program(rt):
+            a = rt.array("a", 4)
+            a.fill(1.0)
+            rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[to(a)])
+            _ = a[0]
+
+        cert = certify(program)
+        assert cert.race_free
+        assert not cert.vsm_clean
+        assert cert.vsm_findings
+
+    def test_hidden_issue_nowait_without_sync_before_read(self):
+        # The VSM under DEFER_KERNEL_FIRST misses this (kernel runs at the
+        # sync point, "before" the... region exit) but the race engine
+        # doesn't.
+        def program(rt):
+            a = rt.array("a", 4)
+            a.fill(0.0)
+            with rt.target_data([tofrom(a)]):
+                rt.target(lambda ctx: ctx["a"].fill(1.0), nowait=True)
+                _ = a[0]  # unsynchronized host read
+
+        cert = certify(program, schedule=Schedule.DEFER_KERNEL_FIRST)
+        assert not cert.certified
+
+    def test_unified_memory_race_rejected(self):
+        def program(rt):
+            a = rt.array("a", 1)
+            a.fill(0.0)
+            rt.target(lambda ctx: ctx["a"].write(0, 1.0), maps=[tofrom(a)], nowait=True)
+            a.write(0, 2.0)
+            rt.taskwait()
+
+        cert = certify(program, unified=True)
+        assert not cert.race_free
+
+    def test_unified_memory_clean_program_certifies(self):
+        def program(rt):
+            a = rt.array("a", 4)
+            a.fill(1.0)
+            rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[tofrom(a)])
+            _ = a[0]
+
+        assert certify(program, unified=True).certified

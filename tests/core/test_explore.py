@@ -1,0 +1,94 @@
+"""Schedule exploration (§IV.E's sampling-vs-certifying distinction)."""
+
+import pytest
+
+from repro.core.explore import explore_schedules
+from repro.openmp import tofrom, to
+
+
+def fig2_program(rt):
+    a = rt.array("a", 1)
+    a[0] = 1.0
+    with rt.target_data([tofrom(a)]):
+        rt.target(lambda ctx: ctx["a"].write(0, 3.0), nowait=True)
+        a.write(0, a.read(0) + 1)
+    rt._last = a  # stash for the probe
+
+
+def fig2_probe(rt):
+    return float(rt._last.peek()[0])
+
+
+class TestFig2Exploration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return explore_schedules(fig2_program, probe=fig2_probe, random_seeds=4)
+
+    def test_outcome_is_nondeterministic(self, result):
+        # The paper's "nondeterministic result of a" (Fig 2 line 16).
+        assert result.nondeterministic
+        assert "3.0" in result.outcomes and "1.0" in result.outcomes
+
+    def test_certificate_rejects(self, result):
+        assert result.certificate is not None
+        assert not result.certificate.certified
+
+    def test_races_found_under_every_schedule(self, result):
+        assert all(r.races for r in result.runs)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "SCHEDULE-DEPENDENT" in text
+        assert "certification" in text
+
+
+class TestScheduleDependentDetection:
+    def test_hidden_issue_found_by_some_schedule_only(self):
+        # nowait kernel writes; host reads inside the region.  Under EAGER
+        # the kernel ran first -> VSM sees TARGET state -> USD reported.
+        # Under DEFER_* the host read precedes the kernel -> consistent at
+        # read time -> the VSM misses it.  Exactly §IV.E's false-negative.
+        def program(rt):
+            a = rt.array("a", 4)
+            a.fill(0.0)
+            with rt.target_data([tofrom(a)]):
+                rt.target(lambda ctx: ctx["a"].fill(1.0), nowait=True)
+                _ = a[0]
+
+        result = explore_schedules(program, random_seeds=2)
+        assert result.any_detection
+        assert result.detection_is_schedule_dependent
+        assert not result.certificate.certified  # certification closes the gap
+
+    def test_deterministic_bug_detected_everywhere(self):
+        def program(rt):
+            a = rt.array("a", 4)
+            a.fill(1.0)
+            rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[to(a)])
+            _ = a[0]
+
+        result = explore_schedules(program, random_seeds=2)
+        assert all(r.detected for r in result.runs)
+        assert not result.detection_is_schedule_dependent
+
+    def test_clean_program_clean_everywhere(self):
+        def program(rt):
+            a = rt.array("a", 4)
+            a.fill(1.0)
+            rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[tofrom(a)])
+            _ = a[0]
+
+        result = explore_schedules(program, random_seeds=2)
+        assert not result.any_detection
+        assert not result.nondeterministic or result.outcomes == {"None"}
+        assert result.certificate.certified
+
+    def test_union_findings_dedup(self):
+        def program(rt):
+            a = rt.array("a", 4)
+            a.fill(1.0)
+            rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[to(a)])
+            _ = a[0]
+
+        result = explore_schedules(program, random_seeds=3)
+        assert len(result.union_findings()) == 1  # same site across runs

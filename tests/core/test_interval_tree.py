@@ -1,0 +1,175 @@
+"""Interval tree: stabbing, overlap, balance, cache — incl. property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IntervalTree
+
+
+class TestBasics:
+    def test_empty(self):
+        t = IntervalTree()
+        assert len(t) == 0
+        assert not t
+        assert t.stab(5) is None
+
+    def test_insert_and_stab(self):
+        t = IntervalTree()
+        t.insert(10, 20, "a")
+        assert t.stab(10) == "a"
+        assert t.stab(19) == "a"
+        assert t.stab(20) is None
+        assert t.stab(9) is None
+
+    def test_interval_of(self):
+        t = IntervalTree()
+        t.insert(10, 20, "a")
+        assert t.interval_of(15) == (10, 20, "a")
+        assert t.interval_of(25) is None
+
+    def test_empty_interval_rejected(self):
+        t = IntervalTree()
+        with pytest.raises(ValueError):
+            t.insert(10, 10, "x")
+
+    def test_overlap_rejected(self):
+        t = IntervalTree()
+        t.insert(10, 20, "a")
+        for lo, hi in [(15, 25), (5, 15), (12, 18), (10, 20), (0, 100)]:
+            with pytest.raises(ValueError):
+                t.insert(lo, hi, "b")
+
+    def test_adjacent_allowed(self):
+        t = IntervalTree()
+        t.insert(10, 20, "a")
+        t.insert(20, 30, "b")
+        t.insert(0, 10, "c")
+        assert t.stab(20) == "b"
+        assert t.stab(9) == "c"
+
+    def test_remove(self):
+        t = IntervalTree()
+        t.insert(10, 20, "a")
+        t.insert(30, 40, "b")
+        assert t.remove(10) == "a"
+        assert t.stab(15) is None
+        assert t.stab(35) == "b"
+        with pytest.raises(KeyError):
+            t.remove(10)
+
+    def test_first_overlap(self):
+        t = IntervalTree()
+        t.insert(10, 20, "a")
+        t.insert(40, 50, "b")
+        assert t.first_overlap(15, 45) is not None
+        assert t.first_overlap(20, 40) is None
+        assert t.first_overlap(45, 60) == (40, 50, "b")
+
+    def test_items_sorted(self):
+        t = IntervalTree()
+        for lo in (50, 10, 30, 70, 20):
+            t.insert(lo, lo + 5, lo)
+        assert [lo for lo, _, _ in t.items()] == [10, 20, 30, 50, 70]
+
+
+class TestCache:
+    def test_repeated_stabs_hit_cache(self):
+        t = IntervalTree()
+        t.insert(0, 100, "a")
+        t.insert(100, 200, "b")
+        for i in range(50):
+            t.stab(50)
+        assert t.cache_hits >= 49
+
+    def test_cache_invalidated_on_remove(self):
+        t = IntervalTree()
+        t.insert(0, 100, "a")
+        t.stab(50)
+        t.remove(0)
+        assert t.stab(50) is None
+
+    def test_clear_cache_forces_descent(self):
+        t = IntervalTree()
+        t.insert(0, 100, "a")
+        t.stab(50)
+        before = t.cache_misses
+        t.clear_cache()
+        t.stab(50)
+        assert t.cache_misses == before + 1
+
+
+class TestBalance:
+    def test_sequential_insert_stays_logarithmic(self):
+        t = IntervalTree()
+        n = 1024
+        for i in range(n):
+            t.insert(i * 10, i * 10 + 5, i)
+        # AVL bound: height <= 1.44 log2(n+2)
+        assert t.height <= 16
+
+    def test_reverse_insert_stays_logarithmic(self):
+        t = IntervalTree()
+        for i in reversed(range(512)):
+            t.insert(i * 10, i * 10 + 5, i)
+        assert t.height <= 15
+
+
+# -- property-based equivalence with a brute-force model ---------------------
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove", "stab"]),
+        st.integers(min_value=0, max_value=30),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops_strategy)
+def test_matches_brute_force_model(ops):
+    """Random insert/remove/stab sequences agree with a dict-of-intervals."""
+    tree = IntervalTree()
+    model: dict[int, tuple[int, int]] = {}  # lo -> (hi, value)
+
+    def model_stab(p):
+        for lo, (hi, v) in model.items():
+            if lo <= p < hi:
+                return v
+        return None
+
+    for kind, slot in ops:
+        lo, hi = slot * 10, slot * 10 + 7
+        if kind == "insert":
+            overlaps = any(l < hi and lo < h for l, (h, _) in model.items())
+            if overlaps:
+                with pytest.raises(ValueError):
+                    tree.insert(lo, hi, slot)
+            else:
+                tree.insert(lo, hi, slot)
+                model[lo] = (hi, slot)
+        elif kind == "remove":
+            if lo in model:
+                assert tree.remove(lo) == model.pop(lo)[1]
+            else:
+                with pytest.raises(KeyError):
+                    tree.remove(lo)
+        else:
+            point = lo + 3
+            assert tree.stab(point) == model_stab(point)
+    assert len(tree) == len(model)
+    assert sorted(lo for lo, _, _ in tree.items()) == sorted(model)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.sets(st.integers(0, 500), max_size=80))
+def test_height_invariant_random_sets(slots):
+    import math
+
+    tree = IntervalTree()
+    for s in slots:
+        tree.insert(s * 2, s * 2 + 1, s)
+    n = len(slots)
+    if n:
+        assert tree.height <= int(1.45 * math.log2(n + 2)) + 2

@@ -1,0 +1,131 @@
+"""Multi-device VSM: (n+1)-tuple semantics and n=1 equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MultiDeviceArbalest, MultiShadowBlock, VariableStateMachine, VsmOp
+from repro.core.multidevice import MAX_DEVICES
+from repro.openmp import TargetRuntime, to, tofrom
+
+BASE = 1 << 32
+
+
+class TestMultiShadowBlock:
+    def test_initially_nothing_valid(self):
+        b = MultiShadowBlock(BASE, 64)
+        illegal, uninit = b.apply(slice(0, 8), VsmOp.READ_HOST)
+        assert illegal.all() and uninit.all()
+
+    def test_write_on_one_device_invalidates_others(self):
+        b = MultiShadowBlock(BASE, 8)
+        b.apply(slice(0, 1), VsmOp.WRITE_HOST)
+        b.apply(slice(0, 1), VsmOp.UPDATE_TARGET, device_id=1)
+        b.apply(slice(0, 1), VsmOp.UPDATE_TARGET, device_id=2)
+        # All three locations valid now.
+        assert b.validity_at(BASE) == 0b111
+        # Device 2 writes: only device 2 valid.
+        b.apply(slice(0, 1), VsmOp.WRITE_TARGET, device_id=2)
+        assert b.validity_at(BASE) == 0b100
+        illegal, _ = b.apply(slice(0, 1), VsmOp.READ_TARGET, device_id=1)
+        assert illegal.all()
+
+    def test_transfer_chain_across_devices(self):
+        # host -> dev1 -> host -> dev2: reading on dev2 must be legal.
+        b = MultiShadowBlock(BASE, 8)
+        b.apply(slice(0, 1), VsmOp.WRITE_HOST)
+        b.apply(slice(0, 1), VsmOp.UPDATE_TARGET, device_id=1)
+        b.apply(slice(0, 1), VsmOp.WRITE_TARGET, device_id=1)
+        b.apply(slice(0, 1), VsmOp.UPDATE_HOST, device_id=1)
+        b.apply(slice(0, 1), VsmOp.UPDATE_TARGET, device_id=2)
+        illegal, _ = b.apply(slice(0, 1), VsmOp.READ_TARGET, device_id=2)
+        assert not illegal.any()
+
+    def test_update_from_invalid_device_destroys_host(self):
+        b = MultiShadowBlock(BASE, 8)
+        b.apply(slice(0, 1), VsmOp.WRITE_HOST)
+        b.apply(slice(0, 1), VsmOp.UPDATE_HOST, device_id=1)  # copy garbage CV
+        illegal, uninit = b.apply(slice(0, 1), VsmOp.READ_HOST)
+        assert illegal.all() and uninit.all()
+
+    def test_release_on_one_device_keeps_others(self):
+        b = MultiShadowBlock(BASE, 8)
+        b.apply(slice(0, 1), VsmOp.WRITE_HOST)
+        b.apply(slice(0, 1), VsmOp.UPDATE_TARGET, device_id=1)
+        b.apply(slice(0, 1), VsmOp.UPDATE_TARGET, device_id=2)
+        b.apply(slice(0, 1), VsmOp.RELEASE, device_id=1)
+        assert b.validity_at(BASE) == 0b101
+        illegal, _ = b.apply(slice(0, 1), VsmOp.READ_TARGET, device_id=2)
+        assert not illegal.any()
+
+    def test_device_id_range_checked(self):
+        b = MultiShadowBlock(BASE, 8)
+        with pytest.raises(ValueError):
+            b.apply(slice(0, 1), VsmOp.WRITE_TARGET, device_id=0)
+        with pytest.raises(ValueError):
+            b.apply(slice(0, 1), VsmOp.WRITE_TARGET, device_id=MAX_DEVICES + 1)
+
+    def test_space_is_two_words_per_granule(self):
+        b = MultiShadowBlock(BASE, 800)
+        assert b.shadow_nbytes == 100 * 8  # 2 x uint32 per granule
+
+
+# -- n=1 equivalence with the scalar VSM --------------------------------------
+
+op_sequences = st.lists(st.sampled_from(list(VsmOp)), min_size=1, max_size=60)
+
+
+@settings(max_examples=400, deadline=None)
+@given(op_sequences)
+def test_single_device_equivalence(ops):
+    multi = MultiShadowBlock(BASE, 8)
+    scalar = VariableStateMachine()
+    for op in ops:
+        illegal, uninit = multi.apply(slice(0, 1), op, device_id=1)
+        verdict = scalar.apply(op)
+        assert bool(illegal[0]) == verdict.illegal, (op, scalar)
+        if verdict.illegal:
+            assert bool(uninit[0]) == verdict.uninitialized, (op, scalar)
+        # valid mask == state bits (invalid=00 host=01 target=10 cons=11)
+        assert multi.validity_at(BASE) == int(scalar.state)
+
+
+class TestMultiDeviceDetector:
+    def test_stale_second_device_detected(self):
+        rt = TargetRuntime(n_devices=2)
+        det = MultiDeviceArbalest().attach(rt.machine)
+        a = rt.array("a", 8)
+        a.fill(1.0)
+        # Device 1 computes and copies back.
+        rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[tofrom(a)], device=1)
+        # Device 2 got a's value BEFORE... map to device 2 first:
+        rt.finalize()
+        assert not det.mapping_issue_findings()
+
+    def test_issue_between_devices(self):
+        rt = TargetRuntime(n_devices=2)
+        det = MultiDeviceArbalest().attach(rt.machine)
+        a = rt.array("a", 8)
+        a.fill(1.0)
+        rt.target_enter_data([to(a)], device=2)  # dev2 snapshot of a==1
+        rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[tofrom(a)], device=1)
+        got = []
+        # dev2's stale CV read: host copy is 2.0, dev2 still holds 1.0.
+        rt.target(lambda ctx: got.append(ctx["a"][0]), device=2)
+        rt.finalize()
+        kinds = {f.kind.name for f in det.mapping_issue_findings()}
+        assert "USD" in kinds
+        assert got == [1.0]  # the stale value really was observed
+
+    def test_clean_multi_device_pipeline(self):
+        rt = TargetRuntime(n_devices=2)
+        det = MultiDeviceArbalest().attach(rt.machine)
+        a = rt.array("a", 8)
+        a.fill(1.0)
+        rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[tofrom(a)], device=1)
+        got = []
+        rt.target(lambda ctx: got.append(ctx["a"][0]), maps=[to(a)], device=2)
+        rt.finalize()
+        assert got == [2.0]
+        assert not det.mapping_issue_findings()

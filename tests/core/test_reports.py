@@ -1,0 +1,94 @@
+"""Fig-7 report rendering."""
+
+import pytest
+
+from repro.core.reports import Anomaly, BlockInfo, BugReport, render_report
+from repro.events import SourceLocation
+from repro.tools import Finding, FindingKind
+
+
+def finding(kind=FindingKind.USD, **kw):
+    defaults = dict(
+        tool="arbalest",
+        kind=kind,
+        message="stale read",
+        device_id=0,
+        thread_id=0,
+        address=0x7F140A27D000,
+        size=4,
+        stack=(
+            SourceLocation("main.c", 145, 5, "main"),
+            SourceLocation("main.c", 137, 7, "main"),
+        ),
+        variable="A0",
+    )
+    defaults.update(kw)
+    return Finding(**defaults)
+
+
+class TestAnomalyMapping:
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            (FindingKind.USD, Anomaly.STALE),
+            (FindingKind.UUM, Anomaly.UNINIT),
+            (FindingKind.BO, Anomaly.OVERFLOW),
+            (FindingKind.WILD, Anomaly.OVERFLOW),
+            (FindingKind.RACE, Anomaly.RACE),
+        ],
+    )
+    def test_for_kind(self, kind, expected):
+        assert Anomaly.for_kind(kind) is expected
+
+
+class TestRendering:
+    def test_fig7_shape(self):
+        report = BugReport(
+            finding=finding(),
+            anomaly=Anomaly.STALE,
+            block=BlockInfo(
+                base=0x7F140A07C000,
+                nbytes=67108864,
+                label="A0",
+                stack=(SourceLocation("main.c", 127, 16, "main"),),
+            ),
+        )
+        text = render_report(report, pid=104822)
+        assert text.splitlines()[0] == "=================="
+        assert "WARNING: ThreadSanitizer: data mapping issue (stale access) (pid=104822)" in text
+        assert "Read of size 4 at 0x7f140a27d000" in text
+        assert "#0 main main.c:145:5" in text
+        assert "#1 main main.c:137:7" in text
+        assert "Location is heap block of size 67108864" in text
+        assert "('A0')" in text
+        assert "#0 main main.c:127:16" in text
+        assert (
+            "SUMMARY: ThreadSanitizer: data mapping issue (stale access) "
+            "main.c:145 in main" in text
+        )
+
+    def test_device_thread_attribution(self):
+        report = BugReport(
+            finding=finding(kind=FindingKind.UUM, device_id=1, thread_id=3),
+            anomaly=Anomaly.UNINIT,
+        )
+        text = report.render()
+        assert "by thread T3 on device 1" in text
+        assert "use of uninitialized memory" in text
+
+    def test_main_thread_attribution(self):
+        text = BugReport(finding=finding(), anomaly=Anomaly.STALE).render()
+        assert "by thread T0 (main thread)" in text
+
+    def test_notes_rendered(self):
+        report = BugReport(
+            finding=finding(),
+            anomaly=Anomaly.STALE,
+            notes=("mapped section: OV 0x100..0x200 -> CV 0x900 on device 1",),
+        )
+        assert "note: mapped section" in report.render()
+
+    def test_report_without_block(self):
+        text = BugReport(finding=finding(), anomaly=Anomaly.OVERFLOW).render()
+        assert "Location is heap block" not in text
+        assert "buffer overflow" in text

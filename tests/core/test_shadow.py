@@ -1,0 +1,200 @@
+"""Packed shadow words: Table II encoding, vectorized transitions, and
+hypothesis equivalence with the scalar reference machine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ShadowBlock, VariableStateMachine, VsmOp, VsmState
+from repro.core.shadow import pack_word, unpack_word
+from repro.memory import ShadowEncodingError
+
+BASE = 1 << 32
+
+
+class TestPacking:
+    def test_roundtrip_all_fields(self):
+        w = pack_word(
+            VsmState.TARGET,
+            ov_initialized=True,
+            cv_initialized=False,
+            tid=0x9AB,
+            clock=(1 << 42) - 2,
+            is_write=True,
+            access_size=4,
+            offset=5,
+        )
+        f = unpack_word(w)
+        assert f["state"] is VsmState.TARGET
+        assert f["ov_initialized"] and not f["cv_initialized"]
+        assert f["tid"] == 0x9AB
+        assert f["clock"] == (1 << 42) - 2
+        assert f["is_write"] and f["access_size"] == 4 and f["offset"] == 5
+
+    def test_fits_64_bits(self):
+        w = pack_word(
+            VsmState.CONSISTENT,
+            ov_initialized=True,
+            cv_initialized=True,
+            tid=0xFFF,
+            clock=(1 << 42) - 1,
+            is_write=True,
+            access_size=8,
+            offset=7,
+        )
+        assert 0 <= w < (1 << 64)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(access_size=3),
+            dict(tid=1 << 12),
+            dict(clock=1 << 42),
+            dict(offset=8),
+        ],
+    )
+    def test_field_overflow_rejected(self, kwargs):
+        with pytest.raises(ShadowEncodingError):
+            pack_word(VsmState.INVALID, **kwargs)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.sampled_from(list(VsmState)),
+        st.booleans(),
+        st.booleans(),
+        st.integers(0, (1 << 12) - 1),
+        st.integers(0, (1 << 42) - 1),
+        st.booleans(),
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(0, 7),
+    )
+    def test_roundtrip_property(self, state, ovi, cvi, tid, clock, w, size, off):
+        word = pack_word(
+            state,
+            ov_initialized=ovi,
+            cv_initialized=cvi,
+            tid=tid,
+            clock=clock,
+            is_write=w,
+            access_size=size,
+            offset=off,
+        )
+        f = unpack_word(word)
+        assert (
+            f["state"],
+            f["ov_initialized"],
+            f["cv_initialized"],
+            f["tid"],
+            f["clock"],
+            f["is_write"],
+            f["access_size"],
+            f["offset"],
+        ) == (state, ovi, cvi, tid, clock, w, size, off)
+
+
+class TestShadowBlock:
+    def test_initial_all_invalid(self):
+        b = ShadowBlock(BASE, 64)
+        assert b.n_granules == 8
+        assert (b.states() == int(VsmState.INVALID)).all()
+
+    def test_granule_rounding(self):
+        assert ShadowBlock(BASE, 65).n_granules == 9
+        assert ShadowBlock(BASE, 1).n_granules == 1
+
+    def test_index_range_clips(self):
+        b = ShadowBlock(BASE, 64)
+        assert b.index_range(BASE, 64) == slice(0, 8)
+        assert b.index_range(BASE + 8, 16) == slice(1, 3)
+        assert b.index_range(BASE - 16, 1000) == slice(0, 8)
+        assert b.index_range(BASE + 4, 8) == slice(0, 2)  # straddles
+
+    def test_write_host_sets_host_state(self):
+        b = ShadowBlock(BASE, 64)
+        b.apply(slice(0, 4), VsmOp.WRITE_HOST)
+        assert (b.states(slice(0, 4)) == int(VsmState.HOST)).all()
+        assert (b.states(slice(4, 8)) == int(VsmState.INVALID)).all()
+
+    def test_read_in_invalid_reports_uum(self):
+        b = ShadowBlock(BASE, 64)
+        illegal, uninit = b.apply(slice(0, 8), VsmOp.READ_HOST)
+        assert illegal.all() and uninit.all()
+
+    def test_stale_read_reports_usd(self):
+        b = ShadowBlock(BASE, 64)
+        b.apply(slice(0, 8), VsmOp.WRITE_HOST)
+        b.apply(slice(0, 8), VsmOp.UPDATE_TARGET)
+        b.apply(slice(0, 8), VsmOp.WRITE_TARGET)
+        illegal, uninit = b.apply(slice(0, 8), VsmOp.READ_HOST)
+        assert illegal.all()
+        assert not uninit.any()  # host side had been initialized: stale
+
+    def test_fancy_index_application(self):
+        b = ShadowBlock(BASE, 128)
+        idx = np.array([0, 3, 7])
+        b.apply(idx, VsmOp.WRITE_TARGET)
+        states = b.states()
+        assert states[0] == states[3] == states[7] == int(VsmState.TARGET)
+        assert states[1] == int(VsmState.INVALID)
+
+    def test_partial_update_leaves_other_granules(self):
+        # The §IV.C soundness argument: only the updated granules change.
+        b = ShadowBlock(BASE, 64)
+        b.apply(slice(0, 8), VsmOp.WRITE_HOST)
+        b.apply(slice(0, 8), VsmOp.UPDATE_TARGET)  # all consistent
+        b.apply(slice(0, 2), VsmOp.WRITE_TARGET)   # kernel touches 2 granules
+        b.apply(slice(0, 2), VsmOp.UPDATE_HOST)    # copies those back
+        illegal, _ = b.apply(slice(0, 8), VsmOp.READ_HOST)
+        assert not illegal.any()
+
+    def test_record_access_preserves_state_bits(self):
+        b = ShadowBlock(BASE, 8)
+        b.apply(slice(0, 1), VsmOp.WRITE_HOST)
+        b.record_access(slice(0, 1), tid=5, clock=0, is_write=True, access_size=4, offset=2)
+        f = b.word_at(BASE)
+        assert f["state"] is VsmState.HOST
+        assert f["ov_initialized"]
+        assert f["tid"] == 5 and f["access_size"] == 4 and f["offset"] == 2
+
+    def test_shadow_nbytes(self):
+        assert ShadowBlock(BASE, 64).shadow_nbytes == 8 * 8
+
+    def test_coarse_granule(self):
+        b = ShadowBlock(BASE, 4096, granule=4096)
+        assert b.n_granules == 1
+        b.apply(b.index_range(BASE + 100, 8), VsmOp.WRITE_TARGET)
+        assert b.state_at(BASE) is VsmState.TARGET  # whole block one state
+
+
+# -- equivalence: vectorized shadow vs scalar reference ----------------------
+
+op_sequences = st.lists(st.sampled_from(list(VsmOp)), min_size=1, max_size=60)
+
+
+@settings(max_examples=400, deadline=None)
+@given(op_sequences)
+def test_vectorized_equals_scalar_reference(ops):
+    """One granule pushed through both implementations never disagrees."""
+    block = ShadowBlock(BASE, 8)
+    scalar = VariableStateMachine()
+    for op in ops:
+        illegal, uninit = block.apply(slice(0, 1), op)
+        verdict = scalar.apply(op)
+        assert bool(illegal[0]) == verdict.illegal, (op, scalar)
+        if verdict.illegal:
+            assert bool(uninit[0]) == verdict.uninitialized, (op, scalar)
+        assert block.state_at(BASE) is scalar.state
+        word = block.word_at(BASE)
+        assert word["ov_initialized"] == scalar.ov_initialized
+        assert word["cv_initialized"] == scalar.cv_initialized
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences, st.integers(2, 16))
+def test_granules_evolve_independently(ops, n):
+    """Applying ops to granule 0 never perturbs granules 1..n-1."""
+    block = ShadowBlock(BASE, 8 * n)
+    for op in ops:
+        block.apply(np.array([0]), op)
+    assert (block.states(slice(1, n)) == int(VsmState.INVALID)).all()

@@ -1,0 +1,151 @@
+"""Figure 4 exhaustively: every (state, operation) transition, the three
+issue situations, and the UUM/USD classification bits."""
+
+import pytest
+
+from repro.core import TRANSITIONS, ILLEGAL, VariableStateMachine, VsmOp, VsmState
+
+I, H, T, C = VsmState.INVALID, VsmState.HOST, VsmState.TARGET, VsmState.CONSISTENT
+
+#: Figure 4, row by row: state -> op -> (next state, is_issue).
+FIG4 = {
+    I: {
+        VsmOp.READ_HOST: (I, True),
+        VsmOp.READ_TARGET: (I, True),
+        VsmOp.WRITE_HOST: (H, False),
+        VsmOp.WRITE_TARGET: (T, False),
+        VsmOp.UPDATE_HOST: (I, False),
+        VsmOp.UPDATE_TARGET: (I, False),
+        VsmOp.ALLOCATE: (I, False),
+        VsmOp.RELEASE: (I, False),
+    },
+    H: {
+        VsmOp.READ_HOST: (H, False),
+        VsmOp.READ_TARGET: (H, True),
+        VsmOp.WRITE_HOST: (H, False),
+        VsmOp.WRITE_TARGET: (T, False),
+        VsmOp.UPDATE_HOST: (I, False),   # OV overwritten by invalid CV
+        VsmOp.UPDATE_TARGET: (C, False),
+        VsmOp.ALLOCATE: (H, False),
+        VsmOp.RELEASE: (H, False),
+    },
+    T: {
+        VsmOp.READ_HOST: (T, True),
+        VsmOp.READ_TARGET: (T, False),
+        VsmOp.WRITE_HOST: (H, False),
+        VsmOp.WRITE_TARGET: (T, False),
+        VsmOp.UPDATE_HOST: (C, False),
+        VsmOp.UPDATE_TARGET: (I, False),  # CV overwritten by invalid OV
+        VsmOp.ALLOCATE: (T, False),
+        VsmOp.RELEASE: (I, False),        # only valid copy destroyed
+    },
+    C: {
+        VsmOp.READ_HOST: (C, False),
+        VsmOp.READ_TARGET: (C, False),
+        VsmOp.WRITE_HOST: (H, False),
+        VsmOp.WRITE_TARGET: (T, False),
+        VsmOp.UPDATE_HOST: (C, False),
+        VsmOp.UPDATE_TARGET: (C, False),
+        VsmOp.ALLOCATE: (C, False),
+        VsmOp.RELEASE: (H, False),
+    },
+}
+
+
+@pytest.mark.parametrize("state", list(VsmState))
+@pytest.mark.parametrize("op", list(VsmOp))
+def test_transition_matrix_matches_fig4(state, op):
+    expected_next, expected_issue = FIG4[state][op]
+    assert TRANSITIONS[op][state] is expected_next
+    assert ILLEGAL[op][state] is expected_issue
+
+
+def test_exactly_three_issue_situations():
+    issues = [
+        (s, op) for s in VsmState for op in VsmOp if ILLEGAL[op][s]
+    ]
+    assert sorted(issues, key=lambda x: (x[0], x[1])) == [
+        (I, VsmOp.READ_HOST),
+        (I, VsmOp.READ_TARGET),
+        (H, VsmOp.READ_TARGET),
+        (T, VsmOp.READ_HOST),
+    ]
+
+
+class TestStateBits:
+    """State values encode (IsOVValid, IsCVValid) as Table II's first bits."""
+
+    def test_bit_encoding(self):
+        assert not I.ov_valid and not I.cv_valid
+        assert H.ov_valid and not H.cv_valid
+        assert not T.ov_valid and T.cv_valid
+        assert C.ov_valid and C.cv_valid
+
+
+class TestScalarMachine:
+    def test_initial_state_is_invalid(self):
+        m = VariableStateMachine()
+        assert m.state is I
+        assert not m.ov_initialized and not m.cv_initialized
+
+    def test_fig1_scenario_is_uum(self):
+        # map(alloc:) then kernel read: invalid read, never initialized.
+        m = VariableStateMachine()
+        m.apply(VsmOp.ALLOCATE)
+        v = m.apply(VsmOp.READ_TARGET)
+        assert v.illegal and v.uninitialized
+
+    def test_stale_read_is_usd_not_uum(self):
+        # host writes, maps to device, kernel writes, host reads without
+        # copy-back: stale — the host side WAS initialized.
+        m = VariableStateMachine()
+        m.apply(VsmOp.WRITE_HOST)
+        m.apply(VsmOp.ALLOCATE)
+        m.apply(VsmOp.UPDATE_TARGET)
+        m.apply(VsmOp.WRITE_TARGET)
+        v = m.apply(VsmOp.READ_HOST)
+        assert v.illegal and not v.uninitialized
+
+    def test_update_host_from_garbage_cv_then_read_is_uum(self):
+        # D2H of a never-written CV destroys the OV: reading it is an issue;
+        # classification says the OV's value came from uninitialized data.
+        m = VariableStateMachine()
+        m.apply(VsmOp.WRITE_HOST)
+        m.apply(VsmOp.ALLOCATE)
+        v0 = m.apply(VsmOp.UPDATE_HOST)
+        assert v0.state is I
+        v = m.apply(VsmOp.READ_HOST)
+        assert v.illegal and v.uninitialized
+
+    def test_release_loses_device_only_value(self):
+        m = VariableStateMachine()
+        m.apply(VsmOp.WRITE_TARGET)
+        m.apply(VsmOp.RELEASE)
+        v = m.apply(VsmOp.READ_HOST)
+        assert v.illegal
+        assert m.state is I
+
+    def test_happy_path_no_issues(self):
+        m = VariableStateMachine()
+        ops = [
+            VsmOp.WRITE_HOST,
+            VsmOp.ALLOCATE,
+            VsmOp.UPDATE_TARGET,
+            VsmOp.READ_TARGET,
+            VsmOp.WRITE_TARGET,
+            VsmOp.UPDATE_HOST,
+            VsmOp.READ_HOST,
+            VsmOp.RELEASE,
+            VsmOp.READ_HOST,
+        ]
+        assert not any(m.apply(op).illegal for op in ops)
+
+    def test_initialization_bits_follow_copies(self):
+        m = VariableStateMachine()
+        m.apply(VsmOp.WRITE_HOST)
+        assert m.ov_initialized and not m.cv_initialized
+        m.apply(VsmOp.UPDATE_TARGET)
+        assert m.cv_initialized  # copied host's history
+        m.apply(VsmOp.RELEASE)
+        assert not m.cv_initialized  # CV destroyed
+        assert m.ov_initialized  # host history survives

@@ -1,0 +1,113 @@
+"""ToolBus: selective dispatch and the native-run fast path."""
+
+from repro.events import Access, SyncEvent, ToolBus
+from repro.memory import BASE_ADDRESS
+from repro.tools import Tool
+
+
+class AccessOnly(Tool):
+    name = "access-only"
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def on_access(self, access):
+        self.seen.append(access)
+
+
+class SyncOnly(Tool):
+    name = "sync-only"
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def on_sync(self, event):
+        self.seen.append(event)
+
+
+def make_access():
+    return Access(device_id=0, thread_id=0, address=BASE_ADDRESS, size=8, is_write=False)
+
+
+class TestDispatch:
+    def test_empty_bus_wants_nothing(self):
+        assert not ToolBus().wants_accesses
+
+    def test_only_overriders_receive(self):
+        bus = ToolBus()
+        a, s = AccessOnly(), SyncOnly()
+        bus.attach(a)
+        bus.attach(s)
+        bus.publish_access(make_access())
+        bus.publish_sync(SyncEvent("fork", 0, 1))
+        assert len(a.seen) == 1 and len(s.seen) == 1
+        # No cross-delivery: the sync tool saw no access and vice versa.
+        assert all(isinstance(e, SyncEvent) for e in s.seen)
+
+    def test_wants_accesses_tracks_subscribers(self):
+        bus = ToolBus()
+        s = SyncOnly()
+        bus.attach(s)
+        assert not bus.wants_accesses  # sync-only tool doesn't observe accesses
+        a = AccessOnly()
+        bus.attach(a)
+        assert bus.wants_accesses
+        bus.detach(a)
+        assert not bus.wants_accesses
+
+    def test_detach_stops_delivery(self):
+        bus = ToolBus()
+        a = AccessOnly()
+        bus.attach(a)
+        bus.publish_access(make_access())
+        bus.detach(a)
+        bus.publish_access(make_access())
+        assert len(a.seen) == 1
+
+    def test_multiple_tools_all_receive(self):
+        bus = ToolBus()
+        tools = [AccessOnly() for _ in range(3)]
+        for t in tools:
+            bus.attach(t)
+        bus.publish_access(make_access())
+        assert all(len(t.seen) == 1 for t in tools)
+
+
+class TestToolLifecycle:
+    def test_attach_via_tool_helper(self):
+        from repro.openmp import Machine
+
+        machine = Machine(1)
+        tool = AccessOnly().attach(machine)
+        assert tool in machine.bus.tools
+        tool.detach()
+        assert tool not in machine.bus.tools
+
+    def test_report_dedups_by_site(self):
+        from repro.events import SourceLocation
+        from repro.tools import Finding, FindingKind
+
+        t = AccessOnly()
+        loc = (SourceLocation("a.c", 3),)
+        f = Finding(tool=t.name, kind=FindingKind.UUM, message="x", stack=loc)
+        assert t.report(f)
+        assert not t.report(f)
+        assert len(t.findings) == 1
+        # Different line: new site.
+        g = Finding(
+            tool=t.name, kind=FindingKind.UUM, message="x",
+            stack=(SourceLocation("a.c", 4),),
+        )
+        assert t.report(g)
+
+    def test_reset_clears_findings_and_dedup(self):
+        from repro.tools import Finding, FindingKind
+
+        t = AccessOnly()
+        f = Finding(tool=t.name, kind=FindingKind.USD, message="m")
+        t.report(f)
+        t.reset()
+        assert not t.findings
+        assert t.report(f)  # dedup state gone too

@@ -1,0 +1,152 @@
+"""Trace record/replay: round-trips and offline-analysis equivalence."""
+
+import io
+
+import pytest
+
+from repro.core import Arbalest
+from repro.dracc import get
+from repro.events import (
+    Access,
+    AccessOrigin,
+    AllocationEvent,
+    DataOp,
+    DataOpKind,
+    FlushEvent,
+    KernelEvent,
+    KernelPhase,
+    MemcpyEvent,
+    SourceLocation,
+    SyncEvent,
+)
+from repro.events.trace_io import (
+    TraceWriter,
+    event_from_json,
+    event_to_json,
+    read_trace,
+    replay,
+)
+from repro.openmp import TargetRuntime
+from repro.tools import MsanTool, ValgrindTool
+
+STACK = (SourceLocation("main.c", 42, 5, "main"),)
+
+SAMPLE_EVENTS = [
+    Access(
+        device_id=1,
+        thread_id=3,
+        address=1 << 33,
+        size=8,
+        is_write=True,
+        count=16,
+        stride=24,
+        origin=AccessOrigin.PROGRAM,
+        stack=STACK,
+    ),
+    DataOp(
+        kind=DataOpKind.H2D,
+        device_id=1,
+        thread_id=0,
+        ov_address=1 << 32,
+        cv_address=1 << 33,
+        nbytes=512,
+        stack=STACK,
+    ),
+    MemcpyEvent(
+        device_id=0,
+        thread_id=0,
+        dst_device=1,
+        dst_address=1 << 33,
+        src_device=0,
+        src_address=1 << 32,
+        nbytes=512,
+        stack=STACK,
+    ),
+    KernelEvent(
+        phase=KernelPhase.BEGIN,
+        task_id=7,
+        device_id=1,
+        thread_id=7,
+        nowait=True,
+        name="stencil",
+        stack=STACK,
+    ),
+    AllocationEvent(
+        device_id=0,
+        thread_id=0,
+        address=1 << 32,
+        nbytes=4096,
+        is_free=False,
+        storage="global",
+        label="coeff",
+        stack=STACK,
+    ),
+    SyncEvent(kind="depend", source_task=3, target_task=5, thread_id=0),
+    FlushEvent(device_id=1, thread_id=2, address=0, nbytes=0),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", SAMPLE_EVENTS, ids=lambda e: type(e).__name__)
+    def test_event_roundtrip(self, event):
+        assert event_from_json(event_to_json(event)) == event
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_json({"t": "mystery"})
+
+    def test_untraceable_object_rejected(self):
+        with pytest.raises(TypeError):
+            event_to_json(object())
+
+    def test_stream_roundtrip(self):
+        sink = io.StringIO()
+        writer = TraceWriter(sink)
+        for event in SAMPLE_EVENTS:
+            writer._emit(event)
+        sink.seek(0)
+        assert list(read_trace(sink)) == SAMPLE_EVENTS
+
+
+class TestOfflineEquivalence:
+    """Recording a run and replaying the trace yields identical findings."""
+
+    def record(self, benchmark_number: int) -> tuple[list, Arbalest]:
+        rt = TargetRuntime(n_devices=2)
+        sink = io.StringIO()
+        writer = TraceWriter(sink).attach(rt.machine)
+        online = Arbalest().attach(rt.machine)
+        get(benchmark_number).run(rt)
+        sink.seek(0)
+        return list(read_trace(sink)), online
+
+    @pytest.mark.parametrize("number", [22, 26, 23, 1, 34])
+    def test_arbalest_offline_equals_online(self, number):
+        events, online = self.record(number)
+        offline = Arbalest()
+        replay(events, [offline])
+        assert [f.dedup_key() for f in offline.findings] == [
+            f.dedup_key() for f in online.findings
+        ]
+
+    def test_baselines_replay_too(self):
+        events, _ = self.record(23)  # the BO benchmark
+        vg, msan = ValgrindTool(), MsanTool()
+        replay(events, [vg, msan])
+        assert vg.mapping_issue_findings()
+        assert not msan.mapping_issue_findings()
+
+    def test_trace_is_plain_json_lines(self):
+        rt = TargetRuntime(n_devices=1)
+        sink = io.StringIO()
+        TraceWriter(sink).attach(rt.machine)
+        a = rt.array("a", 4)
+        a.fill(1.0)
+        rt.finalize()
+        import json
+
+        lines = [l for l in sink.getvalue().splitlines() if l]
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert "t" in record and record["v"] == 1

@@ -1,0 +1,105 @@
+"""Systematic construct matrix: runtime + detector vs the scalar VSM oracle.
+
+For every combination of
+
+* map-type on a ``target`` construct (to / from / tofrom / alloc),
+* kernel behaviour (no access / read / write / read-then-write), and
+* host epilogue (nothing / read the array),
+
+we run the real pipeline (runtime + Arbalest) and independently predict the
+outcome by feeding the *semantic* operation sequence the combination implies
+into the scalar :class:`VariableStateMachine`.  The two must agree on
+whether an issue occurs and on its UUM/USD classification — this pins the
+whole event plumbing (Table I effects, access instrumentation, detector
+translation) to the executable Fig-4 specification.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import Arbalest, VariableStateMachine, VsmOp
+from repro.openmp import MapType, MapSpec, TargetRuntime
+from repro.openmp.maptypes import entry_effect, exit_effect
+from repro.tools import FindingKind
+
+MAP_TYPES = (MapType.TO, MapType.FROM, MapType.TOFROM, MapType.ALLOC)
+KERNEL_BEHAVIOURS = ("none", "read", "write", "read_write")
+EPILOGUES = ("none", "host_read")
+
+
+def oracle(map_type: MapType, kernel: str, epilogue: str):
+    """Predict (issue_kinds) with the scalar VSM."""
+    vsm = VariableStateMachine()
+    issues = []
+
+    def apply(op):
+        verdict = vsm.apply(op)
+        if verdict.illegal:
+            issues.append("UUM" if verdict.uninitialized else "USD")
+
+    apply(VsmOp.WRITE_HOST)  # the program initializes the array
+    # target entry (Table I)
+    apply(VsmOp.ALLOCATE)
+    if entry_effect(map_type).copies_to_device:
+        apply(VsmOp.UPDATE_TARGET)
+    # kernel body
+    if kernel in ("read", "read_write"):
+        apply(VsmOp.READ_TARGET)
+    if kernel in ("write", "read_write"):
+        apply(VsmOp.WRITE_TARGET)
+    # target exit (Table I)
+    eff = exit_effect(map_type)
+    if eff.copies_to_host:
+        apply(VsmOp.UPDATE_HOST)
+    apply(VsmOp.RELEASE)
+    # epilogue
+    if epilogue == "host_read":
+        apply(VsmOp.READ_HOST)
+    return issues
+
+
+def run_real(map_type: MapType, kernel: str, epilogue: str):
+    rt = TargetRuntime(n_devices=1)
+    det = Arbalest(race_detection=False).attach(rt.machine)
+    a = rt.array("a", 8)
+    a.fill(1.0)
+
+    def body(ctx):
+        A = ctx["a"]
+        if kernel in ("read", "read_write"):
+            A.read(slice(0, 8))
+        if kernel in ("write", "read_write"):
+            A.fill(2.0)
+
+    rt.target(body, maps=[MapSpec(a, map_type)])
+    if epilogue == "host_read":
+        _ = a[0:8]
+    rt.finalize()
+    return sorted({f.kind.name for f in det.mapping_issue_findings()})
+
+
+@pytest.mark.parametrize(
+    "map_type,kernel,epilogue",
+    list(itertools.product(MAP_TYPES, KERNEL_BEHAVIOURS, EPILOGUES)),
+    ids=lambda v: getattr(v, "value", v),
+)
+def test_matrix_agrees_with_oracle(map_type, kernel, epilogue):
+    predicted = sorted(set(oracle(map_type, kernel, epilogue)))
+    observed = run_real(map_type, kernel, epilogue)
+    assert observed == predicted, (
+        f"map({map_type.value}) kernel={kernel} epilogue={epilogue}: "
+        f"oracle={predicted} real={observed}"
+    )
+
+
+def test_matrix_has_interesting_coverage():
+    """Sanity: the matrix contains clean cells, UUM cells and USD cells."""
+    outcomes = {
+        (mt, k, e): tuple(sorted(set(oracle(mt, k, e))))
+        for mt, k, e in itertools.product(MAP_TYPES, KERNEL_BEHAVIOURS, EPILOGUES)
+    }
+    kinds = set(outcomes.values())
+    assert () in kinds
+    assert ("UUM",) in kinds
+    assert ("USD",) in kinds

@@ -1,0 +1,113 @@
+"""Unstructured-construct matrix: enter/exit data × update placement.
+
+Companion to :mod:`test_construct_matrix` (which covers the structured
+``target`` construct): here the data environment is built with
+``target enter data`` and torn down with ``target exit data``, crossing
+
+* entry map-type (to / alloc),
+* an optional ``target update to`` after a host-side refresh,
+* exit map-type (from / release / delete),
+* an optional ``target update from`` before exit,
+
+and comparing the real pipeline's verdicts against the scalar-VSM oracle
+fed with the Table-I operation sequence each combination implies.  This
+pins the unstructured half of the runtime to the same executable spec.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import Arbalest, VariableStateMachine, VsmOp
+from repro.openmp import MapType, MapSpec, TargetRuntime
+
+ENTRY_TYPES = (MapType.TO, MapType.ALLOC)
+EXIT_TYPES = (MapType.FROM, MapType.RELEASE, MapType.DELETE)
+UPDATE_TO_CHOICES = (False, True)
+UPDATE_FROM_CHOICES = (False, True)
+
+
+def oracle(entry, update_to, update_from, exit_type):
+    vsm = VariableStateMachine()
+    issues = []
+
+    def apply(op):
+        v = vsm.apply(op)
+        if v.illegal:
+            issues.append("UUM" if v.uninitialized else "USD")
+
+    apply(VsmOp.WRITE_HOST)  # initialization
+    apply(VsmOp.ALLOCATE)  # enter data
+    if entry is MapType.TO:
+        apply(VsmOp.UPDATE_TARGET)
+    apply(VsmOp.READ_TARGET)  # kernel 1 reads
+    apply(VsmOp.WRITE_TARGET)  # kernel 1 writes
+    apply(VsmOp.WRITE_HOST)  # host refresh
+    if update_to:
+        apply(VsmOp.UPDATE_TARGET)
+    apply(VsmOp.READ_TARGET)  # kernel 2 reads
+    apply(VsmOp.WRITE_TARGET)  # kernel 2 writes
+    if update_from:
+        apply(VsmOp.UPDATE_HOST)
+    if exit_type is MapType.FROM:
+        apply(VsmOp.UPDATE_HOST)
+    apply(VsmOp.RELEASE)
+    apply(VsmOp.READ_HOST)  # final host check
+    return sorted(set(issues))
+
+
+def run_real(entry, update_to, update_from, exit_type):
+    rt = TargetRuntime(n_devices=1)
+    det = Arbalest(race_detection=False).attach(rt.machine)
+    a = rt.array("a", 8)
+    a.fill(1.0)
+    rt.target_enter_data([MapSpec(a, entry)])
+
+    def kernel(ctx):
+        A = ctx["a"]
+        A.read(slice(0, 8))
+        A.fill(2.0)
+
+    rt.target(kernel)
+    a.fill(3.0)  # host refresh
+    if update_to:
+        rt.target_update(to=[a])
+    rt.target(kernel)
+    if update_from:
+        rt.target_update(from_=[a])
+    rt.target_exit_data([MapSpec(a, exit_type)])
+    _ = a[0:8]
+    rt.finalize()
+    return sorted({f.kind.name for f in det.mapping_issue_findings()})
+
+
+@pytest.mark.parametrize(
+    "entry,update_to,update_from,exit_type",
+    list(
+        itertools.product(
+            ENTRY_TYPES, UPDATE_TO_CHOICES, UPDATE_FROM_CHOICES, EXIT_TYPES
+        )
+    ),
+    ids=lambda v: getattr(v, "value", str(v)),
+)
+def test_unstructured_matrix_agrees_with_oracle(
+    entry, update_to, update_from, exit_type
+):
+    predicted = oracle(entry, update_to, update_from, exit_type)
+    observed = run_real(entry, update_to, update_from, exit_type)
+    assert observed == predicted, (
+        f"enter({entry.value}) update_to={update_to} "
+        f"update_from={update_from} exit({exit_type.value}): "
+        f"oracle={predicted} real={observed}"
+    )
+
+
+def test_fully_disciplined_cell_is_clean():
+    assert run_real(MapType.TO, True, True, MapType.RELEASE) == []
+
+
+def test_worst_cell_reports_both_kinds():
+    # alloc entry + no updates: kernel reads garbage (UUM), and the final
+    # host read misses the kernel's writes (USD via release).
+    observed = run_real(MapType.ALLOC, False, False, MapType.RELEASE)
+    assert observed == sorted(["UUM", "USD"])

@@ -1,0 +1,110 @@
+"""Kokkos front-end: views, deep_copy, DualView, and detection through it."""
+
+import pytest
+
+from repro.core import Arbalest
+from repro.kokkos import DualView, KokkosRuntime, View
+from repro.tools import FindingKind
+
+
+def setup():
+    kk = KokkosRuntime(n_devices=1)
+    det = Arbalest().attach(kk.machine)
+    return kk, det
+
+
+class TestViewsAndDeepCopy:
+    def test_correct_kokkos_pipeline(self):
+        kk, det = setup()
+        v = kk.view("data", 8)
+        mirror = v.mirror()
+        mirror.fill(1.0)
+        kk.deep_copy(v, mirror)  # host -> device
+        kk.parallel_for(
+            "scale", 8, lambda ctx, i: ctx["data"].write(i, ctx["data"][i] * 2)
+        )
+        kk.deep_copy(mirror, v)  # device -> host
+        assert mirror[0] == 2.0
+        kk.finalize()
+        assert not det.findings
+
+    def test_missing_deep_copy_to_device_is_uum(self):
+        kk, det = setup()
+        v = kk.view("data", 8)
+        v.mirror().fill(1.0)
+        # Kernel consumes the view without the host->device deep_copy:
+        # Kokkos device views start uninitialized.
+        got = []
+        kk.parallel_for("consume", 1, lambda ctx, i: got.append(ctx["data"][0]))
+        kk.finalize()
+        assert {f.kind for f in det.mapping_issue_findings()} == {FindingKind.UUM}
+
+    def test_missing_deep_copy_back_is_usd(self):
+        kk, det = setup()
+        v = kk.view("data", 8)
+        mirror = v.mirror()
+        mirror.fill(1.0)
+        kk.deep_copy(v, mirror)
+        kk.parallel_for(
+            "scale", 8, lambda ctx, i: ctx["data"].write(i, 5.0)
+        )
+        _ = mirror[0]  # forgot deep_copy(mirror, v): stale host read
+        kk.finalize()
+        assert {f.kind for f in det.mapping_issue_findings()} == {FindingKind.USD}
+
+    def test_deep_copy_partner_validation(self):
+        kk, _ = setup()
+        v = kk.view("a", 4)
+        other = kk.omp.array("b", 4)
+        with pytest.raises(ValueError):
+            kk.deep_copy(v, other)
+        with pytest.raises(TypeError):
+            kk.deep_copy(object(), v)
+
+
+class TestDualView:
+    def test_disciplined_modify_sync(self):
+        kk, det = setup()
+        dv = kk.dual_view("field", 8)
+        dv.host.fill(1.0)
+        dv.modify("host")
+        assert dv.sync("device")  # transfer happened
+        kk.parallel_for(
+            "bump", 8, lambda ctx, i: ctx["field"].write(i, ctx["field"][i] + 1)
+        )
+        dv.modify("device")
+        assert dv.sync("host")
+        assert dv.host[0] == 2.0
+        kk.finalize()
+        assert not det.findings
+
+    def test_sync_without_modify_is_noop(self):
+        kk, _ = setup()
+        dv = kk.dual_view("field", 8)
+        assert not dv.sync("device")
+        assert not dv.sync("host")
+
+    def test_forgotten_modify_still_caught_by_arbalest(self):
+        # The DualView footgun: host data changed but modify('host') was
+        # forgotten, so sync('device') silently skips the transfer.  The
+        # flags think everything is fine; the detector knows better.
+        kk, det = setup()
+        dv = kk.dual_view("field", 8)
+        dv.host.fill(1.0)
+        dv.modify("host")
+        dv.sync("device")
+        dv.host.fill(9.0)  # ... but no dv.modify("host")!
+        assert not dv.sync("device")  # flag says nothing to do
+        got = []
+        kk.parallel_for("consume", 1, lambda ctx, i: got.append(ctx["field"][0]))
+        kk.finalize()
+        assert got == [1.0]  # the kernel really saw the stale value
+        assert {f.kind for f in det.mapping_issue_findings()} == {FindingKind.USD}
+
+    def test_invalid_side_rejected(self):
+        kk, _ = setup()
+        dv = kk.dual_view("field", 4)
+        with pytest.raises(ValueError):
+            dv.modify("gpu")
+        with pytest.raises(ValueError):
+            dv.sync("accelerator")

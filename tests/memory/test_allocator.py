@@ -1,0 +1,126 @@
+"""First-fit allocator: extents, gaps, coalescing, accounting."""
+
+import pytest
+
+from repro.memory import (
+    Allocator,
+    InvalidFreeError,
+    OutOfMemoryError,
+    Window,
+)
+
+
+def make(size=4096, gap=64, alignment=8):
+    return Allocator(Window(0, 1 << 20, size), alignment=alignment, gap=gap)
+
+
+class TestAlloc:
+    def test_first_allocation_at_window_base(self):
+        a = make()
+        e = a.alloc(100)
+        assert e.base == 1 << 20
+        assert e.size == 104  # rounded up to alignment
+
+    def test_gap_between_consecutive_allocations(self):
+        a = make(gap=64)
+        e1 = a.alloc(32)
+        e2 = a.alloc(32)
+        assert e2.base == e1.end + 64
+
+    def test_no_gap_when_disabled(self):
+        a = make(gap=0)
+        e1 = a.alloc(32)
+        e2 = a.alloc(32)
+        assert e2.base == e1.end
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            make().alloc(0)
+
+    def test_exhaustion_raises(self):
+        a = make(size=256, gap=0)
+        a.alloc(200)
+        with pytest.raises(OutOfMemoryError):
+            a.alloc(200)
+
+    def test_extents_never_overlap(self):
+        a = make(size=1 << 16)
+        extents = [a.alloc(n) for n in (8, 24, 100, 7, 63)]
+        spans = sorted((e.base, e.end) for e in extents)
+        for (_, end1), (base2, _) in zip(spans, spans[1:]):
+            assert end1 <= base2
+
+
+class TestFree:
+    def test_free_returns_extent(self):
+        a = make()
+        e = a.alloc(64)
+        assert a.free(e.base) == e
+
+    def test_double_free_raises(self):
+        a = make()
+        e = a.alloc(64)
+        a.free(e.base)
+        with pytest.raises(InvalidFreeError):
+            a.free(e.base)
+
+    def test_interior_free_raises(self):
+        a = make()
+        e = a.alloc(64)
+        with pytest.raises(InvalidFreeError):
+            a.free(e.base + 8)
+
+    def test_coalescing_allows_big_realloc(self):
+        a = make(size=1024, gap=0)
+        e1 = a.alloc(256)
+        e2 = a.alloc(256)
+        e3 = a.alloc(256)
+        a.free(e1.base)
+        a.free(e3.base)
+        a.free(e2.base)  # middle last: must merge into one block
+        big = a.alloc(1024)
+        assert big.size == 1024
+
+    def test_freed_space_is_reused(self):
+        a = make(size=512, gap=0)
+        e1 = a.alloc(256)
+        a.alloc(128)
+        a.free(e1.base)
+        e3 = a.alloc(256)
+        assert e3.base == e1.base
+
+
+class TestAccounting:
+    def test_live_and_peak_bytes(self):
+        a = make(gap=0)
+        e1 = a.alloc(64)
+        e2 = a.alloc(64)
+        assert a.live_bytes == 128
+        assert a.peak_bytes == 128
+        a.free(e1.base)
+        assert a.live_bytes == 64
+        assert a.peak_bytes == 128
+        a.alloc(32)
+        assert a.peak_bytes == 128  # never exceeded earlier peak
+
+    def test_extent_at_finds_container(self):
+        a = make()
+        e = a.alloc(100)
+        assert a.extent_at(e.base) == e
+        assert a.extent_at(e.base + 50) == e
+        assert a.extent_at(e.end) is None
+
+    def test_live_extents_sorted(self):
+        a = make()
+        es = [a.alloc(16) for _ in range(5)]
+        assert list(a.live_extents) == sorted(es, key=lambda e: e.base)
+
+
+class TestValidation:
+    def test_non_power_of_two_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            make(alignment=12)
+
+    def test_gap_must_be_multiple_of_alignment(self):
+        with pytest.raises(ValueError):
+            make(gap=10)

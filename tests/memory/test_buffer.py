@@ -1,0 +1,83 @@
+"""RawBuffer: typed views, byte access, transfers."""
+
+import numpy as np
+import pytest
+
+from repro.memory import Extent, OutOfBoundsError, RawBuffer
+
+
+def make(size=64, base=1 << 20, fill=None):
+    return RawBuffer(Extent(base, size), device_id=0, fill=fill)
+
+
+class TestInit:
+    def test_garbage_pattern_by_default(self):
+        buf = make()
+        assert (buf.data == 0xCB).all()
+
+    def test_explicit_fill(self):
+        assert (make(fill=0).data == 0).all()
+
+
+class TestTypedViews:
+    def test_view_shares_storage(self):
+        buf = make(64)
+        view = buf.as_array("f8")
+        view[:] = 1.5
+        assert (buf.as_array("f8") == 1.5).all()
+
+    def test_offset_and_count(self):
+        buf = make(64, fill=0)
+        buf.as_array("i4", offset=8, count=2)[:] = 7
+        whole = buf.as_array("i4")
+        assert whole[2] == 7 and whole[3] == 7
+        assert whole[0] == 0 and whole[4] == 0
+
+    def test_view_out_of_bounds(self):
+        with pytest.raises(OutOfBoundsError):
+            make(16).as_array("f8", offset=8, count=2)
+
+
+class TestByteAccess:
+    def test_roundtrip(self):
+        buf = make(32, base=1000)
+        buf.write_bytes(1004, b"\x01\x02\x03")
+        assert bytes(buf.read_bytes(1004, 3)) == b"\x01\x02\x03"
+
+    def test_offset_of_checks_bounds(self):
+        buf = make(16, base=1000)
+        assert buf.offset_of(1000) == 0
+        assert buf.offset_of(1015) == 15
+        with pytest.raises(OutOfBoundsError):
+            buf.offset_of(1016)
+        with pytest.raises(OutOfBoundsError):
+            buf.offset_of(1015, 2)
+
+
+class TestCopyFrom:
+    def test_full_copy(self):
+        src = make(32, fill=5)
+        dst = make(32, fill=0)
+        assert dst.copy_from(src) == 32
+        assert (dst.data == 5).all()
+
+    def test_partial_copy_with_offsets(self):
+        src = make(32, fill=9)
+        dst = make(32, fill=0)
+        dst.copy_from(src, dst_offset=8, src_offset=0, nbytes=8)
+        assert (dst.data[8:16] == 9).all()
+        assert (dst.data[:8] == 0).all()
+        assert (dst.data[16:] == 0).all()
+
+    def test_default_copies_common_prefix(self):
+        src = make(16, fill=3)
+        dst = make(32, fill=0)
+        assert dst.copy_from(src) == 16
+
+    def test_copy_out_of_bounds_raises(self):
+        src = make(16)
+        dst = make(16)
+        with pytest.raises(OutOfBoundsError):
+            dst.copy_from(src, dst_offset=8, nbytes=16)
+        with pytest.raises(OutOfBoundsError):
+            dst.copy_from(src, src_offset=8, nbytes=16)

@@ -1,0 +1,91 @@
+"""The exception taxonomy: hierarchy and catchability guarantees."""
+
+import pytest
+
+from repro.memory import (
+    CertificationError,
+    DeviceError,
+    InvalidFreeError,
+    MappingError,
+    MemoryError_,
+    MisalignedAccessError,
+    NotMappedError,
+    OutOfBoundsError,
+    OutOfMemoryError,
+    ReproError,
+    RuntimeSemanticsError,
+    ShadowEncodingError,
+    TaskGraphError,
+    ToolError,
+)
+
+ALL_ERRORS = (
+    MemoryError_,
+    OutOfMemoryError,
+    InvalidFreeError,
+    OutOfBoundsError,
+    MisalignedAccessError,
+    RuntimeSemanticsError,
+    MappingError,
+    NotMappedError,
+    DeviceError,
+    TaskGraphError,
+    ToolError,
+    ShadowEncodingError,
+    CertificationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", ALL_ERRORS, ids=lambda c: c.__name__)
+    def test_everything_is_a_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_memory_family(self):
+        for cls in (OutOfMemoryError, InvalidFreeError, OutOfBoundsError):
+            assert issubclass(cls, MemoryError_)
+
+    def test_semantics_family(self):
+        for cls in (MappingError, NotMappedError, DeviceError, TaskGraphError):
+            assert issubclass(cls, RuntimeSemanticsError)
+
+    def test_tool_family(self):
+        for cls in (ShadowEncodingError, CertificationError):
+            assert issubclass(cls, ToolError)
+
+    def test_families_are_disjoint(self):
+        assert not issubclass(MappingError, MemoryError_)
+        assert not issubclass(OutOfMemoryError, RuntimeSemanticsError)
+        assert not issubclass(ShadowEncodingError, RuntimeSemanticsError)
+
+
+class TestOutOfBounds:
+    def test_carries_address_and_size(self):
+        err = OutOfBoundsError(0xBEEF, 8)
+        assert err.address == 0xBEEF
+        assert err.size == 8
+        assert "0xbeef" in str(err)
+
+    def test_custom_message(self):
+        err = OutOfBoundsError(1, 2, "custom")
+        assert str(err) == "custom"
+
+
+class TestCatchability:
+    def test_single_except_clause_covers_api_misuse(self):
+        """The documented pattern: except ReproError guards any API call."""
+        from repro.openmp import TargetRuntime, from_
+
+        rt = TargetRuntime(n_devices=1)
+        a = rt.array("a", 4)
+        caught = []
+        for bad_call in (
+            lambda: rt.target_exit_data([from_(a)]),  # not mapped
+            lambda: rt.array("a", 4),  # duplicate name
+            lambda: rt.target(lambda ctx: None, device=42),  # no such device
+        ):
+            try:
+                bad_call()
+            except ReproError as err:
+                caught.append(type(err).__name__)
+        assert caught == ["MappingError", "MappingError", "DeviceError"]

@@ -1,0 +1,77 @@
+"""Address-space layout: windows, device recovery, granule math."""
+
+import pytest
+
+from repro.memory import (
+    BASE_ADDRESS,
+    GRANULE,
+    WINDOW_SIZE,
+    align_down,
+    align_up,
+    device_of_address,
+    granules_in,
+    window_for_device,
+)
+
+
+class TestWindows:
+    def test_host_window_starts_at_base(self):
+        w = window_for_device(0)
+        assert w.base == BASE_ADDRESS
+        assert w.size == WINDOW_SIZE
+
+    def test_windows_are_disjoint_and_adjacent(self):
+        w0, w1, w2 = (window_for_device(d) for d in range(3))
+        assert w0.end == w1.base
+        assert w1.end == w2.base
+
+    def test_contains_is_half_open(self):
+        w = window_for_device(1)
+        assert w.contains(w.base)
+        assert w.contains(w.end - 1)
+        assert not w.contains(w.end)
+        assert w.contains(w.base, w.size)
+        assert not w.contains(w.base, w.size + 1)
+
+    def test_negative_device_rejected(self):
+        with pytest.raises(ValueError):
+            window_for_device(-1)
+
+    def test_device_of_address_roundtrip(self):
+        for d in (0, 1, 5, 17):
+            w = window_for_device(d)
+            assert device_of_address(w.base) == d
+            assert device_of_address(w.end - 1) == d
+
+    def test_device_of_address_below_base_rejected(self):
+        with pytest.raises(ValueError):
+            device_of_address(BASE_ADDRESS - 1)
+
+
+class TestGranules:
+    def test_single_byte_is_one_granule(self):
+        assert list(granules_in(BASE_ADDRESS, 1)) == [BASE_ADDRESS // GRANULE]
+
+    def test_aligned_range_covers_exact_granules(self):
+        g = list(granules_in(BASE_ADDRESS, 3 * GRANULE))
+        assert len(g) == 3
+        assert g[0] == BASE_ADDRESS // GRANULE
+
+    def test_straddling_range_dilates(self):
+        # 2 bytes straddling a granule boundary -> 2 granules.
+        addr = BASE_ADDRESS + GRANULE - 1
+        assert len(list(granules_in(addr, 2))) == 2
+
+    def test_empty_range(self):
+        assert list(granules_in(BASE_ADDRESS, 0)) == []
+
+
+class TestAlignment:
+    @pytest.mark.parametrize("value,down,up", [(0, 0, 0), (1, 0, 8), (8, 8, 8), (9, 8, 16)])
+    def test_align(self, value, down, up):
+        assert align_down(value) == down
+        assert align_up(value) == up
+
+    def test_custom_alignment(self):
+        assert align_up(100, 64) == 128
+        assert align_down(100, 64) == 64

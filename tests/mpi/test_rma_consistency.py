@@ -1,0 +1,177 @@
+"""MPI one-sided consistency checking (§VII.B)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MpiConsistencyChecker, MpiWorld
+
+
+def world(n=2):
+    w = MpiWorld(n)
+    checker = MpiConsistencyChecker(w)
+    return w, checker
+
+
+class TestSimulator:
+    def test_needs_two_ranks(self):
+        with pytest.raises(ValueError):
+            MpiWorld(1)
+
+    def test_put_lands_in_public_copy_only(self):
+        w, _ = world()
+        wid = w.win_allocate(4)
+        w.put(origin=1, wid=wid, target=0, index=0, value=9.0)
+        # Owner's private copy unchanged until synchronization.
+        assert w.load(0, wid, 0) == 0.0
+        w.fence(wid)
+        assert w.load(0, wid, 0) == 9.0
+
+    def test_store_visible_to_get_only_after_sync(self):
+        w, _ = world()
+        wid = w.win_allocate(4)
+        w.store(0, wid, 2, 5.0)
+        assert w.get(1, wid, 0, 2) == 0.0  # public copy still stale
+        w.win_sync(0, wid)
+        assert w.get(1, wid, 0, 2) == 5.0
+
+    def test_fence_reconciles_every_rank(self):
+        w, _ = world(3)
+        wid = w.win_allocate(2)
+        w.store(0, wid, 0, 1.0)
+        w.store(1, wid, 0, 2.0)
+        w.put(origin=0, wid=wid, target=2, index=0, value=3.0)
+        w.fence(wid)
+        assert w.get(1, wid, 0, 0) == 1.0
+        assert w.get(0, wid, 1, 0) == 2.0
+        assert w.load(2, wid, 0) == 3.0
+
+    def test_vector_put(self):
+        w, _ = world()
+        wid = w.win_allocate(8)
+        w.put(origin=1, wid=wid, target=0, index=2, value=np.arange(3.0))
+        w.fence(wid)
+        assert w.load(0, wid, 3) == 1.0
+
+    def test_conflict_resolution_private_wins(self):
+        w, _ = world()
+        wid = w.win_allocate(2)
+        w.store(0, wid, 0, 7.0)
+        w.put(origin=1, wid=wid, target=0, index=0, value=8.0)
+        conflicts = w.fence(wid)
+        assert conflicts == 1
+        assert w.load(0, wid, 0) == 7.0
+
+
+class TestChecker:
+    def test_stale_load_detected(self):
+        w, checker = world()
+        wid = w.win_allocate(4)
+        w.put(origin=1, wid=wid, target=0, index=1, value=9.0)
+        value = w.load(0, wid, 1)  # missing win_sync: stale!
+        assert value == 0.0
+        stale = checker.stale_issues()
+        assert len(stale) == 1
+        assert stale[0].kind == "stale-load"
+        assert stale[0].index == 1
+
+    def test_synced_load_clean(self):
+        w, checker = world()
+        wid = w.win_allocate(4)
+        w.put(origin=1, wid=wid, target=0, index=1, value=9.0)
+        w.win_sync(0, wid)
+        assert w.load(0, wid, 1) == 9.0
+        assert not checker.issues
+
+    def test_stale_get_detected(self):
+        w, checker = world()
+        wid = w.win_allocate(4)
+        w.store(0, wid, 0, 4.0)
+        _ = w.get(1, wid, 0, 0)  # owner never synced: public copy stale
+        assert checker.stale_issues()[0].kind == "stale-get"
+
+    def test_fence_based_epoch_clean(self):
+        w, checker = world()
+        wid = w.win_allocate(4)
+        w.put(origin=1, wid=wid, target=0, index=0, value=1.0)
+        w.fence(wid)
+        assert w.load(0, wid, 0) == 1.0
+        w.store(0, wid, 0, 2.0)
+        w.fence(wid)
+        assert w.get(1, wid, 0, 0) == 2.0
+        assert not checker.issues
+
+    def test_epoch_conflict_detected(self):
+        w, checker = world()
+        wid = w.win_allocate(4)
+        w.store(0, wid, 0, 7.0)
+        w.put(origin=1, wid=wid, target=0, index=0, value=8.0)
+        assert checker.conflicts()
+        assert "same epoch" in checker.conflicts()[0].detail
+
+    def test_untouched_elements_never_flagged(self):
+        w, checker = world()
+        wid = w.win_allocate(16)
+        w.put(origin=1, wid=wid, target=0, index=3, value=1.0)
+        _ = w.load(0, wid, 7)  # a different element: fine
+        assert not checker.issues
+
+    def test_independent_windows(self):
+        w, checker = world()
+        wa = w.win_allocate(4)
+        wb = w.win_allocate(4)
+        w.put(origin=1, wid=wa, target=0, index=0, value=1.0)
+        _ = w.load(0, wid=wb, index=0)  # other window: clean
+        assert not checker.issues
+        _ = w.load(0, wid=wa, index=0)
+        assert checker.stale_issues()
+
+    def test_one_report_per_element(self):
+        w, checker = world()
+        wid = w.win_allocate(4)
+        w.put(origin=1, wid=wid, target=0, index=0, value=1.0)
+        for _ in range(5):
+            w.load(0, wid, 0)
+        assert len(checker.stale_issues()) == 1
+
+    def test_render(self):
+        w, checker = world()
+        wid = w.win_allocate(4)
+        assert "no issues" in checker.render()
+        w.put(origin=1, wid=wid, target=0, index=0, value=1.0)
+        w.load(0, wid, 0)
+        assert "stale-load" in checker.render()
+
+
+class TestHalos:
+    """A realistic halo-exchange pattern, correct and buggy."""
+
+    def halo_exchange(self, *, forget_sync: bool):
+        w = MpiWorld(2)
+        checker = MpiConsistencyChecker(w)
+        n = 8
+        wid = w.win_allocate(n)
+        # Each rank fills its interior, then PUTs its edge into the
+        # neighbour's halo cell.
+        for rank in (0, 1):
+            for i in range(1, n - 1):
+                w.store(rank, wid, i, float(rank * 10 + i))
+        w.fence(wid)  # expose interiors
+        w.put(origin=0, wid=wid, target=1, index=0, value=w.get(0, wid, 0, n - 2))
+        w.put(origin=1, wid=wid, target=0, index=n - 1, value=w.get(1, wid, 1, 1))
+        if not forget_sync:
+            w.fence(wid)
+        # Each rank reads its halo.
+        left = w.load(0, wid, n - 1)
+        right = w.load(1, wid, 0)
+        return checker, left, right
+
+    def test_correct_exchange(self):
+        checker, left, right = self.halo_exchange(forget_sync=False)
+        assert not checker.issues
+        assert left == 11.0  # rank 1's element 1
+        assert right == 6.0  # rank 0's element n-2
+
+    def test_missing_fence_detected(self):
+        checker, left, right = self.halo_exchange(forget_sync=True)
+        assert checker.stale_issues()
+        assert (left, right) == (0.0, 0.0)  # the halos really are stale

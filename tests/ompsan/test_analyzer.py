@@ -1,0 +1,162 @@
+"""OMPSan model: the static analysis algorithm and the §VI.G comparison."""
+
+import pytest
+
+from repro.openmp.maptypes import MapType
+from repro.ompsan import (
+    BUGGY_PROGRAMS,
+    CLEAN_PROGRAMS,
+    StaticIssueKind,
+    StaticProgram,
+    analyze,
+    postencil,
+)
+
+TO, FROM, TOFROM, ALLOC, RELEASE = (
+    MapType.TO,
+    MapType.FROM,
+    MapType.TOFROM,
+    MapType.ALLOC,
+    MapType.RELEASE,
+)
+
+
+class TestAlgorithmBasics:
+    def test_clean_roundtrip(self):
+        p = StaticProgram("ok")
+        p.decl("a", 8).host_write("a")
+        p.kernel([("a", TOFROM)], reads=("a",), writes=("a",))
+        p.host_read("a")
+        assert analyze(p).clean
+
+    def test_alloc_read_is_uninitialized(self):
+        p = StaticProgram("uum")
+        p.decl("a", 8).host_write("a")
+        p.kernel([("a", ALLOC)], reads=("a",))
+        r = analyze(p)
+        assert r.kinds() == {StaticIssueKind.UNINITIALIZED}
+
+    def test_to_only_host_read_is_stale(self):
+        p = StaticProgram("usd")
+        p.decl("a", 8).host_write("a")
+        p.kernel([("a", TO)], reads=("a",), writes=("a",))
+        p.host_read("a")
+        r = analyze(p)
+        assert r.kinds() == {StaticIssueKind.STALE}
+
+    def test_overflowing_extent(self):
+        p = StaticProgram("bo")
+        p.decl("a", 8).host_write("a")
+        p.kernel([("a", TO, 4)], reads=("a",), extents={"a": 8})
+        r = analyze(p)
+        assert StaticIssueKind.OVERFLOW in r.kinds()
+
+    def test_unmapped_kernel_variable(self):
+        p = StaticProgram("nomap")
+        p.decl("a", 8).host_write("a")
+        p.kernel([], reads=("a",))
+        assert analyze(p).kinds() == {StaticIssueKind.NOT_MAPPED}
+
+    def test_refcount_suppressed_transfer(self):
+        # The DRACC-050 mechanism: a present entry shadows the to-map.
+        p = StaticProgram("refcount")
+        p.decl("a", 8).host_write("a")
+        p.enter_data([("a", ALLOC)])
+        p.kernel([("a", TO)], reads=("a",))
+        p.exit_data([("a", RELEASE)])
+        assert analyze(p).kinds() == {StaticIssueKind.UNINITIALIZED}
+
+    def test_update_fixes_stale(self):
+        p = StaticProgram("update")
+        p.decl("a", 8).host_write("a")
+        p.enter_data([("a", TO)])
+        p.kernel([], writes=("a",))
+        p.update(from_=("a",))
+        p.host_read("a")
+        p.exit_data([("a", RELEASE)])
+        assert analyze(p).clean
+
+    def test_consistent_uninitialized_reads_not_reported(self):
+        # Both interpretations see bottom: not a *mapping* issue.
+        p = StaticProgram("host-uum")
+        p.decl("a", 8)
+        p.host_read("a")
+        assert analyze(p).clean
+
+    def test_initialized_decl(self):
+        p = StaticProgram("init-decl")
+        p.decl("a", 8, initialized=True)
+        p.kernel([("a", TOFROM)], reads=("a",))
+        p.host_read("a")
+        assert analyze(p).clean
+
+
+class TestSectionG:
+    """§VI.G verbatim: all 16 DRACC issues found; 503.postencil missed."""
+
+    @pytest.mark.parametrize("number", sorted(BUGGY_PROGRAMS))
+    def test_all_16_dracc_issues_found(self, number):
+        result = analyze(BUGGY_PROGRAMS[number]())
+        assert not result.clean, result.program
+
+    @pytest.mark.parametrize("number", sorted(CLEAN_PROGRAMS))
+    def test_clean_encodings_stay_clean(self, number):
+        result = analyze(CLEAN_PROGRAMS[number]())
+        assert result.clean, result.render()
+
+    def test_postencil_missed(self):
+        # "OMPSan missed the data mapping issue in 503.postencil because of
+        # the complex dataflow."
+        assert analyze(postencil(buggy=True)).clean
+
+    def test_postencil_fixed_also_clean(self):
+        assert analyze(postencil(buggy=False)).clean
+
+    def test_miss_is_parity_independent(self):
+        # Static analysis misses it for ANY iteration count: the imprecision
+        # is structural (name-keyed state), not parity luck.
+        for iters in (1, 2, 3, 4, 5):
+            assert analyze(postencil(iters=iters, buggy=True)).clean
+
+    def test_dynamic_tool_catches_what_static_misses(self):
+        # The actual §VI.G contrast, run end-to-end.
+        from repro.core import Arbalest
+        from repro.openmp import TargetRuntime
+        from repro.specaccel import output_checksum, run_postencil
+
+        rt = TargetRuntime(n_devices=1)
+        det = Arbalest().attach(rt.machine)
+        result = run_postencil(rt, "test", buggy=True)
+        output_checksum(rt, result)
+        rt.finalize()
+        assert det.mapping_issue_findings()  # dynamic: found
+        assert analyze(postencil(buggy=True)).clean  # static: missed
+
+    def test_effect_kinds_match_table3_rows(self):
+        from repro.dracc import TABLE3_BO, TABLE3_USD, TABLE3_UUM
+
+        for n in TABLE3_BO:
+            assert StaticIssueKind.OVERFLOW in analyze(BUGGY_PROGRAMS[n]()).kinds()
+        for n in TABLE3_UUM:
+            assert StaticIssueKind.UNINITIALIZED in analyze(
+                BUGGY_PROGRAMS[n]()
+            ).kinds()
+        for n in TABLE3_USD:
+            kinds = analyze(BUGGY_PROGRAMS[n]()).kinds()
+            # 34 is the paper's USD-row/UUM-text benchmark.
+            want = (
+                StaticIssueKind.UNINITIALIZED if n == 34 else StaticIssueKind.STALE
+            )
+            assert want in kinds, n
+
+
+class TestRendering:
+    def test_result_render(self):
+        r = analyze(BUGGY_PROGRAMS[22]())
+        text = r.render()
+        assert "DRACC_OMP_022" in text
+        assert "uninitialized" in text
+
+    def test_clean_render(self):
+        r = analyze(CLEAN_PROGRAMS[4]())
+        assert "no data mapping issue" in r.render()

@@ -1,0 +1,161 @@
+"""OpenACC front-end: clause translation and detector transparency."""
+
+import pytest
+
+from repro.core import Arbalest, certify
+from repro.openacc import AccRuntime
+from repro.tools import FindingKind, MsanTool
+
+
+def setup():
+    acc = AccRuntime(n_devices=1)
+    det = Arbalest().attach(acc.machine)
+    return acc, det
+
+
+class TestClauseSemantics:
+    def test_copy_roundtrip(self):
+        acc, det = setup()
+        a = acc.array("a", 8)
+        a.fill(1.0)
+        acc.parallel(lambda ctx: ctx["a"].fill(2.0), copy=[a])
+        assert a[0] == 2.0
+        acc.finalize()
+        assert not det.findings
+
+    def test_copyin_is_read_only(self):
+        acc, det = setup()
+        a = acc.array("a", 8)
+        a.fill(5.0)
+        got = []
+        acc.parallel(lambda ctx: got.append(ctx["a"][0]), copyin=[a])
+        acc.finalize()
+        assert got == [5.0]
+        assert not det.findings
+
+    def test_copyout_delivers_result(self):
+        acc, det = setup()
+        out = acc.array("out", 8)
+        acc.parallel(lambda ctx: ctx["out"].fill(3.0), copyout=[out])
+        assert out.peek().tolist() == [3.0] * 8
+        acc.finalize()
+        assert not det.findings
+
+    def test_create_is_uninitialized_scratch(self):
+        acc, det = setup()
+        s = acc.array("s", 8)
+        got = []
+        acc.parallel(lambda ctx: got.append(ctx["s"][0]), create=[s])
+        acc.finalize()
+        # Reading a create()'d array before writing it: the Fig-1 class.
+        assert {f.kind for f in det.mapping_issue_findings()} == {FindingKind.UUM}
+
+    def test_data_region_with_updates(self):
+        acc, det = setup()
+        a = acc.array("a", 8)
+        a.fill(1.0)
+        with acc.data(copy=[a]):
+            acc.parallel(lambda ctx: ctx["a"].fill(2.0))
+            acc.update(self_=[a])
+            assert a[0] == 2.0
+            a.fill(3.0)
+            acc.update(device_=[a])
+            acc.parallel(lambda ctx: ctx["a"].fill(ctx["a"][0] + 1))
+        acc.finalize()
+        assert a.peek()[0] == 4.0
+        assert not det.findings
+
+    def test_enter_exit_data(self):
+        acc, det = setup()
+        a = acc.array("a", 8)
+        a.fill(1.0)
+        acc.enter_data(copyin=[a])
+        acc.parallel(lambda ctx: ctx["a"].fill(9.0))
+        acc.exit_data(copyout=[a])
+        assert a.peek()[0] == 9.0
+        acc.finalize()
+        assert not det.findings
+
+    def test_async_wait(self):
+        acc, det = setup()
+        a = acc.array("a", 8)
+        a.fill(0.0)
+        acc.enter_data(copyin=[a])
+        acc.parallel(lambda ctx: ctx["a"].fill(1.0), async_=True)
+        acc.wait()
+        acc.update(self_=[a])
+        assert a[0] == 1.0
+        acc.exit_data(delete=[a])
+        acc.finalize()
+        assert not det.race_findings()
+
+
+class TestDetectionThroughFacade:
+    """The detector needs no OpenACC knowledge: same bugs, same findings."""
+
+    def test_copyin_where_copy_needed_is_usd(self):
+        acc, det = setup()
+        a = acc.array("a", 8)
+        a.fill(1.0)
+        acc.parallel(lambda ctx: ctx["a"].fill(2.0), copyin=[a])  # bug
+        _ = a[0]
+        acc.finalize()
+        assert {f.kind for f in det.mapping_issue_findings()} == {FindingKind.USD}
+
+    def test_present_table_shadowing_bug(self):
+        # DRACC-050's refcount pitfall, spelled in OpenACC.
+        acc, det = setup()
+        a = acc.array("a", 8)
+        a.fill(1.0)
+        acc.enter_data(create=[a])  # present without data
+        got = []
+        acc.parallel(lambda ctx: got.append(ctx["a"][0]), copyin=[a])  # no copy!
+        acc.finalize()
+        assert {f.kind for f in det.mapping_issue_findings()} == {FindingKind.UUM}
+
+    def test_async_race_detected(self):
+        acc, det = setup()
+        a = acc.array("a", 1)
+        a.fill(0.0)
+        with acc.data(copy=[a]):
+            acc.parallel(lambda ctx: ctx["a"].write(0, 1.0), async_=True)
+            a.write(0, 2.0)  # missing acc.wait()
+        acc.finalize()
+        assert det.race_findings()
+
+    def test_baseline_tools_work_through_facade(self):
+        acc = AccRuntime(n_devices=1)
+        msan = MsanTool().attach(acc.machine)
+        a = acc.array("a", 8)
+        got = []
+        acc.parallel(lambda ctx: got.append(ctx["a"][0]), create=[a])
+        acc.finalize()
+        assert msan.mapping_issue_findings()  # fresh CV read: MSan's row
+
+    def test_certification_of_acc_program(self):
+        def program(rt):
+            # certify() hands us an OpenMP runtime; wrap it.
+            from repro.openacc import AccRuntime
+
+            acc = AccRuntime(rt.machine)
+            a = acc.array("acc_a", 8)
+            a.fill(1.0)
+            acc.parallel(lambda ctx: ctx["acc_a"].fill(2.0), copy=[a])
+            _ = a[0]
+
+        assert certify(program).certified
+
+
+class TestInterop:
+    def test_mixed_openmp_and_openacc_on_one_machine(self):
+        from repro.openmp import tofrom
+
+        acc, det = setup()
+        a = acc.array("a", 8)
+        a.fill(1.0)
+        acc.parallel(lambda ctx: ctx["a"].fill(2.0), copy=[a])
+        # The underlying OpenMP runtime sees the same machine and arrays.
+        acc.omp.target(lambda ctx: ctx["a"].fill(3.0), maps=[tofrom(a)])
+        assert a[0] == 3.0
+        acc.finalize()
+        assert not det.findings

@@ -1,0 +1,91 @@
+"""Devices: allocation events, buffer lookup, loose (UB) accesses."""
+
+import numpy as np
+
+from repro.events import AllocationEvent
+from repro.openmp import Machine, TraceRecorder
+from repro.openmp.device import GARBAGE_BYTE
+
+
+def machine():
+    m = Machine(1)
+    trace = TraceRecorder().attach(m)
+    return m, trace
+
+
+class TestAllocationEvents:
+    def test_malloc_publishes(self):
+        m, trace = machine()
+        buf = m.host.malloc(100, label="arr")
+        evs = trace.of_type(AllocationEvent)
+        assert len(evs) == 1
+        assert evs[0].address == buf.base
+        assert evs[0].label == "arr"
+        assert not evs[0].is_free
+
+    def test_free_publishes(self):
+        m, trace = machine()
+        buf = m.host.malloc(100)
+        m.host.free(buf.base)
+        evs = trace.of_type(AllocationEvent)
+        assert evs[1].is_free
+
+    def test_storage_tag_propagates(self):
+        m, trace = machine()
+        m.host.malloc(64, storage="global")
+        assert trace.of_type(AllocationEvent)[0].storage == "global"
+
+
+class TestBufferLookup:
+    def test_containing(self):
+        m, _ = machine()
+        b1 = m.host.malloc(64)
+        b2 = m.host.malloc(64)
+        assert m.host.buffer_containing(b1.base + 10) is b1
+        assert m.host.buffer_containing(b2.base) is b2
+        # The allocator gap between them belongs to nobody.
+        assert m.host.buffer_containing(b1.extent.end + 1) is None
+
+    def test_freed_not_found(self):
+        m, _ = machine()
+        b = m.host.malloc(64)
+        m.host.free(b.base)
+        assert m.host.buffer_containing(b.base) is None
+
+
+class TestLooseAccess:
+    def test_read_inside(self):
+        m, _ = machine()
+        b = m.host.malloc(32, fill=7)
+        assert (m.host.read_loose(b.base, 32) == 7).all()
+
+    def test_read_past_end_yields_garbage(self):
+        m, _ = machine()
+        b = m.host.malloc(32, fill=7)
+        data = m.host.read_loose(b.base + 16, 32)
+        assert (data[:16] == 7).all()
+        assert (data[16:] == GARBAGE_BYTE).all()
+
+    def test_read_spanning_two_buffers(self):
+        m, _ = machine()
+        b1 = m.host.malloc(32, fill=1)
+        b2 = m.host.malloc(32, fill=2)
+        span = b2.base + 32 - b1.base
+        data = m.host.read_loose(b1.base, span)
+        assert (data[:32] == 1).all()
+        assert (data[-32:] == 2).all()
+        gap = data[32 : b2.base - b1.base]
+        assert (gap == GARBAGE_BYTE).all()
+
+    def test_write_outside_dropped(self):
+        m, _ = machine()
+        b = m.host.malloc(32, fill=0)
+        m.host.write_loose(b.base + 16, np.full(32, 9, dtype=np.uint8))
+        assert (b.data[16:] == 9).all()
+        assert (b.data[:16] == 0).all()  # untouched
+
+    def test_write_nowhere_is_noop(self):
+        m, _ = machine()
+        b = m.host.malloc(32, fill=0)
+        m.host.write_loose(b.extent.end + 100, np.ones(8, dtype=np.uint8))
+        assert (b.data == 0).all()

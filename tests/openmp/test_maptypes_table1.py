@@ -1,0 +1,232 @@
+"""Table I semantics: entry/exit effects of every map-type, observable
+through the present table, transfers, and final memory contents."""
+
+import pytest
+
+from repro.events import DataOpKind
+from repro.memory import MappingError
+from repro.openmp import (
+    MapType,
+    TargetRuntime,
+    TraceRecorder,
+    alloc,
+    delete,
+    from_,
+    release,
+    to,
+    tofrom,
+)
+from repro.openmp.maptypes import (
+    allowed_on_enter_data,
+    allowed_on_exit_data,
+    allowed_on_target,
+    entry_effect,
+    exit_effect,
+)
+
+
+def runtime():
+    rt = TargetRuntime(n_devices=1)
+    trace = TraceRecorder(record_accesses=False).attach(rt.machine)
+    return rt, trace, rt.machine.device(1)
+
+
+def transfer_kinds(trace):
+    return [op.kind for op in trace.data_ops()]
+
+
+class TestEntryEffects:
+    def test_to_copies_on_first_map(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[1, 2, 3, 4])
+        rt.target_enter_data([to(a)])
+        assert transfer_kinds(trace) == [DataOpKind.ALLOC, DataOpKind.H2D]
+        entry = dev.present.lookup(a.base, a.nbytes)
+        assert entry is not None and entry.ref_count == 1
+
+    def test_alloc_creates_without_copy(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4)
+        rt.target_enter_data([alloc(a)])
+        assert transfer_kinds(trace) == [DataOpKind.ALLOC]
+
+    def test_second_map_only_bumps_refcount(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[0.0] * 4)
+        rt.target_enter_data([to(a)])
+        trace.clear()
+        rt.target_enter_data([to(a)])
+        assert transfer_kinds(trace) == []  # no alloc, no copy: just rc += 1
+        assert dev.present.lookup(a.base, a.nbytes).ref_count == 2
+
+    def test_from_allocates_without_copy_on_entry(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[9.0] * 4)
+        with rt.target_data([from_(a)]):
+            assert transfer_kinds(trace) == [DataOpKind.ALLOC]
+
+
+class TestExitEffects:
+    def test_tofrom_copies_back_and_deletes_at_zero(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[1.0] * 4)
+        with rt.target_data([tofrom(a)]):
+            rt.target(lambda ctx: ctx["a"].fill(5.0))
+        assert a.peek().tolist() == [5.0] * 4
+        assert dev.present.lookup(a.base, a.nbytes) is None
+        assert dev.live_bytes == 0
+
+    def test_to_exit_discards_device_value(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[1.0] * 4)
+        with rt.target_data([to(a)]):
+            rt.target(lambda ctx: ctx["a"].fill(5.0))
+        assert a.peek().tolist() == [1.0] * 4  # no copy-back
+
+    def test_from_exit_copies_back(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[1.0] * 4)
+        with rt.target_data([from_(a)]):
+            rt.target(lambda ctx: ctx["a"].fill(5.0))
+        assert a.peek().tolist() == [5.0] * 4
+
+    def test_nested_from_does_not_copy_until_zero(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[1.0] * 4)
+        rt.target_enter_data([to(a)])              # rc = 1
+        with rt.target_data([tofrom(a)]):          # rc = 2
+            rt.target(lambda ctx: ctx["a"].fill(5.0))
+        # rc back to 1: the tofrom exit must NOT have copied back.
+        assert a.peek().tolist() == [1.0] * 4
+        rt.target_exit_data([from_(a)])            # rc = 0: copy now
+        assert a.peek().tolist() == [5.0] * 4
+
+    def test_release_deletes_without_copy(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[1.0] * 4)
+        rt.target_enter_data([to(a)])
+        rt.target(lambda ctx: ctx["a"].fill(7.0))
+        rt.target_exit_data([release(a)])
+        assert a.peek().tolist() == [1.0] * 4
+        assert dev.present.lookup(a.base, a.nbytes) is None
+
+    def test_delete_forces_refcount_to_zero(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[1.0] * 4)
+        rt.target_enter_data([to(a)])
+        rt.target_enter_data([to(a)])  # rc = 2
+        rt.target_exit_data([delete(a)])
+        assert dev.present.lookup(a.base, a.nbytes) is None
+
+    def test_release_of_absent_section_is_noop(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4)
+        rt.target_exit_data([release(a)])  # no raise
+
+    def test_from_of_absent_section_raises(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4)
+        with pytest.raises(MappingError):
+            rt.target_exit_data([from_(a)])
+
+
+class TestConstructRestrictions:
+    def test_enter_data_accepts_to_alloc_only(self):
+        assert allowed_on_enter_data(MapType.TO)
+        assert allowed_on_enter_data(MapType.ALLOC)
+        assert not allowed_on_enter_data(MapType.FROM)
+        assert not allowed_on_enter_data(MapType.DELETE)
+
+    def test_exit_data_accepts_from_release_delete(self):
+        for mt in (MapType.FROM, MapType.RELEASE, MapType.DELETE):
+            assert allowed_on_exit_data(mt)
+        assert not allowed_on_exit_data(MapType.TO)
+
+    def test_target_accepts_motion_types(self):
+        for mt in (MapType.TO, MapType.FROM, MapType.TOFROM, MapType.ALLOC):
+            assert allowed_on_target(mt)
+        assert not allowed_on_target(MapType.RELEASE)
+
+    def test_runtime_enforces_restrictions(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4)
+        with pytest.raises(MappingError):
+            rt.target_enter_data([from_(a)])
+        with pytest.raises(MappingError):
+            rt.target_exit_data([to(a)])
+        with pytest.raises(MappingError):
+            rt.target(lambda ctx: None, maps=[release(a)])
+
+    def test_entry_effect_table(self):
+        assert entry_effect(MapType.TO).copies_to_device
+        assert entry_effect(MapType.TOFROM).copies_to_device
+        assert not entry_effect(MapType.FROM).copies_to_device
+        assert not entry_effect(MapType.ALLOC).copies_to_device
+        assert entry_effect(MapType.RELEASE) is None
+
+    def test_exit_effect_table(self):
+        assert exit_effect(MapType.FROM).copies_to_host
+        assert exit_effect(MapType.TOFROM).copies_to_host
+        assert not exit_effect(MapType.TO).copies_to_host
+        assert not exit_effect(MapType.RELEASE).copies_to_host
+        assert exit_effect(MapType.DELETE).forces_zero
+
+
+class TestSections:
+    def test_partial_section_maps_subrange(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 10, init=list(range(10)))
+        rt.target_enter_data([to(a, 2, 4)])
+        entry = dev.present.lookup(a.address_of(2), 4 * 8)
+        assert entry is not None
+        assert entry.nbytes == 32
+
+    def test_section_exceeding_array_rejected(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 10)
+        with pytest.raises(MappingError):
+            to(a, 8, 4)
+
+    def test_overlapping_sections_rejected(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 10, init=[0.0] * 10)
+        rt.target_enter_data([to(a, 0, 6)])
+        with pytest.raises(MappingError):
+            rt.target_enter_data([to(a, 4, 6)])
+
+
+class TestTargetUpdate:
+    def test_update_to_refreshes_device(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[1.0] * 4)
+        got = []
+        with rt.target_data([to(a)]):
+            a.poke([2.0] * 4)  # host-side change, uninstrumented
+            rt.target_update(to=[a])
+            rt.target(lambda ctx: got.append(ctx["a"][0]))
+        assert got == [2.0]
+
+    def test_update_from_refreshes_host(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[1.0] * 4)
+        with rt.target_data([to(a)]):
+            rt.target(lambda ctx: ctx["a"].fill(3.0))
+            rt.target_update(from_=[a])
+            assert a.peek().tolist() == [3.0] * 4
+
+    def test_update_of_absent_is_noop(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 4, init=[1.0] * 4)
+        rt.target_update(to=[a])  # nothing present: no effect, no error
+        assert transfer_kinds(trace) == []
+
+    def test_update_partial_section(self):
+        rt, trace, dev = runtime()
+        a = rt.array("a", 8, init=[1.0] * 8)
+        got = {}
+        with rt.target_data([to(a)]):
+            a.poke([9.0] * 8)
+            rt.target_update(to=[(a, 0, 4)])
+            rt.target(lambda ctx: got.update(lo=ctx["a"][0], hi=ctx["a"][7]))
+        assert got["lo"] == 9.0
+        assert got["hi"] == 1.0

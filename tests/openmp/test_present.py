@@ -1,0 +1,82 @@
+"""Present table: containment lookup, overlap rejection, translation."""
+
+import pytest
+
+from repro.memory import MappingError
+from repro.openmp import PresentEntry, PresentTable
+
+
+def entry(ov=1000, n=100, cv=5000, name="a", rc=1):
+    return PresentEntry(
+        ov_address=ov, nbytes=n, cv_address=cv, device_id=1, ref_count=rc, name=name
+    )
+
+
+class TestLookup:
+    def test_exact_and_contained(self):
+        t = PresentTable(1)
+        e = entry()
+        t.insert(e)
+        assert t.lookup(1000, 100) is e
+        assert t.lookup(1050, 10) is e
+        assert t.lookup(1099) is e
+
+    def test_absent(self):
+        t = PresentTable(1)
+        t.insert(entry())
+        assert t.lookup(2000, 10) is None
+        assert t.lookup(900, 10) is None
+
+    def test_partial_overlap_raises(self):
+        t = PresentTable(1)
+        t.insert(entry(ov=1000, n=100))
+        with pytest.raises(MappingError):
+            t.lookup(1050, 100)  # straddles the tail
+        with pytest.raises(MappingError):
+            t.lookup(950, 100)  # straddles the head
+
+    def test_multiple_entries_ordered(self):
+        t = PresentTable(1)
+        e1, e2 = entry(ov=1000, n=50, name="a"), entry(ov=2000, n=50, cv=6000, name="b")
+        t.insert(e2)
+        t.insert(e1)
+        assert t.lookup(1010) is e1
+        assert t.lookup(2010) is e2
+        assert [e.name for e in t.entries()] == ["a", "b"]
+
+
+class TestInsertRemove:
+    def test_double_insert_rejected(self):
+        t = PresentTable(1)
+        t.insert(entry())
+        with pytest.raises(MappingError):
+            t.insert(entry())
+
+    def test_remove_then_absent(self):
+        t = PresentTable(1)
+        e = entry()
+        t.insert(e)
+        t.remove(e)
+        assert t.lookup(1000, 100) is None
+        with pytest.raises(MappingError):
+            t.remove(e)
+
+    def test_len(self):
+        t = PresentTable(1)
+        assert len(t) == 0
+        t.insert(entry())
+        assert len(t) == 1
+
+
+class TestTranslation:
+    def test_translate_offsets(self):
+        e = entry(ov=1000, n=100, cv=5000)
+        assert e.translate(1000) == 5000
+        assert e.translate(1042) == 5042
+
+    def test_find_by_name(self):
+        t = PresentTable(1)
+        t.insert(entry(name="x"))
+        t.insert(entry(ov=3000, cv=7000, name="y"))
+        assert t.find_by_name("y").ov_address == 3000
+        assert t.find_by_name("nope") is None

@@ -1,0 +1,202 @@
+"""TargetRuntime end-to-end semantics: kernels, devices, unified memory,
+declare-target globals, and the event stream's OMPT shape."""
+
+import numpy as np
+import pytest
+
+from repro.events import DataOpKind, KernelPhase, MemcpyEvent
+from repro.memory import DeviceError, MappingError
+from repro.openmp import (
+    Machine,
+    Schedule,
+    TargetRuntime,
+    TraceRecorder,
+    from_,
+    to,
+    tofrom,
+)
+
+
+def runtime(**kw):
+    rt = TargetRuntime(n_devices=kw.pop("n_devices", 1), **kw)
+    trace = TraceRecorder(record_accesses=False).attach(rt.machine)
+    return rt, trace
+
+
+class TestKernels:
+    def test_kernel_events_bracket_body(self):
+        rt, trace = runtime()
+        a = rt.array("a", 2, init=[0.0] * 2)
+        rt.target(lambda ctx: None, maps=[tofrom(a)], name="mykernel")
+        phases = [(k.phase, k.name) for k in trace.kernels()]
+        assert phases == [(KernelPhase.BEGIN, "mykernel"), (KernelPhase.END, "mykernel")]
+
+    def test_kernel_runs_on_fresh_logical_thread(self):
+        rt, trace = runtime()
+        a = rt.array("a", 2, init=[0.0] * 2)
+        tids = []
+        rt.target(lambda ctx: tids.append(rt.machine.current_thread), maps=[to(a)])
+        assert tids == [1]
+        assert rt.machine.current_thread == 0  # restored
+
+    def test_kernel_name_defaults_to_function_name(self):
+        rt, trace = runtime()
+
+        def my_stencil(ctx):
+            pass
+
+        rt.target(my_stencil)
+        assert trace.kernels()[0].name == "my_stencil"
+
+    def test_unknown_device_rejected(self):
+        rt, _ = runtime()
+        with pytest.raises(DeviceError):
+            rt.target(lambda ctx: None, device=9)
+
+    def test_two_devices_have_independent_cvs(self):
+        rt, _ = runtime(n_devices=2)
+        a = rt.array("a", 4, init=[1.0] * 4)
+        rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[to(a)], device=1)
+        got = []
+        rt.target(lambda ctx: got.append(ctx["a"][0]), maps=[to(a)], device=2)
+        assert got == [1.0]  # device 2 got the host value, not device 1's
+
+
+class TestTransferEventShape:
+    def test_tofrom_emits_alloc_h2d_d2h_delete(self):
+        rt, trace = runtime()
+        a = rt.array("a", 4, init=[0.0] * 4)
+        rt.target(lambda ctx: ctx["a"].fill(1.0), maps=[tofrom(a)])
+        kinds = [op.kind for op in trace.data_ops()]
+        assert kinds == [
+            DataOpKind.ALLOC,
+            DataOpKind.H2D,
+            DataOpKind.D2H,
+            DataOpKind.DELETE,
+        ]
+
+    def test_every_transfer_also_visible_as_memcpy(self):
+        rt, trace = runtime()
+        a = rt.array("a", 4, init=[0.0] * 4)
+        rt.target(lambda ctx: None, maps=[tofrom(a)])
+        copies = trace.memcpys()
+        assert len(copies) == 2  # in and out
+        h2d, d2h = copies
+        assert h2d.src_device == 0 and h2d.dst_device == 1
+        assert d2h.src_device == 1 and d2h.dst_device == 0
+        assert h2d.nbytes == a.nbytes
+
+    def test_dataop_carries_both_addresses(self):
+        rt, trace = runtime()
+        a = rt.array("a", 4, init=[0.0] * 4)
+        rt.target_enter_data([to(a)])
+        allocs = [op for op in trace.data_ops() if op.kind is DataOpKind.ALLOC]
+        assert allocs[0].ov_address == a.base
+        assert allocs[0].cv_address != a.base
+        assert allocs[0].nbytes == a.nbytes
+
+
+class TestUnifiedMemory:
+    def test_no_transfers_on_unified_device(self):
+        rt, trace = runtime(unified=True)
+        a = rt.array("a", 4, init=[1.0] * 4)
+        rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[tofrom(a)])
+        kinds = [op.kind for op in trace.data_ops()]
+        assert DataOpKind.H2D not in kinds
+        assert DataOpKind.D2H not in kinds
+        assert not trace.memcpys()
+
+    def test_unified_alloc_reports_shared_address(self):
+        rt, trace = runtime(unified=True)
+        a = rt.array("a", 4, init=[1.0] * 4)
+        rt.target_enter_data([to(a)])
+        alloc_op = trace.data_ops()[0]
+        assert alloc_op.cv_address == alloc_op.ov_address == a.base
+
+    def test_kernel_writes_visible_without_copy(self):
+        rt, _ = runtime(unified=True)
+        a = rt.array("a", 4, init=[1.0] * 4)
+        # Even a `to` map shows updates: single storage.
+        rt.target(lambda ctx: ctx["a"].fill(5.0), maps=[to(a)])
+        assert a.peek().tolist() == [5.0] * 4
+
+    def test_flush_events_bracket_unified_kernels(self):
+        rt, trace = runtime(unified=True)
+        a = rt.array("a", 2, init=[0.0] * 2)
+        rt.target(lambda ctx: None, maps=[to(a)])
+        from repro.events import FlushEvent
+
+        assert len(trace.of_type(FlushEvent)) == 2
+
+
+class TestDeclareTarget:
+    def test_image_copy_present_on_all_devices(self):
+        rt, trace = runtime(n_devices=2)
+        g = rt.array("g", 8, storage="global", declare_target=True)
+        for d in (1, 2):
+            entry = rt.machine.device(d).present.lookup(g.base, g.nbytes)
+            assert entry is not None
+            assert entry.ref_count > 1_000_000  # pinned
+
+    def test_update_synchronizes_image_copy(self):
+        rt, _ = runtime()
+        g = rt.array("g", 4, storage="global", declare_target=True)
+        g.fill(3.0)
+        rt.target_update(to=[g])
+        got = []
+        rt.target(lambda ctx: got.append(ctx["g"][0]))
+        assert got == [3.0]
+
+    def test_image_copy_survives_exit_data(self):
+        rt, _ = runtime()
+        g = rt.array("g", 4, storage="global", declare_target=True)
+        from repro.openmp import release
+
+        rt.target_exit_data([release(g)])
+        assert rt.machine.device(1).present.lookup(g.base, g.nbytes) is not None
+
+    def test_declare_target_requires_global(self):
+        rt, _ = runtime()
+        with pytest.raises(MappingError):
+            rt.array("h", 4, declare_target=True)
+
+    def test_alloc_dataop_published_for_image_copy(self):
+        rt, trace = runtime()
+        rt.array("g", 4, storage="global", declare_target=True)
+        assert [op.kind for op in trace.data_ops()] == [DataOpKind.ALLOC]
+
+
+class TestFig2Semantics:
+    """The Fig-2 program's observable values under each schedule."""
+
+    def program(self, schedule):
+        rt = TargetRuntime(n_devices=1, schedule=schedule)
+        a = rt.array("a", 1)
+        a[0] = 1.0
+        with rt.target_data([tofrom(a)]):
+            rt.target(lambda ctx: ctx["a"].write(0, 3.0), nowait=True)
+            a.write(0, a.read(0) + 1)
+        rt.finalize()
+        return a.peek()[0]
+
+    def test_eager_kernel_wins_then_host(self):
+        # Kernel writes CV=3 first; host increments OV to 2; exit copies CV
+        # back: host's +1 is lost, a == 3.
+        assert self.program(Schedule.EAGER) == 3.0
+
+    def test_defer_kernel_first(self):
+        # Host increments to 2 first, kernel then writes CV=3, exit copies
+        # back: a == 3 (host update lost the other way).
+        assert self.program(Schedule.DEFER_KERNEL_FIRST) == 3.0
+
+    def test_defer_host_first_loses_kernel_update(self):
+        # Exit transfer runs before the kernel: a reverts to the entry
+        # value 1, and the kernel's write lands in freed CV space.
+        assert self.program(Schedule.DEFER_HOST_FIRST) == 1.0
+
+    def test_outcome_is_schedule_dependent(self):
+        outcomes = {
+            self.program(s)
+            for s in (Schedule.EAGER, Schedule.DEFER_HOST_FIRST)
+        }
+        assert len(outcomes) == 2  # the nondeterminism the paper describes

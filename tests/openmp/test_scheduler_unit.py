@@ -1,0 +1,37 @@
+"""Scheduler unit behaviour (complement to the task-level tests)."""
+
+import pytest
+
+from repro.openmp import Schedule, Scheduler
+
+
+class TestRunAtLaunch:
+    def test_synchronous_always_runs(self):
+        for schedule in Schedule:
+            assert Scheduler(schedule).run_at_launch(nowait=False)
+
+    def test_eager_runs_nowait_immediately(self):
+        assert Scheduler(Schedule.EAGER).run_at_launch(nowait=True)
+
+    def test_deferred_schedules_defer(self):
+        assert not Scheduler(Schedule.DEFER_KERNEL_FIRST).run_at_launch(nowait=True)
+        assert not Scheduler(Schedule.DEFER_HOST_FIRST).run_at_launch(nowait=True)
+
+    def test_random_is_seeded(self):
+        def draw_sequence():
+            scheduler = Scheduler(Schedule.RANDOM, seed=5)
+            return tuple(scheduler.run_at_launch(True) for _ in range(16))
+
+        assert draw_sequence() == draw_sequence()  # reproducible
+
+    def test_random_actually_varies(self):
+        scheduler = Scheduler(Schedule.RANDOM, seed=1)
+        decisions = tuple(scheduler.run_at_launch(True) for _ in range(32))
+        assert True in decisions and False in decisions
+
+
+class TestExitOrdering:
+    def test_only_host_first_reorders_exit(self):
+        assert Scheduler(Schedule.DEFER_HOST_FIRST).exit_transfers_before_drain
+        for schedule in (Schedule.EAGER, Schedule.DEFER_KERNEL_FIRST, Schedule.RANDOM):
+            assert not Scheduler(schedule).exit_transfers_before_drain

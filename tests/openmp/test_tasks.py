@@ -1,0 +1,189 @@
+"""Task graph: fork/join/depend edges, schedules, parallel regions."""
+
+import pytest
+
+from repro.memory import TaskGraphError
+from repro.openmp import Machine, Schedule, TargetRuntime, TraceRecorder, tofrom
+
+
+def runtime(schedule=Schedule.EAGER, **kw):
+    rt = TargetRuntime(n_devices=1, schedule=schedule, **kw)
+    trace = TraceRecorder(record_accesses=False).attach(rt.machine)
+    return rt, trace
+
+
+def sync_edges(trace):
+    return [(s.kind, s.source_task, s.target_task) for s in trace.syncs()]
+
+
+class TestSyncEdges:
+    def test_synchronous_target_forks_and_joins(self):
+        rt, trace = runtime()
+        a = rt.array("a", 2, init=[0.0] * 2)
+        rt.target(lambda ctx: None, maps=[tofrom(a)])
+        edges = sync_edges(trace)
+        assert ("fork", 0, 1) in edges
+        assert ("join", 1, 0) in edges
+        # fork strictly precedes join
+        assert edges.index(("fork", 0, 1)) < edges.index(("join", 1, 0))
+
+    def test_nowait_join_deferred_to_taskwait(self):
+        rt, trace = runtime()
+        a = rt.array("a", 2, init=[0.0] * 2)
+        rt.target(lambda ctx: None, maps=[tofrom(a)], nowait=True)
+        assert ("join", 1, 0) not in sync_edges(trace)
+        rt.taskwait()
+        assert ("join", 1, 0) in sync_edges(trace)
+
+    def test_finalize_joins_everything(self):
+        rt, trace = runtime()
+        a = rt.array("a", 2, init=[0.0] * 2)
+        for _ in range(3):
+            rt.target(lambda ctx: None, maps=[tofrom(a)], nowait=True)
+        rt.finalize()
+        joins = [e for e in sync_edges(trace) if e[0] == "join"]
+        assert len(joins) == 3
+        assert rt.machine.tasks.quiescent
+
+    def test_depend_edge_published_at_execution(self):
+        rt, trace = runtime()
+        a = rt.array("a", 2, init=[0.0] * 2)
+        t1 = rt.target(lambda ctx: None, maps=[tofrom(a)], nowait=True, depend_out=[a])
+        t2 = rt.target(lambda ctx: None, maps=[tofrom(a)], nowait=True, depend_in=[a])
+        assert ("depend", t1.task_id, t2.task_id) in sync_edges(trace)
+
+    def test_depend_in_then_out_orders_readers_before_writer(self):
+        rt, trace = runtime()
+        a = rt.array("a", 2, init=[0.0] * 2)
+        w1 = rt.target(lambda ctx: None, nowait=True, depend_out=[a])
+        r1 = rt.target(lambda ctx: None, nowait=True, depend_in=[a])
+        r2 = rt.target(lambda ctx: None, nowait=True, depend_in=[a])
+        w2 = rt.target(lambda ctx: None, nowait=True, depend_out=[a])
+        edges = sync_edges(trace)
+        assert ("depend", r1.task_id, w2.task_id) in edges
+        assert ("depend", r2.task_id, w2.task_id) in edges
+        assert ("depend", w1.task_id, r1.task_id) in edges
+
+
+class TestSchedules:
+    def nowait_program(self, schedule):
+        order = []
+        rt, trace = runtime(schedule=schedule)
+        a = rt.array("a", 1, init=[0.0])
+        rt.target(lambda ctx: order.append("kernel"), maps=[tofrom(a)], nowait=True)
+        order.append("host")
+        rt.taskwait()
+        return order
+
+    def test_eager_runs_kernel_at_launch(self):
+        assert self.nowait_program(Schedule.EAGER) == ["kernel", "host"]
+
+    def test_deferred_runs_kernel_at_sync(self):
+        assert self.nowait_program(Schedule.DEFER_KERNEL_FIRST) == ["host", "kernel"]
+
+    def test_host_first_defers_too(self):
+        assert self.nowait_program(Schedule.DEFER_HOST_FIRST) == ["host", "kernel"]
+
+    def test_random_is_seed_deterministic(self):
+        seqs = set()
+        for seed in range(8):
+            rt, _ = runtime(schedule=Schedule.RANDOM, seed=seed)
+            a = rt.array("a", 1, init=[0.0])
+            order = []
+            for i in range(4):
+                rt.target(
+                    lambda ctx, i=i: order.append(f"k{i}"),
+                    maps=[tofrom(a)],
+                    nowait=True,
+                )
+                order.append(f"h{i}")
+            rt.taskwait()
+            seqs.add(tuple(order))
+            # Re-running with the same seed reproduces exactly.
+            rt2, _ = runtime(schedule=Schedule.RANDOM, seed=seed)
+            a2 = rt2.array("a", 1, init=[0.0])
+            order2 = []
+            for i in range(4):
+                rt2.target(
+                    lambda ctx, i=i: order2.append(f"k{i}"),
+                    maps=[tofrom(a2)],
+                    nowait=True,
+                )
+                order2.append(f"h{i}")
+            rt2.taskwait()
+            assert order2 == order
+        assert len(seqs) > 1  # different seeds explore different interleavings
+
+    def test_deferred_dependent_chain_runs_in_order(self):
+        rt, _ = runtime(schedule=Schedule.DEFER_KERNEL_FIRST)
+        a = rt.array("a", 1, init=[0.0])
+        log = []
+        rt.target(lambda ctx: log.append(1), nowait=True, depend_out=[a])
+        rt.target(lambda ctx: log.append(2), nowait=True, depend_in=[a])
+        rt.taskwait()
+        assert log == [1, 2]
+
+    def test_mixed_random_respects_dependences(self):
+        # Even if the scheduler wants to run a successor eagerly while its
+        # predecessor is deferred, the dependence forces the predecessor.
+        for seed in range(16):
+            rt, _ = runtime(schedule=Schedule.RANDOM, seed=seed)
+            a = rt.array("a", 1, init=[0.0])
+            log = []
+            rt.target(lambda ctx: log.append("w"), nowait=True, depend_out=[a])
+            rt.target(lambda ctx: log.append("r"), nowait=True, depend_in=[a])
+            rt.taskwait()
+            assert log == ["w", "r"], f"seed {seed} broke the dependence"
+
+
+class TestParallelRegion:
+    def test_iterations_all_run(self):
+        m = Machine(1)
+        seen = []
+        m.run_parallel_region(10, seen.append, num_threads=3)
+        assert sorted(seen) == list(range(10))
+
+    def test_workers_get_distinct_thread_ids(self):
+        m = Machine(1)
+        trace = TraceRecorder().attach(m)
+        tids = []
+
+        def body(i):
+            tids.append(m.current_thread)
+
+        m.run_parallel_region(8, body, num_threads=4)
+        assert len(set(tids)) == 4
+        assert 0 not in tids  # workers are not the initial thread
+
+    def test_forks_precede_bodies_joins_follow(self):
+        m = Machine(1)
+        trace = TraceRecorder().attach(m)
+        m.run_parallel_region(4, lambda i: None, num_threads=2)
+        kinds = [s.kind for s in trace.syncs()]
+        assert kinds == ["fork", "fork", "join", "join"]
+
+    def test_zero_iterations(self):
+        m = Machine(1)
+        m.run_parallel_region(0, lambda i: 1 / 0, num_threads=4)  # no-op
+
+
+class TestGraphErrors:
+    def test_double_execute_rejected(self):
+        m = Machine(1)
+        t = m.tasks.create("t", 1, lambda: None, nowait=True)
+        m.tasks.execute(t)
+        with pytest.raises(TaskGraphError):
+            m.tasks.execute(t)
+
+    def test_join_before_run_rejected(self):
+        m = Machine(1)
+        t = m.tasks.create("t", 1, lambda: None, nowait=True)
+        with pytest.raises(TaskGraphError):
+            m.tasks.join(t)
+
+    def test_taskwait_returns_pending_count(self):
+        m = Machine(1)
+        m.tasks.create("t1", 1, lambda: None, nowait=True)
+        m.tasks.create("t2", 1, lambda: None, nowait=True)
+        assert m.tasks.taskwait() == 2
+        assert m.tasks.taskwait() == 0

@@ -1,0 +1,54 @@
+"""TraceRecorder: the debugging tool that captures the full event stream."""
+
+import pytest
+
+from repro.events import DataOp, KernelEvent, MemcpyEvent, SyncEvent
+from repro.openmp import TargetRuntime, TraceRecorder, tofrom
+
+
+@pytest.fixture()
+def run():
+    rt = TargetRuntime(n_devices=1)
+    trace = TraceRecorder().attach(rt.machine)
+    a = rt.array("a", 4)
+    a.fill(1.0)
+    rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[tofrom(a)], name="k")
+    _ = a[0]
+    rt.finalize()
+    return trace
+
+
+class TestRecording:
+    def test_events_in_causal_order(self, run):
+        events = run.events
+        # The H2D memcpy precedes the kernel begin, which precedes the
+        # kernel's write access, which precedes the D2H memcpy.
+        kinds = [type(e).__name__ for e in events]
+        h2d = kinds.index("MemcpyEvent")
+        begin = kinds.index("KernelEvent")
+        assert h2d < begin
+
+    def test_filters(self, run):
+        assert len(run.kernels()) == 2  # begin + end
+        assert len(run.memcpys()) == 2  # in + out
+        assert len(run.data_ops()) == 4  # alloc/h2d/d2h/delete
+        assert run.accesses()  # instrumented reads/writes
+        assert run.syncs()  # fork/join of the target task
+
+    def test_of_type_generic(self, run):
+        assert run.of_type(SyncEvent) == run.syncs()
+        assert run.of_type(DataOp) == run.data_ops()
+
+    def test_clear(self, run):
+        run.clear()
+        assert run.events == []
+
+    def test_access_recording_can_be_disabled(self):
+        rt = TargetRuntime(n_devices=1)
+        trace = TraceRecorder(record_accesses=False).attach(rt.machine)
+        a = rt.array("a", 4)
+        a.fill(1.0)
+        rt.finalize()
+        assert trace.accesses() == []
+        # but structural events still flow
+        assert trace.of_type(type(trace.events[0]))

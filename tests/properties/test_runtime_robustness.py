@@ -1,0 +1,138 @@
+"""Robustness fuzzing: arbitrary (including nonsensical) API sequences.
+
+Unlike :mod:`test_random_programs` — which generates *correct* programs —
+this fuzz drives the runtime with unconstrained action sequences: mapping
+unmapped things, unmapping twice, updating absent sections, nested and
+unbalanced regions, kernels touching whatever happens to be present.  The
+contract under test:
+
+* the runtime either performs the operation or raises one of its
+  *documented* error types (``MappingError``/``NotMappedError``/...);
+  never an internal exception (KeyError, IndexError, numpy errors);
+* with ARBALEST attached, the same sequences never crash the detector,
+  and every finding is well-formed;
+* memory accounting stays consistent (no negative live bytes; devices
+  drain when mappings balance out).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Arbalest
+from repro.memory.errors import ReproError
+from repro.openmp import Schedule, TargetRuntime, from_, release, to, tofrom
+
+N_ARRAYS = 3
+LEN = 8
+
+
+class A(enum.Enum):
+    HOST_WRITE = 0
+    HOST_READ = 1
+    ENTER_TO = 2
+    ENTER_PARTIAL = 3
+    EXIT_FROM = 4
+    EXIT_RELEASE = 5
+    UPDATE_TO = 6
+    UPDATE_FROM = 7
+    TARGET_TOFROM = 8
+    TARGET_NOMAP_READ = 9
+    TARGET_NOWAIT = 10
+    TASKWAIT = 11
+
+
+fuzz_strategy = st.lists(
+    st.tuples(st.sampled_from(list(A)), st.integers(0, N_ARRAYS - 1)),
+    max_size=40,
+)
+
+
+def drive(actions, schedule=Schedule.EAGER, attach_detector=True):
+    rt = TargetRuntime(n_devices=1, schedule=schedule)
+    detector = Arbalest().attach(rt.machine) if attach_detector else None
+    arrays = [rt.array(f"f{i}", LEN) for i in range(N_ARRAYS)]
+    for arr in arrays:
+        arr.fill(0.0)
+    for action, i in actions:
+        arr = arrays[i]
+        try:
+            if action is A.HOST_WRITE:
+                arr.fill(1.0)
+            elif action is A.HOST_READ:
+                _ = arr[0]
+            elif action is A.ENTER_TO:
+                rt.target_enter_data([to(arr)])
+            elif action is A.ENTER_PARTIAL:
+                rt.target_enter_data([to(arr, 0, LEN // 2)])
+            elif action is A.EXIT_FROM:
+                rt.target_exit_data([from_(arr)])
+            elif action is A.EXIT_RELEASE:
+                rt.target_exit_data([release(arr)])
+            elif action is A.UPDATE_TO:
+                rt.target_update(to=[arr])
+            elif action is A.UPDATE_FROM:
+                rt.target_update(from_=[arr])
+            elif action is A.TARGET_TOFROM:
+                rt.target(lambda ctx, n=arr.name: ctx[n].fill(2.0), maps=[tofrom(arr)])
+            elif action is A.TARGET_NOMAP_READ:
+                rt.target(lambda ctx, n=arr.name: ctx[n].read(0))
+            elif action is A.TARGET_NOWAIT:
+                rt.target(
+                    lambda ctx, n=arr.name: ctx[n].fill(3.0),
+                    maps=[tofrom(arr)],
+                    nowait=True,
+                )
+            elif action is A.TASKWAIT:
+                rt.taskwait()
+        except ReproError:
+            pass  # documented failure mode: acceptable
+    try:
+        rt.finalize()
+    except ReproError:
+        pass
+    return rt, detector
+
+
+@settings(max_examples=200, deadline=None)
+@given(fuzz_strategy)
+def test_never_raises_internal_errors(actions):
+    """Only ReproError subclasses may escape — and drive() swallows those."""
+    drive(actions)
+
+
+@settings(max_examples=100, deadline=None)
+@given(fuzz_strategy, st.sampled_from(list(Schedule)))
+def test_robust_under_every_schedule(actions, schedule):
+    drive(actions, schedule=schedule)
+
+
+@settings(max_examples=100, deadline=None)
+@given(fuzz_strategy)
+def test_findings_are_well_formed(actions):
+    _, detector = drive(actions)
+    for finding in detector.findings:
+        assert finding.kind is not None
+        assert finding.message
+        assert finding.stack
+        text = finding.render()
+        assert finding.tool in text
+
+
+@settings(max_examples=100, deadline=None)
+@given(fuzz_strategy)
+def test_memory_accounting_consistent(actions):
+    rt, _ = drive(actions)
+    for device in rt.machine.devices.values():
+        assert device.live_bytes >= 0
+        assert device.allocator.peak_bytes >= device.live_bytes
+
+
+@settings(max_examples=100, deadline=None)
+@given(fuzz_strategy)
+def test_tasks_always_quiescent_after_finalize(actions):
+    rt, _ = drive(actions)
+    assert rt.machine.tasks.quiescent

@@ -1,0 +1,147 @@
+"""Model-based property tests for the runtime's core data structures.
+
+Each structure is driven with random operation sequences and compared
+against an obviously-correct Python model: the first-fit allocator against
+a dict of live ranges, and the present table against a list of entries
+with linear scans.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import Allocator, InvalidFreeError, OutOfMemoryError, Window
+from repro.memory.errors import MappingError
+from repro.openmp import PresentEntry, PresentTable
+
+# ---------------------------------------------------------------------------
+# allocator vs model
+# ---------------------------------------------------------------------------
+
+alloc_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(1, 400)),
+        st.tuples(st.just("free"), st.integers(0, 30)),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(alloc_ops)
+def test_allocator_against_model(ops):
+    allocator = Allocator(Window(0, 1 << 20, 1 << 16), gap=16)
+    live: dict[int, int] = {}  # base -> size
+    order: list[int] = []  # allocation order, for 'free the i-th'
+    for op, arg in ops:
+        if op == "alloc":
+            try:
+                extent = allocator.alloc(arg)
+            except OutOfMemoryError:
+                continue
+            # Invariant: no overlap with any live allocation.
+            for base, size in live.items():
+                assert extent.end <= base or base + size <= extent.base
+            assert extent.size >= arg
+            assert extent.base % 8 == 0
+            live[extent.base] = extent.size
+            order.append(extent.base)
+        else:
+            if not order:
+                with pytest.raises(InvalidFreeError):
+                    allocator.free(12345)
+                continue
+            base = order[arg % len(order)]
+            if base in live:
+                allocator.free(base)
+                del live[base]
+            else:
+                with pytest.raises(InvalidFreeError):
+                    allocator.free(base)
+    assert allocator.live_bytes == sum(live.values())
+    assert {e.base: e.size for e in allocator.live_extents} == live
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.integers(1, 100), min_size=1, max_size=30))
+def test_allocator_full_cycle_returns_to_pristine(sizes):
+    """Allocating everything then freeing everything (any order) coalesces
+    back to one block capable of serving a max-size request."""
+    window = Window(0, 1 << 20, 1 << 16)
+    allocator = Allocator(window, gap=0)
+    extents = [allocator.alloc(s) for s in sizes]
+    for extent in sorted(extents, key=lambda e: e.base % 7):  # scrambled order
+        allocator.free(extent.base)
+    assert allocator.live_bytes == 0
+    big = allocator.alloc(window.size)  # only possible if fully coalesced
+    assert big.size == window.size
+
+
+# ---------------------------------------------------------------------------
+# present table vs model
+# ---------------------------------------------------------------------------
+
+present_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 15), st.integers(1, 4)),
+        st.tuples(st.just("remove"), st.integers(0, 15), st.just(0)),
+        st.tuples(st.just("lookup"), st.integers(0, 70), st.integers(1, 8)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(present_ops)
+def test_present_table_against_model(ops):
+    table = PresentTable(1)
+    model: list[PresentEntry] = []
+
+    def model_lookup(addr, n):
+        for e in model:
+            if e.contains(addr, n):
+                return e
+        for e in model:
+            if e.overlaps(addr, n):
+                return "overlap"
+        return None
+
+    for op, slot, arg in ops:
+        base = 100 + slot * 4  # slots are 4 bytes apart: overlaps possible
+        if op == "insert":
+            entry = PresentEntry(
+                ov_address=base, nbytes=arg * 4, cv_address=9000 + slot * 100,
+                device_id=1, name=f"s{slot}",
+            )
+            conflict = any(e.overlaps(base, arg * 4) for e in model)
+            if conflict:
+                with pytest.raises(MappingError):
+                    table.insert(entry)
+            else:
+                table.insert(entry)
+                model.append(entry)
+        elif op == "remove":
+            match = next((e for e in model if e.ov_address == base), None)
+            if match is not None:
+                table.remove(match)
+                model.remove(match)
+            else:
+                ghost = PresentEntry(
+                    ov_address=base, nbytes=4, cv_address=0, device_id=1
+                )
+                with pytest.raises(MappingError):
+                    table.remove(ghost)
+        else:
+            addr = 90 + slot
+            expected = model_lookup(addr, arg)
+            if expected == "overlap":
+                with pytest.raises(MappingError):
+                    table.lookup(addr, arg)
+            else:
+                assert table.lookup(addr, arg) is expected
+    assert len(table) == len(model)
+    assert [e.ov_address for e in table.entries()] == sorted(
+        e.ov_address for e in model
+    )

@@ -1,0 +1,61 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("table3", "fig8", "fig9", "casestudy", "ompsan", "list"):
+            args = parser.parse_args([cmd])
+            assert callable(args.fn)
+
+    def test_dracc_takes_number(self):
+        args = build_parser().parse_args(["dracc", "22"])
+        assert args.number == 22
+
+    def test_preset_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--preset", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "DRACC_OMP_056" in out
+        assert "postencil" in out
+
+    def test_dracc_buggy(self, capsys):
+        assert main(["dracc", "22"]) == 0
+        out = capsys.readouterr().out
+        assert "DETECTED" in out
+        assert "uninitialized" in out
+
+    def test_dracc_clean(self, capsys):
+        assert main(["dracc", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "none (clean)" in out
+        assert "DETECTED" not in out
+
+    def test_ompsan(self, capsys):
+        assert main(["ompsan"]) == 0
+        out = capsys.readouterr().out
+        assert "16/16" in out
+        assert "MISSED" in out
+
+    def test_casestudy_small(self, capsys):
+        assert main(["casestudy", "--preset", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "stale access" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "matches the published Table III: yes" in out

@@ -1,0 +1,193 @@
+"""Archer model: FastTrack race detection over logical threads."""
+
+import pytest
+
+from repro.clocks import VectorClock
+from repro.openmp import Schedule, TargetRuntime, to, tofrom
+from repro.tools import ArcherTool, FindingKind, RaceEngine
+
+
+def setup(**kw):
+    rt = TargetRuntime(n_devices=1, **kw)
+    archer = ArcherTool().attach(rt.machine)
+    return rt, archer
+
+
+class TestEngineDirect:
+    """Drive the engine without a runtime: precise HB scenarios."""
+
+    BASE = 1 << 40
+
+    def engine(self):
+        e = RaceEngine()
+        e.track(0, self.BASE, 64)
+        return e
+
+    def test_sequential_same_thread_no_race(self):
+        e = self.engine()
+        assert not e.check_range(0, 1, self.BASE, 8, True)
+        assert not e.check_range(0, 1, self.BASE, 8, True)
+        assert not e.check_range(0, 1, self.BASE, 8, False)
+
+    def test_unordered_write_write_races(self):
+        e = self.engine()
+        e.check_range(0, 1, self.BASE, 8, True)
+        assert e.check_range(0, 2, self.BASE, 8, True)
+
+    def test_fork_orders_parent_before_child(self):
+        e = self.engine()
+        e.check_range(0, 0, self.BASE, 8, True)  # parent write
+        e.handle_sync("fork", 0, 1)
+        assert not e.check_range(0, 1, self.BASE, 8, True)  # child after fork
+
+    def test_join_orders_child_before_parent(self):
+        e = self.engine()
+        e.handle_sync("fork", 0, 1)
+        e.check_range(0, 1, self.BASE, 8, True)
+        e.handle_sync("join", 1, 0)
+        assert not e.check_range(0, 0, self.BASE, 8, True)
+
+    def test_unjoined_child_races_with_parent(self):
+        e = self.engine()
+        e.handle_sync("fork", 0, 1)
+        e.check_range(0, 1, self.BASE, 8, True)
+        assert e.check_range(0, 0, self.BASE, 8, True)  # no join: race
+
+    def test_read_read_never_races(self):
+        e = self.engine()
+        e.check_range(0, 1, self.BASE, 8, False)
+        assert not e.check_range(0, 2, self.BASE, 8, False)
+
+    def test_concurrent_read_then_ordered_write_still_races_with_other_reader(self):
+        # The FastTrack read-share case: two concurrent readers; a write
+        # ordered after only one of them must still race.
+        e = self.engine()
+        e.handle_sync("fork", 0, 1)
+        e.handle_sync("fork", 0, 2)
+        e.check_range(0, 1, self.BASE, 8, False)
+        e.check_range(0, 2, self.BASE, 8, False)
+        e.handle_sync("join", 2, 0)  # thread 0 now ordered after reader 2 only
+        assert e.check_range(0, 0, self.BASE, 8, True)  # races with reader 1
+
+    def test_write_after_all_readers_joined_is_clean(self):
+        e = self.engine()
+        e.handle_sync("fork", 0, 1)
+        e.handle_sync("fork", 0, 2)
+        e.check_range(0, 1, self.BASE, 8, False)
+        e.check_range(0, 2, self.BASE, 8, False)
+        e.handle_sync("join", 1, 0)
+        e.handle_sync("join", 2, 0)
+        assert not e.check_range(0, 0, self.BASE, 8, True)
+
+    def test_distinct_granules_never_interact(self):
+        e = self.engine()
+        e.check_range(0, 1, self.BASE, 8, True)
+        assert not e.check_range(0, 2, self.BASE + 8, 8, True)
+
+    def test_range_race_reports_all_racing_granules(self):
+        e = self.engine()
+        e.check_range(0, 1, self.BASE, 32, True)
+        racy = e.check_range(0, 2, self.BASE, 64, True)
+        assert len(racy) == 4  # only the 4 overlapping granules
+
+    def test_untracked_memory_ignored(self):
+        e = self.engine()
+        assert e.check_range(0, 1, 12345, 8, True) == []
+
+
+class TestArcherOnRuntime:
+    def test_synchronous_kernels_race_free(self):
+        rt, archer = setup()
+        a = rt.array("a", 16, init=[0.0] * 16)
+        for _ in range(3):
+            rt.target(lambda ctx: ctx["a"].fill(1.0), maps=[tofrom(a)])
+        a.fill(2.0)
+        rt.finalize()
+        assert not archer.race_findings()
+
+    def test_nowait_vs_host_write_races(self):
+        rt, archer = setup()
+        a = rt.array("a", 4, init=[0.0] * 4)
+        with rt.target_data([tofrom(a)]):
+            rt.target(lambda ctx: ctx["a"].write(0, 3.0), nowait=True)
+            a.write(0, a.read(0) + 1)  # Fig 2: unsynchronized
+        rt.finalize()
+        assert archer.race_findings()
+
+    def test_taskwait_before_host_access_is_clean(self):
+        rt, archer = setup()
+        a = rt.array("a", 4, init=[0.0] * 4)
+        with rt.target_data([tofrom(a)]):
+            rt.target(lambda ctx: ctx["a"].write(0, 3.0), nowait=True)
+            rt.taskwait()
+            a.write(0, a.read(0) + 1)
+        rt.finalize()
+        assert not archer.race_findings()
+
+    def test_depend_chain_is_clean(self):
+        rt, archer = setup()
+        a = rt.array("a", 4, init=[0.0] * 4)
+        rt.target_enter_data([to(a)])
+        rt.target(lambda ctx: ctx["a"].fill(1.0), nowait=True, depend_out=[a])
+        rt.target(lambda ctx: ctx["a"].fill(ctx["a"][0] + 1), nowait=True, depend_in=[a], depend_out=[a])
+        rt.finalize()
+        assert not archer.race_findings()
+
+    def test_independent_nowait_kernels_on_same_array_race(self):
+        rt, archer = setup()
+        a = rt.array("a", 4, init=[0.0] * 4)
+        rt.target_enter_data([to(a)])
+        rt.target(lambda ctx: ctx["a"].fill(1.0), nowait=True)
+        rt.target(lambda ctx: ctx["a"].fill(2.0), nowait=True)  # no depend!
+        rt.finalize()
+        assert archer.race_findings()
+
+    def test_intra_kernel_parallel_race(self):
+        rt, archer = setup()
+        a = rt.array("a", 1, init=[0.0])
+
+        def k(ctx):
+            A = ctx["a"]
+            # Every iteration writes element 0 without synchronization.
+            ctx.parallel_for(8, lambda i: A.write(0, float(i)), num_threads=4)
+
+        rt.target(k, maps=[tofrom(a)])
+        rt.finalize()
+        assert archer.race_findings()
+
+    def test_intra_kernel_disjoint_writes_clean(self):
+        rt, archer = setup()
+        a = rt.array("a", 16, init=[0.0] * 16)
+
+        def k(ctx):
+            A = ctx["a"]
+            ctx.parallel_for(16, lambda i: A.write(i, float(i)), num_threads=4)
+
+        rt.target(k, maps=[tofrom(a)])
+        rt.finalize()
+        assert not archer.race_findings()
+
+    def test_races_are_schedule_invariant(self):
+        def program(schedule):
+            rt = TargetRuntime(n_devices=1, schedule=schedule)
+            archer = ArcherTool().attach(rt.machine)
+            a = rt.array("a", 4, init=[0.0] * 4)
+            with rt.target_data([tofrom(a)]):
+                rt.target(lambda ctx: ctx["a"].write(0, 3.0), nowait=True)
+                a.write(0, a.read(0) + 1)
+            rt.finalize()
+            return bool(archer.race_findings())
+
+        assert program(Schedule.EAGER)
+        assert program(Schedule.DEFER_KERNEL_FIRST)
+        assert program(Schedule.DEFER_HOST_FIRST)
+
+    def test_archer_reports_no_mapping_issues(self):
+        # Table III row: Archer scores 0/16 — it reports races, never
+        # UUM/USD/BO.
+        rt, archer = setup()
+        a = rt.array("a", 8, init=[1.0] * 8)
+        rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[to(a)])  # USD bug
+        _ = a[0]
+        rt.finalize()
+        assert archer.mapping_issue_findings() == []

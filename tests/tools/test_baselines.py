@@ -1,0 +1,250 @@
+"""Valgrind / ASan / MSan models: each catches its Table-III row and
+nothing else, for mechanistic reasons (not hardcoded benchmark ids)."""
+
+import pytest
+
+from repro.openmp import TargetRuntime, alloc, from_, to, tofrom
+from repro.tools import (
+    ArcherTool,
+    AsanTool,
+    FindingKind,
+    MsanTool,
+    ValgrindTool,
+)
+
+ALL_TOOLS = (ValgrindTool, ArcherTool, AsanTool, MsanTool)
+
+
+def run(program, tools=ALL_TOOLS):
+    rt = TargetRuntime(n_devices=1)
+    attached = [cls().attach(rt.machine) for cls in tools]
+    program(rt)
+    rt.finalize()
+    return {t.name: t for t in attached}
+
+
+# -- canonical buggy programs -------------------------------------------------
+
+
+def uum_program(rt):
+    """Fig-1 class: kernel reads a CV created by map(alloc:)."""
+    b = rt.array("b", 16)
+    r = rt.array("r", 16)
+    b.fill(2.0)
+    r.fill(0.0)
+
+    def k(ctx):
+        B, R = ctx["b"], ctx["r"]
+        for i in range(16):
+            R[i] = B[i]
+
+    rt.target(k, maps=[alloc(b), tofrom(r)])
+
+
+def bo_program(rt):
+    """Map half the array, kernel loops over all of it."""
+    a = rt.array("a", 64)
+    s = rt.array("s", 64)
+    a.fill(1.0)
+    s.fill(0.0)
+
+    def k(ctx):
+        A, S = ctx["a"], ctx["s"]
+        for i in range(64):
+            S[i] = A[i]
+
+    rt.target(k, maps=[to(a, 0, 32), tofrom(s)])
+
+
+def usd_program(rt):
+    """map(to:) where tofrom was needed."""
+    a = rt.array("a", 8)
+    a.fill(1.0)
+    rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[to(a)])
+    _ = a[0]
+
+
+def global_uum_program(rt):
+    """Benchmark-34 class: declare-target global, missing target update."""
+    g = rt.array("g", 16, storage="global", declare_target=True)
+    r = rt.array("r", 16)
+    r.fill(0.0)
+    g.fill(3.0)
+
+    def k(ctx):
+        G, R = ctx["g"], ctx["r"]
+        for i in range(16):
+            R[i] = G[i]
+
+    rt.target(k, maps=[tofrom(r)])
+
+
+def clean_program(rt):
+    a = rt.array("a", 32)
+    a.fill(1.0)
+    rt.target(lambda ctx: ctx["a"].fill(2.0), maps=[tofrom(a)])
+    _ = a[0]
+
+
+class TestTableThreeRows:
+    def test_uum_caught_only_by_msan(self):
+        tools = run(uum_program)
+        assert tools["msan"].mapping_issue_findings()
+        assert not tools["valgrind"].mapping_issue_findings()
+        assert not tools["archer"].findings
+        assert not tools["asan"].mapping_issue_findings()
+
+    def test_bo_caught_by_valgrind_and_asan(self):
+        tools = run(bo_program)
+        assert tools["valgrind"].mapping_issue_findings()
+        assert tools["asan"].mapping_issue_findings()
+        assert not tools["msan"].mapping_issue_findings()
+        assert not tools["archer"].findings
+
+    def test_usd_caught_by_nobody(self):
+        tools = run(usd_program)
+        for t in tools.values():
+            assert not t.findings, t.name
+
+    def test_global_uum_missed_by_all_baselines(self):
+        tools = run(global_uum_program)
+        for t in tools.values():
+            assert not t.mapping_issue_findings(), t.name
+
+    def test_clean_program_no_false_positives(self):
+        tools = run(clean_program)
+        for t in tools.values():
+            assert not t.findings, t.name
+
+
+class TestValgrindMechanics:
+    def test_vbits_propagate_through_transfer(self):
+        captured = {}
+
+        def program(rt):
+            a = rt.array("a", 8)  # heap: undefined
+            rt.target_enter_data([to(a)])
+            vg = [t for t in rt.machine.bus.tools if t.name == "valgrind"][0]
+            dev = rt.machine.device(1)
+            entry = dev.present.lookup(a.base, a.nbytes)
+            captured["cv_defined"] = vg.defined_fraction(1, entry.cv_address, a.nbytes)
+            a.fill(1.0)
+            rt.target_update(to=[a])
+            captured["cv_defined_after"] = vg.defined_fraction(
+                1, entry.cv_address, a.nbytes
+            )
+            rt.target_exit_data([from_(a)])
+
+        run(program, tools=(ValgrindTool,))
+        assert captured["cv_defined"] == 0.0  # undefined OV copied over
+        assert captured["cv_defined_after"] == 1.0
+
+    def test_invalid_free_reported(self):
+        def program(rt):
+            a = rt.array("a", 8)
+            rt.free(a)
+            from repro.memory import InvalidFreeError
+
+            with pytest.raises(InvalidFreeError):
+                rt.machine.host.free(a.base)
+
+        # The tool-level report happens on the event the allocator would
+        # emit; our allocator raises first, so exercise the tool directly:
+        from repro.events import AllocationEvent
+        from repro.openmp import Machine
+
+        m = Machine(1)
+        vg = ValgrindTool().attach(m)
+        m.bus.publish_allocation(
+            AllocationEvent(
+                device_id=0, thread_id=0, address=0xDEAD, nbytes=0, is_free=True
+            )
+        )
+        assert vg.invalid_free_count == 1
+        assert any(f.kind is FindingKind.BAD_FREE for f in vg.findings)
+
+    def test_globals_are_defined(self):
+        def program(rt):
+            g = rt.array("g", 8, storage="global")
+            _ = g[0]  # read of never-written global: memcheck is silent
+
+        tools = run(program, tools=(ValgrindTool,))
+        assert not tools["valgrind"].findings
+
+
+class TestAsanMechanics:
+    def test_overflow_lands_in_redzone(self):
+        def program(rt):
+            a = rt.array("a", 8)
+            a.fill(0.0)
+
+            def k(ctx):
+                _ = ctx["a"][8]  # one element past the CV's end
+
+            rt.target(k, maps=[to(a)])
+
+        tools = run(program, tools=(AsanTool,))
+        f = tools["asan"].findings[0]
+        assert f.kind is FindingKind.BO
+        assert "heap-buffer-overflow" in f.message
+
+    def test_use_after_free_via_quarantine(self):
+        def program(rt):
+            a = rt.array("a", 8)
+            a.fill(0.0)
+            base = a.base
+            rt.free(a)
+            # Touch the freed storage through a fresh array's view trick:
+            from repro.events import Access
+
+            rt.machine.bus.publish_access(
+                Access(
+                    device_id=0, thread_id=0, address=base, size=8, is_write=False
+                )
+            )
+
+        tools = run(program, tools=(AsanTool,))
+        kinds = {f.kind for f in tools["asan"].findings}
+        assert FindingKind.UAF in kinds
+
+    def test_shadow_accounting_ratio(self):
+        def program(rt):
+            rt.array("a", 1000)  # 8000 bytes
+
+        tools = run(program, tools=(AsanTool,))
+        # ~1/8 of app bytes plus redzones.
+        assert 1000 <= tools["asan"].shadow_bytes() <= 1000 + 3 * 64 * 2
+
+
+class TestMsanMechanics:
+    def test_poison_propagates_through_transfer_chain(self):
+        captured = {}
+
+        def program(rt):
+            a = rt.array("a", 8)  # poisoned heap
+            msan = [t for t in rt.machine.bus.tools if t.name == "msan"][0]
+            rt.target_enter_data([to(a)])  # memcpy propagates poison: silent
+            captured["after_h2d"] = len(msan.findings)
+            rt.target_exit_data([from_(a)])  # poison comes back: still silent
+            captured["after_d2h"] = len(msan.findings)
+            _ = a[0]  # NOW the poisoned value is read by the program
+            captured["after_read"] = len(msan.findings)
+
+        run(program, tools=(MsanTool,))
+        assert captured["after_h2d"] == 0
+        assert captured["after_d2h"] == 0
+        assert captured["after_read"] == 1
+
+    def test_partial_initialization_byte_precise(self):
+        def program(rt):
+            a = rt.array("a", 2)
+            a[0] = 1.0  # first 8 bytes defined, second 8 poisoned
+            _ = a[0]    # fine
+            _ = a[1]    # poisoned
+
+        tools = run(program, tools=(MsanTool,))
+        assert len(tools["msan"].findings) == 1
+
+    def test_no_redzone_no_bo(self):
+        tools = run(bo_program, tools=(MsanTool,))
+        assert not tools["msan"].findings

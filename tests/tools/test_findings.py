@@ -1,0 +1,69 @@
+"""Finding records and the Table III accounting boundary."""
+
+import pytest
+
+from repro.events import SourceLocation, UNKNOWN_LOCATION
+from repro.tools import MAPPING_ISSUE_KINDS, Finding, FindingKind
+
+
+class TestMappingIssueBoundary:
+    def test_mapping_kinds(self):
+        assert FindingKind.UUM in MAPPING_ISSUE_KINDS
+        assert FindingKind.USD in MAPPING_ISSUE_KINDS
+        assert FindingKind.BO in MAPPING_ISSUE_KINDS
+        assert FindingKind.WILD in MAPPING_ISSUE_KINDS
+
+    def test_non_mapping_kinds(self):
+        assert FindingKind.RACE not in MAPPING_ISSUE_KINDS
+        assert FindingKind.UAF not in MAPPING_ISSUE_KINDS
+        assert FindingKind.BAD_FREE not in MAPPING_ISSUE_KINDS
+
+
+class TestDedupKeys:
+    def loc(self, line):
+        return (SourceLocation("x.c", line),)
+
+    def test_same_site_same_key(self):
+        a = Finding("t", FindingKind.UUM, "m", stack=self.loc(5), variable="a")
+        b = Finding("t", FindingKind.UUM, "other msg", stack=self.loc(5), variable="a")
+        assert a.dedup_key() == b.dedup_key()
+
+    def test_different_line_different_key(self):
+        a = Finding("t", FindingKind.UUM, "m", stack=self.loc(5))
+        b = Finding("t", FindingKind.UUM, "m", stack=self.loc(6))
+        assert a.dedup_key() != b.dedup_key()
+
+    def test_different_kind_different_key(self):
+        a = Finding("t", FindingKind.UUM, "m", stack=self.loc(5))
+        b = Finding("t", FindingKind.USD, "m", stack=self.loc(5))
+        assert a.dedup_key() != b.dedup_key()
+
+    def test_different_variable_different_key(self):
+        a = Finding("t", FindingKind.USD, "m", stack=self.loc(5), variable="a")
+        b = Finding("t", FindingKind.USD, "m", stack=self.loc(5), variable="b")
+        assert a.dedup_key() != b.dedup_key()
+
+
+class TestRender:
+    def test_full_render(self):
+        f = Finding(
+            "msan",
+            FindingKind.UUM,
+            "poisoned read",
+            stack=(SourceLocation("k.c", 9, 2, "kern"),),
+            variable="b",
+        )
+        text = f.render()
+        assert text.startswith("msan: use-of-uninitialized-memory")
+        assert "[b]" in text
+        assert "k.c:9" in text
+        assert "poisoned read" in text
+
+    def test_render_without_location(self):
+        f = Finding("asan", FindingKind.BO, "overflow")
+        text = f.render()
+        assert " at " not in text
+
+    def test_location_property(self):
+        f = Finding("t", FindingKind.BO, "m")
+        assert f.location is UNKNOWN_LOCATION
