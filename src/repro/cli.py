@@ -4,6 +4,7 @@
 
     python -m repro table3                 # Table III (precision on DRACC)
     python -m repro fig8  [--preset ref]   # time overhead table + charts
+    python -m repro bench [--preset train] # tracked bench -> BENCH_fig8.json
     python -m repro fig9  [--preset ref]   # memory usage table
     python -m repro casestudy              # 503.postencil (Fig 6/7)
     python -m repro ompsan                 # §VI.G static-vs-dynamic
@@ -39,6 +40,37 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
         print(result.render_chart(w.name))
         print()
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .harness import run_bench
+
+    try:
+        payload = run_bench(
+            preset=args.preset, repetitions=args.reps, output=args.output
+        )
+    except OSError as exc:
+        print(f"repro bench: error: {exc}", file=sys.stderr)
+        return 2
+    configs = payload["configs"]
+    header = f"{'Workload':<12}" + "".join(f"{c:>12}" for c in configs)
+    print(f"Fig 8 benchmark (preset={payload['preset']}, "
+          f"reps={payload['repetitions']})")
+    print(header)
+    for w, row in payload["workloads"].items():
+        print(
+            f"{w:<12}"
+            + "".join(f"{row[c]['slowdown']:>11.2f}x" for c in configs)
+        )
+    s = payload["summary"]
+    print(
+        f"\narbalest slowdown: geomean {s['arbalest_slowdown_geomean']:.2f}x, "
+        f"max {s['arbalest_slowdown_max']:.2f}x"
+    )
+    consistent = payload["checksums_consistent"]
+    print(f"checksums consistent across configs: {'yes' if consistent else 'NO'}")
+    print(f"wrote {args.output}")
+    return 0 if consistent else 1
 
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
@@ -131,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
     p8.add_argument("--preset", default="ref", choices=("test", "train", "ref"))
     p8.add_argument("--reps", type=int, default=3)
     p8.set_defaults(fn=_cmd_fig8)
+
+    pb = sub.add_parser(
+        "bench", help="tracked benchmark: Fig-8 matrix -> BENCH_fig8.json"
+    )
+    pb.add_argument("--preset", default="train", choices=("test", "train", "ref"))
+    pb.add_argument("--reps", type=int, default=3)
+    pb.add_argument("--output", default="BENCH_fig8.json")
+    pb.set_defaults(fn=_cmd_bench)
 
     p9 = sub.add_parser("fig9", help="Fig 9: memory usage on SPEC ACCEL")
     p9.add_argument("--preset", default="ref", choices=("test", "train", "ref"))

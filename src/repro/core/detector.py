@@ -93,12 +93,25 @@ class Arbalest(Tool):
         self.record_access_metadata = record_access_metadata
         self.bug_reports: list[BugReport] = []
         self._alloc_info: dict[int, "AllocationEvent"] = {}
+        # Last-lookup caches, one per access side: ``(lo, hi, block, rec)``
+        # means "every address in [lo, hi) resolves to this (shadow block,
+        # mapping record) pair".  Kernels hammer one array, so these skip
+        # both interval-tree stabs on the hot path.  Invalidated on every
+        # alloc/free/map/unmap (see :meth:`_invalidate_lookup_caches`).
+        self._lookup_host: tuple[int, int, object, MappingRecord | None] | None = None
+        self._lookup_device: tuple[int, int, object, MappingRecord] | None = None
+        self._lookup_cache_hits = 0
 
     # ------------------------------------------------------------------
     # runtime data collection
     # ------------------------------------------------------------------
 
+    def _invalidate_lookup_caches(self) -> None:
+        self._lookup_host = None
+        self._lookup_device = None
+
     def on_allocation(self, event: "AllocationEvent") -> None:
+        self._invalidate_lookup_caches()
         if event.device_id == 0:
             if event.is_free:
                 self.shadows.drop(event.address)
@@ -152,6 +165,7 @@ class Arbalest(Tool):
     # -- OMPT data operations ------------------------------------------------
 
     def on_data_op(self, op: "DataOp") -> None:
+        self._invalidate_lookup_caches()
         unified = op.cv_address == op.ov_address
         if op.kind.value == "alloc":
             ov_block = self.shadows.find(op.ov_address)
@@ -170,7 +184,25 @@ class Arbalest(Tool):
             vsm_op = VsmOp.UPDATE_TARGET if unified else VsmOp.ALLOCATE
             self._apply_host_range(op.ov_address, op.nbytes, vsm_op, op)
         elif op.kind.value == "delete":
-            self.mappings.drop(op.cv_address)
+            if self.mappings.drop(op.cv_address) is None:
+                # Double delete / unmatched CV: report instead of crashing,
+                # and skip the RELEASE (there is no mapping to release).
+                self.report(
+                    Finding(
+                        tool=self.name,
+                        kind=FindingKind.BAD_FREE,
+                        message=(
+                            "delete of a corresponding variable that is not "
+                            "mapped (double delete or wrong device address)"
+                        ),
+                        device_id=op.device_id,
+                        thread_id=op.thread_id,
+                        address=op.cv_address,
+                        size=op.nbytes,
+                        stack=op.stack,
+                    )
+                )
+                return
             self._apply_host_range(op.ov_address, op.nbytes, VsmOp.RELEASE, op)
         elif op.kind.value == "h2d":
             self._apply_host_range(op.ov_address, op.nbytes, VsmOp.UPDATE_TARGET, op)
@@ -200,21 +232,7 @@ class Arbalest(Tool):
     def _race_check(self, access: "Access") -> None:
         engine = self.race_engine
         assert engine is not None
-        stride = access.element_stride
-        if access.count == 1 or stride == access.size:
-            racy = engine.check_range(
-                access.device_id,
-                access.thread_id,
-                access.address,
-                access.span,
-                access.is_write,
-            )
-        else:
-            racy = []
-            for addr in access.element_addresses().tolist():
-                racy += engine.check_range(
-                    access.device_id, access.thread_id, addr, access.size, access.is_write
-                )
+        racy = engine.check_access(access)
         if racy:
             self.report(
                 Finding(
@@ -235,12 +253,28 @@ class Arbalest(Tool):
     # -- host side ----------------------------------------------------------
 
     def _host_access(self, access: "Access") -> None:
-        block = self.shadows.find(access.address)
-        if block is None:
-            return  # freed or foreign memory: not a mapping question
-        # Is this host range unified-mapped?  (Unified CVs share the host
-        # address, so the mapping registry is keyed by this same address.)
-        rec = self.mappings.find(access.address)
+        address = access.address
+        cached = self._lookup_host
+        if cached is not None and cached[0] <= address < cached[1]:
+            block, rec = cached[2], cached[3]
+            self._lookup_cache_hits += 1
+        else:
+            block = self.shadows.find(address)
+            if block is None:
+                return  # freed or foreign memory: not a mapping question
+            # Is this host range unified-mapped?  (Unified CVs share the host
+            # address, so the mapping registry is keyed by this same address.)
+            rec = self.mappings.find(address)
+            lo, hi = block.base, block.base + block.nbytes
+            if rec is not None:
+                # The pair is valid where the block and mapping intersect.
+                lo = max(lo, rec.cv_base)
+                hi = min(hi, rec.cv_end)
+                self._lookup_host = (lo, hi, block, rec)
+            elif not self.mappings.overlaps_cv(lo, hi):
+                # No CV interval touches this block at all: the "no mapping"
+                # answer holds for every address in it.
+                self._lookup_host = (lo, hi, block, None)
         if rec is not None and rec.unified:
             ops = (
                 (VsmOp.WRITE_HOST, VsmOp.UPDATE_TARGET)
@@ -254,39 +288,41 @@ class Arbalest(Tool):
     # -- device side ------------------------------------------------------------
 
     def _device_access(self, access: "Access") -> None:
-        rec = self.mappings.find(access.address)
-        if rec is None:
-            # No mapping contains even the first byte: the kernel touched
-            # device memory outside every corresponding variable.
-            self._report_overflow(access, None)
-            return
+        address = access.address
+        cached = self._lookup_device
+        if cached is not None and cached[0] <= address < cached[1]:
+            block, rec = cached[2], cached[3]
+            self._lookup_cache_hits += 1
+        else:
+            rec = self.mappings.find(address)
+            if rec is None:
+                # No mapping contains even the first byte: the kernel touched
+                # device memory outside every corresponding variable.
+                self._report_overflow(access, None)
+                return
+            block = self.shadows.find(rec.ov_base if rec.unified else rec.to_ov(address))
+            if block is not None:
+                self._lookup_device = (rec.cv_base, rec.cv_end, block, rec)
         span = access.span
-        in_bounds_span = min(span, rec.cv_end - access.address)
+        in_bounds_span = min(span, rec.cv_end - address)
         if in_bounds_span < span:
             # Part of the access leaves the mapping: §IV.D overflow.  The
             # in-bounds prefix still drives the VSM below.
             self._report_overflow(access, rec)
+        if block is None:
+            return
         if rec.unified:
-            block = self.shadows.find(rec.ov_base)
-            if block is None:
-                return
             ops = (
                 (VsmOp.WRITE_HOST, VsmOp.UPDATE_TARGET)
                 if access.is_write
                 else (VsmOp.READ_HOST,)
             )
-            self._apply_access(
-                block, access, access.address, ops, side="device", rec=rec,
-                clip_span=in_bounds_span,
-            )
-            return
-        ov_address = rec.to_ov(access.address)
-        block = self.shadows.find(ov_address)
-        if block is None:
-            return
-        ops = (VsmOp.WRITE_TARGET,) if access.is_write else (VsmOp.READ_TARGET,)
+            start = address
+        else:
+            ops = (VsmOp.WRITE_TARGET,) if access.is_write else (VsmOp.READ_TARGET,)
+            start = rec.to_ov(address)
         self._apply_access(
-            block, access, ov_address, ops, side="device", rec=rec,
+            block, access, start, ops, side="device", rec=rec,
             clip_span=in_bounds_span,
         )
 
@@ -307,6 +343,34 @@ class Arbalest(Tool):
         span = access.span if clip_span is None else clip_span
         if span <= 0:
             return
+        device_id = rec.device_id if rec is not None else max(access.device_id, 1)
+        if access.count == 1:
+            lo = (start_address - block.base) // block.granule
+            if (
+                0 <= lo < block.n_granules
+                and (start_address + span - 1 - block.base) // block.granule == lo
+            ):
+                # Scalar fast path: the whole access lives in one granule
+                # (the overwhelmingly common case), so skip numpy entirely.
+                illegal = uninit = False
+                first = True
+                for op in ops:
+                    ill, uni = block.apply_scalar(lo, op, device_id)
+                    if first:
+                        illegal, uninit = ill, uni
+                        first = False
+                if self.record_access_metadata:
+                    block.record_access(
+                        lo,
+                        tid=min(access.thread_id, 0xFFF),
+                        clock=0,
+                        is_write=access.is_write,
+                        access_size=access.size if access.size in (1, 2, 4, 8) else 8,
+                        offset=access.address % 8,
+                    )
+                if not access.is_write and illegal:
+                    self._report_issue(access, block, rec, uninit)
+                return
         if access.count == 1 or stride == access.size:
             idx = block.index_range(start_address, span)
         else:
@@ -324,7 +388,6 @@ class Arbalest(Tool):
             idx = local
         illegal = None
         uninit = None
-        device_id = rec.device_id if rec is not None else max(access.device_id, 1)
         for op in ops:
             ill, uni = block.apply(idx, op, device_id)
             if illegal is None:
@@ -452,7 +515,13 @@ class Arbalest(Tool):
         return total
 
     def mapping_lookup_stats(self) -> tuple[int, int]:
-        return self.mappings.lookup_stats
+        """(fast-path hits, slow-path misses) over the whole lookup stack.
+
+        Hits count both the detector's last-lookup pair cache and the
+        interval tree's own stab cache; misses are the tree descents.
+        """
+        hits, misses = self.mappings.lookup_stats
+        return hits + self._lookup_cache_hits, misses
 
     def render_reports(self, pid: int = 0) -> str:
         return "\n\n".join(r.render(pid=pid) for r in self.bug_reports)

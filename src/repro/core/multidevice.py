@@ -114,6 +114,41 @@ class MultiShadowBlock:
         self.init[idx] = ini
         return illegal, uninit
 
+    def apply_scalar(self, i: int, op: VsmOp, device_id: int = 1) -> tuple[bool, bool]:
+        """Scalar twin of :meth:`apply` for single-granule accesses."""
+        if not 1 <= device_id <= MAX_DEVICES:
+            raise ValueError(f"device id {device_id} out of range 1..{MAX_DEVICES}")
+        dbit = 1 << device_id
+        v = int(self.valid[i])
+        ini = int(self.init[i])
+        illegal = uninit = False
+        if op is VsmOp.READ_HOST:
+            illegal = not v & 1
+            uninit = illegal and not ini & 1
+        elif op is VsmOp.READ_TARGET:
+            illegal = not v & dbit
+            uninit = illegal and not ini & dbit
+        elif op is VsmOp.WRITE_HOST:
+            v = 1
+            ini |= 1
+        elif op is VsmOp.WRITE_TARGET:
+            v = dbit
+            ini |= dbit
+        elif op is VsmOp.UPDATE_HOST:
+            v = v | 1 if v & dbit else v & ~1
+            ini = ini | 1 if ini & dbit else ini & ~1
+        elif op is VsmOp.UPDATE_TARGET:
+            v = v | dbit if v & 1 else v & ~dbit
+            ini = ini | dbit if ini & 1 else ini & ~dbit
+        elif op is VsmOp.ALLOCATE:
+            ini &= ~dbit
+        elif op is VsmOp.RELEASE:
+            v &= ~dbit
+            ini &= ~dbit
+        self.valid[i] = v
+        self.init[i] = ini
+        return illegal, uninit
+
     def record_access(self, idx, **_: object) -> None:
         """Access metadata is a Table-II (single-device) feature; no-op."""
 

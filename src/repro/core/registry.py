@@ -63,14 +63,32 @@ class MappingRegistry:
         self._tree.insert(record.cv_base, record.cv_end, record)
         self._records.append(record)
 
-    def drop(self, cv_base: int) -> MappingRecord:
-        record = self._tree.remove(cv_base)
+    def drop(self, cv_base: int) -> MappingRecord | None:
+        """Remove the mapping starting at ``cv_base``.
+
+        Returns the removed record, or ``None`` when no mapping starts
+        there — a double delete (unmatched ``cv_address``) is a program bug
+        the detector reports, not a reason to crash the analysis.
+        """
+        try:
+            record = self._tree.remove(cv_base)
+        except KeyError:
+            return None
         self._records.remove(record)
         return record
 
     def find(self, cv_address: int) -> MappingRecord | None:
         """The mapping containing ``cv_address`` (amortized O(1))."""
         return self._tree.stab(cv_address)
+
+    def overlaps_cv(self, lo: int, hi: int) -> bool:
+        """Whether any live CV interval overlaps ``[lo, hi)``.
+
+        Used by the detector's host-side lookup cache: a host block with no
+        overlapping CV interval can cache its "no mapping" answer for the
+        whole block range.
+        """
+        return self._tree.first_overlap(lo, hi) is not None
 
     def find_by_ov(self, ov_address: int) -> MappingRecord | None:
         """A live mapping whose host section contains ``ov_address``.

@@ -120,6 +120,51 @@ for _op in VsmOp:
 _U64_3 = np.uint64(3)
 _U64_1 = np.uint64(1)
 
+# -- scalar (plain-int) twin tables ------------------------------------------
+#
+# The vectorized pipeline above costs ~10 numpy dispatches per apply(); for a
+# single-granule access that fixed cost dwarfs the work.  The scalar fast
+# path uses these plain Python lists and int bit ops instead — hypothesis
+# tests assert it never disagrees with either the vectorized path or the
+# reference VariableStateMachine.
+
+TRANS_LUT_PY: list[list[int]] = [
+    [int(TRANSITIONS[op][st]) for st in VsmState] for op in VsmOp
+]
+ILLEGAL_LUT_PY: list[list[bool]] = [
+    [ILLEGAL[op][st] for st in VsmState] for op in VsmOp
+]
+
+_OV_INIT_INT = 1 << BIT_OV_INIT
+_CV_INIT_INT = 1 << BIT_CV_INIT
+
+
+def _step_word(w: int, op: VsmOp) -> tuple[int, bool, bool]:
+    """One Table-II transition on a plain-int shadow word.
+
+    Returns ``(new_word, illegal, uninitialized)``; shared by the scalar
+    and uniform-range fast paths.
+    """
+    st = w & 0b11
+    illegal = ILLEGAL_LUT_PY[op][st]
+    uninit = False
+    if illegal:
+        if op is VsmOp.READ_HOST:
+            uninit = not (w >> BIT_OV_INIT) & 1
+        else:  # the only other illegal-capable op is READ_TARGET
+            uninit = not (w >> BIT_CV_INIT) & 1
+    if op is VsmOp.WRITE_HOST:
+        w |= _OV_INIT_INT
+    elif op is VsmOp.WRITE_TARGET:
+        w |= _CV_INIT_INT
+    elif op is VsmOp.UPDATE_HOST:
+        w = (w & ~_OV_INIT_INT) | ((w >> 1) & _OV_INIT_INT)
+    elif op is VsmOp.UPDATE_TARGET:
+        w = (w & ~_CV_INIT_INT) | ((w & _OV_INIT_INT) << 1)
+    elif op is VsmOp.ALLOCATE or op is VsmOp.RELEASE:
+        w &= ~_CV_INIT_INT
+    return (w & ~0b11) | TRANS_LUT_PY[op][st], illegal, uninit
+
 
 class ShadowBlock:
     """Shadow words for one host allocation (one word per granule)."""
@@ -177,6 +222,26 @@ class ShadowBlock:
         multi-device shadow (§IV.C) and ignored here: the four-state VSM
         models exactly one accelerator.
         """
+        if type(idx) is slice:
+            lo, hi = idx.start, idx.stop
+            if (
+                lo is not None
+                and hi is not None
+                and (idx.step is None or idx.step == 1)
+            ):
+                if hi - lo == 1:
+                    ill, uni = self.apply_scalar(lo, op, device_id)
+                    return np.array([ill]), np.array([uni])
+                # Uniform-range fast path: whole-array data ops and kernel
+                # accesses usually find every granule in one state, so one
+                # scalar transition broadcast back replaces the vectorized
+                # pipeline below.
+                w0 = self.words[idx]
+                n = len(w0)
+                if n and bool((w0 == w0[0]).all()):
+                    new_w, ill, uni = _step_word(int(w0[0]), op)
+                    self.words[idx] = new_w
+                    return np.full(n, ill), np.full(n, uni)
         w = self.words[idx]
         st = (w & MASK_STATE).astype(np.intp)
         illegal = ILLEGAL_LUT[op][st]
@@ -201,6 +266,17 @@ class ShadowBlock:
             w = w & ~MASK_CV_INIT
         w = (w & ~MASK_STATE) | TRANS_LUT[op][st]
         self.words[idx] = w
+        return illegal, uninit
+
+    def apply_scalar(self, i: int, op: VsmOp, device_id: int = 1) -> tuple[bool, bool]:
+        """Scalar fast path: apply ``op`` to granule ``i`` with plain-int ops.
+
+        Semantically identical to :meth:`apply` on a one-granule selection,
+        but returns plain bools and touches numpy only to load/store the one
+        word.  ``device_id`` is ignored exactly as in :meth:`apply`.
+        """
+        new_w, illegal, uninit = _step_word(int(self.words[i]), op)
+        self.words[i] = new_w
         return illegal, uninit
 
     def record_access(

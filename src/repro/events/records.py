@@ -46,6 +46,15 @@ class Access:
     ``count`` elements of ``size`` bytes each, starting at ``address``, with
     consecutive element starts ``stride`` bytes apart.  A scalar access is
     ``count == 1``; a contiguous slice is ``stride == size``.
+
+    ``stack`` is a *deferred* capture: producers may pass either a
+    materialized frame tuple or any object with a ``snapshot()`` method
+    (a :class:`~repro.events.source.SourceStack`).  The tuple is built only
+    when :attr:`stack` is first read — for the overwhelming majority of
+    accesses no tool ever files a finding, so the capture never happens.
+    The provider form is only valid while the event is being dispatched;
+    tools that retain events past their turn (trace recorders) must touch
+    :attr:`stack` during the callback.
     """
 
     device_id: int
@@ -56,7 +65,17 @@ class Access:
     count: int = 1
     stride: int = 0  # 0 means "== size" (contiguous)
     origin: AccessOrigin = AccessOrigin.PROGRAM
-    stack: tuple[SourceLocation, ...] = (UNKNOWN_LOCATION,)
+    stack_ref: object = (UNKNOWN_LOCATION,)
+
+    @property
+    def stack(self) -> tuple[SourceLocation, ...]:
+        """The captured call stack, materializing a lazy provider once."""
+        ref = self.stack_ref
+        if type(ref) is tuple:
+            return ref
+        snap = ref.snapshot()  # type: ignore[attr-defined]
+        object.__setattr__(self, "stack_ref", snap)
+        return snap
 
     @property
     def element_stride(self) -> int:

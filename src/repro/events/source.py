@@ -42,6 +42,10 @@ class SourceStack:
 
     def __init__(self) -> None:
         self._frames: list[SourceLocation] = []
+        # Memoized snapshot(): all accesses between two position changes
+        # share one tuple, so the per-access capture cost is one attribute
+        # check in the hot loop of a kernel.
+        self._snapshot: tuple[SourceLocation, ...] | None = (UNKNOWN_LOCATION,)
 
     @contextmanager
     def at(
@@ -50,10 +54,12 @@ class SourceStack:
         """Enter a simulated source position for the duration of the block."""
         frame = SourceLocation(file=file, line=line, column=column, function=function)
         self._frames.append(frame)
+        self._snapshot = None
         try:
             yield frame
         finally:
             self._frames.pop()
+            self._snapshot = None
 
     @property
     def current(self) -> SourceLocation:
@@ -62,6 +68,10 @@ class SourceStack:
 
     def snapshot(self) -> tuple[SourceLocation, ...]:
         """The full stack, innermost first, for embedding into a bug report."""
-        if not self._frames:
-            return (UNKNOWN_LOCATION,)
-        return tuple(reversed(self._frames))
+        snap = self._snapshot
+        if snap is None:
+            snap = (
+                tuple(reversed(self._frames)) if self._frames else (UNKNOWN_LOCATION,)
+            )
+            self._snapshot = snap
+        return snap

@@ -150,7 +150,7 @@ def event_from_json(data: dict) -> object:
             count=data["count"],
             stride=data["stride"],
             origin=AccessOrigin(data["origin"]),
-            stack=_stack_from_json(data["stack"]),
+            stack_ref=_stack_from_json(data["stack"]),
         )
     if tag == "data_op":
         return DataOp(

@@ -5,7 +5,9 @@ from .overhead import (
     CONFIGS,
     Measurement,
     OverheadResult,
+    bench_payload,
     measure_one,
+    run_bench,
     run_overhead_comparison,
 )
 from .precision import (
@@ -28,6 +30,8 @@ __all__ = [
     "TOOL_FACTORIES",
     "EXPECTED_DETECTIONS",
     "run_overhead_comparison",
+    "run_bench",
+    "bench_payload",
     "measure_one",
     "OverheadResult",
     "Measurement",

@@ -18,6 +18,8 @@ makes them diverge.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -149,9 +151,11 @@ def run_overhead_comparison(
     result = OverheadResult(preset=preset)
     workloads = tuple(workloads)
     # Warm up numpy/runtime code paths so 'native' isn't charged for imports.
+    # Run the *measured* preset: warming a different one leaves preset-sized
+    # allocations and code paths cold and skews the first column.
     for w in workloads:
         rt = TargetRuntime(n_devices=1)
-        w.run(rt, "test")
+        w.run(rt, preset)
         rt.finalize()
     for w in workloads:
         for config in configs:
@@ -159,3 +163,69 @@ def run_overhead_comparison(
                 measure_one(w, config, preset, repetitions=repetitions)
             )
     return result
+
+
+def bench_payload(result: OverheadResult, *, repetitions: int) -> dict:
+    """The Fig 8/9 numbers as a plain JSON-serializable dict.
+
+    This is the tracked benchmark format (``BENCH_fig8.json``): per
+    workload and configuration the wall-clock seconds, memory split, and
+    the slowdown over native, plus a summary block for quick comparison
+    across commits.
+    """
+    workloads = sorted({m.workload for m in result.measurements})
+    payload: dict = {
+        "preset": result.preset,
+        "repetitions": repetitions,
+        "configs": list(CONFIGS),
+        "checksums_consistent": result.checksums_consistent(),
+        "workloads": {},
+    }
+    for w in workloads:
+        row: dict = {}
+        for c in CONFIGS:
+            m = result.get(w, c)
+            row[c] = {
+                "seconds": round(m.seconds, 6),
+                "app_bytes": m.app_bytes,
+                "shadow_bytes": m.shadow_bytes,
+                "slowdown": round(result.slowdown(w, c), 3),
+            }
+        payload["workloads"][w] = row
+    arb = [result.slowdown(w, "arbalest") for w in workloads]
+    payload["summary"] = {
+        "arbalest_slowdown_geomean": round(
+            float(np_geomean(arb)), 3
+        ),
+        "arbalest_slowdown_max": round(max(arb), 3),
+    }
+    return payload
+
+
+def np_geomean(values: list[float]) -> float:
+    """Geometric mean without pulling numpy into the JSON path."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= max(v, 1e-12)
+    return product ** (1.0 / len(values))
+
+
+def run_bench(
+    preset: str = "train",
+    *,
+    repetitions: int = 3,
+    output: str = "BENCH_fig8.json",
+) -> dict:
+    """Run the Fig-8 matrix and write the tracked ``BENCH_fig8.json``."""
+    out_dir = os.path.dirname(os.path.abspath(output))
+    if not os.path.isdir(out_dir):
+        # Fail before the minutes-long measurement, not after it.
+        raise FileNotFoundError(f"output directory does not exist: {out_dir}")
+    result = run_overhead_comparison(preset, repetitions=repetitions)
+    payload = bench_payload(result, repetitions=repetitions)
+    with open(output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return payload

@@ -90,7 +90,9 @@ class _ArrayView:
                 count=count,
                 stride=step * self.itemsize,
                 origin=AccessOrigin.PROGRAM,
-                stack=machine.source.snapshot(),
+                # Deferred capture: the tuple is built only if a tool files
+                # a finding (or a recorder retains the event).
+                stack_ref=machine.source,
             )
         )
 

@@ -27,6 +27,7 @@ giving amortized O(1) per element like the real shadow-cell implementation.
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -47,10 +48,11 @@ _CLOCK_SHIFT = np.uint64(CLOCK_BITS)
 class _RaceBlock:
     """Race-detection shadow for one allocation: epochs per granule."""
 
-    __slots__ = ("base", "write", "read", "shared")
+    __slots__ = ("base", "nbytes", "write", "read", "shared")
 
     def __init__(self, base: int, nbytes: int):
         self.base = base
+        self.nbytes = nbytes
         n = -(-nbytes // GRANULE)
         self.write = np.zeros(n, dtype=np.uint64)
         self.read = np.zeros(n, dtype=np.uint64)
@@ -81,6 +83,13 @@ class RaceEngine:
         # snapshot is valid between syncs — the common case is thousands of
         # accesses per sync.
         self._clock_arrays: dict[int, np.ndarray] = {}
+        # Packed current epoch (tid@C_t[tid]) per thread, same lifetime as
+        # the snapshots above.  Plain ints: the scalar fast path compares
+        # them without constructing any numpy value.
+        self._epoch_cache: dict[int, int] = {}
+        # Last block hit by _block_for: kernels hammer one array, so this
+        # avoids the bisect in the overwhelmingly common case.
+        self._last_block: _RaceBlock | None = None
         self.races: list[dict] = []
 
     # -- clocks -------------------------------------------------------------
@@ -103,6 +112,14 @@ class RaceEngine:
         self._clock_arrays[tid] = arr
         return arr
 
+    def _current_epoch(self, tid: int) -> int:
+        """The thread's packed epoch ``tid@C_t[tid]`` as a plain int."""
+        epoch = self._epoch_cache.get(tid)
+        if epoch is None:
+            epoch = (tid << CLOCK_BITS) | self.clock_of(tid).get(tid)
+            self._epoch_cache[tid] = epoch
+        return epoch
+
     def handle_sync(self, kind: str, source: int, target: int) -> None:
         """A happens-before edge source → target (release/acquire pair)."""
         src = self.clock_of(source)
@@ -111,6 +128,8 @@ class RaceEngine:
         src.increment(source)
         self._clock_arrays.pop(source, None)
         self._clock_arrays.pop(target, None)
+        self._epoch_cache.pop(source, None)
+        self._epoch_cache.pop(target, None)
 
     # -- allocations --------------------------------------------------------
 
@@ -118,12 +137,11 @@ class RaceEngine:
         """Start tracking an allocation; address reuse resets its shadow."""
         if nbytes <= 0:
             return
-        from bisect import insort
-
         if base not in self._blocks:
             insort(self._bases, base)
         self._blocks[base] = _RaceBlock(base, nbytes)
         self._sizes[base] = nbytes
+        self._last_block = None
 
     def untrack(self, device_id: int, base: int) -> None:
         """Free: the shadow persists (TSan's is direct-mapped), so races
@@ -134,14 +152,17 @@ class RaceEngine:
         return
 
     def _block_for(self, device_id: int, address: int) -> _RaceBlock | None:
-        from bisect import bisect_right
-
+        cached = self._last_block
+        if cached is not None and cached.base <= address < cached.base + cached.nbytes:
+            return cached
         i = bisect_right(self._bases, address)
         if not i:
             return None
         base = self._bases[i - 1]
         if address < base + self._sizes[base]:
-            return self._blocks[base]
+            block = self._blocks[base]
+            self._last_block = block
+            return block
         return None
 
     @property
@@ -149,6 +170,53 @@ class RaceEngine:
         return sum(b.shadow_nbytes for b in self._blocks.values())
 
     # -- accesses ----------------------------------------------------------------
+
+    def check_access(self, access: "Access") -> list[int]:
+        """Check one instrumented access; the single entry point for tools.
+
+        Scalar and contiguous accesses go through :meth:`check_range`;
+        strided accesses are checked with one vectorized pass over the
+        touched granules instead of a per-element Python loop.  Returns the
+        local granule indices that raced.
+        """
+        stride = access.element_stride
+        if access.count == 1 or stride == access.size:
+            return self.check_range(
+                access.device_id,
+                access.thread_id,
+                access.address,
+                access.span,
+                access.is_write,
+            )
+        return self.check_strided(access)
+
+    def check_strided(self, access: "Access") -> list[int]:
+        """Vectorized check of a strided access's granule set."""
+        block = self._block_for(access.device_id, access.address)
+        if block is not None:
+            local = access.granule_indices() - block.base // GRANULE
+            if len(local) and bool(
+                (local[0] >= 0) & (local[-1] < len(block.write))
+            ):
+                return self._check_granule_array(
+                    block,
+                    access.device_id,
+                    access.thread_id,
+                    local,
+                    access.is_write,
+                )
+        # Rare: the access straddles block boundaries (or hits untracked
+        # memory); fall back to per-element range checks.
+        racy: list[int] = []
+        for addr in access.element_addresses().tolist():
+            racy += self.check_range(
+                access.device_id,
+                access.thread_id,
+                addr,
+                access.size,
+                access.is_write,
+            )
+        return racy
 
     def check_range(
         self,
@@ -169,37 +237,142 @@ class RaceEngine:
         hi = min(len(block.write), -(-(address + span - block.base) // GRANULE))
         if hi <= lo:
             return []
-        sel = slice(lo, hi)
-        clock_vec = self._clock_array(tid)
-        my_clock = np.uint64(self.clock_of(tid).get(tid))
-        my_epoch = (np.uint64(tid) << _CLOCK_SHIFT) | my_clock
+        if hi - lo == 1:
+            # Scalar fast path: one granule, plain-int epoch algebra.
+            return self._check_one(block, device_id, tid, lo, is_write)
+        return self._check_span(block, device_id, tid, lo, hi, is_write)
 
-        def ordered(epochs: np.ndarray) -> np.ndarray:
-            """epoch <= C_t, vectorized; the empty epoch is always ordered."""
-            tids = (epochs >> _CLOCK_SHIFT).astype(np.intp)
-            clocks = epochs & _CLOCK_MASK
-            known = np.zeros(len(epochs), dtype=np.uint64)
-            in_range = tids < len(clock_vec)
-            known[in_range] = clock_vec[tids[in_range]]
-            return clocks <= known
+    def _check_one(
+        self, block: _RaceBlock, device_id: int, tid: int, g: int, is_write: bool
+    ) -> list[int]:
+        """FastTrack for a single granule, epochs as plain Python ints.
 
-        racy = ~ordered(block.write[sel])
+        The first comparison is the same-epoch shortcut (the ~80% case in
+        real FastTrack): if the stored write (read) epoch already equals the
+        acting thread's current epoch, every check already ran when that
+        epoch was installed, so return without building any clock array or
+        numpy temporary.
+        """
+        my_epoch = self._current_epoch(tid)
+        we = int(block.write[g])
+        racy = False
         if is_write:
-            racy |= ~ordered(block.read[sel])
+            if we == my_epoch:
+                return []
+            clock = self.clock_of(tid)
+            racy = we != 0 and (we & MAX_CLOCK) > clock.get(we >> CLOCK_BITS)
+            if not racy:
+                re = int(block.read[g])
+                racy = re != 0 and (re & MAX_CLOCK) > clock.get(re >> CLOCK_BITS)
+            vec = block.shared.pop(g, None)  # the write resets sharing
+            if vec is not None and not racy:
+                clock_vec = self._clock_array(tid)
+                k = min(len(vec), len(clock_vec))
+                racy = bool(np.any(vec[:k] > clock_vec[:k]) or np.any(vec[k:] > 0))
+            block.write[g] = my_epoch
+            block.read[g] = 0
+        else:
+            re = int(block.read[g])
+            if re == my_epoch:
+                return []
+            clock = self.clock_of(tid)
+            racy = we != 0 and (we & MAX_CLOCK) > clock.get(we >> CLOCK_BITS)
+            if re != 0 and (re & MAX_CLOCK) > clock.get(re >> CLOCK_BITS):
+                # Previous read is concurrent: escalate to a read vector.
+                vec = block.shared.get(g)
+                if vec is None:
+                    vec = np.zeros(
+                        max((re >> CLOCK_BITS) + 1, tid + 1), dtype=np.uint64
+                    )
+                    vec[re >> CLOCK_BITS] = re & MAX_CLOCK
+                    block.shared[g] = vec
+                if len(vec) <= tid:
+                    vec = np.concatenate(
+                        [vec, np.zeros(tid + 1 - len(vec), dtype=np.uint64)]
+                    )
+                    block.shared[g] = vec
+                vec[tid] = my_epoch & MAX_CLOCK
+            block.read[g] = my_epoch
+        if not racy:
+            return []
+        self.races.append(
+            {
+                "device_id": device_id,
+                "address": block.base + g * GRANULE,
+                "tid": tid,
+                "is_write": is_write,
+            }
+        )
+        return [g]
+
+    def _ordered(self, epochs: np.ndarray, clock_vec: np.ndarray) -> np.ndarray:
+        """epoch <= C_t, vectorized; the empty epoch is always ordered."""
+        tids = (epochs >> _CLOCK_SHIFT).astype(np.intp)
+        clocks = epochs & _CLOCK_MASK
+        known = np.zeros(len(epochs), dtype=np.uint64)
+        in_range = tids < len(clock_vec)
+        known[in_range] = clock_vec[tids[in_range]]
+        return clocks <= known
+
+    def _check_span(
+        self, block: _RaceBlock, device_id: int, tid: int, lo: int, hi: int,
+        is_write: bool,
+    ) -> list[int]:
+        """Vectorized FastTrack over the contiguous granules ``[lo, hi)``."""
+        sel = slice(lo, hi)
+        my_epoch_int = self._current_epoch(tid)
+        my_epoch = np.uint64(my_epoch_int)
+        # Range-level same-epoch shortcut: if this thread already installed
+        # its current epoch on every granule, all checks already ran.
+        if is_write:
+            if not block.shared and bool((block.write[sel] == my_epoch).all()):
+                return []
+        elif bool((block.read[sel] == my_epoch).all()):
+            return []
+        # Uniform-epoch fast path: a kernel installs one epoch across the
+        # whole array, so the span usually stores a single (write, read)
+        # epoch pair — two scalar ordering checks replace the vectorized
+        # clock-vector gathers.  Races and read-share escalation fall
+        # through to the general path below.
+        if not block.shared:
+            wsel = block.write[sel]
+            rsel = block.read[sel]
+            w0 = wsel[0]
+            r0 = rsel[0]
+            if bool((wsel == w0).all()) and bool((rsel == r0).all()):
+                w0i = int(w0)
+                r0i = int(r0)
+                clock = self.clock_of(tid)
+                w_ord = w0i == 0 or (w0i & MAX_CLOCK) <= clock.get(w0i >> CLOCK_BITS)
+                r_ord = r0i == 0 or (r0i & MAX_CLOCK) <= clock.get(r0i >> CLOCK_BITS)
+                if w_ord and r_ord:
+                    if is_write:
+                        block.write[sel] = my_epoch
+                        block.read[sel] = 0
+                    else:
+                        block.read[sel] = my_epoch
+                    return []
+        clock_vec = self._clock_array(tid)
+        my_clock = np.uint64(my_epoch_int & MAX_CLOCK)
+
+        racy = ~self._ordered(block.write[sel], clock_vec)
+        if is_write:
+            racy |= ~self._ordered(block.read[sel], clock_vec)
             # Shared-read granules need their whole vector checked.
-            for g, vec in list(block.shared.items()):
-                if lo <= g < hi:
-                    k = min(len(vec), len(clock_vec))
-                    bad = np.any(vec[:k] > clock_vec[:k]) or np.any(vec[k:] > 0)
-                    if bad:
-                        racy[g - lo] = True
-                    block.shared.pop(g)  # the write resets sharing
+            if block.shared:
+                for g, vec in list(block.shared.items()):
+                    if lo <= g < hi:
+                        k = min(len(vec), len(clock_vec))
+                        bad = np.any(vec[:k] > clock_vec[:k]) or np.any(vec[k:] > 0)
+                        if bad:
+                            racy[g - lo] = True
+                        block.shared.pop(g)  # the write resets sharing
             block.write[sel] = my_epoch
             block.read[sel] = 0
         else:
             # Read: escalate to shared where the previous read is concurrent.
             prev = block.read[sel]
-            conc = (~ordered(prev)) & (prev != 0)
+            conc = (~self._ordered(prev, clock_vec)) & (prev != 0)
             if conc.any():
                 for off in np.nonzero(conc)[0]:
                     g = lo + int(off)
@@ -215,6 +388,74 @@ class RaceEngine:
                     vec[tid] = my_clock
             block.read[sel] = my_epoch
         racy_local = (np.nonzero(racy)[0] + lo).tolist()
+        for g in racy_local:
+            self.races.append(
+                {
+                    "device_id": device_id,
+                    "address": block.base + g * GRANULE,
+                    "tid": tid,
+                    "is_write": is_write,
+                }
+            )
+        return racy_local
+
+    def _check_granule_array(
+        self,
+        block: _RaceBlock,
+        device_id: int,
+        tid: int,
+        local: np.ndarray,
+        is_write: bool,
+    ) -> list[int]:
+        """Vectorized FastTrack over a sorted array of local granule indices
+        (the strided-access path — same algorithm as :meth:`_check_span`,
+        fancy indexing instead of a slice)."""
+        if len(local) == 0:
+            return []
+        if len(local) == 1:
+            return self._check_one(block, device_id, tid, int(local[0]), is_write)
+        my_epoch_int = self._current_epoch(tid)
+        my_epoch = np.uint64(my_epoch_int)
+        if is_write:
+            if not block.shared and bool((block.write[local] == my_epoch).all()):
+                return []
+        elif bool((block.read[local] == my_epoch).all()):
+            return []
+        clock_vec = self._clock_array(tid)
+        my_clock = np.uint64(my_epoch_int & MAX_CLOCK)
+
+        racy = ~self._ordered(block.write[local], clock_vec)
+        if is_write:
+            racy |= ~self._ordered(block.read[local], clock_vec)
+            if block.shared:
+                touched = set(local.tolist())
+                for g, vec in list(block.shared.items()):
+                    if g in touched:
+                        k = min(len(vec), len(clock_vec))
+                        bad = np.any(vec[:k] > clock_vec[:k]) or np.any(vec[k:] > 0)
+                        if bad:
+                            racy[np.searchsorted(local, g)] = True
+                        block.shared.pop(g)
+            block.write[local] = my_epoch
+            block.read[local] = 0
+        else:
+            prev = block.read[local]
+            conc = (~self._ordered(prev, clock_vec)) & (prev != 0)
+            if conc.any():
+                for off in np.nonzero(conc)[0]:
+                    g = int(local[off])
+                    vec = block.shared.get(g)
+                    if vec is None:
+                        old = int(prev[off])
+                        vec = np.zeros(max((old >> CLOCK_BITS) + 1, tid + 1), dtype=np.uint64)
+                        vec[old >> CLOCK_BITS] = old & MAX_CLOCK
+                        block.shared[g] = vec
+                    if len(vec) <= tid:
+                        vec = np.concatenate([vec, np.zeros(tid + 1 - len(vec), dtype=np.uint64)])
+                        block.shared[g] = vec
+                    vec[tid] = my_clock
+            block.read[local] = my_epoch
+        racy_local = local[racy].tolist()
         for g in racy_local:
             self.races.append(
                 {
@@ -252,21 +493,7 @@ class ArcherTool(Tool):
         self.engine.handle_sync(event.kind, event.source_task, event.target_task)
 
     def on_access(self, access: "Access") -> None:
-        stride = access.element_stride
-        if access.count == 1 or stride == access.size:
-            racy = self.engine.check_range(
-                access.device_id,
-                access.thread_id,
-                access.address,
-                access.span,
-                access.is_write,
-            )
-        else:
-            racy = []
-            for addr in access.element_addresses().tolist():
-                racy += self.engine.check_range(
-                    access.device_id, access.thread_id, addr, access.size, access.is_write
-                )
+        racy = self.engine.check_access(access)
         if racy:
             self.report(
                 Finding(

@@ -314,3 +314,153 @@ class TestAccounting:
         block = det.shadows.find(a.base)
         word = block.word_at(a.base)
         assert word["is_write"]
+
+
+class TestLookupCacheInvalidation:
+    """The (block, record) last-lookup caches must never serve stale pairs."""
+
+    OV = 1 << 32
+    CV = 1 << 33
+
+    def detector(self):
+        from repro.core import Arbalest
+
+        return Arbalest(race_detection=False)
+
+    def alloc(self, det):
+        from repro.events import AllocationEvent
+
+        det.on_allocation(
+            AllocationEvent(
+                device_id=0, thread_id=0, address=self.OV, nbytes=64,
+                is_free=False, label="a",
+            )
+        )
+
+    def free(self, det):
+        from repro.events import AllocationEvent
+
+        det.on_allocation(
+            AllocationEvent(
+                device_id=0, thread_id=0, address=self.OV, nbytes=64,
+                is_free=True,
+            )
+        )
+
+    def map_(self, det):
+        from repro.events import DataOp, DataOpKind
+
+        det.on_data_op(
+            DataOp(
+                kind=DataOpKind.ALLOC, device_id=1, thread_id=0,
+                ov_address=self.OV, cv_address=self.CV, nbytes=64,
+            )
+        )
+
+    def unmap(self, det):
+        from repro.events import DataOp, DataOpKind
+
+        det.on_data_op(
+            DataOp(
+                kind=DataOpKind.DELETE, device_id=1, thread_id=0,
+                ov_address=self.OV, cv_address=self.CV, nbytes=64,
+            )
+        )
+
+    def touch(self, det):
+        from repro.events import Access
+
+        det.on_access(
+            Access(device_id=0, thread_id=0, address=self.OV, size=8, is_write=True)
+        )
+        det.on_access(
+            Access(device_id=1, thread_id=0, address=self.CV, size=8, is_write=True)
+        )
+
+    def test_accesses_prime_both_caches(self):
+        det = self.detector()
+        self.alloc(det)
+        self.map_(det)
+        block = det.shadows.find(self.OV)
+        rec = det.mappings.find(self.CV)
+        self.touch(det)
+        assert det._lookup_host is not None and det._lookup_host[2] is block
+        assert det._lookup_device is not None and det._lookup_device[3] is rec
+
+    def test_unmap_and_free_invalidate(self):
+        det = self.detector()
+        self.alloc(det)
+        self.map_(det)
+        self.touch(det)
+        self.unmap(det)
+        assert det._lookup_host is None and det._lookup_device is None
+        self.touch(det)  # re-primes the host cache (mapping gone)
+        self.free(det)
+        assert det._lookup_host is None and det._lookup_device is None
+
+    def test_reallocate_same_base_yields_fresh_pair(self):
+        # allocate -> map -> access -> unmap/free -> reallocate at the SAME
+        # base -> access: the caches must resolve to the fresh block and
+        # record, not the freed ones.
+        det = self.detector()
+        self.alloc(det)
+        self.map_(det)
+        block1 = det.shadows.find(self.OV)
+        rec1 = det.mappings.find(self.CV)
+        self.touch(det)
+        self.unmap(det)
+        self.free(det)
+        self.alloc(det)
+        self.map_(det)
+        self.touch(det)
+        block2 = det.shadows.find(self.OV)
+        rec2 = det.mappings.find(self.CV)
+        assert block2 is not block1 and rec2 is not rec1
+        assert det._lookup_host[2] is block2
+        assert det._lookup_device[2] is block2
+        assert det._lookup_device[3] is rec2
+
+
+class TestDoubleDelete:
+    OV = 1 << 32
+    CV = 1 << 33
+
+    def test_double_delete_reports_bad_free(self):
+        from repro.core import Arbalest
+        from repro.events import AllocationEvent, DataOp, DataOpKind
+
+        det = Arbalest(race_detection=False)
+        det.on_allocation(
+            AllocationEvent(
+                device_id=0, thread_id=0, address=self.OV, nbytes=64, is_free=False
+            )
+        )
+        delete = DataOp(
+            kind=DataOpKind.DELETE, device_id=1, thread_id=0,
+            ov_address=self.OV, cv_address=self.CV, nbytes=64,
+        )
+        det.on_data_op(
+            DataOp(
+                kind=DataOpKind.ALLOC, device_id=1, thread_id=0,
+                ov_address=self.OV, cv_address=self.CV, nbytes=64,
+            )
+        )
+        det.on_data_op(delete)
+        assert not [f for f in det.findings if f.kind == FindingKind.BAD_FREE]
+        det.on_data_op(delete)  # double delete: reported, not a crash
+        bad = [f for f in det.findings if f.kind == FindingKind.BAD_FREE]
+        assert len(bad) == 1
+        assert bad[0].address == self.CV
+
+    def test_delete_of_never_mapped_cv_reports_bad_free(self):
+        from repro.core import Arbalest
+        from repro.events import DataOp, DataOpKind
+
+        det = Arbalest(race_detection=False)
+        det.on_data_op(
+            DataOp(
+                kind=DataOpKind.DELETE, device_id=1, thread_id=0,
+                ov_address=self.OV, cv_address=self.CV, nbytes=64,
+            )
+        )
+        assert [f for f in det.findings if f.kind == FindingKind.BAD_FREE]

@@ -64,6 +64,25 @@ class TestMappingRegistry:
         assert len(reg) == 0
         assert reg.records() == []
 
+    def test_double_drop_returns_none(self):
+        reg = MappingRegistry()
+        reg.add(record())
+        assert reg.drop(DEV_BASE) is not None
+        assert reg.drop(DEV_BASE) is None  # tolerated, not a KeyError
+        assert len(reg) == 0
+
+    def test_drop_of_never_mapped_base_returns_none(self):
+        reg = MappingRegistry()
+        assert reg.drop(DEV_BASE) is None
+
+    def test_overlaps_cv(self):
+        reg = MappingRegistry()
+        reg.add(record(cv=DEV_BASE, n=64))
+        assert reg.overlaps_cv(DEV_BASE + 32, DEV_BASE + 128)
+        assert reg.overlaps_cv(DEV_BASE - 16, DEV_BASE + 1)
+        assert not reg.overlaps_cv(DEV_BASE + 64, DEV_BASE + 128)
+        assert not reg.overlaps_cv(0, DEV_BASE)
+
     def test_lookup_stats_and_cache_ablation(self):
         reg = MappingRegistry()
         reg.add(record())

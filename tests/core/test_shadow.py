@@ -190,6 +190,61 @@ def test_vectorized_equals_scalar_reference(ops):
         assert word["cv_initialized"] == scalar.cv_initialized
 
 
+@settings(max_examples=400, deadline=None)
+@given(op_sequences)
+def test_scalar_fast_path_three_way_equivalence(ops):
+    """apply_scalar ≡ vectorized apply ≡ the scalar reference machine.
+
+    An ndarray selection always takes the vectorized pipeline, so the three
+    implementations are genuinely independent here.
+    """
+    fast = ShadowBlock(BASE, 8)
+    vec = ShadowBlock(BASE, 8)
+    scalar = VariableStateMachine()
+    for op in ops:
+        ill_f, uni_f = fast.apply_scalar(0, op)
+        ill_v, uni_v = vec.apply(np.array([0]), op)
+        verdict = scalar.apply(op)
+        assert ill_f == bool(ill_v[0]) == verdict.illegal, (op, scalar)
+        if verdict.illegal:
+            assert uni_f == bool(uni_v[0]) == verdict.uninitialized, (op, scalar)
+        assert int(fast.words[0]) == int(vec.words[0])
+        assert fast.state_at(BASE) is scalar.state
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences, st.integers(2, 12))
+def test_uniform_range_fast_path_matches_vectorized(ops, n):
+    """A whole-range slice apply ≡ the fancy-indexed vectorized path."""
+    a = ShadowBlock(BASE, 8 * n)
+    b = ShadowBlock(BASE, 8 * n)
+    idx = np.arange(n)
+    for op in ops:
+        ill_a, uni_a = a.apply(slice(0, n), op)  # may take the uniform path
+        ill_b, uni_b = b.apply(idx, op)          # always vectorized
+        assert np.array_equal(ill_a, ill_b)
+        assert np.array_equal(uni_a, uni_b)
+        assert np.array_equal(a.words, b.words)
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences, st.integers(2, 12))
+def test_nonuniform_range_falls_back_correctly(ops, n):
+    """A range whose granules differ still matches the vectorized path."""
+    a = ShadowBlock(BASE, 8 * n)
+    b = ShadowBlock(BASE, 8 * n)
+    # Desynchronize granule 0 so the uniform-range shortcut cannot apply.
+    a.apply(np.array([0]), VsmOp.WRITE_HOST)
+    b.apply(np.array([0]), VsmOp.WRITE_HOST)
+    idx = np.arange(n)
+    for op in ops:
+        ill_a, uni_a = a.apply(slice(0, n), op)
+        ill_b, uni_b = b.apply(idx, op)
+        assert np.array_equal(ill_a, ill_b)
+        assert np.array_equal(uni_a, uni_b)
+        assert np.array_equal(a.words, b.words)
+
+
 @settings(max_examples=200, deadline=None)
 @given(op_sequences, st.integers(2, 16))
 def test_granules_evolve_independently(ops, n):

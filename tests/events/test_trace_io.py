@@ -41,7 +41,7 @@ SAMPLE_EVENTS = [
         count=16,
         stride=24,
         origin=AccessOrigin.PROGRAM,
-        stack=STACK,
+        stack_ref=STACK,
     ),
     DataOp(
         kind=DataOpKind.H2D,

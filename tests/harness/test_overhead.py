@@ -1,10 +1,14 @@
 """Overhead harness (Fig 8/9): measurement plumbing and expected shapes."""
 
+import json
+
 import pytest
 
 from repro.harness import (
     CONFIGS,
+    bench_payload,
     measure_one,
+    run_bench,
     run_overhead_comparison,
 )
 from repro.specaccel import WORKLOADS, workload
@@ -85,3 +89,42 @@ class TestMeasureOne:
         m3 = measure_one(workload("pomriq"), "native", "test", repetitions=3)
         assert m3.seconds > 0
         assert m1.checksum == m3.checksum
+
+
+class TestBenchPayload:
+    def test_payload_structure(self, overhead):
+        payload = bench_payload(overhead, repetitions=1)
+        assert payload["preset"] == "test"
+        assert payload["configs"] == list(CONFIGS)
+        assert payload["checksums_consistent"] is True
+        assert set(payload["workloads"]) == {w.name for w in WORKLOADS}
+        for row in payload["workloads"].values():
+            for c in CONFIGS:
+                cell = row[c]
+                assert cell["seconds"] > 0
+                assert cell["slowdown"] > 0
+                assert cell["app_bytes"] > 0
+        assert payload["summary"]["arbalest_slowdown_geomean"] > 0
+        assert payload["summary"]["arbalest_slowdown_max"] >= (
+            payload["summary"]["arbalest_slowdown_geomean"]
+        )
+
+    def test_payload_is_json_serializable(self, overhead):
+        payload = bench_payload(overhead, repetitions=1)
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped == payload
+
+    def test_native_slowdown_is_one(self, overhead):
+        payload = bench_payload(overhead, repetitions=1)
+        for row in payload["workloads"].values():
+            assert row["native"]["slowdown"] == 1.0
+
+
+class TestRunBench:
+    def test_writes_tracked_json(self, tmp_path):
+        out = tmp_path / "BENCH_fig8.json"
+        payload = run_bench(preset="test", repetitions=1, output=str(out))
+        assert out.exists()
+        on_disk = json.loads(out.read_text())
+        assert on_disk == payload
+        assert on_disk["preset"] == "test"

@@ -12,9 +12,15 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for cmd in ("table3", "fig8", "fig9", "casestudy", "ompsan", "list"):
+        for cmd in ("table3", "fig8", "bench", "fig9", "casestudy", "ompsan", "list"):
             args = parser.parse_args([cmd])
             assert callable(args.fn)
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.preset == "train"
+        assert args.reps == 3
+        assert args.output == "BENCH_fig8.json"
 
     def test_dracc_takes_number(self):
         args = build_parser().parse_args(["dracc", "22"])
@@ -59,3 +65,17 @@ class TestCommands:
         assert main(["table3"]) == 0
         out = capsys.readouterr().out
         assert "matches the published Table III: yes" in out
+
+    def test_bench(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--preset", "test", "--reps", "1", "--output", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "arbalest slowdown" in out
+        assert "checksums consistent across configs: yes" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["preset"] == "test"
+        assert "pcg" in payload["workloads"]

@@ -1,8 +1,11 @@
 """Archer model: FastTrack race detection over logical threads."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.clocks import VectorClock
+from repro.events import Access
 from repro.openmp import Schedule, TargetRuntime, to, tofrom
 from repro.tools import ArcherTool, FindingKind, RaceEngine
 
@@ -93,6 +96,94 @@ class TestEngineDirect:
     def test_untracked_memory_ignored(self):
         e = self.engine()
         assert e.check_range(0, 1, 12345, 8, True) == []
+
+    def test_same_epoch_repeat_accesses_stay_clean(self):
+        # The FastTrack same-epoch shortcut: repeated accesses by a thread
+        # whose clock has not moved must keep returning "no race" and must
+        # not perturb later verdicts.
+        e = self.engine()
+        for _ in range(5):
+            assert not e.check_range(0, 1, self.BASE, 64, True)
+        for _ in range(5):
+            assert not e.check_range(0, 1, self.BASE, 64, False)
+        # An unordered second thread still races after all the repeats.
+        assert e.check_range(0, 2, self.BASE, 8, True)
+
+    def test_same_epoch_shortcut_does_not_hide_other_thread_race(self):
+        # t1 writes, t2 races (recorded), then t1 writes again at its old
+        # epoch: the shortcut must not fire for t1 (t2's epoch is stored
+        # now), and the t1-vs-t2 race must be reported.
+        e = self.engine()
+        e.check_range(0, 1, self.BASE, 8, True)
+        assert e.check_range(0, 2, self.BASE, 8, True)
+        assert e.check_range(0, 1, self.BASE, 8, True)
+
+
+# -- strided accesses: vectorized path ≡ per-element reference ---------------
+
+BASE = 1 << 40
+
+
+def _per_element_reference(engine: RaceEngine, access: Access) -> list[int]:
+    racy = []
+    for addr in access.element_addresses().tolist():
+        racy += engine.check_range(
+            access.device_id, access.thread_id, addr, access.size, access.is_write
+        )
+    return racy
+
+
+access_steps = st.lists(
+    st.tuples(
+        st.integers(0, 2),            # thread id
+        st.integers(0, 6),            # element index offset
+        st.integers(1, 5),            # count
+        st.sampled_from([8, 16, 24]), # stride
+        st.booleans(),                # is_write
+        st.booleans(),                # sync with thread 0 first
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(access_steps)
+def test_strided_check_access_equals_per_element(steps):
+    """check_access on strided accesses ≡ the per-element loop it replaced.
+
+    Two engines receive the same interleaving of syncs and accesses; one
+    checks each access through the vectorized entry point, the other
+    through per-element check_range calls.  The *cumulative* racy granule
+    set must agree after every step — per-call returns may differ only in
+    duplicates, because the same-epoch shortcut suppresses re-reporting a
+    race the previous same-epoch access already reported.
+    """
+    fast = RaceEngine()
+    slow = RaceEngine()
+    for e in (fast, slow):
+        e.track(0, BASE, 128)
+    got_ever: set[int] = set()
+    want_ever: set[int] = set()
+    for tid, off, count, stride, is_write, sync in steps:
+        if sync and tid != 0:
+            fast.handle_sync("fork", 0, tid)
+            slow.handle_sync("fork", 0, tid)
+        access = Access(
+            device_id=0,
+            thread_id=tid,
+            address=BASE + off * 8,
+            size=8,
+            is_write=is_write,
+            count=count,
+            stride=stride,
+        )
+        got = set(fast.check_access(access))
+        want = set(_per_element_reference(slow, access))
+        assert got - got_ever == want - want_ever, (access, got, want)
+        got_ever |= got
+        want_ever |= want
+    assert got_ever == want_ever
 
 
 class TestArcherOnRuntime:
