@@ -15,7 +15,11 @@ package rebuilds the whole stack in Python:
   faithful behavioural models over the same event stream;
 * :mod:`repro.dracc` / :mod:`repro.specaccel` — the benchmark suites the
   evaluation uses;
-* :mod:`repro.harness` — runners regenerating Table III and Figures 7-9.
+* :mod:`repro.harness` — runners regenerating Table III and Figures 7-9,
+  plus the chaos campaign;
+* :mod:`repro.faults` — deterministic fault injection (seeded plans of
+  OOM/transfer/latency/callback-stream/reset faults) driving the chaos
+  campaign's recovery guarantees.
 
 Quickstart::
 

@@ -9,7 +9,11 @@
     python -m repro casestudy              # 503.postencil (Fig 6/7)
     python -m repro ompsan                 # §VI.G static-vs-dynamic
     python -m repro dracc 22               # one benchmark under all tools
+    python -m repro chaos [--seed 0]       # fault-injection campaign -> BENCH_chaos.json
     python -m repro list                   # inventory
+
+Unknown artifact names (a bad ``--preset``, ``--suite``, or DRACC number)
+exit with code 2 and a one-line message listing the valid choices.
 """
 
 from __future__ import annotations
@@ -116,7 +120,15 @@ def _cmd_dracc(args: argparse.Namespace) -> int:
     from .harness import run_benchmark_under_tools
     from .openmp import TargetRuntime
 
-    bench = get(args.number)
+    try:
+        bench = get(args.number)
+    except KeyError:
+        print(
+            f"repro dracc: error: unknown benchmark {args.number} "
+            "(valid choices: 1..56)",
+            file=sys.stderr,
+        )
+        return 2
     print(f"{bench.name}: {bench.description}")
     effect = bench.expected_effect.name if bench.expected_effect else "none (clean)"
     print(f"expected effect: {effect}\n")
@@ -130,6 +142,64 @@ def _cmd_dracc(args: argparse.Namespace) -> int:
     if detector.bug_reports:
         print()
         print(detector.render_reports())
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .harness import CHAOS_SUITES, run_chaos
+
+    if args.suite not in CHAOS_SUITES:
+        print(
+            f"repro chaos: error: unknown suite {args.suite!r} "
+            f"(valid choices: {', '.join(CHAOS_SUITES)})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        payload = run_chaos(
+            seed=args.seed,
+            schedules=args.schedules,
+            faults_per_schedule=args.faults,
+            suite=args.suite,
+            output=args.output,
+        )
+    except OSError as exc:
+        print(f"repro chaos: error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"Chaos campaign (seed={payload['seed']}, "
+        f"schedules={payload['schedules']}, suite={payload['suite']}): "
+        f"{payload['runs']} faulted runs over {payload['benchmarks']} benchmarks"
+    )
+    print(
+        f"  injected faults: {payload['injected_total']} "
+        f"{payload['injected_faults']}"
+    )
+    print(
+        f"  crashes: {len(payload['crashes'])}, invariant violations: "
+        f"{len(payload['invariant_violations'])}, quarantined events: "
+        f"{payload['quarantined_events']}"
+    )
+    print(
+        f"  transparent runs: {payload['transparent_runs']} "
+        f"(divergences: {len(payload['transparent_divergences'])}), "
+        f"event-faulted runs: {payload['event_faulted_runs']} "
+        f"(diverged: {payload['event_faulted_diverged']}, "
+        f"rate {payload['event_fault_divergence_rate']:.2%})"
+    )
+    for warning in payload["warnings"]:
+        print(f"  warning: {warning}")
+    print(f"wrote {args.output}")
+    if not payload["ok"]:
+        print("chaos campaign FAILED: recovery guarantee violated", file=sys.stderr)
+        return 1
+    if args.strict and payload["warnings"]:
+        print(
+            f"repro chaos: --strict: {len(payload['warnings'])} warning(s) "
+            "treated as failures",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -187,6 +257,23 @@ def build_parser() -> argparse.ArgumentParser:
     pd = sub.add_parser("dracc", help="run one DRACC benchmark under all tools")
     pd.add_argument("number", type=int)
     pd.set_defaults(fn=_cmd_dracc)
+
+    px = sub.add_parser(
+        "chaos", help="fault-injection campaign -> BENCH_chaos.json"
+    )
+    px.add_argument("--seed", type=int, default=0)
+    px.add_argument("--schedules", type=int, default=3)
+    px.add_argument("--faults", type=int, default=6)
+    # Validated by hand (not argparse choices) so an unknown suite gets a
+    # one-line error instead of the full usage dump.
+    px.add_argument("--suite", default="all")
+    px.add_argument("--output", default="BENCH_chaos.json")
+    px.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat chaos warnings (bounded divergence) as failures",
+    )
+    px.set_defaults(fn=_cmd_chaos)
 
     sub.add_parser("list", help="inventory of benchmarks and workloads").set_defaults(
         fn=_cmd_list

@@ -74,6 +74,27 @@ class Arbalest(Tool):
     record_access_metadata:
         Also stamp Table II's tid/clock/size/offset fields into the shadow
         word on every access (rich reports at extra cost).
+    shadow_budget_bytes:
+        Optional cap on live shadow storage.  Under pressure new blocks are
+        coarsened to whole-allocation granularity (conservative ``INVALID``
+        start state) instead of failing — precision loss is accounted in
+        :meth:`degradation_stats`, the analysis never crashes.
+
+    **Quarantine (chaos hardening).**  A perturbed OMPT stream — duplicated,
+    dropped, or reordered callbacks — can present the detector with events
+    its bookkeeping says are impossible.  Rather than corrupting the mapping
+    registry or unwinding the run, such events are quarantined with a
+    documented recovery transition, logged in :attr:`quarantine_log`:
+
+    * *duplicate ALLOC* (identical CV base/size/device): idempotent — the
+      existing mapping is kept, the event is absorbed;
+    * *conflicting ALLOC* (overlapping a live separate-memory CV range):
+      newest-wins — stale overlapping mappings are evicted, the new one is
+      installed;
+    * *unmatched DELETE*: reported as a ``BAD_FREE`` finding (a real
+      double-delete looks identical) and absorbed;
+    * *unknown-region device access*: reported as a buffer overflow (§IV.D
+      already defines this) — no registry mutation, no crash.
     """
 
     name = "arbalest"
@@ -84,14 +105,18 @@ class Arbalest(Tool):
         granule: int = GRANULE,
         race_detection: bool = True,
         record_access_metadata: bool = False,
+        shadow_budget_bytes: int | None = None,
     ) -> None:
         super().__init__()
         self.granule = granule
-        self.shadows = ShadowRegistry(granule=granule)
+        self.shadows = ShadowRegistry(
+            granule=granule, budget_bytes=shadow_budget_bytes
+        )
         self.mappings = MappingRegistry()
         self.race_engine = RaceEngine() if race_detection else None
         self.record_access_metadata = record_access_metadata
         self.bug_reports: list[BugReport] = []
+        self.quarantine_log: list[dict] = []
         self._alloc_info: dict[int, "AllocationEvent"] = {}
         # Last-lookup caches, one per access side: ``(lo, hi, block, rec)``
         # means "every address in [lo, hi) resolves to this (shadow block,
@@ -168,6 +193,25 @@ class Arbalest(Tool):
         self._invalidate_lookup_caches()
         unified = op.cv_address == op.ov_address
         if op.kind.value == "alloc":
+            if (
+                self.mappings.find_exact(op.cv_address, op.nbytes, op.device_id)
+                is not None
+            ):
+                # Duplicated ALLOC callback: idempotent recovery — keep the
+                # live mapping, absorb the event (see class docstring).
+                self._quarantine("duplicate-alloc", op)
+                return
+            if not unified:
+                victims = self.mappings.drop_overlapping(
+                    op.cv_address, op.cv_address + op.nbytes
+                )
+                if victims:
+                    # Conflicting ALLOC: newest-wins recovery.
+                    self._quarantine(
+                        "conflicting-alloc",
+                        op,
+                        detail=f"evicted {len(victims)} stale mapping(s)",
+                    )
             ov_block = self.shadows.find(op.ov_address)
             self.mappings.add(
                 MappingRecord(
@@ -187,6 +231,7 @@ class Arbalest(Tool):
             if self.mappings.drop(op.cv_address) is None:
                 # Double delete / unmatched CV: report instead of crashing,
                 # and skip the RELEASE (there is no mapping to release).
+                self._quarantine("unmatched-delete", op)
                 self.report(
                     Finding(
                         tool=self.name,
@@ -208,6 +253,20 @@ class Arbalest(Tool):
             self._apply_host_range(op.ov_address, op.nbytes, VsmOp.UPDATE_TARGET, op)
         elif op.kind.value == "d2h":
             self._apply_host_range(op.ov_address, op.nbytes, VsmOp.UPDATE_HOST, op)
+
+    def _quarantine(self, reason: str, op: "DataOp", detail: str = "") -> None:
+        """Log one quarantined event (impossible per current bookkeeping)."""
+        self.quarantine_log.append(
+            {
+                "reason": reason,
+                "kind": op.kind.value,
+                "device": op.device_id,
+                "ov": op.ov_address,
+                "cv": op.cv_address,
+                "nbytes": op.nbytes,
+                "detail": detail,
+            }
+        )
 
     def _apply_host_range(
         self, ov_address: int, nbytes: int, vsm_op: VsmOp, op: "DataOp"
@@ -523,9 +582,57 @@ class Arbalest(Tool):
         hits, misses = self.mappings.lookup_stats
         return hits + self._lookup_cache_hits, misses
 
+    def degradation_stats(self) -> dict:
+        """Accounting of graceful-degradation events (chaos campaigns)."""
+        return {
+            "quarantined_events": len(self.quarantine_log),
+            "coarsened_blocks": self.shadows.coarsened_blocks,
+            "coarsened_bytes": self.shadows.coarsened_bytes,
+        }
+
+    def check_invariants(self) -> list[str]:
+        """Validate detector (and attached machine) internal consistency.
+
+        Returns human-readable violations; empty means healthy.  Checked:
+        separate-memory CV intervals are pairwise disjoint, shadow-byte
+        accounting matches the live blocks, every shadow word carries a
+        legal VSM state, and — when a machine is attached — every device's
+        present table upholds its own invariants (refcounts ≥ 0,
+        non-overlapping sorted entries).  The chaos harness runs this after
+        every faulted run; graceful degradation must never leave the
+        analysis in an inconsistent state.
+        """
+        problems: list[str] = []
+        separate = sorted(
+            (r.cv_base, r.cv_end, r.name)
+            for r in self.mappings.records()
+            if not r.unified
+        )
+        for (lo1, hi1, n1), (lo2, _hi2, n2) in zip(separate, separate[1:]):
+            if hi1 > lo2:
+                problems.append(
+                    f"mapping registry: CV ranges of '{n1}' and '{n2}' overlap"
+                )
+        total = sum(b.shadow_nbytes for b in self.shadows.blocks())
+        if total != self.shadows.shadow_bytes:
+            problems.append(
+                f"shadow accounting drift: blocks hold {total} bytes, "
+                f"registry reports {self.shadows.shadow_bytes}"
+            )
+        for block in self.shadows.blocks():
+            if block.n_granules and int(block.states().max()) > 3:
+                problems.append(  # pragma: no cover - 2-bit states can't exceed 3
+                    f"shadow block {block.label!r}: illegal VSM state code"
+                )
+        if self.machine is not None:
+            for dev in self.machine.devices.values():
+                problems.extend(dev.present.check_invariants())
+        return problems
+
     def render_reports(self, pid: int = 0) -> str:
         return "\n\n".join(r.render(pid=pid) for r in self.bug_reports)
 
     def reset(self) -> None:  # keep shadow state, drop findings
         super().reset()
         self.bug_reports.clear()
+        self.quarantine_log.clear()

@@ -81,6 +81,37 @@ class MappingRegistry:
         """The mapping containing ``cv_address`` (amortized O(1))."""
         return self._tree.stab(cv_address)
 
+    def find_exact(
+        self, cv_base: int, nbytes: int, device_id: int
+    ) -> MappingRecord | None:
+        """A live mapping identical in (CV base, size, device), if any.
+
+        The detector's quarantine logic uses this to recognize a duplicated
+        ALLOC callback (chaos, or a buggy OMPT producer) and treat it as
+        idempotent instead of corrupting the interval tree.
+        """
+        for record in self._records:
+            if (
+                record.cv_base == cv_base
+                and record.nbytes == nbytes
+                and record.device_id == device_id
+            ):
+                return record
+        return None
+
+    def drop_overlapping(self, lo: int, hi: int) -> list[MappingRecord]:
+        """Remove and return every mapping whose CV range overlaps ``[lo, hi)``.
+
+        Recovery path for conflicting ALLOC callbacks: the newest mapping
+        wins, stale overlapping records are evicted so the tree invariant
+        (disjoint CV intervals) survives a perturbed event stream.
+        """
+        victims = [r for r in self._records if r.cv_base < hi and lo < r.cv_end]
+        for record in victims:
+            self._tree.remove(record.cv_base)
+            self._records.remove(record)
+        return victims
+
     def overlaps_cv(self, lo: int, hi: int) -> bool:
         """Whether any live CV interval overlaps ``[lo, hi)``.
 
@@ -122,18 +153,39 @@ class MappingRegistry:
 
 
 class ShadowRegistry:
-    """Shadow blocks for host allocations, keyed by host address range."""
+    """Shadow blocks for host allocations, keyed by host address range.
 
-    def __init__(self, *, granule: int = 8) -> None:
+    ``budget_bytes`` caps the total live shadow storage.  Under pressure
+    the registry does not fail: a new block that would exceed the budget is
+    *coarsened* to a single granule spanning the whole allocation, which
+    starts (and conservatively stays, under partial updates) in the VSM
+    ``INVALID`` state.  The precision loss is accounted in
+    :attr:`coarsened_blocks` / :attr:`coarsened_bytes` — degraded tracking,
+    never a crash.
+    """
+
+    def __init__(self, *, granule: int = 8, budget_bytes: int | None = None) -> None:
         self._tree: IntervalTree[ShadowBlock] = IntervalTree()
         self.granule = granule
+        self.budget_bytes = budget_bytes
         self._total_shadow = 0
+        #: Blocks created at degraded (whole-allocation) granularity.
+        self.coarsened_blocks = 0
+        #: Application bytes tracked only at degraded granularity.
+        self.coarsened_bytes = 0
 
     def __len__(self) -> int:
         return len(self._tree)
 
     def create(self, base: int, nbytes: int, label: str = "") -> ShadowBlock:
-        block = ShadowBlock(base, nbytes, granule=self.granule, label=label)
+        granule = self.granule
+        if self.budget_bytes is not None:
+            projected = -(-nbytes // granule) * 8
+            if self._total_shadow + projected > self.budget_bytes:
+                granule = max(granule, nbytes)
+                self.coarsened_blocks += 1
+                self.coarsened_bytes += nbytes
+        block = ShadowBlock(base, nbytes, granule=granule, label=label)
         self._tree.insert(base, base + nbytes, block)
         self._total_shadow += block.shadow_nbytes
         return block

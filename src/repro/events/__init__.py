@@ -14,7 +14,17 @@ from .records import (
     SyncEvent,
 )
 from .source import UNKNOWN_LOCATION, SourceLocation, SourceStack
-from .trace_io import TraceWriter, event_from_json, event_to_json, read_trace, replay
+from .trace_io import (
+    PartialTrace,
+    TraceDecodeError,
+    TraceWarning,
+    TraceWriter,
+    event_from_json,
+    event_to_json,
+    load_trace,
+    read_trace,
+    replay,
+)
 
 __all__ = [
     "ToolBus",
@@ -32,8 +42,12 @@ __all__ = [
     "SourceStack",
     "UNKNOWN_LOCATION",
     "TraceWriter",
+    "TraceWarning",
+    "TraceDecodeError",
+    "PartialTrace",
     "event_to_json",
     "event_from_json",
     "read_trace",
+    "load_trace",
     "replay",
 ]

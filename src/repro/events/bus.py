@@ -9,10 +9,23 @@ corresponding handler, so that
   by; and
 * an instrumented run pays only for the handlers a tool really implements
   (the paper's OMPT-less tools never see semantic data ops).
+
+Two robustness roles ride on top of dispatch:
+
+* **Crash isolation** — an exception escaping a tool handler is contained
+  to that tool: the bus records it, files a ``TOOL_ERROR`` finding against
+  the offending tool, and keeps delivering to the others.  One buggy
+  analysis must never unwind a whole campaign.  Set :attr:`ToolBus.strict`
+  to re-raise instead (debugging the tools themselves).
+* **Chaos injection** — when a :class:`~repro.faults.injector.FaultInjector`
+  is wired in via :attr:`ToolBus.chaos`, the OMPT data-op callback stream
+  may be perturbed (dropped/duplicated/reordered events) before delivery.
+  Only the tools' *view* changes; the simulated program is untouched.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from .records import (
@@ -26,7 +39,20 @@ from .records import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
     from ..tools.base import Tool
+
+
+@dataclass(frozen=True)
+class ToolErrorRecord:
+    """One isolated tool-handler failure."""
+
+    tool: str
+    handler: str
+    error: str
+
+    def to_json(self) -> dict:
+        return {"tool": self.tool, "handler": self.handler, "error": self.error}
 
 
 class ToolBus:
@@ -41,6 +67,12 @@ class ToolBus:
         self._sync: tuple["Tool", ...] = ()
         self._flush: tuple["Tool", ...] = ()
         self._memcpy: tuple["Tool", ...] = ()
+        #: Optional fault injector perturbing the data-op callback stream.
+        self.chaos: "FaultInjector | None" = None
+        #: Re-raise tool-handler exceptions instead of isolating them.
+        self.strict = False
+        #: Isolated handler failures, in occurrence order.
+        self.errors: list[ToolErrorRecord] = []
 
     # -- subscription ----------------------------------------------------
 
@@ -49,7 +81,13 @@ class ToolBus:
         self._rebuild()
 
     def detach(self, tool: "Tool") -> None:
-        self._tools.remove(tool)
+        try:
+            self._tools.remove(tool)
+        except ValueError:
+            name = getattr(tool, "name", None) or type(tool).__name__
+            raise ValueError(
+                f"cannot detach tool {name!r}: it is not attached to this bus"
+            ) from None
         self._rebuild()
 
     def _rebuild(self) -> None:
@@ -82,32 +120,97 @@ class ToolBus:
         """
         return bool(self._access)
 
+    # -- crash isolation ---------------------------------------------------
+
+    def _tool_error(self, tool: "Tool", handler: str, exc: BaseException) -> None:
+        """Contain one handler failure: record it, file a TOOL_ERROR finding."""
+        if self.strict:
+            raise exc
+        self.errors.append(
+            ToolErrorRecord(
+                tool=getattr(tool, "name", type(tool).__name__),
+                handler=handler,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        )
+        from ..tools.findings import Finding, FindingKind  # cold path
+
+        try:
+            tool.report(
+                Finding(
+                    tool=getattr(tool, "name", type(tool).__name__),
+                    kind=FindingKind.TOOL_ERROR,
+                    message=(
+                        f"{handler} raised {type(exc).__name__}: {exc} "
+                        "(handler isolated; analysis state may be degraded)"
+                    ),
+                    variable=handler,
+                )
+            )
+        except Exception:  # the tool is too broken even to report on
+            pass
+
     # -- dispatch -----------------------------------------------------------
 
     def publish_access(self, access: Access) -> None:
         for tool in self._access:
-            tool.on_access(access)
+            try:
+                tool.on_access(access)
+            except Exception as exc:
+                self._tool_error(tool, "on_access", exc)
 
     def publish_data_op(self, op: DataOp) -> None:
+        if self.chaos is not None:
+            for event in self.chaos.perturb_data_op(op):
+                self._fan_out_data_op(event)
+        else:
+            self._fan_out_data_op(op)
+
+    def _fan_out_data_op(self, op: DataOp) -> None:
         for tool in self._data_op:
-            tool.on_data_op(op)
+            try:
+                tool.on_data_op(op)
+            except Exception as exc:
+                self._tool_error(tool, "on_data_op", exc)
+
+    def flush_chaos(self) -> None:
+        """Deliver any chaos-held (reordered) data op at end of run."""
+        if self.chaos is None:
+            return
+        for event in self.chaos.drain():
+            self._fan_out_data_op(event)
 
     def publish_kernel(self, event: KernelEvent) -> None:
         for tool in self._kernel:
-            tool.on_kernel(event)
+            try:
+                tool.on_kernel(event)
+            except Exception as exc:
+                self._tool_error(tool, "on_kernel", exc)
 
     def publish_allocation(self, event: AllocationEvent) -> None:
         for tool in self._allocation:
-            tool.on_allocation(event)
+            try:
+                tool.on_allocation(event)
+            except Exception as exc:
+                self._tool_error(tool, "on_allocation", exc)
 
     def publish_sync(self, event: SyncEvent) -> None:
         for tool in self._sync:
-            tool.on_sync(event)
+            try:
+                tool.on_sync(event)
+            except Exception as exc:
+                self._tool_error(tool, "on_sync", exc)
 
     def publish_flush(self, event: FlushEvent) -> None:
         for tool in self._flush:
-            tool.on_flush(event)
+            try:
+                tool.on_flush(event)
+            except Exception as exc:
+                self._tool_error(tool, "on_flush", exc)
 
     def publish_memcpy(self, event: MemcpyEvent) -> None:
         for tool in self._memcpy:
-            tool.on_memcpy(event)
+            try:
+                tool.on_memcpy(event)
+            except Exception as exc:
+                self._tool_error(tool, "on_memcpy", exc)

@@ -13,11 +13,21 @@ JSON-lines format:
 
 Determinism of the simulation makes replayed analysis bit-identical to the
 online run: the round-trip property is tested, not assumed.
+
+Traces arrive from the real world — a run killed mid-write truncates its
+last record, a bad disk or transport corrupts lines.  Parsing is therefore
+*lenient by default*: malformed records are skipped and tallied, a single
+structured :class:`TraceWarning` summarizes the damage (records read,
+records skipped, first error), and :func:`load_trace` returns the partial
+load with its full error list.  Pass ``strict=True`` to get the old
+fail-fast behaviour as a :class:`TraceDecodeError`.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
+from dataclasses import dataclass, field
 from typing import IO, Iterable, Iterator
 
 from ..tools.base import Tool
@@ -248,12 +258,116 @@ class TraceWriter(Tool):
         self._emit(event)
 
 
-def read_trace(source: IO[str]) -> Iterator[object]:
-    """Parse a JSON-lines trace back into event records."""
-    for line in source:
+class TraceWarning(UserWarning):
+    """A trace loaded partially: some records were malformed or truncated."""
+
+
+class TraceDecodeError(ValueError):
+    """A trace record could not be decoded (strict mode only)."""
+
+    def __init__(self, line_number: int, reason: str):
+        self.line_number = line_number
+        self.reason = reason
+        super().__init__(f"trace line {line_number}: {reason}")
+
+
+@dataclass
+class PartialTrace:
+    """The outcome of a lenient trace load."""
+
+    events: list = field(default_factory=list)
+    records_read: int = 0
+    records_skipped: int = 0
+    #: ``(line_number, reason)`` for every skipped record, in file order.
+    errors: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.records_skipped == 0
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"trace loaded cleanly: {self.records_read} records"
+        first_line, first_reason = self.errors[0]
+        return (
+            f"partial trace load: read {self.records_read} records, "
+            f"skipped {self.records_skipped} malformed/truncated "
+            f"(first: line {first_line}: {first_reason})"
+        )
+
+
+def _decode_line(line_number: int, line: str):
+    """One line -> one event, normalizing every decode failure."""
+    try:
+        return event_from_json(json.loads(line))
+    except json.JSONDecodeError as exc:
+        raise TraceDecodeError(line_number, f"truncated or corrupt JSON: {exc.msg}")
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceDecodeError(
+            line_number, f"malformed record: {type(exc).__name__}: {exc}"
+        )
+
+
+def load_trace(source: IO[str], *, strict: bool = False) -> PartialTrace:
+    """Load a JSON-lines trace, tolerating truncated/corrupted records.
+
+    Malformed lines are skipped and tallied; when any were skipped a single
+    :class:`TraceWarning` carrying the partial-load summary is issued.  With
+    ``strict=True`` the first bad record raises :class:`TraceDecodeError`.
+    """
+    result = PartialTrace()
+    for line_number, line in enumerate(source, start=1):
         line = line.strip()
-        if line:
-            yield event_from_json(json.loads(line))
+        if not line:
+            continue
+        try:
+            result.events.append(_decode_line(line_number, line))
+            result.records_read += 1
+        except TraceDecodeError as exc:
+            if strict:
+                raise
+            result.records_skipped += 1
+            result.errors.append((exc.line_number, exc.reason))
+    if not result.ok:
+        warnings.warn(TraceWarning(result.summary()), stacklevel=2)
+    return result
+
+
+def read_trace(source: IO[str], *, strict: bool = False) -> Iterator[object]:
+    """Parse a JSON-lines trace back into event records.
+
+    Lenient by default: malformed or truncated records are skipped, and one
+    summary :class:`TraceWarning` is issued at the end of the stream when
+    anything was skipped.  ``strict=True`` raises :class:`TraceDecodeError`
+    on the first bad record instead.
+    """
+    read = skipped = 0
+    first_error: TraceDecodeError | None = None
+    for line_number, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = _decode_line(line_number, line)
+        except TraceDecodeError as exc:
+            if strict:
+                raise
+            skipped += 1
+            if first_error is None:
+                first_error = exc
+            continue
+        read += 1
+        yield event
+    if skipped:
+        assert first_error is not None
+        warnings.warn(
+            TraceWarning(
+                f"partial trace load: read {read} records, skipped {skipped} "
+                f"malformed/truncated (first: line {first_error.line_number}: "
+                f"{first_error.reason})"
+            ),
+            stacklevel=2,
+        )
 
 
 def replay(events: Iterable[object], tools: Iterable[Tool]) -> ToolBus:

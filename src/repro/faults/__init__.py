@@ -1,0 +1,32 @@
+"""Seeded fault injection: deterministic chaos for the simulated runtime.
+
+The subsystem has two halves: :mod:`repro.faults.plan` describes *what*
+goes wrong (a reproducible, seed-driven schedule of faults), and
+:mod:`repro.faults.injector` executes that schedule against one machine,
+logging every injection.  The chaos campaign harness
+(:mod:`repro.harness.chaos`) sweeps sampled plans over the DRACC suites
+and asserts the stack's recovery guarantees: zero crashes, bounded
+precision loss, unchanged findings on runs whose callback stream was not
+perturbed.
+"""
+
+from .injector import FaultInjector, InjectionRecord
+from .plan import (
+    EVENT_FAULT_KINDS,
+    MAX_CONSECUTIVE_FAILURES,
+    MIN_FAILURE_GAP,
+    FaultKind,
+    FaultPlan,
+    PlannedFault,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "PlannedFault",
+    "FaultInjector",
+    "InjectionRecord",
+    "EVENT_FAULT_KINDS",
+    "MAX_CONSECUTIVE_FAILURES",
+    "MIN_FAILURE_GAP",
+]

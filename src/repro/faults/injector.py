@@ -1,0 +1,189 @@
+"""The fault injector: executes a :class:`~repro.faults.plan.FaultPlan`.
+
+One injector instance is wired into one :class:`~repro.openmp.runtime.Machine`
+(``Machine(faults=...)``) and consulted at the four injection sites:
+
+* :meth:`alloc_attempt` — from ``Device.malloc`` on accelerators;
+* :meth:`transfer_attempt` — from the runtime's OV↔CV transfer loop;
+* :meth:`perturb_data_op` — from ``ToolBus.publish_data_op`` (the OMPT
+  callback layer; drop / duplicate / reorder);
+* :meth:`kernel_launch` — from ``TargetRuntime.target`` (spurious resets).
+
+Every *triggered* injection is appended to :attr:`FaultInjector.log`, the
+reproducible schedule log a chaos campaign stores next to its results; the
+:attr:`stats` counter aggregates accounting the runtime reports back
+(backoff ticks, latency ticks, reset recoveries).  Planned faults whose
+site index the run never reached are listed by :meth:`untriggered`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from .plan import EVENT_FAULT_KINDS, FaultKind, FaultPlan, PlannedFault
+
+__all__ = ["FaultInjector", "InjectionRecord"]
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One triggered injection, for the schedule log."""
+
+    kind: FaultKind
+    #: Occurrence index of the site that fired.
+    site: int
+    #: Human-readable context ("device 1 malloc of 512 bytes", ...).
+    detail: str = ""
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind.value, "site": self.site, "detail": self.detail}
+
+
+class FaultInjector:
+    """Deterministic execution of one fault plan against one machine."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.log: list[InjectionRecord] = []
+        self.stats: Counter = Counter()
+        # Attempt counters, one per site class.
+        self.alloc_attempts = 0
+        self.transfer_attempts = 0
+        self.data_ops = 0
+        self.kernel_launches = 0
+        # Expanded site maps: a failure fault with times=t occupies t
+        # consecutive attempt indices.
+        self._alloc_fail: dict[int, PlannedFault] = {}
+        self._transfer_fail: dict[int, PlannedFault] = {}
+        self._latency: dict[int, PlannedFault] = {}
+        self._event_action: dict[int, PlannedFault] = {}
+        self._reset_at: dict[int, PlannedFault] = {}
+        self._triggered: set[PlannedFault] = set()
+        self._held_op: object | None = None
+        for fault in plan.faults:
+            if fault.kind is FaultKind.ALLOC_OOM:
+                for i in range(fault.index, fault.index + fault.times):
+                    self._alloc_fail[i] = fault
+            elif fault.kind is FaultKind.TRANSFER_FAIL:
+                for i in range(fault.index, fault.index + fault.times):
+                    self._transfer_fail[i] = fault
+            elif fault.kind is FaultKind.LATENCY_SPIKE:
+                self._latency[fault.index] = fault
+            elif fault.kind in EVENT_FAULT_KINDS:
+                self._event_action[fault.index] = fault
+            elif fault.kind is FaultKind.DEVICE_RESET:
+                self._reset_at[fault.index] = fault
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _fire(self, fault: PlannedFault, site: int, detail: str) -> None:
+        self._triggered.add(fault)
+        self.log.append(InjectionRecord(kind=fault.kind, site=site, detail=detail))
+        self.stats[fault.kind.value] += 1
+
+    def untriggered(self) -> tuple[PlannedFault, ...]:
+        """Planned faults whose site the run never reached."""
+        return tuple(f for f in self.plan.faults if f not in self._triggered)
+
+    @property
+    def event_faults_triggered(self) -> bool:
+        """Whether any detector-visible (callback stream) fault fired."""
+        return any(r.kind in EVENT_FAULT_KINDS for r in self.log)
+
+    def record_backoff(self, ticks: int) -> None:
+        """The runtime charges its retry backoff wait here."""
+        self.stats["backoff_ticks"] += ticks
+
+    # -- injection sites ---------------------------------------------------
+
+    def alloc_attempt(self, device_id: int, nbytes: int) -> bool:
+        """Whether this device-malloc attempt should fail with OOM."""
+        i = self.alloc_attempts
+        self.alloc_attempts += 1
+        fault = self._alloc_fail.get(i)
+        if fault is None:
+            return False
+        self._fire(fault, i, f"device {device_id} malloc of {nbytes} bytes")
+        return True
+
+    def transfer_attempt(
+        self, device_id: int, kind: str, nbytes: int
+    ) -> tuple[bool, int]:
+        """(should this transfer attempt fail?, extra latency ticks)."""
+        i = self.transfer_attempts
+        self.transfer_attempts += 1
+        latency = 0
+        spike = self._latency.get(i)
+        if spike is not None:
+            latency = spike.ticks
+            self.stats["latency_ticks"] += spike.ticks
+            self._fire(spike, i, f"{kind} of {nbytes} bytes on device {device_id}")
+        fault = self._transfer_fail.get(i)
+        if fault is not None:
+            self._fire(fault, i, f"{kind} of {nbytes} bytes on device {device_id}")
+            return True, latency
+        return False, latency
+
+    def perturb_data_op(self, op: object) -> list[object]:
+        """Apply drop/dup/reorder to one OMPT data-op callback.
+
+        Returns the events to actually deliver *now*, in order.  A held
+        (reordered) predecessor is always appended after the current
+        event's own perturbation, so a single hold slot suffices.
+        """
+        i = self.data_ops
+        self.data_ops += 1
+        fault = self._event_action.get(i)
+        held, self._held_op = self._held_op, None
+        out: list[object]
+        if fault is None:
+            out = [op]
+        elif fault.kind is FaultKind.DROP_EVENT:
+            self._fire(fault, i, f"dropped {type(op).__name__}")
+            out = []
+        elif fault.kind is FaultKind.DUP_EVENT:
+            self._fire(fault, i, f"duplicated {type(op).__name__}")
+            out = [op, op]
+        else:  # REORDER_EVENT
+            self._fire(fault, i, f"held {type(op).__name__} for reordering")
+            self._held_op = op
+            out = []
+        if held is not None:
+            out.append(held)
+        return out
+
+    def drain(self) -> list[object]:
+        """Release any still-held (reordered) event at end of run."""
+        held, self._held_op = self._held_op, None
+        return [] if held is None else [held]
+
+    def kernel_launch(self, device_id: int) -> bool:
+        """Whether a spurious device reset fires before this launch."""
+        i = self.kernel_launches
+        self.kernel_launches += 1
+        fault = self._reset_at.get(i)
+        if fault is None:
+            return False
+        self._fire(fault, i, f"spurious reset of device {device_id}")
+        self.stats["resets"] += 1
+        return True
+
+    def record_reset_recovery(self, device_id: int, nbytes: int) -> None:
+        """The runtime reports how many device bytes it checkpoint-restored."""
+        self.stats["reset_recovered_bytes"] += nbytes
+
+    # -- reporting ---------------------------------------------------------
+
+    def schedule_log(self) -> list[dict]:
+        """JSON-ready form of every triggered injection, in firing order."""
+        return [r.to_json() for r in self.log]
+
+    def summary(self) -> dict:
+        return {
+            "plan": self.plan.to_json(),
+            "triggered": self.schedule_log(),
+            "untriggered": [f.to_json() for f in self.untriggered()],
+            "stats": dict(self.stats),
+        }

@@ -1,0 +1,210 @@
+"""Deterministic fault plans: what goes wrong, where, and how often.
+
+A :class:`FaultPlan` is a *schedule* of adverse runtime behaviour — the
+device allocator running dry, a DMA transfer bouncing, an OMPT callback
+getting lost in flight — pinned to deterministic injection sites so that a
+chaos run is exactly reproducible from its seed.  Sites are *occurrence
+indices*: "the 7th device malloc attempt", "the 3rd published OMPT data
+op", "the 2nd kernel launch".  Counting attempts (rather than wall-clock
+or addresses) keeps the plan independent of timing and layout, which is
+what makes two runs with the same seed byte-identical.
+
+Fault kinds and their injection sites:
+
+======================  =====================================================
+kind                     site semantics
+======================  =====================================================
+``ALLOC_OOM``            the ``index``-th device-malloc attempt fails
+                         (``times`` consecutive attempts; retries re-count)
+``TRANSFER_FAIL``        the ``index``-th transfer attempt fails
+                         (``times`` consecutive attempts)
+``LATENCY_SPIKE``        the ``index``-th transfer attempt costs ``ticks``
+                         extra simulated ticks
+``DROP_EVENT``           the ``index``-th OMPT data-op callback is dropped
+``DUP_EVENT``            the ``index``-th OMPT data-op callback is
+                         delivered twice
+``REORDER_EVENT``        the ``index``-th OMPT data-op callback is held
+                         and delivered after its successor
+``DEVICE_RESET``         a spurious device reset fires before the
+                         ``index``-th kernel launch
+======================  =====================================================
+
+**Recovery guarantee.**  :meth:`FaultPlan.generate` spaces same-class
+failure sites at least :data:`MIN_FAILURE_GAP` attempts apart and caps
+``times`` at :data:`MAX_CONSECUTIVE_FAILURES`, which is strictly below the
+runtime's retry budget (`repro.openmp.runtime.MAX_TRANSFER_RETRIES` /
+``MAX_ALLOC_RETRIES``).  Every generated plan is therefore *recoverable*:
+retry-with-backoff always reaches a successful attempt, and a seeded chaos
+campaign can assert zero crashes without weakening the injection.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultKind",
+    "PlannedFault",
+    "FaultPlan",
+    "EVENT_FAULT_KINDS",
+    "MAX_CONSECUTIVE_FAILURES",
+    "MIN_FAILURE_GAP",
+]
+
+
+class FaultKind(enum.Enum):
+    """The injectable adverse behaviours."""
+
+    ALLOC_OOM = "alloc-oom"
+    TRANSFER_FAIL = "transfer-fail"
+    LATENCY_SPIKE = "latency-spike"
+    DROP_EVENT = "drop-event"
+    DUP_EVENT = "dup-event"
+    REORDER_EVENT = "reorder-event"
+    DEVICE_RESET = "device-reset"
+
+
+#: Kinds that perturb the *detector's view* of the run (the OMPT callback
+#: stream) rather than the run itself.  Only these can change findings; the
+#: chaos harness scores precision separately for runs that received none.
+EVENT_FAULT_KINDS = frozenset(
+    {FaultKind.DROP_EVENT, FaultKind.DUP_EVENT, FaultKind.REORDER_EVENT}
+)
+
+#: Upper bound on consecutive failures a single planned fault may cause.
+#: Must stay strictly below the runtime retry budgets (see module docstring).
+MAX_CONSECUTIVE_FAILURES = 2
+
+#: Minimum gap (in attempt indices) between same-class failure faults, so
+#: adjacent faults can never chain into a run longer than the retry budget.
+MIN_FAILURE_GAP = 8
+
+#: Latency spike magnitudes (simulated ticks) the generator draws from.
+LATENCY_TICKS = (50, 200, 1000)
+
+
+@dataclass(frozen=True)
+class PlannedFault:
+    """One scheduled injection."""
+
+    kind: FaultKind
+    #: Occurrence index of the injection site (see module docstring).
+    index: int
+    #: Consecutive attempts affected (ALLOC_OOM / TRANSFER_FAIL only).
+    times: int = 1
+    #: Extra simulated ticks (LATENCY_SPIKE only).
+    ticks: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "index": self.index,
+            "times": self.times,
+            "ticks": self.ticks,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PlannedFault":
+        return cls(
+            kind=FaultKind(data["kind"]),
+            index=data["index"],
+            times=data.get("times", 1),
+            ticks=data.get("ticks", 0),
+        )
+
+
+# Failure-count classes share an attempt counter; faults of the same class
+# must keep their MIN_FAILURE_GAP spacing.  Event faults share the data-op
+# sequence and only need distinct indices.
+_SITE_CLASS = {
+    FaultKind.ALLOC_OOM: "alloc",
+    FaultKind.TRANSFER_FAIL: "transfer",
+    FaultKind.LATENCY_SPIKE: "transfer-latency",
+    FaultKind.DROP_EVENT: "data-op",
+    FaultKind.DUP_EVENT: "data-op",
+    FaultKind.REORDER_EVENT: "data-op",
+    FaultKind.DEVICE_RESET: "kernel",
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of planned faults."""
+
+    seed: int
+    faults: tuple[PlannedFault, ...]
+
+    def by_kind(self, kind: FaultKind) -> tuple[PlannedFault, ...]:
+        return tuple(f for f in self.faults if f.kind is kind)
+
+    @property
+    def has_event_faults(self) -> bool:
+        return any(f.kind in EVENT_FAULT_KINDS for f in self.faults)
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [f.to_json() for f in self.faults],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        return cls(
+            seed=data["seed"],
+            faults=tuple(PlannedFault.from_json(f) for f in data["faults"]),
+        )
+
+    def canonical(self) -> str:
+        """Canonical serialized form: byte-identical for equal plans."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        n_faults: int = 6,
+        horizon: int = 48,
+        kinds: tuple[FaultKind, ...] = tuple(FaultKind),
+    ) -> "FaultPlan":
+        """Sample a recoverable plan of ``n_faults`` faults from ``seed``.
+
+        ``horizon`` bounds the injection-site indices; sites beyond a run's
+        actual event counts simply never trigger (the injector reports them
+        as untriggered).  Same seed and parameters ⇒ identical plan, down
+        to the byte in :meth:`canonical` form.
+        """
+        rng = random.Random(seed)
+        chosen: list[PlannedFault] = []
+        used: dict[str, list[int]] = {}
+        for _ in range(n_faults):
+            for _attempt in range(32):
+                kind = kinds[rng.randrange(len(kinds))]
+                index = rng.randrange(horizon)
+                site_class = _SITE_CLASS[kind]
+                gap = (
+                    MIN_FAILURE_GAP
+                    if site_class in ("alloc", "transfer")
+                    else 1
+                )
+                if all(abs(index - i) >= gap for i in used.get(site_class, ())):
+                    break
+            else:
+                continue  # horizon too crowded for another fault; skip it
+            used.setdefault(site_class, []).append(index)
+            times = (
+                rng.randint(1, MAX_CONSECUTIVE_FAILURES)
+                if kind in (FaultKind.ALLOC_OOM, FaultKind.TRANSFER_FAIL)
+                else 1
+            )
+            ticks = (
+                LATENCY_TICKS[rng.randrange(len(LATENCY_TICKS))]
+                if kind is FaultKind.LATENCY_SPIKE
+                else 0
+            )
+            chosen.append(PlannedFault(kind=kind, index=index, times=times, ticks=ticks))
+        chosen.sort(key=lambda f: (f.kind.value, f.index))
+        return cls(seed=seed, faults=tuple(chosen))

@@ -1,6 +1,12 @@
 """Experiment harnesses regenerating the paper's evaluation artifacts."""
 
 from .casestudy import CaseStudyResult, run_case_study
+from .chaos import (
+    CHAOS_SUITES,
+    MAX_EVENT_FAULT_DIVERGENCE,
+    run_chaos,
+    run_chaos_campaign,
+)
 from .overhead import (
     CONFIGS,
     Measurement,
@@ -38,6 +44,10 @@ __all__ = [
     "CONFIGS",
     "run_case_study",
     "CaseStudyResult",
+    "run_chaos",
+    "run_chaos_campaign",
+    "CHAOS_SUITES",
+    "MAX_EVENT_FAULT_DIVERGENCE",
     "render_table",
     "render_ratio_chart",
 ]

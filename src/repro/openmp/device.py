@@ -30,7 +30,7 @@ import numpy as np
 from ..events.records import AllocationEvent
 from ..memory.allocator import Allocator, Extent
 from ..memory.buffer import RawBuffer
-from ..memory.errors import InvalidFreeError
+from ..memory.errors import InvalidFreeError, OutOfMemoryError
 from ..memory.layout import window_for_device
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -67,7 +67,22 @@ class Device:
         fill: int | None = None,
         label: str = "",
     ) -> RawBuffer:
-        """Allocate device memory, publishing the allocation to tools."""
+        """Allocate device memory, publishing the allocation to tools.
+
+        When a fault injector is wired into the machine, an accelerator
+        malloc attempt may fail with an injected :class:`OutOfMemoryError`
+        *before* any state changes or events — the caller's retry loop
+        (see ``TargetRuntime``) simply calls again.
+        """
+        faults = self.machine.faults
+        if (
+            faults is not None
+            and self.device_id != 0
+            and faults.alloc_attempt(self.device_id, nbytes)
+        ):
+            raise OutOfMemoryError(
+                f"injected OOM: device {self.device_id} malloc of {nbytes} bytes"
+            )
         extent = self.allocator.alloc(nbytes)
         buf = RawBuffer(extent, self.device_id, fill=fill)
         self.buffers[extent.base] = buf
@@ -121,6 +136,27 @@ class Device:
     @property
     def live_bytes(self) -> int:
         return self.allocator.live_bytes
+
+    # -- fault recovery -------------------------------------------------------
+
+    def spurious_reset(self) -> int:
+        """Survive a spurious device reset via checkpoint/restore.
+
+        Models a driver-level device reset that the runtime recovers from
+        transparently: live buffer contents are checkpointed, the device
+        memory is scrambled to the garbage pattern (the reset), and the
+        checkpoint is restored.  No events are published — the recovery is
+        below the OMPT layer, so analysis tools (and hence findings) are
+        unaffected; only the injector's accounting sees it.  Returns the
+        number of bytes restored.
+        """
+        restored = 0
+        for buf in self.buffers.values():
+            checkpoint = buf.data.copy()
+            buf.data[:] = GARBAGE_BYTE
+            buf.data[:] = checkpoint
+            restored += len(checkpoint)
+        return restored
 
     # -- loose (undefined-behaviour) access -----------------------------------
 

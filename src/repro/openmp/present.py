@@ -114,6 +114,43 @@ class PresentTable:
         self._bases.insert(i, entry.ov_address)
         self._entries[entry.ov_address] = entry
 
+    def check_invariants(self) -> list[str]:
+        """Validate table consistency; returns human-readable violations.
+
+        The invariants a healthy table upholds — and the ones the chaos
+        harness asserts after every faulted run:
+
+        * every reference count is ≥ 0;
+        * bases are strictly sorted and match the entry map exactly;
+        * entries do not overlap.
+        """
+        problems: list[str] = []
+        if sorted(self._bases) != self._bases or len(set(self._bases)) != len(
+            self._bases
+        ):
+            problems.append(f"device {self.device_id}: bases not strictly sorted")
+        if set(self._bases) != set(self._entries):
+            problems.append(
+                f"device {self.device_id}: base list and entry map disagree"
+            )
+        prev: PresentEntry | None = None
+        for base in self._bases:
+            entry = self._entries.get(base)
+            if entry is None:
+                continue
+            if entry.ref_count < 0:
+                problems.append(
+                    f"device {self.device_id}: entry '{entry.name}' has "
+                    f"negative ref_count {entry.ref_count}"
+                )
+            if prev is not None and prev.ov_end > entry.ov_address:
+                problems.append(
+                    f"device {self.device_id}: entries '{prev.name}' and "
+                    f"'{entry.name}' overlap"
+                )
+            prev = entry
+        return problems
+
     def remove(self, entry: PresentEntry) -> None:
         try:
             self._bases.remove(entry.ov_address)

@@ -29,7 +29,7 @@ OMPT-less detectors can be compared on equal footing.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Iterable, Iterator, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence, Union
 
 import numpy as np
 
@@ -44,7 +44,13 @@ from ..events.records import (
     SyncEvent,
 )
 from ..events.source import SourceStack
-from ..memory.errors import DeviceError, MappingError
+from ..memory.buffer import RawBuffer
+from ..memory.errors import (
+    DeviceError,
+    MappingError,
+    OutOfMemoryError,
+    TransferError,
+)
 from .arrays import HostArray, KernelContext
 from .device import Device, HostDevice, UnifiedDevice
 from .maptypes import (
@@ -60,8 +66,18 @@ from .present import PresentEntry
 from .scheduler import Schedule, Scheduler
 from .tasks import TaskGraph
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
+
 Kernel = Callable[[KernelContext], None]
 Section = Union[HostArray, tuple]  # HostArray or (HostArray, start, count)
+
+#: Retry budgets for injected (or real but transient) device failures.
+#: Strictly larger than any consecutive-failure run a generated
+#: :class:`~repro.faults.plan.FaultPlan` can produce — the recovery
+#: guarantee the chaos campaign's zero-crash assertion rests on.
+MAX_TRANSFER_RETRIES = 4
+MAX_ALLOC_RETRIES = 4
 
 
 class Machine:
@@ -74,10 +90,13 @@ class Machine:
         unified: bool = False,
         schedule: Schedule = Schedule.EAGER,
         seed: int = 0,
+        faults: "FaultInjector | None" = None,
     ):
         if n_devices < 1:
             raise DeviceError("a machine needs at least one accelerator")
         self.bus = ToolBus()
+        self.faults = faults
+        self.bus.chaos = faults
         self.source = SourceStack()
         self.host = HostDevice(0, self)
         self.devices: dict[int, Device] = {0: self.host}
@@ -199,8 +218,9 @@ class TargetRuntime:
             if dev.unified:
                 cv_address = arr.base
             else:
-                cv_address = dev.malloc(
-                    arr.nbytes, storage="global", fill=0, label=f"{arr.name}(image)"
+                cv_address = self._device_malloc(
+                    dev, arr.nbytes, storage="global", fill=0,
+                    label=f"{arr.name}(image)",
                 ).base
             dev.present.insert(
                 PresentEntry(
@@ -266,6 +286,10 @@ class TargetRuntime:
 
         def body() -> None:
             stack = machine.source.snapshot()
+            if machine.faults is not None and machine.faults.kernel_launch(device):
+                # Spurious device reset before launch; the runtime recovers
+                # by checkpoint/restore, invisibly to the program and tools.
+                machine.faults.record_reset_recovery(device, dev.spurious_reset())
             for spec in maps:
                 self._map_entry(dev, spec)
             machine.bus.publish_kernel(
@@ -390,6 +414,9 @@ class TargetRuntime:
     def finalize(self) -> None:
         """End of the simulated program: implicit final synchronization."""
         self.machine.tasks.taskwait()
+        # A chaos injector may still hold a reordered OMPT callback; program
+        # end delivers it (nothing can reorder past the final sync).
+        self.machine.bus.flush_chaos()
 
     # -- source annotation ----------------------------------------------------
 
@@ -405,17 +432,37 @@ class TargetRuntime:
             raise MappingError(
                 f"map-type '{spec.map_type.value}' has no entry semantics"
             )
-        machine = self.machine
         entry = dev.present.lookup(spec.ov_address, spec.nbytes)
         if entry is not None:
             # Already present: just bump the count.  No transfer — this is
             # the semantics OMPT-less tools cannot see.
             entry.ref_count += 1
             return
+        # Install-then-transfer, with rollback: if the entry transfer fails
+        # past the retry budget, the present-table entry and its CV are
+        # rolled back (DELETE published, so tools stay consistent) and the
+        # whole structured-map entry is replayed once from scratch.
+        for replay in (False, True):
+            entry = self._install_entry(dev, spec)
+            if not (eff.copies_to_device and not dev.unified):
+                return
+            try:
+                self._transfer(dev, entry, DataOpKind.H2D)
+                return
+            except TransferError:
+                self._rollback_entry(dev, entry)
+                if replay:
+                    raise
+
+    def _install_entry(self, dev: Device, spec: MapSpec) -> PresentEntry:
+        """Allocate the CV, insert the present entry, publish the ALLOC."""
+        machine = self.machine
         if dev.unified:
             cv_address = spec.ov_address
         else:
-            cv_address = dev.malloc(spec.nbytes, label=f"{spec.array.name}(CV)").base
+            cv_address = self._device_malloc(
+                dev, spec.nbytes, label=f"{spec.array.name}(CV)"
+            ).base
         entry = PresentEntry(
             ov_address=spec.ov_address,
             nbytes=spec.nbytes,
@@ -437,8 +484,46 @@ class TargetRuntime:
                 stack=machine.source.snapshot(),
             )
         )
-        if eff.copies_to_device and not dev.unified:
-            self._transfer(dev, entry, DataOpKind.H2D)
+        return entry
+
+    def _rollback_entry(self, dev: Device, entry: PresentEntry) -> None:
+        """Undo a failed structured-map entry: table, tools, CV storage.
+
+        The DELETE data op is published so attached detectors unwind their
+        mapping state exactly as for a normal unmap; the VSM net effect of
+        an ALLOC/DELETE pair with no transfer in between is a no-op.
+        """
+        dev.present.remove(entry)
+        self.machine.bus.publish_data_op(
+            DataOp(
+                kind=DataOpKind.DELETE,
+                device_id=dev.device_id,
+                thread_id=self.machine.current_thread,
+                ov_address=entry.ov_address,
+                cv_address=entry.cv_address,
+                nbytes=entry.nbytes,
+                stack=self.machine.source.snapshot(),
+            )
+        )
+        if not dev.unified:
+            dev.free(entry.cv_address)
+
+    def _device_malloc(self, dev: Device, nbytes: int, **kwargs) -> "RawBuffer":
+        """Device malloc with retry-with-backoff over transient OOM.
+
+        Injected OOM faults are transient by plan construction; real
+        allocator exhaustion persists through all retries and propagates.
+        """
+        attempt = 0
+        while True:
+            try:
+                return dev.malloc(nbytes, **kwargs)
+            except OutOfMemoryError:
+                attempt += 1
+                if attempt > MAX_ALLOC_RETRIES:
+                    raise
+                if self.machine.faults is not None:
+                    self.machine.faults.record_backoff(1 << attempt)
 
     def _map_exit(self, dev: Device, spec: MapSpec) -> None:
         eff = exit_effect(spec.map_type)
@@ -519,6 +604,25 @@ class TargetRuntime:
             dst_dev, dst_buf, dst_addr = 0, ov_buf, ov_address
         else:  # pragma: no cover - callers only pass motion kinds
             raise ValueError(f"not a transfer kind: {kind}")
+        # Retry-with-backoff over transient (injected) transfer failures.
+        # Failed attempts happen below the event layer: nothing is published
+        # until the copy actually lands, so recovered faults are invisible
+        # to tools and findings.
+        faults = machine.faults
+        attempt = 0
+        while faults is not None:
+            fail, _latency = faults.transfer_attempt(
+                dev.device_id, kind.value, nbytes
+            )
+            if not fail:
+                break
+            attempt += 1
+            if attempt > MAX_TRANSFER_RETRIES:
+                raise TransferError(
+                    f"{kind.value} of {nbytes} bytes on device {dev.device_id} "
+                    f"failed after {attempt} attempts"
+                )
+            faults.record_backoff(1 << attempt)
         dst_buf.copy_from(
             src_buf,
             dst_offset=dst_addr - dst_buf.base,

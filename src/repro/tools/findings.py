@@ -32,6 +32,9 @@ class FindingKind(enum.Enum):
     BAD_FREE = "invalid-free"
     #: Wild access outside any allocation (Valgrind's "invalid read/write").
     WILD = "invalid-access"
+    #: A tool's own handler failed and was isolated by the bus; the run
+    #: continued but that tool's analysis state may be degraded.
+    TOOL_ERROR = "tool-error"
 
 
 #: Kinds that count as *data mapping issues* for the Table III precision

@@ -1,0 +1,106 @@
+"""Detector hardening: quarantine transitions, invariants, shadow budget."""
+
+from repro.core import Arbalest
+from repro.dracc import get
+from repro.events import AllocationEvent, DataOp, DataOpKind
+from repro.memory import BASE_ADDRESS
+from repro.openmp import TargetRuntime
+from repro.tools import FindingKind
+
+OV = BASE_ADDRESS
+CV = BASE_ADDRESS + (1 << 33)
+
+
+def detector_with_host_block(nbytes=64):
+    d = Arbalest()
+    d.on_allocation(
+        AllocationEvent(
+            device_id=0, thread_id=0, address=OV, nbytes=nbytes,
+            is_free=False, label="a",
+        )
+    )
+    return d
+
+
+def alloc_op(cv=CV, nbytes=64, device=1):
+    return DataOp(
+        kind=DataOpKind.ALLOC, device_id=device, thread_id=0,
+        ov_address=OV, cv_address=cv, nbytes=nbytes,
+    )
+
+
+class TestQuarantine:
+    def test_duplicate_alloc_absorbed_idempotently(self):
+        d = detector_with_host_block()
+        d.on_data_op(alloc_op())
+        d.on_data_op(alloc_op())  # duplicated OMPT callback
+        assert len(d.mappings) == 1
+        assert [q["reason"] for q in d.quarantine_log] == ["duplicate-alloc"]
+        assert d.check_invariants() == []
+
+    def test_conflicting_alloc_newest_wins(self):
+        d = detector_with_host_block()
+        d.on_data_op(alloc_op(cv=CV, nbytes=64))
+        d.on_data_op(alloc_op(cv=CV + 8, nbytes=64))  # overlaps, not equal
+        assert len(d.mappings) == 1
+        assert d.mappings.find(CV + 16).cv_base == CV + 8
+        assert [q["reason"] for q in d.quarantine_log] == ["conflicting-alloc"]
+        assert "evicted 1" in d.quarantine_log[0]["detail"]
+        assert d.check_invariants() == []
+
+    def test_unmatched_delete_reported_not_crashed(self):
+        d = detector_with_host_block()
+        d.on_data_op(
+            DataOp(
+                kind=DataOpKind.DELETE, device_id=1, thread_id=0,
+                ov_address=OV, cv_address=CV, nbytes=64,
+            )
+        )
+        assert [q["reason"] for q in d.quarantine_log] == ["unmatched-delete"]
+        assert [f.kind for f in d.findings] == [FindingKind.BAD_FREE]
+        assert d.check_invariants() == []
+
+    def test_degradation_stats_and_reset(self):
+        d = detector_with_host_block()
+        d.on_data_op(alloc_op())
+        d.on_data_op(alloc_op())
+        assert d.degradation_stats()["quarantined_events"] == 1
+        d.reset()
+        assert d.quarantine_log == []
+
+
+class TestInvariants:
+    def test_clean_run_has_no_violations(self):
+        rt = TargetRuntime(n_devices=2)
+        d = Arbalest().attach(rt.machine)
+        get(22).run(rt)
+        assert d.check_invariants() == []
+
+    def test_present_table_invariants_surface(self):
+        rt = TargetRuntime(n_devices=2)
+        d = Arbalest().attach(rt.machine)
+        a = rt.array("a", 8)
+        from repro.openmp import to
+
+        rt.target_enter_data([to(a)], device=1)
+        entry = rt.machine.devices[1].present.lookup(a.base)
+        entry.ref_count = -1  # corrupt deliberately
+        assert any("ref_count" in p for p in d.check_invariants())
+
+
+class TestShadowBudget:
+    def test_over_budget_blocks_coarsen_not_crash(self):
+        d = Arbalest(shadow_budget_bytes=64)
+        for i in range(4):
+            d.on_allocation(
+                AllocationEvent(
+                    device_id=0, thread_id=0, address=OV + i * 4096,
+                    nbytes=512, is_free=False, label=f"a{i}",
+                )
+            )
+        stats = d.degradation_stats()
+        assert stats["coarsened_blocks"] > 0
+        assert stats["coarsened_bytes"] > 0
+        # Coarsened blocks still answer lookups (at whole-block granularity).
+        assert d.shadows.find(OV + 3 * 4096 + 100) is not None
+        assert d.check_invariants() == []

@@ -1,5 +1,7 @@
 """ToolBus: selective dispatch and the native-run fast path."""
 
+import pytest
+
 from repro.events import Access, SyncEvent, ToolBus
 from repro.memory import BASE_ADDRESS
 from repro.tools import Tool
@@ -73,6 +75,55 @@ class TestDispatch:
             bus.attach(t)
         bus.publish_access(make_access())
         assert all(len(t.seen) == 1 for t in tools)
+
+
+class Exploding(Tool):
+    name = "exploding"
+
+    def on_access(self, access):
+        raise RuntimeError("boom")
+
+
+class TestCrashIsolation:
+    def test_detach_never_attached_raises_naming_the_tool(self):
+        bus = ToolBus()
+        with pytest.raises(ValueError, match="'access-only'"):
+            bus.detach(AccessOnly())
+
+    def test_handler_exception_is_contained(self):
+        bus = ToolBus()
+        bad, good = Exploding(), AccessOnly()
+        bus.attach(bad)
+        bus.attach(good)
+        bus.publish_access(make_access())  # must not raise
+        # The healthy tool still received the event.
+        assert len(good.seen) == 1
+        # The failure was recorded against the offender.
+        assert len(bus.errors) == 1
+        record = bus.errors[0]
+        assert record.tool == "exploding"
+        assert record.handler == "on_access"
+        assert "boom" in record.error
+        assert record.to_json()["handler"] == "on_access"
+
+    def test_isolated_failure_files_tool_error_finding(self):
+        from repro.tools import FindingKind
+
+        bus = ToolBus()
+        bad = Exploding()
+        bus.attach(bad)
+        bus.publish_access(make_access())
+        kinds = [f.kind for f in bad.findings]
+        assert kinds == [FindingKind.TOOL_ERROR]
+        assert "on_access" in bad.findings[0].message
+
+    def test_strict_mode_reraises(self):
+        bus = ToolBus()
+        bus.strict = True
+        bus.attach(Exploding())
+        with pytest.raises(RuntimeError, match="boom"):
+            bus.publish_access(make_access())
+        assert not bus.errors
 
 
 class TestToolLifecycle:

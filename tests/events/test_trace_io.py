@@ -20,9 +20,12 @@ from repro.events import (
     SyncEvent,
 )
 from repro.events.trace_io import (
+    TraceDecodeError,
+    TraceWarning,
     TraceWriter,
     event_from_json,
     event_to_json,
+    load_trace,
     read_trace,
     replay,
 )
@@ -106,6 +109,61 @@ class TestRoundTrip:
             writer._emit(event)
         sink.seek(0)
         assert list(read_trace(sink)) == SAMPLE_EVENTS
+
+
+def damaged_trace() -> io.StringIO:
+    """Three good records; the middle one truncated mid-write."""
+    sink = io.StringIO()
+    writer = TraceWriter(sink)
+    for event in SAMPLE_EVENTS[:3]:
+        writer._emit(event)
+    lines = sink.getvalue().splitlines()
+    lines[1] = lines[1][: len(lines[1]) // 2]  # killed mid-write
+    return io.StringIO("\n".join(lines) + "\n")
+
+
+class TestDamagedTraces:
+    def test_load_trace_skips_and_summarizes(self):
+        with pytest.warns(TraceWarning, match="read 2 records, skipped 1"):
+            result = load_trace(damaged_trace())
+        assert not result.ok
+        assert result.records_read == 2
+        assert result.records_skipped == 1
+        assert result.events == [SAMPLE_EVENTS[0], SAMPLE_EVENTS[2]]
+        (line_number, reason) = result.errors[0]
+        assert line_number == 2
+        assert "truncated or corrupt JSON" in reason
+        assert "line 2" in result.summary()
+
+    def test_load_trace_clean_issues_no_warning(self, recwarn):
+        sink = io.StringIO()
+        writer = TraceWriter(sink)
+        for event in SAMPLE_EVENTS:
+            writer._emit(event)
+        sink.seek(0)
+        result = load_trace(sink)
+        assert result.ok
+        assert result.records_read == len(SAMPLE_EVENTS)
+        assert not [w for w in recwarn.list if w.category is TraceWarning]
+
+    def test_read_trace_is_lenient_too(self):
+        with pytest.warns(TraceWarning):
+            events = list(read_trace(damaged_trace()))
+        assert events == [SAMPLE_EVENTS[0], SAMPLE_EVENTS[2]]
+
+    def test_strict_mode_raises_with_line_number(self):
+        with pytest.raises(TraceDecodeError) as exc_info:
+            load_trace(damaged_trace(), strict=True)
+        assert exc_info.value.line_number == 2
+        with pytest.raises(TraceDecodeError):
+            list(read_trace(damaged_trace(), strict=True))
+
+    def test_malformed_record_reported_not_crashed(self):
+        # Valid JSON, wrong shape: a missing field must not raise KeyError.
+        source = io.StringIO('{"t": "access"}\n')
+        with pytest.warns(TraceWarning, match="malformed record"):
+            result = load_trace(source)
+        assert result.records_skipped == 1
 
 
 class TestOfflineEquivalence:

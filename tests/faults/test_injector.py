@@ -1,0 +1,101 @@
+"""The injector: occurrence-index triggering and callback perturbation."""
+
+from repro.faults import FaultInjector, FaultKind, FaultPlan, PlannedFault
+
+
+def plan_of(*faults):
+    return FaultPlan(seed=0, faults=tuple(faults))
+
+
+class TestAllocAndTransferSites:
+    def test_alloc_fails_at_planned_index(self):
+        inj = FaultInjector(plan_of(PlannedFault(FaultKind.ALLOC_OOM, 2)))
+        results = [inj.alloc_attempt(1, 64) for _ in range(4)]
+        assert results == [False, False, True, False]
+
+    def test_times_expands_to_consecutive_attempts(self):
+        inj = FaultInjector(plan_of(PlannedFault(FaultKind.ALLOC_OOM, 1, times=2)))
+        results = [inj.alloc_attempt(1, 64) for _ in range(4)]
+        assert results == [False, True, True, False]
+
+    def test_transfer_fail_and_latency_are_independent_counters(self):
+        inj = FaultInjector(
+            plan_of(
+                PlannedFault(FaultKind.TRANSFER_FAIL, 0),
+                PlannedFault(FaultKind.LATENCY_SPIKE, 1, ticks=200),
+            )
+        )
+        assert inj.transfer_attempt(1, "h2d", 64) == (True, 0)
+        assert inj.transfer_attempt(1, "h2d", 64) == (False, 200)
+        assert inj.stats["latency_ticks"] == 200
+
+    def test_untriggered_lists_unreached_sites(self):
+        far = PlannedFault(FaultKind.ALLOC_OOM, 40)
+        inj = FaultInjector(plan_of(far))
+        inj.alloc_attempt(1, 64)
+        assert inj.untriggered() == (far,)
+
+
+class TestEventPerturbation:
+    def test_drop(self):
+        inj = FaultInjector(plan_of(PlannedFault(FaultKind.DROP_EVENT, 1)))
+        assert inj.perturb_data_op("a") == ["a"]
+        assert inj.perturb_data_op("b") == []
+        assert inj.perturb_data_op("c") == ["c"]
+
+    def test_dup(self):
+        inj = FaultInjector(plan_of(PlannedFault(FaultKind.DUP_EVENT, 0)))
+        assert inj.perturb_data_op("a") == ["a", "a"]
+
+    def test_reorder_holds_then_delivers_after_successor(self):
+        inj = FaultInjector(plan_of(PlannedFault(FaultKind.REORDER_EVENT, 0)))
+        assert inj.perturb_data_op("a") == []
+        assert inj.perturb_data_op("b") == ["b", "a"]
+
+    def test_drain_releases_trailing_held_event(self):
+        inj = FaultInjector(plan_of(PlannedFault(FaultKind.REORDER_EVENT, 0)))
+        assert inj.perturb_data_op("a") == []
+        assert inj.drain() == ["a"]
+        assert inj.drain() == []
+
+    def test_event_faults_triggered_flag(self):
+        inj = FaultInjector(plan_of(PlannedFault(FaultKind.DROP_EVENT, 5)))
+        assert not inj.event_faults_triggered
+        for tag in "abcdef":
+            inj.perturb_data_op(tag)
+        assert inj.event_faults_triggered
+
+
+class TestSchedule:
+    def test_reset_fires_before_planned_launch(self):
+        inj = FaultInjector(plan_of(PlannedFault(FaultKind.DEVICE_RESET, 1)))
+        assert not inj.kernel_launch(1)
+        assert inj.kernel_launch(1)
+        assert inj.stats["resets"] == 1
+
+    def test_log_records_every_triggered_injection(self):
+        inj = FaultInjector(
+            plan_of(
+                PlannedFault(FaultKind.ALLOC_OOM, 0),
+                PlannedFault(FaultKind.DROP_EVENT, 0),
+            )
+        )
+        inj.alloc_attempt(1, 128)
+        inj.perturb_data_op("a")
+        kinds = [r.kind for r in inj.log]
+        assert kinds == [FaultKind.ALLOC_OOM, FaultKind.DROP_EVENT]
+        assert "128 bytes" in inj.log[0].detail
+        assert all(
+            set(entry) == {"kind", "site", "detail"}
+            for entry in inj.schedule_log()
+        )
+
+    def test_summary_partitions_triggered_and_untriggered(self):
+        fired = PlannedFault(FaultKind.ALLOC_OOM, 0)
+        unreached = PlannedFault(FaultKind.DEVICE_RESET, 30)
+        inj = FaultInjector(plan_of(fired, unreached))
+        inj.alloc_attempt(1, 64)
+        summary = inj.summary()
+        assert summary["plan"] == inj.plan.to_json()
+        assert len(summary["triggered"]) == 1
+        assert summary["untriggered"] == [unreached.to_json()]

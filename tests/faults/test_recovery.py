@@ -1,0 +1,118 @@
+"""Runtime recovery under injected faults.
+
+Transparent faults (OOM, transfer failure, latency, reset) must be fully
+absorbed below the OMPT layer: the run completes and the detector's
+findings are byte-identical to an un-faulted baseline.
+"""
+
+import pytest
+
+from repro.core import Arbalest
+from repro.dracc import get
+from repro.faults import FaultInjector, FaultKind, FaultPlan, PlannedFault
+from repro.memory import TransferError
+from repro.openmp import TargetRuntime, to
+from repro.openmp.runtime import MAX_TRANSFER_RETRIES
+
+
+def run_under(number, injector=None):
+    rt = TargetRuntime(n_devices=2, faults=injector)
+    detector = Arbalest().attach(rt.machine)
+    get(number).run(rt)
+    return rt, detector
+
+
+def signature(detector):
+    return sorted(f.dedup_key() for f in detector.findings)
+
+
+def transparent_plan():
+    return FaultPlan(
+        seed=0,
+        faults=(
+            PlannedFault(FaultKind.ALLOC_OOM, 0, times=2),
+            PlannedFault(FaultKind.TRANSFER_FAIL, 0, times=2),
+            PlannedFault(FaultKind.LATENCY_SPIKE, 3, ticks=200),
+            PlannedFault(FaultKind.DEVICE_RESET, 0),
+        ),
+    )
+
+
+class TestTransparentRecovery:
+    # 22 = UUM, 23 = BO, 26 = USD, 1 = clean: one benchmark per effect class.
+    @pytest.mark.parametrize("number", [22, 23, 26, 1])
+    def test_findings_identical_to_baseline(self, number):
+        _, baseline = run_under(number)
+        injector = FaultInjector(transparent_plan())
+        _, faulted = run_under(number, injector)
+        assert injector.log, "plan must actually trigger to prove anything"
+        assert not injector.event_faults_triggered
+        assert signature(faulted) == signature(baseline)
+
+    def test_alloc_oom_retried_and_charged(self):
+        injector = FaultInjector(
+            FaultPlan(seed=0, faults=(PlannedFault(FaultKind.ALLOC_OOM, 0, times=2),))
+        )
+        run_under(22, injector)
+        assert injector.stats["alloc-oom"] == 2
+        assert injector.stats["backoff_ticks"] > 0
+
+    def test_reset_recovery_restores_device_bytes(self):
+        injector = FaultInjector(
+            FaultPlan(seed=0, faults=(PlannedFault(FaultKind.DEVICE_RESET, 0),))
+        )
+        rt = TargetRuntime(n_devices=2, faults=injector)
+        a = rt.array("a", 8)
+        a.fill(1.0)
+        # Map first so the reset (fires before the launch) finds live
+        # device buffers to checkpoint/restore.
+        rt.target_enter_data([to(a)], device=1)
+        rt.target(lambda ctx: None, device=1)
+        rt.finalize()
+        assert injector.stats["resets"] == 1
+        assert injector.stats["reset_recovered_bytes"] > 0
+
+    def test_generated_plans_always_recover(self):
+        # The generator's gap/times bounds guarantee recovery for any seed.
+        for seed in range(8):
+            injector = FaultInjector(FaultPlan.generate(seed))
+            run_under(22, injector)  # must not raise
+
+
+class TestUnrecoverableTransfer:
+    def test_exhausted_retries_roll_back_then_raise(self):
+        # Far beyond the retry budget of install + one replay: both passes
+        # exhaust their attempts, the entry is rolled back, and the error
+        # finally propagates to the program.
+        times = 2 * (MAX_TRANSFER_RETRIES + 1)
+        injector = FaultInjector(
+            FaultPlan(
+                seed=0,
+                faults=(PlannedFault(FaultKind.TRANSFER_FAIL, 0, times=times),),
+            )
+        )
+        rt = TargetRuntime(n_devices=2, faults=injector)
+        a = rt.array("a", 8)
+        with pytest.raises(TransferError):
+            with rt.target_data([to(a)], device=1):
+                pass
+        # Rollback left no half-installed mapping behind.
+        dev = rt.machine.devices[1]
+        assert dev.present.check_invariants() == []
+        assert dev.present.lookup(a.base) is None
+
+
+class TestSeededReproducibility:
+    def test_same_seed_identical_schedule_and_findings(self):
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(FaultPlan.generate(5))
+            _, detector = run_under(25, injector)
+            runs.append(
+                (
+                    injector.plan.canonical(),
+                    injector.schedule_log(),
+                    signature(detector),
+                )
+            )
+        assert runs[0] == runs[1]

@@ -27,8 +27,18 @@ class TestParser:
         assert args.number == 22
 
     def test_preset_validation(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as exc_info:
             build_parser().parse_args(["fig8", "--preset", "huge"])
+        assert exc_info.value.code == 2
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == 0
+        assert args.schedules == 3
+        assert args.faults == 6
+        assert args.suite == "all"
+        assert args.output == "BENCH_chaos.json"
+        assert not args.strict
 
 
 class TestCommands:
@@ -65,6 +75,49 @@ class TestCommands:
         assert main(["table3"]) == 0
         out = capsys.readouterr().out
         assert "matches the published Table III: yes" in out
+
+    def test_dracc_unknown_number_exits_2_with_one_line(self, capsys):
+        assert main(["dracc", "99"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown benchmark 99" in err
+        assert "1..56" in err
+
+    def test_chaos_unknown_suite_exits_2_with_one_line(self, capsys):
+        assert main(["chaos", "--suite", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown suite 'bogus'" in err
+        assert "all, buggy, clean" in err
+
+    def test_chaos_campaign(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "chaos.json"
+        assert main(
+            ["chaos", "--schedules", "1", "--suite", "buggy",
+             "--output", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "crashes: 0" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["ok"]
+        assert payload["crashes"] == []
+
+    def test_chaos_strict_fails_on_warnings(self, capsys, tmp_path):
+        # Seed 0 / schedule 0 on the buggy suite is known to produce
+        # bounded-divergence warnings; --strict turns them into exit 1.
+        out_file = tmp_path / "chaos.json"
+        code = main(
+            ["chaos", "--schedules", "1", "--suite", "buggy", "--strict",
+             "--output", str(out_file)]
+        )
+        captured = capsys.readouterr()
+        if "warning:" in captured.out:
+            assert code == 1
+            assert "--strict" in captured.err
+        else:  # pragma: no cover - depends on the seeded schedule
+            assert code == 0
 
     def test_bench(self, capsys, tmp_path):
         import json
