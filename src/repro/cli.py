@@ -10,7 +10,8 @@
     python -m repro ompsan                 # §VI.G static-vs-dynamic
     python -m repro dracc 22               # one benchmark under all tools
     python -m repro chaos [--seed 0]       # fault-injection campaign -> BENCH_chaos.json
-    python -m repro list                   # inventory
+    python -m repro profile --suite dracc --benchmark 22   # telemetry -> trace.json
+    python -m repro list [--json]          # inventory
 
 Unknown artifact names (a bad ``--preset``, ``--suite``, or DRACC number)
 exit with code 2 and a one-line message listing the valid choices.
@@ -51,7 +52,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     try:
         payload = run_bench(
-            preset=args.preset, repetitions=args.reps, output=args.output
+            preset=args.preset,
+            repetitions=args.reps,
+            output=args.output,
+            telemetry=args.telemetry,
         )
     except OSError as exc:
         print(f"repro bench: error: {exc}", file=sys.stderr)
@@ -73,6 +77,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     consistent = payload["checksums_consistent"]
     print(f"checksums consistent across configs: {'yes' if consistent else 'NO'}")
+    if "telemetry" in payload:
+        counters = payload["telemetry"]["counters"]
+        print(
+            f"telemetry: {len(counters)} counters embedded "
+            f"({sum(counters.values())} events)"
+        )
     print(f"wrote {args.output}")
     return 0 if consistent else 1
 
@@ -142,6 +152,21 @@ def _cmd_dracc(args: argparse.Namespace) -> int:
     if detector.bug_reports:
         print()
         print(detector.render_reports())
+    # Internal accounting: degraded runs must be visible without a debugger.
+    hits, misses = detector.mapping_lookup_stats()
+    total = hits + misses
+    rate = 100.0 * hits / total if total else 0.0
+    print()
+    print(
+        f"arbalest internals: mapping lookups {hits} fast-path / "
+        f"{misses} tree descents ({rate:.1f}% cached)"
+    )
+    degradation = detector.degradation_stats()
+    print(
+        "  degradation: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(degradation.items()))
+        + ("" if any(degradation.values()) else " (healthy)")
+    )
     return 0
 
 
@@ -162,6 +187,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             faults_per_schedule=args.faults,
             suite=args.suite,
             output=args.output,
+            telemetry=args.telemetry,
         )
     except OSError as exc:
         print(f"repro chaos: error: {exc}", file=sys.stderr)
@@ -189,6 +215,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     for warning in payload["warnings"]:
         print(f"  warning: {warning}")
+    if "telemetry" in payload:
+        counters = payload["telemetry"]["counters"]
+        recovery = {
+            k: v
+            for k, v in counters.items()
+            if "retries" in k or "rollback" in k or "quarantine" in k
+        }
+        print(
+            f"  telemetry: {len(counters)} counters embedded; recovery: "
+            + (", ".join(f"{k}={v}" for k, v in sorted(recovery.items())) or "none")
+        )
     print(f"wrote {args.output}")
     if not payload["ok"]:
         print("chaos campaign FAILED: recovery guarantee violated", file=sys.stderr)
@@ -203,10 +240,71 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .harness import PROFILE_CLOCKS, PROFILE_SUITES, run_profile
+    from .telemetry import render_self_time_table
+
+    if args.suite not in PROFILE_SUITES:
+        print(
+            f"repro profile: error: unknown suite {args.suite!r} "
+            f"(valid choices: {', '.join(PROFILE_SUITES)})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        payload = run_profile(
+            suite=args.suite,
+            benchmark=args.benchmark,
+            workload=args.workload,
+            preset=args.preset,
+            clock=args.clock,
+            output=args.output,
+            metrics_output=args.metrics,
+        )
+    except KeyError:
+        what = (
+            f"benchmark {args.benchmark} (valid choices: 1..56)"
+            if args.suite == "dracc"
+            else f"workload {args.workload!r} (see 'repro list')"
+        )
+        print(f"repro profile: error: unknown {what}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro profile: error: {exc}", file=sys.stderr)
+        return 2
+    telemetry = payload["telemetry"]
+    print(
+        f"profiled {payload['target']} under arbalest "
+        f"(clock={payload['clock']}, {payload['span_count']} spans across "
+        f"layers: {', '.join(payload['span_layers'])})"
+    )
+    print()
+    print(render_self_time_table(telemetry))
+    snapshot = payload["snapshot"]
+    gauges = snapshot["gauges"]
+    print()
+    print(
+        f"counters: {len(snapshot['counters'])}  findings: {payload['findings']}  "
+        f"lookup hits/misses: {gauges.get('detector.lookup_hits', 0)}/"
+        f"{gauges.get('detector.lookup_misses', 0)}  "
+        f"quarantined: {gauges.get('detector.quarantined_events', 0)}"
+    )
+    print(f"wrote {args.output}" + (f" and {args.metrics}" if args.metrics else ""))
+    print("open the trace in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from .dracc import all_benchmarks
     from .specaccel import WORKLOADS
 
+    if args.json:
+        import json
+
+        from .harness import inventory
+
+        print(json.dumps(inventory(), indent=2, sort_keys=True))
+        return 0
     print("DRACC benchmarks:")
     for b in all_benchmarks():
         effect = b.expected_effect.name if b.expected_effect else "     "
@@ -240,6 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--preset", default="train", choices=("test", "train", "ref"))
     pb.add_argument("--reps", type=int, default=3)
     pb.add_argument("--output", default="BENCH_fig8.json")
+    pb.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="measure inside a telemetry scope and embed the metric snapshot",
+    )
     pb.set_defaults(fn=_cmd_bench)
 
     p9 = sub.add_parser("fig9", help="Fig 9: memory usage on SPEC ACCEL")
@@ -273,11 +376,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat chaos warnings (bounded divergence) as failures",
     )
+    px.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="run inside a telemetry scope and embed the metric snapshot",
+    )
     px.set_defaults(fn=_cmd_chaos)
 
-    sub.add_parser("list", help="inventory of benchmarks and workloads").set_defaults(
-        fn=_cmd_list
+    pp = sub.add_parser(
+        "profile", help="one workload with full telemetry -> trace.json"
     )
+    # Suite/benchmark/workload are validated by hand for one-line errors.
+    pp.add_argument("--suite", default="dracc")
+    pp.add_argument("--benchmark", type=int, default=22)
+    pp.add_argument("--workload", default="postencil")
+    pp.add_argument("--preset", default="test", choices=("test", "train", "ref"))
+    pp.add_argument("--clock", default="ordinal", choices=("ordinal", "wall"))
+    pp.add_argument("--output", default="trace.json")
+    pp.add_argument(
+        "--metrics",
+        default=None,
+        help="also write the metric snapshot JSON to this path",
+    )
+    pp.set_defaults(fn=_cmd_profile)
+
+    pl = sub.add_parser("list", help="inventory of benchmarks and workloads")
+    pl.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable inventory (for scripts/CI)",
+    )
+    pl.set_defaults(fn=_cmd_list)
     return parser
 
 

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..memory.layout import GRANULE
+from ..telemetry import registry as _telemetry
 from ..tools.archer import RaceEngine
 from ..tools.base import Tool
 from ..tools.findings import Finding, FindingKind
@@ -190,6 +191,25 @@ class Arbalest(Tool):
     # -- OMPT data operations ------------------------------------------------
 
     def on_data_op(self, op: "DataOp") -> None:
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            with telemetry.span(
+                "detector",
+                f"data_op:{op.kind.value}",
+                tid=op.thread_id,
+                device=op.device_id,
+                nbytes=op.nbytes,
+            ):
+                self._handle_data_op(op)
+            telemetry.gauge("detector.live_mappings", len(self.mappings))
+            telemetry.gauge("detector.shadow_bytes", self.shadows.shadow_bytes)
+            hits, misses = self.mapping_lookup_stats()
+            telemetry.gauge("detector.lookup_hits", hits)
+            telemetry.gauge("detector.lookup_misses", misses)
+            return
+        self._handle_data_op(op)
+
+    def _handle_data_op(self, op: "DataOp") -> None:
         self._invalidate_lookup_caches()
         unified = op.cv_address == op.ov_address
         if op.kind.value == "alloc":
@@ -256,6 +276,8 @@ class Arbalest(Tool):
 
     def _quarantine(self, reason: str, op: "DataOp", detail: str = "") -> None:
         """Log one quarantined event (impossible per current bookkeeping)."""
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count(f"detector.quarantine.{reason}")
         self.quarantine_log.append(
             {
                 "reason": reason,
@@ -281,9 +303,14 @@ class Arbalest(Tool):
     # ------------------------------------------------------------------
 
     def on_access(self, access: "Access") -> None:
+        telemetry = _telemetry.ACTIVE
         if access.device_id == 0:
+            if telemetry is not None:
+                telemetry.count("detector.accesses.host")
             self._host_access(access)
         else:
+            if telemetry is not None:
+                telemetry.count("detector.accesses.device")
             self._device_access(access)
         if self.race_engine is not None:
             self._race_check(access)

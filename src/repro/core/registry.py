@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..telemetry import registry as _telemetry
 from .interval_tree import IntervalTree
 from .shadow import ShadowBlock
 
@@ -185,6 +186,11 @@ class ShadowRegistry:
                 granule = max(granule, nbytes)
                 self.coarsened_blocks += 1
                 self.coarsened_bytes += nbytes
+                if _telemetry.ACTIVE is not None:
+                    _telemetry.ACTIVE.count("detector.shadow_coarsenings")
+                    _telemetry.ACTIVE.observe(
+                        "detector.coarsened_block_bytes", nbytes
+                    )
         block = ShadowBlock(base, nbytes, granule=granule, label=label)
         self._tree.insert(base, base + nbytes, block)
         self._total_shadow += block.shadow_nbytes

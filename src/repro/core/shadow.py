@@ -36,6 +36,7 @@ import numpy as np
 
 from ..memory.errors import ShadowEncodingError
 from ..memory.layout import GRANULE
+from ..telemetry import registry as _telemetry
 from .states import ILLEGAL, TRANSITIONS, VsmOp, VsmState
 
 # -- Table II bit positions --------------------------------------------------
@@ -138,6 +139,19 @@ ILLEGAL_LUT_PY: list[list[bool]] = [
 _OV_INIT_INT = 1 << BIT_OV_INIT
 _CV_INIT_INT = 1 << BIT_CV_INIT
 
+# Telemetry counter names for every (op, old-state) pair, precomputed so
+# enabled-mode accounting on the access hot path allocates no strings.  The
+# new state is a function of (op, old state), so the pair names the full
+# transition edge.
+_TRANSITION_KEYS: list[list[str]] = [
+    [
+        f"vsm.{op.name.lower()}.{VsmState(st).name}->"
+        f"{VsmState(TRANS_LUT_PY[op][st]).name}"
+        for st in range(4)
+    ]
+    for op in VsmOp
+]
+
 
 def _step_word(w: int, op: VsmOp) -> tuple[int, bool, bool]:
     """One Table-II transition on a plain-int shadow word.
@@ -239,11 +253,22 @@ class ShadowBlock:
                 w0 = self.words[idx]
                 n = len(w0)
                 if n and bool((w0 == w0[0]).all()):
-                    new_w, ill, uni = _step_word(int(w0[0]), op)
+                    old = int(w0[0])
+                    new_w, ill, uni = _step_word(old, op)
                     self.words[idx] = new_w
+                    telemetry = _telemetry.ACTIVE
+                    if telemetry is not None:
+                        telemetry.count(_TRANSITION_KEYS[op][old & 0b11], n)
                     return np.full(n, ill), np.full(n, uni)
         w = self.words[idx]
         st = (w & MASK_STATE).astype(np.intp)
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            counts = np.bincount(st, minlength=4)
+            keys = _TRANSITION_KEYS[op]
+            for state_code in range(4):
+                if counts[state_code]:
+                    telemetry.count(keys[state_code], int(counts[state_code]))
         illegal = ILLEGAL_LUT[op][st]
         if op is VsmOp.READ_HOST:
             uninit = illegal & ((w >> np.uint64(BIT_OV_INIT)) & _U64_1 == 0)
@@ -275,8 +300,12 @@ class ShadowBlock:
         but returns plain bools and touches numpy only to load/store the one
         word.  ``device_id`` is ignored exactly as in :meth:`apply`.
         """
-        new_w, illegal, uninit = _step_word(int(self.words[i]), op)
+        old = int(self.words[i])
+        new_w, illegal, uninit = _step_word(old, op)
         self.words[i] = new_w
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            telemetry.count(_TRANSITION_KEYS[op][old & 0b11])
         return illegal, uninit
 
     def record_access(

@@ -21,12 +21,21 @@ Two robustness roles ride on top of dispatch:
   is wired in via :attr:`ToolBus.chaos`, the OMPT data-op callback stream
   may be perturbed (dropped/duplicated/reordered events) before delivery.
   Only the tools' *view* changes; the simulated program is untouched.
+
+When a telemetry registry is active (:data:`repro.telemetry.registry.ACTIVE`)
+the bus additionally traces its fan-out: every non-access publish wraps each
+tool handler in a ``bus``-category span, access publishes are counted (one
+span per access would dwarf the trace), and isolated handler failures bump
+per-(tool, handler) error counters.  With telemetry disabled each publish
+pays one attribute check and nothing else.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
+
+from ..telemetry import registry as _telemetry
 
 from .records import (
     Access,
@@ -126,9 +135,13 @@ class ToolBus:
         """Contain one handler failure: record it, file a TOOL_ERROR finding."""
         if self.strict:
             raise exc
+        tool_name = getattr(tool, "name", type(tool).__name__)
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            telemetry.count(f"bus.tool_errors.{tool_name}.{handler}")
         self.errors.append(
             ToolErrorRecord(
-                tool=getattr(tool, "name", type(tool).__name__),
+                tool=tool_name,
                 handler=handler,
                 error=f"{type(exc).__name__}: {exc}",
             )
@@ -152,7 +165,28 @@ class ToolBus:
 
     # -- dispatch -----------------------------------------------------------
 
+    def _publish_instrumented(
+        self, tools: tuple["Tool", ...], handler: str, event
+    ) -> None:
+        """Telemetry-enabled fan-out: one ``bus`` span per tool handler."""
+        telemetry = _telemetry.ACTIVE
+        telemetry.count(f"bus.events.{handler}")
+        tid = getattr(event, "thread_id", 0)
+        for tool in tools:
+            name = getattr(tool, "name", type(tool).__name__)
+            with telemetry.span("bus", f"{name}.{handler}", tid=tid):
+                try:
+                    getattr(tool, handler)(event)
+                except Exception as exc:
+                    self._tool_error(tool, handler, exc)
+
     def publish_access(self, access: Access) -> None:
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            # Counters, not spans: accesses are the hot path, and a span per
+            # access would bury every other event in the trace.
+            telemetry.count("bus.events.on_access")
+            telemetry.count("bus.access_fanout", len(self._access))
         for tool in self._access:
             try:
                 tool.on_access(access)
@@ -167,6 +201,9 @@ class ToolBus:
             self._fan_out_data_op(op)
 
     def _fan_out_data_op(self, op: DataOp) -> None:
+        if _telemetry.ACTIVE is not None:
+            self._publish_instrumented(self._data_op, "on_data_op", op)
+            return
         for tool in self._data_op:
             try:
                 tool.on_data_op(op)
@@ -181,6 +218,9 @@ class ToolBus:
             self._fan_out_data_op(event)
 
     def publish_kernel(self, event: KernelEvent) -> None:
+        if _telemetry.ACTIVE is not None:
+            self._publish_instrumented(self._kernel, "on_kernel", event)
+            return
         for tool in self._kernel:
             try:
                 tool.on_kernel(event)
@@ -188,6 +228,9 @@ class ToolBus:
                 self._tool_error(tool, "on_kernel", exc)
 
     def publish_allocation(self, event: AllocationEvent) -> None:
+        if _telemetry.ACTIVE is not None:
+            self._publish_instrumented(self._allocation, "on_allocation", event)
+            return
         for tool in self._allocation:
             try:
                 tool.on_allocation(event)
@@ -195,6 +238,9 @@ class ToolBus:
                 self._tool_error(tool, "on_allocation", exc)
 
     def publish_sync(self, event: SyncEvent) -> None:
+        if _telemetry.ACTIVE is not None:
+            self._publish_instrumented(self._sync, "on_sync", event)
+            return
         for tool in self._sync:
             try:
                 tool.on_sync(event)
@@ -202,6 +248,9 @@ class ToolBus:
                 self._tool_error(tool, "on_sync", exc)
 
     def publish_flush(self, event: FlushEvent) -> None:
+        if _telemetry.ACTIVE is not None:
+            self._publish_instrumented(self._flush, "on_flush", event)
+            return
         for tool in self._flush:
             try:
                 tool.on_flush(event)
@@ -209,6 +258,9 @@ class ToolBus:
                 self._tool_error(tool, "on_flush", exc)
 
     def publish_memcpy(self, event: MemcpyEvent) -> None:
+        if _telemetry.ACTIVE is not None:
+            self._publish_instrumented(self._memcpy, "on_memcpy", event)
+            return
         for tool in self._memcpy:
             try:
                 tool.on_memcpy(event)

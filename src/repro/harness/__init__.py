@@ -16,6 +16,7 @@ from .overhead import (
     run_bench,
     run_overhead_comparison,
 )
+from .profile import PROFILE_CLOCKS, PROFILE_SUITES, inventory, run_profile
 from .precision import (
     EXPECTED_DETECTIONS,
     TOOL_FACTORIES,
@@ -46,6 +47,10 @@ __all__ = [
     "CaseStudyResult",
     "run_chaos",
     "run_chaos_campaign",
+    "run_profile",
+    "inventory",
+    "PROFILE_SUITES",
+    "PROFILE_CLOCKS",
     "CHAOS_SUITES",
     "MAX_EVENT_FAULT_DIVERGENCE",
     "render_table",

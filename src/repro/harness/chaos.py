@@ -232,14 +232,34 @@ def run_chaos(
     faults_per_schedule: int = 6,
     suite: str = "all",
     output: str = "BENCH_chaos.json",
+    telemetry: bool = False,
 ) -> dict:
-    """Run a campaign and write the tracked ``BENCH_chaos.json`` report."""
-    payload = run_chaos_campaign(
-        seed=seed,
-        schedules=schedules,
-        faults_per_schedule=faults_per_schedule,
-        suite=suite,
-    )
+    """Run a campaign and write the tracked ``BENCH_chaos.json`` report.
+
+    ``telemetry=True`` runs the campaign inside a metrics-only telemetry
+    scope (event-ordinal clock, no spans) and embeds the snapshot under a
+    ``"telemetry"`` key — recovery counters (retries, rollbacks, quarantine
+    reasons) become visible per campaign instead of per debugger session.
+    """
+    if telemetry:
+        from ..telemetry import Telemetry, scope
+
+        registry = Telemetry(record_spans=False)
+        with scope(registry):
+            payload = run_chaos_campaign(
+                seed=seed,
+                schedules=schedules,
+                faults_per_schedule=faults_per_schedule,
+                suite=suite,
+            )
+        payload["telemetry"] = registry.snapshot()
+    else:
+        payload = run_chaos_campaign(
+            seed=seed,
+            schedules=schedules,
+            faults_per_schedule=faults_per_schedule,
+            suite=suite,
+        )
     tmp = output + ".tmp"
     with open(tmp, "w") as sink:
         json.dump(payload, sink, indent=2, sort_keys=True)

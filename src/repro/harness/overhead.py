@@ -56,7 +56,13 @@ class OverheadResult:
         for m in self.measurements:
             if m.workload == workload and m.config == config:
                 return m
-        raise KeyError((workload, config))
+        workloads = sorted({m.workload for m in self.measurements})
+        configs = sorted({m.config for m in self.measurements})
+        raise KeyError(
+            f"no measurement for workload {workload!r} under config {config!r} "
+            f"(measured workloads: {', '.join(workloads) or 'none'}; "
+            f"configs: {', '.join(configs) or 'none'})"
+        )
 
     def slowdown(self, workload: str, config: str) -> float:
         native = self.get(workload, "native").seconds
@@ -217,14 +223,32 @@ def run_bench(
     *,
     repetitions: int = 3,
     output: str = "BENCH_fig8.json",
+    telemetry: bool = False,
 ) -> dict:
-    """Run the Fig-8 matrix and write the tracked ``BENCH_fig8.json``."""
+    """Run the Fig-8 matrix and write the tracked ``BENCH_fig8.json``.
+
+    ``telemetry=True`` measures the whole matrix inside an active telemetry
+    scope (event-ordinal clock) and embeds the metric snapshot under a
+    ``"telemetry"`` key — the timings then include the instrumentation
+    cost, so only compare slowdowns among runs with the same setting.
+    """
     out_dir = os.path.dirname(os.path.abspath(output))
     if not os.path.isdir(out_dir):
         # Fail before the minutes-long measurement, not after it.
         raise FileNotFoundError(f"output directory does not exist: {out_dir}")
-    result = run_overhead_comparison(preset, repetitions=repetitions)
-    payload = bench_payload(result, repetitions=repetitions)
+    if telemetry:
+        from ..telemetry import Telemetry, scope
+
+        # Metrics only: a span per event over the whole matrix would not
+        # fit in memory, and the snapshot is what the tracked file embeds.
+        registry = Telemetry(record_spans=False)
+        with scope(registry):
+            result = run_overhead_comparison(preset, repetitions=repetitions)
+        payload = bench_payload(result, repetitions=repetitions)
+        payload["telemetry"] = registry.snapshot()
+    else:
+        result = run_overhead_comparison(preset, repetitions=repetitions)
+        payload = bench_payload(result, repetitions=repetitions)
     with open(output, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=False)
         fh.write("\n")

@@ -45,6 +45,7 @@ from ..events.records import (
 )
 from ..events.source import SourceStack
 from ..memory.buffer import RawBuffer
+from ..telemetry import registry as _telemetry
 from ..memory.errors import (
     DeviceError,
     MappingError,
@@ -127,6 +128,9 @@ class Machine:
         """
         if n <= 0:
             return
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            telemetry.count("runtime.parallel_regions")
         k = max(1, min(num_threads, n))
         parent = self.current_thread
         tids = [self.tasks.fresh_tid() for _ in range(k)]
@@ -284,12 +288,15 @@ class TargetRuntime:
         # device pointers, deterministically).
         present_snapshot = {e.name: e for e in dev.present.entries()}
 
-        def body() -> None:
+        def run_target() -> None:
             stack = machine.source.snapshot()
+            telemetry = _telemetry.ACTIVE
             if machine.faults is not None and machine.faults.kernel_launch(device):
                 # Spurious device reset before launch; the runtime recovers
                 # by checkpoint/restore, invisibly to the program and tools.
                 machine.faults.record_reset_recovery(device, dev.spurious_reset())
+                if telemetry is not None:
+                    telemetry.count("runtime.reset_recoveries")
             for spec in maps:
                 self._map_entry(dev, spec)
             machine.bus.publish_kernel(
@@ -305,7 +312,17 @@ class TargetRuntime:
             )
             if dev.unified:
                 machine.bus.publish_flush(FlushEvent(device, machine.current_thread))
-            kernel(KernelContext(machine, dev, fallback=present_snapshot))
+            context = KernelContext(machine, dev, fallback=present_snapshot)
+            if telemetry is not None:
+                with telemetry.span(
+                    "runtime",
+                    f"kernel:{kernel_name}",
+                    tid=machine.current_thread,
+                    device=device,
+                ):
+                    kernel(context)
+            else:
+                kernel(context)
             if dev.unified:
                 machine.bus.publish_flush(FlushEvent(device, machine.current_thread))
             machine.bus.publish_kernel(
@@ -321,6 +338,20 @@ class TargetRuntime:
             )
             for spec in maps:
                 self._map_exit(dev, spec)
+
+        def body() -> None:
+            telemetry = _telemetry.ACTIVE
+            if telemetry is None:
+                run_target()
+                return
+            with telemetry.span(
+                "runtime",
+                f"target:{kernel_name}",
+                tid=machine.current_thread,
+                device=device,
+                nowait=nowait,
+            ):
+                run_target()
 
         task = machine.tasks.create(
             kernel_name,
@@ -432,11 +463,16 @@ class TargetRuntime:
             raise MappingError(
                 f"map-type '{spec.map_type.value}' has no entry semantics"
             )
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            telemetry.count("runtime.map_entries")
         entry = dev.present.lookup(spec.ov_address, spec.nbytes)
         if entry is not None:
             # Already present: just bump the count.  No transfer — this is
             # the semantics OMPT-less tools cannot see.
             entry.ref_count += 1
+            if telemetry is not None:
+                telemetry.count("runtime.map_present_hits")
             return
         # Install-then-transfer, with rollback: if the entry transfer fails
         # past the retry budget, the present-table entry and its CV are
@@ -493,6 +529,8 @@ class TargetRuntime:
         mapping state exactly as for a normal unmap; the VSM net effect of
         an ALLOC/DELETE pair with no transfer in between is a no-op.
         """
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count("runtime.map_rollbacks")
         dev.present.remove(entry)
         self.machine.bus.publish_data_op(
             DataOp(
@@ -520,12 +558,16 @@ class TargetRuntime:
                 return dev.malloc(nbytes, **kwargs)
             except OutOfMemoryError:
                 attempt += 1
+                if _telemetry.ACTIVE is not None:
+                    _telemetry.ACTIVE.count("runtime.alloc_retries")
                 if attempt > MAX_ALLOC_RETRIES:
                     raise
                 if self.machine.faults is not None:
                     self.machine.faults.record_backoff(1 << attempt)
 
     def _map_exit(self, dev: Device, spec: MapSpec) -> None:
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count("runtime.map_exits")
         eff = exit_effect(spec.map_type)
         entry = dev.present.lookup(spec.ov_address, spec.nbytes)
         if entry is None:
@@ -543,6 +585,8 @@ class TargetRuntime:
             return
         if eff.copies_to_host and not dev.unified:
             self._transfer(dev, entry, DataOpKind.D2H)
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count("runtime.unmaps")
         dev.present.remove(entry)
         self.machine.bus.publish_data_op(
             DataOp(
@@ -588,6 +632,32 @@ class TargetRuntime:
         nbytes: int | None = None,
     ) -> None:
         """memcpy between a present entry's OV and CV (or a sub-range)."""
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            span_bytes = entry.nbytes if nbytes is None else nbytes
+            telemetry.observe("runtime.transfer_bytes", span_bytes)
+            with telemetry.span(
+                "runtime",
+                f"transfer:{kind.value}",
+                tid=self.machine.current_thread,
+                device=dev.device_id,
+                nbytes=span_bytes,
+            ):
+                self._do_transfer(
+                    dev, entry, kind, ov_address=ov_address, nbytes=nbytes
+                )
+            return
+        self._do_transfer(dev, entry, kind, ov_address=ov_address, nbytes=nbytes)
+
+    def _do_transfer(
+        self,
+        dev: Device,
+        entry: PresentEntry,
+        kind: DataOpKind,
+        *,
+        ov_address: int | None = None,
+        nbytes: int | None = None,
+    ) -> None:
         machine = self.machine
         ov_address = entry.ov_address if ov_address is None else ov_address
         nbytes = entry.nbytes if nbytes is None else nbytes
@@ -617,6 +687,8 @@ class TargetRuntime:
             if not fail:
                 break
             attempt += 1
+            if _telemetry.ACTIVE is not None:
+                _telemetry.ACTIVE.count("runtime.transfer_retries")
             if attempt > MAX_TRANSFER_RETRIES:
                 raise TransferError(
                     f"{kind.value} of {nbytes} bytes on device {dev.device_id} "

@@ -1,0 +1,23 @@
+"""Telemetry: deterministic metrics, pipeline spans, Chrome-trace export.
+
+See :mod:`repro.telemetry.registry` for the metric/span registry and the
+scoping rules, and :mod:`repro.telemetry.trace` for the Chrome Trace Event
+export and self-time attribution.
+"""
+
+from .registry import Histogram, SpanRecord, Telemetry, scope
+from .trace import chrome_trace, render_self_time_table, self_times
+
+# NOTE: the live enabled/disabled switch is ``registry.ACTIVE`` — read it
+# through the module (``from repro.telemetry import registry``), never as a
+# from-import, which would freeze the value at import time.
+
+__all__ = [
+    "Telemetry",
+    "Histogram",
+    "SpanRecord",
+    "scope",
+    "chrome_trace",
+    "self_times",
+    "render_self_time_table",
+]

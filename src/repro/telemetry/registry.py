@@ -1,0 +1,233 @@
+"""The telemetry registry: deterministic metrics and span tracing.
+
+One :class:`Telemetry` instance holds every metric of one measured run:
+
+* **counters** — monotonically increasing integers ("how many H2D
+  transfers", "how many VSM transitions VALID_HOST->CONSISTENT");
+* **gauges** — last-written values ("live mappings", "shadow bytes");
+* **histograms** — power-of-two bucketed distributions ("transfer sizes");
+* **spans** — begin/end intervals forming the pipeline trace, exported to
+  Chrome Trace Event JSON by :mod:`repro.telemetry.trace`.
+
+Two clocks drive the spans, chosen at construction time:
+
+* the **event-ordinal clock** (default) stamps every span boundary with the
+  next value of a per-registry counter.  Ordinals depend only on the event
+  sequence, so two runs of a deterministic program produce *byte-identical*
+  telemetry artifacts — the same guarantee the chaos layer makes for fault
+  schedules, extended to observability;
+* the **wall clock** (``wall_clock=True``) additionally stamps
+  ``time.perf_counter()`` at every boundary, for real self-time profiles at
+  the cost of determinism.
+
+Scoping
+-------
+
+Instrumentation sites all over the stack (runtime, bus, detector, tools)
+consult the module attribute :data:`ACTIVE`.  It is ``None`` by default:
+the disabled fast path is a single attribute load and ``is not None``
+check, and *no telemetry object even exists* — no counters are bumped, no
+span records allocated.  A measured run activates a registry explicitly:
+
+::
+
+    t = Telemetry()
+    with scope(t):
+        ...  # everything in here is instrumented
+    t.snapshot()
+
+``scope`` restores the previous registry on exit, so sessions nest.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+#: The currently active registry, or ``None`` (telemetry disabled).
+#: Instrumentation sites read this attribute directly; only :func:`scope`
+#: (and tests) should write it.
+ACTIVE: "Telemetry | None" = None
+
+
+class Histogram:
+    """A power-of-two bucketed distribution of non-negative integers.
+
+    Bucket ``k`` counts observations ``v`` with ``2**(k-1) < v <= 2**k``
+    (bucket 0 counts ``v <= 1``).  Fixed bucket boundaries keep snapshots
+    byte-identical across runs regardless of observation order.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: int) -> None:
+        value = int(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        k = max(value - 1, 0).bit_length()
+        self.buckets[k] = self.buckets.get(k, 0) + 1
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                f"<=2^{k}": self.buckets[k] for k in sorted(self.buckets)
+            },
+        }
+
+
+class _Span:
+    """Context manager recording one open span (allocated only when enabled)."""
+
+    __slots__ = ("_t", "cat", "name", "tid", "args", "ord_begin", "wall_begin")
+
+    def __init__(self, t: "Telemetry", cat: str, name: str, tid: int, args: dict):
+        self._t = t
+        self.cat = cat
+        self.name = name
+        self.tid = tid
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        t = self._t
+        t.ordinal += 1
+        self.ord_begin = t.ordinal
+        self.wall_begin = time.perf_counter() if t.wall_clock else 0.0
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t = self._t
+        t.ordinal += 1
+        if not t.record_spans:
+            return False
+        wall_end = time.perf_counter() if t.wall_clock else 0.0
+        t.spans.append(
+            SpanRecord(
+                cat=self.cat,
+                name=self.name,
+                tid=self.tid,
+                ord_begin=self.ord_begin,
+                ord_end=t.ordinal,
+                wall_begin=self.wall_begin,
+                wall_end=wall_end,
+                args=self.args,
+            )
+        )
+        return False
+
+
+class SpanRecord:
+    """One finished span: both clocks, category/name, free-form args."""
+
+    __slots__ = (
+        "cat", "name", "tid", "ord_begin", "ord_end",
+        "wall_begin", "wall_end", "args",
+    )
+
+    def __init__(
+        self,
+        *,
+        cat: str,
+        name: str,
+        tid: int,
+        ord_begin: int,
+        ord_end: int,
+        wall_begin: float,
+        wall_end: float,
+        args: dict,
+    ) -> None:
+        self.cat = cat
+        self.name = name
+        self.tid = tid
+        self.ord_begin = ord_begin
+        self.ord_end = ord_end
+        self.wall_begin = wall_begin
+        self.wall_end = wall_end
+        self.args = args
+
+    def duration(self, *, wall: bool) -> float:
+        if wall:
+            return self.wall_end - self.wall_begin
+        return self.ord_end - self.ord_begin
+
+
+class Telemetry:
+    """One run's worth of counters, gauges, histograms, and spans."""
+
+    def __init__(self, *, wall_clock: bool = False, record_spans: bool = True) -> None:
+        self.wall_clock = wall_clock
+        #: ``False`` keeps counters/gauges/histograms (and the ordinal
+        #: clock) but drops span records — metrics-only mode for long
+        #: campaigns where a full trace would not fit in memory.
+        self.record_spans = record_spans
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.spans: list[SpanRecord] = []
+        #: The event-ordinal clock: advanced at every span boundary.
+        self.ordinal = 0
+
+    # -- metrics -----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: int) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, cat: str, name: str, *, tid: int = 0, **args) -> _Span:
+        """Open a span; use as ``with t.span("runtime", "kernel:foo"): ...``."""
+        return _Span(self, cat, name, tid, args)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All metrics as a stable, JSON-serializable dict.
+
+        Keys are sorted so ``json.dumps`` of two identical runs under the
+        ordinal clock compares byte-for-byte.
+        """
+        return {
+            "clock": "wall" if self.wall_clock else "ordinal",
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].snapshot() for k in sorted(self.histograms)
+            },
+            "spans": {"finished": len(self.spans), "ordinal_ticks": self.ordinal},
+        }
+
+
+@contextmanager
+def scope(t: Telemetry) -> Iterator[Telemetry]:
+    """Activate ``t`` for the dynamic extent of the block (re-entrant)."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = t
+    try:
+        yield t
+    finally:
+        ACTIVE = previous

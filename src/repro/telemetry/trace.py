@@ -1,0 +1,141 @@
+"""Chrome Trace Event export and self-time attribution for span traces.
+
+:func:`chrome_trace` converts a :class:`~repro.telemetry.registry.Telemetry`
+registry's spans into the Chrome Trace Event JSON object format — load the
+written file in ``chrome://tracing`` or https://ui.perfetto.dev to see the
+whole pipeline (runtime directives, bus fan-out, detector analysis) as
+nested timeline slices.
+
+:func:`self_times` computes the per-phase *self* time — each span's
+duration minus its direct children's — which is the number that actually
+attributes cost to a layer: a ``target:`` span contains the bus publishes
+contains the detector's data-op handling, and only subtraction says who
+spent what.  Under the event-ordinal clock "time" is event ordinals (a
+proxy for event volume); under the wall clock it is seconds.
+"""
+
+from __future__ import annotations
+
+from .registry import SpanRecord, Telemetry
+
+
+def chrome_trace(t: Telemetry, *, pid: int = 0) -> dict:
+    """The registry's spans as a Chrome Trace Event JSON object.
+
+    Complete ("X"-phase) events, one per finished span.  Timestamps are
+    microseconds when the wall clock was on, raw event ordinals otherwise —
+    either way the file loads in Perfetto; ordinal traces simply read as
+    "one microsecond per event ordinal".
+    """
+    wall = t.wall_clock
+    events = []
+    for span in t.spans:
+        if wall:
+            ts = round(span.wall_begin * 1e6, 3)
+            dur = round((span.wall_end - span.wall_begin) * 1e6, 3)
+        else:
+            ts = span.ord_begin
+            dur = span.ord_end - span.ord_begin
+        event = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "pid": pid,
+            "tid": span.tid,
+            "ts": ts,
+            "dur": dur,
+        }
+        if span.args:
+            event["args"] = {k: span.args[k] for k in sorted(span.args)}
+        events.append(event)
+    events.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "wall" if wall else "ordinal",
+            "producer": "repro.telemetry",
+        },
+    }
+
+
+def self_times(t: Telemetry) -> list[dict]:
+    """Per-(category, name) total/self durations, sorted by self descending.
+
+    Parenthood is containment in the event-ordinal interval order on the
+    same logical thread (ordinals advance at every boundary, so proper
+    nesting is guaranteed); durations use the registry's clock.
+    """
+    wall = t.wall_clock
+
+    class _Node:
+        __slots__ = ("span", "dur", "child_dur")
+
+        def __init__(self, span: SpanRecord) -> None:
+            self.span = span
+            self.dur = span.duration(wall=wall)
+            self.child_dur = 0.0
+
+    nodes = [_Node(s) for s in t.spans]
+    nodes.sort(key=lambda n: (n.span.tid, n.span.ord_begin))
+    stack: list[_Node] = []
+    for node in nodes:
+        while stack and (
+            stack[-1].span.tid != node.span.tid
+            or stack[-1].span.ord_end < node.span.ord_begin
+        ):
+            stack.pop()
+        if stack:
+            # ``node``'s whole subtree is inside its direct parent; adding
+            # the full duration here (and only here) makes self = total -
+            # direct children, with grandchildren charged one level down.
+            stack[-1].child_dur += node.dur
+        stack.append(node)
+
+    rows: dict[tuple[str, str], dict] = {}
+    for node in nodes:
+        key = (node.span.cat, node.span.name)
+        row = rows.get(key)
+        if row is None:
+            row = rows[key] = {
+                "cat": key[0],
+                "name": key[1],
+                "count": 0,
+                "total": 0.0,
+                "self": 0.0,
+            }
+        row["count"] += 1
+        row["total"] += node.dur
+        row["self"] += node.dur - node.child_dur
+    out = sorted(rows.values(), key=lambda r: (-r["self"], r["cat"], r["name"]))
+    for row in out:
+        row["total"] = round(row["total"], 9)
+        row["self"] = round(row["self"], 9)
+    return out
+
+
+def render_self_time_table(t: Telemetry, *, limit: int = 25) -> str:
+    """The self-time breakdown as an aligned text table."""
+    rows = self_times(t)
+    unit = "s" if t.wall_clock else "ticks"
+    grand_self = sum(r["self"] for r in rows) or 1.0
+    lines = [
+        f"{'layer':<10} {'span':<32} {'count':>8} "
+        f"{'total(' + unit + ')':>14} {'self(' + unit + ')':>14} {'self%':>7}"
+    ]
+    shown = rows[:limit]
+    for r in shown:
+        fmt = "{:.6f}" if t.wall_clock else "{:.0f}"
+        lines.append(
+            f"{r['cat']:<10} {r['name'][:32]:<32} {r['count']:>8} "
+            f"{fmt.format(r['total']):>14} {fmt.format(r['self']):>14} "
+            f"{100.0 * r['self'] / grand_self:>6.1f}%"
+        )
+    if len(rows) > limit:
+        rest = sum(r["self"] for r in rows[limit:])
+        fmt = "{:.6f}" if t.wall_clock else "{:.0f}"
+        lines.append(
+            f"{'...':<10} {f'({len(rows) - limit} more spans)':<32} {'':>8} "
+            f"{'':>14} {fmt.format(rest):>14} {100.0 * rest / grand_self:>6.1f}%"
+        )
+    return "\n".join(lines)

@@ -35,6 +35,7 @@ import numpy as np
 from ..clocks.epoch import CLOCK_BITS, MAX_CLOCK
 from ..clocks.vector_clock import VectorClock
 from ..memory.layout import GRANULE
+from ..telemetry import registry as _telemetry
 from .base import Tool
 from .findings import Finding, FindingKind
 
@@ -493,6 +494,8 @@ class ArcherTool(Tool):
         self.engine.handle_sync(event.kind, event.source_task, event.target_task)
 
     def on_access(self, access: "Access") -> None:
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count("tool.archer.access_checks")
         racy = self.engine.check_access(access)
         if racy:
             self.report(
@@ -515,6 +518,8 @@ class ArcherTool(Tool):
         # The runtime's transfer is itself a read + a write on the acting
         # thread; unsynchronized kernels racing a transfer are caught here
         # (the Fig-2 line-14-vs-line-11 conflict).
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count("tool.archer.memcpy_checks")
         racy_r = self.engine.check_range(
             event.src_device, event.thread_id, event.src_address, event.nbytes, False
         )

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING
 
+from ..telemetry import registry as _telemetry
 from .base import Tool
 from .findings import Finding, FindingKind
 
@@ -112,6 +113,8 @@ class AsanTool(Tool):
     # -- accesses -------------------------------------------------------------
 
     def on_access(self, access: "Access") -> None:
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count("tool.asan.access_checks")
         stride = access.element_stride
         if access.count == 1 or stride == access.size:
             self._check(access, access.address, access.span)

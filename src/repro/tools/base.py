@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..telemetry import registry as _telemetry
 from .findings import Finding, FindingKind, MAPPING_ISSUE_KINDS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,6 +72,12 @@ class Tool:
         Returns whether the finding was new.
         """
         key = finding.dedup_key()
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count(
+                f"tool.{self.name}.findings.{finding.kind.value}"
+            )
+            if key in self._seen:
+                _telemetry.ACTIVE.count(f"tool.{self.name}.findings_deduped")
         if key in self._seen:
             return False
         self._seen.add(key)

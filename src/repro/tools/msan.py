@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..telemetry import registry as _telemetry
 from .base import Tool
 from .findings import Finding, FindingKind
 
@@ -79,6 +80,8 @@ class MsanTool(Tool):
     # -- accesses ---------------------------------------------------------------
 
     def on_access(self, access: "Access") -> None:
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count("tool.msan.access_checks")
         stride = access.element_stride
         if access.count == 1 or stride == access.size:
             spans = [(access.address, access.span)]
@@ -114,6 +117,8 @@ class MsanTool(Tool):
     # -- memcpy: propagate, never report ----------------------------------------
 
     def on_memcpy(self, event: "MemcpyEvent") -> None:
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count("tool.msan.shadow_propagations")
         dst_hit = self._plane_for(event.dst_device, event.dst_address)
         if dst_hit is None:
             return

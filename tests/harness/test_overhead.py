@@ -42,6 +42,15 @@ class TestMeasurement:
         # Attaching a tool must never change program results.
         assert overhead.checksums_consistent()
 
+    def test_get_names_missing_cell_and_lists_available(self, overhead):
+        with pytest.raises(KeyError) as exc_info:
+            overhead.get("nonesuch", "arbalest")
+        message = str(exc_info.value)
+        assert "nonesuch" in message
+        assert "arbalest" in message
+        assert "pcg" in message  # the available workloads are listed
+        assert "native" in message  # ... and the available configs
+
 
 class TestSpaceShape:
     """Fig 9's qualitative shape (robust, unlike wall-clock timing)."""

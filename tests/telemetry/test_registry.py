@@ -1,0 +1,227 @@
+"""Telemetry registry: metrics, spans, scoping, and the disabled default."""
+
+import json
+
+from repro.telemetry import (
+    Histogram,
+    Telemetry,
+    chrome_trace,
+    scope,
+    self_times,
+    render_self_time_table,
+)
+from repro.telemetry import registry as telemetry_registry
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        t = Telemetry()
+        t.count("a")
+        t.count("a", 4)
+        t.count("b")
+        assert t.counters == {"a": 5, "b": 1}
+
+    def test_gauge_keeps_last_value(self):
+        t = Telemetry()
+        t.gauge("x", 10)
+        t.gauge("x", 3)
+        assert t.gauges == {"x": 3}
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        h = Histogram()
+        for v in (1, 2, 3, 4, 5, 1024):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 6
+        assert snap["sum"] == 1039
+        assert snap["min"] == 1
+        assert snap["max"] == 1024
+        # 1 -> bucket 0; 2 -> 1; 3,4 -> 2; 5 -> 3; 1024 -> 10.
+        assert snap["buckets"] == {
+            "<=2^0": 1,
+            "<=2^1": 1,
+            "<=2^2": 2,
+            "<=2^3": 1,
+            "<=2^10": 1,
+        }
+
+    def test_bucket_keys_sorted_regardless_of_order(self):
+        a, b = Histogram(), Histogram()
+        for v in (1, 100, 7):
+            a.observe(v)
+        for v in (7, 1, 100):
+            b.observe(v)
+        assert json.dumps(a.snapshot()) == json.dumps(b.snapshot())
+
+    def test_observe_via_registry(self):
+        t = Telemetry()
+        t.observe("sizes", 64)
+        t.observe("sizes", 64)
+        assert t.histograms["sizes"].count == 2
+
+
+class TestSpans:
+    def test_span_records_interval(self):
+        t = Telemetry()
+        with t.span("cat", "outer", tid=3, device=1):
+            with t.span("cat", "inner"):
+                pass
+        assert len(t.spans) == 2
+        outer = next(s for s in t.spans if s.name == "outer")
+        inner = next(s for s in t.spans if s.name == "inner")
+        assert outer.tid == 3
+        assert outer.args == {"device": 1}
+        # Ordinals advance at every boundary: proper containment.
+        assert outer.ord_begin < inner.ord_begin < inner.ord_end < outer.ord_end
+
+    def test_ordinal_clock_has_no_wall_timestamps(self):
+        t = Telemetry()
+        with t.span("cat", "s"):
+            pass
+        span = t.spans[0]
+        assert span.wall_begin == 0.0 and span.wall_end == 0.0
+        assert span.duration(wall=False) > 0
+
+    def test_wall_clock_stamps_perf_counter(self):
+        t = Telemetry(wall_clock=True)
+        with t.span("cat", "s"):
+            pass
+        span = t.spans[0]
+        assert span.wall_end >= span.wall_begin > 0.0
+
+    def test_record_spans_false_keeps_ordinal_but_drops_records(self):
+        t = Telemetry(record_spans=False)
+        with t.span("cat", "s"):
+            t.count("inside")
+        assert t.spans == []
+        assert t.ordinal == 2  # the clock still ticked at both boundaries
+        assert t.counters == {"inside": 1}
+
+
+class TestScope:
+    def test_disabled_by_default(self):
+        assert telemetry_registry.ACTIVE is None
+
+    def test_scope_activates_and_restores(self):
+        t = Telemetry()
+        with scope(t) as active:
+            assert active is t
+            assert telemetry_registry.ACTIVE is t
+        assert telemetry_registry.ACTIVE is None
+
+    def test_scope_nests(self):
+        outer, inner = Telemetry(), Telemetry()
+        with scope(outer):
+            with scope(inner):
+                assert telemetry_registry.ACTIVE is inner
+            assert telemetry_registry.ACTIVE is outer
+
+    def test_scope_restores_on_exception(self):
+        t = Telemetry()
+        try:
+            with scope(t):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert telemetry_registry.ACTIVE is None
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        t = Telemetry()
+        t.count("z")
+        t.count("a")
+        t.gauge("g", 1.5)
+        t.observe("h", 9)
+        with t.span("cat", "s"):
+            pass
+        snap = t.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["clock"] == "ordinal"
+        assert snap["spans"] == {"finished": 1, "ordinal_ticks": 2}
+
+
+class TestChromeTrace:
+    def _traced(self):
+        t = Telemetry()
+        with t.span("runtime", "target:k", tid=1, device=0):
+            with t.span("bus", "arbalest.on_data_op", tid=1):
+                pass
+        return t
+
+    def test_complete_events_with_required_keys(self):
+        trace = chrome_trace(self._traced())
+        assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert trace["otherData"]["clock"] == "ordinal"
+        assert len(trace["traceEvents"]) == 2
+        for event in trace["traceEvents"]:
+            for key in ("name", "cat", "ph", "pid", "tid", "ts", "dur"):
+                assert key in event
+            assert event["ph"] == "X"
+
+    def test_events_sorted_parents_first(self):
+        events = chrome_trace(self._traced())["traceEvents"]
+        assert [e["name"] for e in events] == ["target:k", "arbalest.on_data_op"]
+
+    def test_round_trips_json(self):
+        trace = chrome_trace(self._traced())
+        assert json.loads(json.dumps(trace)) == trace
+
+
+class TestSelfTimes:
+    def test_self_excludes_direct_children(self):
+        t = Telemetry()
+        with t.span("runtime", "outer"):  # ticks: 1 .. 8
+            with t.span("bus", "child"):  # 2 .. 5
+                with t.span("detector", "grandchild"):  # 3 .. 4
+                    pass
+            with t.span("bus", "child"):  # 6 .. 7
+                pass
+        rows = {(r["cat"], r["name"]): r for r in self_times(t)}
+        outer = rows[("runtime", "outer")]
+        child = rows[("bus", "child")]
+        grand = rows[("detector", "grandchild")]
+        assert outer["total"] == 7  # ordinals 1..8
+        # outer's direct children are the two 'child' spans only; the
+        # grandchild is charged against its own parent, not outer.
+        assert outer["self"] == outer["total"] - child["total"]
+        assert child["self"] == child["total"] - grand["total"]
+        assert grand["self"] == grand["total"]
+
+    def test_sorted_by_self_descending(self):
+        t = Telemetry()
+        with t.span("a", "big"):
+            with t.span("b", "small"):
+                pass
+        rows = self_times(t)
+        assert [r["self"] for r in rows] == sorted(
+            (r["self"] for r in rows), reverse=True
+        )
+
+    def test_separate_tids_do_not_nest(self):
+        t = Telemetry()
+        with t.span("a", "t0", tid=0):
+            with t.span("a", "t1", tid=1):
+                pass
+        rows = {r["name"]: r for r in self_times(t)}
+        # Different logical thread: t1 is not a child of t0.
+        assert rows["t0"]["self"] == rows["t0"]["total"]
+
+    def test_render_table(self):
+        t = Telemetry()
+        with t.span("runtime", "target:k"):
+            pass
+        table = render_self_time_table(t)
+        assert "layer" in table and "self%" in table
+        assert "target:k" in table
+
+    def test_render_table_limit_overflow_row(self):
+        t = Telemetry()
+        for i in range(5):
+            with t.span("cat", f"span{i}"):
+                pass
+        table = render_self_time_table(t, limit=2)
+        assert "(3 more spans)" in table

@@ -40,6 +40,29 @@ class TestParser:
         assert args.output == "BENCH_chaos.json"
         assert not args.strict
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.suite == "dracc"
+        assert args.benchmark == 22
+        assert args.workload == "postencil"
+        assert args.clock == "ordinal"
+        assert args.output == "trace.json"
+        assert args.metrics is None
+
+    def test_profile_clock_validation(self):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["profile", "--clock", "cesium"])
+        assert exc_info.value.code == 2
+
+    def test_telemetry_flags(self):
+        assert build_parser().parse_args(["bench", "--telemetry"]).telemetry
+        assert not build_parser().parse_args(["bench"]).telemetry
+        assert build_parser().parse_args(["chaos", "--telemetry"]).telemetry
+
+    def test_list_json_flag(self):
+        assert build_parser().parse_args(["list", "--json"]).json
+        assert not build_parser().parse_args(["list"]).json
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -48,11 +71,27 @@ class TestCommands:
         assert "DRACC_OMP_056" in out
         assert "postencil" in out
 
+    def test_list_json(self, capsys):
+        import json
+
+        assert main(["list", "--json"]) == 0
+        inv = json.loads(capsys.readouterr().out)
+        assert len(inv["dracc"]) == 56
+        assert {w["name"] for w in inv["specaccel"]} == {
+            "postencil", "polbm", "pomriq", "pep", "pcg"
+        }
+
     def test_dracc_buggy(self, capsys):
         assert main(["dracc", "22"]) == 0
         out = capsys.readouterr().out
         assert "DETECTED" in out
         assert "uninitialized" in out
+
+    def test_dracc_reports_internals(self, capsys):
+        assert main(["dracc", "22"]) == 0
+        out = capsys.readouterr().out
+        assert "arbalest internals: mapping lookups" in out
+        assert "degradation:" in out
 
     def test_dracc_clean(self, capsys):
         assert main(["dracc", "1"]) == 0
@@ -132,3 +171,63 @@ class TestCommands:
         payload = json.loads(out_file.read_text())
         assert payload["preset"] == "test"
         assert "pcg" in payload["workloads"]
+        assert "telemetry" not in payload
+
+    def test_bench_telemetry(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--preset", "test", "--reps", "1", "--telemetry",
+             "--output", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out and "counters embedded" in out
+        payload = json.loads(out_file.read_text())
+        snap = payload["telemetry"]
+        assert snap["clock"] == "ordinal"
+        assert snap["spans"]["finished"] == 0  # metrics-only mode
+        assert any(k.startswith("vsm.") for k in snap["counters"])
+
+    def test_profile(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert main(
+            ["profile", "--benchmark", "22", "--output", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "profiled DRACC_OMP_022 under arbalest" in out
+        assert "self%" in out  # the self-time table rendered
+        assert "wrote" in out
+        trace = json.loads(out_file.read_text())
+        cats = {e["cat"] for e in trace["traceEvents"]}
+        assert {"runtime", "bus", "detector"} <= cats
+
+    def test_profile_unknown_benchmark_exits_2_with_one_line(self, capsys):
+        assert main(["profile", "--benchmark", "99"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown benchmark 99" in err
+        assert "1..56" in err
+
+    def test_profile_unknown_workload_exits_2_with_one_line(self, capsys):
+        assert main(
+            ["profile", "--suite", "specaccel", "--workload", "nope"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown workload" in err
+
+    def test_chaos_telemetry(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "chaos.json"
+        assert main(
+            ["chaos", "--schedules", "1", "--suite", "buggy", "--telemetry",
+             "--output", str(out_file)]
+        ) == 0
+        payload = json.loads(out_file.read_text())
+        snap = payload["telemetry"]
+        assert snap["spans"]["finished"] == 0
+        assert any(k.startswith("runtime.") for k in snap["counters"])
