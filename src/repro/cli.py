@@ -8,6 +8,8 @@
     python -m repro fig9  [--preset ref]   # memory usage table
     python -m repro casestudy              # 503.postencil (Fig 6/7)
     python -m repro ompsan                 # §VI.G static-vs-dynamic
+    python -m repro lint  [--json]         # static linter over every twin
+    python -m repro hybrid                 # static vs dynamic vs hybrid table
     python -m repro dracc 22               # one benchmark under all tools
     python -m repro chaos [--seed 0]       # fault-injection campaign -> BENCH_chaos.json
     python -m repro profile --suite dracc --benchmark 22   # telemetry -> trace.json
@@ -61,19 +63,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"repro bench: error: {exc}", file=sys.stderr)
         return 2
     configs = payload["configs"]
-    header = f"{'Workload':<12}" + "".join(f"{c:>12}" for c in configs)
+    width = max(12, max(len(c) for c in configs) + 2)
+    header = f"{'Workload':<12}" + "".join(f"{c:>{width}}" for c in configs)
     print(f"Fig 8 benchmark (preset={payload['preset']}, "
           f"reps={payload['repetitions']})")
     print(header)
     for w, row in payload["workloads"].items():
         print(
             f"{w:<12}"
-            + "".join(f"{row[c]['slowdown']:>11.2f}x" for c in configs)
+            + "".join(f"{row[c]['slowdown']:>{width - 1}.2f}x" for c in configs)
         )
     s = payload["summary"]
     print(
         f"\narbalest slowdown: geomean {s['arbalest_slowdown_geomean']:.2f}x, "
         f"max {s['arbalest_slowdown_max']:.2f}x"
+    )
+    print(
+        "with certificates: geomean "
+        f"{s['arbalest_cert_slowdown_geomean']:.2f}x, "
+        f"max {s['arbalest_cert_slowdown_max']:.2f}x"
     )
     consistent = payload["checksums_consistent"]
     print(f"checksums consistent across configs: {'yes' if consistent else 'NO'}")
@@ -122,6 +130,30 @@ def _cmd_ompsan(args: argparse.Namespace) -> int:
         + ("MISSED (the paper's documented gap)" if buggy_stencil.clean else "found")
     )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .staticlint import lint_suite, render_suite
+
+    payload = lint_suite()
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_suite(payload))
+    # Linter semantics: findings anywhere -> non-zero, like any linter.
+    return 1 if payload["summary"]["findings"] else 0
+
+
+def _cmd_hybrid(args: argparse.Namespace) -> int:
+    from .harness import run_hybrid_comparison
+
+    result = run_hybrid_comparison()
+    print(result.render())
+    ok = result.matches_expectations()
+    print(f"\nmatches the expected hybrid matrix: {'yes' if ok else 'NO'}")
+    return 0 if ok else 1
 
 
 def _cmd_dracc(args: argparse.Namespace) -> int:
@@ -356,6 +388,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("ompsan", help="§VI.G: static vs dynamic").set_defaults(
         fn=_cmd_ompsan
     )
+
+    pl2 = sub.add_parser(
+        "lint", help="static mapping linter over every static twin"
+    )
+    pl2.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable findings (the golden-file format)",
+    )
+    pl2.set_defaults(fn=_cmd_lint)
+
+    sub.add_parser(
+        "hybrid", help="static vs dynamic vs hybrid precision on DRACC"
+    ).set_defaults(fn=_cmd_hybrid)
 
     pd = sub.add_parser("dracc", help="run one DRACC benchmark under all tools")
     pd.add_argument("number", type=int)

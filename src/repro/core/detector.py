@@ -80,6 +80,17 @@ class Arbalest(Tool):
         coarsened to whole-allocation granularity (conservative ``INVALID``
         start state) instead of failing — precision loss is accounted in
         :meth:`degradation_stats`, the analysis never crashes.
+    certificate:
+        A :class:`~repro.staticlint.certificate.SafetyCertificate` (or any
+        iterable of variable names) from the static linter.  Allocations of
+        certified variables get no shadow block and their accesses skip VSM
+        transitions *and* the race engine's per-access check — the
+        static-assisted mode.  The §IV.D device bounds check stays on as a
+        safety net (a certified variable overflowing would mean the
+        certificate is unsound).  Trade-off, by construction: on certified
+        variables the cert-pruned run can miss data races the full run
+        would flag; the certificate only proves mapping-issue freedom.
+        Skip counts are in :meth:`cert_stats`.
 
     **Quarantine (chaos hardening).**  A perturbed OMPT stream — duplicated,
     dropped, or reordered callbacks — can present the detector with events
@@ -107,13 +118,24 @@ class Arbalest(Tool):
         race_detection: bool = True,
         record_access_metadata: bool = False,
         shadow_budget_bytes: int | None = None,
+        certificate=None,
     ) -> None:
         super().__init__()
         self.granule = granule
+        if certificate is None:
+            certified: frozenset[str] = frozenset()
+        elif hasattr(certificate, "variables"):
+            certified = frozenset(certificate.variables)
+        else:
+            certified = frozenset(certificate)
+        self.certified = certified
+        self.cert_access_skips = 0
         self.shadows = ShadowRegistry(
-            granule=granule, budget_bytes=shadow_budget_bytes
+            granule=granule,
+            budget_bytes=shadow_budget_bytes,
+            certified=certified,
         )
-        self.mappings = MappingRegistry()
+        self.mappings = MappingRegistry(certified=certified)
         self.race_engine = RaceEngine() if race_detection else None
         self.record_access_metadata = record_access_metadata
         self.bug_reports: list[BugReport] = []
@@ -307,11 +329,15 @@ class Arbalest(Tool):
         if access.device_id == 0:
             if telemetry is not None:
                 telemetry.count("detector.accesses.host")
-            self._host_access(access)
+            certified_skip = self._host_access(access)
         else:
             if telemetry is not None:
                 telemetry.count("detector.accesses.device")
-            self._device_access(access)
+            certified_skip = self._device_access(access)
+        if certified_skip:
+            if telemetry is not None:
+                telemetry.count("staticlint.access_skips")
+            return  # statically proven safe: no VSM, no race check
         if self.race_engine is not None:
             self._race_check(access)
 
@@ -338,16 +364,32 @@ class Arbalest(Tool):
 
     # -- host side ----------------------------------------------------------
 
-    def _host_access(self, access: "Access") -> None:
+    def _host_access(self, access: "Access") -> bool:
+        """Drive the VSM for one host access.
+
+        Returns True when the access hit a certified (statically proven)
+        allocation and all dynamic checking was skipped.
+        """
         address = access.address
         cached = self._lookup_host
         if cached is not None and cached[0] <= address < cached[1]:
             block, rec = cached[2], cached[3]
             self._lookup_cache_hits += 1
+            if block is None:
+                # Certified allocation: no shadow block exists by design.
+                self.cert_access_skips += 1
+                return True
         else:
             block = self.shadows.find(address)
             if block is None:
-                return  # freed or foreign memory: not a mapping question
+                skipped = self.shadows.skipped_range(address)
+                if skipped is not None:
+                    # Certified allocation (shadow creation was skipped):
+                    # cache the whole range as a skip and bail out.
+                    self._lookup_host = (skipped[0], skipped[1], None, None)
+                    self.cert_access_skips += 1
+                    return True
+                return False  # freed or foreign memory: not a mapping question
             # Is this host range unified-mapped?  (Unified CVs share the host
             # address, so the mapping registry is keyed by this same address.)
             rec = self.mappings.find(address)
@@ -370,10 +412,16 @@ class Arbalest(Tool):
         else:
             ops = (VsmOp.WRITE_HOST,) if access.is_write else (VsmOp.READ_HOST,)
         self._apply_access(block, access, access.address, ops, side="host")
+        return False
 
     # -- device side ------------------------------------------------------------
 
-    def _device_access(self, access: "Access") -> None:
+    def _device_access(self, access: "Access") -> bool:
+        """Drive the VSM for one device access.
+
+        Returns True when the access resolved to a certified mapping and
+        VSM/race checking was skipped (the §IV.D bounds check still ran).
+        """
         address = access.address
         cached = self._lookup_device
         if cached is not None and cached[0] <= address < cached[1]:
@@ -385,18 +433,31 @@ class Arbalest(Tool):
                 # No mapping contains even the first byte: the kernel touched
                 # device memory outside every corresponding variable.
                 self._report_overflow(access, None)
-                return
-            block = self.shadows.find(rec.ov_base if rec.unified else rec.to_ov(address))
-            if block is not None:
-                self._lookup_device = (rec.cv_base, rec.cv_end, block, rec)
+                return False
+            if rec.certified:
+                # Certified mapping: no shadow lookup, no VSM.  Cache the
+                # CV range with a None block so repeat hits stay O(1).
+                block = None
+                self._lookup_device = (rec.cv_base, rec.cv_end, None, rec)
+            else:
+                block = self.shadows.find(
+                    rec.ov_base if rec.unified else rec.to_ov(address)
+                )
+                if block is not None:
+                    self._lookup_device = (rec.cv_base, rec.cv_end, block, rec)
         span = access.span
         in_bounds_span = min(span, rec.cv_end - address)
         if in_bounds_span < span:
             # Part of the access leaves the mapping: §IV.D overflow.  The
-            # in-bounds prefix still drives the VSM below.
+            # in-bounds prefix still drives the VSM below.  This check stays
+            # on even for certified mappings — the cheap safety net under
+            # static-assisted pruning.
             self._report_overflow(access, rec)
+        if rec.certified:
+            self.cert_access_skips += 1
+            return True
         if block is None:
-            return
+            return False
         if rec.unified:
             ops = (
                 (VsmOp.WRITE_HOST, VsmOp.UPDATE_TARGET)
@@ -411,6 +472,7 @@ class Arbalest(Tool):
             block, access, start, ops, side="device", rec=rec,
             clip_span=in_bounds_span,
         )
+        return False
 
     # -- shared transition/report path ---------------------------------------
 
@@ -608,6 +670,15 @@ class Arbalest(Tool):
         """
         hits, misses = self.mappings.lookup_stats
         return hits + self._lookup_cache_hits, misses
+
+    def cert_stats(self) -> dict:
+        """Accounting of static-assisted pruning (certificate mode)."""
+        return {
+            "certified_variables": len(self.certified),
+            "shadow_blocks_skipped": self.shadows.skipped_blocks,
+            "shadow_bytes_skipped": self.shadows.skipped_bytes,
+            "access_skips": self.cert_access_skips,
+        }
 
     def degradation_stats(self) -> dict:
         """Accounting of graceful-degradation events (chaos campaigns)."""

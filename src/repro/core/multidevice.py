@@ -160,11 +160,10 @@ class MultiShadowBlock:
 class MultiShadowRegistry(ShadowRegistry):
     """ShadowRegistry producing multi-device blocks."""
 
-    def create(self, base: int, nbytes: int, label: str = "") -> MultiShadowBlock:
-        block = MultiShadowBlock(base, nbytes, granule=self.granule, label=label)
-        self._tree.insert(base, base + nbytes, block)
-        self._total_shadow += block.shadow_nbytes
-        return block
+    def _make_block(
+        self, base: int, nbytes: int, granule: int, label: str
+    ) -> MultiShadowBlock:
+        return MultiShadowBlock(base, nbytes, granule=granule, label=label)
 
 
 class MultiDeviceArbalest(Arbalest):
@@ -180,4 +179,6 @@ class MultiDeviceArbalest(Arbalest):
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
-        self.shadows = MultiShadowRegistry(granule=self.granule)
+        self.shadows = MultiShadowRegistry(
+            granule=self.granule, certified=self.certified
+        )

@@ -33,6 +33,9 @@ class MappingRecord:
     device_id: int
     #: Unified-memory mapping: CV and OV are the same storage.
     unified: bool
+    #: Statically proven mapping-issue-free: accesses through this record
+    #: skip VSM transitions entirely (static-assisted dynamic detection).
+    certified: bool = False
 
     @property
     def cv_end(self) -> int:
@@ -49,18 +52,23 @@ class MappingRecord:
 class MappingRegistry:
     """Live mappings keyed by CV address range (all devices in one tree)."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, certified: frozenset[str] | None = None) -> None:
         self._tree: IntervalTree[MappingRecord] = IntervalTree()
         # Reverse lookup (host address -> mapping) is a plain scan: unlike
         # CV ranges, OV ranges are NOT unique — one host section can be
         # present on several devices at once — and m is small (§IV.C), so
         # a list beats maintaining a multimap tree.
         self._records: list[MappingRecord] = []
+        #: Variable names a SafetyCertificate proved mapping-issue-free;
+        #: records added under these names are stamped ``certified``.
+        self.certified = frozenset(certified or ())
 
     def __len__(self) -> int:
         return len(self._tree)
 
     def add(self, record: MappingRecord) -> None:
+        if record.name and record.name in self.certified:
+            record.certified = True
         self._tree.insert(record.cv_base, record.cv_end, record)
         self._records.append(record)
 
@@ -163,9 +171,21 @@ class ShadowRegistry:
     ``INVALID`` state.  The precision loss is accounted in
     :attr:`coarsened_blocks` / :attr:`coarsened_bytes` — degraded tracking,
     never a crash.
+
+    ``certified`` names variables a :class:`~repro.staticlint.certificate.
+    SafetyCertificate` proved mapping-issue-free: their allocations get
+    **no shadow block at all** (``create`` returns ``None`` and records the
+    address range so ``drop``/lookups stay consistent).  The savings are
+    accounted in :attr:`skipped_blocks` / :attr:`skipped_bytes`.
     """
 
-    def __init__(self, *, granule: int = 8, budget_bytes: int | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        granule: int = 8,
+        budget_bytes: int | None = None,
+        certified: frozenset[str] | None = None,
+    ) -> None:
         self._tree: IntervalTree[ShadowBlock] = IntervalTree()
         self.granule = granule
         self.budget_bytes = budget_bytes
@@ -174,11 +194,24 @@ class ShadowRegistry:
         self.coarsened_blocks = 0
         #: Application bytes tracked only at degraded granularity.
         self.coarsened_bytes = 0
+        self.certified = frozenset(certified or ())
+        #: Address ranges of certified allocations (base -> end): tracked
+        #: so certified accesses are recognized without a shadow block.
+        self._skipped: dict[int, int] = {}
+        self.skipped_blocks = 0
+        self.skipped_bytes = 0
 
     def __len__(self) -> int:
         return len(self._tree)
 
-    def create(self, base: int, nbytes: int, label: str = "") -> ShadowBlock:
+    def create(self, base: int, nbytes: int, label: str = "") -> ShadowBlock | None:
+        if label and label in self.certified:
+            self._skipped[base] = base + nbytes
+            self.skipped_blocks += 1
+            self.skipped_bytes += nbytes
+            if _telemetry.ACTIVE is not None:
+                _telemetry.ACTIVE.count("staticlint.shadow_skips")
+            return None
         granule = self.granule
         if self.budget_bytes is not None:
             projected = -(-nbytes // granule) * 8
@@ -191,15 +224,30 @@ class ShadowRegistry:
                     _telemetry.ACTIVE.observe(
                         "detector.coarsened_block_bytes", nbytes
                     )
-        block = ShadowBlock(base, nbytes, granule=granule, label=label)
+        block = self._make_block(base, nbytes, granule, label)
         self._tree.insert(base, base + nbytes, block)
         self._total_shadow += block.shadow_nbytes
         return block
 
-    def drop(self, base: int) -> ShadowBlock:
+    def _make_block(
+        self, base: int, nbytes: int, granule: int, label: str
+    ) -> ShadowBlock:
+        """Block construction hook (multi-device registries override)."""
+        return ShadowBlock(base, nbytes, granule=granule, label=label)
+
+    def drop(self, base: int) -> ShadowBlock | None:
+        if self._skipped.pop(base, None) is not None:
+            return None  # certified allocation: there never was a block
         block = self._tree.remove(base)
         self._total_shadow -= block.shadow_nbytes
         return block
+
+    def skipped_range(self, address: int) -> tuple[int, int] | None:
+        """The certified allocation range containing ``address``, if any."""
+        for base, end in self._skipped.items():
+            if base <= address < end:
+                return (base, end)
+        return None
 
     def find(self, address: int) -> ShadowBlock | None:
         return self._tree.stab(address)

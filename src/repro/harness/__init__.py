@@ -16,6 +16,13 @@ from .overhead import (
     run_bench,
     run_overhead_comparison,
 )
+from .hybrid import (
+    MODES,
+    HybridResult,
+    HybridRow,
+    run_benchmark_hybrid,
+    run_hybrid_comparison,
+)
 from .profile import PROFILE_CLOCKS, PROFILE_SUITES, inventory, run_profile
 from .precision import (
     EXPECTED_DETECTIONS,
@@ -43,6 +50,11 @@ __all__ = [
     "OverheadResult",
     "Measurement",
     "CONFIGS",
+    "run_hybrid_comparison",
+    "run_benchmark_hybrid",
+    "HybridResult",
+    "HybridRow",
+    "MODES",
     "run_case_study",
     "CaseStudyResult",
     "run_chaos",

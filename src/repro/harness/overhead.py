@@ -29,8 +29,10 @@ from ..specaccel.workloads import WORKLOADS, Workload
 from .precision import TOOL_FACTORIES, TOOL_ORDER
 from .tables import render_ratio_chart, render_table
 
-#: Fig 8/9 column order: native baseline first, then the tools.
-CONFIGS = ("native", *TOOL_ORDER)
+#: Fig 8/9 column order: native baseline first, then the tools, then the
+#: static-assisted detector (ARBALEST pruned by each workload twin's
+#: SafetyCertificate — the staticlint speedup the tracked bench records).
+CONFIGS = ("native", *TOOL_ORDER, "arbalest-cert")
 
 
 @dataclass
@@ -124,7 +126,15 @@ def measure_one(
     for _ in range(max(1, repetitions)):
         rt = TargetRuntime(n_devices=1)
         tool = None
-        if config != "native":
+        if config == "arbalest-cert":
+            from ..core.detector import Arbalest
+            from ..staticlint import spec_certificates
+
+            # Workloads whose twin certifies nothing (postencil, polbm:
+            # pointer swaps) run at plain-arbalest cost — honestly.
+            certificate = spec_certificates().get(workload.name)
+            tool = Arbalest(certificate=certificate).attach(rt.machine)
+        elif config != "native":
             tool = TOOL_FACTORIES[config]().attach(rt.machine)
         start = time.perf_counter()
         checksum = workload.run(rt, preset)
@@ -199,11 +209,14 @@ def bench_payload(result: OverheadResult, *, repetitions: int) -> dict:
             }
         payload["workloads"][w] = row
     arb = [result.slowdown(w, "arbalest") for w in workloads]
+    cert = [result.slowdown(w, "arbalest-cert") for w in workloads]
     payload["summary"] = {
         "arbalest_slowdown_geomean": round(
             float(np_geomean(arb)), 3
         ),
         "arbalest_slowdown_max": round(max(arb), 3),
+        "arbalest_cert_slowdown_geomean": round(float(np_geomean(cert)), 3),
+        "arbalest_cert_slowdown_max": round(max(cert), 3),
     }
     return payload
 

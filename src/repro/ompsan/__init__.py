@@ -2,18 +2,28 @@
 
 from .analyzer import AnalysisResult, OmpSan, StaticIssue, StaticIssueKind, analyze
 from .ir import (
+    Branch,
     Decl,
     EnterData,
     ExitData,
     HostRead,
     HostWrite,
+    Loop,
     MapItem,
     PointerSwap,
     StaticProgram,
     TargetKernel,
     Update,
+    extent_interval,
 )
-from .programs import BUGGY_PROGRAMS, CLEAN_PROGRAMS, postencil
+from .programs import (
+    BUGGY_PROGRAMS,
+    CLEAN_PROGRAMS,
+    CONTROL_FLOW_PROGRAMS,
+    ENCODING_NOTES,
+    SPEC_PROGRAMS,
+    postencil,
+)
 
 __all__ = [
     "analyze",
@@ -31,7 +41,13 @@ __all__ = [
     "ExitData",
     "Update",
     "PointerSwap",
+    "Loop",
+    "Branch",
+    "extent_interval",
     "BUGGY_PROGRAMS",
     "CLEAN_PROGRAMS",
+    "CONTROL_FLOW_PROGRAMS",
+    "SPEC_PROGRAMS",
+    "ENCODING_NOTES",
     "postencil",
 ]

@@ -37,16 +37,19 @@ from dataclasses import dataclass, field
 
 from ..openmp.maptypes import MapType, entry_effect, exit_effect
 from .ir import (
+    Branch,
     Decl,
     EnterData,
     ExitData,
     HostRead,
     HostWrite,
+    Loop,
     MapItem,
     PointerSwap,
     StaticProgram,
     TargetKernel,
     Update,
+    extent_interval,
 )
 
 #: The "no definition reaches here" lattice bottom.
@@ -84,6 +87,7 @@ class _VarState:
     present: bool = False
     ref_count: int = 0
     mapped_elements: int | None = None  # None = whole object
+    mapped_start: int = 0
     length: int = 1
 
 
@@ -133,6 +137,8 @@ def _serial_defs(program: StaticProgram) -> dict[int, object]:
                 last.get(stmt.a, BOTTOM),
             )
         # EnterData/ExitData/Update: no-ops under serial elision.
+        # Loop/Branch: beyond the straight-line baseline (see class
+        # docstring of OmpSan); the fixpoint linter interprets them.
     return reaching
 
 
@@ -158,6 +164,7 @@ class OmpSan:
             vs.present = True
             vs.ref_count = 1
             vs.mapped_elements = item.elements
+            vs.mapped_start = item.start
             vs.dev_def = vs.host_def if eff.copies_to_device else BOTTOM
 
         def map_exit(item: MapItem, line: int) -> None:
@@ -176,6 +183,7 @@ class OmpSan:
             vs.present = False
             vs.dev_def = BOTTOM
             vs.mapped_elements = None
+            vs.mapped_start = 0
 
         for i, stmt in enumerate(program.body):
             if isinstance(stmt, Decl):
@@ -241,18 +249,29 @@ class OmpSan:
                 # Alias-analysis degradation: swap the names' whole abstract
                 # records, mapping state included (see module docstring).
                 state[stmt.a], state[stmt.b] = state[stmt.b], state[stmt.a]
+            elif isinstance(stmt, (Loop, Branch)):
+                # The straight-line baseline cannot interpret control flow:
+                # bodies are skipped wholesale, so loop- or branch-carried
+                # issues are structurally invisible here.  This is the
+                # modeled OMPSan limitation that repro.staticlint's worklist
+                # fixpoint removes.
+                continue
         return result
 
     @staticmethod
     def _check_extent(vs: _VarState, var: str, extents, line: int, issue) -> None:
-        touched = extents.get(var, vs.length)
-        mapped = vs.mapped_elements if vs.mapped_elements is not None else vs.length
-        if touched > mapped:
+        t_lo, t_hi = extent_interval(extents.get(var, vs.length))
+        if vs.mapped_elements is None:
+            m_lo, m_hi = 0, vs.length
+        else:
+            m_lo, m_hi = vs.mapped_start, vs.mapped_start + vs.mapped_elements
+        if t_lo < m_lo or t_hi > m_hi:
             issue(
                 StaticIssueKind.OVERFLOW,
                 var,
                 line,
-                f"kernel touches {touched} elements, section maps {mapped}",
+                f"kernel touches elements [{t_lo}:{t_hi}], "
+                f"section maps [{m_lo}:{m_hi}]",
             )
 
 

@@ -23,23 +23,39 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from typing import Callable, Sequence, Union
 
 from ..openmp.maptypes import MapType
 
 
 @dataclass(frozen=True)
 class MapItem:
-    """One map clause: ``map(type: var[0:elements])``.
+    """One map clause: ``map(type: var[start:elements])``.
 
-    ``elements=None`` maps the whole declared object.  Sections always
-    start at 0 in this IR — enough to express the DRACC too-small-section
-    bugs while keeping the static domain one interval per variable.
+    ``elements=None`` maps the whole declared object (``start`` must then
+    be 0).  Historically sections silently started at 0; carrying the
+    offset keeps the static domain one interval per variable while letting
+    wrong-*start* sections (DRACC_OMP_025) be encoded as what they are.
     """
 
     var: str
     map_type: MapType
     elements: int | None = None
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"negative section start {self.start} for {self.var}")
+        if self.elements is None and self.start:
+            raise ValueError(
+                f"whole-object map of {self.var} cannot carry start={self.start}"
+            )
+
+    def interval(self, length: int) -> tuple[int, int]:
+        """The mapped element interval ``[lo, hi)`` for a declared length."""
+        if self.elements is None:
+            return (0, length)
+        return (self.start, self.start + self.elements)
 
 
 @dataclass(frozen=True)
@@ -63,6 +79,18 @@ class HostRead:
     line: int = 0
 
 
+def extent_interval(value) -> tuple[int, int]:
+    """Normalize a kernel extent to an element interval ``[lo, hi)``.
+
+    A bare int ``hi`` is the legacy form "touches [0, hi)"; a 2-tuple is an
+    explicit interval (needed once sections carry offsets).
+    """
+    if isinstance(value, tuple):
+        lo, hi = value
+        return (int(lo), int(hi))
+    return (0, int(value))
+
+
 @dataclass(frozen=True)
 class TargetKernel:
     """A target region: its maps plus which variables the body touches."""
@@ -70,9 +98,10 @@ class TargetKernel:
     maps: tuple[MapItem, ...]
     reads: tuple[str, ...] = ()
     writes: tuple[str, ...] = ()
-    #: Highest element index + 1 the body touches, per variable, when it
-    #: differs from the declared length (the buffer-overflow bug class).
-    extents: tuple[tuple[str, int], ...] = ()
+    #: Element range the body touches, per variable, when it differs from
+    #: the declared length (the buffer-overflow bug class).  Values are
+    #: either ``hi`` (touches ``[0, hi)``) or an explicit ``(lo, hi)``.
+    extents: tuple[tuple[str, object], ...] = ()
     line: int = 0
 
 
@@ -104,8 +133,43 @@ class PointerSwap:
     line: int = 0
 
 
+@dataclass(frozen=True)
+class Loop:
+    """A loop of directives: the body executes zero or more times.
+
+    ``trip_count`` is a hint (compile-time-known counts in the C originals);
+    the fixpoint analysis in :mod:`repro.staticlint` deliberately ignores it
+    and analyzes the 0-or-more over-approximation, which is what makes its
+    results hold for *any* trip count.  The straight-line
+    :class:`~repro.ompsan.analyzer.OmpSan` baseline cannot interpret loops
+    at all and skips them — the documented gap the linter closes.
+    """
+
+    body: tuple["Stmt", ...]
+    trip_count: int | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A two-armed conditional over directives (condition is opaque)."""
+
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...] = ()
+    line: int = 0
+
+
 Stmt = Union[
-    Decl, HostWrite, HostRead, TargetKernel, EnterData, ExitData, Update, PointerSwap
+    Decl,
+    HostWrite,
+    HostRead,
+    TargetKernel,
+    EnterData,
+    ExitData,
+    Update,
+    PointerSwap,
+    Loop,
+    Branch,
 ]
 
 
@@ -177,4 +241,35 @@ class StaticProgram:
 
     def swap(self, a: str, b: str, line: int = 0) -> "StaticProgram":
         self.body.append(PointerSwap(a, b, line))
+        return self
+
+    def loop(
+        self,
+        build: "Callable[[StaticProgram], object]",
+        *,
+        trip_count: int | None = None,
+        line: int = 0,
+    ) -> "StaticProgram":
+        """Append a loop; ``build`` fills a sub-program that becomes the body."""
+        sub = StaticProgram(f"{self.name}:loop")
+        build(sub)
+        self.body.append(Loop(tuple(sub.body), trip_count, line))
+        return self
+
+    def branch(
+        self,
+        then_build: "Callable[[StaticProgram], object]",
+        else_build: "Callable[[StaticProgram], object] | None" = None,
+        *,
+        line: int = 0,
+    ) -> "StaticProgram":
+        """Append a conditional; each callable fills one arm's sub-program."""
+        then_sub = StaticProgram(f"{self.name}:then")
+        then_build(then_sub)
+        else_body: tuple[Stmt, ...] = ()
+        if else_build is not None:
+            else_sub = StaticProgram(f"{self.name}:else")
+            else_build(else_sub)
+            else_body = tuple(else_sub.body)
+        self.body.append(Branch(tuple(then_sub.body), else_body, line))
         return self

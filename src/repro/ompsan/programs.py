@@ -7,11 +7,15 @@ The paper's OMPSan comparison states two facts to reproduce:
   (pointer swaps defeating the alias analysis).
 
 Each encoding below mirrors the directive structure of the corresponding
-dynamic benchmark in :mod:`repro.dracc` / :mod:`repro.specaccel`; loops of
-directives are unrolled (trip counts are compile-time constants in the C
-originals).  Encoding note for DRACC_OMP_025: the IR's sections start at 0,
-so the wrong-*start* section is encoded as a wrong-*length* section — the
-def-use consequence (the kernel touches unmapped elements) is identical.
+dynamic benchmark in :mod:`repro.dracc` / :mod:`repro.specaccel`.  Loops of
+directives use the IR's :class:`~repro.ompsan.ir.Loop` (analyzed as
+0-or-more by the fixpoint linter); loops whose first iteration matters
+for def-use precision are peeled (the standard do-while transformation
+for trip counts known to be >= 1).  Everything below the directive
+altitude — intra-kernel ordering, thread-level concurrency, device ids,
+access strides — is invisible to a directive-level static analysis;
+:data:`ENCODING_NOTES` records, per benchmark, which aspect of the
+dynamic original the twin necessarily approximates.
 """
 
 from __future__ import annotations
@@ -87,10 +91,11 @@ def dracc_024() -> StaticProgram:
 def dracc_025() -> StaticProgram:
     p = _abc(StaticProgram("DRACC_OMP_025"))
     p.kernel(
-        [("a", TO, N // 2), ("b", TO), ("c", TOFROM)],
+        # The wrong-*start* section, encoded as what it is: a[N/2:N/2].
+        [("a", TO, N // 2, N // 2), ("b", TO), ("c", TOFROM)],
         reads=("a", "b", "c"),
         writes=("c",),
-        extents={"a": N},  # wrong-start section encoded as wrong length
+        extents={"a": N},
         line=19,
     )
     p.host_read("c", 90)
@@ -324,11 +329,484 @@ def clean_016() -> StaticProgram:
     return p
 
 
+def clean_001() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_001"))
+    p.kernel(
+        [("a", TOFROM), ("b", TOFROM), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def clean_002() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_002"))
+    region = [("a", TO), ("b", TO), ("c", TOFROM)]
+    p.enter_data(region)
+    p.kernel([], reads=("a", "b", "c"), writes=("c",))
+    p.kernel([("a", TOFROM)], reads=("a",), writes=("a",))
+    p.exit_data(region)
+    p.host_read("c", 90)
+    return p
+
+
+def clean_003() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_003"))
+    p.enter_data([("a", TO), ("b", TO), ("c", TO)])
+    p.kernel([], reads=("a", "b", "c"), writes=("c",))
+    p.exit_data([("a", RELEASE), ("b", RELEASE), ("c", FROM)])
+    p.host_read("c", 90)
+    return p
+
+
+def clean_005() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_005")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("c", N).host_write("c", 5)
+    p.decl("scratch", N)
+    # The kernel defines the scratch before reading it; intra-kernel
+    # def-before-use collapses to "write" at directive altitude.
+    p.kernel(
+        [("a", TO), ("c", TOFROM), ("scratch", ALLOC)],
+        reads=("a",),
+        writes=("scratch", "c"),
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def clean_006() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_006")
+    p.decl("a", N).host_write("a", 5)
+    p.kernel(
+        [("a", TOFROM, 32, 16)],  # a[16:48], used strictly within bounds
+        reads=("a",),
+        writes=("a",),
+        extents={"a": (16, 48)},
+    )
+    p.host_read("a", 90)
+    return p
+
+
+def clean_007() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_007")
+    p.decl("a", M).host_write("a", 5)
+    p.decl("b", M * M).host_write("b", 5)
+    p.decl("c", M).host_write("c", 5)
+    p.kernel(
+        [("a", TO), ("b", TO), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def clean_008() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_008"))
+    region = [("a", TO), ("b", TO), ("c", TOFROM)]
+    p.enter_data(region)
+    p.kernel([], reads=("a", "b", "c"), writes=("c",))
+    p.update(from_=("c",))
+    p.host_read("c", 40)  # host read inside the region: legal after update
+    p.exit_data(region)
+    p.host_read("c", 90)
+    return p
+
+
+def clean_010() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_010"))
+    region = [("a", TO), ("b", TO), ("c", TOFROM)]
+    p.enter_data(region)
+    p.kernel([], reads=("a", "b", "c"), writes=("c",))
+    p.exit_data(region)
+    p.host_read("c", 90)
+    return p
+
+
+def clean_011() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_011"))
+    p.enter_data([("a", TO), ("b", TO), ("c", TO)])
+    p.kernel([], reads=("a", "b", "c"), writes=("c",))
+    p.kernel([], reads=("c",), writes=("c",))
+    p.exit_data([("a", RELEASE), ("b", RELEASE), ("c", FROM)])
+    p.host_read("c", 90)
+    return p
+
+
+def clean_012() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_012"))
+    p.decl("d", N).host_write("d", 5)
+    p.kernel(
+        [("a", TO), ("b", TO), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+    )
+    p.kernel([("c", TO), ("d", TOFROM)], reads=("c",), writes=("d",))
+    p.host_read("d", 90)
+    return p
+
+
+def clean_014() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_014"))
+    p.enter_data([("a", TO), ("b", TO), ("c", TO)])
+    p.kernel([], reads=("a", "b", "c"), writes=("c",))
+    p.exit_data([("c", FROM), ("a", RELEASE), ("b", RELEASE)])
+    p.host_read("c", 90)
+    return p
+
+
+def clean_015() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_015"))
+    p.enter_data([("a", TO), ("b", TO), ("c", TO)])
+    p.kernel([], reads=("a", "b", "c"), writes=("c",))
+    p.update(from_=("c",))  # retrieve first...
+    p.exit_data([("a", DELETE), ("b", DELETE), ("c", DELETE)])  # ...then delete
+    p.host_read("c", 90)
+    return p
+
+
+def clean_017() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_017")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("c", N).host_write("c", 5)
+    p.kernel([("a", TO), ("c", TOFROM)], reads=("a",), writes=("c",))
+    p.host_read("c", 90)
+    return p
+
+
+def clean_018() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_018")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("total", 1)
+    p.kernel([("a", TO), ("total", FROM)], reads=("a",), writes=("total",))
+    p.host_read("total", 90)
+    return p
+
+
+def clean_019() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_019"))
+    p.kernel(
+        [("a", TO), ("b", TO), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+    )
+    p.host_read("c", 90)
+    return p
+
+
+def clean_020() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_020")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("c", N).host_write("c", 5)
+    p.enter_data([("a", TO), ("c", TO)])
+    p.loop(
+        lambda s: s.kernel([], reads=("a", "c"), writes=("c",)),
+        trip_count=4,
+    )
+    p.exit_data([("a", RELEASE), ("c", FROM)])
+    p.host_read("c", 90)
+    return p
+
+
+def clean_021() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_021")
+    p.decl("a", N).host_write("a", 5)
+    p.kernel(
+        [("a", TOFROM, N // 2, 0)],
+        reads=("a",),
+        writes=("a",),
+        extents={"a": (0, N // 2)},
+    )
+    p.kernel(
+        [("a", TOFROM, N // 2, N // 2)],
+        reads=("a",),
+        writes=("a",),
+        extents={"a": (N // 2, N)},
+    )
+    p.host_read("a", 90)
+    return p
+
+
+def clean_035() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_035")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("c", N).host_write("c", 5)
+    p.kernel([("a", TO), ("c", TOFROM)], reads=("a", "c"), writes=("c",))
+    p.host_read("c", 90)
+    return p
+
+
+def clean_036() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_036")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("b", N).host_write("b", 5)
+    p.kernel([("a", TO), ("b", TOFROM)], reads=("a",), writes=("b",))
+    p.host_read("b", 90)
+    return p
+
+
+def clean_037() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_037")
+    p.decl("c", N).host_write("c", 5)
+    # Reads its own in-kernel writes: write-only at directive altitude.
+    p.kernel([("c", TOFROM)], writes=("c",))
+    p.host_read("c", 90)
+    return p
+
+
+def clean_038() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_038")
+    p.decl("a", N, initialized=True)  # init= data, no separate host write
+    p.decl("c", N).host_write("c", 5)
+    p.kernel([("a", TO), ("c", TOFROM)], reads=("a", "c"), writes=("c",))
+    p.host_read("c", 90)
+    return p
+
+
+def clean_039() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_039")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("c", N).host_write("c", 5)
+    p.kernel([("a", TO), ("c", TOFROM)], reads=("a",), writes=("c",))
+    p.host_read("c", 90)
+    return p
+
+
+def clean_040() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_040")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("b", N).host_write("b", 5)
+    p.kernel([("a", TOFROM)], reads=("a",), writes=("a",))
+    p.kernel([("b", TOFROM)], reads=("b",), writes=("b",))
+    p.host_read("a", 90)
+    p.host_read("b", 91)
+    return p
+
+
+def clean_041() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_041")
+    p.decl("a", N).host_write("a", 5)
+    p.enter_data([("a", TOFROM)])
+    p.host_write("a", 30)  # a[0:8] refresh, whole-var at this altitude
+    p.update(to=("a",))
+    p.kernel([], reads=("a",), writes=("a",))
+    p.exit_data([("a", TOFROM)])
+    p.host_read("a", 90)
+    return p
+
+
+def clean_042() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_042")
+    p.decl("g", N).host_write("g", 5)
+    p.decl("c", N).host_write("c", 5)
+    p.kernel([("g", TO), ("c", TOFROM)], reads=("g",), writes=("c",))
+    p.host_read("c", 90)
+    return p
+
+
+def clean_043() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_043")
+    p.decl("x", 1).host_write("x", 5)
+
+    def body(s: StaticProgram) -> None:
+        s.kernel([("x", TOFROM)], reads=("x",), writes=("x",))
+        s.host_read("x", 12)
+        s.host_write("x", 12)
+
+    p.loop(body, trip_count=5)
+    p.host_read("x", 90)
+    return p
+
+
+def clean_044() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_044"))
+    p.kernel(
+        [("a", TO), ("b", TO), ("c", TOFROM)],
+        reads=("a", "b", "c"),
+        writes=("c",),
+    )
+    p.host_read("c", 40)
+    p.decl("d", N).host_write("d", 45)
+    p.kernel([("c", TO), ("d", TOFROM)], reads=("c", "d"), writes=("d",))
+    p.host_read("d", 90)
+    return p
+
+
+def clean_045() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_045")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("out", N)
+    p.enter_data([("a", TO), ("out", ALLOC)])
+    p.kernel([], reads=("a",), writes=("out",))
+    p.exit_data([("a", RELEASE), ("out", FROM)])
+    p.host_read("out", 90)
+    return p
+
+
+def clean_046() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_046")
+    p.decl("a", N).host_write("a", 5)
+    p.kernel([("a", TOFROM)], reads=("a",), writes=("a",))
+    p.host_read("a", 90)
+    return p
+
+
+def clean_047() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_047")
+    p.decl("cur", N).host_write("cur", 5)
+    p.decl("nxt", N).host_write("nxt", 5)
+    p.enter_data([("cur", TO), ("nxt", TO)])
+
+    def round_trip(s: StaticProgram) -> None:
+        # One double-buffer round: cur -> nxt, then nxt -> cur.  The
+        # dynamic original alternates *roles*, never swaps pointers.
+        s.kernel([], reads=("cur",), writes=("nxt",))
+        s.kernel([], reads=("nxt",), writes=("cur",))
+
+    p.loop(round_trip, trip_count=2)
+    p.exit_data([("cur", FROM), ("nxt", RELEASE)])
+    p.host_read("cur", 90)
+    return p
+
+
+def clean_048() -> StaticProgram:
+    p = _abc(StaticProgram("DRACC_OMP_048"))
+    p.enter_data([("a", TO), ("b", TO), ("c", TOFROM)])
+    p.enter_data([("a", TO), ("c", TO)])
+    p.enter_data([("c", TO)])  # rc(c) = 3
+    p.kernel([], reads=("a", "b", "c"), writes=("c",))
+    p.exit_data([("c", TO)])
+    p.exit_data([("a", TO), ("c", TO)])
+    p.exit_data([("a", TO), ("b", TO), ("c", TOFROM)])
+    p.host_read("c", 90)
+    return p
+
+
+def clean_052() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_052")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("c", N).host_write("c", 5)
+    p.kernel([("a", TOFROM)], reads=("a",), writes=("a",))
+    p.kernel([("a", TO), ("c", TOFROM)], reads=("a",), writes=("c",))
+    p.host_read("c", 90)
+    return p
+
+
+def clean_053() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_053")
+    p.decl("x", N).host_write("x", 5)
+    p.loop(
+        lambda s: s.kernel([("x", TOFROM)], reads=("x",), writes=("x",)),
+        trip_count=4,
+    )
+    p.host_read("x", 90)
+    return p
+
+
+def clean_054() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_054")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("c", N).host_write("c", 5)
+    p.enter_data([("a", TO), ("c", TOFROM)])
+    p.update(to=("a",))  # redundant: entry already copied
+    p.kernel([], reads=("a",), writes=("c",))
+    p.update(from_=("c",))
+    p.update(from_=("c",))  # twice: still fine
+    p.exit_data([("a", TO), ("c", TOFROM)])
+    p.host_read("c", 90)
+    return p
+
+
+def clean_055() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_055")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("c", N).host_write("c", 5)
+    p.enter_data([("a", TOFROM), ("c", TOFROM)])
+    p.kernel([])  # empty kernel: mapping without any access
+    p.exit_data([("a", TOFROM), ("c", TOFROM)])
+    p.host_read("a", 90)
+    p.host_read("c", 91)
+    return p
+
+
+def clean_056() -> StaticProgram:
+    p = StaticProgram("DRACC_OMP_056")
+    p.decl("a", M, initialized=True)
+    p.decl("b", M * M).host_write("b", 5)
+    p.decl("c", M).host_write("c", 5)
+    p.enter_data([("b", TO)])
+    p.enter_data([("a", TO), ("c", TOFROM)])
+    p.kernel([], reads=("a", "b", "c"), writes=("c",))
+    p.update(from_=("c",))
+    p.host_read("c", 40)
+    p.exit_data([("a", TO), ("c", TOFROM)])
+    p.exit_data([("b", RELEASE)])
+    p.host_read("c", 90)
+    return p
+
+
 CLEAN_PROGRAMS = {
+    1: clean_001,
+    2: clean_002,
+    3: clean_003,
     4: clean_004,
+    5: clean_005,
+    6: clean_006,
+    7: clean_007,
+    8: clean_008,
     9: clean_009,
+    10: clean_010,
+    11: clean_011,
+    12: clean_012,
     13: clean_013,
+    14: clean_014,
+    15: clean_015,
     16: clean_016,
+    17: clean_017,
+    18: clean_018,
+    19: clean_019,
+    20: clean_020,
+    21: clean_021,
+    35: clean_035,
+    36: clean_036,
+    37: clean_037,
+    38: clean_038,
+    39: clean_039,
+    40: clean_040,
+    41: clean_041,
+    42: clean_042,
+    43: clean_043,
+    44: clean_044,
+    45: clean_045,
+    46: clean_046,
+    47: clean_047,
+    48: clean_048,
+    52: clean_052,
+    53: clean_053,
+    54: clean_054,
+    55: clean_055,
+    56: clean_056,
+}
+
+#: What each twin necessarily abstracts away: aspects of the dynamic
+#: benchmark that live *below* directive altitude and are therefore
+#: genuinely inexpressible in the static IR.  The twins above encode the
+#: data-mapping skeleton faithfully; these notes say what was dropped.
+ENCODING_NOTES = {
+    5: "intra-kernel def-before-use of the scratch collapses to a write",
+    10: "nowait/taskwait synchronization is thread-level, not mapping-level",
+    11: "depend chains between nowait kernels are invisible",
+    17: "teams/parallel-for decomposition happens inside the kernel",
+    19: "element dtype does not exist at whole-variable granularity",
+    37: "the kernel reading its own writes collapses to a write",
+    40: "nowait on disjoint arrays is a scheduling fact, not a mapping fact",
+    41: "the partial-section target update widens to a whole-variable update",
+    46: "stride-2 writes are indistinguishable from dense writes",
+    47: "depend-chain double buffering reduces to its per-round dataflow",
+    52: "device ids do not exist in the IR; remapping per device does",
+    53: "device alternation is invisible; the remap-per-launch shape is kept",
 }
 
 
@@ -356,3 +834,199 @@ def postencil(iters: int = 3, *, buggy: bool = True) -> StaticProgram:
     p.exit_data([("A0", FROM), ("Anext", RELEASE)], line=143)
     p.host_read("A0", 145)
     return p
+
+
+# ---------------------------------------------------------------------------
+# SPEC ACCEL workload twins (certificate sources for the Fig-8 bench)
+# ---------------------------------------------------------------------------
+
+
+def spec_pcg() -> StaticProgram:
+    """554.pcg: persistent mappings, per-iteration updates for host dots."""
+    p = StaticProgram("554.pcg")
+    for var in ("A", "x", "r", "p", "Ap"):
+        p.decl(var, 128).host_write(var, 80)
+    p.enter_data(
+        [("A", TO), ("x", TO), ("r", TO), ("p", TO), ("Ap", TO)], line=86
+    )
+
+    def iteration(s: StaticProgram) -> None:
+        s.kernel([], reads=("A", "p"), writes=("Ap",), line=93)
+        s.update(from_=("Ap", "p"), line=95)
+        s.host_read("Ap", 97)
+        s.host_read("p", 97)
+        s.kernel([], reads=("x", "p"), writes=("x",), line=100)
+        s.kernel([], reads=("r", "Ap"), writes=("r",), line=101)
+        s.update(from_=("r",), line=102)
+        s.host_read("r", 104)
+        s.kernel([], reads=("r", "p"), writes=("p",), line=107)
+
+    p.loop(iteration, trip_count=12, line=91)
+    p.update(from_=("x",), line=114)
+    p.exit_data(
+        [("A", RELEASE), ("x", RELEASE), ("r", RELEASE), ("p", RELEASE), ("Ap", RELEASE)],
+        line=116,
+    )
+    p.host_read("x", 120)
+    return p
+
+
+def spec_pep() -> StaticProgram:
+    """552.pep: persistent tallies, a fresh to-mapped batch per iteration."""
+    p = StaticProgram("552.pep")
+    p.decl("counts", 10).host_write("counts", 89)
+    p.decl("sums", 2).host_write("sums", 90)
+    p.decl("pairs", 2048)
+    p.enter_data([("counts", TO), ("sums", TO)], line=94)
+
+    def batch(s: StaticProgram) -> None:
+        s.host_write("pairs", 150)
+        s.kernel(
+            [("pairs", TO)],
+            reads=("pairs", "counts", "sums"),
+            writes=("counts", "sums"),
+            line=172,
+        )
+
+    p.loop(batch, trip_count=8, line=95)
+    p.exit_data([("counts", FROM), ("sums", FROM)], line=106)
+    p.host_read("sums", 210)
+    p.host_read("counts", 211)
+    return p
+
+
+def spec_pomriq() -> StaticProgram:
+    """514.pomriq: read-only inputs, from-mapped outputs written by tiles.
+
+    The tile loop always runs (num_x >= 1), so its first iteration is
+    peeled: on a hypothetical 0-trip path the from-maps would copy
+    uninitialized device memory over the host arrays, which the 0-or-more
+    loop approximation would (correctly!) flag.
+    """
+    p = StaticProgram("514.pomriq")
+    inputs = ("kx", "ky", "kz", "x", "y", "z", "phi_r", "phi_i")
+    for var in inputs:
+        p.decl(var, 2048).host_write(var, 80)
+    p.decl("q_r", 2048).host_write("q_r", 84)
+    p.decl("q_i", 2048).host_write("q_i", 84)
+    region = [(v, TO) for v in inputs] + [("q_r", FROM), ("q_i", FROM)]
+    p.enter_data(region, line=87)
+    p.kernel([], reads=inputs, writes=("q_r", "q_i"), line=262)  # first tile
+    p.loop(
+        lambda s: s.kernel([], reads=inputs, writes=("q_r", "q_i"), line=262),
+        trip_count=3,
+        line=88,
+    )
+    p.exit_data(region, line=92)
+    p.host_read("q_r", 310)
+    p.host_read("q_i", 311)
+    return p
+
+
+def spec_polbm() -> StaticProgram:
+    """504.polbm: double buffering by *pointer swap* — never certifiable.
+
+    The dynamic workload alternates src/dst roles through Python-level
+    rebinding, which at static altitude is exactly the postencil pattern:
+    a PointerSwap per step.  The program is correct (the final update
+    reads the right buffer under the name-following semantics), but both
+    distributions are tainted, so the certificate stays empty and the
+    Fig-8 bench honestly shows no certificate speedup for polbm.
+    """
+    p = StaticProgram("504.polbm")
+    p.decl("f0", 4096).host_write("f0", 55)
+    p.decl("f1", 4096).host_write("f1", 56)
+    p.enter_data([("f0", TO), ("f1", TO)], line=89)
+
+    def step(s: StaticProgram) -> None:
+        s.kernel([], reads=("f0",), writes=("f1",), line=231)
+        s.swap("f0", "f1", line=232)
+
+    p.loop(step, trip_count=4, line=90)
+    p.update(from_=("f0",), line=95)
+    p.exit_data([("f0", RELEASE), ("f1", RELEASE)], line=96)
+    p.host_read("f0", 250)
+    return p
+
+
+#: Twins of the Fig-8 overhead workloads, keyed by the short workload name
+#: used by :mod:`repro.harness.overhead` (the bench runs the *fixed*
+#: postencil, so the twin is the fixed variant — still swap-tainted).
+SPEC_PROGRAMS = {
+    "postencil": lambda: postencil(buggy=False),
+    "polbm": spec_polbm,
+    "pomriq": spec_pomriq,
+    "pep": spec_pep,
+    "pcg": spec_pcg,
+}
+
+
+# ---------------------------------------------------------------------------
+# control-flow demonstrators: issues only the fixpoint linter can see
+# ---------------------------------------------------------------------------
+
+
+def loop_carried_stale() -> StaticProgram:
+    """Host refresh inside a loop, never pushed: stale on iteration 2+.
+
+    The straight-line baseline skips the loop body wholesale and reports
+    nothing; the fixpoint carries the second iteration's state around the
+    back edge and flags the kernel read.
+    """
+    p = StaticProgram("LOOP_CARRIED_STALE")
+    p.decl("a", N).host_write("a", 5)
+    p.enter_data([("a", TO)], line=10)
+
+    def body(s: StaticProgram) -> None:
+        s.kernel([], reads=("a",), line=14)
+        s.host_write("a", 16)  # missing: target update to(a)
+
+    p.loop(body, line=12)
+    p.exit_data([("a", RELEASE)], line=20)
+    return p
+
+
+def branch_carried_unmap() -> StaticProgram:
+    """One arm deletes the mapping; the kernel after the join still reads it.
+
+    Invisible to the straight-line baseline (which skips branch bodies and
+    still believes the variable is present); the fixpoint joins the two
+    arms into presence=MAYBE and reports the may-unmapped read.
+    """
+    p = StaticProgram("BRANCH_CARRIED_UNMAP")
+    p.decl("a", N).host_write("a", 5)
+    p.enter_data([("a", TO)], line=9)
+    p.branch(lambda s: s.exit_data([("a", DELETE)], line=13), line=12)
+    p.kernel([], reads=("a",), line=16)
+    return p
+
+
+def loop_conditional_update() -> StaticProgram:
+    """A loop whose body conditionally updates: the fixpoint still converges.
+
+    The termination stressor from the issue checklist: a host refresh per
+    iteration, pushed to the device on only one arm of a branch — stale on
+    the path that skips the update, fine on the other, around an unbounded
+    back edge.
+    """
+    p = StaticProgram("LOOP_CONDITIONAL_UPDATE")
+    p.decl("a", N).host_write("a", 5)
+    p.enter_data([("a", TO)], line=8)
+
+    def body(s: StaticProgram) -> None:
+        s.host_write("a", 11)
+        s.branch(lambda b: b.update(to=("a",), line=13), line=12)
+        s.kernel([], reads=("a",), line=15)
+
+    p.loop(body, line=10)
+    p.exit_data([("a", RELEASE)], line=18)
+    return p
+
+
+#: Programs with loop- or branch-carried issues (or loop-carried state)
+#: that the straight-line baseline structurally cannot analyze.
+CONTROL_FLOW_PROGRAMS = {
+    "loop_carried_stale": loop_carried_stale,
+    "branch_carried_unmap": branch_carried_unmap,
+    "loop_conditional_update": loop_conditional_update,
+}

@@ -1,0 +1,42 @@
+"""Static mapping linter: a worklist-fixpoint analysis over the directive IR.
+
+The :mod:`repro.ompsan` baseline reproduces OMPSan's *straight-line*
+§VI.G comparison.  This package is the production static pass on top of the
+same IR, extended with :class:`~repro.ompsan.ir.Loop` and
+:class:`~repro.ompsan.ir.Branch`:
+
+* :mod:`repro.staticlint.lattice` — the per-variable abstract domain
+  (definition origin × location × section interval × refcount);
+* :mod:`repro.staticlint.cfg` — lowering of structured statements to a
+  control-flow graph;
+* :mod:`repro.staticlint.analyzer` — the worklist fixpoint, findings with
+  repair suggestions, and the per-program :class:`SafetyCertificate`;
+* :mod:`repro.staticlint.certificate` — certificates plus the precomputed
+  certificate sets the dynamic detector consumes (static-assisted dynamic
+  detection: certified variables skip shadow instrumentation entirely).
+"""
+
+from .analyzer import LintFinding, LintResult, LintStats, StaticLinter, lint
+from .certificate import (
+    SafetyCertificate,
+    dracc_certificates,
+    spec_certificates,
+)
+from .lattice import Presence, VarAbstract
+from .report import lint_suite, render_suite, suite_programs
+
+__all__ = [
+    "StaticLinter",
+    "lint",
+    "lint_suite",
+    "render_suite",
+    "suite_programs",
+    "LintResult",
+    "LintFinding",
+    "LintStats",
+    "SafetyCertificate",
+    "dracc_certificates",
+    "spec_certificates",
+    "Presence",
+    "VarAbstract",
+]

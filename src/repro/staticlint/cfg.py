@@ -1,0 +1,116 @@
+"""Lowering of structured :class:`~repro.ompsan.ir.StaticProgram` to a CFG.
+
+:class:`~repro.ompsan.ir.Loop` and :class:`~repro.ompsan.ir.Branch` are
+structured constructs; the worklist fixpoint wants plain nodes and edges.
+The lowering is standard:
+
+* a ``Loop`` becomes a synthetic *head* node with one edge into the body,
+  a back edge from the body's exits to the head, and one edge past the
+  loop — the 0-or-more over-approximation (``trip_count`` hints are
+  deliberately ignored so results hold for any trip count);
+* a ``Branch`` becomes a synthetic *fork* node feeding both arms and a
+  synthetic *join* node collecting them (a missing else arm contributes
+  the fork→join fall-through edge).
+
+Synthetic nodes carry ``stmt=None`` and have identity transfer functions.
+Declarations are restricted to the top level: a ``Decl`` inside a loop or
+branch body raises :class:`LintError`, because a variable that exists on
+some paths only has no meaningful join (and no real DRACC/SPEC directive
+program re-declares storage inside control flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ompsan.ir import Branch, Decl, Loop, StaticProgram, Stmt
+
+
+class LintError(ValueError):
+    """The program is outside the subset the linter accepts."""
+
+
+@dataclass(frozen=True)
+class CfgNode:
+    """One CFG node: a real statement, or a synthetic control point."""
+
+    id: int
+    stmt: Stmt | None  # None for entry / loop-head / branch fork / join
+    kind: str  # "stmt" | "entry" | "loop-head" | "fork" | "join"
+    line: int = 0
+
+
+@dataclass
+class Cfg:
+    """Control-flow graph of one program (entry node id is always 0)."""
+
+    name: str
+    nodes: list[CfgNode] = field(default_factory=list)
+    succs: dict[int, list[int]] = field(default_factory=dict)
+    preds: dict[int, list[int]] = field(default_factory=dict)
+    entry: int = 0
+
+    def _new_node(self, stmt: Stmt | None, kind: str, line: int = 0) -> int:
+        nid = len(self.nodes)
+        self.nodes.append(CfgNode(nid, stmt, kind, line))
+        self.succs[nid] = []
+        self.preds[nid] = []
+        return nid
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.succs[src]:
+            self.succs[src].append(dst)
+            self.preds[dst].append(src)
+
+    @property
+    def statement_nodes(self) -> list[CfgNode]:
+        return [n for n in self.nodes if n.stmt is not None]
+
+
+def lower(program: StaticProgram) -> Cfg:
+    """Build the CFG for ``program`` (see module docstring for the shape)."""
+    cfg = Cfg(program.name)
+    entry = cfg._new_node(None, "entry")
+
+    def lower_body(body, tails: list[int], depth: int) -> list[int]:
+        """Lower a statement sequence; ``tails`` are the dangling exits
+        flowing into it.  Returns the new dangling exits."""
+        for stmt in body:
+            if isinstance(stmt, Decl) and depth > 0:
+                raise LintError(
+                    f"{program.name}: declaration of '{stmt.var}' inside a "
+                    "loop or branch body is outside the analyzable subset "
+                    "(declare at top level)"
+                )
+            if isinstance(stmt, Loop):
+                head = cfg._new_node(None, "loop-head", stmt.line)
+                for t in tails:
+                    cfg._edge(t, head)
+                body_tails = lower_body(stmt.body, [head], depth + 1)
+                for t in body_tails:
+                    cfg._edge(t, head)  # back edge
+                tails = [head]  # the zero-trips / loop-exit path
+            elif isinstance(stmt, Branch):
+                fork = cfg._new_node(None, "fork", stmt.line)
+                for t in tails:
+                    cfg._edge(t, fork)
+                join = cfg._new_node(None, "join", stmt.line)
+                then_tails = lower_body(stmt.then_body, [fork], depth + 1)
+                for t in then_tails:
+                    cfg._edge(t, join)
+                if stmt.else_body:
+                    else_tails = lower_body(stmt.else_body, [fork], depth + 1)
+                    for t in else_tails:
+                        cfg._edge(t, join)
+                else:
+                    cfg._edge(fork, join)  # fall-through arm
+                tails = [join]
+            else:
+                nid = cfg._new_node(stmt, "stmt", getattr(stmt, "line", 0))
+                for t in tails:
+                    cfg._edge(t, nid)
+                tails = [nid]
+        return tails
+
+    lower_body(program.body, [entry], 0)
+    return cfg

@@ -1,0 +1,119 @@
+"""Suite-level lint reports: the ``repro lint`` payload and golden format.
+
+``lint_suite()`` runs the linter over every static twin in the repo —
+the 16 buggy DRACC twins, the 40 clean ones, the 503.postencil case
+study (both variants), and the control-flow demos — and returns one
+JSON-serializable dict.  CI snapshots this payload as a golden file
+(``tests/staticlint/golden_lint.json``) and fails on any drift, so a
+change in linter behaviour must be accompanied by a reviewed golden
+update.
+
+Everything in the payload is deterministic: programs sort by name,
+findings keep analysis order (statement order within a program), and no
+timestamps or machine facts are included.
+"""
+
+from __future__ import annotations
+
+from .analyzer import LintResult, lint
+
+
+def _finding_dict(finding) -> dict:
+    return {
+        "kind": finding.kind.name,
+        "var": finding.var,
+        "line": finding.line,
+        "may": finding.may,
+        "detail": finding.detail,
+        "suggestion": finding.suggestion,
+    }
+
+
+def _result_dict(result: LintResult) -> dict:
+    return {
+        "findings": [_finding_dict(f) for f in result.findings],
+        "certified": sorted(result.certificate.variables)
+        if result.certificate
+        else [],
+        "stats": {
+            "cfg_nodes": result.stats.cfg_nodes,
+            "statements_visited": result.stats.statements_visited,
+            "fixpoint_iterations": result.stats.fixpoint_iterations,
+        },
+    }
+
+
+def suite_programs() -> dict:
+    """Every static twin the suite lints, keyed by program name."""
+    from ..ompsan.programs import (
+        BUGGY_PROGRAMS,
+        CLEAN_PROGRAMS,
+        CONTROL_FLOW_PROGRAMS,
+        postencil,
+    )
+
+    programs = {}
+    for table in (BUGGY_PROGRAMS, CLEAN_PROGRAMS):
+        for factory in table.values():
+            program = factory()
+            programs[program.name] = program
+    programs["503.postencil (buggy)"] = postencil(buggy=True)
+    programs["503.postencil (fixed)"] = postencil(buggy=False)
+    for factory in CONTROL_FLOW_PROGRAMS.values():
+        program = factory()
+        programs[program.name] = program
+    return programs
+
+
+def lint_suite() -> dict:
+    """Lint all static twins; the ``repro lint --json`` payload."""
+    results = {
+        name: lint(program) for name, program in suite_programs().items()
+    }
+    total_findings = sum(len(r.findings) for r in results.values())
+    payload = {
+        "programs": {
+            name: _result_dict(results[name]) for name in sorted(results)
+        },
+        "summary": {
+            "programs": len(results),
+            "with_findings": sum(
+                1 for r in results.values() if not r.clean
+            ),
+            "findings": total_findings,
+            "certified_variables": sum(
+                len(r.certificate.variables)
+                for r in results.values()
+                if r.certificate
+            ),
+        },
+    }
+    return payload
+
+
+def render_suite(payload: dict) -> str:
+    """Human rendering of a :func:`lint_suite` payload."""
+    lines = []
+    for name, entry in payload["programs"].items():
+        if entry["findings"]:
+            lines.append(f"{name}: {len(entry['findings'])} finding(s)")
+            for f in entry["findings"]:
+                where = f" at line {f['line']}" if f["line"] else ""
+                qualifier = " [some paths]" if f["may"] else ""
+                detail = f" ({f['detail']})" if f["detail"] else ""
+                lines.append(
+                    f"  lint: {f['kind']} [{f['var']}]{where}{qualifier}{detail}"
+                )
+                if f["suggestion"]:
+                    lines.append(f"    fix: {f['suggestion']}")
+        else:
+            lines.append(
+                f"{name}: clean ({len(entry['certified'])} variable(s) certified)"
+            )
+    s = payload["summary"]
+    lines.append(
+        f"\n{s['programs']} program(s) linted: {s['with_findings']} with "
+        f"findings ({s['findings']} total), "
+        f"{s['certified_variables']} variable(s) certified"
+    )
+    return "\n".join(lines)

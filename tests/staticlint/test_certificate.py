@@ -1,0 +1,76 @@
+"""Certificate soundness: the contract that makes pruning safe.
+
+A certificate licenses the dynamic detector to *skip* a variable, so the
+one inviolable property is that no dynamic run ever produces a finding
+on a certified variable.  This is asserted over the whole DRACC suite —
+the ISSUE's acceptance criterion for the static-assisted mode.
+"""
+
+from repro.core.detector import Arbalest
+from repro.dracc.registry import all_benchmarks
+from repro.openmp.runtime import TargetRuntime
+from repro.staticlint import (
+    SafetyCertificate,
+    dracc_certificates,
+    spec_certificates,
+)
+
+
+class TestCertificateObject:
+    def test_membership_protocol(self):
+        cert = SafetyCertificate("p", frozenset({"a", "b"}))
+        assert "a" in cert and cert.covers("b")
+        assert "c" not in cert
+        assert len(cert) == 2
+
+    def test_render(self):
+        assert "nothing certified" in SafetyCertificate("p", frozenset()).render()
+        assert "{a, b}" in SafetyCertificate("p", frozenset({"b", "a"})).render()
+
+
+class TestDraccCertificates:
+    def test_every_benchmark_has_a_certificate(self):
+        certs = dracc_certificates()
+        for benchmark in all_benchmarks():
+            assert benchmark.name in certs
+
+    def test_clean_benchmarks_certify_something_overall(self):
+        certs = dracc_certificates()
+        clean_total = sum(
+            len(certs[b.name]) for b in all_benchmarks() if not b.is_buggy
+        )
+        assert clean_total > 80  # 40 clean twins, 2-3 certified vars each
+
+    def test_soundness_no_dynamic_finding_on_certified_variable(self):
+        """THE safety property: dynamic findings never touch certified vars."""
+        certs = dracc_certificates()
+        for benchmark in all_benchmarks():
+            cert = certs[benchmark.name]
+            rt = TargetRuntime(n_devices=2)
+            detector = Arbalest().attach(rt.machine)
+            benchmark.run(rt)
+            for finding in detector.findings:
+                variable = getattr(finding, "variable", None)
+                assert not (variable and variable in cert), (
+                    f"{benchmark.name}: dynamic finding on certified "
+                    f"variable {variable!r} — unsound certificate"
+                )
+
+
+class TestSpecCertificates:
+    def test_keyed_by_workload_short_name(self):
+        from repro.specaccel import WORKLOADS
+
+        certs = spec_certificates()
+        assert set(certs) == {w.name for w in WORKLOADS}
+
+    def test_swap_workloads_certify_nothing(self):
+        certs = spec_certificates()
+        assert len(certs["postencil"]) == 0
+        assert len(certs["polbm"]) == 0
+
+    def test_swap_free_workloads_certify_everything_they_declare(self):
+        certs = spec_certificates()
+        assert certs["pcg"].variables == frozenset({"A", "x", "r", "p", "Ap"})
+        assert len(certs["pep"]) > 0
+        assert len(certs["pomriq"]) > 0

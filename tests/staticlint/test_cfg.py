@@ -1,0 +1,79 @@
+"""CFG lowering: structured Loop/Branch become the expected graph shapes."""
+
+import pytest
+
+from repro.ompsan import StaticProgram
+from repro.openmp.maptypes import MapType
+from repro.staticlint.cfg import LintError, lower
+
+TO = MapType.TO
+
+
+def test_straight_line_is_a_chain(
+):
+    p = StaticProgram("chain").decl("a", 8).host_write("a").host_read("a")
+    cfg = lower(p)
+    # entry plus one node per statement, each with a single successor chain.
+    assert len(cfg.statement_nodes) == 3
+    for node in cfg.nodes[:-1]:
+        assert len(cfg.succs[node.id]) == 1
+
+
+def test_loop_head_has_back_edge():
+    p = StaticProgram("loop").decl("a", 8)
+    p.loop(lambda s: s.host_write("a"))
+    cfg = lower(p)
+    heads = [n for n in cfg.nodes if n.kind == "loop-head"]
+    assert len(heads) == 1
+    head = heads[0]
+    # 0-or-more semantics: the head is reached from before the loop AND
+    # from the body's tail (the back edge).
+    assert len(cfg.preds[head.id]) == 2
+
+
+def test_branch_fork_join_with_missing_else():
+    p = StaticProgram("br").decl("a", 8)
+    p.branch(lambda s: s.host_write("a"))
+    cfg = lower(p)
+    forks = [n for n in cfg.nodes if n.kind == "fork"]
+    joins = [n for n in cfg.nodes if n.kind == "join"]
+    assert len(forks) == len(joins) == 1
+    # A missing else arm is an empty path: fork -> join directly.
+    assert joins[0].id in cfg.succs[forks[0].id]
+    assert len(cfg.preds[joins[0].id]) == 2
+
+
+def test_two_armed_branch_joins_both_arms():
+    p = StaticProgram("br2").decl("a", 8)
+    p.branch(lambda s: s.host_write("a"), lambda s: s.host_read("a"))
+    cfg = lower(p)
+    joins = [n for n in cfg.nodes if n.kind == "join"]
+    assert len(cfg.preds[joins[0].id]) == 2
+    forks = [n for n in cfg.nodes if n.kind == "fork"]
+    assert joins[0].id not in cfg.succs[forks[0].id]
+
+
+def test_nested_declaration_is_rejected():
+    p = StaticProgram("bad")
+    p.loop(lambda s: s.decl("a", 8))
+    with pytest.raises(LintError):
+        lower(p)
+
+
+def test_nested_loop_in_branch_lowers():
+    p = StaticProgram("nest").decl("a", 8)
+    p.branch(
+        lambda s: s.loop(lambda b: b.kernel([("a", TO)], reads=("a",)))
+    )
+    cfg = lower(p)
+    assert [n for n in cfg.nodes if n.kind == "loop-head"]
+    # Every node except entry is reachable through the succ relation.
+    seen = {cfg.entry}
+    frontier = [cfg.entry]
+    while frontier:
+        nid = frontier.pop()
+        for succ in cfg.succs[nid]:
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    assert seen == {n.id for n in cfg.nodes}

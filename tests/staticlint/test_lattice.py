@@ -1,0 +1,75 @@
+"""The abstract domain: joins must be commutative, monotone, and finite."""
+
+from repro.staticlint.lattice import (
+    REF_CAP,
+    UNINIT,
+    Presence,
+    VarAbstract,
+    join_serial,
+    join_states,
+)
+
+
+class TestPresence:
+    def test_join_is_commutative_and_idempotent(self):
+        for a in Presence:
+            assert a.join(a) is a
+            for b in Presence:
+                assert a.join(b) is b.join(a)
+
+    def test_disagreement_is_maybe(self):
+        assert Presence.NO.join(Presence.YES) is Presence.MAYBE
+        assert Presence.MAYBE.join(Presence.YES) is Presence.MAYBE
+
+
+class TestVarAbstract:
+    def test_join_unions_definitions(self):
+        a = VarAbstract(host_defs=frozenset({("def", 1)}))
+        b = VarAbstract(host_defs=frozenset({("def", 2)}))
+        assert a.join(b).host_defs == {("def", 1), ("def", 2)}
+
+    def test_join_intersects_sections(self):
+        a = VarAbstract(section=(0, 10))
+        b = VarAbstract(section=(5, 20))
+        assert a.join(b).section == (5, 10)
+        # Disjoint sections guarantee nothing.
+        c = VarAbstract(section=(50, 60))
+        assert a.join(c).section == (0, 0)
+
+    def test_none_section_means_whole_object(self):
+        a = VarAbstract(section=None, length=8)
+        assert a.covered(0, 8)
+        assert not a.covered(0, 9)
+        b = VarAbstract(section=(2, 6))
+        assert b.covered(2, 6)
+        assert not b.covered(0, 6)
+
+    def test_refcount_widens_at_cap(self):
+        rec = VarAbstract(ref_lo=1, ref_hi=1)
+        for _ in range(REF_CAP + 5):
+            bumped = VarAbstract(ref_lo=rec.ref_lo, ref_hi=rec.ref_hi + 1)
+            rec = rec.join(bumped)
+        assert rec.ref_hi == REF_CAP
+        assert rec.ref_widened
+
+    def test_join_is_idempotent(self):
+        a = VarAbstract(
+            host_defs=frozenset({("def", 1), UNINIT}),
+            presence=Presence.MAYBE,
+            section=(0, 4),
+        )
+        assert a.join(a) == a
+
+
+class TestStateJoins:
+    def test_join_states_pointwise(self):
+        a = {"x": VarAbstract(presence=Presence.YES)}
+        b = {"x": VarAbstract(presence=Presence.NO), "y": VarAbstract()}
+        joined = join_states(a, b)
+        assert joined["x"].presence is Presence.MAYBE
+        assert "y" in joined
+
+    def test_join_serial_unions(self):
+        a = {"x": frozenset({("def", 1)})}
+        b = {"x": frozenset({UNINIT})}
+        assert join_serial(a, b)["x"] == {("def", 1), UNINIT}

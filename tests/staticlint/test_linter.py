@@ -1,0 +1,134 @@
+"""The fixpoint linter: parity with the straight-line baseline, plus the
+loop/branch-carried issues only the fixpoint can see."""
+
+from repro.ompsan import (
+    BUGGY_PROGRAMS,
+    CLEAN_PROGRAMS,
+    CONTROL_FLOW_PROGRAMS,
+    StaticIssueKind,
+    StaticProgram,
+    analyze,
+    postencil,
+)
+from repro.openmp.maptypes import MapType
+from repro.staticlint import lint
+
+TO, FROM, TOFROM, ALLOC = (
+    MapType.TO,
+    MapType.FROM,
+    MapType.TOFROM,
+    MapType.ALLOC,
+)
+
+
+class TestBaselineParity:
+    """On straight-line twins the linter must agree with the old analyzer."""
+
+    def test_every_buggy_twin_matches(self):
+        for number, factory in sorted(BUGGY_PROGRAMS.items()):
+            old = analyze(factory())
+            new = lint(factory())
+            old_pairs = {(i.kind, i.var) for i in old.issues}
+            new_pairs = {(f.kind, f.var) for f in new.findings}
+            assert new_pairs == old_pairs, f"DRACC_OMP_{number:03d} diverged"
+
+    def test_every_clean_twin_stays_clean(self):
+        for number, factory in sorted(CLEAN_PROGRAMS.items()):
+            assert analyze(factory()).clean, f"baseline FP on {number}"
+            result = lint(factory())
+            assert result.clean, (
+                f"linter FP on DRACC_OMP_{number:03d}: "
+                + "; ".join(f.render() for f in result.findings)
+            )
+
+    def test_straight_line_findings_are_definite(self):
+        for factory in BUGGY_PROGRAMS.values():
+            for finding in lint(factory()).findings:
+                assert not finding.may
+
+    def test_findings_carry_repair_suggestions(self):
+        for factory in BUGGY_PROGRAMS.values():
+            for finding in lint(factory()).findings:
+                assert finding.suggestion
+
+
+class TestPointerSwapRegression:
+    """503.postencil must STAY a static miss — the paper's documented gap.
+
+    The PointerSwap defeats the name-based dataflow, so the linter (like
+    OMPSan's alias-degraded analysis) sees nothing; only the dynamic
+    detector catches the stale read.  If this test ever fails in the
+    'found' direction, the comparison tables stop matching the paper.
+    """
+
+    def test_buggy_postencil_is_missed(self):
+        result = lint(postencil(buggy=True))
+        assert result.clean
+
+    def test_swap_taints_the_certificate(self):
+        for buggy in (True, False):
+            cert = lint(postencil(buggy=buggy)).certificate
+            assert len(cert) == 0, "swapped arrays must never be certified"
+
+
+class TestControlFlow:
+    """Issues that only exist through a loop or branch — the old analyzer
+    (which skips Loop/Branch statements) finds nothing on any of these."""
+
+    def test_loop_carried_stale(self):
+        program = CONTROL_FLOW_PROGRAMS["loop_carried_stale"]()
+        assert analyze(program).clean
+        result = lint(program)
+        assert StaticIssueKind.STALE in result.kinds()
+        assert any(f.may for f in result.findings)
+
+    def test_branch_carried_unmap(self):
+        program = CONTROL_FLOW_PROGRAMS["branch_carried_unmap"]()
+        assert analyze(program).clean
+        result = lint(program)
+        assert StaticIssueKind.NOT_MAPPED in result.kinds()
+
+    def test_conditional_update_terminates(self):
+        program = CONTROL_FLOW_PROGRAMS["loop_conditional_update"]()
+        result = lint(program)
+        # Fixpoint, not divergence: iterations bounded by a small multiple
+        # of the CFG size even with the loop x branch state explosion.
+        assert result.stats.fixpoint_iterations <= 10 * result.stats.cfg_nodes
+        assert StaticIssueKind.STALE in result.kinds()
+
+    def test_unbounded_remap_loop_terminates_via_widening(self):
+        # Net +1 refcount per iteration: without the REF_CAP widening the
+        # interval lattice would ascend forever.
+        p = StaticProgram("remap").decl("a", 8).host_write("a")
+        p.loop(lambda s: s.enter_data([("a", TO)]))
+        result = lint(p)
+        assert result.stats.fixpoint_iterations < 1000
+        # The widened refcount forbids certification but is not a finding.
+        assert result.clean
+        assert "a" not in result.certificate
+
+    def test_loop_body_effects_reach_after_the_loop(self):
+        # A to-mapped kernel inside a loop leaves the host copy stale for
+        # a read after the loop (on the >=1-iteration paths).
+        p = StaticProgram("after").decl("a", 8).host_write("a")
+        p.loop(lambda s: s.kernel([("a", TO)], reads=("a",), writes=("a",)))
+        p.host_read("a")
+        result = lint(p)
+        stales = [f for f in result.findings if f.kind is StaticIssueKind.STALE]
+        assert stales and all(f.may for f in stales)
+
+
+class TestCertificates:
+    def test_clean_program_certifies_its_variables(self):
+        p = StaticProgram("ok").decl("a", 8).host_write("a")
+        p.kernel([("a", TOFROM)], reads=("a",), writes=("a",))
+        p.host_read("a")
+        result = lint(p)
+        assert result.clean
+        assert "a" in result.certificate
+
+    def test_flagged_variable_is_never_certified(self):
+        for factory in BUGGY_PROGRAMS.values():
+            result = lint(factory())
+            for finding in result.findings:
+                assert finding.var not in result.certificate

@@ -1,0 +1,123 @@
+"""Static-assisted dynamic detection: certificate pruning in the detector.
+
+Two properties: pruning must be *invisible* on detection quality (every
+buggy benchmark reports exactly the same mapping issues with a
+certificate as without), and *visible* in the accounting (clean
+benchmarks with certified variables skip shadow blocks and per-access
+VSM transitions, counted in ``cert_stats`` and telemetry).
+"""
+
+from repro.core.detector import Arbalest
+from repro.core.registry import ShadowRegistry
+from repro.dracc.registry import all_benchmarks, get
+from repro.openmp.runtime import TargetRuntime
+from repro.staticlint import dracc_certificates
+from repro.telemetry import Telemetry, scope
+
+
+def _run(benchmark, certificate):
+    rt = TargetRuntime(n_devices=2)
+    tool = Arbalest(certificate=certificate).attach(rt.machine)
+    benchmark.run(rt)
+    return tool
+
+
+class TestShadowRegistrySkips:
+    def test_certified_label_gets_no_block(self):
+        reg = ShadowRegistry(certified=frozenset({"a"}))
+        assert reg.create(0x1000, 64, label="a") is None
+        assert reg.skipped_blocks == 1
+        assert reg.skipped_bytes == 64
+        assert len(reg) == 0
+
+    def test_skipped_range_lookup(self):
+        reg = ShadowRegistry(certified=frozenset({"a"}))
+        reg.create(0x1000, 64, label="a")
+        assert reg.skipped_range(0x1000) == (0x1000, 0x1040)
+        assert reg.skipped_range(0x103F) == (0x1000, 0x1040)
+        assert reg.skipped_range(0x1040) is None
+
+    def test_drop_of_skipped_allocation(self):
+        reg = ShadowRegistry(certified=frozenset({"a"}))
+        reg.create(0x1000, 64, label="a")
+        assert reg.drop(0x1000) is None
+        assert reg.skipped_range(0x1000) is None
+
+    def test_uncertified_labels_still_get_blocks(self):
+        reg = ShadowRegistry(certified=frozenset({"a"}))
+        block = reg.create(0x2000, 64, label="b")
+        assert block is not None
+        assert reg.find(0x2000) is block
+
+
+class TestDetectionUnchanged:
+    def test_buggy_benchmarks_report_identically_with_certificates(self):
+        certs = dracc_certificates()
+        for benchmark in all_benchmarks():
+            baseline = _run(benchmark, None)
+            pruned = _run(benchmark, certs[benchmark.name])
+            key = lambda t: sorted(
+                (f.kind.name, f.variable) for f in t.mapping_issue_findings()
+            )
+            assert key(pruned) == key(baseline), benchmark.name
+
+
+class TestSkipAccounting:
+    def test_clean_benchmark_skips_shadow_and_accesses(self):
+        benchmark = get(1)  # clean, fully certified twin
+        tool = _run(benchmark, dracc_certificates()[benchmark.name])
+        stats = tool.cert_stats()
+        assert stats["certified_variables"] > 0
+        assert stats["shadow_blocks_skipped"] > 0
+        assert stats["access_skips"] > 0
+        assert not tool.findings
+
+    def test_no_certificate_means_no_skips(self):
+        benchmark = get(1)
+        tool = _run(benchmark, None)
+        stats = tool.cert_stats()
+        assert stats["shadow_blocks_skipped"] == 0
+        assert stats["access_skips"] == 0
+
+    def test_empty_certificate_changes_nothing(self):
+        from repro.staticlint import SafetyCertificate
+
+        benchmark = get(22)  # buggy
+        empty = SafetyCertificate("DRACC_OMP_022", frozenset())
+        baseline = _run(benchmark, None)
+        with_empty = _run(benchmark, empty)
+        assert len(with_empty.findings) == len(baseline.findings)
+        assert with_empty.cert_stats()["access_skips"] == 0
+
+
+class TestTelemetryCounters:
+    def test_lint_counters_emitted_inside_scope(self):
+        from repro.ompsan import BUGGY_PROGRAMS
+        from repro.staticlint import lint
+
+        registry = Telemetry(record_spans=False)
+        with scope(registry):
+            lint(BUGGY_PROGRAMS[22]())
+        counters = registry.snapshot()["counters"]
+        assert counters["staticlint.programs"] == 1
+        assert counters["staticlint.statements_visited"] > 0
+        assert counters["staticlint.fixpoint_iterations"] > 0
+        assert counters["staticlint.findings"] >= 1
+
+    def test_lint_counters_silent_outside_scope(self):
+        from repro.ompsan import BUGGY_PROGRAMS
+        from repro.staticlint import lint
+
+        registry = Telemetry(record_spans=False)
+        lint(BUGGY_PROGRAMS[22]())  # no scope: must not touch the registry
+        assert "staticlint.programs" not in registry.snapshot()["counters"]
+
+    def test_skip_counters_emitted_inside_scope(self):
+        benchmark = get(1)
+        certs = dracc_certificates()
+        registry = Telemetry(record_spans=False)
+        with scope(registry):
+            _run(benchmark, certs[benchmark.name])
+        counters = registry.snapshot()["counters"]
+        assert counters["staticlint.shadow_skips"] > 0
+        assert counters["staticlint.access_skips"] > 0

@@ -1,0 +1,53 @@
+"""The suite report and its golden snapshot.
+
+``golden_lint.json`` is the checked-in output of ``repro lint --json``.
+CI regenerates the payload and diffs it against the golden file, so any
+behaviour change in the linter (new finding, lost finding, different
+certificate) must ship with a reviewed golden update:
+
+    PYTHONPATH=src python -m repro lint --json > tests/staticlint/golden_lint.json
+"""
+
+import json
+from pathlib import Path
+
+from repro.staticlint import lint_suite, render_suite
+
+GOLDEN = Path(__file__).parent / "golden_lint.json"
+
+
+class TestGolden:
+    def test_payload_matches_golden(self):
+        golden = json.loads(GOLDEN.read_text())
+        assert lint_suite() == golden, (
+            "linter output drifted from tests/staticlint/golden_lint.json — "
+            "if the change is intended, regenerate the golden file "
+            "(see module docstring)"
+        )
+
+    def test_payload_is_deterministic(self):
+        assert lint_suite() == lint_suite()
+
+    def test_payload_round_trips_through_json(self):
+        payload = lint_suite()
+        assert json.loads(json.dumps(payload, sort_keys=True)) == payload
+
+
+class TestSummaryContract:
+    def test_counts(self):
+        payload = lint_suite()
+        summary = payload["summary"]
+        # 16 buggy DRACC twins + 3 control-flow demos have findings; the
+        # 40 clean twins and both postencil variants (the documented
+        # pointer-swap miss) are clean.
+        assert summary["programs"] == 61
+        assert summary["with_findings"] == 19
+        assert payload["programs"]["503.postencil (buggy)"]["findings"] == []
+
+    def test_render_mentions_every_finding_program(self):
+        payload = lint_suite()
+        text = render_suite(payload)
+        for name, entry in payload["programs"].items():
+            assert name in text
+            if entry["findings"]:
+                assert f"{name}: {len(entry['findings'])} finding(s)" in text

@@ -12,7 +12,17 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for cmd in ("table3", "fig8", "bench", "fig9", "casestudy", "ompsan", "list"):
+        for cmd in (
+            "table3",
+            "fig8",
+            "bench",
+            "fig9",
+            "casestudy",
+            "ompsan",
+            "lint",
+            "hybrid",
+            "list",
+        ):
             args = parser.parse_args([cmd])
             assert callable(args.fn)
 
@@ -104,6 +114,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "16/16" in out
         assert "MISSED" in out
+
+    def test_lint_exits_nonzero_on_findings(self, capsys):
+        # The suite contains the 16 buggy twins, so findings always exist.
+        assert main(["lint"]) == 1
+        out = capsys.readouterr().out
+        assert "DRACC_OMP_022" in out
+        assert "fix:" in out
+        assert "variable(s) certified" in out
+
+    def test_lint_json_is_the_golden_format(self, capsys):
+        import json
+
+        assert main(["lint", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["findings"] > 0
+        assert "503.postencil (buggy)" in payload["programs"]
+
+    def test_hybrid(self, capsys):
+        assert main(["hybrid"]) == 0
+        out = capsys.readouterr().out
+        assert "503.postencil" in out
+        assert "matches the expected hybrid matrix: yes" in out
 
     def test_casestudy_small(self, capsys):
         assert main(["casestudy", "--preset", "test"]) == 0
