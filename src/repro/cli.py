@@ -13,6 +13,8 @@
     python -m repro dracc 22               # one benchmark under all tools
     python -m repro chaos [--seed 0]       # fault-injection campaign -> BENCH_chaos.json
     python -m repro profile --suite dracc --benchmark 22   # telemetry -> trace.json
+    python -m repro report [--suite buggy] # findings + provenance -> report.jsonl
+    python -m repro diff old.jsonl new.jsonl  # cross-run regression gate
     python -m repro list [--json]          # inventory
 
 Unknown artifact names (a bad ``--preset``, ``--suite``, or DRACC number)
@@ -82,6 +84,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "with certificates: geomean "
         f"{s['arbalest_cert_slowdown_geomean']:.2f}x, "
         f"max {s['arbalest_cert_slowdown_max']:.2f}x"
+    )
+    print(
+        "with flight recorder: geomean "
+        f"{s['arbalest_rec_slowdown_geomean']:.2f}x "
+        f"({s['recorder_overhead_geomean']:.3f}x over plain arbalest)"
     )
     consistent = payload["checksums_consistent"]
     print(f"checksums consistent across configs: {'yes' if consistent else 'NO'}")
@@ -199,6 +206,18 @@ def _cmd_dracc(args: argparse.Namespace) -> int:
         + ", ".join(f"{k}={v}" for k, v in sorted(degradation.items()))
         + ("" if any(degradation.values()) else " (healthy)")
     )
+    if args.report:
+        from .forensics.report import write_report
+        from .harness import TOOL_ORDER, run_report
+
+        try:
+            write_report(
+                run_report(benchmarks=(bench,), tools=TOOL_ORDER), args.report
+            )
+        except OSError as exc:
+            print(f"repro dracc: error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.report}")
     return 0
 
 
@@ -220,6 +239,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             suite=args.suite,
             output=args.output,
             telemetry=args.telemetry,
+            report=args.report,
         )
     except OSError as exc:
         print(f"repro chaos: error: {exc}", file=sys.stderr)
@@ -259,6 +279,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             + (", ".join(f"{k}={v}" for k, v in sorted(recovery.items())) or "none")
         )
     print(f"wrote {args.output}")
+    if args.report:
+        print(f"wrote {args.report}")
     if not payload["ok"]:
         print("chaos campaign FAILED: recovery guarantee violated", file=sys.stderr)
         return 1
@@ -324,6 +346,61 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(f"wrote {args.output}" + (f" and {args.metrics}" if args.metrics else ""))
     print("open the trace in chrome://tracing or https://ui.perfetto.dev")
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .forensics.html import render_html
+    from .forensics.report import render_text, write_report
+    from .harness import REPORT_SUITES, run_report
+    from .harness.precision import TOOL_FACTORIES
+
+    if args.suite not in REPORT_SUITES:
+        print(
+            f"repro report: error: unknown suite {args.suite!r} "
+            f"(valid choices: {', '.join(REPORT_SUITES)})",
+            file=sys.stderr,
+        )
+        return 2
+    tools = tuple(t.strip() for t in args.tools.split(",") if t.strip())
+    unknown = [t for t in tools if t not in TOOL_FACTORIES]
+    if unknown or not tools:
+        print(
+            f"repro report: error: unknown tool(s) {', '.join(unknown) or '(none)'} "
+            f"(valid choices: {', '.join(sorted(TOOL_FACTORIES))})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.capacity < 1:
+        print(
+            f"repro report: error: ring capacity must be positive, "
+            f"got {args.capacity}",
+            file=sys.stderr,
+        )
+        return 2
+    payload = run_report(suite=args.suite, tools=tools, capacity=args.capacity)
+    print(render_text(payload), end="")
+    try:
+        write_report(payload, args.output)
+        if args.html:
+            with open(args.html, "w") as fh:
+                fh.write(render_html(payload))
+    except OSError as exc:
+        print(f"repro report: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"\nwrote {args.output}" + (f" and {args.html}" if args.html else ""))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .forensics.diff import diff_artifacts, render_diff
+
+    try:
+        result = diff_artifacts(args.old, args.new, threshold=args.threshold)
+    except (OSError, ValueError) as exc:
+        print(f"repro diff: error: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(result), end="")
+    return 1 if result["regression"] else 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -405,6 +482,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     pd = sub.add_parser("dracc", help="run one DRACC benchmark under all tools")
     pd.add_argument("number", type=int)
+    pd.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write a forensics report (JSONL) for this benchmark",
+    )
     pd.set_defaults(fn=_cmd_dracc)
 
     px = sub.add_parser(
@@ -427,6 +510,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run inside a telemetry scope and embed the metric snapshot",
     )
+    px.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write a forensics report (JSONL) of the un-faulted suite",
+    )
     px.set_defaults(fn=_cmd_chaos)
 
     pp = sub.add_parser(
@@ -445,6 +534,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the metric snapshot JSON to this path",
     )
     pp.set_defaults(fn=_cmd_profile)
+
+    pr = sub.add_parser(
+        "report", help="findings + provenance -> report.jsonl (and HTML)"
+    )
+    # Suite and tools are validated by hand for one-line errors.
+    pr.add_argument("--suite", default="buggy")
+    pr.add_argument(
+        "--tools",
+        default="arbalest",
+        help="comma-separated tool list (default: arbalest)",
+    )
+    pr.add_argument(
+        "--capacity",
+        type=int,
+        default=64,
+        help="per-variable flight-recorder ring capacity",
+    )
+    pr.add_argument("--output", default="report.jsonl")
+    pr.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="also write a self-contained HTML rendering",
+    )
+    pr.set_defaults(fn=_cmd_report)
+
+    pf = sub.add_parser(
+        "diff", help="compare two report/bench artifacts; exit 1 on regression"
+    )
+    pf.add_argument("old", help="baseline artifact (report JSONL or bench JSON)")
+    pf.add_argument("new", help="candidate artifact of the same type")
+    pf.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative slowdown growth tolerated in bench diffs (default 5%%)",
+    )
+    pf.set_defaults(fn=_cmd_diff)
 
     pl = sub.add_parser("list", help="inventory of benchmarks and workloads")
     pl.add_argument(

@@ -40,6 +40,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..events.source import UNKNOWN_LOCATION
+from ..forensics import recorder as _forensics
 from ..memory.layout import GRANULE
 from ..telemetry import registry as _telemetry
 from ..tools.archer import RaceEngine
@@ -58,6 +60,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         MemcpyEvent,
         SyncEvent,
     )
+
+#: Flight-recorder event kinds for each OMPT data-op kind.
+_DATA_OP_EVENT_KINDS = {
+    "alloc": "map",
+    "delete": "unmap",
+    "h2d": "update-to-device",
+    "d2h": "update-to-host",
+}
 
 
 class Arbalest(Tool):
@@ -318,7 +328,25 @@ class Arbalest(Tool):
         block = self.shadows.find(ov_address)
         if block is None:
             return
-        block.apply(block.index_range(ov_address, nbytes), vsm_op, op.device_id)
+        idx = block.index_range(ov_address, nbytes)
+        recorder = _forensics.ACTIVE
+        if recorder is None:
+            block.apply(idx, vsm_op, op.device_id)
+            return
+        # Flight-recorder path: sample the first granule's state around the
+        # transition so the timeline shows state-before -> state-after.
+        first = idx.start if idx.start < idx.stop else None
+        before = block.state_label(first) if first is not None else ""
+        block.apply(idx, vsm_op, op.device_id)
+        recorder.record(
+            block.label,
+            _DATA_OP_EVENT_KINDS[op.kind.value],
+            device_id=op.device_id,
+            location=op.stack[0] if op.stack else UNKNOWN_LOCATION,
+            state_before=before,
+            state_after=block.state_label(first) if first is not None else "",
+            detail=f"{nbytes}B",
+        )
 
     # ------------------------------------------------------------------
     # dynamic analysis: memory accesses
@@ -500,6 +528,8 @@ class Arbalest(Tool):
             ):
                 # Scalar fast path: the whole access lives in one granule
                 # (the overwhelmingly common case), so skip numpy entirely.
+                recorder = _forensics.ACTIVE
+                before = block.state_label(lo) if recorder is not None else ""
                 illegal = uninit = False
                 first = True
                 for op in ops:
@@ -507,6 +537,19 @@ class Arbalest(Tool):
                     if first:
                         illegal, uninit = ill, uni
                         first = False
+                if recorder is not None:
+                    after = block.state_label(lo)
+                    # Steady-state accesses carry no causal information;
+                    # record only transitions and illegal reads.
+                    if illegal or after != before:
+                        recorder.record(
+                            block.label,
+                            access.kind_label,
+                            device_id=access.device_id,
+                            location=access.location,
+                            state_before=before,
+                            state_after=after,
+                        )
                 if self.record_access_metadata:
                     block.record_access(
                         lo,
@@ -534,6 +577,17 @@ class Arbalest(Tool):
                 local = np.unique(np.concatenate([first, last]))
             local = local[(local >= 0) & (local < block.n_granules)]
             idx = local
+        recorder = _forensics.ACTIVE
+        rec_first: int | None = None
+        before = ""
+        if recorder is not None:
+            if type(idx) is slice:
+                if idx.start < idx.stop:
+                    rec_first = idx.start
+            elif len(idx):
+                rec_first = int(idx[0])
+            if rec_first is not None:
+                before = block.state_label(rec_first)
         illegal = None
         uninit = None
         for op in ops:
@@ -541,6 +595,19 @@ class Arbalest(Tool):
             if illegal is None:
                 illegal, uninit = ill, uni
         assert illegal is not None and uninit is not None
+        if recorder is not None and rec_first is not None:
+            after = block.state_label(rec_first)
+            if after != before or bool(illegal.any()):
+                n = (idx.stop - idx.start) if type(idx) is slice else len(idx)
+                recorder.record(
+                    block.label,
+                    access.kind_label,
+                    device_id=access.device_id,
+                    location=access.location,
+                    state_before=before,
+                    state_after=after,
+                    detail=f"{n} granule(s)",
+                )
         if self.record_access_metadata:
             block.record_access(
                 idx,

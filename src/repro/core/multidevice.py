@@ -156,6 +156,23 @@ class MultiShadowBlock:
         """The raw validity mask of one granule (bit 0 = host)."""
         return int(self.valid[(address - self.base) // self.granule])
 
+    def state_label(self, i: int) -> str:
+        """Validity mask of granule ``i`` rendered for flight-recorder
+        timelines: which locations hold the last write, e.g. ``OV+CV2``
+        (host and device 2 consistent) or ``NONE`` (nothing valid yet)."""
+        v = int(self.valid[i])
+        if v == 0:
+            return "NONE"
+        parts = ["OV"] if v & 1 else []
+        d = 1
+        v >>= 1
+        while v:
+            if v & 1:
+                parts.append(f"CV{d}")
+            d += 1
+            v >>= 1
+        return "+".join(parts)
+
 
 class MultiShadowRegistry(ShadowRegistry):
     """ShadowRegistry producing multi-device blocks."""

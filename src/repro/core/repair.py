@@ -27,6 +27,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..events.source import SourceLocation, UNKNOWN_LOCATION
+from ..forensics.provenance import (
+    suggest_exit_from,
+    suggest_initialize,
+    suggest_ordering,
+    suggest_update,
+)
 from ..tools.findings import Finding, FindingKind
 from .detector import Arbalest
 from .registry import MappingRecord
@@ -118,12 +124,9 @@ class RepairingArbalest(Arbalest):
             RepairAction(
                 kind="transfer",
                 variable=variable,
-                suggestion=(
-                    f"the unmap of '{variable or '?'}' discards the only "
-                    "valid copy; if the host reads it later, its map-type "
-                    "must include 'from' (tofrom, or target exit data "
-                    "map(from: ...))"
-                ),
+                # Shared with forensics so provenance explanations and live
+                # repairs describe the same fix with the same words.
+                suggestion=suggest_exit_from(variable),
                 address=op.ov_address,
                 nbytes=op.nbytes,
                 stack=op.stack,
@@ -203,10 +206,7 @@ class RepairingArbalest(Arbalest):
             RepairAction(
                 kind="transfer",
                 variable=mapping.name,
-                suggestion=(
-                    f"#pragma omp target update {direction}({mapping.name}) "
-                    "is missing before this read"
-                ),
+                suggestion=suggest_update(direction, mapping.name),
                 address=access.address,
                 nbytes=mapping.nbytes,
                 stack=access.stack,
@@ -220,12 +220,7 @@ class RepairingArbalest(Arbalest):
             RepairAction(
                 kind="diagnostic",
                 variable=variable,
-                suggestion=(
-                    f"'{variable or '?'}' is read on the {side} before any "
-                    "initialization reaches it; no transfer can repair this — "
-                    "initialize the data or fix the map-type (e.g. map(to:) "
-                    "instead of map(alloc:/from:))"
-                ),
+                suggestion=suggest_initialize(variable, side),
                 address=access.address,
                 nbytes=access.size,
                 stack=access.stack,
@@ -237,11 +232,7 @@ class RepairingArbalest(Arbalest):
             RepairAction(
                 kind="diagnostic",
                 variable=finding.variable,
-                suggestion=(
-                    "unordered accesses to the same storage: add a depend "
-                    "clause between the conflicting tasks, or a taskwait "
-                    "before the host-side access"
-                ),
+                suggestion=suggest_ordering(),
                 address=finding.address,
                 nbytes=finding.size,
                 stack=finding.stack,

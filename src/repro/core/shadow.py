@@ -328,6 +328,10 @@ class ShadowBlock:
         """Current VSM state codes of the selected granules."""
         return (self.words[idx] & MASK_STATE).astype(np.uint8)
 
+    def state_label(self, i: int) -> str:
+        """VSM state name of granule ``i`` (flight-recorder timelines)."""
+        return VsmState(int(self.words[i]) & 0b11).name
+
     def state_at(self, address: int) -> VsmState:
         return VsmState(int(self.words[(address - self.base) // self.granule] & MASK_STATE))
 

@@ -97,6 +97,12 @@ class Access:
     def location(self) -> SourceLocation:
         return self.stack[0]
 
+    @property
+    def kind_label(self) -> str:
+        """Flight-recorder event kind, e.g. ``host-read`` / ``device-write``."""
+        side = "device" if self.device_id else "host"
+        return f"{side}-write" if self.is_write else f"{side}-read"
+
     def element_addresses(self) -> np.ndarray:
         """Start address of every element, as an int64 array."""
         return self.address + np.arange(self.count, dtype=np.int64) * self.element_stride

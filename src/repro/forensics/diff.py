@@ -1,0 +1,179 @@
+"""Cross-run regression diffing of report and bench artifacts.
+
+``repro diff old new`` compares two artifacts of the same type:
+
+* **report** artifacts (``repro-report/1`` JSONL): findings are matched by
+  ``(benchmark, tool, fingerprint)`` — the fingerprint is ordinal- and
+  address-independent, so the same bug matches across runs — and
+  classified as *new* (regression), *fixed*, or *changed* (same site,
+  different report count);
+* **bench** artifacts (``BENCH_fig8.json`` shape): the summary geomean
+  slowdowns are compared; any geomean that grew by more than the relative
+  ``threshold`` is a regression.
+
+A diff with at least one regression is what makes the CLI exit non-zero —
+the CI gate in one command.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .report import parse_jsonl
+
+#: Default relative slowdown-growth tolerance for bench diffs (5%).
+DEFAULT_THRESHOLD = 0.05
+
+
+def load_artifact(path: str) -> tuple[str, dict]:
+    """Sniff and load ``path`` as ``("report", ...)`` or ``("bench", ...)``."""
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        whole = json.loads(text)
+    except json.JSONDecodeError:
+        whole = None
+    if isinstance(whole, dict):
+        if "workloads" in whole and "summary" in whole:
+            return "bench", whole
+        raise ValueError(
+            f"{path}: JSON document is neither a bench artifact "
+            "(workloads+summary) nor a JSONL report"
+        )
+    # Not one JSON document: JSON-lines report (parse_jsonl validates).
+    return "report", parse_jsonl(text)
+
+
+# -- report diffing ----------------------------------------------------------
+
+
+def diff_reports(old: dict, new: dict) -> dict:
+    """Classify findings as new / fixed / changed between two reports."""
+
+    def index(payload: dict) -> dict[tuple, dict]:
+        return {
+            (f["benchmark"], f["tool"], f["fingerprint"]): f
+            for f in payload["findings"]
+        }
+
+    a, b = index(old), index(new)
+    new_keys = sorted(set(b) - set(a))
+    fixed_keys = sorted(set(a) - set(b))
+    changed = [
+        {"old": a[k], "new": b[k]}
+        for k in sorted(set(a) & set(b))
+        if a[k]["count"] != b[k]["count"]
+    ]
+    return {
+        "type": "report",
+        "new": [b[k] for k in new_keys],
+        "fixed": [a[k] for k in fixed_keys],
+        "changed": changed,
+        # Only *new* findings gate: fixed bugs and count drift are progress
+        # or noise, not regressions.
+        "regression": bool(new_keys),
+    }
+
+
+# -- bench diffing -----------------------------------------------------------
+
+
+def diff_bench(old: dict, new: dict, *, threshold: float = DEFAULT_THRESHOLD) -> dict:
+    """Compare summary geomeans (and per-workload detector slowdowns)."""
+    deltas: dict[str, dict] = {}
+    regressions: list[str] = []
+    old_summary = old.get("summary", {})
+    new_summary = new.get("summary", {})
+    for key in sorted(set(old_summary) & set(new_summary)):
+        o, n = old_summary[key], new_summary[key]
+        if not isinstance(o, (int, float)) or not isinstance(n, (int, float)):
+            continue
+        rel = (n - o) / o if o else 0.0
+        deltas[key] = {"old": o, "new": n, "rel": round(rel, 4)}
+        if key.endswith("geomean") and rel > threshold:
+            regressions.append(key)
+    workloads: dict[str, dict] = {}
+    shared = set(old.get("workloads", {})) & set(new.get("workloads", {}))
+    for w in sorted(shared):
+        o = old["workloads"][w].get("arbalest", {}).get("slowdown")
+        n = new["workloads"][w].get("arbalest", {}).get("slowdown")
+        if o and n:
+            workloads[w] = {"old": o, "new": n, "rel": round((n - o) / o, 4)}
+    return {
+        "type": "bench",
+        "threshold": threshold,
+        "deltas": deltas,
+        "workloads": workloads,
+        "regressions": regressions,
+        "regression": bool(regressions),
+    }
+
+
+def diff_artifacts(
+    old_path: str, new_path: str, *, threshold: float = DEFAULT_THRESHOLD
+) -> dict:
+    """Load two artifacts, require matching types, and diff them."""
+    old_type, old_payload = load_artifact(old_path)
+    new_type, new_payload = load_artifact(new_path)
+    if old_type != new_type:
+        raise ValueError(
+            f"cannot diff a {old_type} artifact against a {new_type} artifact"
+        )
+    if old_type == "report":
+        return diff_reports(old_payload, new_payload)
+    return diff_bench(old_payload, new_payload, threshold=threshold)
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _finding_line(f: dict) -> str:
+    var = f" [{f['variable']}]" if f.get("variable") else ""
+    where = f" at {f['location']}" if f.get("location") else ""
+    return (
+        f"{f['bench_name']}: {f['tool']}: {f['kind']}{var}{where}  "
+        f"#{f['fingerprint']}"
+    )
+
+
+def render_diff(result: dict) -> str:
+    lines: list[str] = []
+    if result["type"] == "report":
+        for f in result["new"]:
+            lines.append(f"NEW      {_finding_line(f)}")
+        for f in result["fixed"]:
+            lines.append(f"FIXED    {_finding_line(f)}")
+        for pair in result["changed"]:
+            lines.append(
+                f"CHANGED  {_finding_line(pair['new'])} "
+                f"(count {pair['old']['count']} -> {pair['new']['count']})"
+            )
+        if not lines:
+            lines.append("reports are identical (by fingerprint)")
+        lines.append("")
+        lines.append(
+            f"{len(result['new'])} new, {len(result['fixed'])} fixed, "
+            f"{len(result['changed'])} changed"
+        )
+    else:
+        for key, d in result["deltas"].items():
+            marker = " << REGRESSION" if key in result["regressions"] else ""
+            lines.append(
+                f"{key}: {d['old']} -> {d['new']} "
+                f"({d['rel']:+.1%}){marker}"
+            )
+        for w, d in result["workloads"].items():
+            lines.append(
+                f"  {w} arbalest slowdown: {d['old']} -> {d['new']} "
+                f"({d['rel']:+.1%})"
+            )
+        lines.append("")
+        verdict = (
+            f"REGRESSION: {', '.join(result['regressions'])} grew more than "
+            f"{result['threshold']:.0%}"
+            if result["regression"]
+            else f"within threshold ({result['threshold']:.0%})"
+        )
+        lines.append(verdict)
+    lines.append("regression" if result["regression"] else "clean")
+    return "\n".join(lines) + "\n"

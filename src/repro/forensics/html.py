@@ -1,0 +1,122 @@
+"""Self-contained HTML rendering of a report payload.
+
+One file, no external assets: inline CSS only, every dynamic string
+escaped.  The output is deterministic (it is a pure function of the
+payload) and well-formed — a strict tag-balance test parses it in CI.
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 72em; color: #1a1a2e; }
+h1 { font-size: 1.4em; border-bottom: 2px solid #16213e; padding-bottom: .3em; }
+h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: .6em 0; }
+th, td { border: 1px solid #cbd5e1; padding: .25em .6em; text-align: left;
+         font-size: .9em; }
+th { background: #e2e8f0; }
+.finding { border: 1px solid #cbd5e1; border-left: 4px solid #e94560;
+           border-radius: 4px; padding: .6em .9em; margin: .8em 0; }
+.finding h3 { margin: 0 0 .4em 0; font-size: 1em; }
+.fp { color: #64748b; font-family: monospace; font-size: .85em; }
+.why { background: #fef9c3; padding: .5em .7em; border-radius: 4px;
+       margin: .5em 0; }
+.timeline td { font-family: monospace; font-size: .85em; }
+.muted { color: #64748b; font-size: .85em; }
+code { background: #f1f5f9; padding: 0 .25em; border-radius: 3px; }
+"""
+
+
+def _event_row(e: dict) -> str:
+    state = ""
+    if "before" in e:
+        state = f"{e.get('before') or '?'} → {e.get('after') or '?'}"
+    return (
+        "<tr>"
+        f"<td>{e['ordinal']}</td>"
+        f"<td>{escape(e['kind'])}</td>"
+        f"<td>{e['device']}</td>"
+        f"<td>{escape(state)}</td>"
+        f"<td>{escape(e.get('at', ''))}</td>"
+        f"<td>{escape(e.get('detail', ''))}</td>"
+        "</tr>"
+    )
+
+
+def _finding_section(f: dict) -> str:
+    title = f"{f['tool']}: {f['kind']}"
+    if f["variable"]:
+        title += f" of <code>{escape(f['variable'])}</code>"
+    if f["location"]:
+        title += f" at {escape(f['location'])}"
+    parts = [
+        '<div class="finding">',
+        f"<h3>{title} <span class=\"fp\">#{escape(f['fingerprint'])}</span></h3>",
+        f"<p>{escape(f['message'])}"
+        + (f" <span class=\"muted\">(reported {f['count']}×)</span>" if f["count"] > 1 else "")
+        + "</p>",
+    ]
+    if f["explanation"]:
+        parts.append(f"<p class=\"why\">{escape(f['explanation'])}</p>")
+    if f["events"]:
+        parts.append('<table class="timeline">')
+        parts.append(
+            "<tr><th>ordinal</th><th>event</th><th>device</th>"
+            "<th>state</th><th>where</th><th>detail</th></tr>"
+        )
+        if f["dropped"]:
+            parts.append(
+                f"<tr><td colspan=\"6\" class=\"muted\">… {f['dropped']} "
+                "older event(s) evicted …</td></tr>"
+            )
+        parts += [_event_row(e) for e in f["events"]]
+        parts.append("</table>")
+    parts.append("</div>")
+    return "\n".join(parts)
+
+
+def render_html(payload: dict) -> str:
+    """The whole report as one self-contained HTML page."""
+    header = payload["header"]
+    summary = payload["summary"]
+    out = [
+        "<!DOCTYPE html>",
+        '<html lang="en">',
+        "<head>",
+        '<meta charset="utf-8">',
+        f"<title>repro report — {escape(header['suite'])}</title>",
+        f"<style>{_CSS}</style>",
+        "</head>",
+        "<body>",
+        f"<h1>Finding forensics — suite <code>{escape(header['suite'])}</code></h1>",
+        "<table>",
+        "<tr><th>tools</th><th>benchmarks</th><th>findings</th>"
+        "<th>raw reports</th><th>ring capacity</th></tr>",
+        "<tr>"
+        f"<td>{escape(', '.join(header['tools']))}</td>"
+        f"<td>{summary['benchmarks']}</td>"
+        f"<td>{summary['findings']}</td>"
+        f"<td>{summary['reports_total']}</td>"
+        f"<td>{header['capacity']}</td>"
+        "</tr>",
+        "</table>",
+    ]
+    by_kind = summary.get("by_kind", {})
+    if by_kind:
+        out.append("<table>")
+        out.append("<tr>" + "".join(f"<th>{escape(k)}</th>" for k in by_kind) + "</tr>")
+        out.append("<tr>" + "".join(f"<td>{n}</td>" for n in by_kind.values()) + "</tr>")
+        out.append("</table>")
+    current_bench = None
+    for f in payload["findings"]:
+        if f["benchmark"] != current_bench:
+            current_bench = f["benchmark"]
+            out.append(f"<h2>{escape(f['bench_name'])}</h2>")
+        out.append(_finding_section(f))
+    if not payload["findings"]:
+        out.append("<p>no findings</p>")
+    out += ["</body>", "</html>"]
+    return "\n".join(out) + "\n"

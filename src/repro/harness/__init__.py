@@ -24,6 +24,7 @@ from .hybrid import (
     run_hybrid_comparison,
 )
 from .profile import PROFILE_CLOCKS, PROFILE_SUITES, inventory, run_profile
+from .report import REPORT_SUITES, run_report
 from .precision import (
     EXPECTED_DETECTIONS,
     TOOL_FACTORIES,
@@ -60,6 +61,8 @@ __all__ = [
     "run_chaos",
     "run_chaos_campaign",
     "run_profile",
+    "run_report",
+    "REPORT_SUITES",
     "inventory",
     "PROFILE_SUITES",
     "PROFILE_CLOCKS",

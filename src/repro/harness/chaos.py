@@ -233,6 +233,7 @@ def run_chaos(
     suite: str = "all",
     output: str = "BENCH_chaos.json",
     telemetry: bool = False,
+    report: str | None = None,
 ) -> dict:
     """Run a campaign and write the tracked ``BENCH_chaos.json`` report.
 
@@ -240,6 +241,11 @@ def run_chaos(
     scope (event-ordinal clock, no spans) and embeds the snapshot under a
     ``"telemetry"`` key — recovery counters (retries, rollbacks, quarantine
     reasons) become visible per campaign instead of per debugger session.
+
+    ``report=PATH`` additionally writes a forensics report (JSONL, see
+    :mod:`repro.forensics.report`) of the campaign's *un-faulted* suite —
+    the findings baseline the recovery guarantees are judged against, with
+    full provenance timelines.
     """
     if telemetry:
         from ..telemetry import Telemetry, scope
@@ -265,4 +271,9 @@ def run_chaos(
         json.dump(payload, sink, indent=2, sort_keys=True)
         sink.write("\n")
     os.replace(tmp, output)
+    if report is not None:
+        from ..forensics.report import write_report
+        from .report import run_report
+
+        write_report(run_report(suite=suite), report)
     return payload

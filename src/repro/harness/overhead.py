@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -31,8 +32,11 @@ from .tables import render_ratio_chart, render_table
 
 #: Fig 8/9 column order: native baseline first, then the tools, then the
 #: static-assisted detector (ARBALEST pruned by each workload twin's
-#: SafetyCertificate — the staticlint speedup the tracked bench records).
-CONFIGS = ("native", *TOOL_ORDER, "arbalest-cert")
+#: SafetyCertificate — the staticlint speedup the tracked bench records),
+#: then ARBALEST with the forensics flight recorder active (the tracked
+#: recorder-overhead number: it must stay within a few percent of plain
+#: arbalest, which ``repro diff`` gates on).
+CONFIGS = ("native", *TOOL_ORDER, "arbalest-cert", "arbalest-rec")
 
 
 @dataclass
@@ -126,6 +130,8 @@ def measure_one(
     for _ in range(max(1, repetitions)):
         rt = TargetRuntime(n_devices=1)
         tool = None
+        recorder = None
+        run_scope = nullcontext()
         if config == "arbalest-cert":
             from ..core.detector import Arbalest
             from ..staticlint import spec_certificates
@@ -134,14 +140,25 @@ def measure_one(
             # pointer swaps) run at plain-arbalest cost — honestly.
             certificate = spec_certificates().get(workload.name)
             tool = Arbalest(certificate=certificate).attach(rt.machine)
+        elif config == "arbalest-rec":
+            from ..core.detector import Arbalest
+            from ..forensics import FlightRecorder
+            from ..forensics import recorder as _forensics
+
+            tool = Arbalest().attach(rt.machine)
+            recorder = FlightRecorder()
+            run_scope = _forensics.scope(recorder)
         elif config != "native":
             tool = TOOL_FACTORIES[config]().attach(rt.machine)
         start = time.perf_counter()
-        checksum = workload.run(rt, preset)
-        rt.finalize()
+        with run_scope:
+            checksum = workload.run(rt, preset)
+            rt.finalize()
         elapsed = time.perf_counter() - start
         app_bytes = sum(d.allocator.peak_bytes for d in rt.machine.devices.values())
         shadow = tool.shadow_bytes() if tool is not None else 0
+        if recorder is not None:
+            shadow += recorder.shadow_bytes()
         m = Measurement(
             workload=workload.name,
             config=config,
@@ -210,13 +227,21 @@ def bench_payload(result: OverheadResult, *, repetitions: int) -> dict:
         payload["workloads"][w] = row
     arb = [result.slowdown(w, "arbalest") for w in workloads]
     cert = [result.slowdown(w, "arbalest-cert") for w in workloads]
+    rec = [result.slowdown(w, "arbalest-rec") for w in workloads]
+    arb_geomean = float(np_geomean(arb))
+    rec_geomean = float(np_geomean(rec))
     payload["summary"] = {
-        "arbalest_slowdown_geomean": round(
-            float(np_geomean(arb)), 3
-        ),
+        "arbalest_slowdown_geomean": round(arb_geomean, 3),
         "arbalest_slowdown_max": round(max(arb), 3),
         "arbalest_cert_slowdown_geomean": round(float(np_geomean(cert)), 3),
         "arbalest_cert_slowdown_max": round(max(cert), 3),
+        "arbalest_rec_slowdown_geomean": round(rec_geomean, 3),
+        "arbalest_rec_slowdown_max": round(max(rec), 3),
+        # The recorder's own cost, as a ratio over plain arbalest: the
+        # <=1.05 acceptance bar lives on this number.
+        "recorder_overhead_geomean": round(
+            rec_geomean / max(arb_geomean, 1e-9), 3
+        ),
     }
     return payload
 

@@ -57,6 +57,9 @@ class BenchmarkResult:
     detected: dict[str, bool]
     #: tool name -> every finding (incl. races), for false-positive checks.
     all_findings: dict[str, int]
+    #: tool name -> deduped findings paired with per-site report counts
+    #: (how many raw reports each surviving finding absorbed).
+    findings_with_counts: dict[str, list] = field(default_factory=dict)
 
 
 @dataclass
@@ -140,6 +143,9 @@ def run_benchmark_under_tools(
             name: bool(tool.mapping_issue_findings()) for name, tool in tools.items()
         },
         all_findings={name: len(tool.findings) for name, tool in tools.items()},
+        findings_with_counts={
+            name: tool.findings_with_counts() for name, tool in tools.items()
+        },
     )
 
 

@@ -43,7 +43,8 @@ from ..events.records import (
     MemcpyEvent,
     SyncEvent,
 )
-from ..events.source import SourceStack
+from ..events.source import UNKNOWN_LOCATION, SourceStack
+from ..forensics import recorder as _forensics
 from ..memory.buffer import RawBuffer
 from ..telemetry import registry as _telemetry
 from ..memory.errors import (
@@ -202,6 +203,17 @@ class TargetRuntime:
         )
         arr = HostArray(self.machine, name, buf, dt, length)
         self._arrays[name] = arr
+        recorder = _forensics.ACTIVE
+        if recorder is not None:
+            recorder.register_range(0, arr.base, arr.nbytes, name)
+            stack = self.machine.source.snapshot()
+            recorder.record(
+                name,
+                "allocate",
+                device_id=0,
+                location=stack[0] if stack else UNKNOWN_LOCATION,
+                detail=f"{arr.nbytes}B {storage}",
+            )
         if init is not None:
             arr.write(slice(0, length), np.asarray(init, dtype=dt))
         if declare_target:
@@ -226,6 +238,9 @@ class TargetRuntime:
                     dev, arr.nbytes, storage="global", fill=0,
                     label=f"{arr.name}(image)",
                 ).base
+            recorder = _forensics.ACTIVE
+            if recorder is not None:
+                recorder.register_range(device_id, cv_address, arr.nbytes, arr.name)
             dev.present.insert(
                 PresentEntry(
                     ov_address=arr.base,
@@ -252,6 +267,17 @@ class TargetRuntime:
     def free(self, array: HostArray) -> None:
         """``free()`` the host storage of ``array``."""
         self._arrays.pop(array.name, None)
+        recorder = _forensics.ACTIVE
+        if recorder is not None:
+            recorder.release_range(0, array.base)
+            stack = self.machine.source.snapshot()
+            recorder.record(
+                array.name,
+                "free",
+                device_id=0,
+                location=stack[0] if stack else UNKNOWN_LOCATION,
+                detail=f"{array.nbytes}B",
+            )
         self.machine.host.free(array.base)
 
     # -- directives ------------------------------------------------------------
@@ -299,6 +325,19 @@ class TargetRuntime:
                     telemetry.count("runtime.reset_recoveries")
             for spec in maps:
                 self._map_entry(dev, spec)
+            recorder = _forensics.ACTIVE
+            if recorder is not None:
+                # One launch event per mapped variable: the timeline of each
+                # variable shows which kernels could have touched it.
+                launch_loc = stack[0] if stack else UNKNOWN_LOCATION
+                for spec in maps:
+                    recorder.record(
+                        spec.array.name,
+                        "kernel-launch",
+                        device_id=device,
+                        location=launch_loc,
+                        detail=kernel_name,
+                    )
             machine.bus.publish_kernel(
                 KernelEvent(
                     phase=KernelPhase.BEGIN,
@@ -508,6 +547,11 @@ class TargetRuntime:
             name=spec.array.name,
             array=spec.array,
         )
+        recorder = _forensics.ACTIVE
+        if recorder is not None:
+            recorder.register_range(
+                dev.device_id, cv_address, spec.nbytes, spec.array.name
+            )
         dev.present.insert(entry)
         machine.bus.publish_data_op(
             DataOp(
@@ -531,6 +575,8 @@ class TargetRuntime:
         """
         if _telemetry.ACTIVE is not None:
             _telemetry.ACTIVE.count("runtime.map_rollbacks")
+        if _forensics.ACTIVE is not None:
+            _forensics.ACTIVE.release_range(dev.device_id, entry.cv_address)
         dev.present.remove(entry)
         self.machine.bus.publish_data_op(
             DataOp(
@@ -587,6 +633,8 @@ class TargetRuntime:
             self._transfer(dev, entry, DataOpKind.D2H)
         if _telemetry.ACTIVE is not None:
             _telemetry.ACTIVE.count("runtime.unmaps")
+        if _forensics.ACTIVE is not None:
+            _forensics.ACTIVE.release_range(dev.device_id, entry.cv_address)
         dev.present.remove(entry)
         self.machine.bus.publish_data_op(
             DataOp(
@@ -702,6 +750,15 @@ class TargetRuntime:
             nbytes=nbytes,
         )
         stack = machine.source.snapshot()
+        recorder = _forensics.ACTIVE
+        if recorder is not None:
+            recorder.record(
+                entry.name,
+                "transfer",
+                device_id=dev.device_id,
+                location=stack[0] if stack else UNKNOWN_LOCATION,
+                detail=f"{kind.value} {nbytes}B",
+            )
         machine.bus.publish_memcpy(
             MemcpyEvent(
                 device_id=0,

@@ -196,6 +196,18 @@ class Telemetry:
             hist = self.histograms[name] = Histogram()
         hist.observe(value)
 
+    # -- clock -------------------------------------------------------------
+
+    def tick(self) -> int:
+        """Advance the event-ordinal clock by one and return the new value.
+
+        Span boundaries advance the clock inline; out-of-band consumers
+        (the forensics flight recorder) share the same clock through this
+        method so their timestamps interleave deterministically with spans.
+        """
+        self.ordinal += 1
+        return self.ordinal
+
     # -- spans -------------------------------------------------------------
 
     def span(self, cat: str, name: str, *, tid: int = 0, **args) -> _Span:

@@ -35,6 +35,7 @@ import numpy as np
 from ..clocks.epoch import CLOCK_BITS, MAX_CLOCK
 from ..clocks.vector_clock import VectorClock
 from ..memory.layout import GRANULE
+from ..forensics import recorder as _forensics
 from ..telemetry import registry as _telemetry
 from .base import Tool
 from .findings import Finding, FindingKind
@@ -511,6 +512,9 @@ class ArcherTool(Tool):
                     address=access.address,
                     size=access.size,
                     stack=access.stack,
+                    variable=_forensics.variable_at(
+                        access.device_id, access.address
+                    ),
                 )
             )
 
@@ -537,6 +541,9 @@ class ArcherTool(Tool):
                     address=event.dst_address,
                     size=event.nbytes,
                     stack=event.stack,
+                    variable=_forensics.variable_at(
+                        event.dst_device, event.dst_address
+                    ),
                 )
             )
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..forensics import recorder as _forensics
 from ..telemetry import registry as _telemetry
 from .findings import Finding, FindingKind, MAPPING_ISSUE_KINDS
 
@@ -50,6 +51,8 @@ class Tool:
         self.machine: "Machine | None" = None
         self.findings: list[Finding] = []
         self._seen: set[tuple] = set()
+        #: How many times each deduped site was reported (key -> count).
+        self._counts: dict[tuple, int] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -69,8 +72,16 @@ class Tool:
     def report(self, finding: Finding) -> bool:
         """File a finding; duplicates of an already-reported site are dropped.
 
-        Returns whether the finding was new.
+        Returns whether the finding was new.  While a flight recorder is
+        active the finding is enriched before filing: an empty ``variable``
+        is resolved through the recorder's address index (this happens
+        *before* the dedup key is computed, so enrichment cannot split one
+        site into two), and new findings get a :class:`Provenance`
+        timeline attached.  Duplicates only bump the per-site count.
         """
+        recorder = _forensics.ACTIVE
+        if recorder is not None:
+            finding = recorder.resolve_variable(finding)
         key = finding.dedup_key()
         if _telemetry.ACTIVE is not None:
             _telemetry.ACTIVE.count(
@@ -78,11 +89,22 @@ class Tool:
             )
             if key in self._seen:
                 _telemetry.ACTIVE.count(f"tool.{self.name}.findings_deduped")
+        self._counts[key] = self._counts.get(key, 0) + 1
         if key in self._seen:
             return False
         self._seen.add(key)
+        if recorder is not None:
+            finding = recorder.attach_provenance(finding)
         self.findings.append(finding)
         return True
+
+    def finding_count(self, finding: Finding) -> int:
+        """How many times ``finding``'s site was reported (>= 1)."""
+        return self._counts.get(finding.dedup_key(), 1)
+
+    def findings_with_counts(self) -> list[tuple[Finding, int]]:
+        """The deduped findings paired with their per-site report counts."""
+        return [(f, self.finding_count(f)) for f in self.findings]
 
     def mapping_issue_findings(self) -> list[Finding]:
         """The findings that count for the Table III precision comparison."""
@@ -95,6 +117,7 @@ class Tool:
         """Drop all findings and dedup state (between benchmark runs)."""
         self.findings.clear()
         self._seen.clear()
+        self._counts.clear()
 
     # -- accounting (Fig 9) ---------------------------------------------------
 

@@ -1,0 +1,74 @@
+"""HTML rendering: self-contained, escaped, and well-formed."""
+
+from html.parser import HTMLParser
+
+from repro.dracc.registry import get as dracc_get
+from repro.forensics.html import render_html
+from repro.harness import run_report
+
+#: Elements with no closing tag in HTML.
+_VOID = {"meta", "br", "hr", "img", "link", "input", "col", "wbr"}
+
+
+class _BalanceChecker(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__()
+        self.stack: list[str] = []
+        self.errors: list[str] = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in _VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if not self.stack:
+            self.errors.append(f"closing </{tag}> with nothing open")
+        elif self.stack[-1] != tag:
+            self.errors.append(
+                f"closing </{tag}> while <{self.stack[-1]}> is open"
+            )
+        else:
+            self.stack.pop()
+
+
+def _check(html_text: str) -> _BalanceChecker:
+    checker = _BalanceChecker()
+    checker.feed(html_text)
+    checker.close()
+    return checker
+
+
+class TestWellFormed:
+    def test_tags_balance_on_a_real_report(self):
+        html_text = render_html(run_report(benchmarks=(dracc_get(22),)))
+        checker = _check(html_text)
+        assert checker.errors == []
+        assert checker.stack == [], f"unclosed tags: {checker.stack}"
+
+    def test_tags_balance_on_an_empty_report(self):
+        html_text = render_html(run_report(benchmarks=(dracc_get(1),)))
+        checker = _check(html_text)
+        assert checker.errors == []
+        assert checker.stack == []
+        assert "no findings" in html_text
+
+    def test_self_contained(self):
+        html_text = render_html(run_report(benchmarks=(dracc_get(22),)))
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<style>" in html_text  # inline CSS, no external assets
+        assert "src=" not in html_text
+        assert "href=" not in html_text
+
+    def test_content_is_escaped(self):
+        # Explanations use backticks and angle-bracket-free prose, but the
+        # location "<unknown>" must arrive escaped, never raw.
+        html_text = render_html(run_report(suite="buggy"))
+        assert "&lt;unknown&gt;" in html_text
+        assert "<unknown>" not in html_text
+
+    def test_findings_render_with_timeline_and_why(self):
+        html_text = render_html(run_report(benchmarks=(dracc_get(22),)))
+        assert 'class="finding"' in html_text
+        assert 'class="why"' in html_text
+        assert 'class="timeline"' in html_text
+        assert "kernel-launch" in html_text

@@ -1,0 +1,87 @@
+"""The report artifact format: round-trips, validation, renderings."""
+
+import json
+
+import pytest
+
+from repro.dracc.registry import get as dracc_get
+from repro.forensics.report import (
+    SCHEMA,
+    build_summary,
+    load_report,
+    parse_jsonl,
+    render_text,
+    to_jsonl,
+    write_report,
+)
+from repro.harness import run_report
+
+
+def _payload() -> dict:
+    return run_report(benchmarks=(dracc_get(22),))
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trips(self):
+        payload = _payload()
+        assert parse_jsonl(to_jsonl(payload)) == json.loads(
+            json.dumps(payload)
+        )
+
+    def test_write_and_load(self, tmp_path):
+        payload = _payload()
+        path = str(tmp_path / "report.jsonl")
+        write_report(payload, path)
+        assert load_report(path) == json.loads(json.dumps(payload))
+
+    def test_every_line_is_one_json_record(self):
+        text = to_jsonl(_payload())
+        records = [json.loads(line) for line in text.splitlines()]
+        assert records[0]["record"] == "header"
+        assert records[0]["schema"] == SCHEMA
+        assert records[-1]["record"] == "summary"
+        assert all(r["record"] == "finding" for r in records[1:-1])
+
+
+class TestValidation:
+    def test_rejects_unknown_schema(self):
+        bad = json.dumps({"record": "header", "schema": "repro-report/99"})
+        with pytest.raises(ValueError, match="unsupported report schema"):
+            parse_jsonl(bad)
+
+    def test_rejects_unknown_record_type(self):
+        text = to_jsonl(_payload()) + json.dumps({"record": "mystery"}) + "\n"
+        with pytest.raises(ValueError, match="unknown record type"):
+            parse_jsonl(text)
+
+    def test_rejects_headerless_text(self):
+        with pytest.raises(ValueError, match="no header record"):
+            parse_jsonl(json.dumps({"record": "summary"}))
+
+
+class TestSummary:
+    def test_counts_by_kind_and_tool(self):
+        findings = [
+            {"kind": "a", "tool": "x", "count": 3},
+            {"kind": "a", "tool": "y", "count": 1},
+            {"kind": "b", "tool": "x", "count": 1},
+        ]
+        summary = build_summary(findings, benchmarks=2)
+        assert summary["findings"] == 3
+        assert summary["reports_total"] == 5
+        assert summary["by_kind"] == {"a": 2, "b": 1}
+        assert summary["by_tool"] == {"x": 2, "y": 1}
+
+
+class TestTextRendering:
+    def test_text_contains_timeline_and_explanation(self):
+        text = render_text(_payload())
+        assert "DRACC_OMP_022" in text
+        assert "kernel-launch" in text
+        assert "why:" in text
+        assert "suggest" in text
+        assert "finding(s) over 1 benchmark(s)" in text
+
+    def test_empty_report_renders(self):
+        text = render_text(run_report(benchmarks=(dracc_get(1),)))
+        assert "no findings" in text

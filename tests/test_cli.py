@@ -263,3 +263,125 @@ class TestCommands:
         snap = payload["telemetry"]
         assert snap["spans"]["finished"] == 0
         assert any(k.startswith("runtime.") for k in snap["counters"])
+
+
+class TestReportCommand:
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.suite == "buggy"
+        assert args.tools == "arbalest"
+        assert args.capacity == 64
+        assert args.output == "report.jsonl"
+        assert args.html is None
+
+    def test_report_unknown_suite_exits_2_with_one_line(self, capsys):
+        assert main(["report", "--suite", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown suite 'bogus'" in err
+        assert "buggy, clean, all" in err
+
+    def test_report_unknown_tool_exits_2_with_one_line(self, capsys):
+        assert main(["report", "--tools", "arbalest,gdb"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown tool(s) gdb" in err
+
+    def test_report_bad_capacity_exits_2_with_one_line(self, capsys):
+        assert main(["report", "--capacity", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "capacity must be positive" in err
+
+    def test_report_writes_jsonl_and_html(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "report.jsonl"
+        html_file = tmp_path / "report.html"
+        assert main(
+            ["report", "--suite", "buggy", "--output", str(out_file),
+             "--html", str(html_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "why:" in out
+        assert "wrote" in out
+        header = json.loads(out_file.read_text().splitlines()[0])
+        assert header["schema"] == "repro-report/1"
+        assert html_file.read_text().startswith("<!DOCTYPE html>")
+
+    def test_dracc_report_flag(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "dracc22.jsonl"
+        assert main(["dracc", "22", "--report", str(out_file)]) == 0
+        records = [
+            json.loads(line) for line in out_file.read_text().splitlines()
+        ]
+        findings = [r for r in records if r["record"] == "finding"]
+        assert findings and all(f["benchmark"] == 22 for f in findings)
+        # All five tools ran; arbalest and msan both see the UUM bug.
+        assert {"arbalest", "msan"} <= {f["tool"] for f in findings}
+
+    def test_chaos_report_flag(self, capsys, tmp_path):
+        out_file = tmp_path / "chaos.json"
+        report_file = tmp_path / "report.jsonl"
+        assert main(
+            ["chaos", "--schedules", "1", "--suite", "buggy",
+             "--output", str(out_file), "--report", str(report_file)]
+        ) == 0
+        assert "repro-report/1" in report_file.read_text()
+
+
+class TestDiffCommand:
+    def _write_report(self, tmp_path, name, *, skip=()):
+        from repro.dracc.registry import buggy_benchmarks
+        from repro.forensics.report import write_report
+        from repro.harness import run_report
+
+        benches = tuple(
+            b for b in buggy_benchmarks() if b.number not in skip
+        )[:3]
+        path = str(tmp_path / name)
+        write_report(run_report(benchmarks=benches), path)
+        return path
+
+    def test_identical_reports_exit_0(self, capsys, tmp_path):
+        old = self._write_report(tmp_path, "old.jsonl")
+        new = self._write_report(tmp_path, "new.jsonl")
+        assert main(["diff", old, new]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_seeded_regression_exits_1(self, capsys, tmp_path):
+        # The "old" run predates the bug the first buggy benchmark seeds
+        # (as if its map clause were still present); the "new" run has it.
+        old = self._write_report(tmp_path, "old.jsonl", skip=(22,))
+        new = self._write_report(tmp_path, "new.jsonl")
+        assert main(["diff", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "NEW" in out and "regression" in out
+
+    def test_missing_artifact_exits_2_with_one_line(self, capsys, tmp_path):
+        old = self._write_report(tmp_path, "old.jsonl")
+        assert main(["diff", old, str(tmp_path / "missing.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "repro diff: error" in err
+
+    def test_bench_threshold_gate(self, capsys, tmp_path):
+        import json
+
+        old_payload = {
+            "workloads": {"pcg": {"arbalest": {"slowdown": 2.0}}},
+            "summary": {"arbalest_slowdown_geomean": 2.0},
+        }
+        new_payload = json.loads(json.dumps(old_payload))
+        new_payload["summary"]["arbalest_slowdown_geomean"] = 2.3
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(old_payload, indent=2))
+        new.write_text(json.dumps(new_payload, indent=2))
+        assert main(["diff", str(old), str(new)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert main(
+            ["diff", str(old), str(new), "--threshold", "0.2"]
+        ) == 0
