@@ -41,7 +41,9 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
     from .harness import run_overhead_comparison
     from .specaccel import WORKLOADS
 
-    result = run_overhead_comparison(preset=args.preset, repetitions=args.reps)
+    result = run_overhead_comparison(
+        preset=args.preset, repetitions=args.reps, engine=args.engine
+    )
     print(result.render_time_table())
     print()
     for w in WORKLOADS:
@@ -60,6 +62,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             repetitions=args.reps,
             output=args.output,
             telemetry=args.telemetry,
+            engine=args.engine,
         )
     except OSError as exc:
         print(f"repro bench: error: {exc}", file=sys.stderr)
@@ -68,7 +71,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     width = max(12, max(len(c) for c in configs) + 2)
     header = f"{'Workload':<12}" + "".join(f"{c:>{width}}" for c in configs)
     print(f"Fig 8 benchmark (preset={payload['preset']}, "
-          f"reps={payload['repetitions']})")
+          f"engine={payload['engine']}, reps={payload['repetitions']})")
     print(header)
     for w, row in payload["workloads"].items():
         print(
@@ -85,11 +88,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{s['arbalest_cert_slowdown_geomean']:.2f}x, "
         f"max {s['arbalest_cert_slowdown_max']:.2f}x"
     )
-    print(
-        "with flight recorder: geomean "
-        f"{s['arbalest_rec_slowdown_geomean']:.2f}x "
-        f"({s['recorder_overhead_geomean']:.3f}x over plain arbalest)"
-    )
+    if "arbalest_rec_slowdown_geomean" in s:
+        print(
+            "with flight recorder: geomean "
+            f"{s['arbalest_rec_slowdown_geomean']:.2f}x "
+            f"({s['recorder_overhead_geomean']:.3f}x over plain arbalest)"
+        )
     consistent = payload["checksums_consistent"]
     print(f"checksums consistent across configs: {'yes' if consistent else 'NO'}")
     if "telemetry" in payload:
@@ -377,7 +381,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    payload = run_report(suite=args.suite, tools=tools, capacity=args.capacity)
+    payload = run_report(
+        suite=args.suite,
+        tools=tools,
+        capacity=args.capacity,
+        engine=args.engine,
+    )
     print(render_text(payload), end="")
     try:
         write_report(payload, args.output)
@@ -437,15 +446,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p8 = sub.add_parser("fig8", help="Fig 8: time overhead on SPEC ACCEL")
-    p8.add_argument("--preset", default="ref", choices=("test", "train", "ref"))
+    p8.add_argument(
+        "--preset", default="ref", choices=("test", "train", "ref", "large")
+    )
     p8.add_argument("--reps", type=int, default=3)
+    p8.add_argument("--engine", default="scalar", choices=("scalar", "columnar"))
     p8.set_defaults(fn=_cmd_fig8)
 
     pb = sub.add_parser(
         "bench", help="tracked benchmark: Fig-8 matrix -> BENCH_fig8.json"
     )
-    pb.add_argument("--preset", default="train", choices=("test", "train", "ref"))
+    pb.add_argument(
+        "--preset", default="train", choices=("test", "train", "ref", "large")
+    )
     pb.add_argument("--reps", type=int, default=3)
+    pb.add_argument("--engine", default="scalar", choices=("scalar", "columnar"))
     pb.add_argument("--output", default="BENCH_fig8.json")
     pb.add_argument(
         "--telemetry",
@@ -550,6 +565,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="per-variable flight-recorder ring capacity",
+    )
+    pr.add_argument(
+        "--engine",
+        default="scalar",
+        choices=("scalar", "columnar"),
+        help="event dispatch engine (findings must not depend on it)",
     )
     pr.add_argument("--output", default="report.jsonl")
     pr.add_argument(

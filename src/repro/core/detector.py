@@ -44,11 +44,13 @@ from ..events.source import UNKNOWN_LOCATION
 from ..forensics import recorder as _forensics
 from ..memory.layout import GRANULE
 from ..telemetry import registry as _telemetry
+from ..events.columnar import first_occurrence_passes
 from ..tools.archer import RaceEngine
 from ..tools.base import Tool
 from ..tools.findings import Finding, FindingKind
 from .registry import MappingRecord, MappingRegistry, ShadowRegistry
 from .reports import Anomaly, BlockInfo, BugReport
+from .shadow import ShadowBlock
 from .states import VsmOp
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -200,6 +202,13 @@ class Arbalest(Tool):
         # Theorem 1 must see).
         if self.race_engine is None:
             return
+        # Certified mapping: its transfer schedule is statically proven
+        # ordered, so the race probe is skipped along with the VSM (same
+        # trade the per-access certificate skip makes).
+        cv = event.dst_address if event.dst_device != 0 else event.src_address
+        rec = self.mappings.find(cv)
+        if rec is not None and rec.certified:
+            return
         racy_r = self.race_engine.check_range(
             event.src_device, event.thread_id, event.src_address, event.nbytes, False
         )
@@ -265,16 +274,22 @@ class Arbalest(Tool):
                         detail=f"evicted {len(victims)} stale mapping(s)",
                     )
             ov_block = self.shadows.find(op.ov_address)
-            self.mappings.add(
-                MappingRecord(
-                    name=ov_block.label if ov_block is not None else "",
-                    ov_base=op.ov_address,
-                    cv_base=op.cv_address,
-                    nbytes=op.nbytes,
-                    device_id=op.device_id,
-                    unified=unified,
-                )
+            record = MappingRecord(
+                name=ov_block.label if ov_block is not None else "",
+                ov_base=op.ov_address,
+                cv_base=op.cv_address,
+                nbytes=op.nbytes,
+                device_id=op.device_id,
+                unified=unified,
             )
+            if (
+                ov_block is None
+                and self.shadows.skipped_range(op.ov_address) is not None
+            ):
+                # The host allocation was certificate-skipped; the DataOp
+                # carries no variable name, so stamp the mapping by address.
+                record.certified = True
+            self.mappings.add(record)
             # Unified: mapping makes a host-valid value visible on the
             # device (host → consistent); separate: fresh CV, garbage.
             vsm_op = VsmOp.UPDATE_TARGET if unified else VsmOp.ALLOCATE
@@ -374,21 +389,194 @@ class Arbalest(Tool):
         assert engine is not None
         racy = engine.check_access(access)
         if racy:
-            self.report(
-                Finding(
-                    tool=self.name,
-                    kind=FindingKind.RACE,
-                    message=(
-                        f"conflicting {'write' if access.is_write else 'read'} "
-                        "not ordered with a previous access"
-                    ),
-                    device_id=access.device_id,
-                    thread_id=access.thread_id,
-                    address=access.address,
-                    size=access.size,
-                    stack=access.stack,
-                )
+            self._report_race_finding(access)
+
+    def _report_race_finding(self, access: "Access") -> None:
+        self.report(
+            Finding(
+                tool=self.name,
+                kind=FindingKind.RACE,
+                message=(
+                    f"conflicting {'write' if access.is_write else 'read'} "
+                    "not ordered with a previous access"
+                ),
+                device_id=access.device_id,
+                thread_id=access.thread_id,
+                address=access.address,
+                size=access.size,
+                stack=access.stack,
             )
+        )
+
+    # -- columnar engine -----------------------------------------------------
+
+    def on_batch(self, batch) -> None:
+        """Columnar fast path: classify the batch once, vectorize the bulk.
+
+        Device accesses that resolve to one separate-memory mapping, sit
+        fully in bounds, and touch a single granule are driven through the
+        table-lookup VSM (:meth:`ShadowBlock.apply_ops`) plus one batched
+        FastTrack pass per segment; everything else — host events, bulk
+        accesses, unified mappings, overflow suspects — replays through
+        :meth:`on_access` *in place*, so findings land in the same order as
+        under the scalar engine.  Forensics and rich-metadata runs replay
+        wholesale: both sample per-event state around each transition.
+        """
+        accesses = batch.accesses
+        if _forensics.ACTIVE is not None or self.record_access_metadata:
+            on_access = self.on_access
+            for access in accesses:
+                on_access(access)
+            return
+        cols = batch.columns
+        n = len(accesses)
+        addr = cols.addresses
+        sizes = cols.sizes
+
+        # Snapshot the mapping and shadow indexes: every registry mutation
+        # is a non-access publish (which flushes), so both are frozen for
+        # the whole batch.
+        recs = sorted(
+            (r for r in self.mappings.records() if not r.unified),
+            key=lambda r: r.cv_base,
+        )
+        blocks = sorted(self.shadows.blocks(), key=lambda b: b.base)
+
+        # Classify every event: 0 = replay via on_access, 1 = certified
+        # skip, 2 = race-check only (no shadow block), 3 = VSM + race.
+        cat = np.zeros(n, dtype=np.int8)
+        ri = np.full(n, -1, dtype=np.intp)  # mapping-record index
+        bi = np.full(n, -1, dtype=np.intp)  # shadow-block index
+        gran = np.zeros(n, dtype=np.int64)  # local granule index (cat == 3)
+        scalar_dev = (cols.device_ids != 0) & (cols.counts == 1)
+        if recs and bool(scalar_dev.any()):
+            nr = len(recs)
+            cv_bases = np.fromiter((r.cv_base for r in recs), dtype=np.int64, count=nr)
+            cv_ends = np.fromiter((r.cv_end for r in recs), dtype=np.int64, count=nr)
+            cand = np.searchsorted(cv_bases, addr, side="right") - 1
+            safe = np.maximum(cand, 0)
+            resolved = scalar_dev & (cand >= 0) & (addr + sizes <= cv_ends[safe])
+            ri = np.where(resolved, cand, -1)
+            certified = np.fromiter((r.certified for r in recs), dtype=bool, count=nr)
+            is_cert = resolved & certified[safe]
+            cat[is_cert] = 1
+            need_vsm = resolved & ~is_cert
+            if bool(need_vsm.any()):
+                ov_bases = np.fromiter(
+                    (r.ov_base for r in recs), dtype=np.int64, count=nr
+                )
+                ov = addr - cv_bases[safe] + ov_bases[safe]
+                if blocks:
+                    nb = len(blocks)
+                    b_bases = np.fromiter(
+                        (b.base for b in blocks), dtype=np.int64, count=nb
+                    )
+                    b_ends = np.fromiter(
+                        (b.base + b.nbytes for b in blocks), dtype=np.int64, count=nb
+                    )
+                    b_gran = np.fromiter(
+                        (b.granule for b in blocks), dtype=np.int64, count=nb
+                    )
+                    vect = np.fromiter(
+                        (type(b) is ShadowBlock for b in blocks), dtype=bool, count=nb
+                    )
+                    bc = np.searchsorted(b_bases, ov, side="right") - 1
+                    bsafe = np.maximum(bc, 0)
+                    in_block = need_vsm & (bc >= 0) & (ov < b_ends[bsafe])
+                    g_first = (ov - b_bases[bsafe]) // b_gran[bsafe]
+                    g_last = (ov + sizes - 1 - b_bases[bsafe]) // b_gran[bsafe]
+                    vsm_ok = (
+                        in_block
+                        & vect[bsafe]
+                        & (g_first == g_last)
+                        & (ov + sizes <= b_ends[bsafe])
+                    )
+                    cat[vsm_ok] = 3
+                    bi = np.where(vsm_ok, bc, -1)
+                    gran[vsm_ok] = g_first[vsm_ok]
+                    race_only = need_vsm & ~in_block
+                else:
+                    race_only = need_vsm
+                cat[race_only] = 2
+        # Replay ineligible events in place so segment findings, replayed
+        # findings, and all side effects keep the scalar engine's order.
+        on_access = self.on_access
+        start = 0
+        for s in np.flatnonzero(cat == 0).tolist():
+            if s > start:
+                self._batch_segment(accesses, cols, cat, ri, bi, gran, recs, blocks, start, s)
+            on_access(accesses[s])
+            start = s + 1
+        if start < n:
+            self._batch_segment(accesses, cols, cat, ri, bi, gran, recs, blocks, start, n)
+
+    def _batch_segment(
+        self, accesses, cols, cat, ri, bi, gran, recs, blocks, start, stop
+    ) -> None:
+        """Vector-process one run of fast-path-eligible device accesses."""
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            telemetry.count("detector.accesses.device", stop - start)
+        seg = np.arange(start, stop)
+        c = cat[start:stop]
+        n_cert = int((c == 1).sum())
+        if n_cert:
+            self.cert_access_skips += n_cert
+            if telemetry is not None:
+                telemetry.count("staticlint.access_skips", n_cert)
+        is_write = cols.is_write
+        # (position, phase, access, uninit) — phase 0 = VSM issue, 1 = race;
+        # sorted at the end to reproduce the scalar engine's report order.
+        found: list[tuple[int, int, object, bool]] = []
+        vsm_pos = seg[c == 3]
+        if len(vsm_pos):
+            order = np.argsort(bi[vsm_pos], kind="stable")
+            vp = vsm_pos[order]
+            block_ids = bi[vp]
+            for blk_id in np.unique(block_ids).tolist():
+                sel = vp[block_ids == blk_id]
+                block = blocks[blk_id]
+                passes, remainder = first_occurrence_passes(gran[sel])
+                for p in passes:
+                    pos = sel[p]
+                    ops = np.where(
+                        is_write[pos],
+                        np.intp(VsmOp.WRITE_TARGET),
+                        np.intp(VsmOp.READ_TARGET),
+                    )
+                    illegal, uninit = block.apply_ops(gran[pos], ops)
+                    for h in np.flatnonzero(illegal & ~is_write[pos]).tolist():
+                        p_abs = int(pos[h])
+                        found.append((p_abs, 0, accesses[p_abs], bool(uninit[h])))
+                for r in remainder.tolist():
+                    p_abs = int(sel[r])
+                    access = accesses[p_abs]
+                    op = VsmOp.WRITE_TARGET if access.is_write else VsmOp.READ_TARGET
+                    ill, uni = block.apply_scalar(
+                        int(gran[p_abs]), op, recs[int(ri[p_abs])].device_id
+                    )
+                    if ill and not access.is_write:
+                        found.append((p_abs, 0, access, bool(uni)))
+        if self.race_engine is not None:
+            race_pos = seg[c != 1]  # cat 2 and 3: everything not cert-skipped
+            if len(race_pos):
+                racy = self.race_engine.check_batch(
+                    cols.device_ids[race_pos],
+                    cols.thread_ids[race_pos],
+                    cols.addresses[race_pos],
+                    cols.sizes[race_pos],
+                    is_write[race_pos],
+                )
+                for p in racy:
+                    p_abs = int(race_pos[p])
+                    found.append((p_abs, 1, accesses[p_abs], False))
+        for p_abs, phase, access, uninit in sorted(found, key=lambda t: (t[0], t[1])):
+            if phase == 0:
+                self._report_issue(
+                    access, blocks[int(bi[p_abs])], recs[int(ri[p_abs])], uninit
+                )
+            else:
+                self._report_race_finding(access)
 
     # -- host side ----------------------------------------------------------
 

@@ -35,6 +35,37 @@ MAX_DEVICES = 31
 _HOST_BIT = np.uint32(1)
 
 
+def _step_masks(
+    v: int, ini: int, op: VsmOp, dbit: int
+) -> tuple[int, int, bool, bool]:
+    """One validity/init transition on plain-int masks (shared fast path)."""
+    illegal = uninit = False
+    if op is VsmOp.READ_HOST:
+        illegal = not v & 1
+        uninit = illegal and not ini & 1
+    elif op is VsmOp.READ_TARGET:
+        illegal = not v & dbit
+        uninit = illegal and not ini & dbit
+    elif op is VsmOp.WRITE_HOST:
+        v = 1
+        ini |= 1
+    elif op is VsmOp.WRITE_TARGET:
+        v = dbit
+        ini |= dbit
+    elif op is VsmOp.UPDATE_HOST:
+        v = v | 1 if v & dbit else v & ~1
+        ini = ini | 1 if ini & dbit else ini & ~1
+    elif op is VsmOp.UPDATE_TARGET:
+        v = v | dbit if v & 1 else v & ~dbit
+        ini = ini | dbit if ini & 1 else ini & ~dbit
+    elif op is VsmOp.ALLOCATE:
+        ini &= ~dbit
+    elif op is VsmOp.RELEASE:
+        v &= ~dbit
+        ini &= ~dbit
+    return v, ini, illegal, uninit
+
+
 class MultiShadowBlock:
     """(n+1)-tuple validity shadow for one host allocation.
 
@@ -43,7 +74,7 @@ class MultiShadowBlock:
     which CV bit an operation touches.
     """
 
-    __slots__ = ("base", "nbytes", "granule", "valid", "init", "label")
+    __slots__ = ("base", "nbytes", "granule", "_valid", "_init", "_uniform", "label")
 
     def __init__(self, base: int, nbytes: int, *, granule: int = GRANULE, label: str = ""):
         self.base = base
@@ -51,16 +82,36 @@ class MultiShadowBlock:
         self.granule = granule
         self.label = label
         n = -(-nbytes // granule)
-        self.valid = np.zeros(n, dtype=np.uint32)
-        self.init = np.zeros(n, dtype=np.uint32)
+        self._valid = np.zeros(n, dtype=np.uint32)
+        self._init = np.zeros(n, dtype=np.uint32)
+        # Uniform summary, like ShadowBlock: (valid, init) masks shared by
+        # every granule while whole-block operations keep them in lockstep.
+        self._uniform: tuple[int, int] | None = (0, 0)
+
+    def _materialize(self) -> None:
+        u = self._uniform
+        if u is not None:
+            self._valid.fill(u[0])
+            self._init.fill(u[1])
+            self._uniform = None
+
+    @property
+    def valid(self) -> np.ndarray:
+        self._materialize()
+        return self._valid
+
+    @property
+    def init(self) -> np.ndarray:
+        self._materialize()
+        return self._init
 
     @property
     def n_granules(self) -> int:
-        return len(self.valid)
+        return len(self._valid)
 
     @property
     def shadow_nbytes(self) -> int:
-        return self.valid.nbytes + self.init.nbytes
+        return self._valid.nbytes + self._init.nbytes
 
     def contains(self, address: int, span: int = 1) -> bool:
         return self.base <= address and address + span <= self.base + self.nbytes
@@ -74,6 +125,20 @@ class MultiShadowBlock:
         """Apply ``op`` for device ``device_id``; see ShadowBlock.apply."""
         if not 1 <= device_id <= MAX_DEVICES:
             raise ValueError(f"device id {device_id} out of range 1..{MAX_DEVICES}")
+        u = self._uniform
+        if u is not None and type(idx) is slice:
+            lo, hi = idx.start, idx.stop
+            if (
+                lo == 0
+                and hi is not None
+                and hi >= len(self._valid)
+                and (idx.step is None or idx.step == 1)
+            ):
+                n = len(self._valid)
+                v2, ini2, ill, uni = _step_masks(u[0], u[1], op, 1 << device_id)
+                self._uniform = (v2, ini2)
+                return np.full(n, ill), np.full(n, uni)
+        self._materialize()
         dbit = np.uint32(1 << device_id)
         v = self.valid[idx]
         ini = self.init[idx]
@@ -119,34 +184,23 @@ class MultiShadowBlock:
         if not 1 <= device_id <= MAX_DEVICES:
             raise ValueError(f"device id {device_id} out of range 1..{MAX_DEVICES}")
         dbit = 1 << device_id
-        v = int(self.valid[i])
-        ini = int(self.init[i])
-        illegal = uninit = False
-        if op is VsmOp.READ_HOST:
-            illegal = not v & 1
-            uninit = illegal and not ini & 1
-        elif op is VsmOp.READ_TARGET:
-            illegal = not v & dbit
-            uninit = illegal and not ini & dbit
-        elif op is VsmOp.WRITE_HOST:
-            v = 1
-            ini |= 1
-        elif op is VsmOp.WRITE_TARGET:
-            v = dbit
-            ini |= dbit
-        elif op is VsmOp.UPDATE_HOST:
-            v = v | 1 if v & dbit else v & ~1
-            ini = ini | 1 if ini & dbit else ini & ~1
-        elif op is VsmOp.UPDATE_TARGET:
-            v = v | dbit if v & 1 else v & ~dbit
-            ini = ini | dbit if ini & 1 else ini & ~dbit
-        elif op is VsmOp.ALLOCATE:
-            ini &= ~dbit
-        elif op is VsmOp.RELEASE:
-            v &= ~dbit
-            ini &= ~dbit
-        self.valid[i] = v
-        self.init[i] = ini
+        u = self._uniform
+        if u is not None:
+            v2, ini2, illegal, uninit = _step_masks(u[0], u[1], op, dbit)
+            if (v2, ini2) == u:
+                return illegal, uninit
+            if len(self._valid) == 1:
+                self._uniform = (v2, ini2)
+                return illegal, uninit
+            self._materialize()
+            self._valid[i] = v2
+            self._init[i] = ini2
+            return illegal, uninit
+        v, ini, illegal, uninit = _step_masks(
+            int(self._valid[i]), int(self._init[i]), op, dbit
+        )
+        self._valid[i] = v
+        self._init[i] = ini
         return illegal, uninit
 
     def record_access(self, idx, **_: object) -> None:
@@ -154,13 +208,17 @@ class MultiShadowBlock:
 
     def validity_at(self, address: int) -> int:
         """The raw validity mask of one granule (bit 0 = host)."""
-        return int(self.valid[(address - self.base) // self.granule])
+        u = self._uniform
+        if u is not None:
+            return u[0]
+        return int(self._valid[(address - self.base) // self.granule])
 
     def state_label(self, i: int) -> str:
         """Validity mask of granule ``i`` rendered for flight-recorder
         timelines: which locations hold the last write, e.g. ``OV+CV2``
         (host and device 2 consistent) or ``NONE`` (nothing valid yet)."""
-        v = int(self.valid[i])
+        u = self._uniform
+        v = u[0] if u is not None else int(self._valid[i])
         if v == 0:
             return "NONE"
         parts = ["OV"] if v & 1 else []

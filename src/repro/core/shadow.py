@@ -153,6 +153,22 @@ _TRANSITION_KEYS: list[list[str]] = [
 ]
 
 
+# Read-only constant-bool pools for the uniform fast paths: a slice of a
+# shared array is ~20x cheaper than np.full/np.broadcast_to at these sizes.
+# Callers treat the returned (illegal, uninit) arrays as read-only.
+_CONST_POOL_CAP = 1 << 16
+_FALSE_POOL = np.zeros(_CONST_POOL_CAP, dtype=bool)
+_TRUE_POOL = np.ones(_CONST_POOL_CAP, dtype=bool)
+_FALSE_POOL.setflags(write=False)
+_TRUE_POOL.setflags(write=False)
+
+
+def _const_bool(flag: bool, n: int) -> np.ndarray:
+    if n <= _CONST_POOL_CAP:
+        return (_TRUE_POOL if flag else _FALSE_POOL)[:n]
+    return np.full(n, flag)
+
+
 def _step_word(w: int, op: VsmOp) -> tuple[int, bool, bool]:
     """One Table-II transition on a plain-int shadow word.
 
@@ -181,9 +197,17 @@ def _step_word(w: int, op: VsmOp) -> tuple[int, bool, bool]:
 
 
 class ShadowBlock:
-    """Shadow words for one host allocation (one word per granule)."""
+    """Shadow words for one host allocation (one word per granule).
 
-    __slots__ = ("base", "nbytes", "granule", "words", "label")
+    Blocks additionally keep a *uniform-word summary*: while every granule
+    holds the same shadow word (true from birth, and preserved by the
+    whole-block transitions that dominate bulk workloads) ``_uniform`` holds
+    that word and the backing array is stale.  Whole-range applies then cost
+    O(1) plain-int work; any partial or per-granule operation first
+    materializes the summary back into ``words``.
+    """
+
+    __slots__ = ("base", "nbytes", "granule", "_words", "_uniform", "label")
 
     def __init__(self, base: int, nbytes: int, *, granule: int = GRANULE, label: str = ""):
         if granule <= 0:
@@ -194,17 +218,31 @@ class ShadowBlock:
         self.label = label
         n = -(-nbytes // granule)
         # All-invalid, nothing initialized: exactly "[Host: 0, Accel: 0]".
-        self.words = np.zeros(n, dtype=np.uint64)
+        self._words = np.zeros(n, dtype=np.uint64)
+        self._uniform: int | None = 0
+
+    def _materialize(self) -> np.ndarray:
+        """Write the uniform summary back into the word array and return it."""
+        u = self._uniform
+        if u is not None:
+            self._words.fill(u)
+            self._uniform = None
+        return self._words
+
+    @property
+    def words(self) -> np.ndarray:
+        """The per-granule shadow words (materializing any uniform summary)."""
+        return self._materialize()
 
     # -- indexing -----------------------------------------------------------
 
     @property
     def n_granules(self) -> int:
-        return len(self.words)
+        return len(self._words)
 
     @property
     def shadow_nbytes(self) -> int:
-        return self.words.nbytes
+        return self._words.nbytes
 
     def contains(self, address: int, span: int = 1) -> bool:
         return self.base <= address and address + span <= self.base + self.nbytes
@@ -243,23 +281,37 @@ class ShadowBlock:
                 and hi is not None
                 and (idx.step is None or idx.step == 1)
             ):
+                if hi <= lo:
+                    return np.zeros(0, dtype=bool), np.zeros(0, dtype=bool)
                 if hi - lo == 1:
                     ill, uni = self.apply_scalar(lo, op, device_id)
                     return np.array([ill]), np.array([uni])
+                u = self._uniform
+                if u is not None and lo == 0 and hi >= len(self._words):
+                    # Whole-block transition on a uniform block: O(1) — the
+                    # summary steps once and the word array stays stale.
+                    n = len(self._words)
+                    new_w, ill, uni = _step_word(u, op)
+                    self._uniform = new_w
+                    telemetry = _telemetry.ACTIVE
+                    if telemetry is not None:
+                        telemetry.count(_TRANSITION_KEYS[op][u & 0b11], n)
+                    return _const_bool(ill, n), _const_bool(uni, n)
                 # Uniform-range fast path: whole-array data ops and kernel
                 # accesses usually find every granule in one state, so one
                 # scalar transition broadcast back replaces the vectorized
                 # pipeline below.
-                w0 = self.words[idx]
+                words = self._materialize()
+                w0 = words[idx]
                 n = len(w0)
                 if n and bool((w0 == w0[0]).all()):
                     old = int(w0[0])
                     new_w, ill, uni = _step_word(old, op)
-                    self.words[idx] = new_w
+                    words[idx] = new_w
                     telemetry = _telemetry.ACTIVE
                     if telemetry is not None:
                         telemetry.count(_TRANSITION_KEYS[op][old & 0b11], n)
-                    return np.full(n, ill), np.full(n, uni)
+                    return _const_bool(ill, n), _const_bool(uni, n)
         w = self.words[idx]
         st = (w & MASK_STATE).astype(np.intp)
         telemetry = _telemetry.ACTIVE
@@ -300,12 +352,61 @@ class ShadowBlock:
         but returns plain bools and touches numpy only to load/store the one
         word.  ``device_id`` is ignored exactly as in :meth:`apply`.
         """
-        old = int(self.words[i])
+        u = self._uniform
+        if u is not None:
+            new_w, illegal, uninit = _step_word(u, op)
+            if new_w == u:
+                # The word didn't change (legal or illegal *read*): the
+                # block stays uniform and the array stays untouched.
+                pass
+            elif len(self._words) == 1:
+                self._uniform = new_w
+            else:
+                self._materialize()[i] = new_w
+            telemetry = _telemetry.ACTIVE
+            if telemetry is not None:
+                telemetry.count(_TRANSITION_KEYS[op][u & 0b11])
+            return illegal, uninit
+        words = self._words
+        old = int(words[i])
         new_w, illegal, uninit = _step_word(old, op)
-        self.words[i] = new_w
+        words[i] = new_w
         telemetry = _telemetry.ACTIVE
         if telemetry is not None:
             telemetry.count(_TRANSITION_KEYS[op][old & 0b11])
+        return illegal, uninit
+
+    def apply_ops(self, idx: np.ndarray, ops: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar transition: one op *per selected granule*, gather/scatter.
+
+        ``idx`` is a local granule index array with **no repeats** (the
+        columnar engine splits batches into first-occurrence passes before
+        calling this) and ``ops`` the matching VsmOp codes — access ops
+        only (READ_HOST/READ_TARGET/WRITE_HOST/WRITE_TARGET).  Returns
+        ``(illegal, uninitialized)`` aligned with the selection, with the
+        same semantics as :meth:`apply`.
+        """
+        words = self._materialize()
+        w = words[idx]
+        st = (w & MASK_STATE).astype(np.intp)
+        illegal = ILLEGAL_LUT[ops, st]
+        ov_uninit = (w >> np.uint64(BIT_OV_INIT)) & _U64_1 == 0
+        cv_uninit = (w >> np.uint64(BIT_CV_INIT)) & _U64_1 == 0
+        uninit = illegal & np.where(ops == VsmOp.READ_HOST, ov_uninit, cv_uninit)
+        w = (
+            w
+            | np.where(ops == VsmOp.WRITE_HOST, MASK_OV_INIT, np.uint64(0))
+            | np.where(ops == VsmOp.WRITE_TARGET, MASK_CV_INIT, np.uint64(0))
+        )
+        w = (w & ~MASK_STATE) | TRANS_LUT[ops, st]
+        words[idx] = w
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            combo = np.bincount(ops * 4 + st, minlength=16)
+            for code in np.flatnonzero(combo):
+                telemetry.count(
+                    _TRANSITION_KEYS[code >> 2][code & 3], int(combo[code])
+                )
         return illegal, uninit
 
     def record_access(
@@ -330,10 +431,15 @@ class ShadowBlock:
 
     def state_label(self, i: int) -> str:
         """VSM state name of granule ``i`` (flight-recorder timelines)."""
-        return VsmState(int(self.words[i]) & 0b11).name
+        u = self._uniform
+        w = u if u is not None else int(self._words[i])
+        return VsmState(w & 0b11).name
 
     def state_at(self, address: int) -> VsmState:
-        return VsmState(int(self.words[(address - self.base) // self.granule] & MASK_STATE))
+        u = self._uniform
+        if u is not None:
+            return VsmState(u & 0b11)
+        return VsmState(int(self._words[(address - self.base) // self.granule] & MASK_STATE))
 
     def word_at(self, address: int) -> dict:
         return unpack_word(int(self.words[(address - self.base) // self.granule]))

@@ -1,6 +1,7 @@
 """Event layer: instrumentation records, the tool bus, and source stacks."""
 
 from .bus import ToolBus
+from .columnar import BATCH_CAP, BatchColumns, EventBatch, first_occurrence_passes
 from .records import (
     Access,
     AccessOrigin,
@@ -28,6 +29,10 @@ from .trace_io import (
 
 __all__ = [
     "ToolBus",
+    "BATCH_CAP",
+    "BatchColumns",
+    "EventBatch",
+    "first_occurrence_passes",
     "Access",
     "AccessOrigin",
     "AllocationEvent",

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..telemetry import registry as _telemetry
 
+from .columnar import BATCH_CAP, MIN_BATCH, EventBatch
 from .records import (
     Access,
     AllocationEvent,
@@ -65,9 +66,24 @@ class ToolErrorRecord:
 
 
 class ToolBus:
-    """Fan-out of runtime events to attached tools."""
+    """Fan-out of runtime events to attached tools.
 
-    def __init__(self) -> None:
+    ``engine`` selects the access dispatch strategy: ``"scalar"`` (the
+    default, and the differential-testing oracle) delivers each access to
+    each tool's ``on_access`` immediately; ``"columnar"`` parks accesses in
+    a pending batch and flushes them through ``on_batch`` — before any
+    non-access publish, at :data:`~repro.events.columnar.BATCH_CAP`, and on
+    attach/detach — so tools see exactly the same event order, just blocked.
+    """
+
+    def __init__(self, engine: str = "scalar") -> None:
+        if engine not in ("scalar", "columnar"):
+            raise ValueError(
+                f"unknown engine {engine!r}: expected 'scalar' or 'columnar'"
+            )
+        self.engine = engine
+        self._columnar = engine == "columnar"
+        self._batch_pending: list[Access] = []
         self._tools: list["Tool"] = []
         self._access: tuple["Tool", ...] = ()
         self._data_op: tuple["Tool", ...] = ()
@@ -86,10 +102,14 @@ class ToolBus:
     # -- subscription ----------------------------------------------------
 
     def attach(self, tool: "Tool") -> None:
+        if self._batch_pending:
+            self.flush_batch()  # pending events predate the newcomer
         self._tools.append(tool)
         self._rebuild()
 
     def detach(self, tool: "Tool") -> None:
+        if self._batch_pending:
+            self.flush_batch()  # deliver what the tool already observed
         try:
             self._tools.remove(tool)
         except ValueError:
@@ -181,19 +201,73 @@ class ToolBus:
                     self._tool_error(tool, handler, exc)
 
     def publish_access(self, access: Access) -> None:
+        if self._columnar:
+            # Pin the call stack now: the lazy provider only stays valid
+            # while the producing frame is live, and batch dispatch happens
+            # long after that frame has moved on.
+            access.stack
+            pending = self._batch_pending
+            pending.append(access)
+            if len(pending) >= BATCH_CAP:
+                self.flush_batch()
+            return
         telemetry = _telemetry.ACTIVE
-        if telemetry is not None:
-            # Counters, not spans: accesses are the hot path, and a span per
-            # access would bury every other event in the trace.
-            telemetry.count("bus.events.on_access")
-            telemetry.count("bus.access_fanout", len(self._access))
+        if telemetry is None:
+            # Telemetry disabled: one global load, then straight dispatch —
+            # no counter lookups on the per-access hot path.
+            for tool in self._access:
+                try:
+                    tool.on_access(access)
+                except Exception as exc:
+                    self._tool_error(tool, "on_access", exc)
+            return
+        # Counters, not spans: accesses are the hot path, and a span per
+        # access would bury every other event in the trace.
+        telemetry.count("bus.events.on_access")
+        telemetry.count("bus.access_fanout", len(self._access))
         for tool in self._access:
             try:
                 tool.on_access(access)
             except Exception as exc:
                 self._tool_error(tool, "on_access", exc)
 
+    def flush_batch(self) -> None:
+        """Deliver the pending access batch through ``on_batch``.
+
+        A no-op when nothing is pending (scalar buses never accumulate), so
+        callers can invoke it unconditionally at ordering barriers.
+        """
+        pending = self._batch_pending
+        if not pending:
+            return
+        self._batch_pending = []
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            telemetry.count("bus.batches")
+            telemetry.count("bus.events.on_access", len(pending))
+            telemetry.count("bus.access_fanout", len(pending) * len(self._access))
+        if len(pending) < MIN_BATCH:
+            # Bulk-kernel traffic: a few large accesses per window.  The
+            # vectorized setup cost dwarfs per-event dispatch here, so hand
+            # the run to the scalar handlers (semantically identical).
+            for tool in self._access:
+                on_access = tool.on_access
+                for access in pending:
+                    try:
+                        on_access(access)
+                    except Exception as exc:
+                        self._tool_error(tool, "on_access", exc)
+            return
+        batch = EventBatch(pending)
+        for tool in self._access:
+            try:
+                tool.on_batch(batch)
+            except Exception as exc:
+                self._tool_error(tool, "on_batch", exc)
+
     def publish_data_op(self, op: DataOp) -> None:
+        if self._batch_pending:
+            self.flush_batch()
         if self.chaos is not None:
             for event in self.chaos.perturb_data_op(op):
                 self._fan_out_data_op(event)
@@ -212,12 +286,16 @@ class ToolBus:
 
     def flush_chaos(self) -> None:
         """Deliver any chaos-held (reordered) data op at end of run."""
+        if self._batch_pending:
+            self.flush_batch()
         if self.chaos is None:
             return
         for event in self.chaos.drain():
             self._fan_out_data_op(event)
 
     def publish_kernel(self, event: KernelEvent) -> None:
+        if self._batch_pending:
+            self.flush_batch()
         if _telemetry.ACTIVE is not None:
             self._publish_instrumented(self._kernel, "on_kernel", event)
             return
@@ -228,6 +306,8 @@ class ToolBus:
                 self._tool_error(tool, "on_kernel", exc)
 
     def publish_allocation(self, event: AllocationEvent) -> None:
+        if self._batch_pending:
+            self.flush_batch()
         if _telemetry.ACTIVE is not None:
             self._publish_instrumented(self._allocation, "on_allocation", event)
             return
@@ -238,6 +318,8 @@ class ToolBus:
                 self._tool_error(tool, "on_allocation", exc)
 
     def publish_sync(self, event: SyncEvent) -> None:
+        if self._batch_pending:
+            self.flush_batch()
         if _telemetry.ACTIVE is not None:
             self._publish_instrumented(self._sync, "on_sync", event)
             return
@@ -248,6 +330,8 @@ class ToolBus:
                 self._tool_error(tool, "on_sync", exc)
 
     def publish_flush(self, event: FlushEvent) -> None:
+        if self._batch_pending:
+            self.flush_batch()
         if _telemetry.ACTIVE is not None:
             self._publish_instrumented(self._flush, "on_flush", event)
             return
@@ -258,6 +342,8 @@ class ToolBus:
                 self._tool_error(tool, "on_flush", exc)
 
     def publish_memcpy(self, event: MemcpyEvent) -> None:
+        if self._batch_pending:
+            self.flush_batch()
         if _telemetry.ACTIVE is not None:
             self._publish_instrumented(self._memcpy, "on_memcpy", event)
             return

@@ -1,0 +1,145 @@
+"""Columnar event batching: accumulate accesses, dispatch them in blocks.
+
+The scalar engine hands every :class:`~repro.events.records.Access` to every
+subscribed tool one Python call at a time; for element-wise kernels that is
+one interpreter round-trip *per element per tool*.  The columnar engine
+instead parks accesses on the bus and flushes them as an :class:`EventBatch`
+— a list of the original records plus lazily-built structured numpy columns
+``(op, address, size, device, thread, source_id)`` — through the tools'
+``on_batch`` protocol, so the VSM table lookups and FastTrack epoch
+comparisons in the hot path run as whole-array gather/scatter.
+
+Ordering contract (see EXPERIMENTS.md §N): a batch only ever spans a window
+in which mappings, shadow blocks, and thread clocks are frozen, because the
+bus flushes the pending batch before delivering *any* non-access event
+(data ops, kernels, allocations, syncs, flushes, memcpys).  Within a batch,
+accesses to distinct granules commute; per-granule order is preserved by
+processing batches in first-occurrence passes (:func:`first_occurrence_passes`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .records import Access
+
+#: Flush threshold: bounds both memory held by a pending batch and the
+#: latency between an access occurring and a tool observing it.
+BATCH_CAP = 65536
+
+#: Below this many pending accesses a flush dispatches per-event through
+#: ``on_access`` instead of building an :class:`EventBatch`: column
+#: construction and the vectorized setup in each tool's ``on_batch`` have a
+#: fixed cost that only amortizes over runs of scalar traffic, and bulk
+#: kernels produce batches of a handful of large accesses where that setup
+#: is pure overhead.
+MIN_BATCH = 64
+
+
+class BatchColumns:
+    """The structured-array view of one batch (one numpy column per field)."""
+
+    __slots__ = (
+        "device_ids",
+        "thread_ids",
+        "addresses",
+        "sizes",
+        "is_write",
+        "counts",
+        "strides",
+        "op_codes",
+        "source_ids",
+    )
+
+    def __init__(self, accesses: Sequence["Access"]):
+        n = len(accesses)
+        self.device_ids = np.fromiter(
+            (a.device_id for a in accesses), np.int64, count=n
+        )
+        self.thread_ids = np.fromiter(
+            (a.thread_id for a in accesses), np.int64, count=n
+        )
+        self.addresses = np.fromiter(
+            (a.address for a in accesses), np.int64, count=n
+        )
+        self.sizes = np.fromiter((a.size for a in accesses), np.int64, count=n)
+        self.is_write = np.fromiter(
+            (a.is_write for a in accesses), np.bool_, count=n
+        )
+        self.counts = np.fromiter((a.count for a in accesses), np.int64, count=n)
+        self.strides = np.fromiter(
+            (a.stride for a in accesses), np.int64, count=n
+        )
+        # VsmOp encoding of the access: (is_write << 1) | on_device, i.e.
+        # READ_HOST=0 / READ_TARGET=1 / WRITE_HOST=2 / WRITE_TARGET=3.
+        self.op_codes = (
+            (self.is_write.astype(np.int64) << 1)
+            | (self.device_ids != 0).astype(np.int64)
+        )
+        # Interned call stacks: events sharing a capture site share an id.
+        interned: dict[int, int] = {}
+        ids = np.empty(n, dtype=np.int64)
+        for i, a in enumerate(accesses):
+            stack = a.stack  # materialized at append time; see ToolBus
+            sid = interned.get(id(stack))
+            if sid is None:
+                sid = len(interned)
+                interned[id(stack)] = sid
+            ids[i] = sid
+        self.source_ids = ids
+
+
+class EventBatch:
+    """An ordered run of accesses plus their lazily-built columns."""
+
+    __slots__ = ("accesses", "_columns")
+
+    def __init__(self, accesses: Sequence["Access"]):
+        self.accesses = list(accesses)
+        self._columns: BatchColumns | None = None
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def columns(self) -> BatchColumns:
+        cols = self._columns
+        if cols is None:
+            cols = self._columns = BatchColumns(self.accesses)
+        return cols
+
+
+def first_occurrence_passes(
+    keys: np.ndarray, *, max_passes: int = 8
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Split positions ``0..n-1`` into passes with at most one event per key.
+
+    Within a pass every key is unique, so a vectorized state transition over
+    the pass cannot collapse two updates to the same granule; processing the
+    passes in sequence replays each key's events in their original order
+    (``np.unique(..., return_index=True)`` selects *first* occurrences).
+
+    Returns ``(passes, remainder)``: ``passes`` is a list of ascending index
+    arrays, and ``remainder`` holds any positions left after ``max_passes``
+    rounds — high-multiplicity keys the caller must replay one event at a
+    time to stay linear instead of quadratic.
+    """
+    k = np.asarray(keys)
+    remaining = np.arange(len(k), dtype=np.intp)
+    passes: list[np.ndarray] = []
+    while remaining.size:
+        if len(passes) >= max_passes:
+            break
+        _uniq, first = np.unique(k[remaining], return_index=True)
+        first.sort()
+        passes.append(remaining[first])
+        if first.size == remaining.size:
+            remaining = remaining[:0]
+            break
+        mask = np.ones(remaining.size, dtype=bool)
+        mask[first] = False
+        remaining = remaining[mask]
+    return passes, remaining

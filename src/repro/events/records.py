@@ -82,6 +82,16 @@ class Access:
         return self.stride or self.size
 
     @property
+    def op_code(self) -> int:
+        """The access as a :class:`~repro.core.states.VsmOp` value.
+
+        ``(is_write << 1) | on_device`` lands exactly on READ_HOST (0),
+        READ_TARGET (1), WRITE_HOST (2), WRITE_TARGET (3) — the row index
+        the columnar engine uses into the precomputed transition matrix.
+        """
+        return (int(self.is_write) << 1) | (self.device_id != 0)
+
+    @property
     def nbytes(self) -> int:
         """Total bytes actually touched (excludes stride gaps)."""
         return self.size * self.count

@@ -79,7 +79,20 @@ def diff_reports(old: dict, new: dict) -> dict:
 
 
 def diff_bench(old: dict, new: dict, *, threshold: float = DEFAULT_THRESHOLD) -> dict:
-    """Compare summary geomeans (and per-workload detector slowdowns)."""
+    """Compare summary geomeans (and per-workload detector slowdowns).
+
+    Artifacts must come from the same event engine: scalar and columnar
+    timings are not comparable (that is the whole point of the columnar
+    engine), so a mismatch is an error, not a regression verdict.
+    Artifacts predating the ``engine`` key are treated as scalar.
+    """
+    old_engine = old.get("engine", "scalar")
+    new_engine = new.get("engine", "scalar")
+    if old_engine != new_engine:
+        raise ValueError(
+            f"cannot diff bench artifacts from different engines: "
+            f"baseline is {old_engine!r}, candidate is {new_engine!r}"
+        )
     deltas: dict[str, dict] = {}
     regressions: list[str] = []
     old_summary = old.get("summary", {})

@@ -9,6 +9,8 @@ from .chaos import (
 )
 from .overhead import (
     CONFIGS,
+    ENGINES,
+    LARGE_CONFIGS,
     Measurement,
     OverheadResult,
     bench_payload,
@@ -51,6 +53,8 @@ __all__ = [
     "OverheadResult",
     "Measurement",
     "CONFIGS",
+    "ENGINES",
+    "LARGE_CONFIGS",
     "run_hybrid_comparison",
     "run_benchmark_hybrid",
     "HybridResult",

@@ -18,6 +18,7 @@ makes them diverge.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -38,6 +39,14 @@ from .tables import render_ratio_chart, render_table
 #: arbalest, which ``repro diff`` gates on).
 CONFIGS = ("native", *TOOL_ORDER, "arbalest-cert", "arbalest-rec")
 
+#: Event engines the harness can drive (``ToolBus`` dispatch modes).
+ENGINES = ("scalar", "columnar")
+
+#: The ``large`` preset is sized for the columnar engine: the full matrix
+#: under the scalar engine does not finish in CI time, so it runs the
+#: detector configurations only (EXPERIMENTS.md documents the measured gap).
+LARGE_CONFIGS = ("native", "arbalest", "arbalest-cert")
+
 
 @dataclass
 class Measurement:
@@ -56,6 +65,7 @@ class Measurement:
 @dataclass
 class OverheadResult:
     preset: str
+    engine: str = "scalar"
     measurements: list[Measurement] = field(default_factory=list)
 
     def get(self, workload: str, config: str) -> Measurement:
@@ -70,6 +80,12 @@ class OverheadResult:
             f"configs: {', '.join(configs) or 'none'})"
         )
 
+    @property
+    def configs(self) -> list[str]:
+        """The configurations actually measured, in canonical order."""
+        present = {m.config for m in self.measurements}
+        return [c for c in CONFIGS if c in present]
+
     def slowdown(self, workload: str, config: str) -> float:
         native = self.get(workload, "native").seconds
         return self.get(workload, config).seconds / max(native, 1e-9)
@@ -81,37 +97,43 @@ class OverheadResult:
     # -- rendering -----------------------------------------------------------
 
     def render_time_table(self) -> str:
+        configs = self.configs
         rows = []
         for w in sorted({m.workload for m in self.measurements}):
             rows.append(
                 [w]
-                + [f"{self.slowdown(w, c):.2f}x" for c in CONFIGS]
+                + [f"{self.slowdown(w, c):.2f}x" for c in configs]
             )
         return render_table(
-            ["Workload", *CONFIGS],
+            ["Workload", *configs],
             rows,
-            title=f"Fig 8: time overhead (slowdown vs native, preset={self.preset})",
+            title=(
+                "Fig 8: time overhead (slowdown vs native, "
+                f"preset={self.preset}, engine={self.engine})"
+            ),
         )
 
     def render_space_table(self) -> str:
+        configs = self.configs
         rows = []
         for w in sorted({m.workload for m in self.measurements}):
             rows.append(
                 [w]
                 + [
                     f"{self.get(w, c).total_bytes / 1024:.0f}K"
-                    for c in CONFIGS
+                    for c in configs
                 ]
             )
         return render_table(
-            ["Workload", *CONFIGS],
+            ["Workload", *configs],
             rows,
             title=f"Fig 9: memory usage (app + shadow, preset={self.preset})",
         )
 
     def render_chart(self, workload: str) -> str:
-        values = [self.slowdown(workload, c) for c in CONFIGS]
-        return render_ratio_chart(list(CONFIGS), values)
+        configs = self.configs
+        values = [self.slowdown(workload, c) for c in configs]
+        return render_ratio_chart(configs, values)
 
     def checksums_consistent(self) -> bool:
         """Every configuration must compute the same answer."""
@@ -123,12 +145,17 @@ class OverheadResult:
 
 
 def measure_one(
-    workload: Workload, config: str, preset: str, *, repetitions: int = 1
+    workload: Workload,
+    config: str,
+    preset: str,
+    *,
+    repetitions: int = 1,
+    engine: str = "scalar",
 ) -> Measurement:
     """One (workload, tool) cell: fresh machine, attach, run, account."""
     best = None
     for _ in range(max(1, repetitions)):
-        rt = TargetRuntime(n_devices=1)
+        rt = TargetRuntime(n_devices=1, engine=engine)
         tool = None
         recorder = None
         run_scope = nullcontext()
@@ -150,11 +177,21 @@ def measure_one(
             run_scope = _forensics.scope(recorder)
         elif config != "native":
             tool = TOOL_FACTORIES[config]().attach(rt.machine)
-        start = time.perf_counter()
-        with run_scope:
-            checksum = workload.run(rt, preset)
-            rt.finalize()
-        elapsed = time.perf_counter() - start
+        # Collector pauses are the dominant run-to-run jitter at these
+        # millisecond scales; park the GC for the timed window so the
+        # native/instrumented ratio measures the tools, not the allocator.
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            with run_scope:
+                checksum = workload.run(rt, preset)
+                rt.finalize()
+            elapsed = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         app_bytes = sum(d.allocator.peak_bytes for d in rt.machine.devices.values())
         shadow = tool.shadow_bytes() if tool is not None else 0
         if recorder is not None:
@@ -177,23 +214,28 @@ def run_overhead_comparison(
     preset: str = "test",
     *,
     workloads: Iterable[Workload] = WORKLOADS,
-    configs: Iterable[str] = CONFIGS,
+    configs: Iterable[str] | None = None,
     repetitions: int = 3,
+    engine: str = "scalar",
 ) -> OverheadResult:
     """The whole Fig 8 + Fig 9 experiment."""
-    result = OverheadResult(preset=preset)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if configs is None:
+        configs = LARGE_CONFIGS if preset == "large" else CONFIGS
+    result = OverheadResult(preset=preset, engine=engine)
     workloads = tuple(workloads)
     # Warm up numpy/runtime code paths so 'native' isn't charged for imports.
     # Run the *measured* preset: warming a different one leaves preset-sized
     # allocations and code paths cold and skews the first column.
     for w in workloads:
-        rt = TargetRuntime(n_devices=1)
+        rt = TargetRuntime(n_devices=1, engine=engine)
         w.run(rt, preset)
         rt.finalize()
     for w in workloads:
         for config in configs:
             result.measurements.append(
-                measure_one(w, config, preset, repetitions=repetitions)
+                measure_one(w, config, preset, repetitions=repetitions, engine=engine)
             )
     return result
 
@@ -207,16 +249,18 @@ def bench_payload(result: OverheadResult, *, repetitions: int) -> dict:
     across commits.
     """
     workloads = sorted({m.workload for m in result.measurements})
+    configs = result.configs
     payload: dict = {
         "preset": result.preset,
+        "engine": result.engine,
         "repetitions": repetitions,
-        "configs": list(CONFIGS),
+        "configs": configs,
         "checksums_consistent": result.checksums_consistent(),
         "workloads": {},
     }
     for w in workloads:
         row: dict = {}
-        for c in CONFIGS:
+        for c in configs:
             m = result.get(w, c)
             row[c] = {
                 "seconds": round(m.seconds, 6),
@@ -227,22 +271,27 @@ def bench_payload(result: OverheadResult, *, repetitions: int) -> dict:
         payload["workloads"][w] = row
     arb = [result.slowdown(w, "arbalest") for w in workloads]
     cert = [result.slowdown(w, "arbalest-cert") for w in workloads]
-    rec = [result.slowdown(w, "arbalest-rec") for w in workloads]
     arb_geomean = float(np_geomean(arb))
-    rec_geomean = float(np_geomean(rec))
     payload["summary"] = {
         "arbalest_slowdown_geomean": round(arb_geomean, 3),
         "arbalest_slowdown_max": round(max(arb), 3),
         "arbalest_cert_slowdown_geomean": round(float(np_geomean(cert)), 3),
         "arbalest_cert_slowdown_max": round(max(cert), 3),
-        "arbalest_rec_slowdown_geomean": round(rec_geomean, 3),
-        "arbalest_rec_slowdown_max": round(max(rec), 3),
-        # The recorder's own cost, as a ratio over plain arbalest: the
-        # <=1.05 acceptance bar lives on this number.
-        "recorder_overhead_geomean": round(
-            rec_geomean / max(arb_geomean, 1e-9), 3
-        ),
     }
+    if "arbalest-rec" in configs:
+        rec = [result.slowdown(w, "arbalest-rec") for w in workloads]
+        rec_geomean = float(np_geomean(rec))
+        payload["summary"].update(
+            {
+                "arbalest_rec_slowdown_geomean": round(rec_geomean, 3),
+                "arbalest_rec_slowdown_max": round(max(rec), 3),
+                # The recorder's own cost, as a ratio over plain arbalest:
+                # the <=1.05 acceptance bar lives on this number.
+                "recorder_overhead_geomean": round(
+                    rec_geomean / max(arb_geomean, 1e-9), 3
+                ),
+            }
+        )
     return payload
 
 
@@ -262,6 +311,7 @@ def run_bench(
     repetitions: int = 3,
     output: str = "BENCH_fig8.json",
     telemetry: bool = False,
+    engine: str = "scalar",
 ) -> dict:
     """Run the Fig-8 matrix and write the tracked ``BENCH_fig8.json``.
 
@@ -281,11 +331,15 @@ def run_bench(
         # fit in memory, and the snapshot is what the tracked file embeds.
         registry = Telemetry(record_spans=False)
         with scope(registry):
-            result = run_overhead_comparison(preset, repetitions=repetitions)
+            result = run_overhead_comparison(
+                preset, repetitions=repetitions, engine=engine
+            )
         payload = bench_payload(result, repetitions=repetitions)
         payload["telemetry"] = registry.snapshot()
     else:
-        result = run_overhead_comparison(preset, repetitions=repetitions)
+        result = run_overhead_comparison(
+            preset, repetitions=repetitions, engine=engine
+        )
         payload = bench_payload(result, repetitions=repetitions)
     with open(output, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=False)

@@ -93,10 +93,11 @@ class Machine:
         schedule: Schedule = Schedule.EAGER,
         seed: int = 0,
         faults: "FaultInjector | None" = None,
+        engine: str = "scalar",
     ):
         if n_devices < 1:
             raise DeviceError("a machine needs at least one accelerator")
-        self.bus = ToolBus()
+        self.bus = ToolBus(engine=engine)
         self.faults = faults
         self.bus.chaos = faults
         self.source = SourceStack()
@@ -487,6 +488,8 @@ class TargetRuntime:
         # A chaos injector may still hold a reordered OMPT callback; program
         # end delivers it (nothing can reorder past the final sync).
         self.machine.bus.flush_chaos()
+        # Columnar engine: deliver any accesses still sitting in the batch.
+        self.machine.bus.flush_batch()
 
     # -- source annotation ----------------------------------------------------
 

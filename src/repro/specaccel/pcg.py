@@ -29,6 +29,7 @@ SHAPES = {
     "test": PcgShape(64, 2, 8),
     "train": PcgShape(128, 3, 12),
     "ref": PcgShape(256, 4, 16),
+    "large": PcgShape(256, 4, 10),
 }
 
 
@@ -67,6 +68,27 @@ def make_axpy(dst: str, xname: str, yname: str, alpha: float, n: int):
     return axpy
 
 
+def make_axpy_points(dst: str, xname: str, yname: str, alpha: float, n: int):
+    """Element-wise twin of :func:`make_axpy` ('large' preset).
+
+    One logical device thread per element: two scalar loads, one scalar
+    store — the vector-update access profile a compiled CG kernel has.
+    """
+
+    def axpy_points(ctx: KernelContext) -> None:
+        x = ctx[xname]
+        y = ctx[yname]
+        d = ctx[dst]
+
+        def body(i: int) -> None:
+            d[i] = x[i] + alpha * y[i]
+
+        ctx.parallel_for(n, body)
+
+    axpy_points.__name__ = f"axpy_points_{dst}"
+    return axpy_points
+
+
 def run_pcg(rt: TargetRuntime, preset: str = "test") -> float:
     """Run CG for a fixed iteration budget; returns the final residual norm."""
     shape = SHAPES[preset]
@@ -81,6 +103,7 @@ def run_pcg(rt: TargetRuntime, preset: str = "test") -> float:
     p = rt.array("p", n, init=b_host)
     ap = rt.array("Ap", n, init=np.zeros(n))
 
+    axpy_factory = make_axpy_points if preset == "large" else make_axpy
     rt.target_enter_data([to(A), to(x), to(r), to(p), to(ap)])
     with rt.at("cg.c", 88, function="conj_grad"):
         rsold = float(np.dot(b_host, b_host))
@@ -93,14 +116,14 @@ def run_pcg(rt: TargetRuntime, preset: str = "test") -> float:
             p_host = np.asarray(p[0:n])
             ap_host = np.asarray(ap[0:n])
         alpha = rsold / float(np.dot(p_host, ap_host))
-        rt.target(make_axpy("x", "x", "p", alpha, n), name="update_x")
-        rt.target(make_axpy("r", "r", "Ap", -alpha, n), name="update_r")
+        rt.target(axpy_factory("x", "x", "p", alpha, n), name="update_x")
+        rt.target(axpy_factory("r", "r", "Ap", -alpha, n), name="update_r")
         rt.target_update(from_=[r])
         with rt.at("cg.c", 104, function="conj_grad"):
             r_host = np.asarray(r[0:n])
         rsnew = float(np.dot(r_host, r_host))
         beta = rsnew / rsold
-        rt.target(make_axpy("p", "r", "p", beta, n), name="update_p")
+        rt.target(axpy_factory("p", "r", "p", beta, n), name="update_p")
         rsold = rsnew
         residual = np.sqrt(rsnew)
     rt.target_update(from_=[x])

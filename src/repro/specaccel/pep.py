@@ -29,6 +29,7 @@ SHAPES = {
     "test": EpShape(4, 512),
     "train": EpShape(8, 1024),
     "ref": EpShape(16, 2048),
+    "large": EpShape(6, 4096),
 }
 
 #: Linear congruential generator constants (the NAS EP flavor, 32-bit-ish).
@@ -82,6 +83,62 @@ def make_ep_kernel(batch: int, shape: EpShape):
     return ep_batch
 
 
+def make_ep_point_kernel(batch: int, shape: EpShape):
+    """'large'-preset kernel 1: one thread per pair, private outputs.
+
+    Each logical thread reads its two uniforms and writes its own slots of
+    the deviate arrays — no shared tallies, so the access stream is pure
+    disjoint scalar traffic (what compiled EP inner loops do before the
+    reduction).  Rejected pairs store 0.0, the neutral element.
+    """
+    import math
+
+    def ep_points(ctx: KernelContext) -> None:
+        pairs = ctx["pairs"]
+        gx_out = ctx["gx"]
+        gy_out = ctx["gy"]
+        n = shape.batch_size
+
+        def body(i: int) -> None:
+            x = 2.0 * pairs[i] - 1.0
+            y = 2.0 * pairs[n + i] - 1.0
+            t = x * x + y * y
+            if 0.0 < t <= 1.0:
+                factor = math.sqrt(-2.0 * math.log(t) / t)
+                gx_out[i] = x * factor
+                gy_out[i] = y * factor
+            else:
+                gx_out[i] = 0.0
+                gy_out[i] = 0.0
+
+        ctx.parallel_for(n, body)
+
+    ep_points.__name__ = f"ep_points_{batch}"
+    return ep_points
+
+
+def make_ep_tally_kernel(batch: int, shape: EpShape):
+    """'large'-preset kernel 2: bulk reduction of the per-pair deviates."""
+
+    def ep_tally(ctx: KernelContext) -> None:
+        counts = ctx["counts"]
+        sums = ctx["sums"]
+        n = shape.batch_size
+        gx = np.asarray(ctx["gx"][0:n])
+        gy = np.asarray(ctx["gy"][0:n])
+        # Accepted pairs have a nonzero deviate (t > 0 makes factor > 0).
+        accept = (gx != 0.0) | (gy != 0.0)
+        big = np.maximum(np.abs(gx), np.abs(gy))
+        annulus = np.minimum(big.astype(np.int64), 9)
+        hist = np.bincount(annulus[accept], minlength=10).astype(np.float64)
+        counts[0:10] = np.asarray(counts[0:10]) + hist
+        sums[0] = sums[0] + float(gx.sum())
+        sums[1] = sums[1] + float(gy.sum())
+
+    ep_tally.__name__ = f"ep_tally_{batch}"
+    return ep_tally
+
+
 def run_pep(rt: TargetRuntime, preset: str = "test") -> tuple[float, float]:
     """Run EP; returns (sum of X deviates, sum of Y deviates)."""
     shape = SHAPES[preset]
@@ -91,19 +148,38 @@ def run_pep(rt: TargetRuntime, preset: str = "test") -> tuple[float, float]:
     sums.fill(0.0)
     pairs = rt.array("pairs", 2 * shape.batch_size)
 
-    rt.target_enter_data([to(counts), to(sums)])
+    large = preset == "large"
+    scratch = []
+    if large:
+        # Per-pair deviate arrays: device-resident between the point kernel
+        # and its bulk reduction (the tally must see the kernel's stores).
+        for name in ("gx", "gy"):
+            arr = rt.array(name, shape.batch_size)
+            arr.fill(0.0)
+            scratch.append(arr)
+    rt.target_enter_data([to(counts), to(sums), *(to(a) for a in scratch)])
     for b in range(shape.batches):
         with rt.at("ep.c", 150, function="main"):
             pairs[0 : 2 * shape.batch_size] = _lcg_batch(
                 seed=2**16 + b, n=2 * shape.batch_size
             )
         with rt.at("ep.c", 172, function="main"):
-            rt.target(
-                make_ep_kernel(b, shape),
-                maps=[to(pairs)],
-                name="ep_batch",
-            )
-    rt.target_exit_data([from_(counts), from_(sums)])
+            if large:
+                rt.target(
+                    make_ep_point_kernel(b, shape),
+                    maps=[to(pairs)],
+                    name="ep_points",
+                )
+                rt.target(make_ep_tally_kernel(b, shape), name="ep_tally")
+            else:
+                rt.target(
+                    make_ep_kernel(b, shape),
+                    maps=[to(pairs)],
+                    name="ep_batch",
+                )
+    rt.target_exit_data(
+        [from_(counts), from_(sums), *(release(a) for a in scratch)]
+    )
     with rt.at("ep.c", 210, function="main"):
         sx = sums[0]
         sy = sums[1]

@@ -44,6 +44,7 @@ SHAPES = {
     "test": LbmShape(8, 8, 3),
     "train": LbmShape(12, 12, 4),
     "ref": LbmShape(16, 16, 6),
+    "large": LbmShape(20, 20, 4),
 }
 
 
@@ -75,6 +76,65 @@ def make_lbm_kernel(src_name: str, dst_name: str, shape: LbmShape):
     return lbm_step
 
 
+def make_moments_kernel(src_name: str, shape: LbmShape):
+    """'large'-preset kernel 1: per-cell moments (rho, ux, uy), scalar I/O."""
+
+    cells = shape.cells
+    ex = _EX.tolist()
+    ey = _EY.tolist()
+
+    def lbm_moments(ctx: KernelContext) -> None:
+        src = ctx[src_name]
+        rho_a, ux_a, uy_a = ctx["rho"], ctx["ux"], ctx["uy"]
+
+        def body(c: int) -> None:
+            f = [src[q * cells + c] for q in range(Q)]
+            rho = sum(f)
+            denom = max(rho, 1e-12)
+            rho_a[c] = rho
+            ux_a[c] = sum(ex[q] * f[q] for q in range(Q)) / denom
+            uy_a[c] = sum(ey[q] * f[q] for q in range(Q)) / denom
+
+        ctx.parallel_for(cells, body)
+
+    lbm_moments.__name__ = f"lbm_moments_{src_name}"
+    return lbm_moments
+
+
+def make_stream_kernel(src_name: str, dst_name: str, shape: LbmShape):
+    """'large'-preset kernel 2: per-site BGK relax + periodic stream.
+
+    Same arithmetic as :func:`_collide_stream`, one logical device thread
+    per (direction, cell) site: four scalar loads, one scalar store.
+    """
+    nx, ny, cells = shape.nx, shape.ny, shape.cells
+    ex = _EX.tolist()
+    ey = _EY.tolist()
+    w = _W.tolist()
+
+    def lbm_stream(ctx: KernelContext) -> None:
+        src, dst = ctx[src_name], ctx[dst_name]
+        rho_a, ux_a, uy_a = ctx["rho"], ctx["ux"], ctx["uy"]
+
+        def body(site: int) -> None:
+            q, c = divmod(site, cells)
+            ix, iy = divmod(c, ny)
+            rho = rho_a[c]
+            ux = ux_a[c]
+            uy = uy_a[c]
+            cu = ex[q] * ux + ey[q] * uy
+            feq = w[q] * rho * (1 + 3 * cu + 4.5 * cu * cu - 1.5 * (ux * ux + uy * uy))
+            f = src[site]
+            relaxed = f + OMEGA * (feq - f)
+            c2 = ((ix + ex[q]) % nx) * ny + (iy + ey[q]) % ny
+            dst[q * cells + c2] = relaxed
+
+        ctx.parallel_for(Q * cells, body)
+
+    lbm_stream.__name__ = f"lbm_stream_{src_name}"
+    return lbm_stream
+
+
 def run_polbm(rt: TargetRuntime, preset: str = "test") -> float:
     """Run the workload; returns the final total density (a conserved sum)."""
     shape = SHAPES[preset]
@@ -86,14 +146,28 @@ def run_polbm(rt: TargetRuntime, preset: str = "test") -> float:
         f0[0 : shape.n] = init
         f1[0 : shape.n] = init
 
-    rt.target_enter_data([to(f0), to(f1)])
+    large = preset == "large"
+    scratch = []
+    if large:
+        # Device-resident moment fields for the element-wise kernel pair.
+        for name in ("rho", "ux", "uy"):
+            arr = rt.array(name, shape.cells)
+            arr.fill(0.0)
+            scratch.append(arr)
+    rt.target_enter_data([to(f0), to(f1), *(to(a) for a in scratch)])
     src, dst = f0, f1
     for _t in range(shape.iters):
         with rt.at("lbm.c", 231, function="main"):
-            rt.target(make_lbm_kernel(src.name, dst.name, shape), name="lbm_step")
+            if large:
+                rt.target(make_moments_kernel(src.name, shape), name="lbm_moments")
+                rt.target(
+                    make_stream_kernel(src.name, dst.name, shape), name="lbm_stream"
+                )
+            else:
+                rt.target(make_lbm_kernel(src.name, dst.name, shape), name="lbm_step")
         src, dst = dst, src
     rt.target_update(from_=[src])
-    rt.target_exit_data([release(f0), release(f1)])
+    rt.target_exit_data([release(f0), release(f1), *(release(a) for a in scratch)])
     with rt.at("lbm.c", 250, function="LBM_showGridStatistics"):
         values = src[0 : shape.n]
     return float(np.sum(values))

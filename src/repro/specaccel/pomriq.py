@@ -30,6 +30,7 @@ SHAPES = {
     "test": MriqShape(64, 64, 32),
     "train": MriqShape(128, 128, 64),
     "ref": MriqShape(256, 256, 64),
+    "large": MriqShape(32, 2048, 512),
 }
 
 
@@ -70,6 +71,37 @@ def make_q_kernel(shape: MriqShape, lo: int, hi: int):
     return compute_q
 
 
+def make_q_point_kernel(shape: MriqShape, lo: int, hi: int):
+    """Element-wise twin for the 'large' preset: one thread per voxel.
+
+    The k-space sample vectors are read once in bulk (they are kernel-wide
+    constants); each voxel then performs three scalar coordinate loads and
+    two scalar result stores — the per-thread access pattern of the
+    compiled kernel.
+    """
+
+    def compute_q_points(ctx: KernelContext) -> None:
+        kx = np.asarray(ctx["kx"][0 : shape.num_k])
+        ky = np.asarray(ctx["ky"][0 : shape.num_k])
+        kz = np.asarray(ctx["kz"][0 : shape.num_k])
+        phi = np.asarray(ctx["phi_r"][0 : shape.num_k]) ** 2 + np.asarray(
+            ctx["phi_i"][0 : shape.num_k]
+        ) ** 2
+        xa, ya, za = ctx["x"], ctx["y"], ctx["z"]
+        q_r, q_i = ctx["q_r"], ctx["q_i"]
+
+        def body(j: int) -> None:
+            v = lo + j
+            angles = 2 * np.pi * (xa[v] * kx + ya[v] * ky + za[v] * kz)
+            q_r[v] = float((phi * np.cos(angles)).sum())
+            q_i[v] = float((phi * np.sin(angles)).sum())
+
+        ctx.parallel_for(hi - lo, body)
+
+    compute_q_points.__name__ = f"ComputeQ_points_{lo}_{hi}"
+    return compute_q_points
+
+
 def run_pomriq(rt: TargetRuntime, preset: str = "test") -> tuple[float, float]:
     """Run the workload; returns checksums of the real/imag Q vectors."""
     shape = SHAPES[preset]
@@ -83,12 +115,13 @@ def run_pomriq(rt: TargetRuntime, preset: str = "test") -> tuple[float, float]:
     q_r.fill(0.0)
     q_i.fill(0.0)
 
+    factory = make_q_point_kernel if preset == "large" else make_q_kernel
     maps = [to(a) for a in arrays.values()]
     with rt.target_data([*maps, *(from_(q) for q in (q_r, q_i))]):
         for lo in range(0, shape.num_x, shape.tile):
             hi = min(lo + shape.tile, shape.num_x)
             with rt.at("computeQ.c", 262, function="main"):
-                rt.target(make_q_kernel(shape, lo, hi), name="ComputeQ_GPU")
+                rt.target(factory(shape, lo, hi), name="ComputeQ_GPU")
     with rt.at("main.c", 310, function="main"):
         sum_r = float(np.sum(q_r[0 : shape.num_x]))
         sum_i = float(np.sum(q_i[0 : shape.num_x]))

@@ -39,10 +39,16 @@ class StencilShape:
 
 
 #: Workload presets: 'test' for unit tests, 'ref' for the overhead figures.
+#: 'large' runs the element-wise kernel twins (one logical device thread
+#: per point, scalar loads/stores) — the columnar engine's target profile.
 SHAPES = {
     "test": StencilShape(8, 8, 8, 3),
     "train": StencilShape(12, 12, 12, 5),
     "ref": StencilShape(16, 16, 16, 7),
+    # Odd iteration count: the v1.2 pointer-swap bug only manifests after
+    # an odd number of swaps (see run_postencil), and the large preset must
+    # keep exposing it.
+    "large": StencilShape(22, 22, 22, 5),
 }
 
 C0 = 0.5
@@ -81,6 +87,49 @@ def make_stencil_kernel(src_name: str, dst_name: str, shape: StencilShape):
     return cpu_stencil
 
 
+def make_stencil_point_kernel(src_name: str, dst_name: str, shape: StencilShape):
+    """Element-wise twin of :func:`make_stencil_kernel` ('large' preset).
+
+    One logical device thread per interior point, seven scalar loads and
+    one scalar store each — the access profile compiled stencil kernels
+    actually have, and the one the columnar engine batches.  Boundary
+    cells are identical in both buffers (Jacobi carries them unchanged),
+    so updating the interior alone matches the bulk kernel's result.
+    """
+    syz = shape.ny * shape.nz
+    nz = shape.nz
+    interior = [
+        (ix * shape.ny + iy) * nz + iz
+        for ix in range(1, shape.nx - 1)
+        for iy in range(1, shape.ny - 1)
+        for iz in range(1, shape.nz - 1)
+    ]
+
+    def cpu_stencil_points(ctx: KernelContext) -> None:
+        src = ctx[src_name]
+        dst = ctx[dst_name]
+
+        def body(k: int) -> None:
+            i = interior[k]
+            dst[i] = (
+                C1
+                * (
+                    src[i - syz]
+                    + src[i + syz]
+                    + src[i - nz]
+                    + src[i + nz]
+                    + src[i - 1]
+                    + src[i + 1]
+                )
+                - C0 * src[i]
+            )
+
+        ctx.parallel_for(len(interior), body)
+
+    cpu_stencil_points.__name__ = f"cpu_stencil_points_{src_name}_to_{dst_name}"
+    return cpu_stencil_points
+
+
 def initial_field(shape: StencilShape) -> np.ndarray:
     """The heat-source initial condition (deterministic)."""
     field = np.zeros(shape.n)
@@ -113,12 +162,15 @@ def run_postencil(
         a0[0 : shape.n] = initial_field(shape)
         anext[0 : shape.n] = initial_field(shape)
 
+    kernel_factory = (
+        make_stencil_point_kernel if preset == "large" else make_stencil_kernel
+    )
     src, dst = a0, anext
     with rt.target_data([tofrom(a0), to(anext)]):
         for _t in range(shape.iters):
             with rt.at("main.c", 137, 7, function="main"):
                 rt.target(
-                    make_stencil_kernel(src.name, dst.name, shape),
+                    kernel_factory(src.name, dst.name, shape),
                     name="cpu_stencil",
                 )
             # v1.2: the HOST swaps its pointers; the device data

@@ -48,9 +48,17 @@ _CLOCK_SHIFT = np.uint64(CLOCK_BITS)
 
 
 class _RaceBlock:
-    """Race-detection shadow for one allocation: epochs per granule."""
+    """Race-detection shadow for one allocation: epochs per granule.
 
-    __slots__ = ("base", "nbytes", "write", "read", "shared")
+    ``uniform`` is the same trick as the VSM shadow's uniform-word summary:
+    while every granule stores the same ``(write, read)`` epoch pair — true
+    at birth and preserved by the whole-array installs bulk kernels perform
+    — the pair lives here and the epoch arrays are stale.  Any per-granule
+    operation (or any racy/escalating outcome, so ``races`` entries match
+    the materialized path exactly) calls :meth:`materialize` first.
+    """
+
+    __slots__ = ("base", "nbytes", "write", "read", "shared", "uniform")
 
     def __init__(self, base: int, nbytes: int):
         self.base = base
@@ -61,6 +69,14 @@ class _RaceBlock:
         # Read-shared granules: local index -> np.uint64 clock vector
         # (component i = last read clock of thread i).
         self.shared: dict[int, np.ndarray] = {}
+        self.uniform: tuple[int, int] | None = (0, 0)
+
+    def materialize(self) -> None:
+        u = self.uniform
+        if u is not None:
+            self.write.fill(u[0])
+            self.read.fill(u[1])
+            self.uniform = None
 
     @property
     def shadow_nbytes(self) -> int:
@@ -256,6 +272,13 @@ class RaceEngine:
         numpy temporary.
         """
         my_epoch = self._current_epoch(tid)
+        u = block.uniform
+        if u is not None:
+            # Same-epoch shortcut straight off the summary; anything else
+            # will touch (or install into) individual granules.
+            if (u[0] if is_write else u[1]) == my_epoch:
+                return []
+            block.materialize()
         we = int(block.write[g])
         racy = False
         if is_write:
@@ -323,6 +346,33 @@ class RaceEngine:
         """Vectorized FastTrack over the contiguous granules ``[lo, hi)``."""
         sel = slice(lo, hi)
         my_epoch_int = self._current_epoch(tid)
+        u = block.uniform
+        if u is not None:
+            # Uniform-summary fast path: both stored epochs are scalars, so
+            # the whole span is two plain-int ordering checks.  A full-block
+            # ordered install stays O(1); a racy or escalating outcome falls
+            # through on materialized arrays so the recorded races and
+            # shared vectors are identical to the scalar engine's.
+            uw, ur = u
+            if (uw if is_write else ur) == my_epoch_int:
+                return []
+            clock = self.clock_of(tid)
+            w_ord = uw == 0 or (uw & MAX_CLOCK) <= clock.get(uw >> CLOCK_BITS)
+            r_ord = ur == 0 or (ur & MAX_CLOCK) <= clock.get(ur >> CLOCK_BITS)
+            if w_ord and r_ord:
+                if lo == 0 and hi >= len(block.write):
+                    block.uniform = (
+                        (my_epoch_int, 0) if is_write else (uw, my_epoch_int)
+                    )
+                else:
+                    block.materialize()
+                    if is_write:
+                        block.write[sel] = np.uint64(my_epoch_int)
+                        block.read[sel] = 0
+                    else:
+                        block.read[sel] = np.uint64(my_epoch_int)
+                return []
+            block.materialize()
         my_epoch = np.uint64(my_epoch_int)
         # Range-level same-epoch shortcut: if this thread already installed
         # its current epoch on every granule, all checks already ran.
@@ -417,6 +467,11 @@ class RaceEngine:
         if len(local) == 1:
             return self._check_one(block, device_id, tid, int(local[0]), is_write)
         my_epoch_int = self._current_epoch(tid)
+        u = block.uniform
+        if u is not None:
+            if (u[0] if is_write else u[1]) == my_epoch_int:
+                return []
+            block.materialize()
         my_epoch = np.uint64(my_epoch_int)
         if is_write:
             if not block.shared and bool((block.write[local] == my_epoch).all()):
@@ -469,6 +524,100 @@ class RaceEngine:
             )
         return racy_local
 
+    # -- columnar entry point ---------------------------------------------------
+
+    def check_batch(
+        self,
+        device_ids: np.ndarray,
+        tids: np.ndarray,
+        addresses: np.ndarray,
+        sizes: np.ndarray,
+        is_writes: np.ndarray,
+    ) -> list[int]:
+        """Vectorized FastTrack over an ordered run of scalar accesses.
+
+        The columns describe ``count == 1`` accesses, and the run must not
+        span a sync event (thread clocks are frozen across it — the bus's
+        batch-flush ordering guarantees this).  Per-granule program order is
+        preserved by splitting each run into first-occurrence passes;
+        accesses that miss every tracked block, straddle a granule, or
+        overrun their block are replayed through :meth:`check_range` in
+        place.  Returns the run positions whose access raced (unordered).
+        """
+        from ..events.columnar import first_occurrence_passes
+
+        n = len(addresses)
+        if n == 0 or not self._bases:
+            return []
+        bases = np.array(self._bases, dtype=np.int64)
+        ends = bases + np.fromiter(
+            (self._sizes[b] for b in self._bases), np.int64, count=len(bases)
+        )
+        bi = np.searchsorted(bases, addresses, side="right") - 1
+        safe = np.maximum(bi, 0)
+        base_of = bases[safe]
+        in_block = (bi >= 0) & (addresses + sizes <= ends[safe])
+        g = (addresses - base_of) // GRANULE
+        g_last = (addresses + sizes - 1 - base_of) // GRANULE
+        eligible = in_block & (g == g_last)
+
+        racy_positions: list[int] = []
+
+        def replay(pos: int) -> None:
+            racy = self.check_range(
+                int(device_ids[pos]),
+                int(tids[pos]),
+                int(addresses[pos]),
+                int(sizes[pos]),
+                bool(is_writes[pos]),
+            )
+            if racy:
+                racy_positions.append(pos)
+
+        def vector_segment(seg: np.ndarray) -> None:
+            keys = bi[seg] * np.int64(1 << 40) + g[seg]
+            passes, remainder = first_occurrence_passes(keys)
+            tid_span = int(tids[seg].max()) + 1
+            for p in passes:
+                idxs = seg[p]
+                gk = (
+                    (bi[idxs] * tid_span + tids[idxs]) * 64 + device_ids[idxs]
+                ) * 2 + is_writes[idxs]
+                for key in np.unique(gk).tolist():
+                    sel = idxs[gk == key]
+                    block = self._blocks[int(base_of[sel[0]])]
+                    srt = np.argsort(g[sel])
+                    loc_sorted = g[sel][srt].astype(np.intp)
+                    pos_sorted = sel[srt]
+                    racy_g = self._check_granule_array(
+                        block,
+                        int(device_ids[sel[0]]),
+                        int(tids[sel[0]]),
+                        loc_sorted,
+                        bool(is_writes[sel[0]]),
+                    )
+                    for rg in racy_g:
+                        racy_positions.append(
+                            int(pos_sorted[np.searchsorted(loc_sorted, rg)])
+                        )
+            # High-multiplicity granules past the pass cap: ordered replay.
+            for ridx in remainder.tolist():
+                replay(int(seg[ridx]))
+
+        # Order-preserving segmentation: vector-process maximal eligible
+        # runs, replaying each straggler at its original position.
+        stragglers = np.flatnonzero(~eligible)
+        order = np.arange(n, dtype=np.intp)
+        start = 0
+        for b in stragglers.tolist():
+            if b > start:
+                vector_segment(order[start:b])
+            replay(b)
+            start = b + 1
+        if start < n:
+            vector_segment(order[start:n])
+        return racy_positions
+
 
 class ArcherTool(Tool):
     """Archer as a standalone tool: races only, nothing about mappings.
@@ -499,24 +648,78 @@ class ArcherTool(Tool):
             _telemetry.ACTIVE.count("tool.archer.access_checks")
         racy = self.engine.check_access(access)
         if racy:
-            self.report(
-                Finding(
-                    tool=self.name,
-                    kind=FindingKind.RACE,
-                    message=(
-                        f"conflicting {'write' if access.is_write else 'read'} "
-                        f"of size {access.size} not ordered with a previous access"
-                    ),
-                    device_id=access.device_id,
-                    thread_id=access.thread_id,
-                    address=access.address,
-                    size=access.size,
-                    stack=access.stack,
-                    variable=_forensics.variable_at(
-                        access.device_id, access.address
-                    ),
-                )
+            self._report_race(access)
+
+    def _report_race(self, access: "Access") -> None:
+        self.report(
+            Finding(
+                tool=self.name,
+                kind=FindingKind.RACE,
+                message=(
+                    f"conflicting {'write' if access.is_write else 'read'} "
+                    f"of size {access.size} not ordered with a previous access"
+                ),
+                device_id=access.device_id,
+                thread_id=access.thread_id,
+                address=access.address,
+                size=access.size,
+                stack=access.stack,
+                variable=_forensics.variable_at(
+                    access.device_id, access.address
+                ),
             )
+        )
+
+    def on_batch(self, batch) -> None:
+        engine = self.engine
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count("tool.archer.access_checks", len(batch))
+        accesses = batch.accesses
+        cols = batch.columns
+        counts = cols.counts
+        racy_positions: list[int]
+        if bool((counts == 1).all()):
+            racy_positions = engine.check_batch(
+                cols.device_ids,
+                cols.thread_ids,
+                cols.addresses,
+                cols.sizes,
+                cols.is_write,
+            )
+        else:
+            # Bulk (multi-element) accesses interleave with scalar ones:
+            # vector-check the scalar runs, replay each bulk event in place.
+            racy_positions = []
+            bulk = np.flatnonzero(counts != 1)
+            start = 0
+            for b in bulk.tolist():
+                if b > start:
+                    racy_positions += [
+                        start + p
+                        for p in engine.check_batch(
+                            cols.device_ids[start:b],
+                            cols.thread_ids[start:b],
+                            cols.addresses[start:b],
+                            cols.sizes[start:b],
+                            cols.is_write[start:b],
+                        )
+                    ]
+                if engine.check_access(accesses[b]):
+                    racy_positions.append(b)
+                start = b + 1
+            if start < len(accesses):
+                racy_positions += [
+                    start + p
+                    for p in engine.check_batch(
+                        cols.device_ids[start:],
+                        cols.thread_ids[start:],
+                        cols.addresses[start:],
+                        cols.sizes[start:],
+                        cols.is_write[start:],
+                    )
+                ]
+        for pos in sorted(racy_positions):
+            self._report_race(accesses[pos])
 
     def on_memcpy(self, event: "MemcpyEvent") -> None:
         # The runtime's transfer is itself a read + a write on the acting

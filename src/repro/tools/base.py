@@ -29,6 +29,7 @@ from ..telemetry import registry as _telemetry
 from .findings import Finding, FindingKind, MAPPING_ISSUE_KINDS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..events.columnar import EventBatch
     from ..events.records import (
         Access,
         AllocationEvent,
@@ -129,6 +130,18 @@ class Tool:
 
     def on_access(self, access: "Access") -> None:  # pragma: no cover
         """A program load/store (never called unless overridden)."""
+
+    def on_batch(self, batch: "EventBatch") -> None:
+        """An ordered block of accesses (columnar engine only).
+
+        The default implementation replays the batch through ``on_access``
+        one event at a time, so every access-subscribing tool is correct
+        under the columnar engine; tools override this to process the
+        batch's numpy columns wholesale.
+        """
+        on_access = self.on_access
+        for access in batch.accesses:
+            on_access(access)
 
     def on_allocation(self, event: "AllocationEvent") -> None:  # pragma: no cover
         """A malloc/free on some device."""

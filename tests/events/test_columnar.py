@@ -1,0 +1,256 @@
+"""Columnar engine: batching, columns, flush ordering, pass splitting."""
+
+import numpy as np
+import pytest
+
+from repro.events import Access, DataOp, DataOpKind, SyncEvent, ToolBus
+from repro.events.columnar import (
+    BATCH_CAP,
+    MIN_BATCH,
+    BatchColumns,
+    EventBatch,
+    first_occurrence_passes,
+)
+from repro.memory import BASE_ADDRESS
+from repro.tools import Tool
+
+
+def make_access(i=0, *, device_id=1, is_write=False, size=8, count=1):
+    return Access(
+        device_id=device_id,
+        thread_id=0,
+        address=BASE_ADDRESS + 8 * i,
+        size=size,
+        is_write=is_write,
+        count=count,
+    )
+
+
+class Recorder(Tool):
+    """Records the dispatch shape: which handler saw which events."""
+
+    name = "recorder"
+
+    def __init__(self):
+        super().__init__()
+        self.calls = []  # ("access", event) | ("batch", [events]) | ...
+
+    def on_access(self, access):
+        self.calls.append(("access", access))
+
+    def on_batch(self, batch):
+        self.calls.append(("batch", list(batch.accesses)))
+
+    def on_data_op(self, op):
+        self.calls.append(("data_op", op))
+
+    def on_sync(self, event):
+        self.calls.append(("sync", event))
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ToolBus(engine="simd")
+
+    def test_scalar_never_batches(self):
+        bus = ToolBus(engine="scalar")
+        t = Recorder()
+        bus.attach(t)
+        bus.publish_access(make_access())
+        assert t.calls[0][0] == "access"
+        assert not bus._batch_pending
+
+
+class TestBatchAccumulation:
+    def test_accesses_park_until_flush(self):
+        bus = ToolBus(engine="columnar")
+        t = Recorder()
+        bus.attach(t)
+        for i in range(4):
+            bus.publish_access(make_access(i))
+        assert t.calls == []  # nothing delivered yet
+        bus.flush_batch()
+        assert len(t.calls) == 4  # tiny batch: scalar replay in order
+        assert [c[0] for c in t.calls] == ["access"] * 4
+
+    def test_large_flush_dispatches_one_batch(self):
+        bus = ToolBus(engine="columnar")
+        t = Recorder()
+        bus.attach(t)
+        n = MIN_BATCH
+        for i in range(n):
+            bus.publish_access(make_access(i))
+        bus.flush_batch()
+        assert len(t.calls) == 1
+        kind, events = t.calls[0]
+        assert kind == "batch" and len(events) == n
+
+    def test_batch_cap_triggers_flush(self):
+        bus = ToolBus(engine="columnar")
+        t = Recorder()
+        bus.attach(t)
+        for i in range(BATCH_CAP):
+            bus.publish_access(make_access(i % 512))
+        # The cap-triggered flush already delivered everything.
+        assert len(t.calls) == 1
+        assert len(t.calls[0][1]) == BATCH_CAP
+        assert not bus._batch_pending
+
+    def test_order_preserved_within_batch(self):
+        bus = ToolBus(engine="columnar")
+        t = Recorder()
+        bus.attach(t)
+        sent = [make_access(i) for i in range(MIN_BATCH)]
+        for a in sent:
+            bus.publish_access(a)
+        bus.flush_batch()
+        assert t.calls[0][1] == sent
+
+
+class TestFlushOrdering:
+    """Every non-access publish drains the pending batch first."""
+
+    def test_data_op_flushes_first(self):
+        bus = ToolBus(engine="columnar")
+        t = Recorder()
+        bus.attach(t)
+        bus.publish_access(make_access())
+        bus.publish_data_op(
+            DataOp(
+                kind=DataOpKind.ALLOC,
+                device_id=1,
+                thread_id=0,
+                ov_address=BASE_ADDRESS,
+                cv_address=BASE_ADDRESS + (1 << 20),
+                nbytes=64,
+            )
+        )
+        assert [c[0] for c in t.calls] == ["access", "data_op"]
+
+    def test_sync_flushes_first(self):
+        bus = ToolBus(engine="columnar")
+        t = Recorder()
+        bus.attach(t)
+        bus.publish_access(make_access())
+        bus.publish_sync(SyncEvent("fork", 0, 1))
+        assert [c[0] for c in t.calls] == ["access", "sync"]
+
+    def test_attach_flushes_pending(self):
+        bus = ToolBus(engine="columnar")
+        t1 = Recorder()
+        bus.attach(t1)
+        bus.publish_access(make_access())
+        t2 = Recorder()
+        bus.attach(t2)  # must not see the predating access
+        bus.flush_batch()
+        assert len(t1.calls) == 1
+        assert t2.calls == []
+
+    def test_detach_flushes_pending(self):
+        bus = ToolBus(engine="columnar")
+        t = Recorder()
+        bus.attach(t)
+        bus.publish_access(make_access())
+        bus.detach(t)  # the tool observed the access while attached
+        assert len(t.calls) == 1
+
+
+class TestCrashIsolation:
+    def test_on_batch_error_is_contained(self):
+        class Exploding(Tool):
+            name = "exploding"
+
+            def on_access(self, access):
+                pass
+
+            def on_batch(self, batch):
+                raise RuntimeError("boom")
+
+        bus = ToolBus(engine="columnar")
+        bus.attach(Exploding())
+        for i in range(MIN_BATCH):
+            bus.publish_access(make_access(i))
+        bus.flush_batch()  # must not raise
+        assert len(bus.errors) == 1
+        assert bus.errors[0].handler == "on_batch"
+
+
+class TestBatchColumns:
+    def test_columns_match_records(self):
+        accesses = [
+            make_access(i, device_id=i % 2, is_write=bool(i % 3))
+            for i in range(10)
+        ]
+        cols = EventBatch(accesses).columns
+        assert cols.addresses.tolist() == [a.address for a in accesses]
+        assert cols.device_ids.tolist() == [a.device_id for a in accesses]
+        assert cols.is_write.tolist() == [a.is_write for a in accesses]
+        assert cols.sizes.tolist() == [a.size for a in accesses]
+
+    def test_op_codes_encode_write_and_device(self):
+        combos = [
+            (0, False, 0),  # READ_HOST
+            (1, False, 1),  # READ_TARGET
+            (0, True, 2),  # WRITE_HOST
+            (1, True, 3),  # WRITE_TARGET
+        ]
+        accesses = [
+            make_access(i, device_id=d, is_write=w) for i, (d, w, _) in enumerate(combos)
+        ]
+        cols = BatchColumns(accesses)
+        assert cols.op_codes.tolist() == [c[2] for c in combos]
+
+    def test_source_ids_intern_shared_stacks(self):
+        a = make_access(0)
+        b = make_access(1)
+        cols = BatchColumns([a, a, b])
+        assert cols.source_ids[0] == cols.source_ids[1]
+
+    def test_columns_are_lazy_and_cached(self):
+        batch = EventBatch([make_access()])
+        assert batch._columns is None
+        first = batch.columns
+        assert batch.columns is first
+
+
+class TestFirstOccurrencePasses:
+    def test_unique_keys_one_pass(self):
+        passes, rest = first_occurrence_passes(np.array([3, 1, 2]))
+        assert len(passes) == 1
+        assert passes[0].tolist() == [0, 1, 2]
+        assert rest.size == 0
+
+    def test_repeats_split_in_order(self):
+        # key 5 occurs at positions 0, 2, 4: one occurrence per pass,
+        # in original order.
+        passes, rest = first_occurrence_passes(np.array([5, 7, 5, 8, 5]))
+        assert [p.tolist() for p in passes] == [[0, 1, 3], [2], [4]]
+        assert rest.size == 0
+
+    def test_passes_are_ascending(self):
+        keys = np.array([2, 2, 1, 1, 0, 0])
+        passes, _rest = first_occurrence_passes(keys)
+        for p in passes:
+            assert (np.diff(p) > 0).all()
+
+    def test_max_passes_leaves_remainder(self):
+        keys = np.zeros(10, dtype=np.int64)
+        passes, rest = first_occurrence_passes(keys, max_passes=3)
+        assert len(passes) == 3
+        assert rest.tolist() == [3, 4, 5, 6, 7, 8, 9]
+
+    def test_empty(self):
+        passes, rest = first_occurrence_passes(np.array([], dtype=np.int64))
+        assert passes == [] and rest.size == 0
+
+    def test_replaying_passes_preserves_per_key_order(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 5, size=40)
+        passes, rest = first_occurrence_passes(keys, max_passes=40)
+        order = np.concatenate([*(passes or [np.array([], dtype=np.intp)]), rest])
+        seen: dict[int, list[int]] = {}
+        for pos in order.tolist():
+            seen.setdefault(int(keys[pos]), []).append(pos)
+        for key, positions in seen.items():
+            assert positions == sorted(positions), key

@@ -1,0 +1,103 @@
+"""Differential equivalence: the columnar engine against the scalar oracle.
+
+The scalar engine is the reference semantics; the columnar engine is a
+performance transformation that must be observationally identical.  These
+tests run real programs (DRACC benchmarks, the SPEC ACCEL twins) under both
+engines and require byte-identical finding fingerprints, identical per-site
+counts, and identical certificate/quarantine accounting.
+"""
+
+import pytest
+
+from repro.core.detector import Arbalest
+from repro.dracc import all_benchmarks
+from repro.harness.precision import TOOL_FACTORIES, TOOL_ORDER
+from repro.openmp.runtime import TargetRuntime
+from repro.specaccel.postencil import output_checksum, run_postencil
+from repro.specaccel.workloads import WORKLOADS
+
+
+def _fingerprints(tool):
+    return sorted(
+        (f.fingerprint(), count) for f, count in tool.findings_with_counts()
+    )
+
+
+def _run_dracc(benchmark, engine):
+    rt = TargetRuntime(n_devices=2, engine=engine)
+    tools = {name: TOOL_FACTORIES[name]().attach(rt.machine) for name in TOOL_ORDER}
+    benchmark.run(rt)
+    observed = {name: _fingerprints(tool) for name, tool in tools.items()}
+    detector = tools["arbalest"]
+    observed["cert_stats"] = detector.cert_stats()
+    observed["degradation_stats"] = detector.degradation_stats()
+    return observed
+
+
+@pytest.mark.parametrize(
+    "dracc_case", all_benchmarks(), ids=lambda b: f"DRACC_{b.number:03d}"
+)
+def test_dracc_engines_agree(dracc_case):
+    """All 56 DRACC benchmarks, all five tools: identical observations."""
+    assert _run_dracc(dracc_case, "scalar") == _run_dracc(dracc_case, "columnar")
+
+
+def _run_workload(workload, preset, engine):
+    rt = TargetRuntime(n_devices=1, engine=engine)
+    tool = Arbalest().attach(rt.machine)
+    checksum = workload.run(rt, preset)
+    rt.finalize()
+    return {
+        "findings": _fingerprints(tool),
+        "cert_stats": tool.cert_stats(),
+        "degradation_stats": tool.degradation_stats(),
+        "checksum": checksum,
+    }
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+@pytest.mark.parametrize("preset", ["test", "large"])
+def test_spec_twins_engines_agree(workload, preset):
+    """Bulk-kernel (test) and element-wise (large) twins, both engines."""
+    scalar = _run_workload(workload, preset, "scalar")
+    columnar = _run_workload(workload, preset, "columnar")
+    assert scalar == columnar
+
+
+@pytest.mark.parametrize("engine", ["scalar", "columnar"])
+def test_postencil_bug_detected_under_both_engines(engine):
+    """The Fig-7 stale-access bug must survive the engine swap."""
+    rt = TargetRuntime(n_devices=1, engine=engine)
+    tool = Arbalest().attach(rt.machine)
+    result = run_postencil(rt, "test", buggy=True)
+    output_checksum(rt, result)
+    rt.finalize()
+    assert tool.mapping_issue_findings(), "stale access went undetected"
+
+
+def test_postencil_buggy_findings_identical():
+    def run(engine):
+        rt = TargetRuntime(n_devices=1, engine=engine)
+        tool = Arbalest().attach(rt.machine)
+        result = run_postencil(rt, "test", buggy=True)
+        output_checksum(rt, result)
+        rt.finalize()
+        return _fingerprints(tool)
+
+    assert run("scalar") == run("columnar")
+
+
+def test_large_preset_buggy_postencil_equivalent():
+    """Element-wise twin with the v1.2 bug: same verdict from both engines."""
+
+    def run(engine):
+        rt = TargetRuntime(n_devices=1, engine=engine)
+        tool = Arbalest().attach(rt.machine)
+        result = run_postencil(rt, "large", buggy=True)
+        output_checksum(rt, result)
+        rt.finalize()
+        return _fingerprints(tool)
+
+    scalar = run("scalar")
+    assert scalar == run("columnar")
+    assert scalar, "stale access went undetected on the large preset"
