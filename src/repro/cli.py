@@ -12,6 +12,10 @@
     python -m repro hybrid                 # static vs dynamic vs hybrid table
     python -m repro dracc 22               # one benchmark under all tools
     python -m repro chaos [--seed 0]       # fault-injection campaign -> BENCH_chaos.json
+    python -m repro chaos --target serve   # chaos-against-server -> BENCH_serve_chaos.json
+    python -m repro serve [--suite buggy]  # stream DRACC through the analysis server
+    python -m repro serve --bench          # server throughput -> BENCH_serve.json
+    python -m repro serve --socket         # long-lived TCP front end (SIGTERM drains)
     python -m repro profile --suite dracc --benchmark 22   # telemetry -> trace.json
     python -m repro report [--suite buggy] # findings + provenance -> report.jsonl
     python -m repro diff old.jsonl new.jsonl  # cross-run regression gate
@@ -225,6 +229,55 @@ def _cmd_dracc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    from .harness import run_serve_chaos
+
+    output = args.output or "BENCH_serve_chaos.json"
+    try:
+        payload = run_serve_chaos(
+            seed=args.seed,
+            schedules=args.schedules,
+            faults_per_schedule=args.faults,
+            suite=args.suite,
+            n_shards=args.shards,
+            engine=args.engine,
+            output=output,
+        )
+    except OSError as exc:
+        print(f"repro chaos: error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"Serve chaos campaign (seed={payload['seed']}, "
+        f"schedules={payload['schedules']}, suite={payload['suite']}, "
+        f"engine={payload['engine']}, shards={payload['n_shards']}): "
+        f"{payload['runs']} faulted sessions over "
+        f"{payload['benchmarks']} benchmarks"
+    )
+    print(
+        f"  injected faults: {payload['injected_total']} "
+        f"{payload['injected_faults']}"
+    )
+    print(
+        f"  worker kills triggered: {payload['worker_kills_triggered']}, "
+        f"restarts: {payload['worker_restarts']}, "
+        f"retransmits: {payload['retransmits']}, "
+        f"dup frames: {payload['dup_frames']}, "
+        f"shed frames: {payload['shed_frames']}"
+    )
+    print(
+        f"  crashes: {len(payload['crashes'])}, fingerprint mismatches: "
+        f"{len(payload['fingerprint_mismatches'])}"
+    )
+    print(f"wrote {output}")
+    if not payload["ok"]:
+        print(
+            "serve chaos campaign FAILED: delivery guarantee violated",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .harness import CHAOS_SUITES, run_chaos
 
@@ -235,22 +288,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.target == "serve":
+        return _cmd_chaos_serve(args)
     try:
         payload = run_chaos(
             seed=args.seed,
             schedules=args.schedules,
             faults_per_schedule=args.faults,
             suite=args.suite,
-            output=args.output,
+            output=args.output or "BENCH_chaos.json",
             telemetry=args.telemetry,
             report=args.report,
+            engine=args.engine,
         )
     except OSError as exc:
         print(f"repro chaos: error: {exc}", file=sys.stderr)
         return 2
     print(
         f"Chaos campaign (seed={payload['seed']}, "
-        f"schedules={payload['schedules']}, suite={payload['suite']}): "
+        f"schedules={payload['schedules']}, suite={payload['suite']}, "
+        f"engine={payload['engine']}): "
         f"{payload['runs']} faulted runs over {payload['benchmarks']} benchmarks"
     )
     print(
@@ -282,7 +339,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"  telemetry: {len(counters)} counters embedded; recovery: "
             + (", ".join(f"{k}={v}" for k, v in sorted(recovery.items())) or "none")
         )
-    print(f"wrote {args.output}")
+    print(f"wrote {args.output or 'BENCH_chaos.json'}")
     if args.report:
         print(f"wrote {args.report}")
     if not payload["ok"]:
@@ -296,6 +353,129 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .harness import SERVE_SUITES
+    from .harness.precision import TOOL_FACTORIES
+
+    if args.suite not in SERVE_SUITES:
+        print(
+            f"repro serve: error: unknown suite {args.suite!r} "
+            f"(valid choices: {', '.join(SERVE_SUITES)})",
+            file=sys.stderr,
+        )
+        return 2
+    tools = tuple(t.strip() for t in args.tools.split(",") if t.strip())
+    unknown = [t for t in tools if t not in TOOL_FACTORIES]
+    if unknown or not tools:
+        print(
+            f"repro serve: error: unknown tool(s) {', '.join(unknown) or '(none)'} "
+            f"(valid choices: {', '.join(sorted(TOOL_FACTORIES))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.socket or args.stdio:
+        from .serve import ServerConfig, serve_socket, serve_stdio
+
+        config = ServerConfig(
+            n_shards=args.shards,
+            engine=args.engine,
+            tools=tools,
+            queue_cap=args.queue_cap,
+        )
+        if args.socket:
+            stats = serve_socket(
+                config,
+                host=args.host,
+                port=args.port,
+                max_connections=args.max_connections,
+            )
+            print(
+                f"served {stats['connections_served']} connection(s), "
+                f"{stats['sessions']} session(s) on port {stats['port']}"
+            )
+        else:
+            stats = serve_stdio(config)
+            print(
+                f"served {stats['sessions']} session(s) over stdio",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.bench:
+        from .harness import run_serve_bench
+
+        try:
+            payload = run_serve_bench(
+                suite=args.suite,
+                n_shards=args.shards,
+                engine=args.engine,
+                tools=tools,
+                queue_cap=args.queue_cap,
+                output=args.output or "BENCH_serve.json",
+            )
+        except OSError as exc:
+            print(f"repro serve: error: {exc}", file=sys.stderr)
+            return 2
+        s = payload["summary"]
+        print(
+            f"Serve bench (suite={payload['suite']}, "
+            f"engine={payload['engine']}, shards={payload['n_shards']}): "
+            f"{payload['events']} events in {payload['frames']} frames"
+        )
+        print(
+            f"  throughput: {s['events_per_sec']:.0f} events/sec, "
+            f"frame latency p50 {s['p50_frame_latency_us']:.0f}us / "
+            f"p99 {s['p99_frame_latency_us']:.0f}us"
+        )
+        print(f"  delivery verified: {'yes' if payload['delivery_ok'] else 'NO'}")
+        print(f"wrote {args.output or 'BENCH_serve.json'}")
+        return 0 if payload["delivery_ok"] else 1
+
+    # Default: the loopback equivalence run (the serve self-test).
+    from .harness import run_serve_suite
+
+    payload = run_serve_suite(
+        suite=args.suite,
+        n_shards=args.shards,
+        engine=args.engine,
+        tools=tools,
+        queue_cap=args.queue_cap,
+    )
+    print(
+        f"Serve suite (suite={payload['suite']}, engine={payload['engine']}, "
+        f"shards={payload['n_shards']}): {payload['events']} events across "
+        f"{payload['benchmarks']} sessions"
+    )
+    for session in payload["sessions"]:
+        verdict = session["verdict"]
+        status = "OK " if verdict["ok"] else "FAIL"
+        print(
+            f"  {status} {session['bench_name']}: "
+            f"{verdict['delivered']}/{verdict['baseline']} findings delivered"
+            + (
+                f", dropped {len(verdict['dropped'])}, "
+                f"unexpected {len(verdict['unexpected'])}"
+                if not verdict["ok"]
+                else ""
+            )
+        )
+    print(
+        "delivery guarantee: "
+        + ("HELD (zero dropped, zero duplicated)" if payload["ok"] else "VIOLATED")
+    )
+    if args.report:
+        from .forensics.report import write_report
+
+        try:
+            write_report(payload["report"], args.report)
+        except OSError as exc:
+            print(f"repro serve: error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.report}")
+    return 0 if payload["ok"] else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -514,7 +694,31 @@ def build_parser() -> argparse.ArgumentParser:
     # Validated by hand (not argparse choices) so an unknown suite gets a
     # one-line error instead of the full usage dump.
     px.add_argument("--suite", default="all")
-    px.add_argument("--output", default="BENCH_chaos.json")
+    px.add_argument(
+        "--target",
+        default="runtime",
+        choices=("runtime", "serve"),
+        help="what the faults attack: the simulated runtime, or the "
+        "analysis server (worker kills + wire-frame faults)",
+    )
+    px.add_argument(
+        "--engine",
+        default="scalar",
+        choices=("scalar", "columnar"),
+        help="event dispatch engine (the guarantees must hold under both)",
+    )
+    px.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard workers per session (serve target only)",
+    )
+    px.add_argument(
+        "--output",
+        default=None,
+        help="artifact path (default: BENCH_chaos.json, or "
+        "BENCH_serve_chaos.json for --target serve)",
+    )
     px.add_argument(
         "--strict",
         action="store_true",
@@ -532,6 +736,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a forensics report (JSONL) of the un-faulted suite",
     )
     px.set_defaults(fn=_cmd_chaos)
+
+    ps = sub.add_parser(
+        "serve",
+        help="detection-as-a-service: stream DRACC through the analysis server",
+    )
+    # Suite and tools are validated by hand for one-line errors.
+    ps.add_argument("--suite", default="buggy")
+    ps.add_argument(
+        "--tools",
+        default="arbalest",
+        help="comma-separated tool list (default: arbalest)",
+    )
+    ps.add_argument(
+        "--shards", type=int, default=4, help="shard workers per session"
+    )
+    ps.add_argument(
+        "--engine",
+        default="columnar",
+        choices=("scalar", "columnar"),
+        help="per-shard event dispatch engine (default: columnar)",
+    )
+    ps.add_argument(
+        "--queue-cap",
+        type=int,
+        default=256,
+        help="per-session reorder-buffer capacity in frames",
+    )
+    ps.add_argument(
+        "--bench",
+        action="store_true",
+        help="measure throughput + frame latency -> BENCH_serve.json",
+    )
+    ps.add_argument(
+        "--socket",
+        action="store_true",
+        help="run the long-lived TCP front end (SIGTERM drains gracefully)",
+    )
+    ps.add_argument("--host", default="127.0.0.1")
+    ps.add_argument("--port", type=int, default=0)
+    ps.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="exit after serving this many connections (for CI/tests)",
+    )
+    ps.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one connection over stdin/stdout",
+    )
+    ps.add_argument(
+        "--output",
+        default=None,
+        help="bench artifact path (default: BENCH_serve.json)",
+    )
+    ps.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the delivered findings as a repro-report/1 JSONL "
+        "(diffable against the in-process golden report)",
+    )
+    ps.set_defaults(fn=_cmd_serve)
 
     pp = sub.add_parser(
         "profile", help="one workload with full telemetry -> trace.json"

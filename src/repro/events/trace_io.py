@@ -147,10 +147,42 @@ def event_to_json(event: object) -> dict:
     raise TypeError(f"not a traceable event: {event!r}")
 
 
+def _require_int(data: dict, tag: str, key: str, *, minimum: int) -> int:
+    """Fetch a declared numeric field, rejecting non-ints and underflows.
+
+    A record that survived JSON parsing can still be semantically mangled —
+    a truncated transport write, a buggy client.  Accepting a negative or
+    zero size here would fabricate an access nobody made (historically a
+    short record was silently zero-filled into a bogus event); rejecting it
+    turns the damage into one skipped, *tallied* record instead.
+    """
+    value = data[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"{tag} record field {key!r} must be an integer, got {value!r}"
+        )
+    if value < minimum:
+        raise ValueError(
+            f"{tag} record declares {key}={value} (minimum {minimum}): "
+            "rejected rather than zero-padded into a bogus event"
+        )
+    return value
+
+
 def event_from_json(data: dict) -> object:
-    """Inverse of :func:`event_to_json`."""
+    """Inverse of :func:`event_to_json`.
+
+    Declared sizes are validated: an access with a non-positive ``size`` or
+    ``count``, a negative ``stride``, or any negative byte count / address
+    raises :class:`ValueError` (surfaced by the loaders as a malformed
+    record) instead of materializing as a fictitious event.
+    """
     tag = data["t"]
     if tag == "access":
+        _require_int(data, tag, "addr", minimum=0)
+        _require_int(data, tag, "size", minimum=1)
+        _require_int(data, tag, "count", minimum=1)
+        _require_int(data, tag, "stride", minimum=0)
         return Access(
             device_id=data["dev"],
             thread_id=data["tid"],
@@ -163,6 +195,9 @@ def event_from_json(data: dict) -> object:
             stack_ref=_stack_from_json(data["stack"]),
         )
     if tag == "data_op":
+        _require_int(data, tag, "ov", minimum=0)
+        _require_int(data, tag, "cv", minimum=0)
+        _require_int(data, tag, "n", minimum=0)
         return DataOp(
             kind=DataOpKind(data["kind"]),
             device_id=data["dev"],
@@ -173,6 +208,9 @@ def event_from_json(data: dict) -> object:
             stack=_stack_from_json(data["stack"]),
         )
     if tag == "memcpy":
+        _require_int(data, tag, "dst", minimum=0)
+        _require_int(data, tag, "src", minimum=0)
+        _require_int(data, tag, "n", minimum=0)
         return MemcpyEvent(
             device_id=data["dev"],
             thread_id=data["tid"],
@@ -194,6 +232,8 @@ def event_from_json(data: dict) -> object:
             stack=_stack_from_json(data["stack"]),
         )
     if tag == "alloc":
+        _require_int(data, tag, "addr", minimum=0)
+        _require_int(data, tag, "n", minimum=0)
         return AllocationEvent(
             device_id=data["dev"],
             thread_id=data["tid"],
@@ -258,8 +298,31 @@ class TraceWriter(Tool):
         self._emit(event)
 
 
+def _format_lines(lines: tuple[int, ...], limit: int = 8) -> str:
+    shown = ", ".join(str(n) for n in lines[:limit])
+    if len(lines) > limit:
+        shown += f", ... ({len(lines) - limit} more)"
+    return shown
+
+
 class TraceWarning(UserWarning):
-    """A trace loaded partially: some records were malformed or truncated."""
+    """A trace loaded partially: some records were malformed or truncated.
+
+    Carries the damage *structurally*, not just as prose: ``errors`` is the
+    ``(line_number, reason)`` list of every skipped record and
+    ``line_numbers`` the lines alone, so callers (the serve ingest path,
+    CI assertions) can point at the exact offending lines without parsing
+    the warning text.
+    """
+
+    def __init__(self, message: str, errors: Iterable[tuple[int, str]] = ()):
+        super().__init__(message)
+        self.errors: tuple[tuple[int, str], ...] = tuple(errors)
+
+    @property
+    def line_numbers(self) -> tuple[int, ...]:
+        """The 1-based line numbers of every skipped record."""
+        return tuple(line for line, _ in self.errors)
 
 
 class TraceDecodeError(ValueError):
@@ -289,9 +352,11 @@ class PartialTrace:
         if self.ok:
             return f"trace loaded cleanly: {self.records_read} records"
         first_line, first_reason = self.errors[0]
+        lines = tuple(line for line, _ in self.errors)
         return (
             f"partial trace load: read {self.records_read} records, "
-            f"skipped {self.records_skipped} malformed/truncated "
+            f"skipped {self.records_skipped} malformed/truncated at "
+            f"line(s) {_format_lines(lines)} "
             f"(first: line {first_line}: {first_reason})"
         )
 
@@ -329,7 +394,9 @@ def load_trace(source: IO[str], *, strict: bool = False) -> PartialTrace:
             result.records_skipped += 1
             result.errors.append((exc.line_number, exc.reason))
     if not result.ok:
-        warnings.warn(TraceWarning(result.summary()), stacklevel=2)
+        warnings.warn(
+            TraceWarning(result.summary(), errors=result.errors), stacklevel=2
+        )
     return result
 
 
@@ -341,8 +408,8 @@ def read_trace(source: IO[str], *, strict: bool = False) -> Iterator[object]:
     anything was skipped.  ``strict=True`` raises :class:`TraceDecodeError`
     on the first bad record instead.
     """
-    read = skipped = 0
-    first_error: TraceDecodeError | None = None
+    read = 0
+    errors: list[tuple[int, str]] = []
     for line_number, line in enumerate(source, start=1):
         line = line.strip()
         if not line:
@@ -352,19 +419,20 @@ def read_trace(source: IO[str], *, strict: bool = False) -> Iterator[object]:
         except TraceDecodeError as exc:
             if strict:
                 raise
-            skipped += 1
-            if first_error is None:
-                first_error = exc
+            errors.append((exc.line_number, exc.reason))
             continue
         read += 1
         yield event
-    if skipped:
-        assert first_error is not None
+    if errors:
+        first_line, first_reason = errors[0]
+        lines = tuple(line for line, _ in errors)
         warnings.warn(
             TraceWarning(
-                f"partial trace load: read {read} records, skipped {skipped} "
-                f"malformed/truncated (first: line {first_error.line_number}: "
-                f"{first_error.reason})"
+                f"partial trace load: read {read} records, skipped "
+                f"{len(errors)} malformed/truncated at line(s) "
+                f"{_format_lines(lines)} "
+                f"(first: line {first_line}: {first_reason})",
+                errors=errors,
             ),
             stacklevel=2,
         )

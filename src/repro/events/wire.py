@@ -1,0 +1,293 @@
+"""The serve wire format: length-prefixed, sequence-numbered event frames.
+
+This module formalizes what the lenient trace loader (:mod:`.trace_io`)
+only implies: events that cross a process or machine boundary need *frames*
+— explicit boundaries, explicit sizes, explicit identity — because the
+transport can and will truncate, duplicate, reorder, and corrupt them.  One
+frame carries one protocol message:
+
+========  =====  ======================================================
+kind      dir    payload
+========  =====  ======================================================
+HELLO     c->s   session metadata (JSON: benchmark name, engine, ...)
+EVENT     c->s   one event record (:func:`.trace_io.event_to_json` JSON)
+FIN       c->s   end of stream; ask the server to drain and report
+ACK       s->c   cumulative acknowledgement of ``seq``
+NACK      s->c   retransmit request: ``seq`` is the next expected frame
+FINDING   s->c   one delivered finding (JSON, fingerprint-keyed)
+DEGRADED  s->c   backpressure marker: the stream was shed, not dropped
+RESULT    s->c   end-of-session summary (JSON)
+ERROR     s->c   protocol error report (JSON)
+========  =====  ======================================================
+
+Frame layout (network byte order)::
+
+    offset  size  field
+    0       2     magic  0xF7 0x52  ("\\xf7R")
+    2       1     wire version (1)
+    3       1     frame kind
+    4       4     client id (u32)
+    8       8     sequence number (u64)
+    16      4     payload length (u32, <= MAX_PAYLOAD)
+    20      4     CRC32 of the payload
+    24      len   payload (UTF-8 JSON unless empty)
+
+The decoder is *tolerant but never inventive*: a frame whose declared
+payload length disagrees with the bytes actually present is **rejected** —
+a short payload is a truncated frame, and zero-padding it would fabricate
+a bogus event (exactly the failure mode the lenient trace loader now also
+rejects).  Corrupt bytes cause a scan to the next magic (resync); every
+rejection is recorded as a :class:`WireError` with its byte offset so
+transport damage is diagnosable, not silent.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "HEADER",
+    "HEADER_SIZE",
+    "MAX_PAYLOAD",
+    "FrameKind",
+    "Frame",
+    "WireError",
+    "FrameDecoder",
+    "encode_frame",
+    "event_frame",
+    "json_payload",
+]
+
+#: Two magic bytes opening every frame; the resync scan looks for these.
+MAGIC = b"\xf7R"
+
+#: Wire format version, bumped on incompatible layout changes.
+WIRE_VERSION = 1
+
+#: Frame header: magic, version, kind, client, seq, payload length, CRC32.
+HEADER = struct.Struct("!2sBBIQII")
+HEADER_SIZE = HEADER.size  # 24 bytes
+
+#: Upper bound on a frame payload.  A declared length beyond this is treated
+#: as header corruption (resync), not as an instruction to buffer a gigabyte.
+MAX_PAYLOAD = 1 << 20
+
+
+class FrameKind(enum.IntEnum):
+    """Protocol message kinds (see module docstring)."""
+
+    HELLO = 1
+    EVENT = 2
+    FIN = 3
+    ACK = 4
+    NACK = 5
+    FINDING = 6
+    DEGRADED = 7
+    RESULT = 8
+    ERROR = 9
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame."""
+
+    kind: FrameKind
+    client_id: int
+    seq: int
+    payload: bytes = b""
+
+    def json(self) -> dict:
+        """Decode the payload as a JSON object."""
+        return json.loads(self.payload.decode("utf-8"))
+
+
+@dataclass(frozen=True)
+class WireError:
+    """One rejected stretch of the byte stream."""
+
+    #: Byte offset (in the whole stream fed so far) where the damage starts.
+    offset: int
+    reason: str
+
+    def to_json(self) -> dict:
+        return {"offset": self.offset, "reason": self.reason}
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize one frame, header + payload."""
+    payload = frame.payload
+    if len(payload) > MAX_PAYLOAD:
+        raise ValueError(
+            f"frame payload of {len(payload)} bytes exceeds MAX_PAYLOAD "
+            f"({MAX_PAYLOAD})"
+        )
+    return (
+        HEADER.pack(
+            MAGIC,
+            WIRE_VERSION,
+            int(frame.kind),
+            frame.client_id,
+            frame.seq,
+            len(payload),
+            zlib.crc32(payload) & 0xFFFFFFFF,
+        )
+        + payload
+    )
+
+
+def json_payload(obj: dict) -> bytes:
+    """Canonical JSON payload encoding (sorted keys, compact separators)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def event_frame(client_id: int, seq: int, event_json: dict) -> Frame:
+    """An EVENT frame wrapping one :func:`.trace_io.event_to_json` record."""
+    return Frame(FrameKind.EVENT, client_id, seq, json_payload(event_json))
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary byte-chunked stream.
+
+    Feed it bytes as they arrive; it returns every complete frame and holds
+    partial trailing bytes for the next chunk.  Damage handling:
+
+    * bad magic — scan forward to the next magic, record one
+      :class:`WireError` for the skipped garbage;
+    * bad version / unknown kind / absurd declared length — treat the
+      header as corrupt and resync one byte past the magic;
+    * CRC mismatch — the frame is dropped (recorded), stream continues
+      after it;
+    * truncated final frame (:meth:`eof`) — **rejected**, never zero-padded
+      into a bogus record.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        #: Offset of ``_buffer[0]`` within the whole stream fed so far.
+        self._base = 0
+        self.frames_decoded = 0
+        self.resyncs = 0
+        self.errors: list[WireError] = []
+
+    def _reject(self, offset: int, reason: str) -> None:
+        self.errors.append(WireError(offset, reason))
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Consume a chunk; return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        buf = self._buffer
+        pos = 0
+        while True:
+            # Hunt for the magic. Anything before it is transport garbage.
+            idx = buf.find(MAGIC, pos)
+            if idx < 0:
+                # No magic anywhere: keep the final byte (it may be the
+                # first half of a split magic) and report the rest.
+                keep = max(pos, len(buf) - 1)
+                if keep > pos:
+                    self._reject(
+                        self._base + pos,
+                        f"{keep - pos} byte(s) of inter-frame garbage skipped",
+                    )
+                    self.resyncs += 1
+                pos = keep
+                break
+            if idx > pos:
+                self._reject(
+                    self._base + pos,
+                    f"{idx - pos} byte(s) of inter-frame garbage skipped",
+                )
+                self.resyncs += 1
+                pos = idx
+            if len(buf) - pos < HEADER_SIZE:
+                break  # incomplete header; wait for more bytes
+            magic, version, kind, client_id, seq, length, crc = HEADER.unpack(
+                bytes(buf[pos : pos + HEADER_SIZE])
+            )
+            if version != WIRE_VERSION:
+                self._reject(
+                    self._base + pos,
+                    f"unsupported wire version {version} (expected "
+                    f"{WIRE_VERSION}); resyncing",
+                )
+                self.resyncs += 1
+                pos += 2  # skip the magic, rescan
+                continue
+            try:
+                frame_kind = FrameKind(kind)
+            except ValueError:
+                self._reject(
+                    self._base + pos, f"unknown frame kind {kind}; resyncing"
+                )
+                self.resyncs += 1
+                pos += 2
+                continue
+            if length > MAX_PAYLOAD:
+                self._reject(
+                    self._base + pos,
+                    f"declared payload length {length} exceeds MAX_PAYLOAD "
+                    f"({MAX_PAYLOAD}); header treated as corrupt",
+                )
+                self.resyncs += 1
+                pos += 2
+                continue
+            end = pos + HEADER_SIZE + length
+            if len(buf) < end:
+                break  # incomplete payload; wait for more bytes
+            payload = bytes(buf[pos + HEADER_SIZE : end])
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                self._reject(
+                    self._base + pos,
+                    f"payload CRC mismatch on {frame_kind.name} frame "
+                    f"seq={seq}; frame dropped",
+                )
+                pos = end
+                continue
+            frames.append(Frame(frame_kind, client_id, seq, payload))
+            self.frames_decoded += 1
+            pos = end
+        # Retain only the unconsumed tail.
+        del buf[:pos]
+        self._base += pos
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes held waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def eof(self) -> list[WireError]:
+        """Declare end-of-stream; reject (never pad) any truncated frame.
+
+        Returns the full error list for the stream.  A trailing frame whose
+        declared payload length exceeds the bytes actually received is the
+        classic crash-mid-write artifact: the only safe interpretation is
+        "this frame never happened".
+        """
+        buf = self._buffer
+        if buf:
+            if len(buf) >= HEADER_SIZE and buf[:2] == MAGIC:
+                _, _, _, _, seq, length, _ = HEADER.unpack(
+                    bytes(buf[:HEADER_SIZE])
+                )
+                have = len(buf) - HEADER_SIZE
+                self._reject(
+                    self._base,
+                    f"truncated frame at end of stream: declared {length} "
+                    f"payload byte(s), got {have}; frame rejected "
+                    f"(seq={seq}), not zero-padded",
+                )
+            else:
+                self._reject(
+                    self._base,
+                    f"{len(buf)} trailing byte(s) do not form a frame header",
+                )
+            self._buffer = bytearray()
+        return list(self.errors)

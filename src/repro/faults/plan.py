@@ -27,7 +27,21 @@ kind                     site semantics
                          and delivered after its successor
 ``DEVICE_RESET``         a spurious device reset fires before the
                          ``index``-th kernel launch
+``WORKER_KILL``          the serve shard worker handling the ``index``-th
+                         delivery attempt dies mid-delivery (alternating
+                         before/after its journal write)
+``FRAME_DROP``           the ``index``-th client→server wire frame is
+                         lost in flight
+``FRAME_DUP``            the ``index``-th client→server wire frame is
+                         delivered twice
+``FRAME_REORDER``        the ``index``-th client→server wire frame is
+                         held and delivered after its successor
 ======================  =====================================================
+
+The last four are *serve faults* (:data:`SERVE_FAULT_KINDS`): they target
+the detection-as-a-service stack (wire, shard workers) instead of the
+simulated runtime, and are excluded from default runtime plans so that
+seeded runtime campaigns stay byte-identical across releases.
 
 **Recovery guarantee.**  :meth:`FaultPlan.generate` spaces same-class
 failure sites at least :data:`MIN_FAILURE_GAP` attempts apart and caps
@@ -50,6 +64,8 @@ __all__ = [
     "PlannedFault",
     "FaultPlan",
     "EVENT_FAULT_KINDS",
+    "RUNTIME_FAULT_KINDS",
+    "SERVE_FAULT_KINDS",
     "MAX_CONSECUTIVE_FAILURES",
     "MIN_FAILURE_GAP",
 ]
@@ -65,6 +81,10 @@ class FaultKind(enum.Enum):
     DUP_EVENT = "dup-event"
     REORDER_EVENT = "reorder-event"
     DEVICE_RESET = "device-reset"
+    WORKER_KILL = "worker-kill"
+    FRAME_DROP = "frame-drop"
+    FRAME_DUP = "frame-dup"
+    FRAME_REORDER = "frame-reorder"
 
 
 #: Kinds that perturb the *detector's view* of the run (the OMPT callback
@@ -72,6 +92,26 @@ class FaultKind(enum.Enum):
 #: chaos harness scores precision separately for runs that received none.
 EVENT_FAULT_KINDS = frozenset(
     {FaultKind.DROP_EVENT, FaultKind.DUP_EVENT, FaultKind.REORDER_EVENT}
+)
+
+#: Kinds that target the detection-as-a-service stack (wire frames, shard
+#: workers).  The serve delivery guarantee makes *all* of them transparent:
+#: findings must be byte-identical to the in-process baseline under any
+#: schedule drawn from these.
+SERVE_FAULT_KINDS = frozenset(
+    {
+        FaultKind.WORKER_KILL,
+        FaultKind.FRAME_DROP,
+        FaultKind.FRAME_DUP,
+        FaultKind.FRAME_REORDER,
+    }
+)
+
+#: The original runtime-level kinds, and the default for
+#: :meth:`FaultPlan.generate` — deliberately excluding the serve kinds so
+#: existing seeded runtime campaigns reproduce byte-identically.
+RUNTIME_FAULT_KINDS = tuple(
+    k for k in FaultKind if k not in SERVE_FAULT_KINDS
 )
 
 #: Upper bound on consecutive failures a single planned fault may cause.
@@ -127,6 +167,10 @@ _SITE_CLASS = {
     FaultKind.DUP_EVENT: "data-op",
     FaultKind.REORDER_EVENT: "data-op",
     FaultKind.DEVICE_RESET: "kernel",
+    FaultKind.WORKER_KILL: "serve-delivery",
+    FaultKind.FRAME_DROP: "serve-frame",
+    FaultKind.FRAME_DUP: "serve-frame",
+    FaultKind.FRAME_REORDER: "serve-frame",
 }
 
 
@@ -168,7 +212,7 @@ class FaultPlan:
         *,
         n_faults: int = 6,
         horizon: int = 48,
-        kinds: tuple[FaultKind, ...] = tuple(FaultKind),
+        kinds: tuple[FaultKind, ...] = RUNTIME_FAULT_KINDS,
     ) -> "FaultPlan":
         """Sample a recoverable plan of ``n_faults`` faults from ``seed``.
 

@@ -27,12 +27,14 @@ __all__ = [
     "Provenance",
     "build_provenance",
     "explain",
+    "DeliveryLedger",
 ]
 
 _LAZY = {
     "Provenance": "provenance",
     "build_provenance": "provenance",
     "explain": "provenance",
+    "DeliveryLedger": "ledger",
 }
 
 

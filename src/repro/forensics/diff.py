@@ -9,7 +9,11 @@
   different report count);
 * **bench** artifacts (``BENCH_fig8.json`` shape): the summary geomean
   slowdowns are compared; any geomean that grew by more than the relative
-  ``threshold`` is a regression.
+  ``threshold`` is a regression;
+* **serve-bench** artifacts (``BENCH_serve.json``, ``serve-bench/1``
+  shape): throughput (events/sec) dropping or p99 frame latency growing
+  by more than the relative ``threshold`` is a regression, and a
+  candidate whose delivery verdict is false regresses at any speed.
 
 A diff with at least one regression is what makes the CLI exit non-zero —
 the CI gate in one command.
@@ -34,11 +38,14 @@ def load_artifact(path: str) -> tuple[str, dict]:
     except json.JSONDecodeError:
         whole = None
     if isinstance(whole, dict):
+        if whole.get("artifact") == "serve-bench/1":
+            return "serve-bench", whole
         if "workloads" in whole and "summary" in whole:
             return "bench", whole
         raise ValueError(
             f"{path}: JSON document is neither a bench artifact "
-            "(workloads+summary) nor a JSONL report"
+            "(workloads+summary), a serve-bench artifact (serve-bench/1), "
+            "nor a JSONL report"
         )
     # Not one JSON document: JSON-lines report (parse_jsonl validates).
     return "report", parse_jsonl(text)
@@ -122,6 +129,51 @@ def diff_bench(old: dict, new: dict, *, threshold: float = DEFAULT_THRESHOLD) ->
     }
 
 
+def diff_serve_bench(
+    old: dict, new: dict, *, threshold: float = DEFAULT_THRESHOLD
+) -> dict:
+    """Compare two serve-bench artifacts: throughput down or p99 up.
+
+    Same engine-compatibility rule as fig-8 benches: scalar and columnar
+    throughputs measure different dispatch paths, so a cross-engine diff
+    is an error, not a verdict.  A candidate with ``delivery_ok`` false
+    is a regression regardless of timing — a server that sheds findings
+    has no throughput worth reporting.
+    """
+    old_engine = old.get("engine", "columnar")
+    new_engine = new.get("engine", "columnar")
+    if old_engine != new_engine:
+        raise ValueError(
+            f"cannot diff serve-bench artifacts from different engines: "
+            f"baseline is {old_engine!r}, candidate is {new_engine!r}"
+        )
+    deltas: dict[str, dict] = {}
+    regressions: list[str] = []
+    old_summary = old.get("summary", {})
+    new_summary = new.get("summary", {})
+    for key in sorted(set(old_summary) & set(new_summary)):
+        o, n = old_summary[key], new_summary[key]
+        if not isinstance(o, (int, float)) or not isinstance(n, (int, float)):
+            continue
+        rel = (n - o) / o if o else 0.0
+        deltas[key] = {"old": o, "new": n, "rel": round(rel, 4)}
+        # Throughput regresses downward; latency regresses upward.
+        if key == "events_per_sec" and rel < -threshold:
+            regressions.append(key)
+        elif key.endswith("latency_us") and key.startswith("p99") and rel > threshold:
+            regressions.append(key)
+    if not new.get("delivery_ok", True):
+        regressions.append("delivery_ok")
+    return {
+        "type": "serve-bench",
+        "threshold": threshold,
+        "engine": new_engine,
+        "deltas": deltas,
+        "regressions": regressions,
+        "regression": bool(regressions),
+    }
+
+
 def diff_artifacts(
     old_path: str, new_path: str, *, threshold: float = DEFAULT_THRESHOLD
 ) -> dict:
@@ -134,6 +186,8 @@ def diff_artifacts(
         )
     if old_type == "report":
         return diff_reports(old_payload, new_payload)
+    if old_type == "serve-bench":
+        return diff_serve_bench(old_payload, new_payload, threshold=threshold)
     return diff_bench(old_payload, new_payload, threshold=threshold)
 
 
@@ -168,6 +222,22 @@ def render_diff(result: dict) -> str:
             f"{len(result['new'])} new, {len(result['fixed'])} fixed, "
             f"{len(result['changed'])} changed"
         )
+    elif result["type"] == "serve-bench":
+        for key, d in result["deltas"].items():
+            marker = " << REGRESSION" if key in result["regressions"] else ""
+            lines.append(
+                f"{key}: {d['old']} -> {d['new']} ({d['rel']:+.1%}){marker}"
+            )
+        if "delivery_ok" in result["regressions"]:
+            lines.append("delivery_ok: false << REGRESSION (findings were lost)")
+        lines.append("")
+        verdict = (
+            f"REGRESSION: {', '.join(result['regressions'])} exceeded "
+            f"{result['threshold']:.0%}"
+            if result["regression"]
+            else f"within threshold ({result['threshold']:.0%})"
+        )
+        lines.append(verdict)
     else:
         for key, d in result["deltas"].items():
             marker = " << REGRESSION" if key in result["regressions"] else ""

@@ -1,0 +1,110 @@
+"""The delivery ledger: fingerprint-keyed accounting of streamed findings.
+
+The serve delivery guarantee is stated in fingerprints (PR-5's stable
+cross-run identity): a session's delivered finding set must be *exactly*
+the in-process baseline's — zero dropped, zero duplicated.  The ledger is
+the bookkeeper that makes the claim checkable:
+
+* every finding a shard surfaces is **offered**; the first offer per
+  ``(tool, fingerprint)`` is *delivered*, later offers are *suppressed*
+  (one event can reach two shards, and both may report the same bug —
+  suppression is what keeps the wire stream duplicate-free);
+* ``DEGRADED`` markers are recorded in-stream with their position, so a
+  backpressure episode is visible in the ledger, not just in a counter;
+* :meth:`verify_against` diffs the delivered set against a baseline
+  fingerprint collection and returns the dropped/unexpected sets — the
+  exact quantity the chaos-against-server campaign asserts to be empty.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..tools.findings import Finding
+
+__all__ = ["DeliveryLedger"]
+
+
+class DeliveryLedger:
+    """Per-session delivery accounting, keyed on ``(tool, fingerprint)``."""
+
+    def __init__(self) -> None:
+        self._delivered: dict[tuple[str, str], dict] = {}
+        self.suppressed_duplicates = 0
+        self.markers: list[dict] = []
+
+    def offer(
+        self, tool: str, finding: Finding, count: int, *, shard: int
+    ) -> bool:
+        """Offer one finding for delivery; ``True`` iff it goes on the wire."""
+        key = (tool, finding.fingerprint())
+        if key in self._delivered:
+            entry = self._delivered[key]
+            entry["offers"] += 1
+            entry["count"] = max(entry["count"], count)
+            self.suppressed_duplicates += 1
+            return False
+        loc = finding.location
+        self._delivered[key] = {
+            "tool": tool,
+            "fingerprint": finding.fingerprint(),
+            "kind": finding.kind.value,
+            "variable": finding.variable,
+            "location": f"{loc.file}:{loc.line}" if finding.has_stack else "",
+            "message": finding.message,
+            "count": count,
+            "shard": shard,
+            "offers": 1,
+            "position": len(self._delivered) + len(self.markers),
+        }
+        return True
+
+    def mark_degraded(self, reason: str) -> None:
+        """Record an in-stream DEGRADED marker (backpressure episode)."""
+        self.markers.append(
+            {
+                "marker": "DEGRADED",
+                "reason": reason,
+                "position": len(self._delivered) + len(self.markers),
+            }
+        )
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def delivered(self) -> list[dict]:
+        """Delivered entries in wire order."""
+        return sorted(self._delivered.values(), key=lambda e: e["position"])
+
+    def fingerprints(self) -> tuple[tuple[str, str], ...]:
+        """The delivered ``(tool, fingerprint)`` set, sorted."""
+        return tuple(sorted(self._delivered))
+
+    def verify_against(
+        self, baseline: Iterable[tuple[str, str]]
+    ) -> dict:
+        """Diff the delivered set against a baseline ``(tool, fp)`` set.
+
+        The returned dict is the delivery-guarantee verdict: ``ok`` iff
+        nothing was dropped and nothing unexpected (or doubly) delivered.
+        """
+        base = set(baseline)
+        got = set(self._delivered)
+        dropped = sorted(base - got)
+        unexpected = sorted(got - base)
+        return {
+            "baseline": len(base),
+            "delivered": len(got),
+            "dropped": [list(k) for k in dropped],
+            "unexpected": [list(k) for k in unexpected],
+            "suppressed_duplicates": self.suppressed_duplicates,
+            "degraded_markers": len(self.markers),
+            "ok": not dropped and not unexpected,
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "delivered": self.delivered,
+            "markers": list(self.markers),
+            "suppressed_duplicates": self.suppressed_duplicates,
+        }

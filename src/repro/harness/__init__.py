@@ -27,6 +27,15 @@ from .hybrid import (
 )
 from .profile import PROFILE_CLOCKS, PROFILE_SUITES, inventory, run_profile
 from .report import REPORT_SUITES, run_report
+from .serve import (
+    SERVE_BENCH_ARTIFACT,
+    SERVE_CHAOS_KINDS,
+    SERVE_SUITES,
+    run_serve_bench,
+    run_serve_chaos,
+    run_serve_chaos_campaign,
+    run_serve_suite,
+)
 from .precision import (
     EXPECTED_DETECTIONS,
     TOOL_FACTORIES,
@@ -72,6 +81,13 @@ __all__ = [
     "PROFILE_CLOCKS",
     "CHAOS_SUITES",
     "MAX_EVENT_FAULT_DIVERGENCE",
+    "run_serve_suite",
+    "run_serve_bench",
+    "run_serve_chaos",
+    "run_serve_chaos_campaign",
+    "SERVE_SUITES",
+    "SERVE_CHAOS_KINDS",
+    "SERVE_BENCH_ARTIFACT",
     "render_table",
     "render_ratio_chart",
 ]

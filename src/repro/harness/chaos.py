@@ -81,10 +81,12 @@ def _signature(detector: Arbalest) -> tuple[str, ...]:
 
 
 def _run_one(
-    bench: DraccBenchmark, injector: FaultInjector | None
+    bench: DraccBenchmark,
+    injector: FaultInjector | None,
+    engine: str = "scalar",
 ) -> tuple[Arbalest, BaseException | None]:
     """One benchmark under ARBALEST, optionally faulted; never raises."""
-    rt = TargetRuntime(n_devices=2, faults=injector)
+    rt = TargetRuntime(n_devices=2, faults=injector, engine=engine)
     detector = Arbalest().attach(rt.machine)
     try:
         bench.run(rt)
@@ -100,19 +102,23 @@ def run_chaos_campaign(
     faults_per_schedule: int = 6,
     suite: str = "all",
     benchmarks: Iterable[DraccBenchmark] | None = None,
+    engine: str = "scalar",
 ) -> dict:
     """Sweep ``schedules`` sampled fault schedules over the DRACC suite.
 
     Returns the JSON-ready campaign payload (see module docstring).  Fully
     deterministic in ``seed`` and the parameters: two invocations produce
-    identical payloads, including every schedule log entry.
+    identical payloads, including every schedule log entry.  ``engine``
+    selects the :class:`~repro.events.bus.ToolBus` dispatch strategy for
+    every run, baseline and faulted alike — the recovery guarantees must
+    hold under both, which is why CI runs the campaign under each.
     """
     benches = tuple(benchmarks) if benchmarks is not None else _suite(suite)
 
     # Un-faulted baseline, once per benchmark.
     baseline: dict[int, tuple[tuple[str, ...], bool]] = {}
     for bench in benches:
-        detector, error = _run_one(bench, None)
+        detector, error = _run_one(bench, None, engine)
         if error is not None:  # pragma: no cover - the seed suite is healthy
             raise error
         baseline[bench.number] = (
@@ -141,7 +147,7 @@ def run_chaos_campaign(
                 n_faults=faults_per_schedule,
             )
             injector = FaultInjector(plan)
-            detector, error = _run_one(bench, injector)
+            detector, error = _run_one(bench, injector, engine)
             run_id = {"schedule": schedule, "benchmark": bench.number}
             for record in injector.log:
                 schedule_log.append({**run_id, **record.to_json()})
@@ -194,6 +200,7 @@ def run_chaos_campaign(
         "seed": seed,
         "schedules": schedules,
         "faults_per_schedule": faults_per_schedule,
+        "engine": engine,
         "suite": suite if benchmarks is None else "custom",
         "benchmarks": len(benches),
         "runs": schedules * len(benches),
@@ -234,6 +241,7 @@ def run_chaos(
     output: str = "BENCH_chaos.json",
     telemetry: bool = False,
     report: str | None = None,
+    engine: str = "scalar",
 ) -> dict:
     """Run a campaign and write the tracked ``BENCH_chaos.json`` report.
 
@@ -257,6 +265,7 @@ def run_chaos(
                 schedules=schedules,
                 faults_per_schedule=faults_per_schedule,
                 suite=suite,
+                engine=engine,
             )
         payload["telemetry"] = registry.snapshot()
     else:
@@ -265,6 +274,7 @@ def run_chaos(
             schedules=schedules,
             faults_per_schedule=faults_per_schedule,
             suite=suite,
+            engine=engine,
         )
     tmp = output + ".tmp"
     with open(tmp, "w") as sink:

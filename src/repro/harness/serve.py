@@ -1,0 +1,490 @@
+"""The serve harness: DRACC suites streamed through the analysis server.
+
+Three experiments, all built on the same plumbing (record a benchmark's
+OMPT trace, replay it through in-process tools for the baseline, stream
+the same events through a :class:`~repro.serve.server.AnalysisServer`
+over the loopback transport):
+
+* :func:`run_serve_suite` — the equivalence run.  Every benchmark's
+  served finding set is verified against the in-process baseline via the
+  session's :class:`~repro.forensics.ledger.DeliveryLedger`, and the
+  delivered findings are assembled into a ``repro-report/1`` payload so
+  CI can ``repro diff`` the served suite against the tracked golden
+  report.
+* :func:`run_serve_bench` — the throughput run.  Events/sec and frame
+  latency percentiles over the streamed suite, written to the tracked
+  ``BENCH_serve.json`` (``serve-bench/1`` shape, understood by
+  ``repro diff --threshold``).
+* :func:`run_serve_chaos_campaign` — the certification run.  Seeded
+  schedules of serve faults (worker kills, frame drop/dup/reorder) are
+  injected while streaming; the campaign asserts **zero crashes** and
+  **byte-identical fingerprints** against the unfaulted baseline — the
+  delivery guarantee, chaos-certified.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import random
+import time
+from typing import Iterable
+
+from ..dracc.registry import (
+    DraccBenchmark,
+    all_benchmarks,
+    buggy_benchmarks,
+    clean_benchmarks,
+)
+from ..events.bus import ToolBus
+from ..events.records import (
+    Access,
+    AllocationEvent,
+    DataOp,
+    FlushEvent,
+    KernelEvent,
+    MemcpyEvent,
+    SyncEvent,
+)
+from ..events.trace_io import TraceWriter, read_trace
+from ..faults.plan import FaultKind, FaultPlan
+from ..forensics.recorder import FlightRecorder, scope as _forensics_scope
+from ..forensics.report import SCHEMA, build_summary, finding_entry
+from ..openmp.runtime import TargetRuntime
+from ..serve import (
+    DEFAULT_TOOLS,
+    AnalysisServer,
+    LoopbackTransport,
+    ServeClient,
+    ServerConfig,
+    register_forensic_ranges,
+)
+
+#: Valid ``--suite`` selections for the serve CLI.
+SERVE_SUITES = ("buggy", "clean", "all")
+
+#: Serve fault kinds in deterministic generation order (the frozenset in
+#: :mod:`repro.faults.plan` has no order; plans must).
+SERVE_CHAOS_KINDS = (
+    FaultKind.WORKER_KILL,
+    FaultKind.FRAME_DROP,
+    FaultKind.FRAME_DUP,
+    FaultKind.FRAME_REORDER,
+)
+
+#: The serve-bench artifact identifier ``repro diff`` sniffs on.
+SERVE_BENCH_ARTIFACT = "serve-bench/1"
+
+
+def _suite(name: str) -> tuple[DraccBenchmark, ...]:
+    if name == "buggy":
+        return buggy_benchmarks()
+    if name == "clean":
+        return clean_benchmarks()
+    if name == "all":
+        return all_benchmarks()
+    raise ValueError(
+        f"unknown suite {name!r} (valid choices: {', '.join(SERVE_SUITES)})"
+    )
+
+
+def record_trace(bench: DraccBenchmark) -> list:
+    """Run ``bench`` on a fresh machine and return its recorded events."""
+    rt = TargetRuntime(n_devices=2)
+    sink = io.StringIO()
+    TraceWriter(sink).attach(rt.machine)
+    bench.run(rt)
+    sink.seek(0)
+    return list(read_trace(sink))
+
+
+def baseline_fingerprints(
+    events: list, tools: Iterable[str] = ("arbalest",)
+) -> tuple[tuple[str, str], ...]:
+    """In-process fingerprints: the recorded trace through fresh tools.
+
+    Dispatched under a flight recorder whose address index is rebuilt
+    from the trace (exactly as each shard worker rebuilds its own), so
+    variable attribution — and therefore every fingerprint — matches
+    both the served path and the live golden-report path.
+    """
+    instances = {name: DEFAULT_TOOLS[name]() for name in tools}
+    bus = ToolBus()
+    for tool in instances.values():
+        bus.attach(tool)
+    dispatch = {
+        Access: bus.publish_access,
+        DataOp: bus.publish_data_op,
+        MemcpyEvent: bus.publish_memcpy,
+        KernelEvent: bus.publish_kernel,
+        AllocationEvent: bus.publish_allocation,
+        SyncEvent: bus.publish_sync,
+        FlushEvent: bus.publish_flush,
+    }
+    recorder = FlightRecorder()
+    with _forensics_scope(recorder):
+        for event in events:
+            register_forensic_ranges(recorder, event)
+            dispatch[type(event)](event)
+        bus.flush_batch()
+    return tuple(
+        sorted(
+            (name, finding.fingerprint())
+            for name, tool in instances.items()
+            for finding in tool.findings
+        )
+    )
+
+
+# -- equivalence suite --------------------------------------------------------
+
+
+def run_serve_suite(
+    *,
+    suite: str = "buggy",
+    n_shards: int = 4,
+    engine: str = "columnar",
+    tools: Iterable[str] = ("arbalest",),
+    queue_cap: int = 256,
+    benchmarks: Iterable[DraccBenchmark] | None = None,
+) -> dict:
+    """Stream a DRACC suite through one server; verify every delivery.
+
+    One server hosts the whole suite — each benchmark is its own session
+    (client id = benchmark number), so the run also exercises session
+    isolation.  Returns the verdict payload with an embedded
+    ``repro-report/1`` document built from the *delivered* findings.
+    """
+    tools = tuple(tools)
+    benches = tuple(benchmarks) if benchmarks is not None else _suite(suite)
+    server = AnalysisServer(
+        ServerConfig(
+            n_shards=n_shards, engine=engine, tools=tools, queue_cap=queue_cap
+        )
+    )
+    sessions: list[dict] = []
+    findings: list[dict] = []
+    total_events = 0
+    for bench in benches:
+        events = record_trace(bench)
+        total_events += len(events)
+        baseline = baseline_fingerprints(events, tools)
+        client = ServeClient(
+            LoopbackTransport(server), client_id=bench.number
+        )
+        result = client.stream(events, meta={"benchmark": bench.number})
+        session = server.sessions[bench.number]
+        verdict = session.ledger.verify_against(baseline)
+        sessions.append(
+            {
+                "benchmark": bench.number,
+                "bench_name": bench.name,
+                "events": len(events),
+                "frames_sent": result.frames_sent,
+                "verdict": verdict,
+                "result": result.result,
+            }
+        )
+        # The report is built from what the supervisor *delivered*, with
+        # the ledger's first-offer-wins dedup — byte-for-byte what went
+        # on the wire, in a shape `repro diff` can hold against the
+        # in-process golden report.
+        seen: set[tuple[str, str]] = set()
+        for _shard, tool, finding, count in session.supervisor.findings():
+            key = (tool, finding.fingerprint())
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                finding_entry(
+                    finding,
+                    count,
+                    benchmark=bench.number,
+                    bench_name=bench.name,
+                )
+            )
+    header = {
+        "record": "header",
+        "schema": SCHEMA,
+        "suite": suite if benchmarks is None else "custom",
+        "tools": list(tools),
+        "capacity": 0,  # no flight recorder on the serve path
+        "engine": engine,
+    }
+    report = {
+        "header": header,
+        "findings": findings,
+        "summary": build_summary(findings, benchmarks=len(benches)),
+    }
+    return {
+        "suite": suite if benchmarks is None else "custom",
+        "engine": engine,
+        "n_shards": n_shards,
+        "tools": list(tools),
+        "benchmarks": len(benches),
+        "events": total_events,
+        "sessions": sessions,
+        "ok": all(s["verdict"]["ok"] for s in sessions),
+        "report": report,
+    }
+
+
+# -- throughput bench ---------------------------------------------------------
+
+
+class _TimedTransport:
+    """Transport wrapper recording per-frame round-trip wall latency."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.latencies_us: list[float] = []
+
+    def send(self, data: bytes) -> bytes:
+        start = time.perf_counter()
+        out = self.inner.send(data)
+        self.latencies_us.append((time.perf_counter() - start) * 1e6)
+        return out
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def run_serve_bench(
+    *,
+    suite: str = "buggy",
+    n_shards: int = 4,
+    engine: str = "columnar",
+    tools: Iterable[str] = ("arbalest",),
+    queue_cap: int = 256,
+    output: str | None = "BENCH_serve.json",
+    benchmarks: Iterable[DraccBenchmark] | None = None,
+) -> dict:
+    """Measure server throughput and frame latency over a streamed suite.
+
+    Events/sec counts analysis events over total streaming wall time
+    (framing, decoding, sharded dispatch and finding streams included);
+    the percentiles are per-frame round-trip latencies.  The delivery
+    verdict rides along so a "fast but wrong" server can never produce a
+    publishable bench.
+    """
+    tools = tuple(tools)
+    benches = tuple(benchmarks) if benchmarks is not None else _suite(suite)
+    server = AnalysisServer(
+        ServerConfig(
+            n_shards=n_shards, engine=engine, tools=tools, queue_cap=queue_cap
+        )
+    )
+    latencies: list[float] = []
+    total_events = 0
+    total_frames = 0
+    stream_seconds = 0.0
+    delivery_ok = True
+    for bench in benches:
+        events = record_trace(bench)
+        baseline = baseline_fingerprints(events, tools)
+        transport = _TimedTransport(LoopbackTransport(server))
+        client = ServeClient(transport, client_id=bench.number)
+        start = time.perf_counter()
+        result = client.stream(events)
+        stream_seconds += time.perf_counter() - start
+        latencies.extend(transport.latencies_us)
+        total_events += len(events)
+        total_frames += result.frames_sent
+        if result.fingerprints() != baseline:
+            delivery_ok = False
+    latencies.sort()
+    events_per_sec = total_events / stream_seconds if stream_seconds else 0.0
+    payload = {
+        "artifact": SERVE_BENCH_ARTIFACT,
+        "suite": suite,
+        "engine": engine,
+        "n_shards": n_shards,
+        "tools": list(tools),
+        "benchmarks": len(benches),
+        "events": total_events,
+        "frames": total_frames,
+        "stream_seconds": round(stream_seconds, 6),
+        "delivery_ok": delivery_ok,
+        "summary": {
+            "events_per_sec": round(events_per_sec, 2),
+            "p50_frame_latency_us": round(_percentile(latencies, 0.50), 2),
+            "p99_frame_latency_us": round(_percentile(latencies, 0.99), 2),
+            "max_frame_latency_us": round(latencies[-1], 2) if latencies else 0.0,
+        },
+    }
+    if output is not None:
+        tmp = output + ".tmp"
+        with open(tmp, "w") as sink:
+            json.dump(payload, sink, indent=2, sort_keys=True)
+            sink.write("\n")
+        os.replace(tmp, output)
+    return payload
+
+
+# -- chaos-against-server certification ---------------------------------------
+
+
+def _serve_plan_seed(campaign_seed: int, schedule: int, bench_number: int) -> int:
+    """Stable per-(schedule, benchmark) seed, disjoint from runtime chaos."""
+    return random.Random(
+        f"{campaign_seed}/serve/{schedule}/{bench_number}"
+    ).getrandbits(32)
+
+
+def run_serve_chaos_campaign(
+    *,
+    seed: int = 0,
+    schedules: int = 3,
+    faults_per_schedule: int = 6,
+    suite: str = "buggy",
+    n_shards: int = 4,
+    engine: str = "columnar",
+    tools: Iterable[str] = ("arbalest",),
+    queue_cap: int = 256,
+    benchmarks: Iterable[DraccBenchmark] | None = None,
+) -> dict:
+    """Certify the delivery guarantee under seeded serve-fault schedules.
+
+    Every (schedule, benchmark) pair gets a fresh server, a plan drawn
+    from :data:`SERVE_CHAOS_KINDS`, worker kills installed on the
+    supervisor's delivery-attempt schedule (alternating before/after the
+    journal write), and frame faults installed on the loopback transport.
+    Unlike runtime chaos, there is no "bounded divergence" tier here:
+    *every* faulted run must reproduce the baseline fingerprints exactly.
+    """
+    tools = tuple(tools)
+    benches = tuple(benchmarks) if benchmarks is not None else _suite(suite)
+
+    traces = {bench.number: record_trace(bench) for bench in benches}
+    baselines = {
+        number: baseline_fingerprints(events, tools)
+        for number, events in traces.items()
+    }
+
+    crashes: list[dict] = []
+    mismatches: list[dict] = []
+    schedule_log: list[dict] = []
+    injected_counts: dict[str, int] = {}
+    worker_restarts = 0
+    retransmits = 0
+    backoff_ticks = 0
+    dup_frames = 0
+    shed_frames = 0
+    nacks = 0
+    degraded_sessions = 0
+    kills_triggered = 0
+
+    for schedule in range(schedules):
+        for bench in benches:
+            plan = FaultPlan.generate(
+                _serve_plan_seed(seed, schedule, bench.number),
+                n_faults=faults_per_schedule,
+                kinds=SERVE_CHAOS_KINDS,
+            )
+            run_id = {"schedule": schedule, "benchmark": bench.number}
+            for fault in plan.faults:
+                schedule_log.append({**run_id, **fault.to_json()})
+                injected_counts[fault.kind.value] = (
+                    injected_counts.get(fault.kind.value, 0) + 1
+                )
+            server = AnalysisServer(
+                ServerConfig(
+                    n_shards=n_shards,
+                    engine=engine,
+                    tools=tools,
+                    queue_cap=queue_cap,
+                )
+            )
+            # Worker kills target delivery-attempt occurrences; phases
+            # alternate so both sides of the journal write are hit.
+            session = server.session(bench.number)
+            kills = plan.by_kind(FaultKind.WORKER_KILL)
+            for position, fault in enumerate(kills):
+                session.supervisor.kill_schedule[fault.index + 1] = (
+                    "pre" if position % 2 == 0 else "post"
+                )
+            transport = LoopbackTransport(server, plan)
+            client = ServeClient(transport, client_id=bench.number)
+            try:
+                result = client.stream(traces[bench.number])
+            except BaseException as exc:  # a crash fails the campaign, not us
+                crashes.append(
+                    {**run_id, "error": f"{type(exc).__name__}: {exc}"}
+                )
+                continue
+            supervisor = session.supervisor
+            kills_triggered += len(kills) - len(supervisor.kill_schedule)
+            worker_restarts += supervisor.worker_restarts
+            retransmits += result.retransmits
+            backoff_ticks += result.backoff_ticks
+            dup_frames += result.result.get("dup_frames", 0)
+            shed_frames += result.result.get("shed_frames", 0)
+            nacks += result.result.get("nacks_sent", 0)
+            degraded_sessions += bool(result.result.get("degraded"))
+            if result.fingerprints() != baselines[bench.number]:
+                mismatches.append(
+                    {
+                        **run_id,
+                        "baseline": [list(k) for k in baselines[bench.number]],
+                        "served": [list(k) for k in result.fingerprints()],
+                    }
+                )
+
+    payload = {
+        "seed": seed,
+        "schedules": schedules,
+        "faults_per_schedule": faults_per_schedule,
+        "suite": suite if benchmarks is None else "custom",
+        "engine": engine,
+        "n_shards": n_shards,
+        "target": "serve",
+        "benchmarks": len(benches),
+        "runs": schedules * len(benches),
+        "crashes": crashes,
+        "fingerprint_mismatches": mismatches,
+        "injected_faults": dict(sorted(injected_counts.items())),
+        "injected_total": sum(injected_counts.values()),
+        "schedule_log": schedule_log,
+        "worker_kills_triggered": kills_triggered,
+        "worker_restarts": worker_restarts,
+        "retransmits": retransmits,
+        "backoff_ticks": backoff_ticks,
+        "dup_frames": dup_frames,
+        "shed_frames": shed_frames,
+        "nacks": nacks,
+        "degraded_sessions": degraded_sessions,
+    }
+    payload["ok"] = not crashes and not mismatches
+    return payload
+
+
+def run_serve_chaos(
+    *,
+    seed: int = 0,
+    schedules: int = 3,
+    faults_per_schedule: int = 6,
+    suite: str = "buggy",
+    n_shards: int = 4,
+    engine: str = "columnar",
+    output: str = "BENCH_serve_chaos.json",
+) -> dict:
+    """Run the serve chaos campaign and write its tracked JSON artifact."""
+    payload = run_serve_chaos_campaign(
+        seed=seed,
+        schedules=schedules,
+        faults_per_schedule=faults_per_schedule,
+        suite=suite,
+        n_shards=n_shards,
+        engine=engine,
+    )
+    tmp = output + ".tmp"
+    with open(tmp, "w") as sink:
+        json.dump(payload, sink, indent=2, sort_keys=True)
+        sink.write("\n")
+    os.replace(tmp, output)
+    return payload

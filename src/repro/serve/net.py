@@ -1,0 +1,182 @@
+"""Network front ends: socket and stdio servers with graceful drain.
+
+The protocol engine (:class:`~repro.serve.server.AnalysisServer`) is
+transport-agnostic; this module binds it to the two front ends a
+deployment actually uses:
+
+* :func:`serve_socket` — a TCP listener; each accepted connection gets
+  its own :class:`~repro.serve.server.ServerConnection` (own frame
+  decoder, shared session table, so a client may reconnect and resume
+  its sequence space);
+* :func:`serve_stdio` — one connection over ``stdin``/``stdout``, the
+  shape an OMPT shim subprocess pipes into.
+
+**Graceful drain.**  Both front ends install a ``SIGTERM``/``SIGINT``
+handler that stops accepting input and calls
+:meth:`AnalysisServer.shutdown`, which flushes every shard's parked
+columnar batch before the process exits — an in-flight batch is never
+lost to shutdown timing.  The drain summary is written to ``stderr`` as
+one JSON line so supervisors (systemd, CI) can log it.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import sys
+import threading
+
+from .server import AnalysisServer, ServerConfig
+
+__all__ = ["serve_socket", "serve_stdio", "serve_connection"]
+
+#: Socket receive chunk size.  Deliberately small enough that frames
+#: regularly split across reads — the decoder's resync path is exercised
+#: in production, not just in tests.
+RECV_CHUNK = 4096
+
+
+def serve_connection(server: AnalysisServer, sock: socket.socket) -> dict:
+    """Pump one socket until EOF through a fresh server connection.
+
+    Separated from the accept loop so tests can drive it directly with
+    ``socket.socketpair()``.  Returns per-connection stats.
+    """
+    connection = server.connection()
+    bytes_in = bytes_out = 0
+    while True:
+        try:
+            data = sock.recv(RECV_CHUNK)
+        except OSError:
+            break
+        if not data:
+            break
+        bytes_in += len(data)
+        responses = connection.handle_bytes(data)
+        if responses:
+            bytes_out += len(responses)
+            try:
+                sock.sendall(responses)
+            except OSError:
+                break
+    # EOF: reject (never zero-pad) a truncated trailing frame.
+    errors = connection.eof()
+    return {
+        "bytes_in": bytes_in,
+        "bytes_out": bytes_out,
+        "trailing_errors": [str(e) for e in errors],
+    }
+
+
+def _install_drain_handler(server: AnalysisServer, stop: threading.Event) -> None:
+    """SIGTERM/SIGINT → stop accepting, flush parked batches, log drain."""
+
+    def _drain(signum, frame):  # pragma: no cover - signal timing
+        stop.set()
+        summary = server.shutdown()
+        summary["signal"] = signal.Signals(signum).name
+        print(json.dumps({"drain": summary}, sort_keys=True), file=sys.stderr)
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+    except ValueError:
+        # Not the main thread (embedded/test use): drain stays manual.
+        pass
+
+
+def serve_socket(
+    config: ServerConfig,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_connections: int | None = None,
+    ready: "threading.Event | None" = None,
+    bound_port: "list[int] | None" = None,
+) -> dict:
+    """Listen on ``host:port`` and serve until SIGTERM (or connection cap).
+
+    ``port=0`` binds an ephemeral port; the chosen port is appended to
+    ``bound_port`` (if given) and announced on stderr, and ``ready`` is
+    set once the listener accepts connections — both exist so a CI job
+    can boot the server in a thread/subprocess without a race.
+    ``max_connections`` bounds the accept loop for tests and one-shot CI
+    jobs; production leaves it ``None`` and exits on signal.
+    """
+    server = AnalysisServer(config)
+    stop = threading.Event()
+    _install_drain_handler(server, stop)
+    listener = socket.create_server((host, port))
+    listener.settimeout(0.2)  # poll the stop flag between accepts
+    actual_port = listener.getsockname()[1]
+    if bound_port is not None:
+        bound_port.append(actual_port)
+    print(
+        json.dumps({"listening": {"host": host, "port": actual_port}}),
+        file=sys.stderr,
+        flush=True,
+    )
+    if ready is not None:
+        ready.set()
+    served = 0
+    connections: list[dict] = []
+    try:
+        while not stop.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with conn:
+                connections.append(serve_connection(server, conn))
+            served += 1
+            if max_connections is not None and served >= max_connections:
+                break
+    finally:
+        listener.close()
+    if not server.drained:
+        server.shutdown()
+    return {
+        "port": actual_port,
+        "connections_served": served,
+        "connection_stats": connections,
+        "sessions": len(server.sessions),
+    }
+
+
+def serve_stdio(
+    config: ServerConfig,
+    *,
+    stdin=None,
+    stdout=None,
+) -> dict:
+    """Serve one connection over stdin/stdout until EOF or SIGTERM.
+
+    ``stdin``/``stdout`` default to the process's binary standard
+    streams; tests pass :class:`io.BytesIO` pairs.
+    """
+    server = AnalysisServer(config)
+    stop = threading.Event()
+    _install_drain_handler(server, stop)
+    reader = stdin if stdin is not None else sys.stdin.buffer
+    writer = stdout if stdout is not None else sys.stdout.buffer
+    connection = server.connection()
+    frames_out = 0
+    while not stop.is_set():
+        data = reader.read(RECV_CHUNK)
+        if not data:
+            break
+        responses = connection.handle_bytes(data)
+        if responses:
+            frames_out += 1
+            writer.write(responses)
+            writer.flush()
+    errors = connection.eof()
+    if not server.drained:
+        server.shutdown()
+    return {
+        "sessions": len(server.sessions),
+        "trailing_errors": [str(e) for e in errors],
+    }

@@ -1,0 +1,280 @@
+"""The analysis server: sessions, ordering, backpressure, finding stream.
+
+One :class:`AnalysisServer` hosts many client sessions.  Each session is
+one analysis run: its own :class:`~repro.serve.supervisor.Supervisor`
+(sharded detector state — two clients' address spaces must never mix) and
+its own :class:`~repro.forensics.ledger.DeliveryLedger`.
+
+**Ordering.**  Findings must be independent of transport mischief, so the
+server applies EVENT frames strictly in sequence order.  A frame arriving
+early (gap before it) parks in a bounded reorder buffer; a frame arriving
+twice is acknowledged again and dropped (the ACK, not the frame, is what
+the client needs); a gap elicits a NACK naming the next expected sequence
+number so the client can retransmit without waiting for a timeout.
+
+**Backpressure.**  The reorder buffer is the inbound queue, and it is
+bounded.  When a slow or lossy client overflows it, the server *sheds the
+parked frame* — which is recoverable, the client still holds it — and
+marks the session ``DEGRADED`` in the finding stream.  Findings are never
+shed: degradation costs latency and a marker, not results.
+
+**Drain.**  FIN (and SIGTERM, via :meth:`AnalysisServer.shutdown`) flushes
+every shard's parked columnar batch before findings are collected, so an
+in-flight batch can never be lost to shutdown timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..events.wire import Frame, FrameDecoder, FrameKind, json_payload
+from ..forensics.ledger import DeliveryLedger
+from ..telemetry import registry as _telemetry
+from .supervisor import Supervisor
+
+__all__ = ["AnalysisServer", "ServerConfig", "ServerConnection"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Server-wide shape of every session's detector stack."""
+
+    n_shards: int = 4
+    engine: str = "columnar"
+    tools: tuple[str, ...] = ("arbalest",)
+    #: Reorder-buffer (inbound queue) capacity per session, in frames.
+    queue_cap: int = 256
+
+
+@dataclass
+class _Session:
+    """One client's run: detector shards, ordering state, delivery ledger."""
+
+    client_id: int
+    supervisor: Supervisor
+    ledger: DeliveryLedger = field(default_factory=DeliveryLedger)
+    meta: dict = field(default_factory=dict)
+    next_seq: int = 0
+    reorder: dict[int, dict] = field(default_factory=dict)
+    finished: bool = False
+    degraded: bool = False
+    out_seq: int = 0
+    dup_frames: int = 0
+    shed_frames: int = 0
+    nacks_sent: int = 0
+
+    def reply(self, kind: FrameKind, payload: bytes = b"", *, seq: int | None = None) -> Frame:
+        if seq is None:
+            seq = self.out_seq
+            self.out_seq += 1
+        return Frame(kind, self.client_id, seq, payload)
+
+
+class AnalysisServer:
+    """Frame-in, frames-out protocol engine (transport-agnostic)."""
+
+    def __init__(self, config: ServerConfig | None = None):
+        self.config = config or ServerConfig()
+        self.sessions: dict[int, _Session] = {}
+        self.frames_handled = 0
+        self.drained = False
+
+    # -- sessions ----------------------------------------------------------
+
+    def session(self, client_id: int) -> _Session:
+        session = self.sessions.get(client_id)
+        if session is None:
+            session = _Session(
+                client_id=client_id,
+                supervisor=Supervisor(
+                    n_shards=self.config.n_shards,
+                    engine=self.config.engine,
+                    tools=self.config.tools,
+                ),
+            )
+            self.sessions[client_id] = session
+        return session
+
+    # -- frame handling ----------------------------------------------------
+
+    def handle_frame(self, frame: Frame) -> list[Frame]:
+        """Process one inbound frame; returns the response frames."""
+        self.frames_handled += 1
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            telemetry.count(f"serve.frames.{frame.kind.name.lower()}")
+        if frame.kind is FrameKind.HELLO:
+            session = self.session(frame.client_id)
+            if frame.payload and not session.meta:
+                session.meta = frame.json()
+            return [session.reply(FrameKind.ACK, seq=frame.seq)]
+        if frame.kind is FrameKind.EVENT:
+            return self._handle_event(frame)
+        if frame.kind is FrameKind.FIN:
+            return self._handle_fin(frame)
+        return [
+            Frame(
+                FrameKind.ERROR,
+                frame.client_id,
+                frame.seq,
+                json_payload(
+                    {"error": f"unexpected {frame.kind.name} frame from client"}
+                ),
+            )
+        ]
+
+    def _handle_event(self, frame: Frame) -> list[Frame]:
+        session = self.session(frame.client_id)
+        if session.finished:
+            return [
+                session.reply(
+                    FrameKind.ERROR,
+                    json_payload({"error": "session already finished"}),
+                )
+            ]
+        seq = frame.seq
+        if seq < session.next_seq:
+            # Idempotent re-delivery of an *applied* frame: the client
+            # lost our ACK (or the transport duplicated the frame).
+            # Re-acknowledge with the cumulative watermark, drop the copy.
+            session.dup_frames += 1
+            telemetry = _telemetry.ACTIVE
+            if telemetry is not None:
+                telemetry.count("serve.dup_frames")
+            return [session.reply(FrameKind.ACK, seq=session.next_seq - 1)]
+        if seq in session.reorder:
+            # Duplicate of a *parked* frame.  Parked is not applied: an
+            # ACK here would claim durability the gap denies, so renew
+            # the NACK for the sequence number actually missing.
+            session.dup_frames += 1
+            session.nacks_sent += 1
+            return [session.reply(FrameKind.NACK, seq=session.next_seq)]
+        if seq > session.next_seq:
+            if len(session.reorder) >= self.config.queue_cap:
+                # Backpressure: shed the parked frame (the client still
+                # holds it) and mark the stream DEGRADED — latency is
+                # sacrificed, findings are not.
+                session.shed_frames += 1
+                if not session.degraded:
+                    session.degraded = True
+                    session.ledger.mark_degraded(
+                        f"reorder buffer overflow at seq {seq} "
+                        f"(cap {self.config.queue_cap}): frame shed, "
+                        "retransmission required"
+                    )
+                telemetry = _telemetry.ACTIVE
+                if telemetry is not None:
+                    telemetry.count("serve.shed_frames")
+            else:
+                session.reorder[seq] = frame.json()
+            session.nacks_sent += 1
+            return [session.reply(FrameKind.NACK, seq=session.next_seq)]
+        # In-order: apply, then drain everything the gap was blocking.
+        session.supervisor.dispatch(session.client_id, seq, frame.json())
+        session.next_seq += 1
+        while session.next_seq in session.reorder:
+            event = session.reorder.pop(session.next_seq)
+            session.supervisor.dispatch(
+                session.client_id, session.next_seq, event
+            )
+            session.next_seq += 1
+        # Cumulative acknowledgement of everything applied so far.
+        return [session.reply(FrameKind.ACK, seq=session.next_seq - 1)]
+
+    def _handle_fin(self, frame: Frame) -> list[Frame]:
+        session = self.session(frame.client_id)
+        if session.finished:
+            return [session.reply(FrameKind.ACK, seq=frame.seq)]
+        if frame.seq != session.next_seq or session.reorder:
+            # The stream has holes: the client must retransmit before the
+            # session can close — finishing now would drop findings.
+            session.nacks_sent += 1
+            return [session.reply(FrameKind.NACK, seq=session.next_seq)]
+        session.finished = True
+        supervisor = session.supervisor
+        supervisor.drain()
+        for shard, tool, finding, count in supervisor.findings():
+            session.ledger.offer(tool, finding, count, shard=shard)
+        responses = [session.reply(FrameKind.ACK, seq=frame.seq)]
+        stream: list[tuple[int, Frame]] = []
+        for entry in session.ledger.delivered:
+            stream.append(
+                (
+                    entry["position"],
+                    session.reply(FrameKind.FINDING, json_payload(entry)),
+                )
+            )
+        for marker in session.ledger.markers:
+            stream.append(
+                (
+                    marker["position"],
+                    session.reply(FrameKind.DEGRADED, json_payload(marker)),
+                )
+            )
+        responses += [f for _, f in sorted(stream, key=lambda x: x[0])]
+        responses.append(
+            session.reply(FrameKind.RESULT, json_payload(self._result(session)))
+        )
+        return responses
+
+    def _result(self, session: _Session) -> dict:
+        sup = session.supervisor.stats()
+        return {
+            "events": session.supervisor.events_delivered,
+            "findings": len(session.ledger.delivered),
+            "suppressed_duplicates": session.ledger.suppressed_duplicates,
+            "degraded": session.degraded,
+            "degraded_markers": len(session.ledger.markers),
+            "dup_frames": session.dup_frames,
+            "shed_frames": session.shed_frames,
+            "nacks_sent": session.nacks_sent,
+            "worker_restarts": sup["worker_restarts"],
+            "duplicate_deliveries_dropped": sup["duplicates_dropped"],
+            "shards": len(session.supervisor.workers),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self) -> dict:
+        """Graceful drain (the SIGTERM path): flush every parked batch.
+
+        Findings already computed stay available; unfinished sessions get
+        their columnar batches flushed so no parked access is lost, and
+        the per-session stats are returned for the shutdown log line.
+        """
+        for session in self.sessions.values():
+            if not session.finished:
+                session.supervisor.drain()
+        self.drained = True
+        return {
+            "sessions": len(self.sessions),
+            "unfinished": sum(
+                1 for s in self.sessions.values() if not s.finished
+            ),
+        }
+
+    def connection(self) -> "ServerConnection":
+        """A byte-level connection adapter (one per transport connection)."""
+        return ServerConnection(self)
+
+
+class ServerConnection:
+    """Byte-stream adapter: decoder in, encoded response frames out."""
+
+    def __init__(self, server: AnalysisServer):
+        self.server = server
+        self.decoder = FrameDecoder()
+
+    def handle_bytes(self, data: bytes) -> bytes:
+        """Feed raw transport bytes; returns the encoded responses."""
+        from ..events.wire import encode_frame
+
+        out = bytearray()
+        for frame in self.decoder.feed(data):
+            for response in self.server.handle_frame(frame):
+                out.extend(encode_frame(response))
+        return bytes(out)
+
+    def eof(self) -> list:
+        """End of stream: reject (never pad) any truncated trailing frame."""
+        return self.decoder.eof()

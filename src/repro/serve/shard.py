@@ -1,0 +1,261 @@
+"""One shard worker: a full detector stack over a slice of address space.
+
+A :class:`ShardWorker` owns a fresh :class:`~repro.events.bus.ToolBus`
+(columnar by default — the batched numpy engine is the whole reason
+sharded batch feeding is fast) with its own tool instances.  It consumes
+journaled event frames, applies them to the bus, and exposes its tools'
+findings.
+
+Crash semantics are explicit, because the chaos campaign injects them at
+every possible point: :exc:`WorkerCrash` models the worker process dying
+mid-delivery.  ``crash_phase="pre"`` dies before the frame reaches the
+journal (the frame is lost with the worker and must be redelivered);
+``crash_phase="post"`` dies after journal+apply but before the ACK (the
+supervisor redelivers, and the journal's ``(client, seq)`` dedup makes the
+redelivery a no-op).  Both interleavings must — and do — converge to the
+same detector state after :meth:`restart` replays the journal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..core.detector import Arbalest
+from ..events.bus import ToolBus
+from ..events.records import (
+    Access,
+    AllocationEvent,
+    DataOp,
+    DataOpKind,
+    FlushEvent,
+    KernelEvent,
+    MemcpyEvent,
+    SyncEvent,
+)
+from ..events.trace_io import event_from_json
+from ..forensics.recorder import FlightRecorder, scope as _forensics_scope
+from ..telemetry import registry as _telemetry
+from ..tools.archer import ArcherTool
+from ..tools.asan import AsanTool
+from ..tools.base import Tool
+from ..tools.findings import Finding
+from ..tools.msan import MsanTool
+from ..tools.valgrind import ValgrindTool
+from .journal import ShardJournal
+
+__all__ = [
+    "ShardWorker",
+    "WorkerCrash",
+    "DEFAULT_TOOLS",
+    "register_forensic_ranges",
+]
+
+#: Tool factories the server can host, mirroring the harness's Table III
+#: set but defined here (from the tool modules directly) so the serve
+#: package never imports the harness.
+DEFAULT_TOOLS: dict[str, Callable[[], Tool]] = {
+    "arbalest": Arbalest,
+    "valgrind": ValgrindTool,
+    "archer": ArcherTool,
+    "asan": AsanTool,
+    "msan": MsanTool,
+}
+
+
+class WorkerCrash(RuntimeError):
+    """A shard worker died mid-delivery (injected or real)."""
+
+
+def register_forensic_ranges(recorder: FlightRecorder, event) -> None:
+    """Rebuild the live runtime's address index from a streamed trace.
+
+    Findings name their variable through the flight recorder's address
+    index, and the live runtime populates that index out of band (at
+    ``HostArray`` creation and present-table insertion) — calls a trace
+    replay never sees.  This mirrors each registration from the events
+    that *are* in the trace, so served findings fingerprint identically
+    to in-process ones:
+
+    * a host (device 0) allocation carries the array name as its label —
+      register it verbatim;
+    * a device CV is named after its OV, **not** after its allocation
+      label (device allocs are labelled ``name(CV)`` / ``name(image)``),
+      so CV ranges register at the ``ALLOC`` data op by resolving the OV
+      address against the already-registered host range;
+    * frees and ``DELETE`` data ops retire ranges, keeping allocator
+      reuse from mis-attributing and letting use-after-unmap findings
+      still name the departed variable.
+    """
+    if type(event) is AllocationEvent:
+        if event.is_free:
+            recorder.release_range(event.device_id, event.address)
+        elif event.device_id == 0 and event.label:
+            recorder.register_range(0, event.address, event.nbytes, event.label)
+    elif type(event) is DataOp:
+        if event.kind is DataOpKind.ALLOC:
+            name = recorder.resolve(0, event.ov_address)
+            if name:
+                recorder.register_range(
+                    event.device_id, event.cv_address, event.nbytes, name
+                )
+        elif event.kind is DataOpKind.DELETE:
+            recorder.release_range(event.device_id, event.cv_address)
+
+
+class ShardWorker:
+    """One shard of detector state, restartable from its journal."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        engine: str = "columnar",
+        tools: Iterable[str] = ("arbalest",),
+        journal: ShardJournal | None = None,
+        recorder: FlightRecorder | None = None,
+    ):
+        self.shard_id = shard_id
+        self.engine = engine
+        #: A session-level recorder shared with sibling shards (the
+        #: supervisor passes one), or ``None`` for a private per-worker
+        #: one.  Sharing matters for attribution: an overrun access can
+        #: fault inside a range whose events route to a *different*
+        #: shard, and only a shared address index can still name it.
+        self._shared_recorder = recorder
+        self.tool_names = tuple(tools)
+        unknown = [t for t in self.tool_names if t not in DEFAULT_TOOLS]
+        if unknown:
+            raise ValueError(
+                f"unknown tool(s) {', '.join(unknown)} "
+                f"(valid choices: {', '.join(sorted(DEFAULT_TOOLS))})"
+            )
+        self.journal = journal if journal is not None else ShardJournal(shard_id)
+        self.alive = False
+        self.restarts = 0
+        self.replayed_events = 0
+        self.applied = 0
+        self._boot()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _boot(self) -> None:
+        """Build a fresh bus + tool stack (initial boot and every restart)."""
+        self.bus = ToolBus(engine=self.engine)
+        # Variable attribution must match the in-process golden path.  A
+        # shared (supervisor-owned) recorder survives worker crashes —
+        # journal replay's re-registrations are idempotent in effect
+        # (same ranges, same names, most-recent-wins resolution); a
+        # private recorder is rebuilt from the journal like everything
+        # else.
+        self.recorder = (
+            self._shared_recorder
+            if self._shared_recorder is not None
+            else FlightRecorder()
+        )
+        self.tools: dict[str, Tool] = {}
+        for name in self.tool_names:
+            tool = DEFAULT_TOOLS[name]()
+            self.bus.attach(tool)
+            self.tools[name] = tool
+        self._dispatch = {
+            Access: self.bus.publish_access,
+            DataOp: self.bus.publish_data_op,
+            MemcpyEvent: self.bus.publish_memcpy,
+            KernelEvent: self.bus.publish_kernel,
+            AllocationEvent: self.bus.publish_allocation,
+            SyncEvent: self.bus.publish_sync,
+            FlushEvent: self.bus.publish_flush,
+        }
+        self.alive = True
+
+    def crash(self) -> None:
+        """Model the worker process dying; detector state is gone."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Supervisor-driven restart: fresh stack, replay the journal.
+
+        The journal holds exactly the acknowledged (and possibly some
+        journaled-but-unacked) frames in append order; replaying them
+        rebuilds the detector state those acknowledgements promised.
+        """
+        self.restarts += 1
+        replayed = 0
+        self._boot()
+        for _client, _seq, event_json in self.journal.replay():
+            self._apply(event_json)
+            replayed += 1
+        self.replayed_events += replayed
+        telemetry = _telemetry.ACTIVE
+        if telemetry is not None:
+            telemetry.count("serve.worker_restarts")
+            telemetry.count("serve.replayed_events", replayed)
+
+    # -- delivery ----------------------------------------------------------
+
+    def _apply(self, event_json: dict) -> None:
+        event = event_from_json(event_json)
+        register_forensic_ranges(self.recorder, event)
+        with _forensics_scope(self.recorder):
+            self._dispatch[type(event)](event)
+        self.applied += 1
+
+    def deliver(
+        self,
+        client: int,
+        seq: int,
+        event_json: dict,
+        *,
+        crash_phase: str | None = None,
+    ) -> bool:
+        """Journal + apply one frame; returns ``False`` for a duplicate.
+
+        ``crash_phase`` is the chaos hook: ``"pre"`` crashes before the
+        journal sees the frame, ``"post"`` after journal+apply but before
+        the acknowledgement — the two interleavings a real worker death
+        can produce.
+        """
+        if not self.alive:
+            raise WorkerCrash(f"shard {self.shard_id} is down")
+        if crash_phase == "pre":
+            self.crash()
+            raise WorkerCrash(
+                f"shard {self.shard_id} killed before journaling seq {seq}"
+            )
+        if not self.journal.record(client, seq, event_json):
+            return False  # idempotent re-delivery
+        self._apply(event_json)
+        if crash_phase == "post":
+            self.crash()
+            raise WorkerCrash(
+                f"shard {self.shard_id} killed after journaling seq {seq}, "
+                "before acknowledging it"
+            )
+        self.journal.mark_acked(client, seq)
+        return True
+
+    def drain(self) -> None:
+        """Flush any parked columnar batch (graceful-drain path)."""
+        with _forensics_scope(self.recorder):
+            self.bus.flush_batch()
+
+    # -- results -----------------------------------------------------------
+
+    def findings(self) -> list[tuple[str, Finding, int]]:
+        """Every tool finding with its per-site count, in tool order."""
+        self.drain()
+        out: list[tuple[str, Finding, int]] = []
+        for name in self.tool_names:
+            for finding, count in self.tools[name].findings_with_counts():
+                out.append((name, finding, count))
+        return out
+
+    def stats(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "alive": self.alive,
+            "restarts": self.restarts,
+            "replayed_events": self.replayed_events,
+            "applied": self.applied,
+            "journal": self.journal.stats(),
+        }

@@ -1,0 +1,174 @@
+"""The shard supervisor: routing, worker restarts, redelivery.
+
+The supervisor is the component that turns "a worker crashed" from an
+outage into a non-event.  It owns the shard workers, routes every inbound
+event frame to the shard(s) whose address ranges it touches (kernel and
+sync events broadcast — they carry the epoch structure every shard's race
+checker needs), and wraps each delivery in the restart protocol:
+
+* a :exc:`~repro.serve.shard.WorkerCrash` during delivery triggers an
+  immediate restart of that worker — fresh tool stack, journal replay up
+  to the last acknowledged frame — followed by redelivery of the frame
+  that was in flight;
+* redelivery is idempotent by construction (journal dedup on
+  ``(client, seq)``), so it does not matter whether the crash happened
+  before or after the frame reached the journal;
+* a worker that keeps dying on one frame exhausts
+  :data:`MAX_DELIVERY_RETRIES` and surfaces a hard error — the supervisor
+  never spins forever and never silently skips a frame.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..forensics.recorder import FlightRecorder
+from ..telemetry import registry as _telemetry
+from ..tools.findings import Finding
+from .router import AddressRouter
+from .shard import ShardWorker, WorkerCrash
+
+__all__ = ["Supervisor", "MAX_DELIVERY_RETRIES"]
+
+#: Restart-and-redeliver attempts per (frame, shard) before giving up.
+MAX_DELIVERY_RETRIES = 4
+
+
+class Supervisor:
+    """Routes frames to shard workers and keeps the workers alive."""
+
+    def __init__(
+        self,
+        *,
+        n_shards: int = 4,
+        engine: str = "columnar",
+        tools: Iterable[str] = ("arbalest",),
+    ):
+        self.router = AddressRouter(n_shards)
+        #: The session's address-to-variable index, shared by all shard
+        #: workers.  It is supervisor state, not worker state: a worker
+        #: crash wipes detector state (rebuilt from the journal) but not
+        #: attribution, and a finding on one shard can name a variable
+        #: whose mapping events routed to another (overrun attribution
+        #: crosses shard boundaries).
+        self.recorder = FlightRecorder()
+        self.workers = [
+            ShardWorker(i, engine=engine, tools=tools, recorder=self.recorder)
+            for i in range(n_shards)
+        ]
+        #: Delivery-attempt occurrence index -> crash phase ("pre"/"post"),
+        #: installed by the chaos harness.  Consulted once per (frame,
+        #: shard) delivery attempt, in deterministic order.
+        self.kill_schedule: dict[int, str] = {}
+        self.delivery_attempts = 0
+        self.duplicates_dropped = 0
+        self.worker_restarts = 0
+        self.events_delivered = 0
+
+    # -- routing -----------------------------------------------------------
+
+    def shards_for(self, event_json: dict) -> tuple[int, ...]:
+        """The shard ids an event must reach, in ascending order."""
+        tag = event_json["t"]
+        router = self.router
+        if tag == "access":
+            return (router.route(event_json["addr"]),)
+        if tag == "alloc":
+            # Allocations broadcast: they are rare, every shard's extent
+            # map needs them, and broadcasting is what makes the router's
+            # CV rebind (see AddressRouter.bind) safe — the new owner of
+            # a rebound range has already seen its allocation.
+            if not event_json["free"]:
+                router.claim(event_json["addr"], event_json["n"])
+            return tuple(range(len(self.workers)))
+        if tag == "data_op":
+            pair = router.bind(
+                event_json["ov"], event_json["cv"], event_json["n"]
+            )
+            return tuple(sorted(set(pair)))
+        if tag == "memcpy":
+            return tuple(
+                sorted(
+                    {
+                        router.route(event_json["dst"]),
+                        router.route(event_json["src"]),
+                    }
+                )
+            )
+        if tag == "flush":
+            if event_json["addr"]:
+                return (router.route(event_json["addr"]),)
+            return tuple(range(len(self.workers)))
+        # kernel / sync: epoch structure, every shard's race checker needs it
+        return tuple(range(len(self.workers)))
+
+    # -- delivery ----------------------------------------------------------
+
+    def _deliver_to(self, shard_id: int, client: int, seq: int, event: dict) -> None:
+        """Deliver one frame to one shard, surviving worker crashes."""
+        worker = self.workers[shard_id]
+        for _attempt in range(MAX_DELIVERY_RETRIES + 1):
+            self.delivery_attempts += 1
+            crash_phase = self.kill_schedule.pop(self.delivery_attempts, None)
+            try:
+                if not worker.alive:
+                    # Died outside a delivery (e.g. drained mid-crash):
+                    # restart before touching it.
+                    worker.restart()
+                    self.worker_restarts += 1
+                fresh = worker.deliver(
+                    client, seq, event, crash_phase=crash_phase
+                )
+                if not fresh:
+                    self.duplicates_dropped += 1
+                return
+            except WorkerCrash:
+                worker.restart()
+                self.worker_restarts += 1
+                telemetry = _telemetry.ACTIVE
+                if telemetry is not None:
+                    telemetry.count("serve.crash_redeliveries")
+                continue  # redeliver the in-flight frame
+        raise RuntimeError(  # pragma: no cover - requires a poisoned frame
+            f"shard {shard_id} failed {MAX_DELIVERY_RETRIES + 1} delivery "
+            f"attempts for (client={client}, seq={seq})"
+        )
+
+    def dispatch(self, client: int, seq: int, event_json: dict) -> None:
+        """Route one in-order frame to every shard it concerns."""
+        for shard_id in self.shards_for(event_json):
+            self._deliver_to(shard_id, client, seq, event_json)
+        self.events_delivered += 1
+
+    # -- drain / results ---------------------------------------------------
+
+    def drain(self) -> None:
+        """Flush every shard's parked columnar batch (SIGTERM/FIN path)."""
+        for worker in self.workers:
+            if not worker.alive:
+                worker.restart()
+                self.worker_restarts += 1
+            worker.drain()
+
+    def findings(self) -> list[tuple[int, str, Finding, int]]:
+        """All shards' findings as ``(shard, tool, finding, count)`` rows.
+
+        Shard order (then tool order, then report order) — deterministic,
+        so the server's finding stream is reproducible run to run.
+        """
+        self.drain()
+        rows: list[tuple[int, str, Finding, int]] = []
+        for worker in self.workers:
+            for tool, finding, count in worker.findings():
+                rows.append((worker.shard_id, tool, finding, count))
+        return rows
+
+    def stats(self) -> dict:
+        return {
+            "shards": [w.stats() for w in self.workers],
+            "router": self.router.stats(),
+            "delivery_attempts": self.delivery_attempts,
+            "events_delivered": self.events_delivered,
+            "duplicates_dropped": self.duplicates_dropped,
+            "worker_restarts": self.worker_restarts,
+        }

@@ -1,0 +1,79 @@
+"""Transports: the loopback pipe (with chaos hooks) for in-process serving.
+
+:class:`LoopbackTransport` is the reference transport — a synchronous
+byte pipe into an :class:`~repro.serve.server.AnalysisServer` connection.
+It is also the chaos injection point for the *wire*: a
+:class:`~repro.faults.plan.FaultPlan` containing frame faults perturbs
+client→server frames by occurrence index, exactly like the OMPT-stream
+faults of PR-2 but one layer down:
+
+* ``FRAME_DROP`` — the ``index``-th frame never arrives (no response
+  either; the client's retry path must recover it);
+* ``FRAME_DUP`` — the ``index``-th frame is delivered twice (the server's
+  ``(client, seq)`` dedup must drop the copy);
+* ``FRAME_REORDER`` — the ``index``-th frame is held and delivered after
+  its successor (the server's reorder buffer must untangle it).
+
+Socket and stdio transports live in :mod:`repro.serve.net`.
+"""
+
+from __future__ import annotations
+
+from ..faults.plan import FaultKind, FaultPlan
+from .server import AnalysisServer
+
+__all__ = ["LoopbackTransport"]
+
+
+class LoopbackTransport:
+    """Synchronous in-process pipe with deterministic frame faults."""
+
+    def __init__(self, server: AnalysisServer, plan: FaultPlan | None = None):
+        self.connection = server.connection()
+        self._sends = 0
+        self._held: bytes | None = None
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self._drop_at: set[int] = set()
+        self._dup_at: set[int] = set()
+        self._reorder_at: set[int] = set()
+        if plan is not None:
+            for fault in plan.faults:
+                if fault.kind is FaultKind.FRAME_DROP:
+                    self._drop_at.add(fault.index)
+                elif fault.kind is FaultKind.FRAME_DUP:
+                    self._dup_at.add(fault.index)
+                elif fault.kind is FaultKind.FRAME_REORDER:
+                    self._reorder_at.add(fault.index)
+
+    def send(self, data: bytes) -> bytes:
+        """One client→server frame, possibly perturbed; returns responses."""
+        self._sends += 1
+        index = self._sends
+        out = bytearray()
+        if index in self._reorder_at and self._held is None:
+            # Hold this frame; it rides behind the next one.
+            self._held = data
+            self.reordered += 1
+            return b""
+        if index in self._drop_at:
+            self.dropped += 1
+            # The frame vanishes in flight; any held frame stays held.
+            return b""
+        out.extend(self.connection.handle_bytes(data))
+        if index in self._dup_at:
+            self.duplicated += 1
+            out.extend(self.connection.handle_bytes(data))
+        if self._held is not None:
+            held, self._held = self._held, None
+            out.extend(self.connection.handle_bytes(held))
+        return bytes(out)
+
+    def stats(self) -> dict:
+        return {
+            "sends": self._sends,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+        }

@@ -166,6 +166,73 @@ class TestDamagedTraces:
         assert result.records_skipped == 1
 
 
+class TestStructuredWarnings:
+    def test_warning_carries_line_numbers_structurally(self):
+        with pytest.warns(TraceWarning) as record:
+            load_trace(damaged_trace())
+        warning = record[0].message
+        assert warning.line_numbers == (2,)
+        assert warning.errors[0][0] == 2
+        assert "truncated or corrupt JSON" in warning.errors[0][1]
+
+    def test_every_bad_line_is_listed(self):
+        good = event_to_json(SAMPLE_EVENTS[0])
+        import json as _json
+
+        lines = [
+            _json.dumps(good),
+            "not json",
+            _json.dumps(good),
+            '{"t": "access"}',
+            _json.dumps(good),
+        ]
+        with pytest.warns(TraceWarning) as record:
+            result = load_trace(io.StringIO("\n".join(lines) + "\n"))
+        assert record[0].message.line_numbers == (2, 4)
+        assert result.records_read == 3
+
+
+class TestDeclaredSizeValidation:
+    """Mangled-but-parseable records are rejected, never zero-padded."""
+
+    def _mangle(self, event, **overrides):
+        data = event_to_json(event)
+        data.update(overrides)
+        return data
+
+    @pytest.mark.parametrize("size", [0, -8])
+    def test_non_positive_access_size_rejected(self, size):
+        data = self._mangle(SAMPLE_EVENTS[0], size=size)
+        with pytest.raises(ValueError, match="rejected rather than zero-padded"):
+            event_from_json(data)
+
+    def test_boolean_size_is_not_an_integer(self):
+        # JSON `true` would satisfy isinstance(x, int) without the guard.
+        data = self._mangle(SAMPLE_EVENTS[0], size=True)
+        with pytest.raises(ValueError, match="must be an integer"):
+            event_from_json(data)
+
+    def test_negative_data_op_nbytes_rejected(self):
+        data = self._mangle(SAMPLE_EVENTS[1], n=-512)  # "n" is the wire key
+        with pytest.raises(ValueError, match="rejected rather than zero-padded"):
+            event_from_json(data)
+
+    def test_negative_address_rejected(self):
+        data = self._mangle(SAMPLE_EVENTS[0], addr=-1)
+        with pytest.raises(ValueError):
+            event_from_json(data)
+
+    def test_rejection_is_a_skipped_record_in_lenient_loads(self):
+        import json as _json
+
+        bad = self._mangle(SAMPLE_EVENTS[0], size=0)
+        source = io.StringIO(_json.dumps(bad) + "\n")
+        with pytest.warns(TraceWarning, match="malformed record"):
+            result = load_trace(source)
+        assert result.records_skipped == 1
+        assert result.events == []
+
+
 class TestOfflineEquivalence:
     """Recording a run and replaying the trace yields identical findings."""
 

@@ -8,6 +8,7 @@ from repro.forensics.diff import (
     diff_artifacts,
     diff_bench,
     diff_reports,
+    diff_serve_bench,
     load_artifact,
     render_diff,
 )
@@ -164,3 +165,95 @@ class TestRendering:
 
         parsed = parse_jsonl(to_jsonl(_report(_finding("aaa"))))
         assert parsed["findings"][0]["fingerprint"] == "aaa"
+
+
+def _serve_bench(
+    events_per_sec: float,
+    p99: float = 200.0,
+    *,
+    engine: str = "columnar",
+    delivery_ok: bool = True,
+) -> dict:
+    return {
+        "artifact": "serve-bench/1",
+        "suite": "buggy",
+        "engine": engine,
+        "delivery_ok": delivery_ok,
+        "summary": {
+            "events_per_sec": events_per_sec,
+            "p50_frame_latency_us": 30.0,
+            "p99_frame_latency_us": p99,
+            "max_frame_latency_us": p99 * 4,
+        },
+    }
+
+
+class TestServeBenchDiff:
+    def test_within_threshold_is_clean(self):
+        d = diff_serve_bench(_serve_bench(10000.0), _serve_bench(9800.0))
+        assert not d["regression"]
+
+    def test_throughput_drop_past_threshold_regresses(self):
+        d = diff_serve_bench(_serve_bench(10000.0), _serve_bench(9000.0))
+        assert d["regressions"] == ["events_per_sec"]
+        assert d["regression"]
+
+    def test_throughput_gain_never_regresses(self):
+        d = diff_serve_bench(_serve_bench(10000.0), _serve_bench(20000.0))
+        assert not d["regression"]
+
+    def test_p99_growth_regresses_but_p50_does_not(self):
+        old = _serve_bench(10000.0, p99=100.0)
+        new = _serve_bench(10000.0, p99=150.0)
+        new["summary"]["p50_frame_latency_us"] = 90.0  # p50 noise: ignored
+        d = diff_serve_bench(old, new)
+        assert d["regressions"] == ["p99_frame_latency_us"]
+
+    def test_delivery_failure_regresses_at_any_speed(self):
+        d = diff_serve_bench(
+            _serve_bench(10000.0), _serve_bench(99999.0, delivery_ok=False)
+        )
+        assert "delivery_ok" in d["regressions"]
+        assert d["regression"]
+
+    def test_cross_engine_diff_is_refused(self):
+        with pytest.raises(ValueError, match="different engines"):
+            diff_serve_bench(
+                _serve_bench(10000.0, engine="scalar"),
+                _serve_bench(10000.0, engine="columnar"),
+            )
+
+    def test_threshold_is_adjustable(self):
+        old, new = _serve_bench(10000.0), _serve_bench(9800.0)
+        assert diff_serve_bench(old, new, threshold=0.01)["regression"]
+
+    def test_sniffed_and_dispatched_from_files(self, tmp_path):
+        old_path = tmp_path / "old.json"
+        new_path = tmp_path / "new.json"
+        old_path.write_text(json.dumps(_serve_bench(10000.0)))
+        new_path.write_text(json.dumps(_serve_bench(9000.0)))
+        assert load_artifact(str(old_path))[0] == "serve-bench"
+        d = diff_artifacts(str(old_path), str(new_path))
+        assert d["type"] == "serve-bench"
+        assert d["regression"]
+
+    def test_serve_bench_never_diffs_against_report(self, tmp_path):
+        bench_path = tmp_path / "bench.json"
+        report_path = tmp_path / "report.jsonl"
+        bench_path.write_text(json.dumps(_serve_bench(10000.0)))
+        write_report(_report(_finding("aaa")), str(report_path))
+        with pytest.raises(ValueError, match="cannot diff"):
+            diff_artifacts(str(bench_path), str(report_path))
+
+    def test_render_marks_serve_regressions(self):
+        d = diff_serve_bench(_serve_bench(10000.0), _serve_bench(9000.0))
+        text = render_diff(d)
+        assert "events_per_sec" in text
+        assert "REGRESSION" in text
+        assert text.rstrip().endswith("regression")
+
+    def test_render_names_lost_findings(self):
+        d = diff_serve_bench(
+            _serve_bench(10000.0), _serve_bench(10000.0, delivery_ok=False)
+        )
+        assert "findings were lost" in render_diff(d)

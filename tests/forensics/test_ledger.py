@@ -1,0 +1,95 @@
+"""The delivery ledger: first-offer-wins dedup and guarantee verdicts."""
+
+from repro.events.source import SourceLocation
+from repro.forensics.ledger import DeliveryLedger
+from repro.tools.findings import Finding, FindingKind
+
+LOC = (SourceLocation("DRACC_OMP_023.c", 18, 5, "main"),)
+
+
+def finding(kind=FindingKind.BO, variable="a", line=18):
+    stack = (SourceLocation("DRACC_OMP_023.c", line, 5, "main"),)
+    return Finding(
+        tool="arbalest",
+        kind=kind,
+        message="past the mapped section",
+        device_id=1,
+        address=0x9000,
+        variable=variable,
+        stack=stack,
+    )
+
+
+class TestOffers:
+    def test_first_offer_is_delivered(self):
+        ledger = DeliveryLedger()
+        assert ledger.offer("arbalest", finding(), 3, shard=0)
+        (entry,) = ledger.delivered
+        assert entry["fingerprint"] == finding().fingerprint()
+        assert entry["count"] == 3
+        assert entry["shard"] == 0
+
+    def test_second_offer_is_suppressed_not_duplicated(self):
+        # One event can reach two shards; both may report the same bug.
+        ledger = DeliveryLedger()
+        ledger.offer("arbalest", finding(), 3, shard=0)
+        assert not ledger.offer("arbalest", finding(), 5, shard=1)
+        assert ledger.suppressed_duplicates == 1
+        (entry,) = ledger.delivered
+        assert entry["count"] == 5  # the larger per-site count wins
+        assert entry["offers"] == 2
+
+    def test_different_variables_are_distinct_deliveries(self):
+        ledger = DeliveryLedger()
+        ledger.offer("arbalest", finding(variable="a"), 1, shard=0)
+        ledger.offer("arbalest", finding(variable="b"), 1, shard=1)
+        assert len(ledger.delivered) == 2
+
+    def test_same_fingerprint_under_two_tools_delivers_twice(self):
+        ledger = DeliveryLedger()
+        ledger.offer("arbalest", finding(), 1, shard=0)
+        ledger.offer("valgrind", finding(), 1, shard=0)
+        assert len(ledger.fingerprints()) == 2
+
+
+class TestMarkers:
+    def test_degraded_markers_keep_stream_positions(self):
+        ledger = DeliveryLedger()
+        ledger.offer("arbalest", finding(variable="a"), 1, shard=0)
+        ledger.mark_degraded("reorder buffer overflow at seq 9")
+        ledger.offer("arbalest", finding(variable="b"), 1, shard=0)
+        positions = [e["position"] for e in ledger.delivered]
+        assert positions == [0, 2]
+        assert ledger.markers[0]["position"] == 1
+
+
+class TestVerdicts:
+    def test_exact_match_is_ok(self):
+        ledger = DeliveryLedger()
+        ledger.offer("arbalest", finding(), 1, shard=0)
+        verdict = ledger.verify_against(ledger.fingerprints())
+        assert verdict["ok"]
+        assert verdict["dropped"] == [] and verdict["unexpected"] == []
+
+    def test_dropped_finding_fails_the_verdict(self):
+        ledger = DeliveryLedger()
+        baseline = [("arbalest", finding().fingerprint())]
+        verdict = ledger.verify_against(baseline)
+        assert not verdict["ok"]
+        assert verdict["dropped"] == [list(baseline[0])]
+
+    def test_unexpected_finding_fails_the_verdict(self):
+        ledger = DeliveryLedger()
+        ledger.offer("arbalest", finding(), 1, shard=0)
+        verdict = ledger.verify_against([])
+        assert not verdict["ok"]
+        assert len(verdict["unexpected"]) == 1
+
+    def test_to_json_is_self_contained(self):
+        ledger = DeliveryLedger()
+        ledger.offer("arbalest", finding(), 2, shard=1)
+        ledger.mark_degraded("shed")
+        payload = ledger.to_json()
+        assert len(payload["delivered"]) == 1
+        assert len(payload["markers"]) == 1
+        assert payload["suppressed_duplicates"] == 0

@@ -1,0 +1,117 @@
+"""The serve client: deterministic backoff, repair passes, retry budget."""
+
+import pytest
+
+from repro.dracc import get
+from repro.faults.plan import FaultKind, FaultPlan, PlannedFault
+from repro.harness.serve import baseline_fingerprints, record_trace
+from repro.serve import (
+    AnalysisServer,
+    DeliveryError,
+    LoopbackTransport,
+    RetryPolicy,
+    ServeClient,
+    ServerConfig,
+)
+
+BENCH = 18
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return record_trace(get(BENCH))
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_per_attempt(self):
+        policy = RetryPolicy(seed=7)
+        assert [policy.delay(a) for a in range(1, 6)] == [
+            policy.delay(a) for a in range(1, 6)
+        ]
+
+    def test_delay_differs_across_seeds(self):
+        a = [RetryPolicy(seed=1).delay(n) for n in range(1, 8)]
+        b = [RetryPolicy(seed=2).delay(n) for n in range(1, 8)]
+        assert a != b
+
+    def test_delay_respects_the_cap(self):
+        policy = RetryPolicy(seed=0, base_ticks=1, cap_ticks=16)
+        for attempt in range(1, 40):
+            assert 1 <= policy.delay(attempt) <= 16
+
+    def test_jitter_spans_the_ceiling(self):
+        policy = RetryPolicy(seed=0, cap_ticks=64)
+        samples = {policy.delay(a) for a in range(1, 200)}
+        assert len(samples) > 10  # actually jittered, not constant
+
+
+class TestRepairPasses:
+    def test_dropped_frames_are_repaired(self, trace):
+        plan = FaultPlan(
+            seed=0,
+            faults=tuple(
+                PlannedFault(kind=FaultKind.FRAME_DROP, index=i)
+                for i in (3, 9, 27)
+            ),
+        )
+        server = AnalysisServer(ServerConfig(n_shards=2))
+        client = ServeClient(LoopbackTransport(server, plan), client_id=BENCH)
+        result = client.stream(trace)
+        assert result.retransmits > 0
+        assert result.backoff_ticks > 0
+        assert result.fingerprints() == baseline_fingerprints(trace)
+
+    def test_reordered_frames_need_no_repair_pass(self, trace):
+        plan = FaultPlan(
+            seed=0,
+            faults=(PlannedFault(kind=FaultKind.FRAME_REORDER, index=5),),
+        )
+        server = AnalysisServer(ServerConfig(n_shards=2))
+        client = ServeClient(LoopbackTransport(server, plan), client_id=BENCH)
+        result = client.stream(trace)
+        assert result.nacks_seen >= 1  # the gap elicited a NACK
+        assert result.fingerprints() == baseline_fingerprints(trace)
+
+    def test_forward_progress_resets_the_retry_budget(self, trace):
+        # More total drops than max_attempts, but spread out: each repair
+        # pass makes progress, so the budget never exhausts.
+        plan = FaultPlan(
+            seed=0,
+            faults=tuple(
+                PlannedFault(kind=FaultKind.FRAME_DROP, index=i)
+                for i in range(5, 50, 9)
+            ),
+        )
+        server = AnalysisServer(ServerConfig(n_shards=1))
+        client = ServeClient(
+            LoopbackTransport(server, plan),
+            client_id=BENCH,
+            policy=RetryPolicy(seed=BENCH, max_attempts=3),
+        )
+        assert client.stream(trace).fingerprints() == baseline_fingerprints(trace)
+
+
+class BlackHoleTransport:
+    """Accepts HELLO and the first pass, then eats every retransmission."""
+
+    def __init__(self, server):
+        self.connection = server.connection()
+        self._sends = 0
+
+    def send(self, data: bytes) -> bytes:
+        self._sends += 1
+        if self._sends == 1:
+            return self.connection.handle_bytes(data)  # HELLO gets through
+        return b""
+
+
+class TestGivingUp:
+    def test_delivery_error_when_budget_exhausts(self, trace):
+        server = AnalysisServer(ServerConfig(n_shards=1))
+        client = ServeClient(
+            BlackHoleTransport(server),
+            client_id=BENCH,
+            policy=RetryPolicy(seed=0, max_attempts=2),
+        )
+        with pytest.raises(DeliveryError, match="repair"):
+            client.stream(trace[:5])

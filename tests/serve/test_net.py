@@ -1,0 +1,121 @@
+"""Network front ends: socketpair and stdio smoke, graceful drain."""
+
+import io
+import socket
+import threading
+
+import pytest
+
+from repro.dracc import get
+from repro.events.trace_io import event_to_json
+from repro.events.wire import (
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    encode_frame,
+    json_payload,
+)
+from repro.harness.serve import baseline_fingerprints, record_trace
+from repro.serve import (
+    AnalysisServer,
+    ServerConfig,
+    serve_connection,
+    serve_stdio,
+)
+
+BENCH = 18
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return record_trace(get(BENCH))
+
+
+def session_bytes(trace) -> bytes:
+    """One whole well-ordered session as raw wire bytes."""
+    out = bytearray()
+    out += encode_frame(Frame(FrameKind.HELLO, BENCH, 0, json_payload({})))
+    for seq, event in enumerate(trace):
+        out += encode_frame(
+            Frame(FrameKind.EVENT, BENCH, seq, json_payload(event_to_json(event)))
+        )
+    out += encode_frame(Frame(FrameKind.FIN, BENCH, len(trace)))
+    return bytes(out)
+
+
+def delivered_fingerprints(raw_responses: bytes):
+    decoder = FrameDecoder()
+    findings = [
+        f.json()
+        for f in decoder.feed(raw_responses)
+        if f.kind is FrameKind.FINDING
+    ]
+    return tuple(sorted((f["tool"], f["fingerprint"]) for f in findings))
+
+
+class TestSocket:
+    def test_socketpair_session_end_to_end(self, trace):
+        server = AnalysisServer(ServerConfig(n_shards=2))
+        client_sock, server_sock = socket.socketpair()
+        received = bytearray()
+
+        def pump():
+            serve_connection(server, server_sock)
+            # EOF reached: signal the client we are done responding.
+            server_sock.shutdown(socket.SHUT_WR)
+
+        thread = threading.Thread(target=pump)
+        thread.start()
+        try:
+            client_sock.sendall(session_bytes(trace))
+            client_sock.shutdown(socket.SHUT_WR)
+            while True:
+                chunk = client_sock.recv(65536)
+                if not chunk:
+                    break
+                received.extend(chunk)
+        finally:
+            client_sock.close()
+            thread.join(timeout=10)
+            server_sock.close()
+        assert not thread.is_alive()
+        assert delivered_fingerprints(bytes(received)) == baseline_fingerprints(
+            trace
+        )
+
+    def test_truncated_stream_is_reported_at_eof(self):
+        server = AnalysisServer(ServerConfig(n_shards=1))
+        client_sock, server_sock = socket.socketpair()
+        frame = encode_frame(Frame(FrameKind.HELLO, 1, 0, json_payload({})))
+        client_sock.sendall(frame[:-3])  # crash-mid-write
+        client_sock.shutdown(socket.SHUT_WR)
+        stats = serve_connection(server, server_sock)
+        client_sock.close()
+        server_sock.close()
+        assert stats["trailing_errors"]
+
+
+class TestStdio:
+    def test_stdio_session_end_to_end(self, trace):
+        stdout = io.BytesIO()
+        stats = serve_stdio(
+            ServerConfig(n_shards=2),
+            stdin=io.BytesIO(session_bytes(trace)),
+            stdout=stdout,
+        )
+        assert stats["sessions"] == 1
+        assert not stats["trailing_errors"]
+        assert delivered_fingerprints(
+            stdout.getvalue()
+        ) == baseline_fingerprints(trace)
+
+    def test_stdio_drains_even_without_fin(self, trace):
+        # EOF before FIN: the shutdown path must flush parked batches.
+        raw = session_bytes(trace)
+        fin_size = len(encode_frame(Frame(FrameKind.FIN, BENCH, len(trace))))
+        stats = serve_stdio(
+            ServerConfig(n_shards=1),
+            stdin=io.BytesIO(raw[:-fin_size]),
+            stdout=io.BytesIO(),
+        )
+        assert stats["sessions"] == 1

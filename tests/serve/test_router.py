@@ -1,0 +1,85 @@
+"""Address-range sharding: claims, mapping-pair binding, overrun routing."""
+
+import pytest
+
+from repro.serve import AddressRouter
+
+
+class TestClaims:
+    def test_round_robin_assignment(self):
+        router = AddressRouter(3)
+        shards = [router.claim(base, 64) for base in (0x1000, 0x2000, 0x3000)]
+        assert shards == [0, 1, 2]
+
+    def test_reclaim_inside_existing_range_keeps_owner(self):
+        router = AddressRouter(4)
+        owner = router.claim(0x1000, 256)
+        # Address reuse after free: the old shard keeps the history.
+        assert router.claim(0x1040, 8) == owner
+        assert router.stats()["claims"] == 1
+
+    def test_claim_extends_past_existing_end(self):
+        router = AddressRouter(2)
+        owner = router.claim(0x1000, 64)
+        assert router.claim(0x1020, 256) == owner  # partial overlap grows it
+        assert router.route(0x1000 + 300) == owner
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ValueError):
+            AddressRouter(0)
+
+
+class TestRouting:
+    def test_containment_routes_to_owner(self):
+        router = AddressRouter(4)
+        owner = router.claim(0x4000, 128)
+        assert router.route(0x4000) == owner
+        assert router.route(0x407F) == owner
+
+    def test_overrun_routes_to_nearest_preceding_claim(self):
+        router = AddressRouter(4)
+        a = router.claim(0x1000, 64)
+        b = router.claim(0x8000, 64)
+        # Past a's end but before b: the overrun belongs to a's shard,
+        # which is the shard whose extent map watched the allocation.
+        assert router.route(0x1040) == a
+        assert router.route(0x8040) == b
+
+    def test_address_below_every_claim_routes_deterministically(self):
+        router = AddressRouter(4)
+        first = router.claim(0x9000, 64)
+        assert router.route(0x100) == first
+
+    def test_no_claims_at_all_routes_to_shard_zero(self):
+        assert AddressRouter(4).route(0xDEAD) == 0
+
+
+class TestBinding:
+    def test_bind_colocates_ov_and_cv(self):
+        router = AddressRouter(4)
+        ov_shard, cv_shard = router.bind(0x1000, 0x9000, 256)
+        assert ov_shard == cv_shard
+        assert router.route(0x1000) == router.route(0x9000)
+
+    def test_bind_rebinds_preclaimed_cv_to_ov_shard(self):
+        router = AddressRouter(4)
+        ov_shard = router.claim(0x1000, 256)       # host allocation
+        cv_shard = router.claim(0x9000, 256)       # device alloc, round-robin
+        assert cv_shard != ov_shard
+        assert router.bind(0x1000, 0x9000, 256) == (ov_shard, ov_shard)
+        assert router.route(0x9000) == ov_shard
+        assert router.stats()["rebinds"] == 1
+
+    def test_rebind_to_same_shard_is_not_counted(self):
+        router = AddressRouter(1)  # everything lands on shard 0 anyway
+        router.claim(0x1000, 64)
+        router.claim(0x9000, 64)
+        router.bind(0x1000, 0x9000, 64)
+        assert router.stats()["rebinds"] == 0
+
+    def test_rebound_range_keeps_the_larger_extent(self):
+        router = AddressRouter(4)
+        ov_shard = router.claim(0x1000, 64)
+        router.claim(0x9000, 1024)  # device allocated more than the section
+        router.bind(0x1000, 0x9000, 64)
+        assert router.route(0x9000 + 1000) == ov_shard

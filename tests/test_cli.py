@@ -47,7 +47,11 @@ class TestParser:
         assert args.schedules == 3
         assert args.faults == 6
         assert args.suite == "all"
-        assert args.output == "BENCH_chaos.json"
+        assert args.target == "runtime"
+        assert args.engine == "scalar"
+        # Resolved per-target at run time (BENCH_chaos.json vs
+        # BENCH_serve_chaos.json), so the parser default is None.
+        assert args.output is None
         assert not args.strict
 
     def test_profile_defaults(self):
@@ -72,6 +76,37 @@ class TestParser:
     def test_list_json_flag(self):
         assert build_parser().parse_args(["list", "--json"]).json
         assert not build_parser().parse_args(["list"]).json
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.suite == "buggy"
+        assert args.tools == "arbalest"
+        assert args.shards == 4
+        assert args.engine == "columnar"
+        assert args.queue_cap == 256
+        assert not args.bench
+        assert not args.socket
+        assert not args.stdio
+        assert args.port == 0
+        assert args.max_connections is None
+        assert args.output is None
+        assert args.report is None
+
+    def test_serve_engine_validation(self):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["serve", "--engine", "quantum"])
+        assert exc_info.value.code == 2
+
+    def test_chaos_target_and_engine(self):
+        args = build_parser().parse_args(
+            ["chaos", "--target", "serve", "--engine", "columnar", "--shards", "2"]
+        )
+        assert args.target == "serve"
+        assert args.engine == "columnar"
+        assert args.shards == 2
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["chaos", "--target", "kernel"])
+        assert exc_info.value.code == 2
 
 
 class TestCommands:
@@ -160,6 +195,19 @@ class TestCommands:
         assert err.count("\n") == 1
         assert "unknown suite 'bogus'" in err
         assert "all, buggy, clean" in err
+
+    def test_serve_unknown_suite_exits_2_with_one_line(self, capsys):
+        assert main(["serve", "--suite", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown suite 'bogus'" in err
+        assert "buggy, clean, all" in err
+
+    def test_serve_unknown_tool_exits_2_with_one_line(self, capsys):
+        assert main(["serve", "--tools", "arbalest,ghidra"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown tool(s) ghidra" in err
 
     def test_chaos_campaign(self, capsys, tmp_path):
         import json
