@@ -16,6 +16,8 @@
     python -m repro serve [--suite buggy]  # stream DRACC through the analysis server
     python -m repro serve --bench          # server throughput -> BENCH_serve.json
     python -m repro serve --socket         # long-lived TCP front end (SIGTERM drains)
+    python -m repro serve --socket --log-file serve.jsonl  # + structured JSONL log
+    python -m repro top --port 9000 --once # live per-shard table off /metrics
     python -m repro profile --suite dracc --benchmark 22   # telemetry -> trace.json
     python -m repro report [--suite buggy] # findings + provenance -> report.jsonl
     python -m repro diff old.jsonl new.jsonl  # cross-run regression gate
@@ -242,6 +244,9 @@ def _cmd_chaos_serve(args: argparse.Namespace) -> int:
             n_shards=args.shards,
             engine=args.engine,
             output=output,
+            observe=not args.no_observe,
+            trace_output=args.trace,
+            log_output=args.log_file,
         )
     except OSError as exc:
         print(f"repro chaos: error: {exc}", file=sys.stderr)
@@ -268,10 +273,31 @@ def _cmd_chaos_serve(args: argparse.Namespace) -> int:
         f"  crashes: {len(payload['crashes'])}, fingerprint mismatches: "
         f"{len(payload['fingerprint_mismatches'])}"
     )
+    observability = payload.get("observability", {})
+    if observability.get("enabled"):
+        arc = observability.get("healthz_arc")
+        print(
+            f"  watchdog: fired in "
+            f"{observability['watchdog_fired_runs']}/"
+            f"{observability['runs_with_redelivery']} redelivery runs, "
+            f"{observability['burn_events']} burns / "
+            f"{observability['clear_events']} clears, healthz arc "
+            + (" -> ".join(arc) if arc else "(none)")
+        )
+        trace = observability.get("trace")
+        if trace is not None and trace.get("path"):
+            print(
+                f"  stitched trace: {trace['spans']} spans "
+                f"({trace['replay_spans']} replay) across "
+                f"{len(trace['processes'])} processes -> {trace['path']}"
+            )
+        if observability.get("log_path"):
+            print(f"  structured log: {observability['log_path']}")
     print(f"wrote {output}")
     if not payload["ok"]:
         print(
-            "serve chaos campaign FAILED: delivery guarantee violated",
+            "serve chaos campaign FAILED: delivery or observability "
+            "guarantee violated",
             file=sys.stderr,
         )
         return 1
@@ -377,6 +403,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
 
     if args.socket or args.stdio:
+        from .observe import ServeObserver
         from .serve import ServerConfig, serve_socket, serve_stdio
 
         config = ServerConfig(
@@ -385,23 +412,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tools=tools,
             queue_cap=args.queue_cap,
         )
-        if args.socket:
-            stats = serve_socket(
-                config,
-                host=args.host,
-                port=args.port,
-                max_connections=args.max_connections,
-            )
-            print(
-                f"served {stats['connections_served']} connection(s), "
-                f"{stats['sessions']} session(s) on port {stats['port']}"
-            )
-        else:
-            stats = serve_stdio(config)
-            print(
-                f"served {stats['sessions']} session(s) over stdio",
-                file=sys.stderr,
-            )
+        observer = None
+        log_sink = None
+        try:
+            if not args.no_observe:
+                if args.log_file:
+                    try:
+                        log_sink = open(args.log_file, "w")
+                    except OSError as exc:
+                        print(f"repro serve: error: {exc}", file=sys.stderr)
+                        return 2
+                observer = ServeObserver(
+                    log_sink=log_sink if log_sink is not None else sys.stderr
+                )
+            if args.socket:
+                stats = serve_socket(
+                    config,
+                    host=args.host,
+                    port=args.port,
+                    max_connections=args.max_connections,
+                    observer=observer,
+                )
+                print(
+                    f"served {stats['connections_served']} connection(s), "
+                    f"{stats['sessions']} session(s) on port {stats['port']}"
+                )
+            else:
+                stats = serve_stdio(config, observer=observer)
+                print(
+                    f"served {stats['sessions']} session(s) over stdio",
+                    file=sys.stderr,
+                )
+        finally:
+            if log_sink is not None:
+                log_sink.close()
         return 0
 
     if args.bench:
@@ -415,6 +459,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 tools=tools,
                 queue_cap=args.queue_cap,
                 output=args.output or "BENCH_serve.json",
+                observe=not args.no_observe,
             )
         except OSError as exc:
             print(f"repro serve: error: {exc}", file=sys.stderr)
@@ -476,6 +521,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
         print(f"wrote {args.report}")
     return 0 if payload["ok"] else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .observe.top import run_top
+
+    try:
+        return run_top(
+            args.host,
+            args.port,
+            interval=args.interval,
+            iterations=args.iterations,
+            once=args.once,
+            json_output=args.json,
+            out=sys.stdout,
+        )
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"repro top: error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -735,6 +800,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write a forensics report (JSONL) of the un-faulted suite",
     )
+    px.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the stitched cross-process Chrome trace of a "
+        "worker-kill run (serve target only)",
+    )
+    px.add_argument(
+        "--log-file",
+        default=None,
+        metavar="PATH",
+        help="write the campaign's structured JSONL event log "
+        "(serve target only)",
+    )
+    px.add_argument(
+        "--no-observe",
+        action="store_true",
+        help="disable the observability layer during the campaign "
+        "(serve target only)",
+    )
     px.set_defaults(fn=_cmd_chaos)
 
     ps = sub.add_parser(
@@ -798,7 +883,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the delivered findings as a repro-report/1 JSONL "
         "(diffable against the in-process golden report)",
     )
+    ps.add_argument(
+        "--log-file",
+        default=None,
+        metavar="PATH",
+        help="write structured JSONL logs to PATH (default: stderr); "
+        "front ends only",
+    )
+    ps.add_argument(
+        "--no-observe",
+        action="store_true",
+        help="disable live observability (metrics/health/SLO watchdog) "
+        "on the front ends and the bench",
+    )
     ps.set_defaults(fn=_cmd_serve)
+
+    pt = sub.add_parser(
+        "top",
+        help="live per-shard view of a serving repro serve --socket process",
+    )
+    pt.add_argument("--host", default="127.0.0.1")
+    pt.add_argument("--port", type=int, required=True)
+    pt.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between scrapes (default: 1.0)",
+    )
+    pt.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N scrapes (default: until interrupted)",
+    )
+    pt.add_argument(
+        "--once",
+        action="store_true",
+        help="scrape once, print, exit (rates shown as '-')",
+    )
+    pt.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
+    pt.set_defaults(fn=_cmd_top)
 
     pp = sub.add_parser(
         "profile", help="one workload with full telemetry -> trace.json"

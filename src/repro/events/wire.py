@@ -24,13 +24,22 @@ Frame layout (network byte order)::
 
     offset  size  field
     0       2     magic  0xF7 0x52  ("\\xf7R")
-    2       1     wire version (1)
+    2       1     wire version (1 = bare, 2 = trace context follows)
     3       1     frame kind
     4       4     client id (u32)
     8       8     sequence number (u64)
     16      4     payload length (u32, <= MAX_PAYLOAD)
     20      4     CRC32 of the payload
-    24      len   payload (UTF-8 JSON unless empty)
+    [24     8     trace id (u64)        — version 2 only]
+    [32     4     span id (u32)         — version 2 only]
+    24/36   len   payload (UTF-8 JSON unless empty)
+
+Version 2 frames carry a :class:`TraceContext` — the distributed-tracing
+propagation field — between the header and the payload.  A frame without
+a context encodes as version 1, byte-identical to the pre-trace wire, so
+old captures decode unchanged and new decoders accept both; the payload
+length and CRC never cover the context, keeping the two versions'
+payload handling one code path.
 
 The decoder is *tolerant but never inventive*: a frame whose declared
 payload length disagrees with the bytes actually present is **rejected** —
@@ -52,11 +61,16 @@ from dataclasses import dataclass, field
 __all__ = [
     "MAGIC",
     "WIRE_VERSION",
+    "WIRE_VERSION_TRACE",
+    "SUPPORTED_VERSIONS",
     "HEADER",
     "HEADER_SIZE",
+    "TRACE_EXT",
+    "TRACE_EXT_SIZE",
     "MAX_PAYLOAD",
     "FrameKind",
     "Frame",
+    "TraceContext",
     "WireError",
     "FrameDecoder",
     "encode_frame",
@@ -67,12 +81,22 @@ __all__ = [
 #: Two magic bytes opening every frame; the resync scan looks for these.
 MAGIC = b"\xf7R"
 
-#: Wire format version, bumped on incompatible layout changes.
+#: Base wire format version: no trace context, the pre-observability wire.
 WIRE_VERSION = 1
+
+#: Wire version whose header is followed by a :class:`TraceContext`.
+WIRE_VERSION_TRACE = 2
+
+#: Every version this decoder accepts.
+SUPPORTED_VERSIONS = frozenset({WIRE_VERSION, WIRE_VERSION_TRACE})
 
 #: Frame header: magic, version, kind, client, seq, payload length, CRC32.
 HEADER = struct.Struct("!2sBBIQII")
 HEADER_SIZE = HEADER.size  # 24 bytes
+
+#: Version-2 trace-context extension: trace id (u64), span id (u32).
+TRACE_EXT = struct.Struct("!QI")
+TRACE_EXT_SIZE = TRACE_EXT.size  # 12 bytes
 
 #: Upper bound on a frame payload.  A declared length beyond this is treated
 #: as header corruption (resync), not as an instruction to buffer a gigabyte.
@@ -94,6 +118,25 @@ class FrameKind(enum.IntEnum):
 
 
 @dataclass(frozen=True)
+class TraceContext:
+    """The cross-process tracing context a version-2 frame propagates.
+
+    ``trace_id`` identifies the originating session (the client id, by
+    convention — one distributed trace per client session) and
+    ``span_id`` the sender-side span that emitted the frame (the client
+    span log's begin ordinal).  The receiver records both on its own
+    spans, which is what lets the stitcher prove the client span and the
+    server/shard spans describe the same frame.
+    """
+
+    trace_id: int
+    span_id: int
+
+    def to_json(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+
+@dataclass(frozen=True)
 class Frame:
     """One decoded wire frame."""
 
@@ -101,6 +144,8 @@ class Frame:
     client_id: int
     seq: int
     payload: bytes = b""
+    #: Propagated tracing context; ``None`` encodes as wire version 1.
+    trace: TraceContext | None = None
 
     def json(self) -> dict:
         """Decode the payload as a JSON object."""
@@ -120,23 +165,33 @@ class WireError:
 
 
 def encode_frame(frame: Frame) -> bytes:
-    """Serialize one frame, header + payload."""
+    """Serialize one frame: header, optional trace context, payload.
+
+    A frame without a trace context encodes as version 1 — byte-identical
+    to the pre-trace wire format — so enabling tracing on one side of a
+    connection never changes the bytes of untraced traffic.
+    """
     payload = frame.payload
     if len(payload) > MAX_PAYLOAD:
         raise ValueError(
             f"frame payload of {len(payload)} bytes exceeds MAX_PAYLOAD "
             f"({MAX_PAYLOAD})"
         )
+    version = WIRE_VERSION if frame.trace is None else WIRE_VERSION_TRACE
+    header = HEADER.pack(
+        MAGIC,
+        version,
+        int(frame.kind),
+        frame.client_id,
+        frame.seq,
+        len(payload),
+        zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    if frame.trace is None:
+        return header + payload
     return (
-        HEADER.pack(
-            MAGIC,
-            WIRE_VERSION,
-            int(frame.kind),
-            frame.client_id,
-            frame.seq,
-            len(payload),
-            zlib.crc32(payload) & 0xFFFFFFFF,
-        )
+        header
+        + TRACE_EXT.pack(frame.trace.trace_id, frame.trace.span_id)
         + payload
     )
 
@@ -146,9 +201,17 @@ def json_payload(obj: dict) -> bytes:
     return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
 
-def event_frame(client_id: int, seq: int, event_json: dict) -> Frame:
+def event_frame(
+    client_id: int,
+    seq: int,
+    event_json: dict,
+    *,
+    trace: TraceContext | None = None,
+) -> Frame:
     """An EVENT frame wrapping one :func:`.trace_io.event_to_json` record."""
-    return Frame(FrameKind.EVENT, client_id, seq, json_payload(event_json))
+    return Frame(
+        FrameKind.EVENT, client_id, seq, json_payload(event_json), trace
+    )
 
 
 class FrameDecoder:
@@ -211,11 +274,11 @@ class FrameDecoder:
             magic, version, kind, client_id, seq, length, crc = HEADER.unpack(
                 bytes(buf[pos : pos + HEADER_SIZE])
             )
-            if version != WIRE_VERSION:
+            if version not in SUPPORTED_VERSIONS:
                 self._reject(
                     self._base + pos,
-                    f"unsupported wire version {version} (expected "
-                    f"{WIRE_VERSION}); resyncing",
+                    f"unsupported wire version {version} (expected one of "
+                    f"{sorted(SUPPORTED_VERSIONS)}); resyncing",
                 )
                 self.resyncs += 1
                 pos += 2  # skip the magic, rescan
@@ -238,10 +301,18 @@ class FrameDecoder:
                 self.resyncs += 1
                 pos += 2
                 continue
-            end = pos + HEADER_SIZE + length
+            ext_size = TRACE_EXT_SIZE if version == WIRE_VERSION_TRACE else 0
+            body = pos + HEADER_SIZE + ext_size
+            end = body + length
             if len(buf) < end:
-                break  # incomplete payload; wait for more bytes
-            payload = bytes(buf[pos + HEADER_SIZE : end])
+                break  # incomplete trace context/payload; wait for more
+            trace: TraceContext | None = None
+            if ext_size:
+                trace_id, span_id = TRACE_EXT.unpack(
+                    bytes(buf[pos + HEADER_SIZE : body])
+                )
+                trace = TraceContext(trace_id, span_id)
+            payload = bytes(buf[body:end])
             if zlib.crc32(payload) & 0xFFFFFFFF != crc:
                 self._reject(
                     self._base + pos,
@@ -250,7 +321,7 @@ class FrameDecoder:
                 )
                 pos = end
                 continue
-            frames.append(Frame(frame_kind, client_id, seq, payload))
+            frames.append(Frame(frame_kind, client_id, seq, payload, trace))
             self.frames_decoded += 1
             pos = end
         # Retain only the unconsumed tail.

@@ -14,6 +14,9 @@
   shape): throughput (events/sec) dropping or p99 frame latency growing
   by more than the relative ``threshold`` is a regression, and a
   candidate whose delivery verdict is false regresses at any speed.
+  Observability fields gate too: artifacts measured under different SLO
+  specs refuse to compare (like an engine mismatch), and a candidate
+  whose SLO watchdog is still burning regresses regardless of timing.
 
 A diff with at least one regression is what makes the CLI exit non-zero —
 the CI gate in one command.
@@ -139,6 +142,16 @@ def diff_serve_bench(
     is an error, not a verdict.  A candidate with ``delivery_ok`` false
     is a regression regardless of timing — a server that sheds findings
     has no throughput worth reporting.
+
+    Observability-era artifacts carry an ``observability`` section.  Two
+    rules extend the gate:
+
+    * artifacts measured under **different SLO specs** are incomparable —
+      the watchdog's burn counts mean different things — so a spec
+      mismatch is an error, like an engine mismatch, not a verdict;
+    * a candidate whose watchdog is **still burning** at the end of the
+      bench regresses regardless of timing: the run violated its own
+      SLOs while producing the numbers being compared.
     """
     old_engine = old.get("engine", "columnar")
     new_engine = new.get("engine", "columnar")
@@ -146,6 +159,18 @@ def diff_serve_bench(
         raise ValueError(
             f"cannot diff serve-bench artifacts from different engines: "
             f"baseline is {old_engine!r}, candidate is {new_engine!r}"
+        )
+    old_obs = old.get("observability") or {}
+    new_obs = new.get("observability") or {}
+    old_slos = old_obs.get("slos")
+    new_slos = new_obs.get("slos")
+    if old_slos is not None and new_slos is not None and old_slos != new_slos:
+        old_names = ", ".join(s.get("name", "?") for s in old_slos)
+        new_names = ", ".join(s.get("name", "?") for s in new_slos)
+        raise ValueError(
+            "cannot diff serve-bench artifacts measured under different "
+            f"SLO specs: baseline has [{old_names}], candidate has "
+            f"[{new_names}]"
         )
     deltas: dict[str, dict] = {}
     regressions: list[str] = []
@@ -164,11 +189,32 @@ def diff_serve_bench(
             regressions.append(key)
     if not new.get("delivery_ok", True):
         regressions.append("delivery_ok")
+    burning = (new_obs.get("watchdog") or {}).get("burning") or []
+    if burning:
+        regressions.append("slo_burning")
+    observability: dict[str, dict] = {}
+    for key in (
+        "redeliveries",
+        "wire_decode_errors",
+        "journal_replay_errors",
+        "worker_restarts",
+    ):
+        o, n = old_obs.get(key), new_obs.get(key)
+        if isinstance(o, (int, float)) and isinstance(n, (int, float)):
+            observability[key] = {"old": o, "new": n, "delta": n - o}
+    old_watch = old_obs.get("watchdog") or {}
+    new_watch = new_obs.get("watchdog") or {}
+    for key in ("burn_events", "clear_events"):
+        o, n = old_watch.get(key), new_watch.get(key)
+        if isinstance(o, (int, float)) and isinstance(n, (int, float)):
+            observability[key] = {"old": o, "new": n, "delta": n - o}
     return {
         "type": "serve-bench",
         "threshold": threshold,
         "engine": new_engine,
         "deltas": deltas,
+        "observability": observability,
+        "burning": sorted(burning),
         "regressions": regressions,
         "regression": bool(regressions),
     }
@@ -228,12 +274,20 @@ def render_diff(result: dict) -> str:
             lines.append(
                 f"{key}: {d['old']} -> {d['new']} ({d['rel']:+.1%}){marker}"
             )
+        for key, d in result.get("observability", {}).items():
+            sign = "+" if d["delta"] >= 0 else ""
+            lines.append(f"  {key}: {d['old']} -> {d['new']} ({sign}{d['delta']})")
         if "delivery_ok" in result["regressions"]:
             lines.append("delivery_ok: false << REGRESSION (findings were lost)")
+        if "slo_burning" in result["regressions"]:
+            lines.append(
+                "slo burning: "
+                + ", ".join(result.get("burning", []))
+                + " << REGRESSION (candidate ended its bench in violation)"
+            )
         lines.append("")
         verdict = (
-            f"REGRESSION: {', '.join(result['regressions'])} exceeded "
-            f"{result['threshold']:.0%}"
+            "REGRESSION: " + ", ".join(result["regressions"])
             if result["regression"]
             else f"within threshold ({result['threshold']:.0%})"
         )

@@ -263,6 +263,7 @@ def run_serve_bench(
     queue_cap: int = 256,
     output: str | None = "BENCH_serve.json",
     benchmarks: Iterable[DraccBenchmark] | None = None,
+    observe: bool = True,
 ) -> dict:
     """Measure server throughput and frame latency over a streamed suite.
 
@@ -271,13 +272,27 @@ def run_serve_bench(
     the percentiles are per-frame round-trip latencies.  The delivery
     verdict rides along so a "fast but wrong" server can never produce a
     publishable bench.
+
+    ``observe=True`` (the default, matching production) runs the bench
+    with the live observer attached — metrics, latency histograms, SLO
+    watchdog — so the published number *includes* the observability tax
+    and the artifact records the watchdog's verdicts for ``repro diff``.
+    Span tracing stays off: it is a debugging mode, not a serving mode.
     """
+    from ..observe import DEFAULT_SLOS, ServeObserver
+
     tools = tuple(tools)
     benches = tuple(benchmarks) if benchmarks is not None else _suite(suite)
+    observer = (
+        ServeObserver(slos=DEFAULT_SLOS, trace_spans=False, wall_clock=True)
+        if observe
+        else None
+    )
     server = AnalysisServer(
         ServerConfig(
             n_shards=n_shards, engine=engine, tools=tools, queue_cap=queue_cap
-        )
+        ),
+        observer,
     )
     latencies: list[float] = []
     total_events = 0
@@ -317,6 +332,26 @@ def run_serve_bench(
             "max_frame_latency_us": round(latencies[-1], 2) if latencies else 0.0,
         },
     }
+    if observer is not None:
+        watchdog = observer.watchdog
+        payload["observability"] = {
+            "enabled": True,
+            "slos": [spec.to_json() for spec in watchdog.specs],
+            "watchdog": {
+                "evaluations": watchdog.evaluations,
+                "burn_events": watchdog.burn_events,
+                "clear_events": watchdog.clear_events,
+                "burning": sorted(watchdog.burning),
+            },
+            "redeliveries": observer.redeliveries,
+            "wire_decode_errors": observer.decode_errors,
+            "journal_replay_errors": observer.replay_errors,
+            "worker_restarts": sum(
+                s.supervisor.worker_restarts for s in server.sessions.values()
+            ),
+        }
+    else:
+        payload["observability"] = {"enabled": False}
     if output is not None:
         tmp = output + ".tmp"
         with open(tmp, "w") as sink:
@@ -347,6 +382,10 @@ def run_serve_chaos_campaign(
     tools: Iterable[str] = ("arbalest",),
     queue_cap: int = 256,
     benchmarks: Iterable[DraccBenchmark] | None = None,
+    observe: bool = True,
+    watchdog_cadence: int = 32,
+    trace_output: str | None = None,
+    log_output: str | None = None,
 ) -> dict:
     """Certify the delivery guarantee under seeded serve-fault schedules.
 
@@ -356,7 +395,25 @@ def run_serve_chaos_campaign(
     journal write), and frame faults installed on the loopback transport.
     Unlike runtime chaos, there is no "bounded divergence" tier here:
     *every* faulted run must reproduce the baseline fingerprints exactly.
+
+    With ``observe=True`` the campaign also certifies the observability
+    layer, using the deterministic :data:`~repro.observe.slo.CHAOS_SLOS`
+    (wall clock off, so verdicts are byte-reproducible):
+
+    * every run whose faults caused redeliveries must make the SLO
+      watchdog **burn** (fire during the fault) and **clear** by the
+      post-recovery evaluation — the ``/healthz`` arc
+      ``ok -> degraded -> ok``;
+    * runs with worker kills record span traces; the first one that
+      captured a journal-replay span is stitched into one cross-process
+      Chrome trace (``trace_output``) holding client, server, and shard
+      spans for the same ``(client, seq)``;
+    * every structured event (burns, clears, restarts, degradations)
+      lands in one campaign-wide JSONL stream (``log_output``).
     """
+    from ..observe import CHAOS_SLOS, ObserveLog, ServeObserver, SpanLog
+    from ..observe.spans import spans_by_frame, stitch_traces
+
     tools = tuple(tools)
     benches = tuple(benchmarks) if benchmarks is not None else _suite(suite)
 
@@ -379,61 +436,144 @@ def run_serve_chaos_campaign(
     degraded_sessions = 0
     kills_triggered = 0
 
-    for schedule in range(schedules):
-        for bench in benches:
-            plan = FaultPlan.generate(
-                _serve_plan_seed(seed, schedule, bench.number),
-                n_faults=faults_per_schedule,
-                kinds=SERVE_CHAOS_KINDS,
-            )
-            run_id = {"schedule": schedule, "benchmark": bench.number}
-            for fault in plan.faults:
-                schedule_log.append({**run_id, **fault.to_json()})
-                injected_counts[fault.kind.value] = (
-                    injected_counts.get(fault.kind.value, 0) + 1
+    log_sink = open(log_output, "w") if log_output is not None else None
+    runs_with_redelivery = 0
+    watchdog_fired_runs = 0
+    watchdog_missed: list[dict] = []
+    watchdog_stuck: list[dict] = []
+    burn_events = 0
+    clear_events = 0
+    redeliveries = 0
+    decode_errors = 0
+    replay_errors = 0
+    healthz_arc: list[str] | None = None
+    stitched: dict | None = None
+    stitched_run: dict | None = None
+
+    try:
+        for schedule in range(schedules):
+            for bench in benches:
+                plan = FaultPlan.generate(
+                    _serve_plan_seed(seed, schedule, bench.number),
+                    n_faults=faults_per_schedule,
+                    kinds=SERVE_CHAOS_KINDS,
                 )
-            server = AnalysisServer(
-                ServerConfig(
-                    n_shards=n_shards,
-                    engine=engine,
-                    tools=tools,
-                    queue_cap=queue_cap,
+                run_id = {"schedule": schedule, "benchmark": bench.number}
+                for fault in plan.faults:
+                    schedule_log.append({**run_id, **fault.to_json()})
+                    injected_counts[fault.kind.value] = (
+                        injected_counts.get(fault.kind.value, 0) + 1
+                    )
+                kills = plan.by_kind(FaultKind.WORKER_KILL)
+                observer = None
+                client_spans = None
+                if observe:
+                    # Trace the runs that can produce replay spans (worker
+                    # kills) until one stitched trace is captured.
+                    want_spans = bool(kills) and stitched is None
+                    observer = ServeObserver(
+                        log=ObserveLog(log_sink),
+                        slos=CHAOS_SLOS,
+                        cadence=watchdog_cadence,
+                        trace_spans=want_spans,
+                        wall_clock=False,
+                    )
+                    observer.log.event("chaos.run", **run_id)
+                    if want_spans:
+                        client_spans = SpanLog("client")
+                server = AnalysisServer(
+                    ServerConfig(
+                        n_shards=n_shards,
+                        engine=engine,
+                        tools=tools,
+                        queue_cap=queue_cap,
+                    ),
+                    observer,
                 )
-            )
-            # Worker kills target delivery-attempt occurrences; phases
-            # alternate so both sides of the journal write are hit.
-            session = server.session(bench.number)
-            kills = plan.by_kind(FaultKind.WORKER_KILL)
-            for position, fault in enumerate(kills):
-                session.supervisor.kill_schedule[fault.index + 1] = (
-                    "pre" if position % 2 == 0 else "post"
+                # Worker kills target delivery-attempt occurrences; phases
+                # alternate so both sides of the journal write are hit.
+                session = server.session(bench.number)
+                for position, fault in enumerate(kills):
+                    session.supervisor.kill_schedule[fault.index + 1] = (
+                        "pre" if position % 2 == 0 else "post"
+                    )
+                transport = LoopbackTransport(server, plan)
+                client = ServeClient(
+                    transport, client_id=bench.number, spanlog=client_spans
                 )
-            transport = LoopbackTransport(server, plan)
-            client = ServeClient(transport, client_id=bench.number)
-            try:
-                result = client.stream(traces[bench.number])
-            except BaseException as exc:  # a crash fails the campaign, not us
-                crashes.append(
-                    {**run_id, "error": f"{type(exc).__name__}: {exc}"}
-                )
-                continue
-            supervisor = session.supervisor
-            kills_triggered += len(kills) - len(supervisor.kill_schedule)
-            worker_restarts += supervisor.worker_restarts
-            retransmits += result.retransmits
-            backoff_ticks += result.backoff_ticks
-            dup_frames += result.result.get("dup_frames", 0)
-            shed_frames += result.result.get("shed_frames", 0)
-            nacks += result.result.get("nacks_sent", 0)
-            degraded_sessions += bool(result.result.get("degraded"))
-            if result.fingerprints() != baselines[bench.number]:
-                mismatches.append(
-                    {
-                        **run_id,
-                        "baseline": [list(k) for k in baselines[bench.number]],
-                        "served": [list(k) for k in result.fingerprints()],
-                    }
-                )
+                try:
+                    result = client.stream(traces[bench.number])
+                except BaseException as exc:  # a crash fails the campaign, not us
+                    crashes.append(
+                        {**run_id, "error": f"{type(exc).__name__}: {exc}"}
+                    )
+                    continue
+                supervisor = session.supervisor
+                kills_triggered += len(kills) - len(supervisor.kill_schedule)
+                worker_restarts += supervisor.worker_restarts
+                retransmits += result.retransmits
+                backoff_ticks += result.backoff_ticks
+                dup_frames += result.result.get("dup_frames", 0)
+                shed_frames += result.result.get("shed_frames", 0)
+                nacks += result.result.get("nacks_sent", 0)
+                degraded_sessions += bool(result.result.get("degraded"))
+                if result.fingerprints() != baselines[bench.number]:
+                    mismatches.append(
+                        {
+                            **run_id,
+                            "baseline": [list(k) for k in baselines[bench.number]],
+                            "served": [list(k) for k in result.fingerprints()],
+                        }
+                    )
+                if observer is not None:
+                    # Post-recovery evaluation: the stream is fully
+                    # delivered, so a clean window must clear every burn —
+                    # this is the "healthy again" edge of the arc.
+                    observer.evaluate(server)
+                    watchdog = observer.watchdog
+                    burn_events += watchdog.burn_events
+                    clear_events += watchdog.clear_events
+                    redeliveries += observer.redeliveries
+                    decode_errors += observer.decode_errors
+                    replay_errors += observer.replay_errors
+                    if observer.redeliveries:
+                        runs_with_redelivery += 1
+                        if watchdog.burn_events:
+                            watchdog_fired_runs += 1
+                        else:
+                            watchdog_missed.append(
+                                {**run_id, "redeliveries": observer.redeliveries}
+                            )
+                        if watchdog.burning:
+                            watchdog_stuck.append(
+                                {**run_id, "burning": sorted(watchdog.burning)}
+                            )
+                        arc = watchdog.health_transitions()
+                        if healthz_arc is None and arc[:3] == [
+                            "ok",
+                            "degraded",
+                            "ok",
+                        ]:
+                            healthz_arc = arc
+                    if client_spans is not None and stitched is None:
+                        document = stitch_traces(
+                            [client_spans] + observer.span_logs()
+                        )
+                        has_replay = any(
+                            event.get("name") == "replay"
+                            for event in document["traceEvents"]
+                        )
+                        if has_replay or supervisor.worker_restarts:
+                            stitched = document
+                            stitched_run = dict(run_id)
+    finally:
+        if log_sink is not None:
+            log_sink.close()
+
+    if stitched is not None and trace_output is not None:
+        with open(trace_output, "w") as sink:
+            json.dump(stitched, sink, indent=2, sort_keys=True)
+            sink.write("\n")
 
     payload = {
         "seed": seed,
@@ -460,6 +600,56 @@ def run_serve_chaos_campaign(
         "degraded_sessions": degraded_sessions,
     }
     payload["ok"] = not crashes and not mismatches
+    if observe:
+        trace_summary = None
+        if stitched is not None:
+            frame_index = spans_by_frame(stitched)
+            cross_process = sum(
+                1
+                for spans in frame_index.values()
+                if len({event["pid"] for event in spans}) >= 2
+            )
+            trace_summary = {
+                "run": stitched_run,
+                "processes": stitched["otherData"]["processes"],
+                "spans": sum(
+                    1
+                    for event in stitched["traceEvents"]
+                    if event.get("ph") == "X"
+                ),
+                "replay_spans": sum(
+                    1
+                    for event in stitched["traceEvents"]
+                    if event.get("name") == "replay"
+                ),
+                "frames_with_cross_process_spans": cross_process,
+                "path": trace_output,
+            }
+        payload["observability"] = {
+            "enabled": True,
+            "slos": [spec.to_json() for spec in CHAOS_SLOS],
+            "watchdog_cadence": watchdog_cadence,
+            "runs_with_redelivery": runs_with_redelivery,
+            "watchdog_fired_runs": watchdog_fired_runs,
+            "watchdog_missed": watchdog_missed,
+            "watchdog_stuck": watchdog_stuck,
+            "burn_events": burn_events,
+            "clear_events": clear_events,
+            "redeliveries": redeliveries,
+            "wire_decode_errors": decode_errors,
+            "journal_replay_errors": replay_errors,
+            "healthz_arc": healthz_arc,
+            "trace": trace_summary,
+            "log_path": log_output,
+        }
+        # The observability certification is part of the campaign verdict:
+        # a watchdog that slept through a fault, or stayed degraded after
+        # recovery, fails the run like a fingerprint mismatch would.
+        payload["ok"] = payload["ok"] and not watchdog_missed and not watchdog_stuck
+        if runs_with_redelivery:
+            payload["ok"] = payload["ok"] and healthz_arc is not None
+    else:
+        payload["observability"] = {"enabled": False}
     return payload
 
 
@@ -472,6 +662,9 @@ def run_serve_chaos(
     n_shards: int = 4,
     engine: str = "columnar",
     output: str = "BENCH_serve_chaos.json",
+    observe: bool = True,
+    trace_output: str | None = None,
+    log_output: str | None = None,
 ) -> dict:
     """Run the serve chaos campaign and write its tracked JSON artifact."""
     payload = run_serve_chaos_campaign(
@@ -481,6 +674,9 @@ def run_serve_chaos(
         suite=suite,
         n_shards=n_shards,
         engine=engine,
+        observe=observe,
+        trace_output=trace_output,
+        log_output=log_output,
     )
     tmp = output + ".tmp"
     with open(tmp, "w") as sink:

@@ -1,0 +1,48 @@
+"""``repro.observe`` — live operational observability for the serve stack.
+
+PR-3's :mod:`repro.telemetry` measures one *run* after the fact; this
+package watches a *service* while it is up:
+
+* :mod:`~repro.observe.log` — structured JSONL event logging with the
+  ``ACTIVE``/``scope`` zero-overhead discipline;
+* :mod:`~repro.observe.spans` — per-process span logs and the stitcher
+  that merges client, server, and shard spans into one cross-process
+  Chrome trace, correlated by ``(client, seq)``;
+* :mod:`~repro.observe.slo` — declarative SLO specs and the burn/clear
+  watchdog behind ``/healthz``;
+* :mod:`~repro.observe.observer` — the per-server bundle wiring all of
+  the above into the serve hot path;
+* :mod:`~repro.observe.metrics` — service-level snapshots and the
+  Prometheus text exposition served at ``/metrics``;
+* :mod:`~repro.observe.health` — the ``/healthz`` and ``/readyz``
+  documents;
+* :mod:`~repro.observe.top` — the ``repro top`` scrape-and-render
+  client.
+"""
+
+from .health import healthz, readyz
+from .log import ObserveLog
+from .metrics import render_prometheus, service_snapshot
+from .observer import ServeObserver, histogram_quantile
+from .slo import CHAOS_SLOS, DEFAULT_SLOS, SLOSpec, SLOWatchdog
+from .spans import SpanLog, spans_by_frame, stitch_traces, write_stitched_trace
+from .top import run_top
+
+__all__ = [
+    "CHAOS_SLOS",
+    "DEFAULT_SLOS",
+    "ObserveLog",
+    "SLOSpec",
+    "SLOWatchdog",
+    "ServeObserver",
+    "SpanLog",
+    "healthz",
+    "histogram_quantile",
+    "readyz",
+    "render_prometheus",
+    "run_top",
+    "service_snapshot",
+    "spans_by_frame",
+    "stitch_traces",
+    "write_stitched_trace",
+]

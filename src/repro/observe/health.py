@@ -1,0 +1,79 @@
+"""Liveness and readiness documents for ``/healthz`` and ``/readyz``.
+
+Two different questions, two different endpoints:
+
+* ``/healthz`` — *is the service meeting its objectives right now?*
+  Driven by the SLO watchdog: ``ok`` while no SLO burns, ``degraded``
+  while at least one does — and the burning SLOs are **named** in the
+  response, so an operator paged on degraded health sees *which*
+  objective is burning without grepping logs.  Session-level DEGRADED
+  markers are reported alongside but do not flip the status: a marker is
+  a permanent fact about a past overflow, while health must recover once
+  the current windows are clean (the healthy → degraded → healthy arc
+  the chaos campaign asserts).
+* ``/readyz`` — *can the service take traffic?*  Structural, not
+  statistical: every shard worker alive and every journal writable.  A
+  drained server is never ready.
+
+Both return plain dicts; the front end serializes them as JSON.
+"""
+
+from __future__ import annotations
+
+__all__ = ["healthz", "readyz"]
+
+
+def healthz(server, observer=None) -> dict:
+    """The liveness/SLO-health document served at ``/healthz``."""
+    document: dict = {
+        "status": "ok",
+        "heartbeat": {
+            "frames_handled": server.frames_handled,
+            "sessions": len(server.sessions),
+        },
+        "degraded_sessions": sorted(
+            client_id
+            for client_id, session in server.sessions.items()
+            if session.degraded
+        ),
+    }
+    if observer is not None:
+        burning = observer.watchdog.burning
+        if burning:
+            document["status"] = "degraded"
+            document["burning"] = [
+                {"slo": name, **burning[name]} for name in sorted(burning)
+            ]
+        document["heartbeat"]["observed_frames"] = observer.frames
+        document["heartbeat"]["evaluations"] = observer.watchdog.evaluations
+    else:
+        document["observer"] = "disabled"
+    return document
+
+
+def readyz(server) -> dict:
+    """The readiness document served at ``/readyz``.
+
+    Ready exactly when the server can take traffic: not drained, every
+    shard worker claimed and alive, every journal writable.  An idle
+    server with no sessions is ready — shards are created per session.
+    """
+    shards_down: list[dict] = []
+    journals_blocked: list[dict] = []
+    for client_id in sorted(server.sessions):
+        for worker in server.sessions[client_id].supervisor.workers:
+            if not worker.alive:
+                shards_down.append(
+                    {"client": client_id, "shard": worker.shard_id}
+                )
+            if not worker.journal.writable:
+                journals_blocked.append(
+                    {"client": client_id, "shard": worker.shard_id}
+                )
+    ready = not server.drained and not shards_down and not journals_blocked
+    return {
+        "ready": ready,
+        "drained": server.drained,
+        "shards_down": shards_down,
+        "journals_blocked": journals_blocked,
+    }

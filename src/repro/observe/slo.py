@@ -1,0 +1,176 @@
+"""Declarative SLOs and the watchdog that evaluates them.
+
+An SLO here is one inequality over a service-level metric, evaluated over
+a *window* of frames: the p99 frame handling latency, the redelivery rate
+(duplicate + shed + crash-redelivered frames per inbound frame), and the
+reorder-queue occupancy (fraction of the per-session cap in use).  The
+watchdog evaluates every spec on a deterministic cadence — every N
+handled frames, plus a forced evaluation at session FIN so recovery is
+observed even when the tail of the stream is shorter than a window.
+
+Burns are *stateful*: a spec whose metric exceeds its threshold in a
+window starts burning (one ``slo.burn`` JSONL event, naming the SLO, the
+metric, the observed value and the threshold) and keeps burning until a
+later window satisfies it again (one ``slo.clear`` event).  ``/healthz``
+reports degraded exactly while at least one spec burns — the chaos
+campaign drives the full healthy → degraded → healthy arc across an
+injected fault and asserts both transitions from the log.
+
+Determinism: the latency SLO consumes the wall clock (it is the
+operational edge — the whole point is real microseconds), so latency
+burns are environment-dependent; the redelivery and occupancy SLOs are
+pure functions of the frame sequence and evaluate identically run to run.
+Chaos assertions therefore pin on the deterministic pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .log import ObserveLog
+
+__all__ = ["SLOSpec", "SLOWatchdog", "DEFAULT_SLOS", "CHAOS_SLOS"]
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective: ``metric <= threshold`` per window."""
+
+    #: Operator-facing name, reported by ``/healthz`` while burning.
+    name: str
+    #: Which windowed metric to test; one of the keys produced by
+    #: :meth:`repro.observe.observer.ServeObserver.window_sample`.
+    metric: str
+    #: Inclusive upper bound; a window whose metric exceeds it burns.
+    threshold: float
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "threshold": self.threshold,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SLOSpec":
+        return cls(data["name"], data["metric"], data["threshold"])
+
+
+#: Production defaults: generous enough that a healthy serve bench never
+#: burns, tight enough that a redelivery storm or a saturated reorder
+#: queue does.
+DEFAULT_SLOS: tuple[SLOSpec, ...] = (
+    SLOSpec("p99-frame-latency", "p99_frame_latency_us", 50_000.0),
+    SLOSpec("redelivery-rate", "redelivery_rate", 0.25),
+    SLOSpec("queue-occupancy", "queue_occupancy", 0.9),
+)
+
+#: Chaos-campaign SLOs: deterministic metrics only, with thresholds
+#: aggressive enough that injected frame faults reliably burn them.
+CHAOS_SLOS: tuple[SLOSpec, ...] = (
+    SLOSpec("redelivery-rate", "redelivery_rate", 0.0),
+    SLOSpec("queue-occupancy", "queue_occupancy", 0.9),
+)
+
+
+class SLOWatchdog:
+    """Evaluates SLO specs over windowed samples; tracks burn state."""
+
+    def __init__(
+        self,
+        specs: tuple[SLOSpec, ...] = DEFAULT_SLOS,
+        *,
+        log: ObserveLog | None = None,
+    ):
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.specs = tuple(specs)
+        self.log = log
+        #: Burning specs: name -> the sample values that lit them.
+        self.burning: dict[str, dict] = {}
+        self.evaluations = 0
+        self.burn_events = 0
+        self.clear_events = 0
+        #: Every evaluation's verdict, in order (bounded by the caller's
+        #: cadence; a full serve bench produces a few hundred).
+        self.verdicts: list[dict] = []
+
+    @property
+    def healthy(self) -> bool:
+        return not self.burning
+
+    def evaluate(self, sample: dict) -> dict:
+        """Judge one window; returns (and records) the verdict.
+
+        ``sample`` maps metric names to window values; a spec whose metric
+        is absent from the sample is skipped (e.g. the latency SLO when
+        the wall clock is off), never burned by default.
+        """
+        self.evaluations += 1
+        burning_now: list[str] = []
+        for spec in self.specs:
+            value = sample.get(spec.metric)
+            if value is None:
+                continue
+            if value > spec.threshold:
+                burning_now.append(spec.name)
+                if spec.name not in self.burning:
+                    self.burning[spec.name] = {
+                        "metric": spec.metric,
+                        "value": value,
+                        "threshold": spec.threshold,
+                        "evaluation": self.evaluations,
+                    }
+                    self.burn_events += 1
+                    if self.log is not None:
+                        self.log.event(
+                            "slo.burn",
+                            slo=spec.name,
+                            metric=spec.metric,
+                            value=round(value, 6),
+                            threshold=spec.threshold,
+                            evaluation=self.evaluations,
+                        )
+            elif spec.name in self.burning:
+                del self.burning[spec.name]
+                self.clear_events += 1
+                if self.log is not None:
+                    self.log.event(
+                        "slo.clear",
+                        slo=spec.name,
+                        metric=spec.metric,
+                        value=round(value, 6),
+                        threshold=spec.threshold,
+                        evaluation=self.evaluations,
+                    )
+        verdict = {
+            "evaluation": self.evaluations,
+            "frames": sample.get("frames", 0),
+            "burning": sorted(self.burning),
+        }
+        self.verdicts.append(verdict)
+        return verdict
+
+    def stats(self) -> dict:
+        return {
+            "specs": [s.to_json() for s in self.specs],
+            "evaluations": self.evaluations,
+            "burn_events": self.burn_events,
+            "clear_events": self.clear_events,
+            "burning": sorted(self.burning),
+        }
+
+    def health_transitions(self) -> list[str]:
+        """The healthz status arc implied by the verdict history.
+
+        Starts ``ok``; appends a status every time the burning set flips
+        between empty and non-empty — the chaos campaign asserts the
+        ``["ok", "degraded", "ok"]`` arc across an injected fault.
+        """
+        arc = ["ok"]
+        for verdict in self.verdicts:
+            status = "degraded" if verdict["burning"] else "ok"
+            if status != arc[-1]:
+                arc.append(status)
+        return arc

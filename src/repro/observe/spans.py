@@ -1,0 +1,163 @@
+"""Per-process span logs and cross-process trace stitching.
+
+PR-3's :mod:`repro.telemetry` traces one process.  The serve stack is
+logically *many*: the client that frames events, the server that orders
+them, and the shard workers that analyze them — and once a frame crosses
+the wire, the client's span and the shard's span describe the same unit of
+work with no shared registry to relate them.
+
+This module closes that gap with two pieces:
+
+* :class:`SpanLog` — one process's span stream.  Each participant (the
+  client, the protocol engine, every shard worker) owns one, named after
+  the process it models (``client``, ``server``, ``shard-0`` ...).  Spans
+  are stamped with the log's own event-ordinal clock, so a deterministic
+  session produces a byte-identical log — the telemetry discipline,
+  extended across the wire.
+* :func:`stitch_traces` — merges any number of span logs into **one**
+  Chrome Trace Event document, one ``pid`` per process (named via ``M``
+  metadata events).  Spans are correlated by their ``(client, seq)`` tags:
+  the client's ``frame:EVENT`` span, the server's ``handle:EVENT`` span,
+  and the shard's ``apply`` span for the same frame all carry the same
+  pair, and a journal-replay re-execution span carries a
+  ``replayed_from`` tag naming the original ``client:seq`` it re-ran.
+
+The wire's trace context (:class:`repro.events.wire.TraceContext`) rides
+in span tags too: the server records the client-side span ordinal each
+frame propagated, proving the cross-process link survived the transport.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+__all__ = ["SpanLog", "stitch_traces", "write_stitched_trace", "spans_by_frame"]
+
+
+class _SpanHandle:
+    """One open span: context manager collecting tags until exit."""
+
+    __slots__ = ("_log", "name", "cat", "tags", "begin")
+
+    def __init__(self, log: "SpanLog", name: str, cat: str, tags: dict):
+        self._log = log
+        self.name = name
+        self.cat = cat
+        self.tags = tags
+        self.begin = 0
+
+    def __enter__(self) -> "_SpanHandle":
+        self.begin = self._log.tick()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = self._log.tick()
+        record: dict = {
+            "name": self.name,
+            "cat": self.cat,
+            "b": self.begin,
+            "e": end,
+        }
+        tags = {k: v for k, v in self.tags.items() if v is not None}
+        if tags:
+            record["tags"] = tags
+        self._log.spans.append(record)
+        return False
+
+
+class SpanLog:
+    """One logical process's span stream, on its own ordinal clock."""
+
+    def __init__(self, process: str):
+        self.process = process
+        self.spans: list[dict] = []
+        self.ordinal = 0
+
+    def tick(self) -> int:
+        self.ordinal += 1
+        return self.ordinal
+
+    def span(self, name: str, *, cat: str = "serve", **tags) -> _SpanHandle:
+        """Open a span; mutate ``handle.tags`` inside the block to annotate.
+
+        ``handle.begin`` is the begin ordinal — the client uses it as the
+        propagated span id in the wire trace context.
+        """
+        return _SpanHandle(self, name, cat, tags)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def stitch_traces(logs: Iterable[SpanLog]) -> dict:
+    """Merge per-process span logs into one Chrome Trace Event document.
+
+    Process ids are assigned by sorted process name (``client`` < ``server``
+    < ``shard-0`` ...), so the stitched document is byte-identical across
+    runs whenever each participant's span log is.  Every span becomes one
+    complete (``X``-phase) event whose ``args`` carry its tags — the
+    ``client``/``seq`` correlation key, the propagated trace context, and
+    ``replayed_from`` links — so Perfetto's query pane (or plain ``jq``)
+    can join one frame's client, server, and shard slices.
+    """
+    ordered = sorted(logs, key=lambda log: log.process)
+    events: list[dict] = []
+    for pid, log in enumerate(ordered):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": log.process},
+            }
+        )
+        for span in log.spans:
+            event = {
+                "name": span["name"],
+                "cat": span["cat"],
+                "ph": "X",
+                "pid": pid,
+                "tid": 0,
+                "ts": span["b"],
+                "dur": span["e"] - span["b"],
+            }
+            tags = span.get("tags")
+            if tags:
+                event["args"] = {k: tags[k] for k in sorted(tags)}
+            events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "ordinal",
+            "producer": "repro.observe",
+            "processes": [log.process for log in ordered],
+        },
+    }
+
+
+def write_stitched_trace(logs: Iterable[SpanLog], sink: IO[str]) -> dict:
+    """Stitch and serialize (sorted keys — byte-stable); returns the doc."""
+    document = stitch_traces(logs)
+    json.dump(document, sink, indent=2, sort_keys=True)
+    sink.write("\n")
+    return document
+
+
+def spans_by_frame(document: dict) -> dict[tuple[int, int], list[dict]]:
+    """Index a stitched document's spans by their ``(client, seq)`` key.
+
+    The assertion helper for tests and the CI observability job: the
+    cross-process story holds exactly when one frame's key maps to spans
+    from more than one ``pid``.
+    """
+    index: dict[tuple[int, int], list[dict]] = {}
+    for event in document["traceEvents"]:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        if "client" in args and "seq" in args:
+            index.setdefault((args["client"], args["seq"]), []).append(event)
+    return index

@@ -1,0 +1,329 @@
+"""``repro top`` — a live terminal view of a running analysis server.
+
+The client side of the observability story: connect to a serving
+``repro serve --listen`` process, poll ``/metrics`` (the Prometheus text
+exposition — *the same bytes a real scraper would read*, so ``top``
+doubles as an end-to-end exposition test), join in ``/healthz`` and
+``/readyz``, and render a per-shard table:
+
+::
+
+    repro top · localhost:7341 · status=ok ready=yes · frames=1024 events/s=512.0
+    client  shard  applied  events/s  queue  p50us  p99us  restarts  alive
+    22      0      256      128.0     0      64     256    1         yes
+    ...
+
+Rates are computed client-side from deltas between successive scrapes —
+the server exports monotonic counters only, exactly like a production
+Prometheus target.  ``--once`` prints a single snapshot (rates shown as
+``-``), and ``--once --json`` emits the machine-readable document the CI
+observability job asserts against.
+
+Everything here speaks plain HTTP/1.0 over a raw socket: the server's
+front end sniffs GET/HEAD on the same TCP port the binary wire protocol
+uses, and this module is deliberately free of any HTTP client library.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import IO, Callable
+
+__all__ = [
+    "http_get",
+    "parse_exposition",
+    "metric_value",
+    "shard_rows",
+    "render_table",
+    "run_top",
+]
+
+
+def http_get(
+    host: str, port: int, path: str, *, timeout: float = 5.0
+) -> tuple[int, bytes]:
+    """Minimal HTTP/1.0 GET; returns ``(status_code, body)``."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("ascii")
+        )
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("ascii", "replace")
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ValueError(f"malformed HTTP status line: {status_line!r}")
+    return int(parts[1]), body
+
+
+def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Parse Prometheus text exposition into ``name -> [(labels, value)]``.
+
+    Strict enough to double as a validity check: every sample line must
+    be ``name[{labels}] value`` with a float-parseable value, and label
+    bodies must be ``key="value"`` pairs.  Raises ``ValueError`` on
+    anything else — the CI job feeds the live ``/metrics`` body through
+    this parser as its exposition-validity gate.
+    """
+    families: dict[str, list[tuple[dict, float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        if value_part == "+Inf":
+            value = float("inf")
+        else:
+            value = float(value_part)  # raises ValueError on junk
+        labels: dict = {}
+        if name_part.endswith("}"):
+            name, _, label_body = name_part.partition("{")
+            label_body = label_body[:-1]
+            for pair in label_body.split(","):
+                key, eq, raw = pair.partition("=")
+                if not eq or not (raw.startswith('"') and raw.endswith('"')):
+                    raise ValueError(f"malformed label pair: {pair!r}")
+                labels[key] = raw[1:-1]
+        else:
+            name = name_part
+        if not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"malformed metric name: {name!r}")
+        families.setdefault(name, []).append((labels, value))
+    return families
+
+
+def metric_value(
+    families: dict[str, list[tuple[dict, float]]], name: str, **labels
+) -> float | None:
+    """The sample value matching ``labels`` exactly, or ``None``."""
+    for sample_labels, value in families.get(name, []):
+        if sample_labels == labels:
+            return value
+    return None
+
+
+def _bucket_quantile(
+    families: dict, name: str, q: float, **labels
+) -> float | None:
+    """Quantile from cumulative ``_bucket`` samples (upper bucket edge)."""
+    buckets = [
+        (float("inf") if sl["le"] == "+Inf" else float(sl["le"]), value)
+        for sl, value in families.get(f"{name}_bucket", [])
+        if {k: v for k, v in sl.items() if k != "le"} == labels
+    ]
+    if not buckets:
+        return None
+    buckets.sort()
+    total = buckets[-1][1]
+    if total == 0:
+        return 0.0
+    target = q * total
+    for edge, cumulative in buckets:
+        if cumulative >= target:
+            return edge
+    return buckets[-1][0]  # pragma: no cover - cumulative ends at total
+
+
+def shard_rows(families: dict) -> list[dict]:
+    """One table row per ``(client, shard)``, sorted."""
+    rows = []
+    for labels, applied in families.get("repro_serve_shard_applied_total", []):
+        client, shard = labels["client"], labels["shard"]
+        rows.append(
+            {
+                "client": int(client),
+                "shard": int(shard),
+                "applied": int(applied),
+                "restarts": int(
+                    metric_value(
+                        families,
+                        "repro_serve_shard_restarts_total",
+                        client=client,
+                        shard=shard,
+                    )
+                    or 0
+                ),
+                "alive": bool(
+                    metric_value(
+                        families,
+                        "repro_serve_shard_alive",
+                        client=client,
+                        shard=shard,
+                    )
+                ),
+                "queue": int(
+                    metric_value(
+                        families,
+                        "repro_serve_session_queue_depth",
+                        client=client,
+                    )
+                    or 0
+                ),
+            }
+        )
+    rows.sort(key=lambda r: (r["client"], r["shard"]))
+    return rows
+
+
+def _fmt_rate(value: float | None) -> str:
+    return "-" if value is None else f"{value:.1f}"
+
+
+def render_table(
+    families: dict,
+    healthz: dict,
+    readyz: dict,
+    *,
+    endpoint: str,
+    rates: dict | None = None,
+) -> str:
+    """Render one scrape as the ``repro top`` screen."""
+    rates = rates or {}
+    frames = metric_value(families, "repro_serve_frames_handled_total") or 0
+    p50 = _bucket_quantile(families, "repro_serve_frame_latency_us", 0.50)
+    p99 = _bucket_quantile(families, "repro_serve_frame_latency_us", 0.99)
+    burning = [b["slo"] for b in healthz.get("burning", [])]
+    status = healthz["status"] + (f"[{','.join(burning)}]" if burning else "")
+    header = (
+        f"repro top · {endpoint} · status={status} "
+        f"ready={'yes' if readyz['ready'] else 'no'} · "
+        f"frames={int(frames)} events/s={_fmt_rate(rates.get('events'))}"
+    )
+    if p50 is not None:
+        header += f" p50us={int(p50)} p99us={int(p99)}"
+    columns = (
+        "client",
+        "shard",
+        "applied",
+        "events/s",
+        "queue",
+        "restarts",
+        "alive",
+    )
+    table = [columns]
+    for row in shard_rows(families):
+        table.append(
+            (
+                str(row["client"]),
+                str(row["shard"]),
+                str(row["applied"]),
+                _fmt_rate(rates.get(("shard", row["client"], row["shard"]))),
+                str(row["queue"]),
+                str(row["restarts"]),
+                "yes" if row["alive"] else "DOWN",
+            )
+        )
+    widths = [
+        max(len(line[col]) for line in table) for col in range(len(columns))
+    ]
+    lines = [header]
+    for line in table:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _scrape(host: str, port: int) -> tuple[dict, dict, dict]:
+    status, body = http_get(host, port, "/metrics")
+    if status != 200:
+        raise RuntimeError(f"/metrics returned HTTP {status}")
+    families = parse_exposition(body.decode("utf-8"))
+    _, health_body = http_get(host, port, "/healthz")
+    _, ready_body = http_get(host, port, "/readyz")
+    return families, json.loads(health_body), json.loads(ready_body)
+
+
+def run_top(
+    host: str,
+    port: int,
+    *,
+    interval: float = 1.0,
+    iterations: int | None = None,
+    once: bool = False,
+    json_output: bool = False,
+    out: IO[str],
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll the server and render; returns a process exit code.
+
+    ``--once`` (or ``iterations``) bounds the loop; the default streams
+    until interrupted.  Exit code 0 when the last scrape was ready and
+    healthy, 1 when degraded or not ready — so CI can gate on it.
+    """
+    previous: dict | None = None
+    previous_wall: float | None = None
+    families: dict = {}
+    healthz: dict = {"status": "unknown"}
+    readyz: dict = {"ready": False}
+    count = 0
+    while True:
+        families, healthz, readyz = _scrape(host, port)
+        rates: dict = {}
+        now = time.monotonic()
+        if previous is not None and previous_wall is not None:
+            elapsed = max(now - previous_wall, 1e-9)
+
+            def rate(name: str, **labels) -> float | None:
+                cur = metric_value(families, name, **labels)
+                prev = metric_value(previous, name, **labels)
+                if cur is None or prev is None:
+                    return None
+                return max(cur - prev, 0.0) / elapsed
+
+            rates["events"] = rate("repro_serve_events_delivered_total")
+            for row in shard_rows(families):
+                rates[("shard", row["client"], row["shard"])] = rate(
+                    "repro_serve_shard_applied_total",
+                    client=str(row["client"]),
+                    shard=str(row["shard"]),
+                )
+        if json_output:
+            out.write(
+                json.dumps(
+                    {
+                        "endpoint": f"{host}:{port}",
+                        "healthz": healthz,
+                        "readyz": readyz,
+                        "frames_handled": metric_value(
+                            families, "repro_serve_frames_handled_total"
+                        ),
+                        "events_delivered": metric_value(
+                            families, "repro_serve_events_delivered_total"
+                        ),
+                        "events_per_sec": rates.get("events"),
+                        "shards": shard_rows(families),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        else:
+            out.write(
+                render_table(
+                    families,
+                    healthz,
+                    readyz,
+                    endpoint=f"{host}:{port}",
+                    rates=rates,
+                )
+                + "\n\n"
+            )
+        count += 1
+        if once or (iterations is not None and count >= iterations):
+            break
+        previous = families
+        previous_wall = now
+        sleep(interval)
+    ok = readyz.get("ready") and healthz.get("status") == "ok"
+    return 0 if ok else 1

@@ -30,6 +30,13 @@ The mechanisms, each its own module:
 * :mod:`.client` — the reference client: retry/timeout with jittered,
   capped exponential backoff.
 * :mod:`.net` — socket and stdio front ends with SIGTERM graceful drain.
+
+Live observability — cross-process trace propagation, ``/metrics`` and
+``/healthz``/``/readyz`` over the same TCP port, the SLO watchdog, and
+structured JSONL logging — plugs in via :mod:`repro.observe`: construct a
+:class:`~repro.observe.observer.ServeObserver` and hand it to
+:class:`AnalysisServer` (or the front ends).  Without one, the serve hot
+path is observability-free by construction.
 """
 
 from .client import DeliveryError, RetryPolicy, ServeClient, SessionResult

@@ -20,10 +20,10 @@ shed and retransmitted under backpressure).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..events.trace_io import event_to_json
-from ..events.wire import Frame, FrameDecoder, FrameKind, json_payload
+from ..events.wire import Frame, FrameDecoder, FrameKind, TraceContext, json_payload
 
 __all__ = ["ServeClient", "SessionResult", "RetryPolicy", "DeliveryError"]
 
@@ -80,20 +80,48 @@ class ServeClient:
     (transports under fault injection return fewer).
     """
 
-    def __init__(self, transport, client_id: int = 1, policy: RetryPolicy | None = None):
+    def __init__(
+        self,
+        transport,
+        client_id: int = 1,
+        policy: RetryPolicy | None = None,
+        *,
+        spanlog=None,
+    ):
         self.transport = transport
         self.client_id = client_id
         self.policy = policy or RetryPolicy(seed=client_id)
         self.decoder = FrameDecoder()
+        #: Optional :class:`~repro.observe.spans.SpanLog` modelling this
+        #: client as one process of the distributed trace.  When present,
+        #: every frame send becomes a span *and* the span's identity is
+        #: propagated in the frame's wire trace context (version-2
+        #: frames) so the server can tie its spans back to ours.
+        self.spanlog = spanlog
 
     # -- low-level ---------------------------------------------------------
 
     def _exchange(self, frame: Frame, result: SessionResult) -> list[Frame]:
         from ..events.wire import encode_frame
 
-        result.frames_sent += 1
-        raw = self.transport.send(encode_frame(frame))
-        return self.decoder.feed(raw) if raw else []
+        spanlog = self.spanlog
+        if spanlog is None:
+            result.frames_sent += 1
+            raw = self.transport.send(encode_frame(frame))
+            return self.decoder.feed(raw) if raw else []
+        with spanlog.span(
+            f"frame:{frame.kind.name}",
+            client=self.client_id,
+            seq=frame.seq,
+        ) as span:
+            traced = replace(
+                frame, trace=TraceContext(self.client_id, span.begin)
+            )
+            result.frames_sent += 1
+            raw = self.transport.send(encode_frame(traced))
+            frames = self.decoder.feed(raw) if raw else []
+            span.tags["responses"] = len(frames)
+        return frames
 
     # -- session -----------------------------------------------------------
 

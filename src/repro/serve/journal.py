@@ -38,6 +38,9 @@ class ShardJournal:
         self._acked: dict[int, int] = {}
         self._sink = sink
         self.duplicates_dropped = 0
+        #: Lines a :meth:`load` rejected as malformed (counted, skipped —
+        #: a half-written mirror line must not poison the whole journal).
+        self.load_errors = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -77,16 +80,38 @@ class ShardJournal:
         """Every journaled entry in append order."""
         return iter(tuple(self._entries))
 
+    @property
+    def writable(self) -> bool:
+        """Whether journaling can still accept entries (readiness check).
+
+        An in-memory journal is always writable; a mirrored one is
+        writable while its sink is open.  A closed sink means journal
+        durability is gone — the server must stop advertising readiness
+        rather than acknowledge frames it can no longer make durable.
+        """
+        sink = self._sink
+        return sink is None or not getattr(sink, "closed", False)
+
     @classmethod
     def load(cls, shard_id: int, source: IO[str]) -> "ShardJournal":
-        """Rebuild a journal from its JSON-lines mirror."""
+        """Rebuild a journal from its JSON-lines mirror.
+
+        A malformed line (truncated JSON from a crash mid-write, or a
+        record missing its fields) is **counted and skipped**, never
+        silently absorbed and never fatal: the journal that loads is the
+        longest well-formed prefix semantics allow, and
+        :attr:`load_errors` reports exactly how much was lost.
+        """
         journal = cls(shard_id)
         for line in source:
             line = line.strip()
             if not line:
                 continue
-            entry = json.loads(line)
-            journal.record(entry["c"], entry["s"], entry["e"])
+            try:
+                entry = json.loads(line)
+                journal.record(entry["c"], entry["s"], entry["e"])
+            except (ValueError, KeyError, TypeError):
+                journal.load_errors += 1
         return journal
 
     def stats(self) -> dict:
@@ -94,4 +119,5 @@ class ShardJournal:
             "entries": len(self._entries),
             "duplicates_dropped": self.duplicates_dropped,
             "clients": len(self._acked),
+            "load_errors": self.load_errors,
         }

@@ -21,12 +21,12 @@ one JSON line so supervisors (systemd, CI) can log it.
 
 from __future__ import annotations
 
-import json
 import signal
 import socket
 import sys
 import threading
 
+from ..observe import log as _observe_log
 from .server import AnalysisServer, ServerConfig
 
 __all__ = ["serve_socket", "serve_stdio", "serve_connection"]
@@ -60,6 +60,10 @@ def serve_connection(server: AnalysisServer, sock: socket.socket) -> dict:
                 sock.sendall(responses)
             except OSError:
                 break
+        if connection.close_requested:
+            # HTTP observability request answered: one response per
+            # connection, then close (Connection: close semantics).
+            break
     # EOF: reject (never zero-pad) a truncated trailing frame.
     errors = connection.eof()
     return {
@@ -69,14 +73,34 @@ def serve_connection(server: AnalysisServer, sock: socket.socket) -> dict:
     }
 
 
-def _install_drain_handler(server: AnalysisServer, stop: threading.Event) -> None:
+def _front_end_log(observer) -> "_observe_log.ObserveLog":
+    """The structured log a front end announces lifecycle events on.
+
+    With an observer, its log (which may be file-backed via
+    ``--log-file``); without one, a fresh stderr-backed logger — the
+    ad-hoc ``print`` lines this replaces were stderr JSON too, but now
+    every line carries the uniform ``event``/``ordinal`` shape.
+    """
+    if observer is not None:
+        return observer.log
+    return _observe_log.ObserveLog(sink=sys.stderr)
+
+
+def _install_drain_handler(
+    server: AnalysisServer,
+    stop: threading.Event,
+    log: "_observe_log.ObserveLog",
+) -> None:
     """SIGTERM/SIGINT → stop accepting, flush parked batches, log drain."""
 
     def _drain(signum, frame):  # pragma: no cover - signal timing
         stop.set()
         summary = server.shutdown()
-        summary["signal"] = signal.Signals(signum).name
-        print(json.dumps({"drain": summary}, sort_keys=True), file=sys.stderr)
+        log.event(
+            "serve.drain",
+            signal=signal.Signals(signum).name,
+            **summary,
+        )
 
     try:
         signal.signal(signal.SIGTERM, _drain)
@@ -94,6 +118,7 @@ def serve_socket(
     max_connections: int | None = None,
     ready: "threading.Event | None" = None,
     bound_port: "list[int] | None" = None,
+    observer=None,
 ) -> dict:
     """Listen on ``host:port`` and serve until SIGTERM (or connection cap).
 
@@ -104,18 +129,22 @@ def serve_socket(
     ``max_connections`` bounds the accept loop for tests and one-shot CI
     jobs; production leaves it ``None`` and exits on signal.
     """
-    server = AnalysisServer(config)
+    server = AnalysisServer(config, observer)
+    log = _front_end_log(observer)
     stop = threading.Event()
-    _install_drain_handler(server, stop)
+    _install_drain_handler(server, stop, log)
     listener = socket.create_server((host, port))
     listener.settimeout(0.2)  # poll the stop flag between accepts
     actual_port = listener.getsockname()[1]
     if bound_port is not None:
         bound_port.append(actual_port)
-    print(
-        json.dumps({"listening": {"host": host, "port": actual_port}}),
-        file=sys.stderr,
-        flush=True,
+    log.event(
+        "serve.listening",
+        host=host,
+        port=actual_port,
+        shards=config.n_shards,
+        queue_cap=config.queue_cap,
+        observability=observer is not None,
     )
     if ready is not None:
         ready.set()
@@ -151,15 +180,26 @@ def serve_stdio(
     *,
     stdin=None,
     stdout=None,
+    observer=None,
 ) -> dict:
     """Serve one connection over stdin/stdout until EOF or SIGTERM.
 
     ``stdin``/``stdout`` default to the process's binary standard
-    streams; tests pass :class:`io.BytesIO` pairs.
+    streams; tests pass :class:`io.BytesIO` pairs.  Structured log lines
+    go to the observer's log (or stderr) — never to ``stdout``, which is
+    the wire stream.
     """
-    server = AnalysisServer(config)
+    server = AnalysisServer(config, observer)
+    log = _front_end_log(observer)
     stop = threading.Event()
-    _install_drain_handler(server, stop)
+    _install_drain_handler(server, stop, log)
+    log.event(
+        "serve.listening",
+        transport="stdio",
+        shards=config.n_shards,
+        queue_cap=config.queue_cap,
+        observability=observer is not None,
+    )
     reader = stdin if stdin is not None else sys.stdin.buffer
     writer = stdout if stdout is not None else sys.stdout.buffer
     connection = server.connection()

@@ -113,9 +113,18 @@ class ShardWorker:
         tools: Iterable[str] = ("arbalest",),
         journal: ShardJournal | None = None,
         recorder: FlightRecorder | None = None,
+        observer=None,
     ):
         self.shard_id = shard_id
         self.engine = engine
+        #: Optional :class:`~repro.observe.observer.ServeObserver`; when
+        #: present, applies and replays are counted/spanned through it.
+        self._observer = observer
+        #: The per-shard span log, resolved once — ``SpanLog`` identity is
+        #: stable across restarts, so ``deliver`` never re-asks for it.
+        self._spanlog = (
+            observer.shard_span_log(shard_id) if observer is not None else None
+        )
         #: A session-level recorder shared with sibling shards (the
         #: supervisor passes one), or ``None`` for a private per-worker
         #: one.  Sharing matters for attribution: an overrun access can
@@ -133,6 +142,7 @@ class ShardWorker:
         self.alive = False
         self.restarts = 0
         self.replayed_events = 0
+        self.replay_errors = 0
         self.applied = 0
         self._boot()
 
@@ -182,8 +192,45 @@ class ShardWorker:
         self.restarts += 1
         replayed = 0
         self._boot()
-        for _client, _seq, event_json in self.journal.replay():
-            self._apply(event_json)
+        observer = self._observer
+        spanlog = self._spanlog
+        for client, seq, event_json in self.journal.replay():
+            try:
+                if spanlog is not None:
+                    # The replay span links back to the original apply via
+                    # ``replayed_from`` — the stitched trace shows the
+                    # re-execution as a distinct span tied to the frame
+                    # identity it re-ran.
+                    with spanlog.span(
+                        "replay",
+                        client=client,
+                        seq=seq,
+                        shard=self.shard_id,
+                        restart=self.restarts,
+                        replayed_from=f"{client}:{seq}",
+                    ):
+                        self._apply(event_json)
+                else:
+                    self._apply(event_json)
+            except (KeyError, ValueError, TypeError) as exc:
+                # A journal entry that no longer decodes (bit rot in a
+                # mirror, a version skew) must not take the whole shard
+                # down with it — count it, log it, skip it.  Silently
+                # swallowing it is the bug class this PR audits out.
+                self.replay_errors += 1
+                if observer is not None:
+                    observer.count_replay_error()
+                    observer.log.event(
+                        "journal.replay_error",
+                        client=client,
+                        seq=seq,
+                        shard=self.shard_id,
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+                telemetry = _telemetry.ACTIVE
+                if telemetry is not None:
+                    telemetry.count("serve.journal_replay_errors")
+                continue
             replayed += 1
         self.replayed_events += replayed
         telemetry = _telemetry.ACTIVE
@@ -224,7 +271,14 @@ class ShardWorker:
             )
         if not self.journal.record(client, seq, event_json):
             return False  # idempotent re-delivery
-        self._apply(event_json)
+        spanlog = self._spanlog
+        if spanlog is not None:
+            with spanlog.span(
+                "apply", client=client, seq=seq, shard=self.shard_id
+            ):
+                self._apply(event_json)
+        else:
+            self._apply(event_json)
         if crash_phase == "post":
             self.crash()
             raise WorkerCrash(
@@ -256,6 +310,7 @@ class ShardWorker:
             "alive": self.alive,
             "restarts": self.restarts,
             "replayed_events": self.replayed_events,
+            "replay_errors": self.replay_errors,
             "applied": self.applied,
             "journal": self.journal.stats(),
         }

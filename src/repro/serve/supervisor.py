@@ -43,8 +43,12 @@ class Supervisor:
         n_shards: int = 4,
         engine: str = "columnar",
         tools: Iterable[str] = ("arbalest",),
+        observer=None,
     ):
         self.router = AddressRouter(n_shards)
+        #: Optional :class:`~repro.observe.observer.ServeObserver` shared
+        #: with the owning server; ``None`` keeps every site below free.
+        self.observer = observer
         #: The session's address-to-variable index, shared by all shard
         #: workers.  It is supervisor state, not worker state: a worker
         #: crash wipes detector state (rebuilt from the journal) but not
@@ -53,7 +57,13 @@ class Supervisor:
         #: crosses shard boundaries).
         self.recorder = FlightRecorder()
         self.workers = [
-            ShardWorker(i, engine=engine, tools=tools, recorder=self.recorder)
+            ShardWorker(
+                i,
+                engine=engine,
+                tools=tools,
+                recorder=self.recorder,
+                observer=observer,
+            )
             for i in range(n_shards)
         ]
         #: Delivery-attempt occurrence index -> crash phase ("pre"/"post"),
@@ -104,9 +114,25 @@ class Supervisor:
 
     # -- delivery ----------------------------------------------------------
 
+    def _restart(self, worker, *, client: int | None = None, seq: int | None = None, cause: str = "crash") -> None:
+        """Restart one worker, with the structured log entry operators grep."""
+        observer = self.observer
+        if observer is not None:
+            observer.log.event(
+                "worker.restart",
+                client=client,
+                seq=seq,
+                shard=worker.shard_id,
+                cause=cause,
+                journal_entries=len(worker.journal),
+            )
+        worker.restart()
+        self.worker_restarts += 1
+
     def _deliver_to(self, shard_id: int, client: int, seq: int, event: dict) -> None:
         """Deliver one frame to one shard, surviving worker crashes."""
         worker = self.workers[shard_id]
+        observer = self.observer
         for _attempt in range(MAX_DELIVERY_RETRIES + 1):
             self.delivery_attempts += 1
             crash_phase = self.kill_schedule.pop(self.delivery_attempts, None)
@@ -114,8 +140,9 @@ class Supervisor:
                 if not worker.alive:
                     # Died outside a delivery (e.g. drained mid-crash):
                     # restart before touching it.
-                    worker.restart()
-                    self.worker_restarts += 1
+                    self._restart(
+                        worker, client=client, seq=seq, cause="found-dead"
+                    )
                 fresh = worker.deliver(
                     client, seq, event, crash_phase=crash_phase
                 )
@@ -123,8 +150,9 @@ class Supervisor:
                     self.duplicates_dropped += 1
                 return
             except WorkerCrash:
-                worker.restart()
-                self.worker_restarts += 1
+                self._restart(worker, client=client, seq=seq, cause="crash")
+                if observer is not None:
+                    observer.count_redelivery()
                 telemetry = _telemetry.ACTIVE
                 if telemetry is not None:
                     telemetry.count("serve.crash_redeliveries")
@@ -146,8 +174,7 @@ class Supervisor:
         """Flush every shard's parked columnar batch (SIGTERM/FIN path)."""
         for worker in self.workers:
             if not worker.alive:
-                worker.restart()
-                self.worker_restarts += 1
+                self._restart(worker, cause="drain")
             worker.drain()
 
     def findings(self) -> list[tuple[int, str, Finding, int]]:

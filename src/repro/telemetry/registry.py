@@ -79,6 +79,25 @@ class Histogram:
         k = max(value - 1, 0).bit_length()
         self.buckets[k] = self.buckets.get(k, 0) + 1
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram.
+
+        Buckets are fixed power-of-two edges, so merging is exact — it
+        lets a hot path observe into a small window histogram and fold
+        into the cumulative series in bulk, off the per-event path.
+        """
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.min is None or other.min < self.min:
+            self.min = other.min
+        if self.max is None or other.max > self.max:
+            self.max = other.max
+        buckets = self.buckets
+        for k, n in other.buckets.items():
+            buckets[k] = buckets.get(k, 0) + n
+
     def snapshot(self) -> dict:
         return {
             "count": self.count,

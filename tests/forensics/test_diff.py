@@ -257,3 +257,74 @@ class TestServeBenchDiff:
             _serve_bench(10000.0), _serve_bench(10000.0, delivery_ok=False)
         )
         assert "findings were lost" in render_diff(d)
+
+
+def _observed_bench(
+    events_per_sec: float = 10000.0,
+    *,
+    slos: list | None = None,
+    burning: list | None = None,
+    **counters,
+) -> dict:
+    bench = _serve_bench(events_per_sec)
+    bench["observability"] = {
+        "enabled": True,
+        "slos": slos
+        if slos is not None
+        else [{"name": "redelivery-rate", "metric": "redelivery_rate", "threshold": 0.25}],
+        "watchdog": {
+            "evaluations": 8,
+            "burn_events": counters.pop("burn_events", 0),
+            "clear_events": counters.pop("clear_events", 0),
+            "burning": burning or [],
+        },
+        "redeliveries": counters.pop("redeliveries", 0),
+        "wire_decode_errors": counters.pop("wire_decode_errors", 0),
+        "journal_replay_errors": counters.pop("journal_replay_errors", 0),
+        "worker_restarts": counters.pop("worker_restarts", 0),
+    }
+    assert not counters, f"unknown counters: {counters}"
+    return bench
+
+
+class TestServeBenchObservabilityDiff:
+    def test_matching_slos_and_clean_watchdog_stay_clean(self):
+        d = diff_serve_bench(_observed_bench(), _observed_bench(9900.0))
+        assert not d["regression"]
+        assert d["observability"]["redeliveries"] == {"old": 0, "new": 0, "delta": 0}
+
+    def test_differing_slo_specs_refuse_to_compare(self):
+        other = [{"name": "queue-occupancy", "metric": "queue_occupancy", "threshold": 0.9}]
+        with pytest.raises(ValueError, match="different SLO specs"):
+            diff_serve_bench(_observed_bench(), _observed_bench(slos=other))
+
+    def test_burning_candidate_regresses_at_any_speed(self):
+        d = diff_serve_bench(
+            _observed_bench(),
+            _observed_bench(99999.0, burning=["redelivery-rate"], burn_events=3),
+        )
+        assert "slo_burning" in d["regressions"]
+        assert d["burning"] == ["redelivery-rate"]
+        assert "redelivery-rate" in render_diff(d)
+
+    def test_burning_baseline_does_not_gate_the_candidate(self):
+        d = diff_serve_bench(
+            _observed_bench(burning=["redelivery-rate"], burn_events=1),
+            _observed_bench(),
+        )
+        assert not d["regression"]
+
+    def test_error_counter_deltas_are_reported_not_gated(self):
+        d = diff_serve_bench(
+            _observed_bench(),
+            _observed_bench(wire_decode_errors=4, worker_restarts=2),
+        )
+        assert not d["regression"]
+        assert d["observability"]["wire_decode_errors"]["delta"] == 4
+        assert d["observability"]["worker_restarts"]["delta"] == 2
+        assert "wire_decode_errors: 0 -> 4 (+4)" in render_diff(d)
+
+    def test_legacy_artifact_without_observability_still_diffs(self):
+        d = diff_serve_bench(_observed_bench(), _serve_bench(9900.0))
+        assert not d["regression"]
+        assert d["observability"] == {}

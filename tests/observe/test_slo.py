@@ -1,0 +1,80 @@
+"""The SLO watchdog: stateful burns, clears, and the health arc."""
+
+import pytest
+
+from repro.observe import CHAOS_SLOS, DEFAULT_SLOS, ObserveLog, SLOSpec, SLOWatchdog
+
+RATE = SLOSpec("redelivery-rate", "redelivery_rate", 0.25)
+QUEUE = SLOSpec("queue-occupancy", "queue_occupancy", 0.9)
+
+
+class TestSpecs:
+    def test_json_round_trip(self):
+        for spec in DEFAULT_SLOS + CHAOS_SLOS:
+            assert SLOSpec.from_json(spec.to_json()) == spec
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOWatchdog((RATE, RATE))
+
+
+class TestBurnState:
+    def test_burn_is_stateful_one_event_per_transition(self):
+        log = ObserveLog()
+        dog = SLOWatchdog((RATE,), log=log)
+        dog.evaluate({"frames": 10, "redelivery_rate": 0.5})
+        dog.evaluate({"frames": 10, "redelivery_rate": 0.6})  # still burning
+        dog.evaluate({"frames": 10, "redelivery_rate": 0.0})  # clears
+        assert dog.burn_events == 1
+        assert dog.clear_events == 1
+        assert not dog.burning
+        (burn,) = log.named("slo.burn")
+        assert burn["slo"] == "redelivery-rate"
+        assert burn["value"] == 0.5
+        assert burn["threshold"] == 0.25
+        (clear,) = log.named("slo.clear")
+        assert clear["slo"] == "redelivery-rate"
+
+    def test_threshold_is_inclusive(self):
+        dog = SLOWatchdog((RATE,))
+        dog.evaluate({"redelivery_rate": 0.25})  # at the bound: healthy
+        assert dog.healthy
+        dog.evaluate({"redelivery_rate": 0.2500001})
+        assert not dog.healthy
+
+    def test_absent_metric_is_skipped_never_burned(self):
+        dog = SLOWatchdog(DEFAULT_SLOS)
+        dog.evaluate({"frames": 10, "redelivery_rate": 0.0})  # no latency key
+        assert dog.healthy
+        assert dog.evaluations == 1
+
+    def test_independent_specs_burn_independently(self):
+        dog = SLOWatchdog((RATE, QUEUE))
+        dog.evaluate({"redelivery_rate": 0.5, "queue_occupancy": 1.0})
+        assert sorted(dog.burning) == ["queue-occupancy", "redelivery-rate"]
+        dog.evaluate({"redelivery_rate": 0.5, "queue_occupancy": 0.0})
+        assert sorted(dog.burning) == ["redelivery-rate"]
+        assert dog.burn_events == 2
+        assert dog.clear_events == 1
+
+
+class TestHealthArc:
+    def test_arc_tracks_transitions_only(self):
+        dog = SLOWatchdog((RATE,))
+        dog.evaluate({"redelivery_rate": 0.0})
+        dog.evaluate({"redelivery_rate": 0.5})
+        dog.evaluate({"redelivery_rate": 0.6})
+        dog.evaluate({"redelivery_rate": 0.0})
+        assert dog.health_transitions() == ["ok", "degraded", "ok"]
+
+    def test_arc_of_a_quiet_watchdog_is_ok(self):
+        assert SLOWatchdog((RATE,)).health_transitions() == ["ok"]
+
+    def test_verdicts_record_every_window(self):
+        dog = SLOWatchdog((RATE,))
+        dog.evaluate({"frames": 3, "redelivery_rate": 0.5})
+        dog.evaluate({"frames": 4, "redelivery_rate": 0.0})
+        assert dog.verdicts == [
+            {"evaluation": 1, "frames": 3, "burning": ["redelivery-rate"]},
+            {"evaluation": 2, "frames": 4, "burning": []},
+        ]
