@@ -9,6 +9,9 @@
     python -m repro casestudy              # 503.postencil (Fig 6/7)
     python -m repro ompsan                 # §VI.G static-vs-dynamic
     python -m repro lint  [--json]         # static linter over every twin
+    python -m repro synth [--json]         # synthesized minimal mappings per twin
+    python -m repro synth --score          # validation matrix -> BENCH_synth.json shape
+    python -m repro synth --apply NAME     # print a synthesized program as pseudo-source
     python -m repro hybrid                 # static vs dynamic vs hybrid table
     python -m repro dracc 22               # one benchmark under all tools
     python -m repro chaos [--seed 0]       # fault-injection campaign -> BENCH_chaos.json
@@ -161,6 +164,53 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(render_suite(payload))
     # Linter semantics: findings anywhere -> non-zero, like any linter.
     return 1 if payload["summary"]["findings"] else 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from .staticlint.synth import (
+        render_program,
+        render_synth_suite,
+        synth_suite,
+        synth_suite_programs,
+        synthesize,
+    )
+
+    if args.score:
+        from .harness.synth import run_synth_matrix
+
+        matrix = run_synth_matrix()
+        if args.json:
+            import json
+
+            print(json.dumps(matrix.to_json(), indent=2, sort_keys=True))
+        else:
+            print(matrix.render())
+        return 0 if matrix.ok else 1
+    if args.apply:
+        programs = synth_suite_programs()
+        names = [args.apply] if args.apply != "all" else sorted(programs)
+        for name in names:
+            if name not in programs:
+                print(f"unknown program {name!r}; try one of:", file=sys.stderr)
+                for known in sorted(programs):
+                    print(f"  {known}", file=sys.stderr)
+                return 2
+            print(render_program(synthesize(programs[name]).program))
+            print()
+        return 0
+    payload = synth_suite()
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_synth_suite(payload))
+    summary = payload["summary"]
+    ok = (
+        summary["equivalent"] == summary["programs"]
+        and summary["synth_bytes"] <= summary["baseline_bytes"]
+    )
+    return 0 if ok else 1
 
 
 def _cmd_hybrid(args: argparse.Namespace) -> int:
@@ -735,6 +785,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable findings (the golden-file format)",
     )
     pl2.set_defaults(fn=_cmd_lint)
+
+    py = sub.add_parser(
+        "synth", help="synthesize minimal data mappings for the clean twins"
+    )
+    py.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable payload (the golden-file format)",
+    )
+    py.add_argument(
+        "--apply",
+        metavar="PROGRAM",
+        help="print the synthesized program as pseudo-source ('all' for every one)",
+    )
+    py.add_argument(
+        "--score",
+        action="store_true",
+        help="full validation matrix: detector-clean on both engines, "
+        "value-equivalent, bytes <= hand-written (BENCH_synth.json shape)",
+    )
+    py.set_defaults(fn=_cmd_synth)
 
     sub.add_parser(
         "hybrid", help="static vs dynamic vs hybrid precision on DRACC"

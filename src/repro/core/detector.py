@@ -141,11 +141,22 @@ class Arbalest(Tool):
         else:
             certified = frozenset(certificate)
         self.certified = certified
+        # Sub-variable grants: var -> (lo, hi, length) element ranges the
+        # linter proved issue-free on variables it could not whole-certify.
+        self.cert_sections: dict[str, tuple[int, int, int]] = {}
+        if certificate is not None and hasattr(certificate, "sections"):
+            self.cert_sections = {
+                c.var: (c.lo, c.hi, c.length)
+                for c in certificate.sections
+                if c.var not in certified
+            }
         self.cert_access_skips = 0
+        self.cert_section_skips = 0
         self.shadows = ShadowRegistry(
             granule=granule,
             budget_bytes=shadow_budget_bytes,
             certified=certified,
+            sections=self.cert_sections,
         )
         self.mappings = MappingRegistry(certified=certified)
         self.race_engine = RaceEngine() if race_detection else None
@@ -289,6 +300,18 @@ class Arbalest(Tool):
                 # The host allocation was certificate-skipped; the DataOp
                 # carries no variable name, so stamp the mapping by address.
                 record.certified = True
+            elif ov_block is not None and not record.certified:
+                section = self.shadows.section_for_base(ov_block.base)
+                if (
+                    section is not None
+                    and section[0] <= op.ov_address
+                    and op.ov_address + op.nbytes <= section[1]
+                ):
+                    # The whole mapped section sits inside a certified
+                    # sub-variable range: the mapping rides the same skip
+                    # fast path, attributed as a section grant.
+                    record.certified = True
+                    record.certified_section = True
             self.mappings.add(record)
             # Unified: mapping makes a host-valid value visible on the
             # device (host → consistent); separate: fresh CV, garbage.
@@ -522,6 +545,12 @@ class Arbalest(Tool):
         n_cert = int((c == 1).sum())
         if n_cert:
             self.cert_access_skips += n_cert
+            sec_flags = np.fromiter(
+                (r.certified_section for r in recs), dtype=bool, count=len(recs)
+            )
+            n_sec = int(sec_flags[ri[seg[c == 1]]].sum())
+            if n_sec:
+                self.cert_section_skips += n_sec
             if telemetry is not None:
                 telemetry.count("staticlint.access_skips", n_cert)
         is_write = cols.is_write
@@ -671,6 +700,8 @@ class Arbalest(Tool):
             self._report_overflow(access, rec)
         if rec.certified:
             self.cert_access_skips += 1
+            if rec.certified_section:
+                self.cert_section_skips += 1
             return True
         if block is None:
             return False
@@ -933,6 +964,10 @@ class Arbalest(Tool):
             "shadow_blocks_skipped": self.shadows.skipped_blocks,
             "shadow_bytes_skipped": self.shadows.skipped_bytes,
             "access_skips": self.cert_access_skips,
+            "section_certified_variables": len(self.cert_sections),
+            "section_shadow_blocks": self.shadows.section_blocks,
+            "section_certified_bytes": self.shadows.section_bytes,
+            "section_access_skips": self.cert_section_skips,
         }
 
     def degradation_stats(self) -> dict:

@@ -255,5 +255,7 @@ class MultiDeviceArbalest(Arbalest):
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
         self.shadows = MultiShadowRegistry(
-            granule=self.granule, certified=self.certified
+            granule=self.granule,
+            certified=self.certified,
+            sections=self.cert_sections,
         )

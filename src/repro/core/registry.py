@@ -36,6 +36,11 @@ class MappingRecord:
     #: Statically proven mapping-issue-free: accesses through this record
     #: skip VSM transitions entirely (static-assisted dynamic detection).
     certified: bool = False
+    #: The proof came from a sub-variable :class:`~repro.staticlint.
+    #: certificate.SectionCert` (the mapping sits inside the certified
+    #: element range) rather than a whole-variable grant.  Purely
+    #: attribution — the skip path is the same ``certified`` fast path.
+    certified_section: bool = False
 
     @property
     def cv_end(self) -> int:
@@ -177,6 +182,16 @@ class ShadowRegistry:
     **no shadow block at all** (``create`` returns ``None`` and records the
     address range so ``drop``/lookups stay consistent).  The savings are
     accounted in :attr:`skipped_blocks` / :attr:`skipped_bytes`.
+
+    ``sections`` carries the certificate's sub-variable grants as
+    ``label -> (lo, hi, length)`` element ranges.  A section-certified
+    variable still gets its full shadow block (it has real findings outside
+    the section, so the VSM must keep running there), but the registry
+    remembers the certified *byte* subrange of each such allocation —
+    shrunk inward to granule alignment, so skipping transitions inside it
+    can never perturb the state of granules outside it.  The detector uses
+    :meth:`section_for_base` to stamp mappings that sit entirely inside the
+    range.
     """
 
     def __init__(
@@ -185,6 +200,7 @@ class ShadowRegistry:
         granule: int = 8,
         budget_bytes: int | None = None,
         certified: frozenset[str] | None = None,
+        sections: dict[str, tuple[int, int, int]] | None = None,
     ) -> None:
         self._tree: IntervalTree[ShadowBlock] = IntervalTree()
         self.granule = granule
@@ -200,6 +216,12 @@ class ShadowRegistry:
         self._skipped: dict[int, int] = {}
         self.skipped_blocks = 0
         self.skipped_bytes = 0
+        #: Sub-variable grants: label -> (lo, hi, length) element ranges.
+        self.sections = dict(sections or {})
+        #: Certified byte subranges of live blocks: base -> (byte_lo, byte_hi).
+        self._section_ranges: dict[int, tuple[int, int]] = {}
+        self.section_blocks = 0
+        self.section_bytes = 0
 
     def __len__(self) -> int:
         return len(self._tree)
@@ -227,7 +249,35 @@ class ShadowRegistry:
         block = self._make_block(base, nbytes, granule, label)
         self._tree.insert(base, base + nbytes, block)
         self._total_shadow += block.shadow_nbytes
+        if label and label in self.sections:
+            self._record_section(base, nbytes, self.sections[label])
         return block
+
+    def _record_section(
+        self, base: int, nbytes: int, section: tuple[int, int, int]
+    ) -> None:
+        lo, hi, length = section
+        if length <= 0 or nbytes % length:
+            return  # allocation does not look like `length` elements
+        itemsize = nbytes // length
+        granule = self.granule
+        byte_lo = base + lo * itemsize
+        byte_hi = base + min(hi, length) * itemsize
+        # Shrink inward to granule boundaries: a skipped transition must
+        # never share a granule with an uncertified byte.
+        byte_lo = -(-(byte_lo) // granule) * granule
+        byte_hi = (byte_hi // granule) * granule
+        if byte_hi <= byte_lo:
+            return
+        self._section_ranges[base] = (byte_lo, byte_hi)
+        self.section_blocks += 1
+        self.section_bytes += byte_hi - byte_lo
+        if _telemetry.ACTIVE is not None:
+            _telemetry.ACTIVE.count("staticlint.section_grants")
+
+    def section_for_base(self, base: int) -> tuple[int, int] | None:
+        """The certified byte subrange of the block at ``base``, if any."""
+        return self._section_ranges.get(base)
 
     def _make_block(
         self, base: int, nbytes: int, granule: int, label: str
@@ -238,6 +288,7 @@ class ShadowRegistry:
     def drop(self, base: int) -> ShadowBlock | None:
         if self._skipped.pop(base, None) is not None:
             return None  # certified allocation: there never was a block
+        self._section_ranges.pop(base, None)
         block = self._tree.remove(base)
         self._total_shadow -= block.shadow_nbytes
         return block

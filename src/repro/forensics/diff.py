@@ -16,7 +16,11 @@
   candidate whose delivery verdict is false regresses at any speed.
   Observability fields gate too: artifacts measured under different SLO
   specs refuse to compare (like an engine mismatch), and a candidate
-  whose SLO watchdog is still burning regresses regardless of timing.
+  whose SLO watchdog is still burning regresses regardless of timing;
+* **synth-bench** artifacts (``BENCH_synth.json``, ``synth-bench/1``
+  shape): synthesized transfer bytes growing on any program, or a
+  clean/equivalence verdict lost, is a regression — no threshold, the
+  byte counts are deterministic.
 
 A diff with at least one regression is what makes the CLI exit non-zero —
 the CI gate in one command.
@@ -43,12 +47,14 @@ def load_artifact(path: str) -> tuple[str, dict]:
     if isinstance(whole, dict):
         if whole.get("artifact") == "serve-bench/1":
             return "serve-bench", whole
+        if whole.get("artifact") == "synth-bench/1":
+            return "synth-bench", whole
         if "workloads" in whole and "summary" in whole:
             return "bench", whole
         raise ValueError(
             f"{path}: JSON document is neither a bench artifact "
             "(workloads+summary), a serve-bench artifact (serve-bench/1), "
-            "nor a JSONL report"
+            "a synth-bench artifact (synth-bench/1), nor a JSONL report"
         )
     # Not one JSON document: JSON-lines report (parse_jsonl validates).
     return "report", parse_jsonl(text)
@@ -220,6 +226,53 @@ def diff_serve_bench(
     }
 
 
+def diff_synth_bench(old: dict, new: dict) -> dict:
+    """Compare two synthesis-matrix artifacts (``synth-bench/1``).
+
+    Transfer bytes are deterministic (counted, not timed), so there is no
+    tolerance threshold: on any shared program, synthesized bytes growing,
+    a clean-on-both-engines verdict lost, or value equivalence lost is a
+    regression; so is a program disappearing from the corpus.  Byte
+    *savings* and new programs are reported as progress, not gated.
+    """
+    old_programs = old.get("programs", {})
+    new_programs = new.get("programs", {})
+    regressions: list[str] = []
+    programs: dict[str, dict] = {}
+    for name in sorted(set(old_programs) - set(new_programs)):
+        regressions.append(f"{name}: missing from candidate")
+    for name in sorted(set(old_programs) & set(new_programs)):
+        o, n = old_programs[name], new_programs[name]
+        entry: dict = {
+            "synth_bytes": {"old": o["synth_bytes"], "new": n["synth_bytes"]}
+        }
+        if n["synth_bytes"] > o["synth_bytes"]:
+            regressions.append(
+                f"{name}: synthesized bytes grew "
+                f"{o['synth_bytes']} -> {n['synth_bytes']}"
+            )
+        for key in ("clean_scalar", "clean_columnar", "equivalent"):
+            entry[key] = {"old": o.get(key, True), "new": n.get(key, True)}
+            if o.get(key, True) and not n.get(key, True):
+                regressions.append(f"{name}: {key} verdict lost")
+        programs[name] = entry
+    deltas: dict[str, dict] = {}
+    old_summary = old.get("summary", {})
+    new_summary = new.get("summary", {})
+    for key in sorted(set(old_summary) & set(new_summary)):
+        o, n = old_summary[key], new_summary[key]
+        if isinstance(o, (int, float)) and isinstance(n, (int, float)):
+            deltas[key] = {"old": o, "new": n, "delta": n - o}
+    return {
+        "type": "synth-bench",
+        "deltas": deltas,
+        "programs": programs,
+        "new_programs": sorted(set(new_programs) - set(old_programs)),
+        "regressions": regressions,
+        "regression": bool(regressions),
+    }
+
+
 def diff_artifacts(
     old_path: str, new_path: str, *, threshold: float = DEFAULT_THRESHOLD
 ) -> dict:
@@ -234,6 +287,8 @@ def diff_artifacts(
         return diff_reports(old_payload, new_payload)
     if old_type == "serve-bench":
         return diff_serve_bench(old_payload, new_payload, threshold=threshold)
+    if old_type == "synth-bench":
+        return diff_synth_bench(old_payload, new_payload)
     return diff_bench(old_payload, new_payload, threshold=threshold)
 
 
@@ -267,6 +322,20 @@ def render_diff(result: dict) -> str:
         lines.append(
             f"{len(result['new'])} new, {len(result['fixed'])} fixed, "
             f"{len(result['changed'])} changed"
+        )
+    elif result["type"] == "synth-bench":
+        for key, d in result["deltas"].items():
+            sign = "+" if d["delta"] >= 0 else ""
+            lines.append(f"{key}: {d['old']} -> {d['new']} ({sign}{d['delta']})")
+        for name in result.get("new_programs", []):
+            lines.append(f"NEW PROGRAM  {name}")
+        for message in result["regressions"]:
+            lines.append(f"REGRESSION  {message}")
+        lines.append("")
+        lines.append(
+            "REGRESSION: " + ", ".join(result["regressions"])
+            if result["regression"]
+            else "synthesized mappings hold: no bytes grew, no verdict lost"
         )
     elif result["type"] == "serve-bench":
         for key, d in result["deltas"].items():

@@ -27,6 +27,12 @@ from .hybrid import (
 )
 from .profile import PROFILE_CLOCKS, PROFILE_SUITES, inventory, run_profile
 from .report import REPORT_SUITES, run_report
+from .synth import (
+    SynthMatrixResult,
+    SynthProgramRow,
+    run_synth_matrix,
+    run_synth_program,
+)
 from .serve import (
     SERVE_BENCH_ARTIFACT,
     SERVE_CHAOS_KINDS,
@@ -88,6 +94,10 @@ __all__ = [
     "SERVE_SUITES",
     "SERVE_CHAOS_KINDS",
     "SERVE_BENCH_ARTIFACT",
+    "run_synth_matrix",
+    "run_synth_program",
+    "SynthMatrixResult",
+    "SynthProgramRow",
     "render_table",
     "render_ratio_chart",
 ]

@@ -1,0 +1,280 @@
+"""Execute a static twin on the simulated OpenMP runtime.
+
+The static IR (:mod:`repro.ompsan.ir`) exists so the linter and the mapping
+synthesizer can reason about directives without running anything.  This
+module closes the loop: :func:`run_twin` *interprets* a
+:class:`~repro.ompsan.ir.StaticProgram` against a real
+:class:`~repro.openmp.runtime.TargetRuntime`, so a synthesized mapping can
+be validated the only way that counts — dynamically, with the detector
+attached and the interconnect byte counters running.
+
+Execution semantics, chosen so baseline-vs-synthesized comparisons are
+meaningful:
+
+* **Computation is deterministic.**  Host writes fill arrays with a value
+  drawn from a per-run write sequence number; kernels write a pure function
+  of the values they read.  Two runs of programs that differ *only in data
+  directives* therefore produce byte-identical results iff the mappings
+  deliver the same data — the equality check the synthesis harness rests
+  on.
+* **Map types are legalized per construct.**  The IR lets encoders put any
+  map-type on ``enter_data``/``exit_data`` (mirroring what source code
+  *means*); the runtime enforces OpenMP 5.1's construct restrictions.  The
+  executor lowers to the legal equivalent with identical transfer
+  semantics: ``tofrom`` on entry is ``to`` (the copy-back half belongs to
+  the exit), ``from`` on entry is ``alloc``, ``tofrom``/``to`` on exit are
+  ``from``/``release``.
+* **Opaque control flow is resolved deterministically.**  Loops without a
+  trip count run :data:`DEFAULT_TRIPS` times; branches take the then-arm.
+  The linter over-approximates both; the executor picks one concrete
+  interleaving, which is all a dynamic check needs.
+* **Pointer swaps swap bindings.**  ``PointerSwap`` exchanges which host
+  array a *name* refers to — the physical-buffer shuffle of 503.postencil.
+  Kernels and directives resolve names through the current binding, so the
+  executed behaviour matches the C original (and diverges from what a
+  name-based static analysis believes, exactly as the paper describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..openmp.maptypes import MapSpec, MapType
+from ..openmp.runtime import TargetRuntime
+from .ir import (
+    Branch,
+    Decl,
+    EnterData,
+    ExitData,
+    HostRead,
+    HostWrite,
+    Loop,
+    MapItem,
+    PointerSwap,
+    StaticProgram,
+    TargetKernel,
+    Update,
+    extent_bounds,
+    index_eval,
+    update_entry,
+)
+
+#: Concrete trip count for loops the IR leaves unbounded.
+DEFAULT_TRIPS = 2
+
+#: ``target enter data`` accepts to/alloc; lower the rest to the map-type
+#: with the same *entry* effect (Table I, top half).
+_ENTER_LEGAL = {
+    MapType.TO: MapType.TO,
+    MapType.TOFROM: MapType.TO,
+    MapType.FROM: MapType.ALLOC,
+    MapType.ALLOC: MapType.ALLOC,
+}
+
+#: ``target exit data`` accepts from/release/delete; lower the rest to the
+#: map-type with the same *exit* effect (Table I, bottom half).
+_EXIT_LEGAL = {
+    MapType.FROM: MapType.FROM,
+    MapType.TOFROM: MapType.FROM,
+    MapType.TO: MapType.RELEASE,
+    MapType.ALLOC: MapType.RELEASE,
+    MapType.RELEASE: MapType.RELEASE,
+    MapType.DELETE: MapType.DELETE,
+}
+
+
+@dataclass
+class TwinRun:
+    """Observable outcome of one twin execution.
+
+    ``host_reads`` logs ``(var, checksum)`` at every ``HostRead`` — the
+    host-visible intermediate states; ``values`` holds the final contents
+    of every array keyed by its *binding* name.  Two mappings are
+    behaviourally equivalent when both fields match.
+    """
+
+    program: str
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    kernels: int = 0
+    host_reads: tuple = ()
+    values: dict = field(default_factory=dict)
+
+    @property
+    def transfer_bytes(self) -> int:
+        return self.h2d_bytes + self.d2h_bytes
+
+
+class _Executor:
+    def __init__(self, program: StaticProgram, rt: TargetRuntime, device: int):
+        self.program = program
+        self.rt = rt
+        self.device = device
+        #: Current name -> HostArray binding (PointerSwap exchanges these).
+        self.bindings: dict = {}
+        #: Loop induction symbol -> current concrete value.
+        self.env: dict[str, int] = {}
+        self.write_seq = 0
+        self.kernels = 0
+        self.read_log: list = []
+
+    # -- directive helpers --------------------------------------------------
+
+    def _spec(self, item: MapItem, map_type: MapType) -> MapSpec:
+        array = self.bindings[item.var]
+        start = index_eval(item.start, self.env)
+        return MapSpec(array, map_type, start, item.elements)
+
+    def _extent(self, stmt: TargetKernel, var: str) -> tuple[int, int]:
+        for name, value in stmt.extents:
+            if name == var:
+                lo, hi = extent_bounds(value)
+                return (index_eval(lo, self.env), index_eval(hi, self.env))
+        return (0, self.bindings[var].length)
+
+    # -- statement dispatch --------------------------------------------------
+
+    def run_body(self, body) -> None:
+        for stmt in body:
+            self.run_stmt(stmt)
+
+    def run_stmt(self, stmt) -> None:
+        if isinstance(stmt, Decl):
+            storage = "global" if stmt.initialized else "heap"
+            array = self.rt.array(stmt.var, stmt.length, storage=storage)
+            self.bindings[stmt.var] = array
+            if stmt.initialized:
+                # Init-at-decl is a *defined* host value: perform it as an
+                # instrumented write so the VSM sees the OV initialized,
+                # exactly as loading a .data segment defines a C global.
+                array.write(
+                    slice(0, array.length),
+                    np.arange(array.length, dtype=array.dtype),
+                )
+        elif isinstance(stmt, HostWrite):
+            self.write_seq += 1
+            array = self.bindings[stmt.var]
+            array.write(
+                slice(0, array.length),
+                np.arange(array.length, dtype=array.dtype) + self.write_seq,
+            )
+        elif isinstance(stmt, HostRead):
+            array = self.bindings[stmt.var]
+            values = array.read(slice(0, array.length))
+            self.read_log.append((stmt.var, float(np.sum(values))))
+        elif isinstance(stmt, TargetKernel):
+            self._run_kernel(stmt)
+        elif isinstance(stmt, EnterData):
+            self.rt.target_enter_data(
+                [self._spec(m, _ENTER_LEGAL[m.map_type]) for m in stmt.maps],
+                device=self.device,
+            )
+        elif isinstance(stmt, ExitData):
+            self.rt.target_exit_data(
+                [self._spec(m, _EXIT_LEGAL[m.map_type]) for m in stmt.maps],
+                device=self.device,
+            )
+        elif isinstance(stmt, Update):
+            self.rt.target_update(
+                to=[self._motion(e) for e in stmt.to],
+                from_=[self._motion(e) for e in stmt.from_],
+                device=self.device,
+            )
+        elif isinstance(stmt, PointerSwap):
+            a, b = self.bindings[stmt.a], self.bindings[stmt.b]
+            self.bindings[stmt.a], self.bindings[stmt.b] = b, a
+        elif isinstance(stmt, Loop):
+            self._run_loop(stmt)
+        elif isinstance(stmt, Branch):
+            self.run_body(stmt.then_body)
+        else:  # pragma: no cover - exhaustive over the Stmt union
+            raise TypeError(f"unknown statement {stmt!r}")
+
+    def _motion(self, entry):
+        item = update_entry(entry)
+        array = self.bindings[item.var]
+        return (array, index_eval(item.start, self.env), item.elements)
+
+    def _run_loop(self, stmt: Loop) -> None:
+        if stmt.sym is not None:
+            lo, hi = stmt.bounds if stmt.bounds is not None else (
+                0, stmt.trip_count if stmt.trip_count is not None else DEFAULT_TRIPS
+            )
+            had, prior = stmt.sym in self.env, self.env.get(stmt.sym)
+            try:
+                for value in range(lo, hi):
+                    self.env[stmt.sym] = value
+                    self.run_body(stmt.body)
+            finally:
+                if had:
+                    self.env[stmt.sym] = prior
+                else:
+                    self.env.pop(stmt.sym, None)
+            return
+        trips = stmt.trip_count if stmt.trip_count is not None else DEFAULT_TRIPS
+        for _ in range(trips):
+            self.run_body(stmt.body)
+
+    def _run_kernel(self, stmt: TargetKernel) -> None:
+        self.kernels += 1
+        # Resolve bindings and extents at directive time: the kernel body
+        # addresses present-table entries by the arrays' *real* names, so
+        # swapped bindings still reach the right CV.
+        names = {
+            v: self.bindings[v].name
+            for v in set(stmt.reads) | set(stmt.writes)
+        }
+        extents = {
+            v: self._extent(stmt, v) for v in set(stmt.reads) | set(stmt.writes)
+        }
+        reads, writes = stmt.reads, stmt.writes
+
+        def body(ctx) -> None:
+            acc = 0.0
+            for r in reads:
+                lo, hi = extents[r]
+                if hi > lo:
+                    acc += float(np.sum(ctx[names[r]].read(slice(lo, hi))))
+            for w in writes:
+                lo, hi = extents[w]
+                if hi > lo:
+                    ctx[names[w]].write(
+                        slice(lo, hi), acc + np.arange(lo, hi, dtype="f8")
+                    )
+
+        body.__name__ = f"twin_kernel_{self.kernels}"
+        self.rt.target(
+            body,
+            [self._spec(m, m.map_type) for m in stmt.maps],
+            device=self.device,
+        )
+
+
+def run_twin(
+    program: StaticProgram,
+    rt: TargetRuntime | None = None,
+    *,
+    device: int = 1,
+) -> TwinRun:
+    """Execute ``program`` on ``rt`` (a fresh single-device runtime by
+    default) and return its observable outcome."""
+    if rt is None:
+        rt = TargetRuntime()
+    executor = _Executor(program, rt, device)
+    h2d0, d2h0 = rt.h2d_bytes, rt.d2h_bytes
+    executor.run_body(program.body)
+    rt.finalize()
+    values = {
+        name: tuple(array.peek().tolist())
+        for name, array in executor.bindings.items()
+    }
+    return TwinRun(
+        program=program.name,
+        h2d_bytes=rt.h2d_bytes - h2d0,
+        d2h_bytes=rt.d2h_bytes - d2h0,
+        kernels=executor.kernels,
+        host_reads=tuple(executor.read_log),
+        values=values,
+    )

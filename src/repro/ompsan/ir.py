@@ -29,6 +29,78 @@ from ..openmp.maptypes import MapType
 
 
 @dataclass(frozen=True)
+class Affine:
+    """An affine index expression ``c0 + c1*sym`` over a loop symbol.
+
+    ``sym`` names the induction variable of an enclosing :class:`Loop`;
+    its static range ``[lo, hi)`` travels with the expression so any
+    consumer (the section lattice, the synthesizer, the executor) can
+    concretize without CFG context.  ``c1 == 0`` degenerates to the
+    constant ``c0`` and needs no symbol.
+    """
+
+    c0: int
+    c1: int = 0
+    sym: str = ""
+    lo: int = 0
+    hi: int = 1
+
+    def __post_init__(self) -> None:
+        if self.c1 and not self.sym:
+            raise ValueError("affine expression with a stride needs a symbol")
+        if self.hi <= self.lo:
+            raise ValueError(f"empty symbol range [{self.lo}, {self.hi})")
+
+    @property
+    def is_const(self) -> bool:
+        return self.c1 == 0
+
+    def eval(self, env: dict[str, int] | None = None) -> int:
+        if self.c1 == 0:
+            return self.c0
+        if env is None or self.sym not in env:
+            raise KeyError(f"unbound loop symbol {self.sym!r}")
+        return self.c0 + self.c1 * env[self.sym]
+
+    def minimum(self) -> int:
+        """Smallest value over the symbol range (affine: at an endpoint)."""
+        return self.c0 + self.c1 * (self.lo if self.c1 >= 0 else self.hi - 1)
+
+    def maximum(self) -> int:
+        return self.c0 + self.c1 * (self.hi - 1 if self.c1 >= 0 else self.lo)
+
+    def shift(self, delta: int) -> "Affine":
+        return Affine(self.c0 + delta, self.c1, self.sym, self.lo, self.hi)
+
+    def render(self) -> str:
+        if self.c1 == 0:
+            return str(self.c0)
+        stride = f"{self.c1}*{self.sym}" if self.c1 != 1 else self.sym
+        base = f"{self.c0} + " if self.c0 else ""
+        return f"{base}{stride}"
+
+
+#: An element index in the IR: a literal or an affine expression.
+Index = Union[int, "Affine"]
+
+
+def index_min(value: Index) -> int:
+    return value.minimum() if isinstance(value, Affine) else int(value)
+
+
+def index_max(value: Index) -> int:
+    return value.maximum() if isinstance(value, Affine) else int(value)
+
+
+def index_eval(value: Index, env: dict[str, int] | None = None) -> int:
+    return value.eval(env) if isinstance(value, Affine) else int(value)
+
+
+def index_render(value: Index) -> str:
+    return value.render() if isinstance(value, Affine) else str(value)
+
+
+@dataclass(frozen=True)
 class MapItem:
     """One map clause: ``map(type: var[start:elements])``.
 
@@ -36,26 +108,38 @@ class MapItem:
     be 0).  Historically sections silently started at 0; carrying the
     offset keeps the static domain one interval per variable while letting
     wrong-*start* sections (DRACC_OMP_025) be encoded as what they are.
+    ``start`` may be an :class:`Affine` expression in an enclosing loop's
+    induction symbol — ``map(to: a[B*t : B])`` in a tiled loop.
     """
 
     var: str
     map_type: MapType
     elements: int | None = None
-    start: int = 0
+    start: Index = 0
 
     def __post_init__(self) -> None:
-        if self.start < 0:
-            raise ValueError(f"negative section start {self.start} for {self.var}")
-        if self.elements is None and self.start:
+        if index_min(self.start) < 0:
             raise ValueError(
-                f"whole-object map of {self.var} cannot carry start={self.start}"
+                f"negative section start {index_render(self.start)} for {self.var}"
+            )
+        if self.elements is None and not (
+            isinstance(self.start, int) and self.start == 0
+        ):
+            raise ValueError(
+                f"whole-object map of {self.var} cannot carry "
+                f"start={index_render(self.start)}"
             )
 
     def interval(self, length: int) -> tuple[int, int]:
-        """The mapped element interval ``[lo, hi)`` for a declared length."""
+        """The mapped element hull ``[lo, hi)`` for a declared length.
+
+        For an affine start this is the union over the symbol range — the
+        precise per-iteration section lives in
+        :func:`repro.staticlint.affine.map_section`.
+        """
         if self.elements is None:
             return (0, length)
-        return (self.start, self.start + self.elements)
+        return (index_min(self.start), index_max(self.start) + self.elements)
 
 
 @dataclass(frozen=True)
@@ -80,15 +164,23 @@ class HostRead:
 
 
 def extent_interval(value) -> tuple[int, int]:
-    """Normalize a kernel extent to an element interval ``[lo, hi)``.
+    """Normalize a kernel extent to a concrete element hull ``[lo, hi)``.
 
     A bare int ``hi`` is the legacy form "touches [0, hi)"; a 2-tuple is an
-    explicit interval (needed once sections carry offsets).
+    explicit interval (needed once sections carry offsets).  Affine
+    endpoints collapse to their hull over the symbol range; use
+    :func:`extent_bounds` to keep the symbolic form.
     """
+    lo, hi = extent_bounds(value)
+    return (index_min(lo), index_max(hi))
+
+
+def extent_bounds(value) -> tuple[Index, Index]:
+    """A kernel extent as ``(lo, hi)`` endpoints, affine forms preserved."""
     if isinstance(value, tuple):
         lo, hi = value
-        return (int(lo), int(hi))
-    return (0, int(value))
+        return (lo, hi)
+    return (0, value)
 
 
 @dataclass(frozen=True)
@@ -118,9 +210,42 @@ class ExitData:
 
 
 @dataclass(frozen=True)
+class UpdateItem:
+    """A sectioned ``target update`` motion item: ``var[start:elements]``.
+
+    ``elements=None`` moves the whole object; ``start`` may be affine in
+    an enclosing loop symbol (per-tile updates from the synthesizer).
+    """
+
+    var: str
+    elements: int | None = None
+    start: Index = 0
+
+    def interval(self, length: int) -> tuple[int, int]:
+        if self.elements is None:
+            return (0, length)
+        return (index_min(self.start), index_max(self.start) + self.elements)
+
+
+def update_entry(entry) -> UpdateItem:
+    """Normalize an :class:`Update` motion entry to an :class:`UpdateItem`."""
+    if isinstance(entry, UpdateItem):
+        return entry
+    if isinstance(entry, str):
+        return UpdateItem(entry)
+    return UpdateItem(*entry)
+
+
+@dataclass(frozen=True)
 class Update:
-    to: tuple[str, ...] = ()
-    from_: tuple[str, ...] = ()
+    """``target update to(...)/from(...)``; entries are names or items.
+
+    Plain strings move whole variables (the historical form); tuples or
+    :class:`UpdateItem` records move sections.
+    """
+
+    to: tuple = ()
+    from_: tuple = ()
     line: int = 0
 
 
@@ -148,6 +273,11 @@ class Loop:
     body: tuple["Stmt", ...]
     trip_count: int | None = None
     line: int = 0
+    #: Induction symbol affine section expressions in the body range over.
+    sym: str | None = None
+    #: The symbol's value range ``[lo, hi)``; defaults to ``(0, trip_count)``
+    #: when a symbol is named and the trip count is known.
+    bounds: tuple[int, int] | None = None
 
 
 @dataclass(frozen=True)
@@ -234,9 +364,15 @@ class StaticProgram:
         return self
 
     def update(
-        self, *, to: Sequence[str] = (), from_: Sequence[str] = (), line: int = 0
+        self, *, to: Sequence = (), from_: Sequence = (), line: int = 0
     ) -> "StaticProgram":
-        self.body.append(Update(tuple(to), tuple(from_), line))
+        self.body.append(
+            Update(
+                tuple(e if isinstance(e, str) else update_entry(e) for e in to),
+                tuple(e if isinstance(e, str) else update_entry(e) for e in from_),
+                line,
+            )
+        )
         return self
 
     def swap(self, a: str, b: str, line: int = 0) -> "StaticProgram":
@@ -249,11 +385,15 @@ class StaticProgram:
         *,
         trip_count: int | None = None,
         line: int = 0,
+        sym: str | None = None,
+        bounds: tuple[int, int] | None = None,
     ) -> "StaticProgram":
         """Append a loop; ``build`` fills a sub-program that becomes the body."""
         sub = StaticProgram(f"{self.name}:loop")
         build(sub)
-        self.body.append(Loop(tuple(sub.body), trip_count, line))
+        if sym is not None and bounds is None and trip_count is not None:
+            bounds = (0, trip_count)
+        self.body.append(Loop(tuple(sub.body), trip_count, line, sym, bounds))
         return self
 
     def branch(

@@ -21,7 +21,7 @@ dynamic original the twin necessarily approximates.
 from __future__ import annotations
 
 from ..openmp.maptypes import MapType
-from .ir import StaticProgram
+from .ir import Affine, StaticProgram
 
 N = 64
 M = 16
@@ -1029,4 +1029,74 @@ CONTROL_FLOW_PROGRAMS = {
     "loop_carried_stale": loop_carried_stale,
     "branch_carried_unmap": branch_carried_unmap,
     "loop_conditional_update": loop_conditional_update,
+}
+
+
+# ---------------------------------------------------------------------------
+# affine-section demonstrators: per-tile maps the fixed-granule domain
+# could not express
+# ---------------------------------------------------------------------------
+
+#: Tile width of the affine demos (8 tiles over the N-element vector).
+TILE = N // 8
+
+
+def affine_tiled() -> StaticProgram:
+    """Clean tiled kernel: iteration ``t`` maps and touches ``a[8t : 8t+8]``.
+
+    Inexpressible under the concrete-interval section domain — the mapped
+    section differs every iteration, so any concrete join collapses to
+    bottom and flags a spurious overflow.  The affine domain keeps
+    ``start = 8*t`` symbolic and proves per-tile coverage for all ``t``.
+    """
+    p = StaticProgram("AFFINE_TILED")
+    p.decl("a", N).host_write("a", 5)
+    start = Affine(0, TILE, "t", 0, 8)
+
+    def tile(s: StaticProgram) -> None:
+        s.kernel(
+            [("a", TOFROM, TILE, start)],
+            reads=("a",),
+            writes=("a",),
+            extents={"a": (start, start.shift(TILE))},
+            line=14,
+        )
+
+    p.loop(tile, trip_count=8, sym="t", line=12)
+    p.host_read("a", 90)
+    return p
+
+
+def affine_tiled_overflow() -> StaticProgram:
+    """Buggy tiling: each tile's kernel reads one element past its map.
+
+    Four tiles cover only ``a[0:32)``; every access inside a tile is
+    def-use consistent, so the linter lowers an affine *section*
+    certificate for the covered hull while the per-tile off-by-one stays
+    an OVERFLOW finding — the sub-variable pruning demonstrator.
+    """
+    p = StaticProgram("AFFINE_TILED_OVERFLOW")
+    p.decl("a", N).host_write("a", 5)
+    p.decl("c", N).host_write("c", 5)
+    start = Affine(0, TILE, "t", 0, 4)
+
+    def tile(s: StaticProgram) -> None:
+        s.kernel(
+            [("a", TO, TILE, start), ("c", TOFROM)],
+            reads=("a", "c"),
+            writes=("c",),
+            extents={"a": (start, start.shift(TILE + 1))},  # one past the tile
+            line=14,
+        )
+
+    p.loop(tile, trip_count=4, sym="t", line=12)
+    p.host_read("c", 90)
+    return p
+
+
+#: The affine-section demonstrators (linted with the suite; the clean one
+#: also joins the synthesis matrix).
+SYNTH_DEMO_PROGRAMS = {
+    "affine_tiled": affine_tiled,
+    "affine_tiled_overflow": affine_tiled_overflow,
 }

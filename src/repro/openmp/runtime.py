@@ -157,6 +157,12 @@ class TargetRuntime:
     def __init__(self, machine: Machine | None = None, **machine_kwargs):
         self.machine = machine or Machine(**machine_kwargs)
         self._arrays: dict[str, HostArray] = {}
+        #: Cumulative bytes actually moved over the interconnect, per
+        #: direction.  Only landed copies count — retried attempts and
+        #: present-hit map entries (no transfer) do not.  The mapping
+        #: synthesizer's cost model is validated against these.
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
 
     # -- variables ---------------------------------------------------------
 
@@ -752,6 +758,10 @@ class TargetRuntime:
             src_offset=src_addr - src_buf.base,
             nbytes=nbytes,
         )
+        if kind is DataOpKind.H2D:
+            self.h2d_bytes += nbytes
+        else:
+            self.d2h_bytes += nbytes
         stack = machine.source.snapshot()
         recorder = _forensics.ACTIVE
         if recorder is not None:

@@ -13,7 +13,10 @@ same IR, extended with :class:`~repro.ompsan.ir.Loop` and
   repair suggestions, and the per-program :class:`SafetyCertificate`;
 * :mod:`repro.staticlint.certificate` — certificates plus the precomputed
   certificate sets the dynamic detector consumes (static-assisted dynamic
-  detection: certified variables skip shadow instrumentation entirely).
+  detection: certified variables skip shadow instrumentation entirely);
+* :mod:`repro.staticlint.synth` — mapping *synthesis*: from the same
+  dataflow facts, generate a minimal enter/exit-data + sectioned-update
+  mapping per program, validated against the dynamic detector.
 """
 
 from .analyzer import LintFinding, LintResult, LintStats, StaticLinter, lint
@@ -24,6 +27,14 @@ from .certificate import (
 )
 from .lattice import Presence, VarAbstract
 from .report import lint_suite, render_suite, suite_programs
+from .synth import (
+    SynthClause,
+    SynthResult,
+    render_program,
+    synth_suite,
+    synth_suite_programs,
+    synthesize,
+)
 
 __all__ = [
     "StaticLinter",
@@ -39,4 +50,10 @@ __all__ = [
     "spec_certificates",
     "Presence",
     "VarAbstract",
+    "SynthClause",
+    "SynthResult",
+    "render_program",
+    "synth_suite",
+    "synth_suite_programs",
+    "synthesize",
 ]

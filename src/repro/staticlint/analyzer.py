@@ -51,11 +51,22 @@ from ..ompsan.ir import (
     Stmt,
     TargetKernel,
     Update,
-    extent_interval,
+    extent_bounds,
+    index_max,
+    index_min,
+    index_render,
+    update_entry,
 )
 from ..openmp.maptypes import entry_effect, exit_effect
 from ..telemetry import registry as _telemetry
-from .certificate import SafetyCertificate
+from .affine import (
+    join_sections,
+    map_section,
+    render_section,
+    section_hull,
+    section_to_json,
+)
+from .certificate import SafetyCertificate, SectionCert
 from .cfg import Cfg, CfgNode, lower
 from .lattice import (
     REF_CAP,
@@ -81,6 +92,10 @@ class LintFinding:
     #: a genuine path-dependent bug); straight-line findings are definite.
     may: bool = False
     suggestion: str = ""
+    #: Structured section payloads (offsets + affine constraint when
+    #: known): the touched range and the guaranteed-mapped section at the
+    #: access site, so downstream tooling stops re-parsing ``detail``.
+    sections: tuple = ()
 
     def render(self) -> str:
         where = f" at line {self.line}" if self.line else ""
@@ -193,7 +208,7 @@ class StaticLinter:
             node = cfg.nodes[nid]
             if node.stmt is not None:
                 result.stats.statements_visited += 1
-            new_out = self._transfer(node, in_state or ({}, {}), None)
+            new_out = self._transfer(node, in_state or ({}, {}), None, None)
             if new_out != out[nid]:
                 out[nid] = new_out
                 for succ in cfg.succs[nid]:
@@ -205,17 +220,26 @@ class StaticLinter:
         # input state, this time emitting findings.
         seen: set[tuple] = set()
 
-        def sink(kind, var, line, detail, may, device_side=True):
+        def sink(kind, var, line, detail, may, device_side=True, sections=()):
             key = (kind, var, line, detail, may)
             if key in seen:
                 return
             seen.add(key)
             result.findings.append(
                 LintFinding(
-                    kind, var, line, detail, may, _suggestion(kind, var, device_side)
+                    kind,
+                    var,
+                    line,
+                    detail,
+                    may,
+                    _suggestion(kind, var, device_side),
+                    sections,
                 )
             )
 
+        # Guaranteed-mapped section per variable, intersected over every
+        # kernel access site — the raw material for section certificates.
+        section_log: dict[str, tuple] = {}
         widened: set[str] = set()
         for node in cfg.nodes:
             state = out[node.id]
@@ -228,7 +252,7 @@ class StaticLinter:
             in_state = self._in_state(cfg, node.id, out)
             if in_state is None and node.id != cfg.entry:
                 continue  # unreachable
-            self._transfer(node, in_state or ({}, {}), sink)
+            self._transfer(node, in_state or ({}, {}), sink, section_log)
 
         flagged = {f.var for f in result.findings}
         certified = frozenset(
@@ -236,7 +260,10 @@ class StaticLinter:
             for var in program.declared()
             if var not in flagged and var not in tainted and var not in widened
         )
-        result.certificate = SafetyCertificate(program.name, certified)
+        sections = self._section_certificates(
+            program, result.findings, certified, tainted, widened, section_log
+        )
+        result.certificate = SafetyCertificate(program.name, certified, sections)
         result.stats.certified_variables = len(certified)
 
         telemetry = _telemetry.ACTIVE
@@ -266,7 +293,7 @@ class StaticLinter:
         return (serial, omp)
 
     def _transfer(
-        self, node: CfgNode, state: tuple[dict, dict], sink
+        self, node: CfgNode, state: tuple[dict, dict], sink, section_log=None
     ) -> tuple[dict, dict]:
         stmt = node.stmt
         if stmt is None:
@@ -302,20 +329,27 @@ class StaticLinter:
             for item in stmt.maps:
                 omp[item.var] = self._map_exit(omp[item.var], item)
         elif isinstance(stmt, Update):
-            for var in stmt.to:
+            # Sectioned motion entries still move the *name's* definitions:
+            # def tokens are whole-variable at this IR altitude, so a
+            # partial update conservatively propagates the full def set
+            # (exact for the synthesizer's output, whose updates always
+            # cover the demanded range).
+            for entry in stmt.to:
+                var = update_entry(entry).var
                 rec = omp[var]
                 if rec.presence is Presence.YES:
                     omp[var] = replace(rec, dev_defs=rec.host_defs)
                 elif rec.presence is Presence.MAYBE:
                     omp[var] = replace(rec, dev_defs=rec.dev_defs | rec.host_defs)
-            for var in stmt.from_:
+            for entry in stmt.from_:
+                var = update_entry(entry).var
                 rec = omp[var]
                 if rec.presence is Presence.YES:
                     omp[var] = replace(rec, host_defs=rec.dev_defs)
                 elif rec.presence is Presence.MAYBE:
                     omp[var] = replace(rec, host_defs=rec.host_defs | rec.dev_defs)
         elif isinstance(stmt, TargetKernel):
-            self._kernel(stmt, nid, serial, omp, sink)
+            self._kernel(stmt, nid, serial, omp, sink, section_log)
         elif isinstance(stmt, PointerSwap):
             # Modeled alias-analysis degradation, same as the baseline:
             # both components follow the *names*, so physical-buffer
@@ -328,7 +362,9 @@ class StaticLinter:
             omp[a], omp[b] = omp[b], omp[a]
         return (serial, omp)
 
-    def _kernel(self, stmt: TargetKernel, nid, serial, omp, sink) -> None:
+    def _kernel(
+        self, stmt: TargetKernel, nid, serial, omp, sink, section_log=None
+    ) -> None:
         for item in stmt.maps:
             omp[item.var] = self._map_entry(omp[item.var], item)
         extents = dict(stmt.extents)
@@ -339,7 +375,7 @@ class StaticLinter:
                     sink(StaticIssueKind.NOT_MAPPED, var, stmt.line, "", False)
                 continue
             if sink is not None:
-                self._check_access(rec, var, extents, stmt.line, sink)
+                self._check_access(rec, var, extents, stmt.line, sink, section_log)
                 self._check_defs(
                     rec.dev_defs,
                     serial.get(var, _UNINIT_SET),
@@ -357,7 +393,7 @@ class StaticLinter:
                     sink(StaticIssueKind.NOT_MAPPED, var, stmt.line, "", False)
                 continue
             if sink is not None:
-                self._check_access(rec, var, extents, stmt.line, sink)
+                self._check_access(rec, var, extents, stmt.line, sink, section_log)
             omp[var] = replace(rec, dev_defs=token)
         for item in stmt.maps:
             omp[item.var] = self._map_exit(omp[item.var], item)
@@ -369,13 +405,12 @@ class StaticLinter:
         eff = entry_effect(item.map_type)
         if eff is None:
             return rec  # release/delete have no entry effect
-        lo, hi = item.interval(rec.length)
         fresh = replace(
             rec,
             presence=Presence.YES,
             ref_lo=1,
             ref_hi=1,
-            section=None if item.elements is None else (lo, hi),
+            section=map_section(item, rec.length),
             dev_defs=rec.host_defs if eff.copies_to_device else _UNINIT_SET,
         )
         if rec.presence is Presence.NO:
@@ -424,7 +459,17 @@ class StaticLinter:
     # -- finding checks -----------------------------------------------------
 
     @staticmethod
-    def _check_access(rec: VarAbstract, var, extents, line, sink) -> None:
+    def _check_access(
+        rec: VarAbstract, var, extents, line, sink, section_log=None
+    ) -> None:
+        if section_log is not None:
+            prior = section_log.get(var)
+            merged = (
+                rec.section
+                if prior is None
+                else join_sections(prior[0], rec.section)
+            )
+            section_log[var] = (merged, rec.length)
         may = rec.presence is Presence.MAYBE
         if may:
             sink(
@@ -433,18 +478,69 @@ class StaticLinter:
                 line,
                 "no corresponding variable on some paths",
                 True,
+                sections=(section_to_json(rec.section, rec.length),),
             )
-        t_lo, t_hi = extent_interval(extents.get(var, rec.length))
+        t_lo, t_hi = extent_bounds(extents.get(var, rec.length))
         if not rec.covered(t_lo, t_hi):
-            m_lo, m_hi = rec.section if rec.section is not None else (0, rec.length)
+            mapped = render_section(rec.section, rec.length)
             sink(
                 StaticIssueKind.OVERFLOW,
                 var,
                 line,
-                f"kernel touches elements [{t_lo}:{t_hi}], "
-                f"section maps [{m_lo}:{m_hi}]",
+                f"kernel touches elements "
+                f"[{index_render(t_lo)}:{index_render(t_hi)}], "
+                f"section maps {mapped}",
                 may,
+                sections=(
+                    {
+                        "lo": index_min(t_lo),
+                        "hi": index_max(t_hi),
+                        "role": "touched",
+                    },
+                    dict(
+                        section_to_json(rec.section, rec.length), role="mapped"
+                    ),
+                ),
             )
+
+    @staticmethod
+    def _section_certificates(
+        program, findings, certified, tainted, widened, section_log
+    ) -> tuple[SectionCert, ...]:
+        """Sub-variable certificates for overflow-only variables.
+
+        A variable with findings can never be whole-certified, but when
+        *every* finding on it is an OVERFLOW — accesses past the mapped
+        section — the accesses *inside* the guaranteed-mapped section are
+        def-use consistent: the only inconsistency the analysis saw lives
+        beyond the mapping, where the dynamic detector's bounds check
+        (§IV.D) fires independently of any certificate.  Lowering that
+        section lets the detector skip VSM transitions at sub-variable
+        granularity while preserving every finding byte-for-byte.
+        """
+        kinds_by_var: dict[str, set] = {}
+        for f in findings:
+            kinds_by_var.setdefault(f.var, set()).add(f.kind)
+        certs = []
+        for var in program.declared():
+            if var in certified or var in tainted or var in widened:
+                continue
+            if kinds_by_var.get(var) != {StaticIssueKind.OVERFLOW}:
+                continue
+            logged = section_log.get(var)
+            if logged is None:
+                continue
+            section, length = logged
+            lo, hi = section_hull(section, length)
+            if lo >= hi:
+                continue
+            affine = (
+                index_render(section.start)
+                if hasattr(section, "start")
+                else ""
+            )
+            certs.append(SectionCert(var, lo, hi, length, affine))
+        return tuple(certs)
 
     @staticmethod
     def _check_defs(visible, expected, var, line, sink, *, device_side) -> None:

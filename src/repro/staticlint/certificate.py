@@ -23,11 +23,40 @@ from functools import lru_cache
 
 
 @dataclass(frozen=True)
+class SectionCert:
+    """A sub-variable certificate: ``var[lo:hi)`` proven issue-free.
+
+    Emitted for variables whose only findings are OVERFLOW accesses past
+    the mapped section: the guaranteed-mapped element interval is still
+    def-use consistent on every path, so the detector may skip VSM
+    transitions inside it while the §IV.D bounds check keeps firing on
+    the out-of-section accesses that earned the finding.  ``affine``
+    carries the rendered constraint when the section came from an affine
+    map clause (informational; ``lo``/``hi`` are its concrete hull).
+    """
+
+    var: str
+    lo: int
+    hi: int
+    length: int
+    affine: str = ""
+
+    def render(self) -> str:
+        constraint = f" ({self.affine})" if self.affine else ""
+        return f"{self.var}[{self.lo}:{self.hi}]/{self.length}{constraint}"
+
+
+@dataclass(frozen=True)
 class SafetyCertificate:
-    """Variables of one program proven mapping-issue-free on every path."""
+    """Variables of one program proven mapping-issue-free on every path.
+
+    ``sections`` adds sub-variable grants for variables that could not be
+    whole-certified (see :class:`SectionCert`).
+    """
 
     program: str
     variables: frozenset[str]
+    sections: tuple[SectionCert, ...] = ()
 
     def covers(self, name: str) -> bool:
         return name in self.variables
@@ -38,11 +67,23 @@ class SafetyCertificate:
     def __len__(self) -> int:
         return len(self.variables)
 
+    def section_for(self, name: str) -> SectionCert | None:
+        for cert in self.sections:
+            if cert.var == name:
+                return cert
+        return None
+
     def render(self) -> str:
-        if not self.variables:
+        parts = []
+        if self.variables:
+            names = ", ".join(sorted(self.variables))
+            parts.append(f"certified {{{names}}}")
+        if self.sections:
+            secs = ", ".join(c.render() for c in self.sections)
+            parts.append(f"sections {{{secs}}}")
+        if not parts:
             return f"{self.program}: nothing certified"
-        names = ", ".join(sorted(self.variables))
-        return f"{self.program}: certified {{{names}}}"
+        return f"{self.program}: " + "; ".join(parts)
 
 
 @lru_cache(maxsize=1)

@@ -29,6 +29,14 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, replace
 
+from .affine import (
+    BOTTOM,
+    AffineSection,
+    join_sections,
+    normalize_section,
+    section_covers,
+)
+
 #: Definition token meaning "no definition reaches here on some path".
 UNINIT = ("uninit",)
 
@@ -51,20 +59,17 @@ class Presence(enum.Enum):
         return Presence.MAYBE
 
 
-def _join_section(
-    a: tuple[int, int] | None, b: tuple[int, int] | None
-) -> tuple[int, int] | None:
+def _join_section(a, b):
     """Guaranteed-covered section after a path join: the intersection.
 
-    ``None`` means "whole object" (top coverage).  An empty intersection
-    collapses to ``(0, 0)`` — nothing is guaranteed mapped.
+    ``None`` means "whole object" (top coverage).  Degenerate inputs
+    (zero elements, inverted endpoints) normalize to the canonical
+    :data:`~repro.staticlint.affine.BOTTOM` before joining, and an empty
+    intersection collapses to it — nothing is guaranteed mapped.  Affine
+    sections join symbolically when equal and collapse to concrete hulls
+    otherwise; see :func:`repro.staticlint.affine.join_sections`.
     """
-    if a is None:
-        return b
-    if b is None:
-        return a
-    lo, hi = max(a[0], b[0]), min(a[1], b[1])
-    return (lo, hi) if lo < hi else (0, 0)
+    return join_sections(a, b)
 
 
 @dataclass(frozen=True)
@@ -78,8 +83,9 @@ class VarAbstract:
     presence: Presence = Presence.NO
     ref_lo: int = 0
     ref_hi: int = 0
-    #: Guaranteed-mapped element interval; ``None`` = the whole object.
-    section: tuple[int, int] | None = None
+    #: Guaranteed-mapped section: ``None`` = the whole object, a concrete
+    #: ``(lo, hi)`` interval, or an :class:`AffineSection` constraint.
+    section: "AffineSection | tuple[int, int] | None" = None
     length: int = 1
 
     def join(self, other: "VarAbstract") -> "VarAbstract":
@@ -115,11 +121,14 @@ class VarAbstract:
     def ref_widened(self) -> bool:
         return self.ref_hi >= REF_CAP
 
-    def covered(self, lo: int, hi: int) -> bool:
-        """Whether ``[lo, hi)`` is guaranteed inside the mapped section."""
-        if self.section is None:
-            return 0 <= lo and hi <= self.length
-        return self.section[0] <= lo and hi <= self.section[1]
+    def covered(self, lo, hi) -> bool:
+        """Whether ``[lo, hi)`` is guaranteed inside the mapped section.
+
+        Endpoints may be affine expressions; same-symbol comparisons stay
+        symbolic (per-tile accesses pass against per-tile maps), anything
+        else is checked against the guaranteed concrete interval.
+        """
+        return section_covers(self.section, self.length, lo, hi)
 
 
 def join_states(

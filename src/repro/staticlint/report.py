@@ -26,15 +26,27 @@ def _finding_dict(finding) -> dict:
         "may": finding.may,
         "detail": finding.detail,
         "suggestion": finding.suggestion,
+        # Structured offsets (+ affine constraint when known) so consumers
+        # stop re-parsing the suggestion/detail strings.
+        "sections": [dict(s) for s in finding.sections],
     }
 
 
 def _result_dict(result: LintResult) -> dict:
+    cert = result.certificate
     return {
         "findings": [_finding_dict(f) for f in result.findings],
-        "certified": sorted(result.certificate.variables)
-        if result.certificate
-        else [],
+        "certified": sorted(cert.variables) if cert else [],
+        "certified_sections": [
+            {
+                "var": s.var,
+                "lo": s.lo,
+                "hi": s.hi,
+                "length": s.length,
+                "affine": s.affine,
+            }
+            for s in (cert.sections if cert else ())
+        ],
         "stats": {
             "cfg_nodes": result.stats.cfg_nodes,
             "statements_visited": result.stats.statements_visited,
@@ -49,6 +61,7 @@ def suite_programs() -> dict:
         BUGGY_PROGRAMS,
         CLEAN_PROGRAMS,
         CONTROL_FLOW_PROGRAMS,
+        SYNTH_DEMO_PROGRAMS,
         postencil,
     )
 
@@ -59,9 +72,10 @@ def suite_programs() -> dict:
             programs[program.name] = program
     programs["503.postencil (buggy)"] = postencil(buggy=True)
     programs["503.postencil (fixed)"] = postencil(buggy=False)
-    for factory in CONTROL_FLOW_PROGRAMS.values():
-        program = factory()
-        programs[program.name] = program
+    for table in (CONTROL_FLOW_PROGRAMS, SYNTH_DEMO_PROGRAMS):
+        for factory in table.values():
+            program = factory()
+            programs[program.name] = program
     return programs
 
 

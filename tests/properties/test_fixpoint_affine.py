@@ -1,0 +1,161 @@
+"""Fixpoint termination with affine section constraints in play.
+
+The linter's worklist terminates because every lattice component is
+finite: definition tokens come from the program's statement set, interval
+endpoints from its constant set, refcounts widen at a cap.  Affine
+sections add a new component — ``var[c0 + c1*t : n]`` values — and the
+join rule (equal affine sections join symbolically, everything else
+collapses to concrete guaranteed intervals) must keep that component
+finite too, or a loop joining two different affine constraints would
+oscillate forever.
+
+This property test generates random programs that stack loops, branches,
+affine-sectioned maps and updates, mismatched symbols, and degenerate
+sections (the historical non-termination risk: `(5, 5)` vs `(9, 2)`
+spellings of empty), and asserts the analysis reaches its fixpoint within
+a generous statement-visit budget — and deterministically.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ompsan.ir import Affine, StaticProgram
+from repro.openmp.maptypes import MapType
+from repro.staticlint import lint
+
+N = 64
+#: Loop symbols the generator draws from (mismatches force collapsing joins).
+SYMS = ("t", "u")
+
+#: A fixpoint on these programs needs a handful of passes; runaway joins
+#: need thousands.  The budget is the termination oracle.
+VISIT_BUDGET = 5_000
+
+
+@st.composite
+def affine_starts(draw):
+    sym = draw(st.sampled_from(SYMS))
+    stride = draw(st.sampled_from([1, 4, 8]))
+    c0 = draw(st.sampled_from([0, 4, 8]))
+    trips = draw(st.sampled_from([2, 4, 8]))
+    return Affine(c0, stride, sym, 0, trips)
+
+
+@st.composite
+def map_args(draw):
+    """(map_type, elements, start) — concrete, affine, or degenerate."""
+    map_type = draw(st.sampled_from([MapType.TO, MapType.TOFROM, MapType.ALLOC]))
+    shape = draw(st.sampled_from(["whole", "concrete", "affine", "degenerate"]))
+    if shape == "whole":
+        return (map_type, None, 0)
+    if shape == "concrete":
+        lo = draw(st.integers(0, 32))
+        n = draw(st.integers(1, 32))
+        return (map_type, n, lo)
+    if shape == "degenerate":
+        # Zero-element sections: must normalize to canonical bottom, not
+        # thread distinct empty spellings through the fixpoint.
+        return (map_type, 0, draw(st.integers(0, 16)))
+    return (map_type, draw(st.sampled_from([4, 8])), draw(affine_starts()))
+
+
+@st.composite
+def body_ops(draw, depth=0):
+    kind = draw(
+        st.sampled_from(
+            ["kernel", "enter", "exit", "update", "host_write", "host_read"]
+            + (["loop", "branch"] if depth < 2 else [])
+        )
+    )
+    return (kind, draw(st.randoms(use_true_random=False)), depth)
+
+
+def _fill(program: StaticProgram, ops, draw_map, depth=0) -> None:
+    for kind, rng, _ in ops:
+        var = rng.choice(["a", "b"])
+        if kind == "kernel":
+            mt, n, start = draw_map()
+            program.kernel(
+                [(var, mt, n, start)],
+                reads=(var,),
+                writes=(var,) if rng.random() < 0.5 else (),
+            )
+        elif kind == "enter":
+            mt, n, start = draw_map()
+            program.enter_data([(var, mt, n, start)])
+        elif kind == "exit":
+            program.exit_data([(var, MapType.RELEASE)])
+        elif kind == "update":
+            if rng.random() < 0.5:
+                program.update(to=(var,))
+            else:
+                program.update(from_=(var,))
+        elif kind == "host_write":
+            program.host_write(var)
+        elif kind == "host_read":
+            program.host_read(var)
+        elif kind == "loop":
+            sym = rng.choice(SYMS)
+            trips = rng.choice([2, 4, 8])
+            inner = [("kernel", rng, 0), ("update", rng, 0)]
+            program.loop(
+                lambda sub: _fill(sub, inner, draw_map),
+                trip_count=trips,
+                sym=sym,
+                bounds=(0, trips),
+            )
+        elif kind == "branch":
+            inner = [("enter", rng, 0)]
+            other = [("kernel", rng, 0)]
+            program.branch(
+                lambda sub: _fill(sub, inner, draw_map),
+                lambda sub: _fill(sub, other, draw_map),
+            )
+
+
+@st.composite
+def programs(draw):
+    program = StaticProgram("FUZZ").decl("a", N).decl("b", N)
+    program.host_write("a").host_write("b")
+    ops = draw(st.lists(body_ops(), min_size=1, max_size=10))
+    # Wrap a slice of the body in an outer loop half the time: nested
+    # loops with affine maps are where join oscillation would live.
+    maps = draw(st.lists(map_args(), min_size=12, max_size=12))
+    it = iter(maps + [(MapType.TO, None, 0)] * 20)
+    draw_map = lambda: next(it)
+    if draw(st.booleans()):
+        trips = draw(st.sampled_from([2, 4]))
+        program.loop(
+            lambda sub: _fill(sub, ops, draw_map),
+            trip_count=trips,
+            sym="t",
+            bounds=(0, trips),
+        )
+    else:
+        _fill(program, ops, draw_map)
+    program.host_read("a")
+    return program
+
+
+class TestFixpointTermination:
+    @settings(max_examples=60, deadline=None)
+    @given(programs())
+    def test_fixpoint_reached_within_budget(self, program):
+        result = lint(program)
+        assert result.stats.statements_visited <= VISIT_BUDGET, (
+            "worklist visited too many statements — the affine section "
+            "component is probably not converging"
+        )
+        assert result.stats.fixpoint_iterations <= VISIT_BUDGET
+
+    @settings(max_examples=25, deadline=None)
+    @given(programs())
+    def test_analysis_is_deterministic(self, program):
+        first = lint(program)
+        second = lint(program)
+        assert [
+            (f.kind, f.var, f.line) for f in first.findings
+        ] == [(f.kind, f.var, f.line) for f in second.findings]
+        assert first.certificate.variables == second.certificate.variables

@@ -1,0 +1,185 @@
+"""The affine section domain: normalization, joins, coverage, rendering."""
+
+import pytest
+
+from repro.ompsan.ir import Affine, MapItem
+from repro.openmp.maptypes import MapType
+from repro.staticlint.affine import (
+    BOTTOM,
+    AffineSection,
+    concretize,
+    join_sections,
+    map_section,
+    normalize_section,
+    render_section,
+    section_covers,
+    section_hull,
+    section_to_json,
+)
+
+TILE = Affine(0, 8, "t", 0, 8)  # 8*t for t in [0, 8): tiles of a 64-array
+
+
+class TestAffineExpression:
+    def test_constant_degenerates(self):
+        a = Affine(5)
+        assert a.is_const
+        assert a.eval() == 5
+        assert (a.minimum(), a.maximum()) == (5, 5)
+        assert a.render() == "5"
+
+    def test_eval_needs_binding(self):
+        with pytest.raises(KeyError):
+            TILE.eval({})
+        assert TILE.eval({"t": 3}) == 24
+
+    def test_extremes_at_range_endpoints(self):
+        assert TILE.minimum() == 0
+        assert TILE.maximum() == 56
+        negative = Affine(56, -8, "t", 0, 8)
+        assert negative.minimum() == 0
+        assert negative.maximum() == 56
+
+    def test_stride_requires_symbol(self):
+        with pytest.raises(ValueError):
+            Affine(0, 8)
+
+    def test_empty_symbol_range_rejected(self):
+        with pytest.raises(ValueError):
+            Affine(0, 8, "t", 4, 4)
+
+    def test_render_mentions_symbol(self):
+        assert TILE.render() == "8*t"
+        assert Affine(2, 1, "i", 0, 4).render() == "2 + i"
+
+
+class TestNormalization:
+    """Degenerate intervals collapse to the one canonical bottom."""
+
+    def test_zero_width_interval(self):
+        assert normalize_section((5, 5)) == BOTTOM
+
+    def test_inverted_interval(self):
+        assert normalize_section((7, 3)) == BOTTOM
+
+    def test_zero_element_affine(self):
+        assert normalize_section(AffineSection(TILE, 0)) == BOTTOM
+
+    def test_proper_values_pass_through(self):
+        assert normalize_section(None) is None
+        assert normalize_section((3, 7)) == (3, 7)
+        section = AffineSection(TILE, 8)
+        assert normalize_section(section) is section
+
+    def test_degenerate_inputs_join_identically(self):
+        # The regression the canonical bottom exists for: joining any two
+        # spellings of "empty" must give the same state, or the fixpoint
+        # oscillates between equal-meaning unequal values.
+        spellings = [(5, 5), (9, 2), BOTTOM, AffineSection(TILE, 0)]
+        for a in spellings:
+            for b in spellings:
+                assert join_sections(a, b) == BOTTOM
+
+    def test_bottom_is_absorbing_in_joins(self):
+        assert join_sections(BOTTOM, (0, 64)) == BOTTOM
+        assert join_sections((0, 64), (10, 10)) == BOTTOM
+
+
+class TestJoins:
+    def test_top_is_identity(self):
+        assert join_sections(None, (3, 9)) == (3, 9)
+        assert join_sections((3, 9), None) == (3, 9)
+        assert join_sections(None, None) is None
+
+    def test_concrete_join_is_intersection(self):
+        assert join_sections((0, 32), (16, 64)) == (16, 32)
+        assert join_sections((0, 16), (32, 64)) == BOTTOM
+
+    def test_equal_affine_sections_join_symbolically(self):
+        a = AffineSection(TILE, 8)
+        assert join_sections(a, AffineSection(TILE, 8)) == a
+
+    def test_mixed_join_collapses_to_guaranteed_intersection(self):
+        # TILE's guaranteed interval is empty (tiles are disjoint), so the
+        # join with any concrete interval collapses to bottom.
+        assert join_sections(AffineSection(TILE, 8), (0, 64)) == BOTTOM
+
+
+class TestCoverage:
+    def test_whole_object_covers_in_bounds_only(self):
+        assert section_covers(None, 64, 0, 64)
+        assert not section_covers(None, 64, 0, 65)
+
+    def test_concrete_coverage(self):
+        assert section_covers((16, 48), 64, 16, 48)
+        assert section_covers((16, 48), 64, 20, 30)
+        assert not section_covers((16, 48), 64, 0, 32)
+
+    def test_affine_tile_covers_matching_affine_access(self):
+        # The precision affine sections exist for: map(to: a[8t:8]) covers
+        # reads of a[8t : 8t+8] on every iteration, even though neither
+        # concretizes to a covering interval.
+        section = AffineSection(TILE, 8)
+        assert section_covers(section, 64, TILE, TILE.shift(8))
+
+    def test_affine_tile_rejects_overflowing_access(self):
+        section = AffineSection(TILE, 8)
+        assert not section_covers(section, 64, TILE, TILE.shift(9))
+
+    def test_affine_tile_rejects_foreign_symbol(self):
+        other = Affine(0, 8, "u", 0, 8)
+        section = AffineSection(TILE, 8)
+        assert not section_covers(section, 64, other, other.shift(8))
+
+
+class TestHullAndConcretize:
+    def test_affine_hull_is_union_over_range(self):
+        assert section_hull(AffineSection(TILE, 8), 64) == (0, 64)
+
+    def test_affine_guaranteed_is_intersection(self):
+        sliding = AffineSection(Affine(0, 1, "i", 0, 4), 32)
+        assert concretize(sliding, 64) == (3, 32)
+
+    def test_top_concretizes_to_whole_object(self):
+        assert concretize(None, 64) == (0, 64)
+        assert section_hull(None, 64) == (0, 64)
+
+
+class TestMapSection:
+    def test_whole_object_map_is_top(self):
+        assert map_section(MapItem("a", MapType.TO), 64) is None
+
+    def test_sectioned_map(self):
+        item = MapItem("a", MapType.TO, 16, 8)
+        assert map_section(item, 64) == (8, 24)
+
+    def test_affine_map(self):
+        item = MapItem("a", MapType.TO, 8, TILE)
+        assert map_section(item, 64) == AffineSection(TILE, 8)
+
+    def test_degenerate_map_normalizes(self):
+        assert map_section(MapItem("a", MapType.TO, 0, 5), 64) == BOTTOM
+
+
+class TestRenderAndJson:
+    def test_render_concrete(self):
+        assert render_section((3, 9), 64) == "[3:9]"
+        assert render_section(None, 64) == "[0:64]"
+
+    def test_render_affine_mentions_symbol_range(self):
+        text = render_section(AffineSection(TILE, 8), 64)
+        assert "8*t" in text and "t in [0, 8)" in text
+
+    def test_json_payload_concrete(self):
+        payload = section_to_json((3, 9), 64)
+        assert payload == {"lo": 3, "hi": 9, "hull": [3, 9], "length": 64}
+
+    def test_json_payload_affine_carries_constraint(self):
+        payload = section_to_json(AffineSection(TILE, 8), 64)
+        assert payload["hull"] == [0, 64]
+        assert payload["affine"] == {
+            "start": "8*t",
+            "elements": 8,
+            "sym": "t",
+            "range": [0, 8],
+        }

@@ -90,6 +90,117 @@ class TestSkipAccounting:
         assert with_empty.cert_stats()["access_skips"] == 0
 
 
+#: Overflow twins whose certificates carry a sub-variable SectionCert:
+#: the variable has a real finding *outside* the certified element range,
+#: so whole-variable pruning is off the table — section pruning is the
+#: only skip available.
+SECTION_CERT_BENCHMARKS = (23, 25, 28, 29, 30, 31)
+
+
+class TestSectionCertificates:
+    def test_overflow_twins_get_section_certs(self):
+        certs = dracc_certificates()
+        for number in SECTION_CERT_BENCHMARKS:
+            cert = certs[get(number).name]
+            assert cert.sections, get(number).name
+            for section in cert.sections:
+                # A sectioned variable is never also whole-certified.
+                assert section.var not in cert.variables
+                assert 0 <= section.lo < section.hi
+
+    def test_findings_byte_identical_with_section_certs(self):
+        # The differential-equivalence contract: sub-variable pruning must
+        # not change a single finding — kind, variable, address, or size —
+        # on either event engine.
+        certs = dracc_certificates()
+        for number in SECTION_CERT_BENCHMARKS:
+            benchmark = get(number)
+            for engine in ("scalar", "columnar"):
+                key = lambda t: sorted(
+                    (f.kind.name, f.variable, f.address, f.size)
+                    for f in t.mapping_issue_findings()
+                )
+                rt = TargetRuntime(n_devices=2, engine=engine)
+                baseline = Arbalest().attach(rt.machine)
+                benchmark.run(rt)
+                rt2 = TargetRuntime(n_devices=2, engine=engine)
+                pruned = Arbalest(certificate=certs[benchmark.name]).attach(
+                    rt2.machine
+                )
+                benchmark.run(rt2)
+                assert key(pruned) == key(baseline), (benchmark.name, engine)
+
+    def test_section_skips_happen_at_sub_variable_granularity(self):
+        # At least one benchmark must actually skip accesses through a
+        # section grant (not a whole-variable one), on both engines.
+        certs = dracc_certificates()
+        for engine in ("scalar", "columnar"):
+            skipped = []
+            for number in SECTION_CERT_BENCHMARKS:
+                benchmark = get(number)
+                rt = TargetRuntime(n_devices=2, engine=engine)
+                tool = Arbalest(certificate=certs[benchmark.name]).attach(
+                    rt.machine
+                )
+                benchmark.run(rt)
+                stats = tool.cert_stats()
+                assert stats["section_certified_variables"] == 1
+                assert stats["section_shadow_blocks"] == 1
+                assert stats["section_certified_bytes"] > 0
+                if stats["section_access_skips"] > 0:
+                    skipped.append(number)
+            assert skipped, engine
+
+    def test_no_certificate_means_no_section_accounting(self):
+        tool = _run(get(23), None)
+        stats = tool.cert_stats()
+        assert stats["section_certified_variables"] == 0
+        assert stats["section_shadow_blocks"] == 0
+        assert stats["section_access_skips"] == 0
+
+
+class TestSectionRegistry:
+    def test_section_range_shrinks_inward_to_granules(self):
+        # 64 elements of 8 bytes, certified [0, 32): the byte range is
+        # already granule-aligned and records as-is.
+        reg = ShadowRegistry(granule=8, sections={"a": (0, 32, 64)})
+        reg.create(0x1000, 512, label="a")
+        assert reg.section_for_base(0x1000) == (0x1000, 0x1100)
+        assert reg.section_blocks == 1
+        assert reg.section_bytes == 256
+
+    def test_unaligned_section_never_covers_uncertified_bytes(self):
+        # 1-byte elements, certified [3, 13) on a granule of 8: no whole
+        # granule fits inside — the range shrinks inward to nothing rather
+        # than rounding outward over uncertified bytes.
+        reg = ShadowRegistry(granule=8, sections={"a": (3, 13, 64)})
+        reg.create(0x2000, 64, label="a")
+        assert reg.section_for_base(0x2000) is None
+
+    def test_partially_aligned_section_keeps_inner_granules(self):
+        reg = ShadowRegistry(granule=8, sections={"a": (3, 17, 64)})
+        reg.create(0x2000, 64, label="a")
+        # bytes [3, 17) -> inward-aligned [8, 16): exactly one granule.
+        assert reg.section_for_base(0x2000) == (0x2008, 0x2010)
+
+    def test_mismatched_allocation_size_records_nothing(self):
+        # 100 bytes do not divide into 64 elements: refuse the grant.
+        reg = ShadowRegistry(granule=8, sections={"a": (0, 32, 64)})
+        reg.create(0x3000, 100, label="a")
+        assert reg.section_for_base(0x3000) is None
+
+    def test_drop_forgets_the_section_range(self):
+        reg = ShadowRegistry(granule=8, sections={"a": (0, 32, 64)})
+        reg.create(0x1000, 512, label="a")
+        reg.drop(0x1000)
+        assert reg.section_for_base(0x1000) is None
+
+    def test_unrelated_labels_record_nothing(self):
+        reg = ShadowRegistry(granule=8, sections={"a": (0, 32, 64)})
+        reg.create(0x4000, 512, label="b")
+        assert reg.section_for_base(0x4000) is None
+
+
 class TestTelemetryCounters:
     def test_lint_counters_emitted_inside_scope(self):
         from repro.ompsan import BUGGY_PROGRAMS

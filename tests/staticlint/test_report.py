@@ -37,11 +37,12 @@ class TestSummaryContract:
     def test_counts(self):
         payload = lint_suite()
         summary = payload["summary"]
-        # 16 buggy DRACC twins + 3 control-flow demos have findings; the
-        # 40 clean twins and both postencil variants (the documented
-        # pointer-swap miss) are clean.
-        assert summary["programs"] == 61
-        assert summary["with_findings"] == 19
+        # 16 buggy DRACC twins + 3 control-flow demos + the affine-overflow
+        # synthesis demo have findings; the 40 clean twins, the clean affine
+        # demo, and both postencil variants (the documented pointer-swap
+        # miss) are clean.
+        assert summary["programs"] == 63
+        assert summary["with_findings"] == 20
         assert payload["programs"]["503.postencil (buggy)"]["findings"] == []
 
     def test_render_mentions_every_finding_program(self):

@@ -20,6 +20,7 @@ class TestParser:
             "casestudy",
             "ompsan",
             "lint",
+            "synth",
             "hybrid",
             "list",
         ):
@@ -378,6 +379,52 @@ class TestReportCommand:
              "--output", str(out_file), "--report", str(report_file)]
         ) == 0
         assert "repro-report/1" in report_file.read_text()
+
+
+class TestSynthCommand:
+    def test_synth_defaults(self):
+        args = build_parser().parse_args(["synth"])
+        assert not args.json
+        assert not args.score
+        assert args.apply is None
+
+    def test_synth_text_exits_0_on_clean_suite(self, capsys):
+        assert main(["synth"]) == 0
+        out = capsys.readouterr().out
+        assert "504.polbm" in out
+        assert "DRACC_OMP_055" in out
+
+    def test_synth_json_is_the_golden_format(self, capsys):
+        import json
+
+        assert main(["synth", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["programs"] == 46
+        assert "AFFINE_TILED" in payload["programs"]
+        prog = payload["programs"]["504.polbm"]
+        total = lambda b: b["h2d"] + b["d2h"]
+        assert total(prog["synth_bytes"]) <= total(prog["baseline_bytes"])
+
+    def test_synth_apply_renders_pseudo_source(self, capsys):
+        assert main(["synth", "--apply", "504.polbm"]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma omp target" in out
+        assert "enter data" in out
+
+    def test_synth_apply_unknown_exits_2_and_lists_choices(self, capsys):
+        assert main(["synth", "--apply", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown program 'bogus'" in err.splitlines()[0]
+        assert "504.polbm" in err  # the valid choices are listed
+
+    def test_synth_score_runs_the_validation_matrix(self, capsys):
+        import json
+
+        assert main(["synth", "--score", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["artifact"] == "synth-bench/1"
+        assert payload["summary"]["ok"]
+        assert payload["summary"]["strict_savings"] >= 1
 
 
 class TestDiffCommand:
