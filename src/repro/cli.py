@@ -24,6 +24,9 @@
     python -m repro profile --suite dracc --benchmark 22   # telemetry -> trace.json
     python -m repro report [--suite buggy] # findings + provenance -> report.jsonl
     python -m repro diff old.jsonl new.jsonl  # cross-run regression gate
+    python -m repro diff --history BENCH_history.jsonl old.json new.json
+    python -m repro sentinel               # statistical verdicts over the ledger
+    python -m repro sentinel --seed-from BENCH_fig8.json  # migrate old artifacts
     python -m repro list [--json]          # inventory
 
 Unknown artifact names (a bad ``--preset``, ``--suite``, or DRACC number)
@@ -65,6 +68,15 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .harness import run_bench
 
+    history = None
+    if not args.no_history:
+        import os
+
+        # Default: the ledger lives next to the bench artifact, so runs
+        # writing into a scratch directory keep their history there too.
+        history = args.history or os.path.join(
+            os.path.dirname(args.output) or ".", "BENCH_history.jsonl"
+        )
     try:
         payload = run_bench(
             preset=args.preset,
@@ -72,6 +84,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             output=args.output,
             telemetry=args.telemetry,
             engine=args.engine,
+            history=history,
+            flamegraph=args.flamegraph,
         )
     except OSError as exc:
         print(f"repro bench: error: {exc}", file=sys.stderr)
@@ -111,7 +125,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"telemetry: {len(counters)} counters embedded "
             f"({sum(counters.values())} events)"
         )
+    if "arbalest_prof_slowdown_geomean" in s:
+        profiler = payload.get("profiler", {})
+        print(
+            "with continuous profiler: geomean "
+            f"{s['arbalest_prof_slowdown_geomean']:.2f}x "
+            f"({s['profiler_overhead_geomean']:.3f}x over plain arbalest, "
+            f"{profiler.get('samples', 0)} samples, "
+            f"final stride {profiler.get('stride', '?')})"
+        )
     print(f"wrote {args.output}")
+    if history:
+        print(f"appended to ledger {history}")
+    if args.flamegraph:
+        print(f"wrote flamegraph {args.flamegraph}")
     return 0 if consistent else 1
 
 
@@ -185,6 +212,16 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             print(json.dumps(matrix.to_json(), indent=2, sort_keys=True))
         else:
             print(matrix.render())
+        if not args.no_history:
+            from .observe.history import append_history
+
+            try:
+                append_history(args.history, matrix.to_json())
+            except OSError as exc:
+                print(f"repro synth: error: {exc}", file=sys.stderr)
+                return 2
+            # stderr: --json consumers parse stdout as one document.
+            print(f"appended to ledger {args.history}", file=sys.stderr)
         return 0 if matrix.ok else 1
     if args.apply:
         programs = synth_suite_programs()
@@ -501,6 +538,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.bench:
         from .harness import run_serve_bench
 
+        import os
+
+        output = args.output or "BENCH_serve.json"
+        history = None
+        if not args.no_history:
+            history = args.history or os.path.join(
+                os.path.dirname(output) or ".", "BENCH_history.jsonl"
+            )
         try:
             payload = run_serve_bench(
                 suite=args.suite,
@@ -508,8 +553,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 engine=args.engine,
                 tools=tools,
                 queue_cap=args.queue_cap,
-                output=args.output or "BENCH_serve.json",
+                output=output,
                 observe=not args.no_observe,
+                history=history,
             )
         except OSError as exc:
             print(f"repro serve: error: {exc}", file=sys.stderr)
@@ -525,8 +571,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"frame latency p50 {s['p50_frame_latency_us']:.0f}us / "
             f"p99 {s['p99_frame_latency_us']:.0f}us"
         )
+        profile = payload.get("profile")
+        if profile:
+            print(
+                f"  profiler: {profile['samples']} samples over "
+                f"{profile['events']} events (final stride {profile['stride']})"
+            )
         print(f"  delivery verified: {'yes' if payload['delivery_ok'] else 'NO'}")
-        print(f"wrote {args.output or 'BENCH_serve.json'}")
+        print(f"wrote {output}")
+        if history:
+            print(f"appended to ledger {history}")
         return 0 if payload["delivery_ok"] else 1
 
     # Default: the loopback equivalence run (the serve self-test).
@@ -699,12 +753,54 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     from .forensics.diff import diff_artifacts, render_diff
 
     try:
-        result = diff_artifacts(args.old, args.new, threshold=args.threshold)
+        result = diff_artifacts(
+            args.old, args.new, threshold=args.threshold, history=args.history
+        )
     except (OSError, ValueError) as exc:
         print(f"repro diff: error: {exc}", file=sys.stderr)
         return 2
     print(render_diff(result), end="")
     return 1 if result["regression"] else 0
+
+
+def _cmd_sentinel(args: argparse.Namespace) -> int:
+    from .observe.history import HISTORY_KINDS, seed_history
+    from .observe.sentinel import render_sentinel, run_sentinel
+
+    if args.kind not in HISTORY_KINDS:
+        print(
+            f"repro sentinel: error: unknown kind {args.kind!r} "
+            f"(valid choices: {', '.join(HISTORY_KINDS)})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seed_from:
+        try:
+            appended = seed_history(args.history, args.seed_from)
+        except OSError as exc:
+            print(f"repro sentinel: error: {exc}", file=sys.stderr)
+            return 2
+        print(f"seeded {appended} entr(y/ies) into {args.history}")
+    try:
+        payload = run_sentinel(
+            args.history,
+            kind=args.kind,
+            window=args.window,
+            alpha=args.alpha,
+            seed=args.seed,
+            resamples=args.resamples,
+            min_shift=args.min_shift,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro sentinel: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_sentinel(payload))
+    return 1 if payload["regressions"] else 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -762,6 +858,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure inside a telemetry scope and embed the metric snapshot",
     )
+    pb.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="bench-history ledger to append this run to "
+        "(default: BENCH_history.jsonl next to --output)",
+    )
+    pb.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the bench-history ledger",
+    )
+    pb.add_argument(
+        "--flamegraph",
+        default=None,
+        metavar="PATH",
+        help="write the continuous profiler's flamegraph HTML to PATH",
+    )
     pb.set_defaults(fn=_cmd_bench)
 
     p9 = sub.add_parser("fig9", help="Fig 9: memory usage on SPEC ACCEL")
@@ -804,6 +918,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="full validation matrix: detector-clean on both engines, "
         "value-equivalent, bytes <= hand-written (BENCH_synth.json shape)",
+    )
+    py.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="ledger --score appends to (default: BENCH_history.jsonl)",
+    )
+    py.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append the --score run to the bench-history ledger",
     )
     py.set_defaults(fn=_cmd_synth)
 
@@ -967,6 +1092,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable live observability (metrics/health/SLO watchdog) "
         "on the front ends and the bench",
     )
+    ps.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="ledger --bench appends to (default: BENCH_history.jsonl)",
+    )
+    ps.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append the --bench run to the bench-history ledger",
+    )
     ps.set_defaults(fn=_cmd_serve)
 
     pt = sub.add_parser(
@@ -1058,7 +1194,78 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="relative slowdown growth tolerated in bench diffs (default 5%%)",
     )
+    pf.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="bench-history ledger: calibrate per-metric thresholds from "
+        "this machine's historical noise instead of the flat --threshold",
+    )
     pf.set_defaults(fn=_cmd_diff)
+
+    pn = sub.add_parser(
+        "sentinel",
+        help="statistical perf-regression verdicts over the bench-history "
+        "ledger; exit 1 on regression",
+    )
+    pn.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="ledger to analyze (default: BENCH_history.jsonl)",
+    )
+    # Kind is validated by hand for a one-line error.
+    pn.add_argument(
+        "--kind",
+        default="bench",
+        help="entry kind to analyze: bench, serve-bench, or synth-bench",
+    )
+    pn.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="change-point window: the last N runs are the candidate "
+        "population (default: 5)",
+    )
+    pn.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        help="Mann-Whitney significance level (default: 0.05)",
+    )
+    pn.add_argument(
+        "--min-shift",
+        type=float,
+        default=0.02,
+        help="practical floor: smaller relative median shifts are never "
+        "regressions (default: 0.02)",
+    )
+    pn.add_argument(
+        "--seed",
+        type=int,
+        default=108,
+        help="bootstrap RNG seed (verdicts are deterministic per seed)",
+    )
+    pn.add_argument(
+        "--resamples",
+        type=int,
+        default=1000,
+        help="bootstrap resamples for the shift CI (default: 1000)",
+    )
+    pn.add_argument(
+        "--seed-from",
+        nargs="+",
+        default=None,
+        metavar="ARTIFACT",
+        help="first migrate these pre-ledger BENCH_*.json artifacts "
+        "into the ledger",
+    )
+    pn.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable sentinel/1 payload",
+    )
+    pn.set_defaults(fn=_cmd_sentinel)
 
     pl = sub.add_parser("list", help="inventory of benchmarks and workloads")
     pl.add_argument(

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
+from ..observe import prof as _prof
 from ..telemetry import registry as _telemetry
 
 from .columnar import BATCH_CAP, MIN_BATCH, EventBatch
@@ -44,6 +45,7 @@ from .records import (
     DataOp,
     FlushEvent,
     KernelEvent,
+    KernelPhase,
     MemcpyEvent,
     SyncEvent,
 )
@@ -211,6 +213,9 @@ class ToolBus:
             if len(pending) >= BATCH_CAP:
                 self.flush_batch()
             return
+        profiler = _prof.ACTIVE
+        if profiler is not None:
+            profiler.access_event(access, self._access)
         telemetry = _telemetry.ACTIVE
         if telemetry is None:
             # Telemetry disabled: one global load, then straight dispatch —
@@ -241,6 +246,11 @@ class ToolBus:
         if not pending:
             return
         self._batch_pending = []
+        profiler = _prof.ACTIVE
+        if profiler is not None:
+            # Same ordinal clock as the scalar path: the batch advances one
+            # ordinal per access, so sample positions match across engines.
+            profiler.batch_events(pending, self._access)
         telemetry = _telemetry.ACTIVE
         if telemetry is not None:
             telemetry.count("bus.batches")
@@ -296,6 +306,11 @@ class ToolBus:
     def publish_kernel(self, event: KernelEvent) -> None:
         if self._batch_pending:
             self.flush_batch()
+        profiler = _prof.ACTIVE
+        if profiler is not None:
+            profiler.kernel_event(
+                event.name if event.phase is KernelPhase.BEGIN else "host"
+            )
         if _telemetry.ACTIVE is not None:
             self._publish_instrumented(self._kernel, "on_kernel", event)
             return

@@ -33,7 +33,23 @@ import json
 from .report import parse_jsonl
 
 #: Default relative slowdown-growth tolerance for bench diffs (5%).
+#: This is the *fallback* gate: ``repro diff --history`` replaces it with
+#: per-metric noise-calibrated thresholds bootstrapped from the bench
+#: ledger (:func:`repro.observe.sentinel.noise_thresholds`), and
+#: ``repro sentinel`` supersedes two-artifact diffing entirely with
+#: change-point statistics over the full history window.
 DEFAULT_THRESHOLD = 0.05
+
+#: Which per-workload config column feeds each summary geomean — used to
+#: attribute a geomean regression to the cells that drove it.
+GEOMEAN_CONFIGS = {
+    "arbalest_slowdown_geomean": "arbalest",
+    "arbalest_cert_slowdown_geomean": "arbalest-cert",
+    "arbalest_rec_slowdown_geomean": "arbalest-rec",
+    "arbalest_prof_slowdown_geomean": "arbalest-prof",
+    "recorder_overhead_geomean": "arbalest-rec",
+    "profiler_overhead_geomean": "arbalest-prof",
+}
 
 
 def load_artifact(path: str) -> tuple[str, dict]:
@@ -94,13 +110,47 @@ def diff_reports(old: dict, new: dict) -> dict:
 # -- bench diffing -----------------------------------------------------------
 
 
-def diff_bench(old: dict, new: dict, *, threshold: float = DEFAULT_THRESHOLD) -> dict:
+def _geomean_contributors(
+    old: dict, new: dict, config: str, *, limit: int = 3
+) -> list[dict]:
+    """The per-workload cells that drove a geomean move, worst first."""
+    rows: list[dict] = []
+    shared = set(old.get("workloads", {})) & set(new.get("workloads", {}))
+    for w in sorted(shared):
+        o = old["workloads"][w].get(config, {}).get("slowdown")
+        n = new["workloads"][w].get(config, {}).get("slowdown")
+        if o and n:
+            rows.append(
+                {
+                    "workload": w,
+                    "config": config,
+                    "old": o,
+                    "new": n,
+                    "rel": round((n - o) / o, 4),
+                }
+            )
+    rows.sort(key=lambda r: (-r["rel"], r["workload"]))
+    return rows[:limit]
+
+
+def diff_bench(
+    old: dict,
+    new: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    thresholds: dict[str, float] | None = None,
+) -> dict:
     """Compare summary geomeans (and per-workload detector slowdowns).
 
     Artifacts must come from the same event engine: scalar and columnar
     timings are not comparable (that is the whole point of the columnar
     engine), so a mismatch is an error, not a regression verdict.
     Artifacts predating the ``engine`` key are treated as scalar.
+
+    ``thresholds`` overrides the flat ``threshold`` per summary key —
+    this is how ``repro diff --history`` feeds in noise-calibrated gates
+    bootstrapped from the bench ledger.  Every regressed geomean is
+    attributed to the top per-workload cells that drove it.
     """
     old_engine = old.get("engine", "scalar")
     new_engine = new.get("engine", "scalar")
@@ -109,8 +159,10 @@ def diff_bench(old: dict, new: dict, *, threshold: float = DEFAULT_THRESHOLD) ->
             f"cannot diff bench artifacts from different engines: "
             f"baseline is {old_engine!r}, candidate is {new_engine!r}"
         )
+    thresholds = thresholds or {}
     deltas: dict[str, dict] = {}
     regressions: list[str] = []
+    contributors: dict[str, list[dict]] = {}
     old_summary = old.get("summary", {})
     new_summary = new.get("summary", {})
     for key in sorted(set(old_summary) & set(new_summary)):
@@ -118,9 +170,17 @@ def diff_bench(old: dict, new: dict, *, threshold: float = DEFAULT_THRESHOLD) ->
         if not isinstance(o, (int, float)) or not isinstance(n, (int, float)):
             continue
         rel = (n - o) / o if o else 0.0
+        gate = thresholds.get(key, threshold)
         deltas[key] = {"old": o, "new": n, "rel": round(rel, 4)}
-        if key.endswith("geomean") and rel > threshold:
+        if key in thresholds:
+            deltas[key]["threshold"] = gate
+        if key.endswith("geomean") and rel > gate:
             regressions.append(key)
+            config = GEOMEAN_CONFIGS.get(key)
+            if config is not None:
+                top = _geomean_contributors(old, new, config)
+                if top:
+                    contributors[key] = top
     workloads: dict[str, dict] = {}
     shared = set(old.get("workloads", {})) & set(new.get("workloads", {}))
     for w in sorted(shared):
@@ -131,8 +191,10 @@ def diff_bench(old: dict, new: dict, *, threshold: float = DEFAULT_THRESHOLD) ->
     return {
         "type": "bench",
         "threshold": threshold,
+        "calibrated": sorted(thresholds) if thresholds else [],
         "deltas": deltas,
         "workloads": workloads,
+        "contributors": contributors,
         "regressions": regressions,
         "regression": bool(regressions),
     }
@@ -274,9 +336,18 @@ def diff_synth_bench(old: dict, new: dict) -> dict:
 
 
 def diff_artifacts(
-    old_path: str, new_path: str, *, threshold: float = DEFAULT_THRESHOLD
+    old_path: str,
+    new_path: str,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    history: str | None = None,
 ) -> dict:
-    """Load two artifacts, require matching types, and diff them."""
+    """Load two artifacts, require matching types, and diff them.
+
+    ``history`` (a bench-history ledger path) replaces the flat threshold
+    with per-metric noise-calibrated gates for bench diffs; the other
+    artifact types ignore it.
+    """
     old_type, old_payload = load_artifact(old_path)
     new_type, new_payload = load_artifact(new_path)
     if old_type != new_type:
@@ -289,7 +360,14 @@ def diff_artifacts(
         return diff_serve_bench(old_payload, new_payload, threshold=threshold)
     if old_type == "synth-bench":
         return diff_synth_bench(old_payload, new_payload)
-    return diff_bench(old_payload, new_payload, threshold=threshold)
+    thresholds = None
+    if history is not None:
+        from ..observe.sentinel import noise_thresholds
+
+        thresholds = noise_thresholds(history)
+    return diff_bench(
+        old_payload, new_payload, threshold=threshold, thresholds=thresholds
+    )
 
 
 # -- rendering ---------------------------------------------------------------
@@ -364,19 +442,32 @@ def render_diff(result: dict) -> str:
     else:
         for key, d in result["deltas"].items():
             marker = " << REGRESSION" if key in result["regressions"] else ""
+            gate = (
+                f" [gate {d['threshold']:.1%}]" if "threshold" in d else ""
+            )
             lines.append(
                 f"{key}: {d['old']} -> {d['new']} "
-                f"({d['rel']:+.1%}){marker}"
+                f"({d['rel']:+.1%}){gate}{marker}"
             )
+            for c in result.get("contributors", {}).get(key, []):
+                lines.append(
+                    f"    driven by {c['workload']} [{c['config']}]: "
+                    f"{c['old']} -> {c['new']} ({c['rel']:+.1%})"
+                )
         for w, d in result["workloads"].items():
             lines.append(
                 f"  {w} arbalest slowdown: {d['old']} -> {d['new']} "
                 f"({d['rel']:+.1%})"
             )
         lines.append("")
+        if result.get("calibrated"):
+            lines.append(
+                "thresholds calibrated from bench history for: "
+                + ", ".join(result["calibrated"])
+            )
         verdict = (
-            f"REGRESSION: {', '.join(result['regressions'])} grew more than "
-            f"{result['threshold']:.0%}"
+            f"REGRESSION: {', '.join(result['regressions'])} grew beyond "
+            "the gate"
             if result["regression"]
             else f"within threshold ({result['threshold']:.0%})"
         )

@@ -26,6 +26,9 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..observe.history import append_history, run_meta
+from ..observe.prof import DEFAULT_STRIDE, Governor, Profiler
+from ..observe.prof import scope as _prof_scope
 from ..openmp.runtime import TargetRuntime
 from ..specaccel.workloads import WORKLOADS, Workload
 from .precision import TOOL_FACTORIES, TOOL_ORDER
@@ -36,8 +39,10 @@ from .tables import render_ratio_chart, render_table
 #: SafetyCertificate — the staticlint speedup the tracked bench records),
 #: then ARBALEST with the forensics flight recorder active (the tracked
 #: recorder-overhead number: it must stay within a few percent of plain
-#: arbalest, which ``repro diff`` gates on).
-CONFIGS = ("native", *TOOL_ORDER, "arbalest-cert", "arbalest-rec")
+#: arbalest, which ``repro diff`` gates on), then ARBALEST with the
+#: continuous profiler sampling (governor at default budget — the tracked
+#: profiler-tax number, gated at a couple percent over plain arbalest).
+CONFIGS = ("native", *TOOL_ORDER, "arbalest-cert", "arbalest-rec", "arbalest-prof")
 
 #: Event engines the harness can drive (``ToolBus`` dispatch modes).
 ENGINES = ("scalar", "columnar")
@@ -67,6 +72,9 @@ class OverheadResult:
     preset: str
     engine: str = "scalar"
     measurements: list[Measurement] = field(default_factory=list)
+    #: The shared continuous profiler from the ``arbalest-prof`` cells
+    #: (``None`` when that configuration was not measured).
+    profiler: Profiler | None = None
 
     def get(self, workload: str, config: str) -> Measurement:
         for m in self.measurements:
@@ -151,6 +159,7 @@ def measure_one(
     *,
     repetitions: int = 1,
     engine: str = "scalar",
+    profiler: Profiler | None = None,
 ) -> Measurement:
     """One (workload, tool) cell: fresh machine, attach, run, account."""
     best = None
@@ -159,7 +168,20 @@ def measure_one(
         tool = None
         recorder = None
         run_scope = nullcontext()
-        if config == "arbalest-cert":
+        if config == "arbalest-prof":
+            from ..core.detector import Arbalest
+
+            tool = Arbalest().attach(rt.machine)
+            # Continuous profiling exactly as production runs it: governor
+            # armed at the default budget.  The caller may share one
+            # profiler across cells (the aggregate feeds the flamegraph).
+            if profiler is None:
+                profiler = Profiler(
+                    stride=DEFAULT_STRIDE, governor=Governor()
+                )
+            profiler.set_context(benchmark=workload.name, phase="host")
+            run_scope = _prof_scope(profiler)
+        elif config == "arbalest-cert":
             from ..core.detector import Arbalest
             from ..staticlint import spec_certificates
 
@@ -224,6 +246,13 @@ def run_overhead_comparison(
     if configs is None:
         configs = LARGE_CONFIGS if preset == "large" else CONFIGS
     result = OverheadResult(preset=preset, engine=engine)
+    configs = tuple(configs)
+    if "arbalest-prof" in configs:
+        # One profiler across all arbalest-prof cells: the governor keeps
+        # its adapted stride between workloads (continuous profiling, not
+        # per-run profiling) and the aggregate folded stacks become the
+        # bench flamegraph.
+        result.profiler = Profiler(stride=DEFAULT_STRIDE, governor=Governor())
     workloads = tuple(workloads)
     # Warm up numpy/runtime code paths so 'native' isn't charged for imports.
     # Run the *measured* preset: warming a different one leaves preset-sized
@@ -235,7 +264,14 @@ def run_overhead_comparison(
     for w in workloads:
         for config in configs:
             result.measurements.append(
-                measure_one(w, config, preset, repetitions=repetitions, engine=engine)
+                measure_one(
+                    w,
+                    config,
+                    preset,
+                    repetitions=repetitions,
+                    engine=engine,
+                    profiler=result.profiler,
+                )
             )
     return result
 
@@ -292,6 +328,25 @@ def bench_payload(result: OverheadResult, *, repetitions: int) -> dict:
                 ),
             }
         )
+    if "arbalest-prof" in configs:
+        prof = [result.slowdown(w, "arbalest-prof") for w in workloads]
+        prof_geomean = float(np_geomean(prof))
+        payload["summary"].update(
+            {
+                "arbalest_prof_slowdown_geomean": round(prof_geomean, 3),
+                "arbalest_prof_slowdown_max": round(max(prof), 3),
+                # The continuous profiler's tax over plain arbalest — the
+                # governor's job is to keep this within a couple percent.
+                "profiler_overhead_geomean": round(
+                    prof_geomean / max(arb_geomean, 1e-9), 3
+                ),
+            }
+        )
+        if result.profiler is not None:
+            payload["profiler"] = result.profiler.stats()
+    payload["meta"] = run_meta(
+        engine=result.engine, preset=result.preset, reps=repetitions
+    )
     return payload
 
 
@@ -312,6 +367,8 @@ def run_bench(
     output: str = "BENCH_fig8.json",
     telemetry: bool = False,
     engine: str = "scalar",
+    history: str | None = None,
+    flamegraph: str | None = None,
 ) -> dict:
     """Run the Fig-8 matrix and write the tracked ``BENCH_fig8.json``.
 
@@ -319,6 +376,10 @@ def run_bench(
     scope (event-ordinal clock) and embeds the metric snapshot under a
     ``"telemetry"`` key — the timings then include the instrumentation
     cost, so only compare slowdowns among runs with the same setting.
+
+    ``history`` appends this run to the bench-history ledger (the
+    ``repro sentinel`` input); ``flamegraph`` writes the aggregated
+    ``arbalest-prof`` profile as a self-contained flamegraph HTML.
     """
     out_dir = os.path.dirname(os.path.abspath(output))
     if not os.path.isdir(out_dir):
@@ -344,4 +405,14 @@ def run_bench(
     with open(output, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=False)
         fh.write("\n")
+    if flamegraph is not None and result.profiler is not None:
+        from ..observe.flame import write_flamegraph
+
+        write_flamegraph(
+            flamegraph,
+            result.profiler.folded(),
+            title=f"repro bench {preset}/{engine} · arbalest-prof",
+        )
+    if history is not None:
+        append_history(history, payload)
     return payload

@@ -264,6 +264,7 @@ def run_serve_bench(
     output: str | None = "BENCH_serve.json",
     benchmarks: Iterable[DraccBenchmark] | None = None,
     observe: bool = True,
+    history: str | None = None,
 ) -> dict:
     """Measure server throughput and frame latency over a streamed suite.
 
@@ -352,12 +353,21 @@ def run_serve_bench(
         }
     else:
         payload["observability"] = {"enabled": False}
+    if observer is not None and observer.profiler is not None:
+        payload["profile"] = observer.profiler.stats()
+    from ..observe.history import append_history, run_meta
+
+    payload["meta"] = run_meta(
+        engine=engine, suite=suite, n_shards=n_shards, tools=list(tools)
+    )
     if output is not None:
         tmp = output + ".tmp"
         with open(tmp, "w") as sink:
             json.dump(payload, sink, indent=2, sort_keys=True)
             sink.write("\n")
         os.replace(tmp, output)
+    if history is not None:
+        append_history(history, payload)
     return payload
 
 

@@ -20,29 +20,70 @@ package watches a *service* while it is up:
   client.
 """
 
+from .flame import parse_folded, render_flamegraph, write_flamegraph
 from .health import healthz, readyz
+from .history import (
+    DEFAULT_HISTORY,
+    HISTORY_SCHEMA,
+    append_history,
+    env_fingerprint,
+    history_entry,
+    load_history,
+    run_meta,
+    seed_history,
+)
 from .log import ObserveLog
 from .metrics import render_prometheus, service_snapshot
 from .observer import ServeObserver, histogram_quantile
+from .prof import Governor, Profiler
+from .prof import scope as prof_scope
+from .sentinel import (
+    bootstrap_shift_ci,
+    mann_whitney,
+    metric_direction,
+    noise_thresholds,
+    render_sentinel,
+    run_sentinel,
+)
 from .slo import CHAOS_SLOS, DEFAULT_SLOS, SLOSpec, SLOWatchdog
 from .spans import SpanLog, spans_by_frame, stitch_traces, write_stitched_trace
 from .top import run_top
 
 __all__ = [
     "CHAOS_SLOS",
+    "DEFAULT_HISTORY",
     "DEFAULT_SLOS",
+    "Governor",
+    "HISTORY_SCHEMA",
     "ObserveLog",
+    "Profiler",
     "SLOSpec",
     "SLOWatchdog",
     "ServeObserver",
     "SpanLog",
+    "append_history",
+    "bootstrap_shift_ci",
+    "env_fingerprint",
     "healthz",
     "histogram_quantile",
+    "history_entry",
+    "load_history",
+    "mann_whitney",
+    "metric_direction",
+    "noise_thresholds",
+    "parse_folded",
+    "prof_scope",
     "readyz",
+    "render_flamegraph",
     "render_prometheus",
+    "render_sentinel",
+    "run_meta",
+    "run_sentinel",
     "run_top",
+    "seed_history",
     "service_snapshot",
     "spans_by_frame",
     "stitch_traces",
+    "write_flamegraph",
     "write_stitched_trace",
 ]

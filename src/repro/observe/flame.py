@@ -1,0 +1,154 @@
+"""Self-contained flamegraph HTML from folded-stack text.
+
+One input format — the profiler's folded export (``frame;frame;... weight``,
+one stack per line, weight after the last space) — one output: a single HTML
+file with zero external dependencies (no d3, no CDN fetch), suitable for a
+CI artifact.  Rendering is plain nested ``<div>`` rows sized by percentage
+width, with hover tooltips and click-to-zoom handled by ~30 lines of inline
+JavaScript over an embedded JSON tree.
+
+Output is deterministic: children are sorted by name, colors are hashed from
+the frame name, and no timestamps are embedded — the flamegraph for a
+fixed-stride profile is as byte-stable as the folded text itself.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+
+
+def parse_folded(text: str) -> dict:
+    """Fold lines into a tree ``{name, value, children: {...}}``.
+
+    Lines that do not end in ``<space><int>`` are rejected — a truncated
+    profile artifact should fail loudly, not render an empty graph.
+    """
+    root: dict = {"name": "all", "value": 0, "children": {}}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        stack_text, sep, count_text = line.rpartition(" ")
+        if not sep:
+            raise ValueError(f"folded line {lineno} has no weight: {line!r}")
+        try:
+            weight = int(count_text)
+        except ValueError:
+            raise ValueError(
+                f"folded line {lineno} weight is not an integer: {count_text!r}"
+            ) from None
+        if weight < 0:
+            raise ValueError(f"folded line {lineno} weight is negative: {weight}")
+        root["value"] += weight
+        node = root
+        for frame in stack_text.split(";"):
+            child = node["children"].get(frame)
+            if child is None:
+                child = {"name": frame, "value": 0, "children": {}}
+                node["children"][frame] = child
+            child["value"] += weight
+            node = child
+    return root
+
+
+def _to_jsonable(node: dict) -> dict:
+    return {
+        "name": node["name"],
+        "value": node["value"],
+        "children": [
+            _to_jsonable(node["children"][name]) for name in sorted(node["children"])
+        ],
+    }
+
+
+_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+body { font: 12px monospace; margin: 12px; background: #1c1c22; color: #ddd; }
+h1 { font-size: 14px; }
+#meta { color: #888; margin-bottom: 8px; }
+#graph { width: 100%; }
+.row { display: flex; height: 18px; }
+.frame {
+  box-sizing: border-box; overflow: hidden; white-space: nowrap;
+  border: 1px solid #1c1c22; border-radius: 2px; padding: 1px 3px;
+  cursor: pointer; color: #222;
+}
+.frame:hover { border-color: #fff; }
+.pad { visibility: hidden; }
+#crumb { margin: 6px 0; color: #9cf; cursor: pointer; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<div id="meta">total weight __TOTAL__ · stacks are benchmark;phase;tool;frames, root at top</div>
+<div id="crumb"></div>
+<div id="graph"></div>
+<script>
+const ROOT = __DATA__;
+let zoom = ROOT;
+function color(name) {
+  let h = 2166136261;
+  for (let i = 0; i < name.length; i++) { h ^= name.charCodeAt(i); h = (h * 16777619) >>> 0; }
+  return `hsl(${20 + (h % 40)}, ${70 + (h >> 8) % 25}%, ${52 + (h >> 16) % 16}%)`;
+}
+function render() {
+  const graph = document.getElementById('graph');
+  graph.textContent = '';
+  const rows = [];
+  (function walk(node, depth, offset) {
+    if (!rows[depth]) rows[depth] = [];
+    rows[depth].push({node, offset});
+    let childOffset = offset;
+    for (const child of node.children) { walk(child, depth + 1, childOffset); childOffset += child.value; }
+  })(zoom, 0, 0);
+  const total = zoom.value || 1;
+  for (const cells of rows) {
+    const row = document.createElement('div');
+    row.className = 'row';
+    let cursor = 0;
+    for (const {node, offset} of cells) {
+      if (offset > cursor) {
+        const pad = document.createElement('div');
+        pad.className = 'frame pad';
+        pad.style.width = (100 * (offset - cursor) / total) + '%';
+        row.appendChild(pad);
+      }
+      const cell = document.createElement('div');
+      cell.className = 'frame';
+      cell.style.width = (100 * node.value / total) + '%';
+      cell.style.background = color(node.name);
+      cell.textContent = node.name;
+      cell.title = node.name + ' — weight ' + node.value + ' (' + (100 * node.value / total).toFixed(2) + '%)';
+      cell.onclick = () => { zoom = node; render(); };
+      row.appendChild(cell);
+      cursor = offset + node.value;
+    }
+    graph.appendChild(row);
+  }
+  const crumb = document.getElementById('crumb');
+  crumb.textContent = zoom === ROOT ? '' : '⟵ reset zoom (' + zoom.name + ')';
+  crumb.onclick = () => { zoom = ROOT; render(); };
+}
+render();
+</script>
+</body>
+</html>
+"""
+
+
+def render_flamegraph(folded: str, *, title: str = "repro profile") -> str:
+    """Render folded-stack text as a self-contained flamegraph HTML page."""
+    tree = _to_jsonable(parse_folded(folded))
+    page = _TEMPLATE.replace("__TITLE__", _html.escape(title))
+    page = page.replace("__TOTAL__", str(tree["value"]))
+    return page.replace("__DATA__", json.dumps(tree, separators=(",", ":")))
+
+
+def write_flamegraph(path: str, folded: str, *, title: str = "repro profile") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_flamegraph(folded, title=title))

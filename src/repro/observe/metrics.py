@@ -108,16 +108,47 @@ def service_snapshot(server, observer=None) -> dict:
     if observer is not None:
         snapshot["observer"] = observer.stats()
         snapshot["latency"] = observer.latency_summary()
+        profiler = getattr(observer, "profiler", None)
+        if profiler is not None:
+            snapshot["profile"] = {
+                "events": profiler.events,
+                "samples": profiler.samples,
+                "stride": profiler.stride,
+                "by_phase": profiler.samples_by_phase(),
+                "governor_tax": (
+                    profiler.governor.last_tax
+                    if profiler.governor is not None
+                    else None
+                ),
+            }
     return snapshot
 
 
 # -- Prometheus text exposition -------------------------------------------
 
 
+def _escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition spec.
+
+    Backslash, double-quote and newline are the three characters the spec
+    requires escaping inside quoted label values; anything else passes
+    through verbatim.  Order matters: backslash first, or the escapes we
+    just introduced would be re-escaped.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _labels(**labels) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    body = ",".join(
+        f'{k}="{_escape_label_value(labels[k])}"' for k in sorted(labels)
+    )
     return "{" + body + "}"
 
 
@@ -345,6 +376,41 @@ def render_prometheus(snapshot: dict) -> str:
                 "repro_serve_slo_burning",
                 spec["name"] in burning,
                 slo=spec["name"],
+            )
+
+    profile = snapshot.get("profile")
+    if profile is not None:
+        exp.family(
+            "repro_serve_profile_events_total",
+            "counter",
+            "Access events seen by the continuous profiler's ordinal clock.",
+        )
+        exp.sample("repro_serve_profile_events_total", profile["events"])
+        exp.family(
+            "repro_serve_profile_samples_total",
+            "counter",
+            "Profile samples taken (per shard phase).",
+        )
+        for phase in sorted(profile["by_phase"]):
+            exp.sample(
+                "repro_serve_profile_samples_total",
+                profile["by_phase"][phase],
+                shard=phase,
+            )
+        exp.family(
+            "repro_serve_profile_stride",
+            "gauge",
+            "Current profiler sampling stride (events per sample).",
+        )
+        exp.sample("repro_serve_profile_stride", profile["stride"])
+        if profile.get("governor_tax") is not None:
+            exp.family(
+                "repro_serve_profile_tax",
+                "gauge",
+                "Profiling tax measured by the governor over its last window.",
+            )
+            exp.sample(
+                "repro_serve_profile_tax", round(profile["governor_tax"], 6)
             )
 
     latency = snapshot.get("latency")

@@ -23,6 +23,7 @@ from typing import IO
 
 from ..telemetry.registry import Histogram
 from .log import ObserveLog
+from .prof import DEFAULT_STRIDE, Governor, Profiler
 from .slo import DEFAULT_SLOS, SLOSpec, SLOWatchdog
 from .spans import SpanLog
 
@@ -59,10 +60,26 @@ class ServeObserver:
         cadence: int = 256,
         trace_spans: bool = False,
         wall_clock: bool = True,
+        profile: "bool | Profiler" = True,
     ):
         if cadence < 1:
             raise ValueError(f"watchdog cadence must be positive, got {cadence}")
         self.log = log if log is not None else ObserveLog(log_sink)
+        #: The continuous profiler sampling the shard dispatch hot path.
+        #: ``wall_clock=True`` (production) arms the tax governor; the
+        #: deterministic mode keeps a fixed stride so samples replay
+        #: byte-identically.
+        if isinstance(profile, Profiler):
+            self.profiler: Profiler | None = profile
+        elif profile:
+            self.profiler = Profiler(
+                stride=DEFAULT_STRIDE,
+                governor=Governor() if wall_clock else None,
+                benchmark="serve",
+                track_kernel_phase=False,
+            )
+        else:
+            self.profiler = None
         self.watchdog = SLOWatchdog(tuple(slos), log=self.log)
         self.cadence = cadence
         self.trace_spans = trace_spans
@@ -220,7 +237,7 @@ class ServeObserver:
         }
 
     def stats(self) -> dict:
-        return {
+        data = {
             "frames": self.frames,
             "redeliveries": self.redeliveries,
             "decode_errors": self.decode_errors,
@@ -231,3 +248,6 @@ class ServeObserver:
             "watchdog": self.watchdog.stats(),
             "log": self.log.stats(),
         }
+        if self.profiler is not None:
+            data["profile"] = self.profiler.stats()
+        return data

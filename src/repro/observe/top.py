@@ -64,14 +64,64 @@ def http_get(
     return int(parts[1]), body
 
 
+def _parse_label_body(body: str) -> dict:
+    """Parse ``key="value",...`` honoring the exposition escape rules.
+
+    Values may contain commas, quotes, backslashes and newlines — escaped
+    as ``\\\\``, ``\\"`` and ``\\n`` — so a naive split on ``,`` is wrong.
+    This is a small state machine: scan each key up to ``=``, then consume
+    the quoted value unescaping as we go.
+    """
+    labels: dict = {}
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ValueError(f"malformed label body (no '='): {body[i:]!r}")
+        key = body[i:eq]
+        if not key or not key.replace("_", "").isalnum():
+            raise ValueError(f"malformed label name: {key!r}")
+        if eq + 1 >= n or body[eq + 1] != '"':
+            raise ValueError(f"label value for {key!r} is not quoted")
+        value_chars: list[str] = []
+        i = eq + 2
+        while True:
+            if i >= n:
+                raise ValueError(f"unterminated label value for {key!r}")
+            ch = body[i]
+            if ch == "\\":
+                if i + 1 >= n:
+                    raise ValueError(f"dangling escape in label value for {key!r}")
+                esc = body[i + 1]
+                if esc == "n":
+                    value_chars.append("\n")
+                elif esc in ('"', "\\"):
+                    value_chars.append(esc)
+                else:
+                    raise ValueError(f"unknown escape \\{esc} in value for {key!r}")
+                i += 2
+                continue
+            if ch == '"':
+                i += 1
+                break
+            value_chars.append(ch)
+            i += 1
+        labels[key] = "".join(value_chars)
+        if i < n:
+            if body[i] != ",":
+                raise ValueError(f"expected ',' between label pairs at {body[i:]!r}")
+            i += 1
+    return labels
+
+
 def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
     """Parse Prometheus text exposition into ``name -> [(labels, value)]``.
 
     Strict enough to double as a validity check: every sample line must
     be ``name[{labels}] value`` with a float-parseable value, and label
-    bodies must be ``key="value"`` pairs.  Raises ``ValueError`` on
-    anything else — the CI job feeds the live ``/metrics`` body through
-    this parser as its exposition-validity gate.
+    bodies must be escape-aware ``key="value"`` pairs.  Raises
+    ``ValueError`` on anything else — the CI job feeds the live
+    ``/metrics`` body through this parser as its exposition-validity gate.
     """
     families: dict[str, list[tuple[dict, float]]] = {}
     for line in text.splitlines():
@@ -88,12 +138,7 @@ def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
         labels: dict = {}
         if name_part.endswith("}"):
             name, _, label_body = name_part.partition("{")
-            label_body = label_body[:-1]
-            for pair in label_body.split(","):
-                key, eq, raw = pair.partition("=")
-                if not eq or not (raw.startswith('"') and raw.endswith('"')):
-                    raise ValueError(f"malformed label pair: {pair!r}")
-                labels[key] = raw[1:-1]
+            labels = _parse_label_body(label_body[:-1])
         else:
             name = name_part
         if not name.replace("_", "").replace(":", "").isalnum():
@@ -169,6 +214,17 @@ def shard_rows(families: dict) -> list[dict]:
                     )
                     or 0
                 ),
+                # The continuous profiler aggregates per shard phase (its
+                # sampling is bus-level, not per-session), so every session
+                # row for shard N shows shard N's sample count.
+                "samples": int(
+                    metric_value(
+                        families,
+                        "repro_serve_profile_samples_total",
+                        shard=f"shard-{shard}",
+                    )
+                    or 0
+                ),
             }
         )
     rows.sort(key=lambda r: (r["client"], r["shard"]))
@@ -207,6 +263,7 @@ def render_table(
         "applied",
         "events/s",
         "queue",
+        "samples",
         "restarts",
         "alive",
     )
@@ -219,6 +276,7 @@ def render_table(
                 str(row["applied"]),
                 _fmt_rate(rates.get(("shard", row["client"], row["shard"]))),
                 str(row["queue"]),
+                str(row["samples"]),
                 str(row["restarts"]),
                 "yes" if row["alive"] else "DOWN",
             )
@@ -302,6 +360,12 @@ def run_top(
                             families, "repro_serve_events_delivered_total"
                         ),
                         "events_per_sec": rates.get("events"),
+                        "profile_events": metric_value(
+                            families, "repro_serve_profile_events_total"
+                        ),
+                        "profile_stride": metric_value(
+                            families, "repro_serve_profile_stride"
+                        ),
                         "shards": shard_rows(families),
                     },
                     sort_keys=True,

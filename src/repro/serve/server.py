@@ -501,6 +501,23 @@ class ServerConnection:
             status = 200 if document["ready"] else 503
             body = _json.dumps(document, sort_keys=True).encode("utf-8") + b"\n"
             return status, "application/json", body
+        if path in ("/profile", "/profile.json"):
+            profiler = (
+                server.observer.profiler if server.observer is not None else None
+            )
+            if profiler is None:
+                return 404, "application/json", b'{"error":"profiling disabled"}\n'
+            if path == "/profile":
+                # Folded-stack text: feed it straight to a flamegraph tool.
+                return (
+                    200,
+                    "text/plain; charset=utf-8",
+                    profiler.folded().encode("utf-8"),
+                )
+            # JSON form: stats plus hot stacks with their (client, seq)
+            # wire-frame links, the join key into the stitched span trace.
+            body = _json.dumps(profiler.snapshot(), sort_keys=True).encode("utf-8")
+            return 200, "application/json", body + b"\n"
         return 404, "application/json", b'{"error":"unknown path"}\n'
 
     @staticmethod

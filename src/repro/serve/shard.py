@@ -34,6 +34,7 @@ from ..events.records import (
 )
 from ..events.trace_io import event_from_json
 from ..forensics.recorder import FlightRecorder, scope as _forensics_scope
+from ..observe import prof as _prof
 from ..telemetry import registry as _telemetry
 from ..tools.archer import ArcherTool
 from ..tools.asan import AsanTool
@@ -125,6 +126,13 @@ class ShardWorker:
         self._spanlog = (
             observer.shard_span_log(shard_id) if observer is not None else None
         )
+        #: The observer's continuous profiler, resolved once.  Activated
+        #: around each apply so ToolBus sampling attributes dispatch cost
+        #: to this shard's phase and the frame being applied.
+        self._profiler = (
+            getattr(observer, "profiler", None) if observer is not None else None
+        )
+        self._prof_phase = f"shard-{shard_id}"
         #: A session-level recorder shared with sibling shards (the
         #: supervisor passes one), or ``None`` for a private per-worker
         #: one.  Sharing matters for attribution: an overrun access can
@@ -209,9 +217,9 @@ class ShardWorker:
                         restart=self.restarts,
                         replayed_from=f"{client}:{seq}",
                     ):
-                        self._apply(event_json)
+                        self._apply(event_json, (client, seq))
                 else:
-                    self._apply(event_json)
+                    self._apply(event_json, (client, seq))
             except (KeyError, ValueError, TypeError) as exc:
                 # A journal entry that no longer decodes (bit rot in a
                 # mirror, a version skew) must not take the whole shard
@@ -240,11 +248,29 @@ class ShardWorker:
 
     # -- delivery ----------------------------------------------------------
 
-    def _apply(self, event_json: dict) -> None:
+    def _apply(self, event_json: dict, frame: tuple | None = None) -> None:
         event = event_from_json(event_json)
         register_forensic_ranges(self.recorder, event)
-        with _forensics_scope(self.recorder):
-            self._dispatch[type(event)](event)
+        profiler = self._profiler
+        if profiler is None:
+            with _forensics_scope(self.recorder):
+                self._dispatch[type(event)](event)
+            self.applied += 1
+            return
+        # Manual activate/restore (not the scope() contextmanager): this
+        # runs once per event frame, and a generator frame per event would
+        # be the kind of observability tax the governor exists to prevent.
+        profiler.set_context(phase=self._prof_phase)
+        if frame is not None:
+            profiler.set_frame(frame[0], frame[1])
+        previous = _prof.ACTIVE
+        _prof.ACTIVE = profiler
+        try:
+            with _forensics_scope(self.recorder):
+                self._dispatch[type(event)](event)
+        finally:
+            _prof.ACTIVE = previous
+            profiler.clear_frame()
         self.applied += 1
 
     def deliver(
@@ -276,9 +302,9 @@ class ShardWorker:
             with spanlog.span(
                 "apply", client=client, seq=seq, shard=self.shard_id
             ):
-                self._apply(event_json)
+                self._apply(event_json, (client, seq))
         else:
-            self._apply(event_json)
+            self._apply(event_json, (client, seq))
         if crash_phase == "post":
             self.crash()
             raise WorkerCrash(
@@ -290,6 +316,17 @@ class ShardWorker:
 
     def drain(self) -> None:
         """Flush any parked columnar batch (graceful-drain path)."""
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.set_context(phase=self._prof_phase)
+            previous = _prof.ACTIVE
+            _prof.ACTIVE = profiler
+            try:
+                with _forensics_scope(self.recorder):
+                    self.bus.flush_batch()
+            finally:
+                _prof.ACTIVE = previous
+            return
         with _forensics_scope(self.recorder):
             self.bus.flush_batch()
 

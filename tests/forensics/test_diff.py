@@ -328,3 +328,80 @@ class TestServeBenchObservabilityDiff:
         d = diff_serve_bench(_observed_bench(), _serve_bench(9900.0))
         assert not d["regression"]
         assert d["observability"] == {}
+
+
+def _matrix_bench(cells: dict) -> dict:
+    """A bench artifact with per-workload arbalest slowdowns ``cells`` and
+    the matching geomean summary."""
+    geo = 1.0
+    for value in cells.values():
+        geo *= value
+    geo **= 1 / len(cells)
+    return {
+        "engine": "scalar",
+        "workloads": {
+            w: {"arbalest": {"slowdown": v}} for w, v in cells.items()
+        },
+        "summary": {"arbalest_slowdown_geomean": geo},
+    }
+
+
+class TestContributorAttribution:
+    BASE = {"pcg": 2.0, "pep": 1.5, "polbm": 1.2, "pomriq": 2.1}
+
+    def test_regressed_geomean_names_its_top_contributors(self):
+        new = dict(self.BASE, pcg=2.0 * 1.4, pep=1.5 * 1.1)
+        d = diff_bench(_matrix_bench(self.BASE), _matrix_bench(new))
+        assert d["regression"]
+        top = d["contributors"]["arbalest_slowdown_geomean"]
+        assert [c["workload"] for c in top[:2]] == ["pcg", "pep"]
+        assert top[0]["config"] == "arbalest"
+        assert top[0]["rel"] == pytest.approx(0.4, abs=1e-3)
+        assert len(top) <= 3
+
+    def test_contributors_render_under_the_regression_line(self):
+        new = dict(self.BASE, pcg=2.0 * 1.4)
+        text = render_diff(
+            diff_bench(_matrix_bench(self.BASE), _matrix_bench(new))
+        )
+        assert "driven by pcg [arbalest]" in text
+
+    def test_clean_diff_has_no_contributors(self):
+        d = diff_bench(_matrix_bench(self.BASE), _matrix_bench(self.BASE))
+        assert d["contributors"] == {}
+
+
+class TestCalibratedThresholds:
+    def test_per_key_thresholds_override_the_flat_gate(self):
+        old, new = _bench(2.0), _bench(2.08)  # +4%: clean at the flat 5%
+        assert not diff_bench(old, new)["regression"]
+        tight = diff_bench(
+            old, new, thresholds={"arbalest_slowdown_geomean": 0.02}
+        )
+        assert tight["regression"]
+        assert tight["deltas"]["arbalest_slowdown_geomean"]["threshold"] == 0.02
+        assert tight["calibrated"] == ["arbalest_slowdown_geomean"]
+
+    def test_wide_calibrated_gate_waves_noise_through(self):
+        old, new = _bench(2.0), _bench(2.2)  # +10%: regression at 5%
+        wide = diff_bench(
+            old, new, thresholds={"arbalest_slowdown_geomean": 0.15}
+        )
+        assert not wide["regression"]
+
+    def test_diff_artifacts_threads_a_history_ledger(self, tmp_path):
+        import random
+
+        from repro.observe.history import append_history
+
+        rng = random.Random(5)
+        ledger = str(tmp_path / "ledger.jsonl")
+        for _ in range(12):
+            append_history(ledger, _bench(2.0 * rng.uniform(0.9, 1.1)))
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(_bench(2.0)))
+        b.write_text(json.dumps(_bench(2.12)))  # +6%: flat gate would flag
+        d = diff_artifacts(str(a), str(b), history=ledger)
+        # ±10% historical noise earns a gate wider than 6%.
+        assert not d["regression"]
+        assert "arbalest_slowdown_geomean" in d["calibrated"]

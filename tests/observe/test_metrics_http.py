@@ -223,3 +223,120 @@ class TestHttpEndpoints:
         assert connection.mode == "wire"
         (reply,) = FrameDecoder().feed(raw)
         assert reply.kind is FrameKind.ACK
+
+
+class TestLabelEscaping:
+    """Exposition validity under hostile label values (satellite fix)."""
+
+    HOSTILE = [
+        'quote:"double"',
+        "back\\slash",
+        "line\nbreak",
+        'all\\three\n"at once"',
+        'trailing backslash\\',
+        "commas,and=equals",
+    ]
+
+    def test_hostile_label_values_round_trip(self):
+        from repro.observe.metrics import _Exposition
+
+        exp = _Exposition()
+        exp.family("test_metric", "gauge", "hostile labels")
+        for i, value in enumerate(self.HOSTILE):
+            exp.sample("test_metric", i, label=value)
+        families = parse_exposition(exp.render())
+        seen = {labels["label"] for labels, _ in families["test_metric"]}
+        assert seen == set(self.HOSTILE)
+        for labels, value in families["test_metric"]:
+            assert labels["label"] == self.HOSTILE[int(value)]
+
+    def test_escaping_order_backslash_first(self):
+        """Escaping the backslash last would corrupt \\" into \\\\"."""
+        from repro.observe.metrics import _escape_label_value
+
+        assert _escape_label_value('"') == '\\"'
+        assert _escape_label_value("\\") == "\\\\"
+        assert _escape_label_value("\n") == "\\n"
+        assert _escape_label_value('\\"') == '\\\\\\"'
+
+    def test_parser_rejects_malformed_label_bodies(self):
+        import pytest
+
+        for text in (
+            'm{k="unterminated} 1',
+            'm{k="dangling\\} 1',
+            'm{k="bad\\q"} 1',
+            'm{k="a"x="b"} 1',
+            "m{novalue} 1",
+        ):
+            with pytest.raises(ValueError):
+                parse_exposition(text)
+
+
+class TestProfileEndpoint:
+    """/profile (folded stacks) and /profile.json (snapshot) ride /metrics."""
+
+    @staticmethod
+    def _fine_observer():
+        # One DRACC benchmark publishes only a few hundred elements; a fine
+        # stride guarantees samples without needing a big workload.
+        from repro.observe.prof import Profiler
+
+        return ServeObserver(
+            profile=Profiler(stride=8, benchmark="serve", track_kernel_phase=False)
+        )
+
+    def test_profile_endpoint_serves_folded_stacks(self):
+        observer = self._fine_observer()
+        server = served_server(observer)
+        status, headers, body = http(
+            server.connection(), b"GET /profile HTTP/1.0\r\n\r\n"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        # Every line is 'bench;phase;tool;frames... weight' — parseable by
+        # the flamegraph renderer.
+        from repro.observe.flame import parse_folded
+
+        tree = parse_folded(text)
+        assert tree["value"] > 0
+        assert "shard-" in text
+
+    def test_profile_json_snapshot_has_hot_stacks(self):
+        observer = self._fine_observer()
+        server = served_server(observer)
+        status, headers, body = http(
+            server.connection(), b"GET /profile.json HTTP/1.0\r\n\r\n"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        snap = json.loads(body)
+        assert snap["samples"] > 0
+        assert snap["hot"]
+        top = snap["hot"][0]
+        assert top["weight"] >= snap["stride"] or top["weight"] > 0
+        # Profile<->span correlation: hot stacks carry wire-frame links.
+        assert all("client" in f and "seq" in f for f in top["frames"])
+
+    def test_profile_404s_when_profiling_disabled(self):
+        observer = ServeObserver(profile=False)
+        server = served_server(observer)
+        status, _, body = http(
+            server.connection(), b"GET /profile HTTP/1.0\r\n\r\n"
+        )
+        assert status == 404
+        assert b"profiling disabled" in body
+
+    def test_profile_metrics_ride_the_exposition(self):
+        observer = self._fine_observer()
+        server = served_server(observer)
+        families = parse_exposition(
+            render_prometheus(service_snapshot(server, observer))
+        )
+        assert metric_value(families, "repro_serve_profile_events_total") > 0
+        assert metric_value(families, "repro_serve_profile_stride") >= 1
+        per_shard = families.get("repro_serve_profile_samples_total", [])
+        shards = {labels["shard"] for labels, _ in per_shard}
+        assert shards and shards <= {"shard-0", "shard-1"}
+        assert sum(v for _, v in per_shard) > 0

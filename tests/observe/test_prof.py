@@ -1,0 +1,262 @@
+"""The continuous profiler: determinism, engine equivalence, governor, tax."""
+
+import tracemalloc
+
+import pytest
+
+from repro.core.detector import Arbalest
+from repro.events.records import Access
+from repro.events.source import SourceLocation
+from repro.observe import prof as prof_mod
+from repro.observe.flame import parse_folded, render_flamegraph
+from repro.observe.prof import DEFAULT_STRIDE, Governor, Profiler, scope
+from repro.openmp import TargetRuntime
+from repro.specaccel import WORKLOADS
+
+
+def _site(fn, line):
+    return (SourceLocation(file="prog.c", line=line, function=fn),)
+
+
+def _access(count=1, line=1, fn="main"):
+    return Access(
+        device_id=0,
+        thread_id=0,
+        address=0x1000,
+        size=8,
+        is_write=False,
+        count=count,
+        stack_ref=_site(fn, line),
+    )
+
+
+class _NamedTool:
+    name = "arbalest"
+
+
+TOOLS = (_NamedTool(),)
+
+
+class TestOrdinalClock:
+    def test_samples_fire_on_element_ordinals(self):
+        p = Profiler(stride=10)
+        for _ in range(25):
+            p.access_event(_access(), TOOLS)
+        assert p.events == 25
+        assert p.samples == 2  # ordinals 10 and 20
+
+    def test_bulk_access_advances_by_count(self):
+        p = Profiler(stride=10)
+        p.access_event(_access(count=25), TOOLS)
+        assert p.events == 25
+        assert p.samples == 1
+        # The sample stands for all 25 elements, not just the stride.
+        assert sum(p._weights.values()) == 25
+
+    def test_batch_matches_scalar_countdown_exactly(self):
+        """The columnar batch walk must pick the same accesses, with the
+        same weights, as the scalar per-event countdown — including odd
+        batch boundaries and bulk counts."""
+        import random
+
+        rng = random.Random(42)
+        accesses = [
+            _access(count=rng.choice((1, 1, 1, 3, 7, 50)), line=rng.randrange(9))
+            for _ in range(400)
+        ]
+        scalar = Profiler(stride=17)
+        for a in accesses:
+            scalar.access_event(a, TOOLS)
+        batched = Profiler(stride=17)
+        i = 0
+        while i < len(accesses):
+            n = rng.randrange(1, 13)
+            batched.batch_events(accesses[i : i + n], TOOLS)
+            i += n
+        assert batched.events == scalar.events
+        assert batched.samples == scalar.samples
+        assert batched.folded() == scalar.folded()
+
+    def test_empty_batch_is_a_no_op(self):
+        p = Profiler(stride=4)
+        p.batch_events([], TOOLS)
+        assert p.events == 0 and p.samples == 0
+
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Profiler(stride=0)
+
+
+class TestDeterminism:
+    def _run_suite(self, engine):
+        folded = []
+        for w in WORKLOADS:
+            rt = TargetRuntime(n_devices=1, engine=engine)
+            Arbalest().attach(rt.machine)
+            p = Profiler(stride=512)
+            p.set_context(benchmark=w.name)
+            with scope(p):
+                w.run(rt, "test")
+                rt.finalize()
+            folded.append(p.folded())
+        return "".join(folded)
+
+    def test_folded_stacks_byte_identical_across_runs(self):
+        """Fixed-stride mode: two identical runs, identical bytes."""
+        assert self._run_suite("scalar") == self._run_suite("scalar")
+
+    def test_folded_stacks_byte_identical_across_engines(self):
+        """Scalar and columnar engines sample the same ordinals."""
+        assert self._run_suite("scalar") == self._run_suite("columnar")
+
+    def test_folded_output_is_parseable_flamegraph_input(self):
+        folded = self._run_suite("columnar")
+        tree = parse_folded(folded)
+        assert tree["value"] > 0
+        html = render_flamegraph(folded)
+        assert "<html" in html and "repro profile" in html
+
+
+class TestDisabledPath:
+    def test_disabled_profiler_never_allocates(self):
+        """ACTIVE is None: the bus hot path must not allocate in prof.py."""
+        assert prof_mod.ACTIVE is None
+
+        def run():
+            rt = TargetRuntime(n_devices=1, engine="scalar")
+            Arbalest().attach(rt.machine)
+            WORKLOADS[0].run(rt, "test")
+            rt.finalize()
+
+        run()  # warm every code path first
+        tracemalloc.start()
+        try:
+            run()
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        prof_allocs = snapshot.filter_traces(
+            [tracemalloc.Filter(True, "*repro/observe/prof.py")]
+        ).statistics("filename")
+        assert prof_allocs == [], [
+            f"{s.traceback}: {s.size}B" for s in prof_allocs
+        ]
+
+
+class TestGovernor:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Governor(budget=0.0)
+        with pytest.raises(ValueError):
+            Governor(cadence=0)
+
+    def test_converges_under_budget_with_a_fake_clock(self):
+        """Each timer call ticks the fake clock (so each sample 'costs' one
+        tick-pair) and each event adds fake wall time.  The governor must
+        widen the stride until the measured tax is under the 1% budget."""
+        SAMPLE_COST = 1e-5  # recording cost per sample (two timer ticks)
+        EVENT_COST = 1e-6  # fake wall time per event
+
+        now = [0.0]
+
+        def timer():
+            # The governor brackets each sample with two timer calls; each
+            # call ticks half the sample cost, so cost-per-sample is exact.
+            now[0] += SAMPLE_COST / 2
+            return now[0]
+
+        gov = Governor(budget=0.01, cadence=8, min_stride=16, timer=timer)
+        p = Profiler(stride=16, governor=gov)
+        a = _access()
+        for _ in range(100_000):
+            now[0] += EVENT_COST
+            p.access_event(a, TOOLS)
+            if gov.adjustments and gov.last_tax and gov.last_tax <= 0.01:
+                break
+        assert gov.adjustments, "governor never adjusted the stride"
+        assert p.stride > 16, "stride should have widened under load"
+        # tax per sample ~ SAMPLE_COST / (stride * EVENT_COST + SAMPLE_COST):
+        # the converged stride keeps that under budget.
+        assert gov.last_tax <= 0.01
+
+    def test_narrows_when_tax_is_far_under_budget(self):
+        now = [0.0]
+
+        def timer():
+            now[0] += 1e-9  # near-zero sample cost
+            return now[0]
+
+        gov = Governor(budget=0.5, cadence=2, min_stride=2, timer=timer)
+        p = Profiler(stride=64, governor=gov)
+        a = _access()
+        for _ in range(64 * 40):
+            now[0] += 1e-3  # lots of wall time between samples
+            p.access_event(a, TOOLS)
+        assert p.stride < 64
+        assert p.stride >= 2
+
+    def test_adjustments_are_logged(self):
+        now = [0.0]
+
+        def timer():
+            now[0] += 1e-3  # every timer tick is huge vs the tiny budget
+            return now[0]
+
+        gov = Governor(budget=1e-9, cadence=1, timer=timer)
+        p = Profiler(stride=4, governor=gov)
+        a = _access()
+        for _ in range(64):
+            p.access_event(a, TOOLS)
+        assert gov.adjustments
+        seen, old, new = gov.adjustments[0]
+        assert new == old * 2
+
+
+class TestContextAndExport:
+    def test_phase_tracking_follows_kernels(self):
+        p = Profiler(stride=1)
+        p.kernel_event("k1")
+        p.access_event(_access(), TOOLS)
+        p.kernel_event("host")
+        p.access_event(_access(), TOOLS)
+        assert p.samples_by_phase() == {"host": 1, "k1": 1}
+
+    def test_serve_mode_pins_the_phase(self):
+        p = Profiler(stride=1, track_kernel_phase=False, phase="shard-3")
+        p.kernel_event("k1")  # must NOT clobber the shard phase
+        p.access_event(_access(), TOOLS)
+        assert p.samples_by_phase() == {"shard-3": 1}
+
+    def test_frame_links_correlate_samples_to_wire_frames(self):
+        p = Profiler(stride=1)
+        p.set_frame(18, 7)
+        p.access_event(_access(), TOOLS)
+        p.clear_frame()
+        p.access_event(_access(), TOOLS)
+        hot = p.hot_stacks()
+        assert hot[0]["frames"] == [{"client": 18, "seq": 7}]
+
+    def test_folded_frames_have_no_separator_collisions(self):
+        stack = (SourceLocation(file="a;b c.c", line=3, function="f g;h"),)
+        a = Access(
+            device_id=0, thread_id=0, address=0, size=8, is_write=True,
+            stack_ref=stack,
+        )
+        p = Profiler(stride=1)
+        p.access_event(a, TOOLS)
+        line = p.folded().splitlines()[0]
+        frames_part = line.rsplit(" ", 1)[0]
+        assert " " not in frames_part
+        assert frames_part.count(";") == 3  # bench;phase;tool;one-frame
+
+    def test_stats_and_snapshot_shapes(self):
+        gov = Governor()
+        p = Profiler(stride=2, governor=gov)
+        for _ in range(10):
+            p.access_event(_access(), TOOLS)
+        stats = p.stats()
+        assert stats["events"] == 10
+        assert stats["samples"] == 5
+        assert stats["governor"]["budget"] == gov.budget
+        snap = p.snapshot(limit=3)
+        assert snap["hot"] and snap["hot"][0]["weight"] >= 2

@@ -420,7 +420,7 @@ class TestSynthCommand:
     def test_synth_score_runs_the_validation_matrix(self, capsys):
         import json
 
-        assert main(["synth", "--score", "--json"]) == 0
+        assert main(["synth", "--score", "--json", "--no-history"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["artifact"] == "synth-bench/1"
         assert payload["summary"]["ok"]
@@ -480,3 +480,83 @@ class TestDiffCommand:
         assert main(
             ["diff", str(old), str(new), "--threshold", "0.2"]
         ) == 0
+
+
+class TestSentinelCommand:
+    @staticmethod
+    def _ledger(tmp_path, *, step_at=None, n=20):
+        import random
+
+        from repro.observe.history import append_history
+
+        rng = random.Random(11)
+        path = str(tmp_path / "ledger.jsonl")
+        for i in range(n):
+            bump = 1.2 if step_at is not None and i >= step_at else 1.0
+            slowdown = 2.0 * rng.uniform(0.98, 1.02) * bump
+            append_history(
+                path,
+                {
+                    "engine": "columnar",
+                    "preset": "test",
+                    "workloads": {
+                        "pcg": {"arbalest": {"slowdown": slowdown}}
+                    },
+                    "summary": {"arbalest_slowdown_geomean": slowdown},
+                },
+            )
+        return path
+
+    def test_flat_history_passes(self, capsys, tmp_path):
+        ledger = self._ledger(tmp_path)
+        assert main(["sentinel", "--history", ledger]) == 0
+        assert "VERDICT: OK" in capsys.readouterr().out
+
+    def test_step_regression_fails_with_a_named_verdict(self, capsys, tmp_path):
+        ledger = self._ledger(tmp_path, step_at=15)
+        assert main(["sentinel", "--history", ledger]) == 1
+        out = capsys.readouterr().out
+        assert "VERDICT: REGRESSION" in out
+        assert "pcg/arbalest/slowdown" in out
+
+    def test_json_mode_is_pure(self, capsys, tmp_path):
+        import json
+
+        ledger = self._ledger(tmp_path, step_at=15)
+        assert main(["sentinel", "--history", ledger, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "sentinel/1"
+        assert not payload["ok"]
+
+    def test_unknown_kind_exits_2(self, capsys, tmp_path):
+        ledger = self._ledger(tmp_path)
+        assert main(["sentinel", "--history", ledger, "--kind", "nope"]) == 2
+        assert "repro sentinel: error" in capsys.readouterr().err
+
+    def test_missing_ledger_exits_2(self, capsys, tmp_path):
+        missing = str(tmp_path / "missing.jsonl")
+        assert main(["sentinel", "--history", missing]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+
+    def test_seed_from_migrates_artifacts_first(self, capsys, tmp_path):
+        import json
+
+        artifact = tmp_path / "BENCH_fig8.json"
+        artifact.write_text(
+            json.dumps(
+                {
+                    "engine": "scalar",
+                    "workloads": {"pcg": {"arbalest": {"slowdown": 2.0}}},
+                    "summary": {"arbalest_slowdown_geomean": 2.0},
+                }
+            )
+        )
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert main(
+            ["sentinel", "--history", ledger, "--seed-from", str(artifact)]
+        ) == 0
+        from repro.observe.history import load_history
+
+        (entry,) = load_history(ledger)
+        assert entry["meta"]["seeded"] is True
